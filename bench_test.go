@@ -1,0 +1,495 @@
+package xdaq
+
+// One benchmark per table/figure of the paper's evaluation, plus the
+// ablations indexed in DESIGN.md.  The testing.B numbers are round-trip
+// times (divide by two for the paper's one-way convention); the
+// cmd/benchtab tool prints the same experiments in the paper's own table
+// format with the published values alongside.
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"xdaq/internal/benchlab"
+	"xdaq/internal/chain"
+	"xdaq/internal/daq"
+	"xdaq/internal/executive"
+	"xdaq/internal/i2o"
+	"xdaq/internal/orb"
+	"xdaq/internal/pool"
+	"xdaq/internal/probe"
+	"xdaq/internal/pta"
+	"xdaq/internal/rmi"
+	"xdaq/internal/sgl"
+	"xdaq/internal/transport/gm"
+	"xdaq/internal/transport/loopback"
+)
+
+// --- Figure 6: blackbox ping-pong latency, XDAQ over GM vs GM direct ---
+
+func BenchmarkFig6XDAQOverGM(b *testing.B) {
+	rig, err := benchlab.NewGMRig(benchlab.RigConfig{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer rig.Close()
+	for _, size := range []int{1, 256, 1024, 4096} {
+		b.Run(fmt.Sprintf("payload=%d", size), func(b *testing.B) {
+			b.SetBytes(int64(size))
+			for i := 0; i < b.N; i++ {
+				if err := rig.RoundTrip(rig.Echo, size); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+func BenchmarkFig6GMDirect(b *testing.B) {
+	direct, err := benchlab.NewGMDirect()
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer direct.Close()
+	for _, size := range []int{1, 256, 1024, 4096} {
+		payload := make([]byte, size)
+		b.Run(fmt.Sprintf("payload=%d", size), func(b *testing.B) {
+			b.SetBytes(int64(size))
+			for i := 0; i < b.N; i++ {
+				if err := direct.RoundTrip(payload); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// --- Table 1: whitebox dispatch path with probes enabled ---
+
+func BenchmarkTable1ProbedDispatch(b *testing.B) {
+	reg := &probe.Registry{}
+	rig, err := benchlab.NewGMRig(benchlab.RigConfig{Probes: reg})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer rig.Close()
+	probe.Enable(true)
+	defer probe.Enable(false)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := rig.RoundTrip(rig.Echo, 64); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	for _, p := range reg.Points() {
+		s := p.Stats()
+		if s.Count > 0 {
+			b.ReportMetric(float64(s.Median)/1e3, p.Name()+"-median-µs")
+		}
+	}
+}
+
+// --- §5 allocator ablation: original fixed pool vs optimized table pool ---
+
+func BenchmarkAllocAblation(b *testing.B) {
+	for _, alloc := range []string{"fixed", "table"} {
+		b.Run(alloc, func(b *testing.B) {
+			rig, err := benchlab.NewGMRig(benchlab.RigConfig{Allocator: alloc})
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer rig.Close()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if err := rig.RoundTrip(rig.Echo, 64); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// Raw allocator microbenchmarks backing the ablation.
+func BenchmarkPoolAlloc(b *testing.B) {
+	allocs := map[string]pool.Allocator{
+		"fixed": pool.MustFixed(pool.DefaultFixedClasses()),
+		"table": pool.NewTable(0),
+	}
+	for _, name := range []string{"fixed", "table"} {
+		a := allocs[name]
+		b.Run(name, func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				buf, err := a.Alloc(1024)
+				if err != nil {
+					b.Fatal(err)
+				}
+				buf.Release()
+			}
+		})
+	}
+}
+
+// --- §6.2: the CORBA-like ORB baseline over the same fabric ---
+
+func BenchmarkORBBaseline(b *testing.B) {
+	fabric := gm.NewFabric()
+	na, err := fabric.Open(1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	nb, err := fabric.Open(2)
+	if err != nil {
+		b.Fatal(err)
+	}
+	wa, err := orb.NewGMWire(na, 2, 32)
+	if err != nil {
+		b.Fatal(err)
+	}
+	wb, err := orb.NewGMWire(nb, 1, 32)
+	if err != nil {
+		b.Fatal(err)
+	}
+	client := orb.NewEndpoint(wa)
+	server := orb.NewEndpoint(wb)
+	defer client.Close()
+	defer server.Close()
+	servant := orb.NewServant()
+	servant.Register("echo", func(args []any) ([]any, error) { return args, nil })
+	server.Bind("bench", servant)
+	ref := client.Object("bench")
+	payload := make([]byte, 64)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := ref.Invoke("echo", payload); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// The RMI adapters on top of XDAQ, for comparison with the ORB.
+func BenchmarkRMIInvoke(b *testing.B) {
+	rig, err := benchlab.NewGMRig(benchlab.RigConfig{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer rig.Close()
+	stub := rmi.NewStub(rig.A, rig.Echo)
+	payload := make([]byte, 64)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		err := stub.Invoke(benchlab.EchoXFunc,
+			func(e *rmi.Encoder) { e.Bytes32(payload) },
+			nil)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// --- §4 ablation: polling vs task mode peer transports ---
+
+func BenchmarkPollingVsTask(b *testing.B) {
+	cases := []struct {
+		name string
+		mode pta.Mode
+		slow bool
+	}{
+		{"task", pta.Task, false},
+		{"polling", pta.Polling, false},
+		{"polling-with-slow-pt", pta.Polling, true},
+	}
+	for _, c := range cases {
+		b.Run(c.name, func(b *testing.B) {
+			rig, err := benchlab.NewGMRig(benchlab.RigConfig{Mode: c.mode})
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer rig.Close()
+			if c.slow {
+				if err := rig.AgentA.Register(benchlab.NewSlowPT("pt.slow", 100*time.Microsecond), pta.Polling); err != nil {
+					b.Fatal(err)
+				}
+				if err := rig.AgentB.Register(benchlab.NewSlowPT("pt.slow", 100*time.Microsecond), pta.Polling); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if err := rig.RoundTrip(rig.Echo, 64); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// --- §4 ablation: multiple transports in parallel ---
+
+func BenchmarkParallelTransports(b *testing.B) {
+	for _, transports := range []int{1, 2} {
+		b.Run(fmt.Sprintf("transports=%d", transports), func(b *testing.B) {
+			// 128 KB payloads keep one modelled link fully serialized, so
+			// the second transport pays off.
+			res, err := benchlab.RunParallelTransportsN(time.Second, 131072, 4, transports)
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ReportMetric(res, "roundtrips/s")
+		})
+	}
+}
+
+// --- §3.2 ablation: seven-level priority scheduling under load ---
+
+func BenchmarkPriorityDispatch(b *testing.B) {
+	rig, err := benchlab.NewPriorityRig()
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer rig.Close()
+	const backlog = 512
+	for _, prio := range []Priority{PriorityUrgent, PriorityBulk} {
+		b.Run(fmt.Sprintf("priority=%d", prio), func(b *testing.B) {
+			// Each iteration gates a probe behind a 512-frame bulk
+			// backlog; ns/op is the gate-open-to-reply latency plus the
+			// (identical) setup cost of seeding the backlog.
+			for i := 0; i < b.N; i++ {
+				if _, err := rig.Probe(prio, backlog); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// --- §4 ablation: scatter-gather lists vs flat copies ---
+
+func BenchmarkSGL(b *testing.B) {
+	p := pool.NewTable(0)
+	const total = 4 << 20 // 4 MB payload, 16 chained 256 KB blocks
+	src := make([]byte, total)
+	b.Run("sgl-chain", func(b *testing.B) {
+		b.SetBytes(total)
+		for i := 0; i < b.N; i++ {
+			l, err := sgl.FromBytes(p, src, pool.MaxBlock)
+			if err != nil {
+				b.Fatal(err)
+			}
+			n := 0
+			if err := l.Walk(func(seg []byte) error { n += len(seg); return nil }); err != nil {
+				b.Fatal(err)
+			}
+			if n != total {
+				b.Fatalf("walked %d", n)
+			}
+			l.Release()
+		}
+	})
+	b.Run("flat-copy", func(b *testing.B) {
+		b.SetBytes(total)
+		for i := 0; i < b.N; i++ {
+			// The flat alternative: one oversized allocation per message
+			// (the pool cannot serve it; this is exactly why SGLs exist).
+			dst := make([]byte, total)
+			copy(dst, src)
+		}
+	})
+}
+
+// --- Design ablation: the §4 watchdog (asynchronous handler termination)
+// trades one goroutine hop per dispatch for protection against
+// monopolizing handlers; this measures that price on a local echo ---
+
+func BenchmarkWatchdogOverhead(b *testing.B) {
+	for _, wd := range []time.Duration{0, 100 * time.Millisecond} {
+		name := "disabled"
+		if wd > 0 {
+			name = "enabled"
+		}
+		b.Run(name, func(b *testing.B) {
+			e := executive.New(executive.Options{
+				Name: "wd", Node: 1, Watchdog: wd,
+				Logf: func(string, ...any) {},
+			})
+			defer e.Close()
+			echo := NewDevice("echo", 0)
+			echo.Bind(1, func(ctx *Context, m *Message) error {
+				return ReplyIfExpected(ctx, m, nil)
+			})
+			id, err := e.Plug(echo)
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				rep, err := e.Request(&Message{
+					Target: id, Initiator: TIDExecutive,
+					Function: i2o.FuncPrivate, Org: i2o.OrgXDAQ, XFunction: 1,
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				rep.Release()
+			}
+		})
+	}
+}
+
+// --- §4 chained transfers: multi-megabyte payloads over 256 KB frames ---
+
+func BenchmarkChainTransfer(b *testing.B) {
+	e := executive.New(executive.Options{Name: "chain", Node: 1, Logf: func(string, ...any) {}})
+	defer e.Close()
+	done := make(chan struct{}, 1)
+	reasm := chain.NewReassembler(e.Allocator(), func(t *chain.Transfer) error {
+		t.Data.Release()
+		done <- struct{}{}
+		return nil
+	})
+	sink := NewDevice("sink", 0)
+	sink.Bind(9, reasm.Handler)
+	id, err := e.Plug(sink)
+	if err != nil {
+		b.Fatal(err)
+	}
+	const total = 2 << 20 // 2 MB per transfer
+	data := make([]byte, total)
+	b.SetBytes(total)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := chain.SendBytes(e, id, TIDExecutive, 9, PriorityBulk, uint32(i), data); err != nil {
+			b.Fatal(err)
+		}
+		<-done
+	}
+}
+
+// --- §7 "ongoing work": communication with and without hardware FIFO
+// support — the same echo over the pointer-passing PCI message units, the
+// zero-copy loopback, and the serializing GM fabric ---
+
+func BenchmarkTransportComparison(b *testing.B) {
+	runEcho := func(b *testing.B, connect func(a, bb *Node) error) {
+		a, err := NewNode(NodeOptions{Name: "a", Node: 1, Logf: func(string, ...any) {}})
+		if err != nil {
+			b.Fatal(err)
+		}
+		defer a.Close()
+		n2, err := NewNode(NodeOptions{Name: "b", Node: 2, Logf: func(string, ...any) {}})
+		if err != nil {
+			b.Fatal(err)
+		}
+		defer n2.Close()
+		if err := connect(a, n2); err != nil {
+			b.Fatal(err)
+		}
+		echo := NewDevice("echo", 0)
+		echo.Bind(1, func(ctx *Context, m *Message) error {
+			return ReplyIfExpected(ctx, m, m.Payload)
+		})
+		if _, err := n2.Plug(echo); err != nil {
+			b.Fatal(err)
+		}
+		target, err := a.Discover(2, "echo", 0)
+		if err != nil {
+			b.Fatal(err)
+		}
+		payload := make([]byte, 64)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := a.Call(target, 1, payload); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+	b.Run("pci-hardware-fifos", func(b *testing.B) {
+		runEcho(b, func(a, bb *Node) error { return ConnectPCI(0, a, bb) })
+	})
+	b.Run("loopback", func(b *testing.B) {
+		runEcho(b, func(a, bb *Node) error { return ConnectLoopback(a, bb) })
+	})
+	b.Run("gm-fabric", func(b *testing.B) {
+		runEcho(b, func(a, bb *Node) error { return ConnectGM(GMOptions{}, a, bb) })
+	})
+}
+
+// --- Extension: event builder throughput (the paper's motivating DAQ) ---
+
+func BenchmarkEventBuilder(b *testing.B) {
+	for _, nRU := range []int{1, 2, 4} {
+		b.Run(fmt.Sprintf("rus=%d", nRU), func(b *testing.B) {
+			fabric := loopback.NewFabric()
+			total := 2 + nRU
+			execs := make([]*executive.Executive, total)
+			for i := range execs {
+				id := i2o.NodeID(i + 1)
+				e := executive.New(executive.Options{
+					Name: "eb", Node: id,
+					RequestTimeout: 10 * time.Second,
+					Logf:           func(string, ...any) {},
+				})
+				agent, err := pta.New(e)
+				if err != nil {
+					b.Fatal(err)
+				}
+				ep, err := fabric.Attach(id)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if err := agent.Register(ep, pta.Task); err != nil {
+					b.Fatal(err)
+				}
+				defer e.Close()
+				defer agent.Close()
+				execs[i] = e
+			}
+			for _, e := range execs {
+				for _, peer := range execs {
+					if e != peer {
+						e.SetRoute(peer.Node(), loopback.DefaultName)
+					}
+				}
+			}
+			evm := daq.NewEVM(0)
+			if _, err := execs[0].Plug(evm.Device()); err != nil {
+				b.Fatal(err)
+			}
+			for i := 0; i < nRU; i++ {
+				if _, err := execs[1+i].Plug(daq.NewRU(i, 2048).Device()); err != nil {
+					b.Fatal(err)
+				}
+			}
+			bu := daq.NewBU(0)
+			buExec := execs[total-1]
+			if _, err := buExec.Plug(bu.Device()); err != nil {
+				b.Fatal(err)
+			}
+			evmTID, err := buExec.Discover(1, daq.EVMClass, 0)
+			if err != nil {
+				b.Fatal(err)
+			}
+			rus := make([]i2o.TID, nRU)
+			for i := range rus {
+				if rus[i], err = buExec.Discover(i2o.NodeID(2+i), daq.RUClass, i); err != nil {
+					b.Fatal(err)
+				}
+			}
+			bu.Configure(evmTID, rus)
+			b.ResetTimer()
+			if _, err := bu.Start(uint64(b.N), 8); err != nil {
+				b.Fatal(err)
+			}
+			stats, err := bu.Wait()
+			if err != nil {
+				b.Fatal(err)
+			}
+			if stats.Built != uint64(b.N) {
+				b.Fatalf("built %d of %d", stats.Built, b.N)
+			}
+			b.SetBytes(int64(nRU) * 2048)
+		})
+	}
+}

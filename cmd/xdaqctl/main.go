@@ -1,0 +1,152 @@
+// Command xdaqctl is the primary-host control client: it connects to a
+// set of xdaqd processing nodes over the TCP peer transport and drives
+// them with a tclish script — the paper's Tcl-based configuration and
+// control channel.
+//
+// Examples:
+//
+//	xdaqctl -node 100 -peer 1=127.0.0.1:9101 -e 'status 1'
+//	xdaqctl -node 100 -peer 1=... -peer 2=... -script setup.tcl
+//	echo 'resources 1' | xdaqctl -node 100 -peer 1=...
+//	xdaqctl -i -node 100 -peer 1=...          # interactive session
+//
+// The cluster commands available in scripts are documented on
+// cluster.Controller.Bind: nodes, status, resources, plug, unplug,
+// enable, quiesce, clear, systab, paramget, paramset, trace, control.
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"os"
+	"strconv"
+	"strings"
+
+	"xdaq"
+	"xdaq/internal/cluster"
+	"xdaq/internal/i2o"
+	_ "xdaq/internal/modules"
+	"xdaq/internal/tclish"
+)
+
+type peerList map[i2o.NodeID]string
+
+func (p peerList) String() string {
+	parts := make([]string, 0, len(p))
+	for n, a := range p {
+		parts = append(parts, fmt.Sprintf("%d=%s", n, a))
+	}
+	return strings.Join(parts, ",")
+}
+
+func (p peerList) Set(v string) error {
+	node, addr, ok := strings.Cut(v, "=")
+	if !ok {
+		return fmt.Errorf("want node=addr, got %q", v)
+	}
+	n, err := strconv.ParseUint(node, 10, 32)
+	if err != nil {
+		return fmt.Errorf("bad node %q: %v", node, err)
+	}
+	p[i2o.NodeID(n)] = addr
+	return nil
+}
+
+func main() {
+	var (
+		node        = flag.Uint("node", 100, "the control host's own node identifier")
+		script      = flag.String("script", "", "tclish script file to run ('-' or empty reads stdin when -e is not given)")
+		inline      = flag.String("e", "", "inline tclish script")
+		interactive = flag.Bool("i", false, "interactive session: evaluate stdin line by line")
+		peers       = peerList{}
+	)
+	flag.Var(peers, "peer", "processing node as node=addr (repeatable)")
+	flag.Parse()
+
+	var src string
+	if !*interactive {
+		var err error
+		src, err = loadScript(*script, *inline)
+		if err != nil {
+			log.Fatalf("xdaqctl: %v", err)
+		}
+	}
+
+	host, err := xdaq.NewNode(xdaq.NodeOptions{
+		Name: "ctl",
+		Node: i2o.NodeID(*node),
+		Logf: func(string, ...any) {}, // control session: keep stdout for script output
+	})
+	if err != nil {
+		log.Fatalf("xdaqctl: %v", err)
+	}
+	defer host.Close()
+
+	tr, err := host.ListenTCP("127.0.0.1:0")
+	if err != nil {
+		log.Fatalf("xdaqctl: %v", err)
+	}
+	ctl, err := cluster.NewPrimary(host.Exec)
+	if err != nil {
+		log.Fatalf("xdaqctl: %v", err)
+	}
+	for peer, addr := range peers {
+		host.AddTCPPeer(tr, peer, addr)
+		if err := ctl.AddNode(peer, addr); err != nil {
+			log.Fatalf("xdaqctl: add node %d: %v", peer, err)
+		}
+	}
+
+	interp := tclish.New(os.Stdout)
+	ctl.Bind(interp)
+
+	if *interactive {
+		repl(interp)
+		return
+	}
+	result, err := interp.Eval(src)
+	if err != nil && !strings.Contains(err.Error(), "return outside proc") {
+		log.Fatalf("xdaqctl: script: %v", err)
+	}
+	if result != "" {
+		fmt.Println(result)
+	}
+}
+
+// repl evaluates stdin line by line, continuing across errors — the
+// interactive control session of a cluster operator.
+func repl(interp *tclish.Interp) {
+	scanner := bufio.NewScanner(os.Stdin)
+	fmt.Print("xdaq> ")
+	for scanner.Scan() {
+		line := strings.TrimSpace(scanner.Text())
+		if line == "exit" || line == "quit" {
+			return
+		}
+		if line != "" {
+			result, err := interp.Eval(line)
+			switch {
+			case err != nil && !strings.Contains(err.Error(), "return outside proc"):
+				fmt.Fprintf(os.Stderr, "error: %v\n", err)
+			case result != "":
+				fmt.Println(result)
+			}
+		}
+		fmt.Print("xdaq> ")
+	}
+}
+
+func loadScript(path, inline string) (string, error) {
+	if inline != "" {
+		return inline, nil
+	}
+	if path == "" || path == "-" {
+		b, err := io.ReadAll(os.Stdin)
+		return string(b), err
+	}
+	b, err := os.ReadFile(path)
+	return string(b), err
+}

@@ -1,0 +1,121 @@
+// Command xdaqd runs one XDAQ processing node: an executive with a TCP
+// peer transport, ready to be configured and controlled by a primary host
+// (cmd/xdaqctl) through I2O executive messages.
+//
+// Example three-node cluster on one machine:
+//
+//	xdaqd -node 1 -listen 127.0.0.1:9101 &
+//	xdaqd -node 2 -listen 127.0.0.1:9102 -peer 1=127.0.0.1:9101 &
+//	xdaqctl -node 100 -peer 1=127.0.0.1:9101 -peer 2=127.0.0.1:9102 \
+//	        -e 'plug 1 echo 0; status 1'
+//
+// Modules available to ExecPlugin are those compiled in through the
+// module registry (see internal/modules): echo, daq.evm, daq.ru, daq.bu.
+// Use -module to plug modules at startup without a controller.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"os/signal"
+	"strconv"
+	"strings"
+	"syscall"
+
+	"xdaq"
+	"xdaq/internal/executive"
+	"xdaq/internal/i2o"
+	_ "xdaq/internal/modules"
+)
+
+type peerList map[i2o.NodeID]string
+
+func (p peerList) String() string {
+	parts := make([]string, 0, len(p))
+	for n, a := range p {
+		parts = append(parts, fmt.Sprintf("%d=%s", n, a))
+	}
+	return strings.Join(parts, ",")
+}
+
+func (p peerList) Set(v string) error {
+	node, addr, ok := strings.Cut(v, "=")
+	if !ok {
+		return fmt.Errorf("want node=addr, got %q", v)
+	}
+	n, err := strconv.ParseUint(node, 10, 32)
+	if err != nil {
+		return fmt.Errorf("bad node %q: %v", node, err)
+	}
+	p[i2o.NodeID(n)] = addr
+	return nil
+}
+
+type moduleList []string
+
+func (m *moduleList) String() string     { return strings.Join(*m, ",") }
+func (m *moduleList) Set(v string) error { *m = append(*m, v); return nil }
+
+func main() {
+	var (
+		node    = flag.Uint("node", 1, "this IOP's node identifier")
+		name    = flag.String("name", "", "executive name (default: node<N>)")
+		listen  = flag.String("listen", "127.0.0.1:0", "TCP peer transport listen address")
+		alloc   = flag.String("alloc", "table", "buffer pool scheme: table or fixed")
+		peers   = peerList{}
+		modules = moduleList{}
+	)
+	flag.Var(peers, "peer", "peer node as node=addr (repeatable)")
+	flag.Var(&modules, "module", "module to plug at startup as name[:instance] (repeatable)")
+	flag.Parse()
+
+	if *name == "" {
+		*name = fmt.Sprintf("node%d", *node)
+	}
+	n, err := xdaq.NewNode(xdaq.NodeOptions{
+		Name:      *name,
+		Node:      i2o.NodeID(*node),
+		Allocator: *alloc,
+	})
+	if err != nil {
+		log.Fatalf("xdaqd: %v", err)
+	}
+	defer n.Close()
+
+	tr, err := n.ListenTCP(*listen)
+	if err != nil {
+		log.Fatalf("xdaqd: %v", err)
+	}
+	for peer, addr := range peers {
+		n.AddTCPPeer(tr, peer, addr)
+	}
+	for _, spec := range modules {
+		mod, instStr, _ := strings.Cut(spec, ":")
+		instance := 0
+		if instStr != "" {
+			instance, err = strconv.Atoi(instStr)
+			if err != nil {
+				log.Fatalf("xdaqd: bad module instance in %q", spec)
+			}
+		}
+		d, err := executive.Instantiate(mod, instance, nil)
+		if err != nil {
+			log.Fatalf("xdaqd: %v (registered: %v)", err, executive.Modules())
+		}
+		id, err := n.Plug(d)
+		if err != nil {
+			log.Fatalf("xdaqd: plug %s: %v", spec, err)
+		}
+		log.Printf("xdaqd: plugged %s as %v", spec, id)
+	}
+
+	log.Printf("xdaqd: node %d (%s) listening on %s; modules: %v",
+		*node, *name, tr.Addr(), executive.Modules())
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	<-sig
+	log.Printf("xdaqd: shutting down")
+}

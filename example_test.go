@@ -1,0 +1,53 @@
+package xdaq_test
+
+import (
+	"fmt"
+
+	"xdaq"
+)
+
+// Example shows the complete life of a two-node cluster: connect, plug a
+// device class, discover it remotely, call it.
+func Example() {
+	a, _ := xdaq.NewNode(xdaq.NodeOptions{Name: "a", Node: 1, Logf: func(string, ...any) {}})
+	b, _ := xdaq.NewNode(xdaq.NodeOptions{Name: "b", Node: 2, Logf: func(string, ...any) {}})
+	defer a.Close()
+	defer b.Close()
+	if err := xdaq.ConnectLoopback(a, b); err != nil {
+		fmt.Println(err)
+		return
+	}
+
+	echo := xdaq.NewDevice("echo", 0)
+	echo.Bind(1, func(ctx *xdaq.Context, m *xdaq.Message) error {
+		return xdaq.ReplyIfExpected(ctx, m, m.Payload)
+	})
+	if _, err := b.Plug(echo); err != nil {
+		fmt.Println(err)
+		return
+	}
+
+	target, _ := a.Discover(2, "echo", 0)
+	reply, _ := a.Call(target, 1, []byte("ping"))
+	fmt.Printf("%s\n", reply)
+	// Output: ping
+}
+
+// ExampleNode_Send shows fire-and-forget messaging: no reply is expected,
+// the frame is dispatched to the bound handler and that is all.
+func ExampleNode_Send() {
+	n, _ := xdaq.NewNode(xdaq.NodeOptions{Name: "solo", Node: 1, Logf: func(string, ...any) {}})
+	defer n.Close()
+
+	done := make(chan string, 1)
+	sink := xdaq.NewDevice("sink", 0)
+	sink.Bind(7, func(ctx *xdaq.Context, m *xdaq.Message) error {
+		done <- string(m.Payload)
+		return nil
+	})
+	id, _ := n.Plug(sink)
+
+	_ = n.Send(id, 7, []byte("datagram"))
+	fmt.Println(<-done)
+	// Output: datagram
+}

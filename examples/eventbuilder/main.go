@@ -1,0 +1,124 @@
+// Eventbuilder assembles physics events from distributed detector
+// fragments — the CMS-style data acquisition workload the XDAQ framework
+// was built for, and the origin of its name: n builder units talk to m
+// readout units in both directions, so the communication channels cross.
+//
+// Topology (all in this process, over the simulated Myrinet fabric):
+//
+//	node 1         node 2..1+nRU      node 2+nRU..1+nRU+nBU
+//	┌─────┐        ┌────┐             ┌────┐
+//	│ EVM │◄──────►│ RU │◄───────────►│ BU │
+//	└─────┘        └────┘             └────┘
+//
+// Each BU asks the EVM for an event id, pulls that event's fragment from
+// every RU, verifies and counts the built event, and reports completion.
+//
+//	go run ./examples/eventbuilder [-events N] [-rus N] [-bus N] [-fragsize BYTES]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"time"
+
+	"xdaq"
+	"xdaq/internal/daq"
+	"xdaq/internal/pta"
+)
+
+func main() {
+	var (
+		events   = flag.Uint64("events", 10000, "events to build")
+		nRU      = flag.Int("rus", 3, "readout units")
+		nBU      = flag.Int("bus", 2, "builder units")
+		fragSize = flag.Int("fragsize", 2048, "fragment bytes per RU")
+		pipeline = flag.Int("pipeline", 8, "events in flight per BU")
+	)
+	flag.Parse()
+
+	// One node per component: EVM, RUs, BUs.
+	total := 1 + *nRU + *nBU
+	nodes := make([]*xdaq.Node, total)
+	for i := range nodes {
+		n, err := xdaq.NewNode(xdaq.NodeOptions{
+			Name: fmt.Sprintf("n%d", i+1),
+			Node: xdaq.NodeID(i + 1),
+			Logf: func(string, ...any) {},
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer n.Close()
+		nodes[i] = n
+	}
+	if err := xdaq.ConnectGM(xdaq.GMOptions{Mode: pta.Task}, nodes...); err != nil {
+		log.Fatal(err)
+	}
+
+	// Plug the device modules.
+	evm := daq.NewEVM(*events)
+	if _, err := nodes[0].Plug(evm.Device()); err != nil {
+		log.Fatal(err)
+	}
+	rus := make([]*daq.RU, *nRU)
+	for i := range rus {
+		rus[i] = daq.NewRU(i, *fragSize)
+		if _, err := nodes[1+i].Plug(rus[i].Device()); err != nil {
+			log.Fatal(err)
+		}
+	}
+	bus := make([]*daq.BU, *nBU)
+	for i := range bus {
+		bus[i] = daq.NewBU(i)
+		buNode := nodes[1+*nRU+i]
+		if _, err := buNode.Plug(bus[i].Device()); err != nil {
+			log.Fatal(err)
+		}
+		// Wire the BU: discover the EVM and every RU across the cluster.
+		evmTID, err := buNode.Discover(1, daq.EVMClass, 0)
+		if err != nil {
+			log.Fatal(err)
+		}
+		ruTIDs := make([]xdaq.TID, *nRU)
+		for j := range ruTIDs {
+			if ruTIDs[j], err = buNode.Discover(xdaq.NodeID(2+j), daq.RUClass, j); err != nil {
+				log.Fatal(err)
+			}
+		}
+		bus[i].Configure(evmTID, ruTIDs)
+	}
+
+	fmt.Printf("event builder: %d events, %d RUs x %d B fragments, %d BUs, pipeline %d\n",
+		*events, *nRU, *fragSize, *nBU, *pipeline)
+	start := time.Now()
+	for _, bu := range bus {
+		if _, err := bu.Start(0, *pipeline); err != nil {
+			log.Fatal(err)
+		}
+	}
+	var built, bytes, corrupt uint64
+	for i, bu := range bus {
+		stats, err := bu.Wait()
+		if err != nil {
+			log.Fatalf("BU %d: %v", i, err)
+		}
+		fmt.Printf("  BU %d: %6d events, %9d bytes, %d corrupt\n", i, stats.Built, stats.Bytes, stats.Corrupt)
+		built += stats.Built
+		bytes += stats.Bytes
+		corrupt += stats.Corrupt
+	}
+	elapsed := time.Since(start)
+	fmt.Printf("built %d events (%d corrupt fragments) in %v\n", built, corrupt, elapsed.Round(time.Millisecond))
+	fmt.Printf("rate: %.0f events/s, %.1f MB/s aggregate fragment throughput\n",
+		float64(built)/elapsed.Seconds(), float64(bytes)/elapsed.Seconds()/1e6)
+	// Completion notifications are fire-and-forget; give the last ones a
+	// moment to reach the EVM before cross-checking the accounting.
+	deadline := time.Now().Add(time.Second)
+	for evm.Built() != built && time.Now().Before(deadline) {
+		time.Sleep(time.Millisecond)
+	}
+	if evm.Built() != built {
+		log.Fatalf("EVM accounted %d built events, BUs report %d", evm.Built(), built)
+	}
+}

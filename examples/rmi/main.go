@@ -1,0 +1,131 @@
+// RMI demonstrates the stub/skeleton adapters of §4: "adapters can be
+// provided that allow a remote method invocation style communication
+// scheme.  The stub part will take the call parameters and marshal them
+// into a standard message, whereas the skeleton part scans the message
+// and provides typed pointers to its contents."
+//
+// A vector-analysis service runs on node 2 behind a skeleton; node 1
+// calls it through a stub over the simulated Myrinet fabric, never
+// touching a frame by hand.
+//
+//	go run ./examples/rmi
+package main
+
+import (
+	"errors"
+	"fmt"
+	"log"
+	"math"
+
+	"xdaq"
+	"xdaq/internal/rmi"
+)
+
+// Extended function codes of the vector service.
+const (
+	opDot   uint16 = 1
+	opStats uint16 = 2
+	opScale uint16 = 3
+)
+
+func main() {
+	client, err := xdaq.NewNode(xdaq.NodeOptions{Name: "client", Node: 1, Logf: func(string, ...any) {}})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer client.Close()
+	server, err := xdaq.NewNode(xdaq.NodeOptions{Name: "server", Node: 2, Logf: func(string, ...any) {}})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer server.Close()
+	if err := xdaq.ConnectGM(xdaq.GMOptions{}, client, server); err != nil {
+		log.Fatal(err)
+	}
+
+	// Server side: a skeleton turns typed methods into a device class.
+	skel := rmi.NewSkeleton(xdaq.NewDevice("vector", 0))
+	skel.Handle(opDot, func(args *rmi.Decoder, result *rmi.Encoder) error {
+		a, b := args.Float64s(), args.Float64s()
+		if len(a) != len(b) {
+			return errors.New("vectors differ in length")
+		}
+		dot := 0.0
+		for i := range a {
+			dot += a[i] * b[i]
+		}
+		result.Float64(dot)
+		return nil
+	})
+	skel.Handle(opStats, func(args *rmi.Decoder, result *rmi.Encoder) error {
+		v := args.Float64s()
+		if len(v) == 0 {
+			return errors.New("empty vector")
+		}
+		min, max, sum := math.Inf(1), math.Inf(-1), 0.0
+		for _, x := range v {
+			min = math.Min(min, x)
+			max = math.Max(max, x)
+			sum += x
+		}
+		result.Float64(min)
+		result.Float64(max)
+		result.Float64(sum / float64(len(v)))
+		return nil
+	})
+	skel.Handle(opScale, func(args *rmi.Decoder, result *rmi.Encoder) error {
+		factor := args.Float64()
+		v := args.Float64s()
+		for i := range v {
+			v[i] *= factor
+		}
+		result.Float64s(v)
+		return nil
+	})
+	if _, err := server.Plug(skel.Device()); err != nil {
+		log.Fatal(err)
+	}
+
+	// Client side: a stub for the remote device.
+	target, err := client.Discover(2, "vector", 0)
+	if err != nil {
+		log.Fatal(err)
+	}
+	stub := rmi.NewStub(client.Exec, target)
+
+	a := []float64{1, 2, 3, 4}
+	b := []float64{4, 3, 2, 1}
+
+	var dot float64
+	if err := stub.Invoke(opDot,
+		func(e *rmi.Encoder) { e.Float64s(a); e.Float64s(b) },
+		func(d *rmi.Decoder) error { dot = d.Float64(); return nil },
+	); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("dot(%v, %v) = %v\n", a, b, dot)
+
+	var min, max, mean float64
+	if err := stub.Invoke(opStats,
+		func(e *rmi.Encoder) { e.Float64s(a) },
+		func(d *rmi.Decoder) error { min, max, mean = d.Float64(), d.Float64(), d.Float64(); return nil },
+	); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("stats(%v): min=%v max=%v mean=%v\n", a, min, max, mean)
+
+	var scaled []float64
+	if err := stub.Invoke(opScale,
+		func(e *rmi.Encoder) { e.Float64(2.5); e.Float64s(b) },
+		func(d *rmi.Decoder) error { scaled = d.Float64s(); return nil },
+	); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("scale(2.5, %v) = %v\n", b, scaled)
+
+	// Application errors surface as typed failures at the stub.
+	err = stub.Invoke(opDot,
+		func(e *rmi.Encoder) { e.Float64s(a); e.Float64s([]float64{1}) },
+		nil)
+	fmt.Printf("mismatched vectors -> error: %v\n", err)
+}

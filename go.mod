@@ -1,0 +1,3 @@
+module xdaq
+
+go 1.22

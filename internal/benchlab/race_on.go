@@ -1,0 +1,8 @@
+//go:build race
+
+package benchlab
+
+// raceEnabled reports whether the race detector is compiled in; its
+// instrumentation distorts relative timings, so shape assertions are
+// skipped under -race.
+const raceEnabled = true

@@ -1,0 +1,291 @@
+// Package bsa implements an I2O Block Storage device class — the example
+// the paper reaches for when it explains what makes a module a Device
+// Driver Module (§3.3): "each concrete I2O device has to implement
+// executive and utility events … Finally it must implement the interface
+// of one of the I2O devices, e.g. the Block Storage or Tape device
+// class."
+//
+// The device serves block read/write/flush operations over private
+// frames against an in-memory volume (sparse, so large virtual volumes
+// cost only what is written).  A Client wraps the frame protocol for
+// callers.  Like every module in the system it is fully remote-capable:
+// plug it on one node, access it from another through a proxy TiD.
+package bsa
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"sync"
+
+	"xdaq/internal/device"
+	"xdaq/internal/i2o"
+)
+
+// Class is the device class name.
+const Class = "i2o.bsa"
+
+// Private function codes, following the I2O BSA operation set.
+const (
+	// XFuncRead reads whole blocks: request carries lba (uint64) and
+	// count (uint32); the reply carries count*BlockSize data bytes.
+	XFuncRead uint16 = 0x30
+
+	// XFuncWrite writes whole blocks: request carries lba (uint64) and
+	// the data (a multiple of the block size); the reply is empty.
+	XFuncWrite uint16 = 0x31
+
+	// XFuncFlush commits outstanding writes (a no-op for the in-memory
+	// volume, counted for inspection).
+	XFuncFlush uint16 = 0x37
+
+	// XFuncStatus reports volume geometry and usage: blocksize, blocks,
+	// written, flushes as a parameter list.
+	XFuncStatus uint16 = 0x38
+)
+
+// Geometry limits.
+const (
+	// DefaultBlockSize is used when the device is built with size <= 0.
+	DefaultBlockSize = 4096
+
+	// MaxIOBlocks bounds one request so replies fit a single frame.
+	MaxIOBlocks = 32
+)
+
+// Errors.
+var (
+	// ErrOutOfRange reports an access past the end of the volume.
+	ErrOutOfRange = errors.New("bsa: block out of range")
+
+	// ErrBadRequest reports a malformed operation payload.
+	ErrBadRequest = errors.New("bsa: malformed request")
+)
+
+// Device is one block storage volume.
+type Device struct {
+	dev       *device.Device
+	blockSize int
+	blocks    uint64
+
+	mu      sync.RWMutex
+	data    map[uint64][]byte // sparse: lba -> block
+	written uint64
+	flushes uint64
+}
+
+// New builds volume `instance` with the given geometry (DefaultBlockSize
+// when size <= 0).
+func New(instance int, blockSize int, blocks uint64) *Device {
+	if blockSize <= 0 {
+		blockSize = DefaultBlockSize
+	}
+	b := &Device{
+		blockSize: blockSize,
+		blocks:    blocks,
+		data:      make(map[uint64][]byte),
+	}
+	b.dev = device.New(Class, instance)
+	b.dev.Params().Set("blocksize", int64(blockSize))
+	b.dev.Params().Set("blocks", int64(blocks))
+	b.dev.Bind(XFuncRead, b.handleRead)
+	b.dev.Bind(XFuncWrite, b.handleWrite)
+	b.dev.Bind(XFuncFlush, b.handleFlush)
+	b.dev.Bind(XFuncStatus, b.handleStatus)
+	return b
+}
+
+// Module returns the device module to plug into an executive.
+func (b *Device) Module() *device.Device { return b.dev }
+
+// BlockSize returns the volume's block size in bytes.
+func (b *Device) BlockSize() int { return b.blockSize }
+
+// Blocks returns the volume's capacity in blocks.
+func (b *Device) Blocks() uint64 { return b.blocks }
+
+// Written returns how many block writes were served.
+func (b *Device) Written() uint64 {
+	b.mu.RLock()
+	defer b.mu.RUnlock()
+	return b.written
+}
+
+func parseExtent(payload []byte) (lba uint64, rest []byte, err error) {
+	if len(payload) < 12 {
+		return 0, nil, fmt.Errorf("%w: %d bytes", ErrBadRequest, len(payload))
+	}
+	return binary.LittleEndian.Uint64(payload), payload[12:], nil
+}
+
+func (b *Device) checkRange(lba uint64, count int) error {
+	if count <= 0 || count > MaxIOBlocks {
+		return fmt.Errorf("%w: %d blocks (max %d)", ErrBadRequest, count, MaxIOBlocks)
+	}
+	if lba+uint64(count) > b.blocks || lba+uint64(count) < lba {
+		return fmt.Errorf("%w: [%d,%d) of %d", ErrOutOfRange, lba, lba+uint64(count), b.blocks)
+	}
+	return nil
+}
+
+func (b *Device) handleRead(ctx *device.Context, m *i2o.Message) error {
+	lba, _, err := parseExtent(m.Payload)
+	if err != nil {
+		return err
+	}
+	count := int(binary.LittleEndian.Uint32(m.Payload[8:]))
+	if err := b.checkRange(lba, count); err != nil {
+		return err
+	}
+	buf, err := ctx.Host.Alloc(count * b.blockSize)
+	if err != nil {
+		return err
+	}
+	out := buf.Bytes()
+	b.mu.RLock()
+	for i := 0; i < count; i++ {
+		dst := out[i*b.blockSize : (i+1)*b.blockSize]
+		if block, ok := b.data[lba+uint64(i)]; ok {
+			copy(dst, block)
+		} else {
+			for j := range dst {
+				dst[j] = 0 // unwritten blocks read as zero
+			}
+		}
+	}
+	b.mu.RUnlock()
+	rep := i2o.NewReply(m)
+	rep.Payload = out
+	rep.AttachBuffer(buf)
+	return ctx.Host.Send(rep)
+}
+
+func (b *Device) handleWrite(ctx *device.Context, m *i2o.Message) error {
+	lba, data, err := parseExtent(m.Payload)
+	if err != nil {
+		return err
+	}
+	if len(data)%b.blockSize != 0 || len(data) == 0 {
+		return fmt.Errorf("%w: write of %d bytes with %d-byte blocks", ErrBadRequest, len(data), b.blockSize)
+	}
+	count := len(data) / b.blockSize
+	if err := b.checkRange(lba, count); err != nil {
+		return err
+	}
+	b.mu.Lock()
+	for i := 0; i < count; i++ {
+		block := make([]byte, b.blockSize)
+		copy(block, data[i*b.blockSize:])
+		b.data[lba+uint64(i)] = block
+		b.written++
+	}
+	b.mu.Unlock()
+	return device.ReplyIfExpected(ctx, m, nil)
+}
+
+func (b *Device) handleFlush(ctx *device.Context, m *i2o.Message) error {
+	b.mu.Lock()
+	b.flushes++
+	b.mu.Unlock()
+	return device.ReplyIfExpected(ctx, m, nil)
+}
+
+func (b *Device) handleStatus(ctx *device.Context, m *i2o.Message) error {
+	b.mu.RLock()
+	params := []i2o.Param{
+		{Key: "blocks", Value: int64(b.blocks)},
+		{Key: "blocksize", Value: int64(b.blockSize)},
+		{Key: "flushes", Value: b.flushes},
+		{Key: "stored", Value: int64(len(b.data))},
+		{Key: "written", Value: b.written},
+	}
+	b.mu.RUnlock()
+	payload, err := i2o.EncodeParams(params)
+	if err != nil {
+		return err
+	}
+	return device.ReplyIfExpected(ctx, m, payload)
+}
+
+// Client wraps the frame protocol for callers, local or remote.
+type Client struct {
+	host      device.Host
+	target    i2o.TID
+	blockSize int
+}
+
+// NewClient builds a client for the volume at target.  blockSize must
+// match the volume's (read it via Status or the "blocksize" parameter).
+func NewClient(host device.Host, target i2o.TID, blockSize int) *Client {
+	return &Client{host: host, target: target, blockSize: blockSize}
+}
+
+func (c *Client) request(xfunc uint16, payload []byte) (*i2o.Message, error) {
+	return c.host.Request(&i2o.Message{
+		Priority:  i2o.PriorityNormal,
+		Target:    c.target,
+		Initiator: i2o.TIDExecutive,
+		Function:  i2o.FuncPrivate,
+		Org:       i2o.OrgXDAQ,
+		XFunction: xfunc,
+		Payload:   payload,
+	})
+}
+
+// Read returns count blocks starting at lba.
+func (c *Client) Read(lba uint64, count int) ([]byte, error) {
+	req := make([]byte, 12)
+	binary.LittleEndian.PutUint64(req, lba)
+	binary.LittleEndian.PutUint32(req[8:], uint32(count))
+	rep, err := c.request(XFuncRead, req)
+	if err != nil {
+		return nil, err
+	}
+	out := append([]byte(nil), rep.Payload...)
+	rep.Release()
+	if len(out) != count*c.blockSize {
+		return nil, fmt.Errorf("%w: read returned %d bytes", ErrBadRequest, len(out))
+	}
+	return out, nil
+}
+
+// Write stores data (a multiple of the block size) starting at lba.
+func (c *Client) Write(lba uint64, data []byte) error {
+	req := make([]byte, 12+len(data))
+	binary.LittleEndian.PutUint64(req, lba)
+	copy(req[12:], data)
+	rep, err := c.request(XFuncWrite, req)
+	if err != nil {
+		return err
+	}
+	rep.Release()
+	return nil
+}
+
+// Flush commits outstanding writes.
+func (c *Client) Flush() error {
+	rep, err := c.request(XFuncFlush, nil)
+	if err != nil {
+		return err
+	}
+	rep.Release()
+	return nil
+}
+
+// Status returns the volume's reported parameters.
+func (c *Client) Status() (map[string]any, error) {
+	rep, err := c.request(XFuncStatus, nil)
+	if err != nil {
+		return nil, err
+	}
+	defer rep.Release()
+	params, err := i2o.DecodeParams(rep.Payload)
+	if err != nil {
+		return nil, err
+	}
+	out := make(map[string]any, len(params))
+	for _, p := range params {
+		out[p.Key] = p.Value
+	}
+	return out, nil
+}

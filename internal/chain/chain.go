@@ -1,0 +1,256 @@
+// Package chain implements arbitrary-length transfers over the
+// fixed-maximum I2O frames: §4's "Memory is allocated in fixed sized
+// blocks with a maximum length of 256 KB.  Making use of I2O's
+// Scatter-Gather Lists (SGL) or chaining blocks helps to transmit
+// arbitrary length information."
+//
+// A Sender splits a scatter-gather list into a numbered sequence of
+// private frames; the Reassembler on the receiving device collects the
+// sequence back into an SGL and hands the completed transfer to the
+// application.  Chunks of one transfer share a transfer id carried in the
+// TransactionContext; each chunk's payload starts with a small header
+// (sequence number, chunk count, total length).
+package chain
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"xdaq/internal/device"
+	"xdaq/internal/i2o"
+	"xdaq/internal/pool"
+	"xdaq/internal/sgl"
+)
+
+// header layout: seq (uint32), chunks (uint32), total (uint64).
+const headerSize = 16
+
+// MaxChunk is the data carried per frame: the largest private-frame
+// payload minus the chunk header.  (This is slightly below a full pool
+// block: the 16-bit word count in the frame header caps the wire size
+// just under 256 KB.)
+const MaxChunk = i2o.MaxPayload - headerSize
+
+// Errors.
+var (
+	// ErrTooManyChunks reports a transfer above ~4G chunks.
+	ErrTooManyChunks = errors.New("chain: transfer too large")
+
+	// ErrBadChunk reports a malformed chunk frame.
+	ErrBadChunk = errors.New("chain: malformed chunk")
+
+	// ErrInconsistent reports chunks that disagree about their transfer's
+	// shape.
+	ErrInconsistent = errors.New("chain: inconsistent transfer")
+)
+
+// Send streams the content of list to target as a chunked transfer with
+// the given extended function code.  Ownership of the list stays with the
+// caller.  Each chunk travels as an ordinary frame, so transfers
+// interleave freely with other traffic and cross any peer transport.
+func Send(host device.Host, target, initiator i2o.TID, xfunc uint16, prio i2o.Priority, transferID uint32, list *sgl.List) error {
+	total := list.Len()
+	chunks := (total + MaxChunk - 1) / MaxChunk
+	if chunks == 0 {
+		chunks = 1
+	}
+	if chunks > int(^uint32(0)>>1) {
+		return ErrTooManyChunks
+	}
+	for seq := 0; seq < chunks; seq++ {
+		off := seq * MaxChunk
+		n := total - off
+		if n > MaxChunk {
+			n = MaxChunk
+		}
+		buf, err := host.Alloc(headerSize + n)
+		if err != nil {
+			return fmt.Errorf("chain: chunk %d: %w", seq, err)
+		}
+		body := buf.Bytes()
+		binary.LittleEndian.PutUint32(body, uint32(seq))
+		binary.LittleEndian.PutUint32(body[4:], uint32(chunks))
+		binary.LittleEndian.PutUint64(body[8:], uint64(total))
+		if _, err := list.CopyTo(off, body[headerSize:]); err != nil {
+			buf.Release()
+			return err
+		}
+		m := &i2o.Message{
+			Priority:           prio,
+			Target:             target,
+			Initiator:          initiator,
+			Function:           i2o.FuncPrivate,
+			Org:                i2o.OrgXDAQ,
+			XFunction:          xfunc,
+			TransactionContext: transferID,
+			Payload:            body,
+		}
+		m.AttachBuffer(buf)
+		if err := host.Send(m); err != nil {
+			return fmt.Errorf("chain: chunk %d/%d: %w", seq, chunks, err)
+		}
+	}
+	return nil
+}
+
+// SendBytes is Send for a flat byte slice: it builds a temporary SGL from
+// the executive pool and releases it after the last chunk is queued.
+func SendBytes(host device.Host, target, initiator i2o.TID, xfunc uint16, prio i2o.Priority, transferID uint32, data []byte) error {
+	alloc := allocatorOf(host)
+	list, err := sgl.FromBytes(alloc, data, pool.MaxBlock)
+	if err != nil {
+		return err
+	}
+	defer list.Release()
+	return Send(host, target, initiator, xfunc, prio, transferID, list)
+}
+
+// allocatorOf adapts a device.Host into a pool allocator for sgl.
+func allocatorOf(host device.Host) pool.Allocator { return hostAllocator{host} }
+
+type hostAllocator struct{ host device.Host }
+
+func (h hostAllocator) Alloc(n int) (*pool.Buffer, error) { return h.host.Alloc(n) }
+func (h hostAllocator) Stats() pool.Stats                 { return pool.Stats{} }
+func (h hostAllocator) Name() string                      { return "host" }
+
+// Transfer is one completed reassembly.
+type Transfer struct {
+	ID        uint32
+	Initiator i2o.TID
+	Data      *sgl.List
+}
+
+// pending is one in-progress reassembly.
+type pending struct {
+	chunks   int
+	total    int
+	received int
+	data     *sgl.List
+	got      []bool
+}
+
+// Reassembler collects chunked transfers arriving at a device.  Bind its
+// Handler to the transfer xfunc; completed transfers are delivered to the
+// callback (on the dispatch goroutine) with ownership of the SGL.
+type Reassembler struct {
+	alloc    pool.Allocator
+	onDone   func(*Transfer) error
+	mu       sync.Mutex
+	inflight map[key]*pending
+
+	nChunks    atomic.Uint64
+	nTransfers atomic.Uint64
+}
+
+type key struct {
+	initiator i2o.TID
+	id        uint32
+}
+
+// NewReassembler builds a reassembler allocating from alloc and
+// delivering completed transfers to onDone.
+func NewReassembler(alloc pool.Allocator, onDone func(*Transfer) error) *Reassembler {
+	return &Reassembler{
+		alloc:    alloc,
+		onDone:   onDone,
+		inflight: make(map[key]*pending),
+	}
+}
+
+// Stats reports chunks and transfers completed.
+func (r *Reassembler) Stats() (chunks, transfers uint64) {
+	return r.nChunks.Load(), r.nTransfers.Load()
+}
+
+// Pending reports in-progress transfers, for leak diagnostics.
+func (r *Reassembler) Pending() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return len(r.inflight)
+}
+
+// Handler processes one chunk frame.
+func (r *Reassembler) Handler(ctx *device.Context, m *i2o.Message) error {
+	if len(m.Payload) < headerSize {
+		return fmt.Errorf("%w: %d bytes", ErrBadChunk, len(m.Payload))
+	}
+	seq := int(binary.LittleEndian.Uint32(m.Payload))
+	chunks := int(binary.LittleEndian.Uint32(m.Payload[4:]))
+	total := int(binary.LittleEndian.Uint64(m.Payload[8:]))
+	body := m.Payload[headerSize:]
+	if chunks <= 0 || seq < 0 || seq >= chunks || total < 0 {
+		return fmt.Errorf("%w: seq %d of %d, total %d", ErrBadChunk, seq, chunks, total)
+	}
+
+	k := key{initiator: m.Initiator, id: m.TransactionContext}
+	r.mu.Lock()
+	p, ok := r.inflight[k]
+	if !ok {
+		data, err := sgl.Build(r.alloc, total, pool.MaxBlock)
+		if err != nil {
+			r.mu.Unlock()
+			return err
+		}
+		p = &pending{chunks: chunks, total: total, data: data, got: make([]bool, chunks)}
+		r.inflight[k] = p
+	}
+	if p.chunks != chunks || p.total != total {
+		r.mu.Unlock()
+		return fmt.Errorf("%w: transfer %d reshaped mid-flight", ErrInconsistent, k.id)
+	}
+	if p.got[seq] {
+		r.mu.Unlock()
+		return nil // duplicate chunk: idempotent
+	}
+	off := seq * MaxChunk
+	want := p.total - off
+	if want > MaxChunk {
+		want = MaxChunk
+	}
+	if len(body) != want {
+		r.mu.Unlock()
+		return fmt.Errorf("%w: chunk %d carries %d bytes, want %d", ErrInconsistent, seq, len(body), want)
+	}
+	if err := p.data.CopyFrom(off, body); err != nil {
+		r.mu.Unlock()
+		return err
+	}
+	p.got[seq] = true
+	p.received++
+	done := p.received == p.chunks
+	if done {
+		delete(r.inflight, k)
+	}
+	r.mu.Unlock()
+
+	r.nChunks.Add(1)
+	if !done {
+		return nil
+	}
+	r.nTransfers.Add(1)
+	t := &Transfer{ID: k.id, Initiator: k.initiator, Data: p.data}
+	if r.onDone == nil {
+		t.Data.Release()
+		return nil
+	}
+	return r.onDone(t)
+}
+
+// Abort drops an in-progress transfer and releases its blocks.
+func (r *Reassembler) Abort(initiator i2o.TID, id uint32) bool {
+	r.mu.Lock()
+	k := key{initiator: initiator, id: id}
+	p, ok := r.inflight[k]
+	if ok {
+		delete(r.inflight, k)
+	}
+	r.mu.Unlock()
+	if ok {
+		p.data.Release()
+	}
+	return ok
+}

@@ -1,0 +1,273 @@
+package cluster
+
+import (
+	"fmt"
+	"strconv"
+
+	"xdaq/internal/i2o"
+	"xdaq/internal/tclish"
+)
+
+// Bind registers the cluster control commands on a tclish interpreter,
+// turning it into the configuration channel of §4 ("Configuration and
+// control of the executive is done through I2O executive messages.  They
+// are sent from a Tcl script that resides on the primary host to all
+// executives in the distributed system").
+//
+// Commands:
+//
+//	nodes                                   -> list of node ids
+//	status <node>                           -> {key value ...}
+//	resources <node>                        -> {class#inst tid ...}
+//	plug <node> <module> <inst> ?k v?...    -> tid
+//	unplug <node> <tid>
+//	enable <node>|all
+//	quiesce <node>|all
+//	clear <node>
+//	systab <node> {peer route ...}
+//	paramget <node> <class> <inst> ?key?    -> value or {key value ...}
+//	paramset <node> <class> <inst> <k> <v>
+//	control request|release|holding
+func (c *Controller) Bind(in *tclish.Interp) {
+	in.Register("nodes", func(in *tclish.Interp, args []string) (string, error) {
+		ids := c.Nodes()
+		out := make([]string, len(ids))
+		for i, id := range ids {
+			out[i] = strconv.FormatUint(uint64(id), 10)
+		}
+		return tclish.JoinList(out), nil
+	})
+
+	in.Register("status", func(in *tclish.Interp, args []string) (string, error) {
+		node, err := nodeArg(args, 1)
+		if err != nil {
+			return "", err
+		}
+		params, err := c.Status(node)
+		if err != nil {
+			return "", err
+		}
+		return paramsToList(params), nil
+	})
+
+	in.Register("resources", func(in *tclish.Interp, args []string) (string, error) {
+		node, err := nodeArg(args, 1)
+		if err != nil {
+			return "", err
+		}
+		params, err := c.Resources(node)
+		if err != nil {
+			return "", err
+		}
+		return paramsToList(params), nil
+	})
+
+	in.Register("plug", func(in *tclish.Interp, args []string) (string, error) {
+		if len(args) < 4 || len(args)%2 != 0 {
+			return "", fmt.Errorf("tclish: usage: plug <node> <module> <instance> ?key value?...")
+		}
+		node, err := nodeArg(args, 1)
+		if err != nil {
+			return "", err
+		}
+		instance, err := strconv.Atoi(args[3])
+		if err != nil {
+			return "", fmt.Errorf("tclish: plug: bad instance %q", args[3])
+		}
+		var extra []i2o.Param
+		for i := 4; i+1 < len(args); i += 2 {
+			extra = append(extra, i2o.Param{Key: args[i], Value: coerce(args[i+1])})
+		}
+		id, err := c.Plug(node, args[2], instance, extra)
+		if err != nil {
+			return "", err
+		}
+		return strconv.Itoa(int(id)), nil
+	})
+
+	in.Register("unplug", func(in *tclish.Interp, args []string) (string, error) {
+		if len(args) != 3 {
+			return "", fmt.Errorf("tclish: usage: unplug <node> <tid>")
+		}
+		node, err := nodeArg(args, 1)
+		if err != nil {
+			return "", err
+		}
+		id, err := strconv.Atoi(args[2])
+		if err != nil {
+			return "", fmt.Errorf("tclish: unplug: bad tid %q", args[2])
+		}
+		return "", c.Unplug(node, i2o.TID(id))
+	})
+
+	forAllOrOne := func(name string, op func(i2o.NodeID) error) tclish.Command {
+		return func(in *tclish.Interp, args []string) (string, error) {
+			if len(args) != 2 {
+				return "", fmt.Errorf("tclish: usage: %s <node>|all", name)
+			}
+			if args[1] == "all" {
+				for _, n := range c.Nodes() {
+					if err := op(n); err != nil {
+						return "", err
+					}
+				}
+				return "", nil
+			}
+			node, err := nodeArg(args, 1)
+			if err != nil {
+				return "", err
+			}
+			return "", op(node)
+		}
+	}
+	in.Register("enable", forAllOrOne("enable", c.Enable))
+	in.Register("quiesce", forAllOrOne("quiesce", c.Quiesce))
+	in.Register("clear", forAllOrOne("clear", c.Clear))
+
+	in.Register("systab", func(in *tclish.Interp, args []string) (string, error) {
+		if len(args) != 3 {
+			return "", fmt.Errorf("tclish: usage: systab <node> {peer route ...}")
+		}
+		node, err := nodeArg(args, 1)
+		if err != nil {
+			return "", err
+		}
+		elems, err := tclish.SplitList(args[2])
+		if err != nil {
+			return "", err
+		}
+		if len(elems)%2 != 0 {
+			return "", fmt.Errorf("tclish: systab: odd route list")
+		}
+		routes := make(map[i2o.NodeID]string, len(elems)/2)
+		for i := 0; i < len(elems); i += 2 {
+			peer, err := strconv.ParseUint(elems[i], 10, 32)
+			if err != nil {
+				return "", fmt.Errorf("tclish: systab: bad node %q", elems[i])
+			}
+			routes[i2o.NodeID(peer)] = elems[i+1]
+		}
+		return "", c.SetSystemTable(node, routes)
+	})
+
+	in.Register("paramget", func(in *tclish.Interp, args []string) (string, error) {
+		if len(args) != 4 && len(args) != 5 {
+			return "", fmt.Errorf("tclish: usage: paramget <node> <class> <instance> ?key?")
+		}
+		node, err := nodeArg(args, 1)
+		if err != nil {
+			return "", err
+		}
+		instance, err := strconv.Atoi(args[3])
+		if err != nil {
+			return "", fmt.Errorf("tclish: paramget: bad instance %q", args[3])
+		}
+		var keys []string
+		if len(args) == 5 {
+			keys = []string{args[4]}
+		}
+		params, err := c.GetParams(node, args[2], instance, keys)
+		if err != nil {
+			return "", err
+		}
+		if len(keys) == 1 {
+			if len(params) == 0 {
+				return "", fmt.Errorf("tclish: paramget: no parameter %q", keys[0])
+			}
+			return fmt.Sprint(params[0].Value), nil
+		}
+		return paramsToList(params), nil
+	})
+
+	in.Register("paramset", func(in *tclish.Interp, args []string) (string, error) {
+		if len(args) != 6 {
+			return "", fmt.Errorf("tclish: usage: paramset <node> <class> <instance> <key> <value>")
+		}
+		node, err := nodeArg(args, 1)
+		if err != nil {
+			return "", err
+		}
+		instance, err := strconv.Atoi(args[3])
+		if err != nil {
+			return "", fmt.Errorf("tclish: paramset: bad instance %q", args[3])
+		}
+		return "", c.SetParams(node, args[2], instance, []i2o.Param{{Key: args[4], Value: coerce(args[5])}})
+	})
+
+	in.Register("trace", func(in *tclish.Interp, args []string) (string, error) {
+		if len(args) != 3 {
+			return "", fmt.Errorf("tclish: usage: trace <node> on|off|dump|reset")
+		}
+		node, err := nodeArg(args, 1)
+		if err != nil {
+			return "", err
+		}
+		switch args[2] {
+		case "on":
+			return "", c.SetNodeTrace(node, true)
+		case "off":
+			return "", c.SetNodeTrace(node, false)
+		case "reset":
+			return "", c.ResetNodeTrace(node)
+		case "dump":
+			return c.TraceDump(node)
+		default:
+			return "", fmt.Errorf("tclish: trace: unknown action %q", args[2])
+		}
+	})
+
+	in.Register("control", func(in *tclish.Interp, args []string) (string, error) {
+		if len(args) != 2 {
+			return "", fmt.Errorf("tclish: usage: control request|release|holding")
+		}
+		switch args[1] {
+		case "request":
+			return "", c.RequestControl()
+		case "release":
+			return "", c.ReleaseControl()
+		case "holding":
+			if c.HoldsControl() {
+				return "1", nil
+			}
+			return "0", nil
+		default:
+			return "", fmt.Errorf("tclish: control: unknown action %q", args[1])
+		}
+	})
+}
+
+func nodeArg(args []string, idx int) (i2o.NodeID, error) {
+	if idx >= len(args) {
+		return 0, fmt.Errorf("tclish: %s: missing node argument", args[0])
+	}
+	n, err := strconv.ParseUint(args[idx], 10, 32)
+	if err != nil {
+		return 0, fmt.Errorf("tclish: %s: bad node %q", args[0], args[idx])
+	}
+	return i2o.NodeID(n), nil
+}
+
+// coerce turns a Tcl word into the most specific parameter type.
+func coerce(s string) any {
+	if n, err := strconv.ParseInt(s, 10, 64); err == nil {
+		return n
+	}
+	if f, err := strconv.ParseFloat(s, 64); err == nil {
+		return f
+	}
+	switch s {
+	case "true", "yes":
+		return true
+	case "false", "no":
+		return false
+	}
+	return s
+}
+
+func paramsToList(params []i2o.Param) string {
+	elems := make([]string, 0, 2*len(params))
+	for _, p := range params {
+		elems = append(elems, p.Key, fmt.Sprint(p.Value))
+	}
+	return tclish.JoinList(elems)
+}

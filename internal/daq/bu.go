@@ -1,0 +1,303 @@
+package daq
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"xdaq/internal/chain"
+	"xdaq/internal/device"
+	"xdaq/internal/i2o"
+)
+
+// BUStats summarizes a builder unit's run.
+type BUStats struct {
+	Built   uint64 // complete events assembled
+	Bytes   uint64 // fragment payload bytes received
+	Corrupt uint64 // fragments whose fill byte did not verify
+}
+
+// BU is a builder unit: the consumer side of the event builder.  It is a
+// pure event-driven state machine — every transition happens inside a
+// message handler on the executive's dispatch goroutine, so the run state
+// needs no locking.  Start itself only posts a kickoff frame to the BU's
+// own TiD ("essentially every occurrence in the system is mapped to an
+// I2O message").
+type BU struct {
+	dev      *device.Device
+	instance int
+
+	// Wiring, set before Start.
+	evm i2o.TID
+	rus []i2o.TID
+	fu  i2o.TID // optional filter unit receiving built events
+
+	// OnEvent, if set, runs on the dispatch goroutine for every built
+	// event (the hook where a filter unit would attach).
+	OnEvent func(event uint64, size int)
+
+	// Run state, touched only on the dispatch goroutine.
+	target    uint64
+	pipeline  int
+	inflight  map[uint64]*eventBuild
+	allocsOut int
+	issued    uint64
+	drained   bool
+
+	built   atomic.Uint64
+	bytes   atomic.Uint64
+	corrupt atomic.Uint64
+
+	xferSeq atomic.Uint32
+
+	mu      sync.Mutex
+	done    chan struct{}
+	running bool
+	failure error
+}
+
+type eventBuild struct {
+	got   int
+	bytes int
+	frags [][]byte // fragment copies, kept only when forwarding to an FU
+}
+
+// NewBU creates builder unit `instance`.
+func NewBU(instance int) *BU {
+	b := &BU{instance: instance}
+	b.dev = device.New(BUClass, instance)
+	b.dev.Bind(XFuncStart, b.handleStart)
+	b.dev.Bind(XFuncAllocate, b.handleAllocateReply)
+	b.dev.Bind(XFuncFragment, b.handleFragmentReply)
+	return b
+}
+
+// Device returns the module to plug into an executive.
+func (b *BU) Device() *device.Device { return b.dev }
+
+// Configure wires the builder to its event manager and readout units
+// (local TiDs; proxies for remote devices).  Must precede Start.
+func (b *BU) Configure(evm i2o.TID, rus []i2o.TID) {
+	b.evm = evm
+	b.rus = append([]i2o.TID(nil), rus...)
+}
+
+// SetFilterUnit streams every built event to the filter unit at fu as a
+// chained transfer (the CMS chain's next stage).  i2o.TIDNone disables
+// forwarding.  Must precede Start.
+func (b *BU) SetFilterUnit(fu i2o.TID) { b.fu = fu }
+
+// Stats returns the current counters.
+func (b *BU) Stats() BUStats {
+	return BUStats{Built: b.built.Load(), Bytes: b.bytes.Load(), Corrupt: b.corrupt.Load()}
+}
+
+// Err returns the failure that ended the run, if any.
+func (b *BU) Err() error {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.failure
+}
+
+// Start begins building nevents events (0 = run until the EVM is
+// exhausted), keeping up to pipeline allocations in flight.  It returns
+// the channel closed at completion.
+func (b *BU) Start(nevents uint64, pipeline int) (<-chan struct{}, error) {
+	if pipeline <= 0 {
+		pipeline = 1
+	}
+	ctx, err := b.dev.Ctx()
+	if err != nil {
+		return nil, err
+	}
+	if b.evm == i2o.TIDNone || len(b.rus) == 0 {
+		return nil, errors.New("daq: builder unit not configured")
+	}
+	b.mu.Lock()
+	if b.running {
+		b.mu.Unlock()
+		return nil, errors.New("daq: builder unit already running")
+	}
+	b.running = true
+	b.failure = nil
+	b.done = make(chan struct{})
+	done := b.done
+	b.mu.Unlock()
+
+	payload := make([]byte, 12)
+	binary.LittleEndian.PutUint64(payload, nevents)
+	binary.LittleEndian.PutUint32(payload[8:], uint32(pipeline))
+	if err := send(ctx.Host, b.dev.TID(), b.dev.TID(), XFuncStart, i2o.PriorityHigh, payload); err != nil {
+		b.finish(err)
+		return done, err
+	}
+	return done, nil
+}
+
+// Wait blocks until the current run completes and returns its stats.
+func (b *BU) Wait() (BUStats, error) {
+	b.mu.Lock()
+	done := b.done
+	b.mu.Unlock()
+	if done != nil {
+		<-done
+	}
+	return b.Stats(), b.Err()
+}
+
+func (b *BU) finish(err error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if !b.running {
+		return
+	}
+	b.running = false
+	b.failure = err
+	close(b.done)
+}
+
+func (b *BU) handleStart(ctx *device.Context, m *i2o.Message) error {
+	if len(m.Payload) < 12 {
+		b.finish(i2o.ErrTruncated)
+		return i2o.ErrTruncated
+	}
+	b.target = binary.LittleEndian.Uint64(m.Payload)
+	b.pipeline = int(binary.LittleEndian.Uint32(m.Payload[8:]))
+	b.inflight = make(map[uint64]*eventBuild, b.pipeline)
+	b.allocsOut = 0
+	b.issued = 0
+	b.drained = false
+	b.built.Store(0)
+	b.bytes.Store(0)
+	b.corrupt.Store(0)
+	b.pump(ctx)
+	b.maybeFinish()
+	return nil
+}
+
+// pump keeps the allocation pipeline full.
+func (b *BU) pump(ctx *device.Context) {
+	for b.allocsOut+len(b.inflight) < b.pipeline {
+		if b.drained || (b.target > 0 && b.issued >= b.target) {
+			return
+		}
+		if err := request(ctx.Host, b.evm, b.dev.TID(), XFuncAllocate, i2o.PriorityNormal, nil); err != nil {
+			b.finish(fmt.Errorf("daq: allocate request: %w", err))
+			return
+		}
+		b.allocsOut++
+		b.issued++
+	}
+}
+
+func (b *BU) handleAllocateReply(ctx *device.Context, m *i2o.Message) error {
+	if !m.Flags.Has(i2o.FlagReply) {
+		return fmt.Errorf("daq: builder unit does not allocate events")
+	}
+	b.allocsOut--
+	if err := i2o.ReplyError(m); err != nil {
+		b.finish(fmt.Errorf("daq: allocation failed: %w", err))
+		return nil
+	}
+	event, ok := getU64(m.Payload)
+	if !ok {
+		// Empty allocation: the EVM ran out of events.
+		b.drained = true
+		b.maybeFinish()
+		return nil
+	}
+	b.inflight[event] = &eventBuild{}
+	payload := putU64(event)
+	for _, ru := range b.rus {
+		if err := request(ctx.Host, ru, b.dev.TID(), XFuncFragment, i2o.PriorityNormal, payload); err != nil {
+			b.finish(fmt.Errorf("daq: fragment request to %v: %w", ru, err))
+			return nil
+		}
+	}
+	return nil
+}
+
+func (b *BU) handleFragmentReply(ctx *device.Context, m *i2o.Message) error {
+	if !m.Flags.Has(i2o.FlagReply) {
+		return fmt.Errorf("daq: builder unit serves no fragments")
+	}
+	if err := i2o.ReplyError(m); err != nil {
+		b.finish(fmt.Errorf("daq: fragment failed: %w", err))
+		return nil
+	}
+	event, ok := getU64(m.Payload)
+	if !ok {
+		b.finish(fmt.Errorf("daq: fragment reply without event id"))
+		return nil
+	}
+	build, ok := b.inflight[event]
+	if !ok {
+		return nil // duplicate or stale; ignore
+	}
+	frag := m.Payload[8:]
+	build.got++
+	build.bytes += len(frag)
+	if b.fu != i2o.TIDNone {
+		// The frame's pool buffer is released after this handler returns;
+		// keep a copy for the filter unit.
+		build.frags = append(build.frags, append([]byte(nil), frag...))
+	}
+	if len(frag) > 0 {
+		// Verify the deterministic fill without knowing which RU answered:
+		// the fill byte must match one of our readout units for this event.
+		valid := false
+		for i := range b.rus {
+			if frag[0] == FragmentFill(i, event) {
+				valid = true
+				break
+			}
+		}
+		if !valid {
+			b.corrupt.Add(1)
+		}
+	}
+	if build.got < len(b.rus) {
+		return nil
+	}
+	// Event complete.
+	delete(b.inflight, event)
+	b.built.Add(1)
+	b.bytes.Add(uint64(build.bytes))
+	if b.OnEvent != nil {
+		b.OnEvent(event, build.bytes)
+	}
+	if err := send(ctx.Host, b.evm, b.dev.TID(), XFuncBuilt, i2o.PriorityLow, putU64(event)); err != nil {
+		ctx.Host.Logf("daq: built notification: %v", err)
+	}
+	if b.fu != i2o.TIDNone {
+		if err := b.forwardEvent(ctx, event, build); err != nil {
+			ctx.Host.Logf("daq: event %d to filter unit: %v", event, err)
+		}
+	}
+	b.pump(ctx)
+	b.maybeFinish()
+	return nil
+}
+
+// forwardEvent ships one complete event to the filter unit as a chain
+// transfer: 8-byte event id, then the fragments in arrival order.
+func (b *BU) forwardEvent(ctx *device.Context, event uint64, build *eventBuild) error {
+	payload := make([]byte, 8, 8+build.bytes)
+	binary.LittleEndian.PutUint64(payload, event)
+	for _, f := range build.frags {
+		payload = append(payload, f...)
+	}
+	id := uint32(b.xferSeq.Add(1))
+	return chain.SendBytes(ctx.Host, b.fu, b.dev.TID(), XFuncEvent, i2o.PriorityBulk, id, payload)
+}
+
+// maybeFinish closes the run once no work remains.
+func (b *BU) maybeFinish() {
+	finished := b.allocsOut == 0 && len(b.inflight) == 0 &&
+		(b.drained || (b.target > 0 && b.built.Load() >= b.target))
+	if finished {
+		b.finish(nil)
+	}
+}

@@ -1,0 +1,109 @@
+// Package daq implements the paper's motivating application domain: a
+// distributed data acquisition event builder in the style of the CMS
+// experiment the XDAQ framework was built for.
+//
+// Three device classes cooperate:
+//
+//   - EVM, the event manager: allocates event identifiers to builder
+//     units and accounts for completed events.
+//   - RU, a readout unit: holds (here: synthesizes) one detector
+//     fragment per event and serves it on request.
+//   - BU, a builder unit: requests event allocations from the EVM,
+//     collects the event's fragment from every RU, verifies and counts
+//     the built event.
+//
+// True to the paper's event-based processing model (§3.2), the builder
+// unit is a state machine driven entirely by message arrival: it never
+// blocks for a reply.  Requests carry FlagReplyExpected; the replies come
+// back as ordinary private frames into the same bound handlers, and the
+// next step of the protocol fires from there.  n BUs talk to m RUs in
+// both directions — the cross traffic that gave XDAQ its name.
+package daq
+
+import (
+	"encoding/binary"
+
+	"xdaq/internal/i2o"
+)
+
+// Device class names.
+const (
+	EVMClass = "daq.evm"
+	RUClass  = "daq.ru"
+	BUClass  = "daq.bu"
+)
+
+// Private function codes.
+const (
+	// XFuncAllocate (to EVM): request the next event id.  The reply
+	// payload is the uint64 event id, or empty when the configured event
+	// count is exhausted.
+	XFuncAllocate uint16 = 1
+
+	// XFuncBuilt (to EVM): one-way notification that an event was built.
+	// Payload: uint64 event id.
+	XFuncBuilt uint16 = 2
+
+	// XFuncFragment (to RU): request the fragment of one event.  Payload:
+	// uint64 event id.  Reply payload: uint64 event id, then the fragment
+	// bytes.
+	XFuncFragment uint16 = 3
+
+	// XFuncStart (to BU, self-addressed): kick off building.  Payload:
+	// uint64 number of events (0 = until the EVM runs dry), uint32
+	// pipeline depth.
+	XFuncStart uint16 = 4
+)
+
+// FragmentFill returns the fill byte of the fragment of event on the
+// given readout unit; builder units verify it on receipt.
+func FragmentFill(ruInstance int, event uint64) byte {
+	return byte(event*2654435761 + uint64(ruInstance)*40503 + 17)
+}
+
+func putU64(v uint64) []byte {
+	b := make([]byte, 8)
+	binary.LittleEndian.PutUint64(b, v)
+	return b
+}
+
+func getU64(p []byte) (uint64, bool) {
+	if len(p) < 8 {
+		return 0, false
+	}
+	return binary.LittleEndian.Uint64(p), true
+}
+
+// send fires one private frame (no reply expected).
+func send(host hostAPI, target, initiator i2o.TID, xfunc uint16, prio i2o.Priority, payload []byte) error {
+	return host.Send(&i2o.Message{
+		Priority:  prio,
+		Target:    target,
+		Initiator: initiator,
+		Function:  i2o.FuncPrivate,
+		Org:       i2o.OrgXDAQ,
+		XFunction: xfunc,
+		Payload:   payload,
+	})
+}
+
+// request fires one private frame with a reply expected; the reply comes
+// back asynchronously into the initiator's handler for the same xfunc.
+func request(host hostAPI, target, initiator i2o.TID, xfunc uint16, prio i2o.Priority, payload []byte) error {
+	return host.Send(&i2o.Message{
+		Flags:     i2o.FlagReplyExpected,
+		Priority:  prio,
+		Target:    target,
+		Initiator: initiator,
+		Function:  i2o.FuncPrivate,
+		Org:       i2o.OrgXDAQ,
+		XFunction: xfunc,
+		Payload:   payload,
+	})
+}
+
+// hostAPI is the slice of device.Host the helpers need (kept narrow so
+// tests can fake it).
+type hostAPI interface {
+	Send(m *i2o.Message) error
+}

@@ -1,0 +1,77 @@
+package daq
+
+import (
+	"sync/atomic"
+
+	"xdaq/internal/device"
+	"xdaq/internal/i2o"
+)
+
+// EVM is the event manager: the allocator of event identifiers.  One EVM
+// serves any number of builder units; allocation is a single atomic
+// counter bounded by the configured event count.
+type EVM struct {
+	dev   *device.Device
+	limit atomic.Uint64 // 0 = unbounded
+	next  atomic.Uint64
+	built atomic.Uint64
+}
+
+// NewEVM creates the event manager device.  limit bounds the number of
+// events handed out (0 = unbounded); it is also exposed as the "events"
+// parameter so the run size is configurable from the cluster controller.
+func NewEVM(limit uint64) *EVM {
+	e := &EVM{}
+	e.limit.Store(limit)
+	e.dev = device.New(EVMClass, 0)
+	e.dev.Params().Set("events", int64(limit))
+	e.dev.Params().OnSet(func(changed []i2o.Param) {
+		for _, p := range changed {
+			if p.Key == "events" {
+				if n, ok := p.Value.(int64); ok && n >= 0 {
+					e.limit.Store(uint64(n))
+				}
+			}
+		}
+	})
+	e.dev.Bind(XFuncAllocate, e.handleAllocate)
+	e.dev.Bind(XFuncBuilt, e.handleBuilt)
+	return e
+}
+
+// Device returns the module to plug into an executive.
+func (e *EVM) Device() *device.Device { return e.dev }
+
+// Allocated returns how many event ids have been handed out.
+func (e *EVM) Allocated() uint64 { return e.next.Load() }
+
+// Built returns how many completion notifications arrived.
+func (e *EVM) Built() uint64 { return e.built.Load() }
+
+// Reset rewinds the allocator (between benchmark runs).
+func (e *EVM) Reset(limit uint64) {
+	e.limit.Store(limit)
+	e.next.Store(0)
+	e.built.Store(0)
+}
+
+func (e *EVM) handleAllocate(ctx *device.Context, m *i2o.Message) error {
+	if !m.Flags.Has(i2o.FlagReplyExpected) {
+		return nil // an allocation nobody waits for is pointless
+	}
+	limit := e.limit.Load()
+	id := e.next.Add(1)
+	if limit > 0 && id > limit {
+		e.next.Add(^uint64(0)) // undo; reply empty: the run is over
+		return device.ReplyIfExpected(ctx, m, nil)
+	}
+	return device.ReplyIfExpected(ctx, m, putU64(id))
+}
+
+func (e *EVM) handleBuilt(ctx *device.Context, m *i2o.Message) error {
+	if _, ok := getU64(m.Payload); !ok {
+		return i2o.ErrTruncated
+	}
+	e.built.Add(1)
+	return nil
+}

@@ -1,0 +1,81 @@
+package daq
+
+import (
+	"encoding/binary"
+	"sync/atomic"
+
+	"xdaq/internal/chain"
+	"xdaq/internal/device"
+	"xdaq/internal/i2o"
+	"xdaq/internal/pool"
+)
+
+// FUClass is the filter unit device class name.
+const FUClass = "daq.fu"
+
+// XFuncEvent carries complete built events from builder units to filter
+// units as chunked chain transfers: first 8 bytes event id, then the
+// concatenated fragments.
+const XFuncEvent uint16 = 5
+
+// Filter decides whether a built event is kept.  It runs on the filter
+// unit's dispatch goroutine with a flattened view of the event data.
+type Filter func(event uint64, data []byte) bool
+
+// FU is a filter unit: the stage after event building in the CMS chain.
+// Builder units stream complete events to it; the filter callback selects
+// which survive.  Events arrive as chain transfers, so they may exceed
+// the single-frame limit.
+type FU struct {
+	dev   *device.Device
+	reasm *chain.Reassembler
+
+	filter   Filter
+	OnAccept func(event uint64, data []byte)
+
+	accepted atomic.Uint64
+	rejected atomic.Uint64
+	bytes    atomic.Uint64
+}
+
+// NewFU creates filter unit `instance` with the given selection.  A nil
+// filter accepts everything.
+func NewFU(instance int, alloc pool.Allocator, filter Filter) *FU {
+	f := &FU{filter: filter}
+	f.dev = device.New(FUClass, instance)
+	f.reasm = chain.NewReassembler(alloc, f.onEvent)
+	f.dev.Bind(XFuncEvent, f.reasm.Handler)
+	return f
+}
+
+// Device returns the module to plug into an executive.
+func (f *FU) Device() *device.Device { return f.dev }
+
+// Accepted returns how many events passed the filter.
+func (f *FU) Accepted() uint64 { return f.accepted.Load() }
+
+// Rejected returns how many events the filter dropped.
+func (f *FU) Rejected() uint64 { return f.rejected.Load() }
+
+// Bytes returns the event payload bytes received.
+func (f *FU) Bytes() uint64 { return f.bytes.Load() }
+
+func (f *FU) onEvent(t *chain.Transfer) error {
+	defer t.Data.Release()
+	if t.Data.Len() < 8 {
+		return i2o.ErrTruncated
+	}
+	flat := t.Data.Bytes()
+	event := binary.LittleEndian.Uint64(flat)
+	data := flat[8:]
+	f.bytes.Add(uint64(len(data)))
+	if f.filter == nil || f.filter(event, data) {
+		f.accepted.Add(1)
+		if f.OnAccept != nil {
+			f.OnAccept(event, data)
+		}
+	} else {
+		f.rejected.Add(1)
+	}
+	return nil
+}

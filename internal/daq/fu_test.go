@@ -1,0 +1,138 @@
+package daq
+
+import (
+	"encoding/binary"
+	"testing"
+	"time"
+
+	"xdaq/internal/i2o"
+)
+
+// buildRigWithFU extends the standard rig with a filter unit on the BU's
+// node, wired into the first BU.
+func buildRigWithFU(t *testing.T, nRU int, events uint64, fragSize int, filter Filter) (*rig, *FU) {
+	t.Helper()
+	r := buildRig(t, nRU, 1, events, fragSize)
+	buNode := i2o.NodeID(2 + nRU)
+	fuExec := r.execs[buNode]
+	fu := NewFU(0, fuExec.Allocator(), filter)
+	if _, err := fuExec.Plug(fu.Device()); err != nil {
+		t.Fatal(err)
+	}
+	fuTID, err := fuExec.Resolve(FUClass, 0, i2o.NodeNone)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r.bus[0].SetFilterUnit(fuTID)
+	return r, fu
+}
+
+func waitCount(t *testing.T, what string, want uint64, get func() uint64) {
+	t.Helper()
+	deadline := time.Now().Add(3 * time.Second)
+	for get() != want {
+		if time.Now().After(deadline) {
+			t.Fatalf("%s = %d, want %d", what, get(), want)
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+func TestFilterUnitReceivesAllEvents(t *testing.T) {
+	const events = 25
+	r, fu := buildRigWithFU(t, 2, events, 300, nil)
+	if _, err := r.bus[0].Start(0, 4); err != nil {
+		t.Fatal(err)
+	}
+	stats, err := r.bus[0].Wait()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Built != events {
+		t.Fatalf("built %d", stats.Built)
+	}
+	waitCount(t, "accepted", events, fu.Accepted)
+	if fu.Rejected() != 0 {
+		t.Fatalf("rejected %d with nil filter", fu.Rejected())
+	}
+	if want := uint64(events * 2 * 300); fu.Bytes() != want {
+		t.Fatalf("fu bytes %d, want %d", fu.Bytes(), want)
+	}
+}
+
+func TestFilterSelectsEvents(t *testing.T) {
+	const events = 40
+	// Keep only even event ids.
+	filter := func(event uint64, data []byte) bool { return event%2 == 0 }
+	r, fu := buildRigWithFU(t, 1, events, 64, filter)
+	if _, err := r.bus[0].Start(0, 4); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.bus[0].Wait(); err != nil {
+		t.Fatal(err)
+	}
+	waitCount(t, "accepted+rejected", events, func() uint64 { return fu.Accepted() + fu.Rejected() })
+	if fu.Accepted() != events/2 || fu.Rejected() != events/2 {
+		t.Fatalf("accepted=%d rejected=%d", fu.Accepted(), fu.Rejected())
+	}
+}
+
+func TestFilterUnitEventContent(t *testing.T) {
+	const fragSize = 128
+	seen := make(chan struct {
+		event uint64
+		data  []byte
+	}, 8)
+	r, fu := buildRigWithFU(t, 2, 3, fragSize, nil)
+	fu.OnAccept = func(event uint64, data []byte) {
+		seen <- struct {
+			event uint64
+			data  []byte
+		}{event, append([]byte(nil), data...)}
+	}
+	if _, err := r.bus[0].Start(0, 1); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.bus[0].Wait(); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		select {
+		case ev := <-seen:
+			if len(ev.data) != 2*fragSize {
+				t.Fatalf("event %d: %d bytes", ev.event, len(ev.data))
+			}
+			// Each fragment's fill byte must match one of the RUs.
+			for _, off := range []int{0, fragSize} {
+				fill := ev.data[off]
+				if fill != FragmentFill(0, ev.event) && fill != FragmentFill(1, ev.event) {
+					t.Fatalf("event %d: unexpected fill %#02x at %d", ev.event, fill, off)
+				}
+			}
+		case <-time.After(3 * time.Second):
+			t.Fatal("accepted events missing")
+		}
+	}
+}
+
+func TestFilterUnitRejectsTruncated(t *testing.T) {
+	fuExec := buildRig(t, 1, 1, 1, 16).execs[1]
+	fu := NewFU(1, fuExec.Allocator(), nil)
+	if _, err := fuExec.Plug(fu.Device()); err != nil {
+		t.Fatal(err)
+	}
+	// A chain transfer shorter than the 8-byte event header must error.
+	payload := make([]byte, 16+4) // chain header + 4 bytes
+	binary.LittleEndian.PutUint32(payload, 0)
+	binary.LittleEndian.PutUint32(payload[4:], 1)
+	binary.LittleEndian.PutUint64(payload[8:], 4)
+	_, err := fuExec.Request(&i2o.Message{
+		Target:    fu.Device().TID(),
+		Initiator: i2o.TIDExecutive,
+		Function:  i2o.FuncPrivate, Org: i2o.OrgXDAQ, XFunction: XFuncEvent,
+		Payload: payload,
+	})
+	if err == nil {
+		t.Fatal("truncated event accepted")
+	}
+}

@@ -1,0 +1,87 @@
+package daq
+
+import (
+	"fmt"
+	"sync/atomic"
+
+	"xdaq/internal/device"
+	"xdaq/internal/i2o"
+)
+
+// DefaultFragmentSize is the synthetic fragment size when none is
+// configured (2 KB, a typical CMS readout fragment).
+const DefaultFragmentSize = 2048
+
+// RU is a readout unit.  The real system buffers detector data arriving
+// over custom readout links; here the fragment for an event is
+// synthesized deterministically on request (the substitution recorded in
+// DESIGN.md), which preserves the communication pattern — the part the
+// paper is about — while removing the detector.
+type RU struct {
+	dev      *device.Device
+	instance int
+	size     atomic.Int64
+	served   atomic.Uint64
+}
+
+// NewRU creates readout unit `instance` serving fragments of fragSize
+// bytes (DefaultFragmentSize when <= 0).  The size is reconfigurable at
+// runtime through the "fragsize" parameter.
+func NewRU(instance, fragSize int) *RU {
+	if fragSize <= 0 {
+		fragSize = DefaultFragmentSize
+	}
+	r := &RU{instance: instance}
+	r.size.Store(int64(fragSize))
+	r.dev = device.New(RUClass, instance)
+	r.dev.Params().Set("fragsize", int64(fragSize))
+	r.dev.Params().OnSet(func(changed []i2o.Param) {
+		for _, p := range changed {
+			if p.Key == "fragsize" {
+				if n, ok := p.Value.(int64); ok && n > 0 {
+					r.size.Store(n)
+				}
+			}
+		}
+	})
+	r.dev.Bind(XFuncFragment, r.handleFragment)
+	return r
+}
+
+// Device returns the module to plug into an executive.
+func (r *RU) Device() *device.Device { return r.dev }
+
+// Served returns how many fragments were sent.
+func (r *RU) Served() uint64 { return r.served.Load() }
+
+// FragmentSize returns the current fragment size.
+func (r *RU) FragmentSize() int { return int(r.size.Load()) }
+
+func (r *RU) handleFragment(ctx *device.Context, m *i2o.Message) error {
+	event, ok := getU64(m.Payload)
+	if !ok {
+		return fmt.Errorf("%w: fragment request without event id", i2o.ErrTruncated)
+	}
+	if !m.Flags.Has(i2o.FlagReplyExpected) {
+		return nil
+	}
+	size := int(r.size.Load())
+	buf, err := ctx.Host.Alloc(8 + size)
+	if err != nil {
+		return err
+	}
+	body := buf.Bytes()
+	copy(body, m.Payload[:8])
+	fill := FragmentFill(r.instance, event)
+	for i := 8; i < len(body); i++ {
+		body[i] = fill
+	}
+	rep := i2o.NewReply(m)
+	rep.Payload = body
+	rep.AttachBuffer(buf)
+	if err := ctx.Host.Send(rep); err != nil {
+		return err
+	}
+	r.served.Add(1)
+	return nil
+}

@@ -1,0 +1,400 @@
+package device
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+
+	"xdaq/internal/i2o"
+	"xdaq/internal/pool"
+)
+
+// fakeHost records sent frames.
+type fakeHost struct {
+	alloc pool.Allocator
+	sent  []*i2o.Message
+	logs  []string
+}
+
+func newFakeHost() *fakeHost { return &fakeHost{alloc: pool.NewTable(0)} }
+
+func (h *fakeHost) Node() i2o.NodeID                  { return 1 }
+func (h *fakeHost) Alloc(n int) (*pool.Buffer, error) { return h.alloc.Alloc(n) }
+func (h *fakeHost) Send(m *i2o.Message) error         { h.sent = append(h.sent, m); return nil }
+func (h *fakeHost) Request(*i2o.Message) (*i2o.Message, error) {
+	return nil, errors.New("fakeHost: no request support")
+}
+func (h *fakeHost) Resolve(string, int, i2o.NodeID) (i2o.TID, error) {
+	return i2o.TIDNone, errors.New("fakeHost: no resolve support")
+}
+func (h *fakeHost) Logf(format string, args ...any) {
+	h.logs = append(h.logs, fmt.Sprintf(format, args...))
+}
+
+func plugged(t *testing.T, d *Device) *fakeHost {
+	t.Helper()
+	h := newFakeHost()
+	if err := d.Plugged(h, 0x10); err != nil {
+		t.Fatal(err)
+	}
+	d.SetState(Operational)
+	return h
+}
+
+func privateFrame(x uint16) *i2o.Message {
+	return &i2o.Message{
+		Flags: i2o.FlagReplyExpected, Priority: i2o.PriorityNormal,
+		Target: 0x10, Initiator: 0x20,
+		Function: i2o.FuncPrivate, Org: i2o.OrgXDAQ, XFunction: x,
+	}
+}
+
+func TestBindAndDispatch(t *testing.T) {
+	d := New("echo", 0)
+	called := false
+	d.Bind(1, func(ctx *Context, m *i2o.Message) error {
+		called = true
+		return ReplyIfExpected(ctx, m, []byte("pong"))
+	})
+	h := plugged(t, d)
+	if err := d.Dispatch(privateFrame(1)); err != nil {
+		t.Fatal(err)
+	}
+	if !called || len(h.sent) != 1 {
+		t.Fatalf("called=%v sent=%d", called, len(h.sent))
+	}
+	rep := h.sent[0]
+	if !rep.Flags.Has(i2o.FlagReply) || string(rep.Payload) != "pong" || rep.Target != 0x20 {
+		t.Fatalf("reply %v payload %q", rep, rep.Payload)
+	}
+}
+
+func TestDispatchUnknownPrivate(t *testing.T) {
+	d := New("echo", 0)
+	plugged(t, d)
+	if err := d.Dispatch(privateFrame(99)); !errors.Is(err, ErrNoHandler) {
+		t.Fatalf("unknown xfunc: %v", err)
+	}
+}
+
+func TestDispatchWrongOrg(t *testing.T) {
+	d := New("echo", 0)
+	d.Bind(1, func(*Context, *i2o.Message) error { return nil })
+	plugged(t, d)
+	m := privateFrame(1)
+	m.Org = 0x1111
+	if err := d.Dispatch(m); !errors.Is(err, ErrNoHandler) {
+		t.Fatalf("foreign org: %v", err)
+	}
+}
+
+func TestFallbackHandler(t *testing.T) {
+	d := New("any", 0)
+	var got uint16
+	d.SetFallback(func(ctx *Context, m *i2o.Message) error {
+		got = m.XFunction
+		return nil
+	})
+	plugged(t, d)
+	if err := d.Dispatch(privateFrame(7)); err != nil || got != 7 {
+		t.Fatalf("fallback: %v got=%d", err, got)
+	}
+}
+
+func TestDispatchBeforePlug(t *testing.T) {
+	d := New("echo", 0)
+	if err := d.Dispatch(privateFrame(1)); !errors.Is(err, ErrNotPlugged) {
+		t.Fatalf("unplugged dispatch: %v", err)
+	}
+}
+
+func TestDefaultNOP(t *testing.T) {
+	d := New("echo", 0)
+	h := plugged(t, d)
+	m := privateFrame(0)
+	m.Function = i2o.UtilNOP
+	if err := d.Dispatch(m); err != nil {
+		t.Fatal(err)
+	}
+	if len(h.sent) != 1 || !h.sent[0].Flags.Has(i2o.FlagReply) {
+		t.Fatal("NOP default must reply")
+	}
+	// Without FlagReplyExpected there must be no reply.
+	m2 := privateFrame(0)
+	m2.Function = i2o.UtilNOP
+	m2.Flags = 0
+	if err := d.Dispatch(m2); err != nil {
+		t.Fatal(err)
+	}
+	if len(h.sent) != 1 {
+		t.Fatal("unsolicited reply sent")
+	}
+}
+
+func TestDefaultParamsGetSet(t *testing.T) {
+	d := New("cfg", 2)
+	h := plugged(t, d)
+	d.Params().Set("rate", int64(100))
+
+	// Set "rate" and a new key via UtilParamsSet.
+	payload, err := i2o.EncodeParams([]i2o.Param{
+		{Key: "rate", Value: int64(250)},
+		{Key: "mode", Value: "burst"},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	set := privateFrame(0)
+	set.Function = i2o.UtilParamsSet
+	set.Payload = payload
+	if err := d.Dispatch(set); err != nil {
+		t.Fatal(err)
+	}
+	if d.Params().Int("rate", 0) != 250 || d.Params().String("mode", "") != "burst" {
+		t.Fatalf("params after set: %v %v", d.Params().Int("rate", 0), d.Params().String("mode", ""))
+	}
+
+	// Read selected keys back.
+	keys, err := i2o.EncodeKeys([]string{"rate", "missing"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	get := privateFrame(0)
+	get.Function = i2o.UtilParamsGet
+	get.Payload = keys
+	if err := d.Dispatch(get); err != nil {
+		t.Fatal(err)
+	}
+	rep := h.sent[len(h.sent)-1]
+	params, err := i2o.DecodeParams(rep.Payload)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(params) != 1 || params[0].Key != "rate" || params[0].Value != int64(250) {
+		t.Fatalf("get reply %v", params)
+	}
+
+	// Reading all parameters includes the standard ones and state.
+	getAll := privateFrame(0)
+	getAll.Function = i2o.UtilParamsGet
+	getAll.Payload, _ = i2o.EncodeKeys(nil)
+	if err := d.Dispatch(getAll); err != nil {
+		t.Fatal(err)
+	}
+	rep = h.sent[len(h.sent)-1]
+	params, _ = i2o.DecodeParams(rep.Payload)
+	found := map[string]any{}
+	for _, p := range params {
+		found[p.Key] = p.Value
+	}
+	if found["class"] != "cfg" || found["instance"] != int64(2) || found["state"] != "operational" {
+		t.Fatalf("all params %v", found)
+	}
+}
+
+func TestParamsOnSetCallback(t *testing.T) {
+	d := New("cfg", 0)
+	plugged(t, d)
+	var seen []i2o.Param
+	d.Params().OnSet(func(ps []i2o.Param) { seen = ps })
+	payload, _ := i2o.EncodeParams([]i2o.Param{{Key: "k", Value: "v"}})
+	set := privateFrame(0)
+	set.Function = i2o.UtilParamsSet
+	set.Payload = payload
+	if err := d.Dispatch(set); err != nil {
+		t.Fatal(err)
+	}
+	if len(seen) != 1 || seen[0].Key != "k" {
+		t.Fatalf("OnSet saw %v", seen)
+	}
+}
+
+func TestEnableQuiesceStateMachine(t *testing.T) {
+	d := New("s", 0)
+	h := plugged(t, d)
+	q := privateFrame(0)
+	q.Function = i2o.ExecSysQuiesce
+	if err := d.Dispatch(q); err != nil {
+		t.Fatal(err)
+	}
+	if d.State() != Quiesced {
+		t.Fatalf("state %v", d.State())
+	}
+	// Quiesced devices refuse private frames but accept executive ones.
+	if d.Accepts(privateFrame(1)) {
+		t.Fatal("quiesced device accepted a private frame")
+	}
+	e := privateFrame(0)
+	e.Function = i2o.ExecSysEnable
+	if !d.Accepts(e) {
+		t.Fatal("quiesced device refused ExecSysEnable")
+	}
+	if err := d.Dispatch(e); err != nil {
+		t.Fatal(err)
+	}
+	if d.State() != Operational || !d.Accepts(privateFrame(1)) {
+		t.Fatalf("state %v after enable", d.State())
+	}
+	_ = h
+}
+
+func TestFaultedAcceptsOnlyExecutive(t *testing.T) {
+	d := New("f", 0)
+	plugged(t, d)
+	d.SetState(Faulted)
+	if d.Accepts(privateFrame(1)) {
+		t.Fatal("faulted device accepted private frame")
+	}
+	nop := privateFrame(0)
+	nop.Function = i2o.UtilNOP
+	if d.Accepts(nop) {
+		t.Fatal("faulted device accepted utility frame")
+	}
+	en := privateFrame(0)
+	en.Function = i2o.ExecSysEnable
+	if !d.Accepts(en) {
+		t.Fatal("faulted device refused executive frame")
+	}
+}
+
+func TestBindFunctionOverridesDefault(t *testing.T) {
+	d := New("o", 0)
+	override := false
+	d.BindFunction(i2o.UtilNOP, func(ctx *Context, m *i2o.Message) error {
+		override = true
+		return nil
+	})
+	plugged(t, d)
+	m := privateFrame(0)
+	m.Function = i2o.UtilNOP
+	if err := d.Dispatch(m); err != nil || !override {
+		t.Fatalf("override: %v %v", err, override)
+	}
+}
+
+func TestEventRegisterAndNotify(t *testing.T) {
+	d := New("src", 0)
+	h := plugged(t, d)
+	reg := privateFrame(0)
+	reg.Function = i2o.UtilEventRegister
+	reg.Initiator = 0x33
+	if err := d.Dispatch(reg); err != nil {
+		t.Fatal(err)
+	}
+	if subs := d.Subscribers(); len(subs) != 1 || subs[0] != 0x33 {
+		t.Fatalf("subscribers %v", subs)
+	}
+	h.sent = nil
+	if err := d.Notify(0x42, i2o.PriorityHigh, []byte("evt")); err != nil {
+		t.Fatal(err)
+	}
+	if len(h.sent) != 1 {
+		t.Fatalf("notify sent %d", len(h.sent))
+	}
+	evt := h.sent[0]
+	if evt.Target != 0x33 || evt.XFunction != 0x42 || evt.Priority != i2o.PriorityHigh || string(evt.Payload) != "evt" {
+		t.Fatalf("event %v", evt)
+	}
+}
+
+func TestPluggedLifecycle(t *testing.T) {
+	d := New("life", 0)
+	var pluggedCalled, unpluggedCalled bool
+	d.OnPlugged = func(ctx *Context) error {
+		pluggedCalled = true
+		if ctx.Self != d || ctx.Host == nil {
+			t.Error("bad context")
+		}
+		return nil
+	}
+	d.OnUnplugged = func() { unpluggedCalled = true }
+	h := newFakeHost()
+	if err := d.Plugged(h, 0x55); err != nil {
+		t.Fatal(err)
+	}
+	if !pluggedCalled || d.TID() != 0x55 {
+		t.Fatalf("plugged=%v tid=%v", pluggedCalled, d.TID())
+	}
+	if d.Params().Int("tid", 0) != 0x55 {
+		t.Fatal("tid param not published")
+	}
+	d.Unplugged()
+	if !unpluggedCalled || d.TID() != i2o.TIDNone {
+		t.Fatalf("unplugged=%v tid=%v", unpluggedCalled, d.TID())
+	}
+	if _, err := d.Ctx(); !errors.Is(err, ErrNotPlugged) {
+		t.Fatal("ctx survives unplug")
+	}
+}
+
+func TestOnPluggedError(t *testing.T) {
+	d := New("bad", 0)
+	boom := errors.New("boom")
+	d.OnPlugged = func(*Context) error { return boom }
+	if err := d.Plugged(newFakeHost(), 0x1); !errors.Is(err, boom) {
+		t.Fatalf("OnPlugged error: %v", err)
+	}
+}
+
+func TestParamsTypedGetters(t *testing.T) {
+	p := NewParams()
+	p.Set("s", "str")
+	p.Set("i", int64(-5))
+	p.Set("u", uint64(7))
+	p.Set("f", 2.5)
+	p.Set("b", true)
+	p.Set("weird", struct{ X int }{1}) // coerced to string
+
+	if p.String("s", "") != "str" || p.String("missing", "d") != "d" || p.String("i", "d") != "d" {
+		t.Fatal("String getter")
+	}
+	if p.Int("i", 0) != -5 || p.Int("u", 0) != 7 || p.Int("missing", 9) != 9 || p.Int("s", 9) != 9 {
+		t.Fatal("Int getter")
+	}
+	if p.Float("f", 0) != 2.5 || p.Float("missing", 1.5) != 1.5 {
+		t.Fatal("Float getter")
+	}
+	if !p.Bool("b", false) || p.Bool("missing", true) != true {
+		t.Fatal("Bool getter")
+	}
+	if v, ok := p.Get("weird"); !ok {
+		t.Fatal("coerced value missing")
+	} else if _, isString := v.(string); !isString {
+		t.Fatalf("coercion produced %T", v)
+	}
+	// Huge uint64 does not fit int64.
+	p.Set("huge", uint64(1)<<63)
+	if p.Int("huge", -1) != -1 {
+		t.Fatal("huge uint64 must not convert")
+	}
+}
+
+func TestStateStrings(t *testing.T) {
+	for s := Ready; s <= Faulted; s++ {
+		if s.String() == "" {
+			t.Fatal("empty state name")
+		}
+	}
+	if State(42).String() == "" {
+		t.Fatal("unknown state name")
+	}
+	d := New("str", 3)
+	if d.String() == "" {
+		t.Fatal("device string")
+	}
+}
+
+func TestSetOrg(t *testing.T) {
+	d := New("org", 0)
+	d.SetOrg(0x7777)
+	d.Bind(1, func(ctx *Context, m *i2o.Message) error { return nil })
+	plugged(t, d)
+	m := privateFrame(1)
+	m.Org = 0x7777
+	if err := d.Dispatch(m); err != nil {
+		t.Fatalf("own org: %v", err)
+	}
+	if err := d.Dispatch(privateFrame(1)); !errors.Is(err, ErrNoHandler) {
+		t.Fatalf("framework org must not match: %v", err)
+	}
+}

@@ -1,0 +1,146 @@
+package e2e_test
+
+import (
+	"testing"
+	"time"
+
+	"xdaq/internal/device"
+	"xdaq/internal/executive"
+	"xdaq/internal/i2o"
+	"xdaq/internal/pta"
+	"xdaq/internal/tid"
+	"xdaq/internal/transport/gm"
+	"xdaq/internal/transport/pci"
+)
+
+// TestPeerOperationThroughBridge reproduces figure 3(a): peer
+// communication redirected through a messaging instance, here an IOP that
+// sits on two fabrics.  Node A (a host on a PCI segment) and node B (a
+// network node on the GM fabric) share no transport; node C is attached
+// to both.  A addresses a proxy whose remote TiD is C's own proxy for the
+// device on B, so C's executive redirects the frame — and the reply walks
+// the same path back through the return proxies each hop creates.  The
+// caller on A never knows the call crossed two wires.
+func TestPeerOperationThroughBridge(t *testing.T) {
+	segment := pci.NewSegment(16)
+	fabric := gm.NewFabric()
+	gmRoutes := map[i2o.NodeID]gm.Port{2: 2, 3: 3}
+
+	mk := func(id i2o.NodeID) (*executive.Executive, *pta.Agent) {
+		e := executive.New(executive.Options{
+			Name: "bridge", Node: id,
+			RequestTimeout: 3 * time.Second,
+			Logf:           func(string, ...any) {},
+		})
+		agent, err := pta.New(e)
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(func() {
+			agent.Close()
+			e.Close()
+		})
+		return e, agent
+	}
+
+	// Node A: host, PCI segment only.
+	a, agentA := mk(1)
+	epA, err := segment.Attach(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := agentA.Register(epA, pta.Polling); err != nil {
+		t.Fatal(err)
+	}
+	a.SetRoute(3, pci.PTName) // A reaches only C
+
+	// Node C: the bridge IOP, on both fabrics.
+	c, agentC := mk(3)
+	epC, err := segment.Attach(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := agentC.Register(epC, pta.Polling); err != nil {
+		t.Fatal(err)
+	}
+	nicC, err := fabric.Open(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	trC, err := gm.NewTransport(nicC, c.Allocator(), gm.Config{Routes: gmRoutes})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := agentC.Register(trC, pta.Task); err != nil {
+		t.Fatal(err)
+	}
+	c.SetRoute(1, pci.PTName)
+	c.SetRoute(2, gm.PTName)
+
+	// Node B: network node, GM only.
+	b, agentB := mk(2)
+	nicB, err := fabric.Open(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	trB, err := gm.NewTransport(nicB, b.Allocator(), gm.Config{Routes: gmRoutes})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := agentB.Register(trB, pta.Task); err != nil {
+		t.Fatal(err)
+	}
+	b.SetRoute(3, gm.PTName)
+
+	// The target device lives on B.
+	echo := device.New("echo", 0)
+	echo.Bind(1, func(ctx *device.Context, m *i2o.Message) error {
+		return device.ReplyIfExpected(ctx, m, m.Payload)
+	})
+	if _, err := b.Plug(echo); err != nil {
+		t.Fatal(err)
+	}
+
+	// C discovers it over GM and holds a proxy for it.
+	proxyOnC, err := c.Discover(2, "echo", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// A cannot reach B; it installs a proxy whose remote TiD is C's proxy.
+	// (In a full system C's HRT could advertise its proxies; here the
+	// bridge entry is installed by the operator, as a system table would.)
+	entry, err := a.Table().AllocProxy("echo-via-bridge", 0, 3, pci.PTName, proxyOnC)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	rep, err := a.Request(&i2o.Message{
+		Target: entry.TID, Initiator: i2o.TIDExecutive,
+		Function: i2o.FuncPrivate, Org: i2o.OrgXDAQ, XFunction: 1,
+		Payload: []byte("two hops out, two hops back"),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rep.Release()
+	if string(rep.Payload) != "two hops out, two hops back" {
+		t.Fatalf("payload %q", rep.Payload)
+	}
+
+	// The bridge really relayed: C forwarded in both directions.
+	if c.Stats().Forwarded < 2 {
+		t.Fatalf("bridge forwarded %d frames, want >= 2", c.Stats().Forwarded)
+	}
+	// And the hop-by-hop return path exists: C holds a return proxy for
+	// A's initiator, B holds one for C's.
+	found := false
+	for _, e := range c.Table().Entries() {
+		if e.Kind == tid.Proxy && e.Node == 1 {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("bridge created no return proxy toward A")
+	}
+}

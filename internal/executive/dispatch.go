@@ -1,0 +1,208 @@
+package executive
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"xdaq/internal/device"
+	"xdaq/internal/i2o"
+	"xdaq/internal/probe"
+	"xdaq/internal/tid"
+	"xdaq/internal/trace"
+)
+
+// loop is the executive's single dispatch goroutine: the "loop of control
+// [that] remains in the executive framework".
+func (e *Executive) loop() {
+	defer close(e.loopDone)
+	for {
+		m, ok := e.in.Pop()
+		if !ok {
+			return
+		}
+		e.dispatch(m)
+	}
+}
+
+// dispatch delivers one frame: pending-reply correlation first, then
+// address table lookup, then the device upcall with the whitebox probes of
+// Table 1 around each stage.
+func (e *Executive) dispatch(m *i2o.Message) {
+	// Replies to synchronous requests never reach a handler; the waiting
+	// Request call owns them.
+	if m.Flags.Has(i2o.FlagReply) && m.InitiatorContext != 0 {
+		if ch := e.takePending(m.InitiatorContext); ch != nil {
+			e.nReplies.Add(1)
+			ch <- m
+			return
+		}
+	}
+
+	entry, ok := e.table.Lookup(m.Target)
+	if !ok {
+		e.failAndRelease(m, i2o.FailUnknownTarget, m.Target.String())
+		return
+	}
+	if entry.Kind == tid.Proxy {
+		e.traceFrame(trace.Forwarded, m)
+		if err := e.forward(entry, m); err != nil {
+			e.Logf("forward %v: %v", entry.TID, err)
+			e.nFailures.Add(1)
+		}
+		return
+	}
+
+	e.mu.RLock()
+	d := e.devices[m.Target]
+	e.mu.RUnlock()
+	if d == nil {
+		e.failAndRelease(m, i2o.FailUnknownTarget, m.Target.String())
+		return
+	}
+	if !d.Accepts(m) {
+		e.failAndRelease(m, i2o.FailDeviceState, d.String())
+		return
+	}
+
+	if probe.Enabled() {
+		e.dispatchProbed(d, m)
+	} else {
+		e.dispatchFast(d, m)
+	}
+}
+
+// dispatchFast is the blackbox-configuration path: no timestamps at all.
+func (e *Executive) dispatchFast(d *device.Device, m *i2o.Message) {
+	e.traceFrame(trace.Dispatched, m)
+	h, ctx, err := d.Lookup(m)
+	if err != nil {
+		// Late replies (whose waiter timed out) fall through to here; they
+		// are dropped silently rather than answered, which would loop.
+		if m.Flags.Has(i2o.FlagReply) {
+			e.nDropped.Add(1)
+			m.Release()
+			return
+		}
+		e.failAndRelease(m, i2o.FailUnknownFunction, err.Error())
+		return
+	}
+	err = e.invoke(d, h, ctx, m)
+	e.nDispatched.Add(1)
+	if err != nil {
+		e.fail(m, failCodeFor(err), err.Error())
+	}
+	m.Release()
+}
+
+// dispatchProbed mirrors dispatchFast with a probe around every stage,
+// reproducing the whitebox rows: demultiplexing to functor, upcall of
+// functor, application processing, frame release and postprocessing.
+func (e *Executive) dispatchProbed(d *device.Device, m *i2o.Message) {
+	e.traceFrame(trace.Dispatched, m)
+	t0 := time.Now()
+	h, ctx, err := d.Lookup(m)
+	t1 := time.Now()
+	e.pDemux.Record(t1.Sub(t0))
+	if err != nil {
+		if m.Flags.Has(i2o.FlagReply) {
+			e.nDropped.Add(1)
+			m.Release()
+			return
+		}
+		e.failAndRelease(m, i2o.FailUnknownFunction, err.Error())
+		return
+	}
+	// The upcall probe covers the invocation machinery itself (recovery
+	// frame, watchdog arm) as distinct from the application body, which
+	// times itself via the wrapper below.
+	var appStart time.Time
+	wrapped := func(c *device.Context, msg *i2o.Message) error {
+		appStart = time.Now()
+		return h(c, msg)
+	}
+	err = e.invoke(d, wrapped, ctx, m)
+	t2 := time.Now()
+	if appStart.IsZero() {
+		appStart = t2 // handler never entered (watchdog raced)
+	}
+	e.pUpcall.Record(appStart.Sub(t1))
+	e.pApp.Record(t2.Sub(appStart))
+	e.nDispatched.Add(1)
+	if err != nil {
+		e.fail(m, failCodeFor(err), err.Error())
+	}
+	e.Free(m)
+	e.pRelease.Since(t2)
+}
+
+// invoke runs a handler with panic containment and, when configured, the
+// watchdog deadline.  A panicking or overrunning handler faults its device
+// so the round-robin loop cannot be monopolized (§4).
+func (e *Executive) invoke(d *device.Device, h device.Handler, ctx *device.Context, m *i2o.Message) error {
+	if e.opts.Watchdog <= 0 {
+		return e.safeCall(d, h, ctx, m)
+	}
+	done := make(chan error, 1)
+	go func() { done <- e.safeCall(d, h, ctx, m) }()
+	timer := time.NewTimer(e.opts.Watchdog)
+	defer timer.Stop()
+	select {
+	case err := <-done:
+		return err
+	case <-timer.C:
+		d.SetState(device.Faulted)
+		e.Logf("watchdog: %s exceeded %v handling %v; device faulted", d, e.opts.Watchdog, m)
+		return fmt.Errorf("%w: handler exceeded %v", errAborted, e.opts.Watchdog)
+	}
+}
+
+// errAborted marks watchdog and panic terminations for failCodeFor.
+var errAborted = errors.New("aborted")
+
+func (e *Executive) safeCall(d *device.Device, h device.Handler, ctx *device.Context, m *i2o.Message) (err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			d.SetState(device.Faulted)
+			e.Logf("panic in %s handling %v: %v; device faulted", d, m, r)
+			err = fmt.Errorf("%w: handler panic: %v", errAborted, r)
+		}
+	}()
+	return h(ctx, m)
+}
+
+func failCodeFor(err error) i2o.FailCode {
+	switch {
+	case err == nil:
+		return 0
+	case errors.Is(err, errAborted):
+		return i2o.FailAborted
+	case errors.Is(err, device.ErrNoHandler):
+		return i2o.FailUnknownFunction
+	case errors.Is(err, i2o.ErrTruncated), errors.Is(err, i2o.ErrShortBuffer):
+		return i2o.FailBadFrame
+	default:
+		return i2o.FailApplication
+	}
+}
+
+// fail sends a failure reply when the initiator expects one.
+func (e *Executive) fail(req *i2o.Message, code i2o.FailCode, detail string) {
+	e.traceFrame(trace.Failed, req)
+	e.nFailures.Add(1)
+	if !req.Flags.Has(i2o.FlagReplyExpected) || !req.Initiator.Valid() {
+		e.nDropped.Add(1)
+		return
+	}
+	rep := i2o.NewFailReply(req, code, detail)
+	if err := e.Send(rep); err != nil {
+		e.nDropped.Add(1)
+		e.Logf("fail reply to %v undeliverable: %v", req.Initiator, err)
+	}
+}
+
+// failAndRelease is fail followed by releasing the request's buffer.
+func (e *Executive) failAndRelease(req *i2o.Message, code i2o.FailCode, detail string) {
+	e.fail(req, code, detail)
+	req.Release()
+}

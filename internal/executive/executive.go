@@ -1,0 +1,389 @@
+// Package executive implements the XDAQ I2O executive: the per-node
+// runtime that owns the address table, the buffer pool and the inbound
+// frame scheduler, and dispatches every message to the device modules
+// registered with it (§4 of the paper).
+//
+// The executive is deliberately lean — "after all, the executive is very
+// lean as it acts only as a delegate": one dispatch goroutine pops frames
+// from the seven-priority scheduler and upcalls the target device's
+// handler.  There is no thread per active object; peer transports in task
+// mode have their own goroutines but only post frames to the inbound
+// queue.  The executive is itself an I2O device: it claims TiD 1, answers
+// the executive function codes (status, resource table, plug/unplug,
+// enable/quiesce, timers, system table) and is configured through the very
+// message format it dispatches.
+package executive
+
+import (
+	"errors"
+	"fmt"
+	"log"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"xdaq/internal/device"
+	"xdaq/internal/i2o"
+	"xdaq/internal/pool"
+	"xdaq/internal/probe"
+	"xdaq/internal/queue"
+	"xdaq/internal/tid"
+	"xdaq/internal/trace"
+)
+
+// Router forwards frames addressed to proxy entries toward remote IOPs.
+// It is implemented by the peer transport agent; the indirection keeps the
+// executive free of transport knowledge, exactly as peer transports are
+// "ordinary device classes" to it.
+type Router interface {
+	Forward(route string, dst i2o.NodeID, m *i2o.Message) error
+}
+
+// Options configures an executive.
+type Options struct {
+	// Name tags log lines and status reports; defaults to "xdaq".
+	Name string
+
+	// Node is this IOP's identity in the distributed system.
+	Node i2o.NodeID
+
+	// Allocator is the frame buffer pool; defaults to the optimized
+	// table-based scheme.  Pass a pool.Fixed to reproduce the paper's
+	// original allocator.
+	Allocator pool.Allocator
+
+	// QueueCapacity bounds the inbound scheduler; 0 means unbounded.
+	QueueCapacity int
+
+	// RequestTimeout bounds synchronous Request calls; defaults to 5s.
+	RequestTimeout time.Duration
+
+	// Watchdog, when positive, bounds handler execution time.  A handler
+	// exceeding it is abandoned, its device is faulted, and the initiator
+	// receives a FailAborted reply (§4: a misbehaving handler would
+	// otherwise stall the round-robin loop).  Zero runs handlers inline on
+	// the dispatch goroutine — the efficient configuration measured in the
+	// paper.
+	Watchdog time.Duration
+
+	// Probes receives the whitebox timing samples; defaults to
+	// probe.Default.  Collection only happens while probe.Enable(true).
+	Probes *probe.Registry
+
+	// Logf sinks diagnostics; defaults to the standard logger.
+	Logf func(format string, args ...any)
+}
+
+// Stats counts executive activity.
+type Stats struct {
+	Dispatched uint64 // frames upcalled to local devices
+	Forwarded  uint64 // frames routed to remote IOPs
+	Replies    uint64 // replies matched to pending requests
+	Failures   uint64 // failure replies generated
+	Dropped    uint64 // frames discarded (no reply expected, undeliverable)
+}
+
+// Executive is one IOP runtime.
+type Executive struct {
+	opts  Options
+	table *tid.Table
+	alloc pool.Allocator
+	in    *queue.Sched
+
+	mu      sync.RWMutex
+	devices map[i2o.TID]*device.Device
+	routes  map[i2o.NodeID]string
+	router  Router
+
+	pendMu  sync.Mutex
+	pending map[uint32]chan *i2o.Message
+	ctxSeq  atomic.Uint32
+
+	timerMu  sync.Mutex
+	timers   map[uint32]*time.Timer
+	timerSeq atomic.Uint32
+
+	self  *device.Device
+	state atomic.Int32 // device.State of the whole IOP
+
+	nDispatched atomic.Uint64
+	nForwarded  atomic.Uint64
+	nReplies    atomic.Uint64
+	nFailures   atomic.Uint64
+	nDropped    atomic.Uint64
+
+	pDemux     *probe.Point
+	pUpcall    *probe.Point
+	pApp       *probe.Point
+	pRelease   *probe.Point
+	pFrameAloc *probe.Point
+	pFrameFree *probe.Point
+
+	traceOn   atomic.Bool
+	traceRing *trace.Ring
+
+	closeOnce sync.Once
+	loopDone  chan struct{}
+}
+
+// Errors.
+var (
+	// ErrClosed reports use of a closed executive.
+	ErrClosed = errors.New("executive: closed")
+
+	// ErrNoRoute reports a forward with no system table entry or router.
+	ErrNoRoute = errors.New("executive: no route")
+
+	// ErrTimeout reports an expired synchronous request.
+	ErrTimeout = errors.New("executive: request timed out")
+)
+
+// New creates and starts an executive.  The dispatch loop runs until Close.
+func New(opts Options) *Executive {
+	if opts.Name == "" {
+		opts.Name = "xdaq"
+	}
+	if opts.Allocator == nil {
+		opts.Allocator = pool.NewTable(0)
+	}
+	if opts.RequestTimeout <= 0 {
+		opts.RequestTimeout = 5 * time.Second
+	}
+	if opts.Probes == nil {
+		opts.Probes = probe.Default
+	}
+	if opts.Logf == nil {
+		logger := log.Default()
+		name := opts.Name
+		opts.Logf = func(format string, args ...any) {
+			logger.Printf("["+name+"] "+format, args...)
+		}
+	}
+	e := &Executive{
+		opts:     opts,
+		table:    tid.NewTable(),
+		alloc:    opts.Allocator,
+		in:       queue.NewSched(opts.QueueCapacity),
+		devices:  make(map[i2o.TID]*device.Device),
+		routes:   make(map[i2o.NodeID]string),
+		pending:  make(map[uint32]chan *i2o.Message),
+		timers:   make(map[uint32]*time.Timer),
+		loopDone: make(chan struct{}),
+
+		pDemux:     opts.Probes.Point("exec.demux"),
+		pUpcall:    opts.Probes.Point("exec.upcall"),
+		pApp:       opts.Probes.Point("exec.app"),
+		pRelease:   opts.Probes.Point("exec.release"),
+		pFrameAloc: opts.Probes.Point("pool.frameAlloc"),
+		pFrameFree: opts.Probes.Point("pool.frameFree"),
+
+		traceRing: trace.NewRing(0),
+	}
+	e.state.Store(int32(device.Operational))
+
+	e.self = newSelfDevice(e)
+	entry, err := e.table.Claim(i2o.TIDExecutive, "executive", 0)
+	if err != nil {
+		panic("executive: cannot claim TiD 1 on a fresh table: " + err.Error())
+	}
+	e.mu.Lock()
+	e.devices[entry.TID] = e.self
+	e.mu.Unlock()
+	if err := e.self.Plugged(e, entry.TID); err != nil {
+		panic("executive: self plug failed: " + err.Error())
+	}
+	e.self.SetState(device.Operational)
+
+	go e.loop()
+	return e
+}
+
+// Name returns the executive's configured name.
+func (e *Executive) Name() string { return e.opts.Name }
+
+// Node implements device.Host.
+func (e *Executive) Node() i2o.NodeID { return e.opts.Node }
+
+// Logf implements device.Host.
+func (e *Executive) Logf(format string, args ...any) { e.opts.Logf(format, args...) }
+
+// Allocator exposes the frame pool (benchmarks compare allocators).
+func (e *Executive) Allocator() pool.Allocator { return e.alloc }
+
+// Table exposes the address table for inspection.
+func (e *Executive) Table() *tid.Table { return e.table }
+
+// Stats returns a snapshot of dispatch counters.
+func (e *Executive) Stats() Stats {
+	return Stats{
+		Dispatched: e.nDispatched.Load(),
+		Forwarded:  e.nForwarded.Load(),
+		Replies:    e.nReplies.Load(),
+		Failures:   e.nFailures.Load(),
+		Dropped:    e.nDropped.Load(),
+	}
+}
+
+// QueueLen returns the inbound backlog.
+func (e *Executive) QueueLen() int { return e.in.Len() }
+
+// SetTrace switches the frame tracer on or off.  Remote operators use the
+// ExecTraceGet message instead.
+func (e *Executive) SetTrace(on bool) { e.traceOn.Store(on) }
+
+// TraceRing exposes the trace buffer for local inspection.
+func (e *Executive) TraceRing() *trace.Ring { return e.traceRing }
+
+// traceFrame records one frame event when tracing is enabled.
+func (e *Executive) traceFrame(kind trace.Kind, m *i2o.Message) {
+	if e.traceOn.Load() {
+		e.traceRing.Add(trace.Of(kind, m))
+	}
+}
+
+// State returns the IOP-level operational state.
+func (e *Executive) State() device.State { return device.State(e.state.Load()) }
+
+// SetRouter installs the peer transport agent.
+func (e *Executive) SetRouter(r Router) {
+	e.mu.Lock()
+	e.router = r
+	e.mu.Unlock()
+}
+
+// SetRoute installs one system table entry: frames for node travel over the
+// named peer transport route.
+func (e *Executive) SetRoute(node i2o.NodeID, route string) {
+	e.mu.Lock()
+	e.routes[node] = route
+	e.mu.Unlock()
+}
+
+// Route returns the configured route for a node.
+func (e *Executive) Route(node i2o.NodeID) (string, bool) {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	r, ok := e.routes[node]
+	return r, ok
+}
+
+// Plug registers a device module, assigns it a TiD and enables it.  This
+// is the API form of the ExecPlugin message ("the object code is
+// downloaded dynamically into the running executives.  At this point a
+// plugin method ... allows us to register the downloaded object").
+func (e *Executive) Plug(d *device.Device) (i2o.TID, error) {
+	entry, err := e.table.AllocLocal(d.Class(), d.Instance())
+	if err != nil {
+		return i2o.TIDNone, err
+	}
+	e.mu.Lock()
+	e.devices[entry.TID] = d
+	e.mu.Unlock()
+	if err := d.Plugged(e, entry.TID); err != nil {
+		e.mu.Lock()
+		delete(e.devices, entry.TID)
+		e.mu.Unlock()
+		_ = e.table.Release(entry.TID)
+		return i2o.TIDNone, fmt.Errorf("executive: plug %s: %w", d.Class(), err)
+	}
+	d.SetState(device.Operational)
+	e.notifyDeviceChange("plug", d.Class(), d.Instance(), entry.TID)
+	return entry.TID, nil
+}
+
+// XFuncDeviceChange is the private event the executive sends to
+// UtilEventRegister subscribers whenever a device module is plugged or
+// unplugged — configuration changes are occurrences, and "essentially
+// every occurrence in the system is mapped to an I2O message" (§3.2).
+const XFuncDeviceChange uint16 = 0xFF02
+
+// notifyDeviceChange fans a plug/unplug event out to the executive
+// device's event subscribers.
+func (e *Executive) notifyDeviceChange(action, class string, instance int, id i2o.TID) {
+	if len(e.self.Subscribers()) == 0 {
+		return
+	}
+	payload, err := i2o.EncodeParams([]i2o.Param{
+		{Key: "action", Value: action},
+		{Key: "class", Value: class},
+		{Key: "instance", Value: int64(instance)},
+		{Key: "tid", Value: int64(id)},
+	})
+	if err != nil {
+		e.Logf("device change event: %v", err)
+		return
+	}
+	if err := e.self.Notify(XFuncDeviceChange, i2o.PriorityHigh, payload); err != nil {
+		e.Logf("device change event: %v", err)
+	}
+}
+
+// Unplug removes a device module and releases its TiD.
+func (e *Executive) Unplug(id i2o.TID) error {
+	e.mu.Lock()
+	d, ok := e.devices[id]
+	if ok {
+		delete(e.devices, id)
+	}
+	e.mu.Unlock()
+	if !ok || d == e.self {
+		if d == e.self {
+			e.mu.Lock()
+			e.devices[id] = d
+			e.mu.Unlock()
+			return fmt.Errorf("executive: cannot unplug the executive itself")
+		}
+		return fmt.Errorf("%w: %v", tid.ErrUnknown, id)
+	}
+	if err := e.table.Release(id); err != nil {
+		return err
+	}
+	d.Unplugged()
+	e.notifyDeviceChange("unplug", d.Class(), d.Instance(), id)
+	return nil
+}
+
+// Device returns the device registered at id.
+func (e *Executive) Device(id i2o.TID) (*device.Device, bool) {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	d, ok := e.devices[id]
+	return d, ok
+}
+
+// Devices returns a snapshot of all registered device modules.
+func (e *Executive) Devices() []*device.Device {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	out := make([]*device.Device, 0, len(e.devices))
+	for _, d := range e.devices {
+		out = append(out, d)
+	}
+	return out
+}
+
+// Close stops the dispatch loop, cancels timers and releases queued
+// frames.  It is idempotent.
+func (e *Executive) Close() {
+	e.closeOnce.Do(func() {
+		e.timerMu.Lock()
+		for id, t := range e.timers {
+			t.Stop()
+			delete(e.timers, id)
+		}
+		e.timerMu.Unlock()
+
+		e.in.Close()
+		<-e.loopDone
+		for _, m := range e.in.Drain() {
+			m.Release()
+		}
+
+		e.pendMu.Lock()
+		for ctx, ch := range e.pending {
+			close(ch)
+			delete(e.pending, ctx)
+		}
+		e.pendMu.Unlock()
+	})
+}

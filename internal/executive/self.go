@@ -1,0 +1,220 @@
+package executive
+
+import (
+	"fmt"
+	"strconv"
+
+	"xdaq/internal/device"
+	"xdaq/internal/i2o"
+	"xdaq/internal/tid"
+)
+
+// newSelfDevice builds the executive's own device module: the handlers
+// behind the executive function codes.  "All modules, user applications,
+// the peer transports and even the executive get such a TiD.  Thus, they
+// are all valid I2O devices and have to implement the standard executive
+// and utility message handlers to be configurable and controllable."
+func newSelfDevice(e *Executive) *device.Device {
+	d := device.New("executive", 0)
+	d.Params().Set("name", e.opts.Name)
+	d.Params().Set("node", int64(e.opts.Node))
+
+	d.BindFunction(i2o.ExecStatusGet, e.handleStatusGet)
+	d.BindFunction(i2o.ExecHrtGet, e.handleHrtGet)
+	d.BindFunction(i2o.ExecPlugin, e.handlePlugin)
+	d.BindFunction(i2o.ExecUnplug, e.handleUnplug)
+	d.BindFunction(i2o.ExecSysEnable, e.handleSysEnable)
+	d.BindFunction(i2o.ExecSysQuiesce, e.handleSysQuiesce)
+	d.BindFunction(i2o.ExecSysClear, e.handleSysClear)
+	d.BindFunction(i2o.ExecSysTabSet, e.handleSysTabSet)
+	d.BindFunction(i2o.ExecTimerSet, e.handleTimerSet)
+	d.BindFunction(i2o.ExecTimerCancel, e.handleTimerCancel)
+	d.BindFunction(i2o.ExecTraceGet, e.handleTraceGet)
+	d.BindFunction(i2o.ExecOutboundInit, func(ctx *device.Context, m *i2o.Message) error {
+		// Queues are initialized at construction; the code exists so hosts
+		// following the I2O bring-up sequence get a success reply.
+		return device.ReplyIfExpected(ctx, m, nil)
+	})
+	return d
+}
+
+func (e *Executive) handleStatusGet(ctx *device.Context, m *i2o.Message) error {
+	s := e.Stats()
+	params := []i2o.Param{
+		{Key: "name", Value: e.opts.Name},
+		{Key: "node", Value: int64(e.opts.Node)},
+		{Key: "state", Value: e.State().String()},
+		{Key: "devices", Value: int64(len(e.Devices()))},
+		{Key: "queue", Value: int64(e.QueueLen())},
+		{Key: "allocator", Value: e.alloc.Name()},
+		{Key: "dispatched", Value: s.Dispatched},
+		{Key: "forwarded", Value: s.Forwarded},
+		{Key: "replies", Value: s.Replies},
+		{Key: "failures", Value: s.Failures},
+		{Key: "dropped", Value: s.Dropped},
+	}
+	i2o.SortParams(params)
+	payload, err := i2o.EncodeParams(params)
+	if err != nil {
+		return err
+	}
+	return device.ReplyIfExpected(ctx, m, payload)
+}
+
+func (e *Executive) handleHrtGet(ctx *device.Context, m *i2o.Message) error {
+	var params []i2o.Param
+	for _, entry := range e.table.Entries() {
+		if entry.Kind != tid.Local { // proxies are not part of this IOP's own HRT
+			continue
+		}
+		params = append(params, i2o.Param{
+			Key:   hrtKey(entry.Class, entry.Instance),
+			Value: int64(entry.TID),
+		})
+	}
+	payload, err := i2o.EncodeParams(params)
+	if err != nil {
+		return err
+	}
+	return device.ReplyIfExpected(ctx, m, payload)
+}
+
+func (e *Executive) handlePlugin(ctx *device.Context, m *i2o.Message) error {
+	params, err := i2o.DecodeParams(m.Payload)
+	if err != nil {
+		return err
+	}
+	var module string
+	instance := 0
+	for _, p := range params {
+		switch p.Key {
+		case "module":
+			if s, ok := p.Value.(string); ok {
+				module = s
+			}
+		case "instance":
+			if n, ok := p.Value.(int64); ok {
+				instance = int(n)
+			}
+		}
+	}
+	if module == "" {
+		return fmt.Errorf("%w: plugin request without module name", i2o.ErrTruncated)
+	}
+	d, err := Instantiate(module, instance, params)
+	if err != nil {
+		return err
+	}
+	id, err := e.Plug(d)
+	if err != nil {
+		return err
+	}
+	payload, err := i2o.EncodeParams([]i2o.Param{{Key: "tid", Value: int64(id)}})
+	if err != nil {
+		return err
+	}
+	return device.ReplyIfExpected(ctx, m, payload)
+}
+
+func (e *Executive) handleUnplug(ctx *device.Context, m *i2o.Message) error {
+	params, err := i2o.DecodeParams(m.Payload)
+	if err != nil {
+		return err
+	}
+	for _, p := range params {
+		if p.Key == "tid" {
+			if n, ok := p.Value.(int64); ok {
+				if err := e.Unplug(i2o.TID(n)); err != nil {
+					return err
+				}
+				return device.ReplyIfExpected(ctx, m, nil)
+			}
+		}
+	}
+	return fmt.Errorf("%w: unplug request without tid", i2o.ErrTruncated)
+}
+
+// setAllStates drives the IOP-level state transitions: an executive-level
+// enable or quiesce applies to every registered device module.
+func (e *Executive) setAllStates(s device.State) {
+	e.state.Store(int32(s))
+	for _, d := range e.Devices() {
+		if d == e.self {
+			continue
+		}
+		if d.State() != device.Faulted {
+			d.SetState(s)
+		}
+	}
+}
+
+func (e *Executive) handleSysEnable(ctx *device.Context, m *i2o.Message) error {
+	e.setAllStates(device.Operational)
+	return device.ReplyIfExpected(ctx, m, nil)
+}
+
+func (e *Executive) handleSysQuiesce(ctx *device.Context, m *i2o.Message) error {
+	e.setAllStates(device.Quiesced)
+	return device.ReplyIfExpected(ctx, m, nil)
+}
+
+func (e *Executive) handleSysClear(ctx *device.Context, m *i2o.Message) error {
+	e.nDispatched.Store(0)
+	e.nForwarded.Store(0)
+	e.nReplies.Store(0)
+	e.nFailures.Store(0)
+	e.nDropped.Store(0)
+	return device.ReplyIfExpected(ctx, m, nil)
+}
+
+// handleTraceGet controls and reads the frame tracer: optional "enable"
+// and "reset" booleans in the request, the ring dump in the reply.
+func (e *Executive) handleTraceGet(ctx *device.Context, m *i2o.Message) error {
+	if len(m.Payload) > 0 {
+		params, err := i2o.DecodeParams(m.Payload)
+		if err != nil {
+			return err
+		}
+		for _, p := range params {
+			switch p.Key {
+			case "enable":
+				if b, ok := p.Value.(bool); ok {
+					e.SetTrace(b)
+				}
+			case "reset":
+				if b, ok := p.Value.(bool); ok && b {
+					e.traceRing.Reset()
+				}
+			}
+		}
+	}
+	out := []i2o.Param{
+		{Key: "dump", Value: e.traceRing.Dump()},
+		{Key: "enabled", Value: e.traceOn.Load()},
+		{Key: "total", Value: e.traceRing.Total()},
+	}
+	payload, err := i2o.EncodeParams(out)
+	if err != nil {
+		return err
+	}
+	return device.ReplyIfExpected(ctx, m, payload)
+}
+
+func (e *Executive) handleSysTabSet(ctx *device.Context, m *i2o.Message) error {
+	params, err := i2o.DecodeParams(m.Payload)
+	if err != nil {
+		return err
+	}
+	for _, p := range params {
+		node, err := strconv.ParseUint(p.Key, 10, 32)
+		if err != nil {
+			return fmt.Errorf("executive: system table key %q: %w", p.Key, err)
+		}
+		route, ok := p.Value.(string)
+		if !ok {
+			return fmt.Errorf("executive: system table entry %q is %T, want string", p.Key, p.Value)
+		}
+		e.SetRoute(i2o.NodeID(node), route)
+	}
+	return device.ReplyIfExpected(ctx, m, nil)
+}

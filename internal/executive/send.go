@@ -1,0 +1,324 @@
+package executive
+
+import (
+	"fmt"
+	"time"
+
+	"xdaq/internal/i2o"
+	"xdaq/internal/pool"
+	"xdaq/internal/probe"
+	"xdaq/internal/queue"
+	"xdaq/internal/tid"
+)
+
+// Alloc implements device.Host: frameAlloc, a buffer from the executive's
+// pool (probed for the Table 1 cross check).
+func (e *Executive) Alloc(n int) (*pool.Buffer, error) {
+	if probe.Enabled() {
+		t0 := time.Now()
+		b, err := e.alloc.Alloc(n)
+		e.pFrameAloc.Since(t0)
+		return b, err
+	}
+	return e.alloc.Alloc(n)
+}
+
+// AllocMessage builds a private message whose payload lives in a fresh
+// pool block of n bytes, ready for zero-copy sending.
+func (e *Executive) AllocMessage(n int) (*i2o.Message, error) {
+	b, err := e.Alloc(n)
+	if err != nil {
+		return nil, err
+	}
+	m := &i2o.Message{
+		Priority: i2o.PriorityDefault,
+		Function: i2o.FuncPrivate,
+		Org:      i2o.OrgXDAQ,
+		Payload:  b.Bytes(),
+	}
+	m.AttachBuffer(b)
+	return m, nil
+}
+
+// Free releases a message's pool buffer (frameFree).  Equivalent to
+// m.Release, with the whitebox probe applied.
+func (e *Executive) Free(m *i2o.Message) {
+	if probe.Enabled() {
+		t0 := time.Now()
+		m.Release()
+		e.pFrameFree.Since(t0)
+		return
+	}
+	m.Release()
+}
+
+// Send implements device.Host: frameSend.  Ownership of the message (and
+// its attached buffer) passes to the executive: local targets are pushed
+// to the inbound scheduler, proxy targets are forwarded through the
+// router.  The caller must not touch m afterwards unless it retained the
+// buffer first.
+func (e *Executive) Send(m *i2o.Message) error {
+	if err := m.Validate(); err != nil {
+		return err
+	}
+	entry, ok := e.table.Lookup(m.Target)
+	if !ok {
+		e.nDropped.Add(1)
+		return fmt.Errorf("%w: %v", tid.ErrUnknown, m.Target)
+	}
+	if entry.Kind == tid.Proxy {
+		return e.forward(entry, m)
+	}
+	if err := e.in.Push(m); err != nil {
+		e.nDropped.Add(1)
+		if err == queue.ErrFull {
+			return fmt.Errorf("%w: inbound queue", pool.ErrExhausted)
+		}
+		return ErrClosed
+	}
+	return nil
+}
+
+// Inject pushes a frame into the inbound scheduler without address
+// rewriting.  Transports and tests use it for locally terminated frames.
+func (e *Executive) Inject(m *i2o.Message) error {
+	if err := e.in.Push(m); err != nil {
+		e.nDropped.Add(1)
+		m.Release()
+		return ErrClosed
+	}
+	return nil
+}
+
+// InjectFrom delivers a frame received from a remote IOP.  Peer operation
+// (figure 4): the receiving side creates (or finds) a local proxy for the
+// remote initiator and rewrites the frame's initiator address to it, so
+// replies route back transparently — the caller never needs to know the
+// device is remote.
+func (e *Executive) InjectFrom(src i2o.NodeID, route string, m *i2o.Message) error {
+	if m.Initiator.Valid() {
+		local, err := e.returnProxy(src, route, m.Initiator)
+		if err != nil {
+			m.Release()
+			return err
+		}
+		m.Initiator = local
+	}
+	return e.Inject(m)
+}
+
+// peerClass prefixes return proxies in the address table.  The full class
+// name includes the arrival route, so that when two transports connect
+// the same pair of IOPs in parallel (§4), replies travel back over the
+// transport the request came in on rather than collapsing onto whichever
+// route made first contact.
+const peerClass = "@peer"
+
+func (e *Executive) returnProxy(node i2o.NodeID, route string, remote i2o.TID) (i2o.TID, error) {
+	class := peerClass + ":" + route
+	if entry, ok := e.table.Resolve(class, int(remote), node); ok {
+		return entry.TID, nil
+	}
+	entry, err := e.table.AllocProxy(class, int(remote), node, route, remote)
+	if err != nil {
+		// A concurrent delivery may have created it between Resolve and
+		// AllocProxy.
+		if entry, ok := e.table.Resolve(class, int(remote), node); ok {
+			return entry.TID, nil
+		}
+		return i2o.TIDNone, err
+	}
+	return entry.TID, nil
+}
+
+// forward hands a frame for a proxy entry to the router, rewriting the
+// target to the remote TiD.  Ownership passes to the router.
+func (e *Executive) forward(entry tid.Entry, m *i2o.Message) error {
+	e.mu.RLock()
+	r := e.router
+	e.mu.RUnlock()
+	if r == nil {
+		m.Release()
+		return fmt.Errorf("%w: no router installed", ErrNoRoute)
+	}
+	m.Target = entry.Remote
+	if err := r.Forward(entry.Route, entry.Node, m); err != nil {
+		return fmt.Errorf("executive: forward via %s: %w", entry.Route, err)
+	}
+	e.nForwarded.Add(1)
+	return nil
+}
+
+// Request implements device.Host: it assigns a fresh initiator context,
+// marks the frame reply-expected, sends it and blocks for the correlated
+// reply (or the configured timeout).  The caller owns the returned reply
+// and must Release it when it carries a pool buffer.
+func (e *Executive) Request(m *i2o.Message) (*i2o.Message, error) {
+	return e.RequestTimeout(m, e.opts.RequestTimeout)
+}
+
+// RequestTimeout is Request with an explicit deadline.
+func (e *Executive) RequestTimeout(m *i2o.Message, d time.Duration) (*i2o.Message, error) {
+	ctx := e.nextContext()
+	m.InitiatorContext = ctx
+	m.Flags |= i2o.FlagReplyExpected
+
+	ch := make(chan *i2o.Message, 1)
+	e.pendMu.Lock()
+	e.pending[ctx] = ch
+	e.pendMu.Unlock()
+
+	if err := e.Send(m); err != nil {
+		e.dropPending(ctx)
+		return nil, err
+	}
+	timer := time.NewTimer(d)
+	defer timer.Stop()
+	select {
+	case rep, ok := <-ch:
+		if !ok {
+			return nil, ErrClosed
+		}
+		if err := i2o.ReplyError(rep); err != nil {
+			rep.Release()
+			return nil, err
+		}
+		return rep, nil
+	case <-timer.C:
+		e.dropPending(ctx)
+		// The dispatcher may have claimed the waiter just before the drop;
+		// release a reply parked in the buffered channel so its pool
+		// buffer is not stranded.  (A delivery racing in after this drain
+		// leaves only the frame struct to the garbage collector.)
+		select {
+		case rep, ok := <-ch:
+			if ok && rep != nil {
+				rep.Release()
+			}
+		default:
+		}
+		return nil, fmt.Errorf("%w after %v (%v)", ErrTimeout, d, m.Target)
+	}
+}
+
+// nextContext returns a nonzero correlation token.
+func (e *Executive) nextContext() uint32 {
+	for {
+		if ctx := e.ctxSeq.Add(1); ctx != 0 {
+			return ctx
+		}
+	}
+}
+
+func (e *Executive) dropPending(ctx uint32) {
+	e.pendMu.Lock()
+	delete(e.pending, ctx)
+	e.pendMu.Unlock()
+}
+
+// takePending claims the waiter for a reply context.
+func (e *Executive) takePending(ctx uint32) chan *i2o.Message {
+	e.pendMu.Lock()
+	ch, ok := e.pending[ctx]
+	if ok {
+		delete(e.pending, ctx)
+	}
+	e.pendMu.Unlock()
+	if !ok {
+		return nil
+	}
+	return ch
+}
+
+// Resolve implements device.Host: it returns the local TiD for a device on
+// any node.  Local devices resolve against the table; remote devices must
+// already have a proxy (created by Discover or by return traffic).
+func (e *Executive) Resolve(class string, instance int, node i2o.NodeID) (i2o.TID, error) {
+	if node == e.opts.Node {
+		node = i2o.NodeNone
+	}
+	if entry, ok := e.table.Resolve(class, instance, node); ok {
+		return entry.TID, nil
+	}
+	if node == i2o.NodeNone {
+		return i2o.TIDNone, fmt.Errorf("%w: %s[%d] local", tid.ErrUnknown, class, instance)
+	}
+	return i2o.TIDNone, fmt.Errorf("%w: %s[%d]@%v (run Discover first)", tid.ErrUnknown, class, instance, node)
+}
+
+// ExecProxy returns (creating if necessary) the local proxy for the remote
+// node's executive.  Every IOP's executive is at the well-known TiD 1, so
+// this needs only a system table route.
+func (e *Executive) ExecProxy(node i2o.NodeID) (i2o.TID, error) {
+	route, ok := e.Route(node)
+	if !ok {
+		return i2o.TIDNone, fmt.Errorf("%w: node %v not in system table", ErrNoRoute, node)
+	}
+	if entry, ok := e.table.Resolve("@exec", 0, node); ok {
+		return entry.TID, nil
+	}
+	entry, err := e.table.AllocProxy("@exec", 0, node, route, i2o.TIDExecutive)
+	if err != nil {
+		if entry, ok := e.table.Resolve("@exec", 0, node); ok {
+			return entry.TID, nil
+		}
+		return i2o.TIDNone, err
+	}
+	return entry.TID, nil
+}
+
+// Discover queries the remote node's hardware resource table for
+// (class, instance), creates a local proxy for it and returns the proxy
+// TiD.  This is the paper's "[the module] will also request the
+// availability of other device class instances on remote IOPs and
+// triggers the creation of proxy TiDs".
+func (e *Executive) Discover(node i2o.NodeID, class string, instance int) (i2o.TID, error) {
+	if entry, ok := e.table.Resolve(class, instance, node); ok {
+		return entry.TID, nil
+	}
+	execTID, err := e.ExecProxy(node)
+	if err != nil {
+		return i2o.TIDNone, err
+	}
+	route, _ := e.Route(node)
+
+	req := &i2o.Message{
+		Priority:  i2o.PriorityHigh,
+		Target:    execTID,
+		Initiator: i2o.TIDExecutive,
+		Function:  i2o.ExecHrtGet,
+	}
+	rep, err := e.Request(req)
+	if err != nil {
+		return i2o.TIDNone, fmt.Errorf("executive: discover on %v: %w", node, err)
+	}
+	defer rep.Release()
+	params, err := i2o.DecodeParams(rep.Payload)
+	if err != nil {
+		return i2o.TIDNone, err
+	}
+	want := hrtKey(class, instance)
+	for _, p := range params {
+		if p.Key != want {
+			continue
+		}
+		remote, ok := p.Value.(int64)
+		if !ok || !i2o.TID(remote).Valid() {
+			return i2o.TIDNone, fmt.Errorf("executive: bad HRT entry %q=%v", p.Key, p.Value)
+		}
+		entry, err := e.table.AllocProxy(class, instance, node, route, i2o.TID(remote))
+		if err != nil {
+			if entry, ok := e.table.Resolve(class, instance, node); ok {
+				return entry.TID, nil
+			}
+			return i2o.TIDNone, err
+		}
+		return entry.TID, nil
+	}
+	return i2o.TIDNone, fmt.Errorf("%w: %s[%d] not in HRT of %v", tid.ErrUnknown, class, instance, node)
+}
+
+// hrtKey encodes one resource table row key.
+func hrtKey(class string, instance int) string {
+	return fmt.Sprintf("%s#%d", class, instance)
+}

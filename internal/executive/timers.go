@@ -1,0 +1,121 @@
+package executive
+
+import (
+	"fmt"
+	"time"
+
+	"xdaq/internal/device"
+	"xdaq/internal/i2o"
+)
+
+// XFuncTimerExpired is the private extended function code of the timer
+// expiry event frames the executive delivers.  "Even interrupts or timer
+// expirations trigger messages that are sent to device modules" (§3.2).
+const XFuncTimerExpired uint16 = 0xFF01
+
+// After arms an executive core timer: after d, a private frame with
+// XFuncTimerExpired (carrying the given payload and the timer id as
+// parameters) is injected for target.  It returns the timer id and a
+// cancel function.
+func (e *Executive) After(d time.Duration, target i2o.TID, payload []byte) (uint32, func() bool) {
+	id := e.timerSeq.Add(1)
+	t := time.AfterFunc(d, func() {
+		e.timerMu.Lock()
+		delete(e.timers, id)
+		e.timerMu.Unlock()
+		e.fireTimer(id, target, payload)
+	})
+	e.timerMu.Lock()
+	e.timers[id] = t
+	e.timerMu.Unlock()
+	return id, func() bool { return e.CancelTimer(id) }
+}
+
+// CancelTimer disarms a timer; it reports whether the timer was still
+// pending.
+func (e *Executive) CancelTimer(id uint32) bool {
+	e.timerMu.Lock()
+	t, ok := e.timers[id]
+	if ok {
+		delete(e.timers, id)
+	}
+	e.timerMu.Unlock()
+	return ok && t.Stop()
+}
+
+// fireTimer builds and injects the expiry event frame.
+func (e *Executive) fireTimer(id uint32, target i2o.TID, payload []byte) {
+	m := &i2o.Message{
+		Priority:           i2o.PriorityHigh,
+		Target:             target,
+		Initiator:          i2o.TIDExecutive,
+		Function:           i2o.FuncPrivate,
+		Org:                i2o.OrgXDAQ,
+		XFunction:          XFuncTimerExpired,
+		TransactionContext: id,
+		Payload:            payload,
+	}
+	if err := e.Send(m); err != nil {
+		e.Logf("timer %d for %v undeliverable: %v", id, target, err)
+	}
+}
+
+func (e *Executive) handleTimerSet(ctx *device.Context, m *i2o.Message) error {
+	params, err := i2o.DecodeParams(m.Payload)
+	if err != nil {
+		return err
+	}
+	var (
+		after   time.Duration
+		payload []byte
+	)
+	target := m.Initiator
+	for _, p := range params {
+		switch p.Key {
+		case "after_us":
+			if n, ok := p.Value.(int64); ok {
+				after = time.Duration(n) * time.Microsecond
+			}
+		case "payload":
+			if b, ok := p.Value.([]byte); ok {
+				payload = b
+			}
+		case "target":
+			if n, ok := p.Value.(int64); ok {
+				target = i2o.TID(n)
+			}
+		}
+	}
+	if after <= 0 {
+		return fmt.Errorf("%w: timer request without positive after_us", i2o.ErrTruncated)
+	}
+	if !target.Valid() {
+		return fmt.Errorf("executive: timer target %v invalid", target)
+	}
+	id, _ := e.After(after, target, payload)
+	rep, err := i2o.EncodeParams([]i2o.Param{{Key: "timer", Value: int64(id)}})
+	if err != nil {
+		return err
+	}
+	return device.ReplyIfExpected(ctx, m, rep)
+}
+
+func (e *Executive) handleTimerCancel(ctx *device.Context, m *i2o.Message) error {
+	params, err := i2o.DecodeParams(m.Payload)
+	if err != nil {
+		return err
+	}
+	for _, p := range params {
+		if p.Key == "timer" {
+			if n, ok := p.Value.(int64); ok {
+				stopped := e.CancelTimer(uint32(n))
+				rep, err := i2o.EncodeParams([]i2o.Param{{Key: "stopped", Value: stopped}})
+				if err != nil {
+					return err
+				}
+				return device.ReplyIfExpected(ctx, m, rep)
+			}
+		}
+	}
+	return fmt.Errorf("%w: cancel request without timer id", i2o.ErrTruncated)
+}

@@ -1,0 +1,123 @@
+package i2o
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+// FailCode classifies a failure reported in a reply frame with FlagFail set.
+type FailCode uint16
+
+const (
+	// FailUnknownTarget reports a frame addressed to a TiD with no
+	// registered device and no proxy route.
+	FailUnknownTarget FailCode = 1
+
+	// FailUnknownFunction reports a function or private XFunction code the
+	// target device does not implement and for which no default procedure
+	// exists.
+	FailUnknownFunction FailCode = 2
+
+	// FailDeviceState reports a frame delivered to a device that is not in
+	// a state to process it (quiesced, faulted, or being unplugged).
+	FailDeviceState FailCode = 3
+
+	// FailTransport reports a peer transport error while forwarding a
+	// frame to a remote IOP.
+	FailTransport FailCode = 4
+
+	// FailResources reports buffer pool or queue exhaustion.
+	FailResources FailCode = 5
+
+	// FailBadFrame reports a malformed request payload.
+	FailBadFrame FailCode = 6
+
+	// FailAborted reports a handler terminated by the executive watchdog
+	// or an explicit UtilAbort.
+	FailAborted FailCode = 7
+
+	// FailApplication is the generic code for errors raised by user device
+	// code.
+	FailApplication FailCode = 100
+)
+
+var failNames = map[FailCode]string{
+	FailUnknownTarget:   "unknown target",
+	FailUnknownFunction: "unknown function",
+	FailDeviceState:     "bad device state",
+	FailTransport:       "transport failure",
+	FailResources:       "resource exhaustion",
+	FailBadFrame:        "malformed frame",
+	FailAborted:         "aborted",
+	FailApplication:     "application error",
+}
+
+func (c FailCode) String() string {
+	if s, ok := failNames[c]; ok {
+		return s
+	}
+	return fmt.Sprintf("FailCode(%d)", uint16(c))
+}
+
+// FailRecord is the payload of a failure reply: a code plus a human-readable
+// detail string.
+type FailRecord struct {
+	Code   FailCode
+	Detail string
+}
+
+// Error implements the error interface so failure replies can be surfaced
+// directly to callers of request/reply helpers.
+func (r *FailRecord) Error() string {
+	if r.Detail == "" {
+		return "i2o: " + r.Code.String()
+	}
+	return fmt.Sprintf("i2o: %v: %s", r.Code, r.Detail)
+}
+
+// EncodeFail renders the record as a frame payload: code (uint16), detail
+// length (uint16), detail bytes.
+func (r *FailRecord) EncodeFail() []byte {
+	b := make([]byte, 4+len(r.Detail))
+	binary.LittleEndian.PutUint16(b, uint16(r.Code))
+	binary.LittleEndian.PutUint16(b[2:], uint16(len(r.Detail)))
+	copy(b[4:], r.Detail)
+	return b
+}
+
+// DecodeFail parses a failure payload written by EncodeFail.
+func DecodeFail(payload []byte) (*FailRecord, error) {
+	if len(payload) < 4 {
+		return nil, fmt.Errorf("%w: fail record of %d bytes", ErrTruncated, len(payload))
+	}
+	n := int(binary.LittleEndian.Uint16(payload[2:]))
+	if len(payload) < 4+n {
+		return nil, fmt.Errorf("%w: fail detail", ErrTruncated)
+	}
+	return &FailRecord{
+		Code:   FailCode(binary.LittleEndian.Uint16(payload)),
+		Detail: string(payload[4 : 4+n]),
+	}, nil
+}
+
+// NewFailReply builds a failure reply to req carrying the given code and
+// detail text.
+func NewFailReply(req *Message, code FailCode, detail string) *Message {
+	m := NewReply(req)
+	m.Flags |= FlagFail
+	m.Payload = (&FailRecord{Code: code, Detail: detail}).EncodeFail()
+	return m
+}
+
+// ReplyError extracts the failure from a reply frame: nil if the reply does
+// not carry FlagFail, the decoded FailRecord otherwise.
+func ReplyError(reply *Message) error {
+	if !reply.Flags.Has(FlagFail) {
+		return nil
+	}
+	rec, err := DecodeFail(reply.Payload)
+	if err != nil {
+		return fmt.Errorf("i2o: undecodable fail reply: %w", err)
+	}
+	return rec
+}

@@ -1,0 +1,104 @@
+package i2o
+
+import (
+	"errors"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestFailRecordRoundTrip(t *testing.T) {
+	in := &FailRecord{Code: FailTransport, Detail: "gm wire down"}
+	out, err := DecodeFail(in.EncodeFail())
+	if err != nil {
+		t.Fatalf("DecodeFail: %v", err)
+	}
+	if out.Code != in.Code || out.Detail != in.Detail {
+		t.Fatalf("round trip: %+v", out)
+	}
+}
+
+func TestFailRecordEmptyDetail(t *testing.T) {
+	in := &FailRecord{Code: FailResources}
+	out, err := DecodeFail(in.EncodeFail())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Detail != "" || out.Code != FailResources {
+		t.Fatalf("got %+v", out)
+	}
+	if !strings.Contains(out.Error(), "resource") {
+		t.Fatalf("Error() = %q", out.Error())
+	}
+}
+
+func TestDecodeFailTruncated(t *testing.T) {
+	full := (&FailRecord{Code: FailAborted, Detail: "watchdog"}).EncodeFail()
+	for i := 0; i < len(full); i++ {
+		if _, err := DecodeFail(full[:i]); err == nil {
+			t.Fatalf("prefix %d decoded", i)
+		}
+	}
+}
+
+func TestNewFailReplyAndReplyError(t *testing.T) {
+	req := sampleMessage()
+	rep := NewFailReply(req, FailUnknownFunction, "no handler for 0x7788")
+	if !rep.Flags.Has(FlagReply) || !rep.Flags.Has(FlagFail) {
+		t.Fatalf("flags = %v", rep.Flags)
+	}
+	err := ReplyError(rep)
+	var rec *FailRecord
+	if !errors.As(err, &rec) {
+		t.Fatalf("ReplyError type = %T", err)
+	}
+	if rec.Code != FailUnknownFunction {
+		t.Fatalf("code = %v", rec.Code)
+	}
+	if !strings.Contains(rec.Error(), "0x7788") {
+		t.Fatalf("Error() = %q", rec.Error())
+	}
+}
+
+func TestReplyErrorOnSuccess(t *testing.T) {
+	req := sampleMessage()
+	rep := NewReply(req)
+	if err := ReplyError(rep); err != nil {
+		t.Fatalf("success reply produced error %v", err)
+	}
+}
+
+func TestReplyErrorUndecodable(t *testing.T) {
+	req := sampleMessage()
+	rep := NewReply(req)
+	rep.Flags |= FlagFail
+	rep.Payload = []byte{1} // too short for a fail record
+	if err := ReplyError(rep); err == nil {
+		t.Fatal("undecodable fail payload produced nil error")
+	}
+}
+
+func TestFailCodeNames(t *testing.T) {
+	for code := FailUnknownTarget; code <= FailApplication; code++ {
+		if code.String() == "" {
+			t.Fatalf("empty name for %d", code)
+		}
+	}
+	if !strings.Contains(FailCode(999).String(), "999") {
+		t.Fatal("unknown code must render its number")
+	}
+}
+
+func TestQuickFailRoundTrip(t *testing.T) {
+	f := func(code uint16, detail string) bool {
+		in := &FailRecord{Code: FailCode(code), Detail: detail}
+		if len(detail) > 0xFFFF {
+			return true // length field is uint16; out of scope
+		}
+		out, err := DecodeFail(in.EncodeFail())
+		return err == nil && out.Code == in.Code && out.Detail == in.Detail
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}

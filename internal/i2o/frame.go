@@ -1,0 +1,379 @@
+package i2o
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+)
+
+// Flags carries the frame control bits.
+type Flags uint8
+
+const (
+	// FlagReplyExpected marks a request whose initiator waits for a reply
+	// frame carrying the same InitiatorContext.
+	FlagReplyExpected Flags = 1 << 0
+
+	// FlagReply marks a frame that answers an earlier request.
+	FlagReply Flags = 1 << 1
+
+	// FlagFail marks a reply that reports failure; the payload carries an
+	// encoded failure record (see FailRecord).
+	FlagFail Flags = 1 << 2
+)
+
+func (f Flags) Has(bit Flags) bool { return f&bit != 0 }
+
+func (f Flags) String() string {
+	s := ""
+	if f.Has(FlagReplyExpected) {
+		s += "E"
+	}
+	if f.Has(FlagReply) {
+		s += "R"
+	}
+	if f.Has(FlagFail) {
+		s += "F"
+	}
+	if s == "" {
+		return "-"
+	}
+	return s
+}
+
+// Frame sizes, in bytes.  An I2O message is measured in 32-bit words; the
+// standard header occupies four words and the private extension adds one.
+const (
+	wordSize = 4
+
+	// StandardHeaderSize is the byte size of the standard frame header.
+	StandardHeaderSize = 4 * wordSize
+
+	// PrivateHeaderSize is the byte size of the header including the
+	// private extension word (present when Function == FuncPrivate).
+	PrivateHeaderSize = 5 * wordSize
+
+	// MaxWireSize is the largest encodable frame: the MessageSize field is
+	// a 16-bit word count.
+	MaxWireSize = 0xFFFF * wordSize
+
+	// MaxPayload is the largest payload of a private frame.  This aligns
+	// with the paper's 256 KB maximum buffer pool block length.
+	MaxPayload = MaxWireSize - PrivateHeaderSize
+)
+
+// Releaser is the hook through which a Message participates in buffer pool
+// reference counting without this package depending on the pool
+// implementation.  The executive attaches the pool buffer backing
+// Message.Payload; transports retain it while a frame is in flight and
+// release it after delivery, implementing the paper's automatic recycling.
+type Releaser interface {
+	Retain()
+	Release()
+}
+
+// Message is one I2O message frame.  The struct form is the in-memory
+// representation moved between devices on the same IOP (zero-copy: Payload
+// aliases a buffer pool block); Encode/Decode translate to the wire layout
+// of figure 5 for transports that serialize.
+type Message struct {
+	Flags              Flags
+	Priority           Priority
+	Target             TID
+	Initiator          TID
+	Function           Function
+	InitiatorContext   uint32
+	TransactionContext uint32
+
+	// Private extension, meaningful only when Function == FuncPrivate.
+	XFunction uint16
+	Org       OrgID
+
+	// Payload is the frame body.  When the message was allocated through
+	// an executive it aliases a buffer pool block; Release returns it.
+	Payload []byte
+
+	buf Releaser
+}
+
+// HeaderSize returns the byte size of this message's header on the wire.
+func (m *Message) HeaderSize() int {
+	if m.Function.IsPrivate() {
+		return PrivateHeaderSize
+	}
+	return StandardHeaderSize
+}
+
+// WireSize returns the total encoded size in bytes, including padding to a
+// word boundary.
+func (m *Message) WireSize() int {
+	n := m.HeaderSize() + len(m.Payload)
+	return (n + wordSize - 1) &^ (wordSize - 1)
+}
+
+// Validation errors.
+var (
+	ErrBadVersion  = errors.New("i2o: unsupported frame version")
+	ErrBadTID      = errors.New("i2o: invalid target identifier")
+	ErrBadPriority = errors.New("i2o: priority out of range")
+	ErrTooLarge    = errors.New("i2o: frame exceeds maximum wire size")
+	ErrTruncated   = errors.New("i2o: truncated frame")
+	ErrShortBuffer = errors.New("i2o: destination buffer too small")
+)
+
+// Validate checks that the message can be represented on the wire.
+func (m *Message) Validate() error {
+	if !m.Target.Valid() {
+		return fmt.Errorf("%w: target %v", ErrBadTID, m.Target)
+	}
+	if m.Initiator > TIDMax {
+		return fmt.Errorf("%w: initiator %v", ErrBadTID, m.Initiator)
+	}
+	if !m.Priority.Valid() {
+		return fmt.Errorf("%w: %d", ErrBadPriority, m.Priority)
+	}
+	if m.WireSize() > MaxWireSize {
+		return fmt.Errorf("%w: %d bytes", ErrTooLarge, m.WireSize())
+	}
+	return nil
+}
+
+// AttachBuffer records the pool buffer backing Payload so that Retain and
+// Release manage its reference count.  Passing nil detaches.
+func (m *Message) AttachBuffer(b Releaser) { m.buf = b }
+
+// Buffer returns the attached pool buffer, or nil.
+func (m *Message) Buffer() Releaser { return m.buf }
+
+// Retain increments the reference count of the backing buffer, if any.
+func (m *Message) Retain() {
+	if m.buf != nil {
+		m.buf.Retain()
+	}
+}
+
+// Release decrements the reference count of the backing buffer, if any,
+// recycling it to its pool when the count reaches zero.  The message must
+// not be used afterwards.
+func (m *Message) Release() {
+	if m.buf != nil {
+		m.buf.Release()
+		m.buf = nil
+	}
+}
+
+// Encode writes the wire representation into dst and returns the number of
+// bytes written (always a multiple of the word size).
+//
+// Wire layout, little-endian, one 32-bit word per row:
+//
+//	word 0: version (byte) | prio+pad+flags (byte) | message size in words (uint16)
+//	word 1: target (12 bits) | initiator (12 bits) | function (8 bits)
+//	word 2: initiator context
+//	word 3: transaction context
+//	word 4: xfunction (16 bits) | organization id (16 bits)   [private only]
+//	then the payload, zero-padded to a word boundary.
+func (m *Message) Encode(dst []byte) (int, error) {
+	if err := m.Validate(); err != nil {
+		return 0, err
+	}
+	size := m.WireSize()
+	if len(dst) < size {
+		return 0, fmt.Errorf("%w: need %d, have %d", ErrShortBuffer, size, len(dst))
+	}
+	hdr := m.HeaderSize()
+	pad := size - hdr - len(m.Payload)
+
+	dst[0] = Version
+	dst[1] = byte(m.Priority) | byte(pad)<<3 | byte(m.Flags)<<5
+	binary.LittleEndian.PutUint16(dst[2:], uint16(size/wordSize))
+
+	addr := uint32(m.Target&TIDMax) | uint32(m.Initiator&TIDMax)<<12 | uint32(m.Function)<<24
+	binary.LittleEndian.PutUint32(dst[4:], addr)
+	binary.LittleEndian.PutUint32(dst[8:], m.InitiatorContext)
+	binary.LittleEndian.PutUint32(dst[12:], m.TransactionContext)
+	if m.Function.IsPrivate() {
+		binary.LittleEndian.PutUint32(dst[16:], uint32(m.XFunction)|uint32(m.Org)<<16)
+	}
+	copy(dst[hdr:], m.Payload)
+	for i := size - pad; i < size; i++ {
+		dst[i] = 0
+	}
+	return size, nil
+}
+
+// EncodeHeader writes only the header words into dst (which must hold
+// HeaderSize bytes) with the size field covering the full frame including
+// payload and padding.  Transports with gather capability use it to put a
+// frame on the wire without first flattening header and payload into one
+// buffer: header, payload and PadBytes(len(payload)) zero bytes.
+func (m *Message) EncodeHeader(dst []byte) (int, error) {
+	if err := m.Validate(); err != nil {
+		return 0, err
+	}
+	hdr := m.HeaderSize()
+	if len(dst) < hdr {
+		return 0, fmt.Errorf("%w: need %d, have %d", ErrShortBuffer, hdr, len(dst))
+	}
+	size := m.WireSize()
+	pad := size - hdr - len(m.Payload)
+
+	dst[0] = Version
+	dst[1] = byte(m.Priority) | byte(pad)<<3 | byte(m.Flags)<<5
+	binary.LittleEndian.PutUint16(dst[2:], uint16(size/wordSize))
+	addr := uint32(m.Target&TIDMax) | uint32(m.Initiator&TIDMax)<<12 | uint32(m.Function)<<24
+	binary.LittleEndian.PutUint32(dst[4:], addr)
+	binary.LittleEndian.PutUint32(dst[8:], m.InitiatorContext)
+	binary.LittleEndian.PutUint32(dst[12:], m.TransactionContext)
+	if m.Function.IsPrivate() {
+		binary.LittleEndian.PutUint32(dst[16:], uint32(m.XFunction)|uint32(m.Org)<<16)
+	}
+	return hdr, nil
+}
+
+// PadBytes returns how many zero bytes follow a payload of n bytes on the
+// wire to reach word alignment.
+func PadBytes(n int) int { return (wordSize - n%wordSize) % wordSize }
+
+// ZeroPad is a ready-made source of padding bytes for gather transmission.
+var ZeroPad = [wordSize]byte{}
+
+// AppendEncode appends the wire representation to dst and returns the
+// extended slice.
+func (m *Message) AppendEncode(dst []byte) ([]byte, error) {
+	off := len(dst)
+	size := m.WireSize()
+	if cap(dst)-off < size {
+		grown := make([]byte, off, off+size)
+		copy(grown, dst)
+		dst = grown
+	}
+	dst = dst[:off+size]
+	if _, err := m.Encode(dst[off:]); err != nil {
+		return dst[:off], err
+	}
+	return dst, nil
+}
+
+// EncodedSize inspects the first header word of an encoded frame and
+// returns its total wire size in bytes.  It needs at least 4 bytes of src.
+func EncodedSize(src []byte) (int, error) {
+	if len(src) < wordSize {
+		return 0, ErrTruncated
+	}
+	return int(binary.LittleEndian.Uint16(src[2:])) * wordSize, nil
+}
+
+// Decode parses one frame from src.  The returned message's Payload aliases
+// src; callers that need the payload to outlive src must copy it (or decode
+// directly into a pool block with DecodeInto).  It returns the number of
+// bytes consumed.
+func Decode(src []byte) (*Message, int, error) {
+	var m Message
+	n, err := decode(&m, src, nil)
+	if err != nil {
+		return nil, 0, err
+	}
+	return &m, n, nil
+}
+
+// DecodeInto parses one frame from src, copying the payload into
+// payloadDst, which must be at least as large as the payload.  The parsed
+// message's Payload aliases payloadDst.  It returns the bytes consumed
+// from src.
+func DecodeInto(m *Message, src, payloadDst []byte) (int, error) {
+	return decode(m, src, payloadDst)
+}
+
+func decode(m *Message, src, payloadDst []byte) (int, error) {
+	if len(src) < StandardHeaderSize {
+		return 0, ErrTruncated
+	}
+	if src[0] != Version {
+		return 0, fmt.Errorf("%w: %d", ErrBadVersion, src[0])
+	}
+	b1 := src[1]
+	prio := Priority(b1 & 0x07)
+	pad := int(b1 >> 3 & 0x03)
+	flags := Flags(b1 >> 5)
+
+	size := int(binary.LittleEndian.Uint16(src[2:])) * wordSize
+	if size < StandardHeaderSize || size > len(src) {
+		return 0, fmt.Errorf("%w: size %d, have %d", ErrTruncated, size, len(src))
+	}
+	addr := binary.LittleEndian.Uint32(src[4:])
+	target := TID(addr & 0xFFF)
+	initiator := TID(addr >> 12 & 0xFFF)
+	fn := Function(addr >> 24)
+
+	hdr := StandardHeaderSize
+	if fn.IsPrivate() {
+		hdr = PrivateHeaderSize
+		if size < hdr {
+			return 0, fmt.Errorf("%w: private frame of %d bytes", ErrTruncated, size)
+		}
+	}
+	payloadLen := size - hdr - pad
+	if payloadLen < 0 {
+		return 0, fmt.Errorf("%w: pad %d exceeds body", ErrTruncated, pad)
+	}
+	if !prio.Valid() {
+		return 0, fmt.Errorf("%w: %d", ErrBadPriority, prio)
+	}
+	if !target.Valid() {
+		return 0, fmt.Errorf("%w: decoded target %v", ErrBadTID, target)
+	}
+
+	*m = Message{
+		Flags:              flags,
+		Priority:           prio,
+		Target:             target,
+		Initiator:          initiator,
+		Function:           fn,
+		InitiatorContext:   binary.LittleEndian.Uint32(src[8:]),
+		TransactionContext: binary.LittleEndian.Uint32(src[12:]),
+	}
+	if fn.IsPrivate() {
+		x := binary.LittleEndian.Uint32(src[16:])
+		m.XFunction = uint16(x)
+		m.Org = OrgID(x >> 16)
+	}
+	body := src[hdr : hdr+payloadLen]
+	if payloadDst != nil {
+		if len(payloadDst) < payloadLen {
+			return 0, fmt.Errorf("%w: payload %d, buffer %d", ErrShortBuffer, payloadLen, len(payloadDst))
+		}
+		copy(payloadDst, body)
+		m.Payload = payloadDst[:payloadLen]
+	} else {
+		m.Payload = body
+	}
+	return size, nil
+}
+
+// NewReply builds the reply skeleton for req: addresses are swapped, the
+// function code and contexts are preserved, and the reply flag is set.  The
+// caller fills in the payload (and the fail flag, for failures).
+func NewReply(req *Message) *Message {
+	return &Message{
+		Flags:              FlagReply,
+		Priority:           req.Priority,
+		Target:             req.Initiator,
+		Initiator:          req.Target,
+		Function:           req.Function,
+		InitiatorContext:   req.InitiatorContext,
+		TransactionContext: req.TransactionContext,
+		XFunction:          req.XFunction,
+		Org:                req.Org,
+	}
+}
+
+// String renders a compact one-line summary for logs and tests.
+func (m *Message) String() string {
+	if m.Function.IsPrivate() {
+		return fmt.Sprintf("frame{%v<-%v %v/%#04x org=%#04x prio=%d flags=%v len=%d}",
+			m.Target, m.Initiator, m.Function, m.XFunction, uint16(m.Org), m.Priority, m.Flags, len(m.Payload))
+	}
+	return fmt.Sprintf("frame{%v<-%v %v prio=%d flags=%v len=%d}",
+		m.Target, m.Initiator, m.Function, m.Priority, m.Flags, len(m.Payload))
+}

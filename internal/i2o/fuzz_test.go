@@ -1,0 +1,78 @@
+package i2o
+
+import (
+	"bytes"
+	"testing"
+)
+
+// Fuzz targets complement the testing/quick properties: `go test` runs the
+// seed corpus; `go test -fuzz=FuzzX` explores further.
+
+func FuzzDecode(f *testing.F) {
+	m := sampleMessage()
+	buf := make([]byte, m.WireSize())
+	if _, err := m.Encode(buf); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(buf)
+	f.Add([]byte{})
+	f.Add([]byte{Version, 0, 4, 0})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		m, n, err := Decode(data)
+		if err != nil {
+			return
+		}
+		if n <= 0 || n > len(data) {
+			t.Fatalf("consumed %d of %d", n, len(data))
+		}
+		// Anything that decodes must re-encode to identical bytes.
+		out := make([]byte, m.WireSize())
+		k, err := m.Encode(out)
+		if err != nil {
+			t.Fatalf("re-encode of decoded frame: %v", err)
+		}
+		if k != n || !bytes.Equal(out[:k], data[:n]) {
+			t.Fatalf("decode/encode not idempotent")
+		}
+	})
+}
+
+func FuzzDecodeParams(f *testing.F) {
+	good, _ := EncodeParams([]Param{
+		{Key: "s", Value: "x"}, {Key: "i", Value: int64(-1)},
+		{Key: "u", Value: uint64(2)}, {Key: "f", Value: 1.5},
+		{Key: "b", Value: true}, {Key: "raw", Value: []byte{1}},
+	})
+	f.Add(good)
+	f.Add([]byte{})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		params, err := DecodeParams(data)
+		if err != nil {
+			return
+		}
+		// Decoded parameter lists must round-trip.
+		out, err := EncodeParams(params)
+		if err != nil {
+			t.Fatalf("re-encode: %v", err)
+		}
+		again, err := DecodeParams(out)
+		if err != nil || len(again) != len(params) {
+			t.Fatalf("round trip: %v (%d vs %d)", err, len(again), len(params))
+		}
+	})
+}
+
+func FuzzDecodeFail(f *testing.F) {
+	f.Add((&FailRecord{Code: FailAborted, Detail: "x"}).EncodeFail())
+	f.Add([]byte{})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		rec, err := DecodeFail(data)
+		if err != nil {
+			return
+		}
+		got, err := DecodeFail(rec.EncodeFail())
+		if err != nil || got.Code != rec.Code || got.Detail != rec.Detail {
+			t.Fatalf("round trip: %v", err)
+		}
+	})
+}

@@ -1,0 +1,94 @@
+// Package i2o implements the Intelligent I/O (I2O) message frame format and
+// the addressing primitives that the XDAQ executive builds upon.
+//
+// Every interaction in the system — application requests, replies, timer
+// expirations, executive control, even transport-internal signalling — is
+// expressed as an I2O message frame (figure 5 of the paper): a fixed-size
+// standard header, an optional private extension identified by function code
+// 0xFF, and a payload.  Frames are addressed with 12-bit Target IDs (TiDs)
+// that are unique within one I/O processor (IOP, i.e. one executive).
+package i2o
+
+import "fmt"
+
+// TID is an I2O target identifier: a numeric address that is unique within
+// one executive.  TiDs identify every module — applications, peer
+// transports, the peer transport agent and the executive itself.  Only the
+// low 12 bits are significant on the wire.
+type TID uint16
+
+// Reserved and conventional TiD values.
+const (
+	// TIDNone is the null address.  A frame targeted at TIDNone is invalid.
+	TIDNone TID = 0
+
+	// TIDExecutive is the conventional address of the executive itself on
+	// every IOP.  The executive claims it at startup.
+	TIDExecutive TID = 1
+
+	// TIDMax is the largest encodable target identifier (12 bits).
+	TIDMax TID = 0xFFF
+)
+
+// Valid reports whether t fits in the 12-bit wire representation and is not
+// the null address.
+func (t TID) Valid() bool { return t != TIDNone && t <= TIDMax }
+
+func (t TID) String() string {
+	switch t {
+	case TIDNone:
+		return "tid(none)"
+	case TIDExecutive:
+		return "tid(exec)"
+	default:
+		return fmt.Sprintf("tid(%#03x)", uint16(t))
+	}
+}
+
+// NodeID identifies one IOP (one executive) in the distributed system.  The
+// paper treats every communicating node in the processing cluster as an I2O
+// IOP; node identifiers are assigned by the primary host at configuration
+// time and are carried by peer transports, never inside the standard frame
+// header (locality transparency: applications only ever see TiDs).
+type NodeID uint32
+
+// NodeNone is the zero NodeID, used for "this node" in local address table
+// entries.
+const NodeNone NodeID = 0
+
+func (n NodeID) String() string { return fmt.Sprintf("node(%d)", uint32(n)) }
+
+// Priority is a frame scheduling priority.  The I2O specification defines
+// seven levels; 0 is the most urgent.  The executive keeps one FIFO per
+// level and serves lower values first.
+type Priority uint8
+
+// NumPriorities is the number of scheduling levels defined by the I2O
+// specification.
+const NumPriorities = 7
+
+// Standard priorities.  Applications may use any value in [0, NumPriorities).
+const (
+	PriorityUrgent  Priority = 0
+	PriorityHigh    Priority = 1
+	PriorityNormal  Priority = 3
+	PriorityLow     Priority = 5
+	PriorityBulk    Priority = 6
+	PriorityDefault          = PriorityNormal
+)
+
+// Valid reports whether p is one of the seven defined levels.
+func (p Priority) Valid() bool { return p < NumPriorities }
+
+// Version is the frame format revision implemented by this package.  It is
+// carried in the VersionOffset field of every frame.
+const Version = 1
+
+// OrgID identifies the organization defining a private function code, per
+// the I2O private frame extension.  Applications built on the framework use
+// OrgXDAQ unless they carry their own registered identifier.
+type OrgID uint16
+
+// OrgXDAQ is the organization identifier used for the framework's own
+// private messages and, by default, for application device classes.
+const OrgXDAQ OrgID = 0xCE12

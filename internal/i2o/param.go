@@ -1,0 +1,196 @@
+package i2o
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+	"sort"
+)
+
+// ParamType tags the wire encoding of one parameter value.
+type ParamType uint8
+
+const (
+	ParamString ParamType = iota + 1
+	ParamInt
+	ParamUint
+	ParamFloat
+	ParamBool
+	ParamBytes
+)
+
+// Param is one device parameter: a named, typed value.  Device parameters
+// are read and written with UtilParamsGet/UtilParamsSet frames; every device
+// module exposes at least its standard operational parameters this way, so
+// the whole cluster is configurable through one common scheme (§2, third
+// requirement dimension).
+type Param struct {
+	Key   string
+	Value any // string, int64, uint64, float64, bool or []byte
+}
+
+// Type returns the wire type tag for the parameter's value.
+func (p Param) Type() (ParamType, error) {
+	switch p.Value.(type) {
+	case string:
+		return ParamString, nil
+	case int64:
+		return ParamInt, nil
+	case uint64:
+		return ParamUint, nil
+	case float64:
+		return ParamFloat, nil
+	case bool:
+		return ParamBool, nil
+	case []byte:
+		return ParamBytes, nil
+	default:
+		return 0, fmt.Errorf("i2o: unsupported parameter type %T for %q", p.Value, p.Key)
+	}
+}
+
+// EncodeParams renders a parameter list as a frame payload:
+//
+//	count (uint16), then per parameter:
+//	key length (uint16), key bytes, type (byte), value.
+//
+// Strings and byte values carry a uint32 length prefix; numeric values are
+// fixed-width little-endian; booleans are one byte.
+func EncodeParams(params []Param) ([]byte, error) {
+	if len(params) > math.MaxUint16 {
+		return nil, fmt.Errorf("i2o: %d parameters exceed list limit", len(params))
+	}
+	buf := make([]byte, 2, 2+16*len(params))
+	binary.LittleEndian.PutUint16(buf, uint16(len(params)))
+	for _, p := range params {
+		t, err := p.Type()
+		if err != nil {
+			return nil, err
+		}
+		if len(p.Key) > math.MaxUint16 {
+			return nil, fmt.Errorf("i2o: parameter key %q too long", p.Key[:32])
+		}
+		buf = binary.LittleEndian.AppendUint16(buf, uint16(len(p.Key)))
+		buf = append(buf, p.Key...)
+		buf = append(buf, byte(t))
+		switch v := p.Value.(type) {
+		case string:
+			buf = binary.LittleEndian.AppendUint32(buf, uint32(len(v)))
+			buf = append(buf, v...)
+		case int64:
+			buf = binary.LittleEndian.AppendUint64(buf, uint64(v))
+		case uint64:
+			buf = binary.LittleEndian.AppendUint64(buf, v)
+		case float64:
+			buf = binary.LittleEndian.AppendUint64(buf, math.Float64bits(v))
+		case bool:
+			if v {
+				buf = append(buf, 1)
+			} else {
+				buf = append(buf, 0)
+			}
+		case []byte:
+			if len(v) > MaxPayload {
+				return nil, fmt.Errorf("i2o: parameter %q value too long", p.Key)
+			}
+			buf = binary.LittleEndian.AppendUint32(buf, uint32(len(v)))
+			buf = append(buf, v...)
+		}
+	}
+	return buf, nil
+}
+
+// DecodeParams parses a payload written by EncodeParams.
+func DecodeParams(payload []byte) ([]Param, error) {
+	if len(payload) < 2 {
+		return nil, fmt.Errorf("%w: parameter list", ErrTruncated)
+	}
+	count := int(binary.LittleEndian.Uint16(payload))
+	payload = payload[2:]
+	params := make([]Param, 0, count)
+	for i := 0; i < count; i++ {
+		if len(payload) < 2 {
+			return nil, fmt.Errorf("%w: parameter %d key length", ErrTruncated, i)
+		}
+		klen := int(binary.LittleEndian.Uint16(payload))
+		payload = payload[2:]
+		if len(payload) < klen+1 {
+			return nil, fmt.Errorf("%w: parameter %d key", ErrTruncated, i)
+		}
+		key := string(payload[:klen])
+		t := ParamType(payload[klen])
+		payload = payload[klen+1:]
+
+		var value any
+		switch t {
+		case ParamString, ParamBytes:
+			if len(payload) < 4 {
+				return nil, fmt.Errorf("%w: parameter %q length", ErrTruncated, key)
+			}
+			vlen := int(binary.LittleEndian.Uint32(payload))
+			payload = payload[4:]
+			if len(payload) < vlen {
+				return nil, fmt.Errorf("%w: parameter %q value", ErrTruncated, key)
+			}
+			if t == ParamString {
+				value = string(payload[:vlen])
+			} else {
+				value = append([]byte(nil), payload[:vlen]...)
+			}
+			payload = payload[vlen:]
+		case ParamInt, ParamUint, ParamFloat:
+			if len(payload) < 8 {
+				return nil, fmt.Errorf("%w: parameter %q value", ErrTruncated, key)
+			}
+			u := binary.LittleEndian.Uint64(payload)
+			payload = payload[8:]
+			switch t {
+			case ParamInt:
+				value = int64(u)
+			case ParamUint:
+				value = u
+			case ParamFloat:
+				value = math.Float64frombits(u)
+			}
+		case ParamBool:
+			if len(payload) < 1 {
+				return nil, fmt.Errorf("%w: parameter %q value", ErrTruncated, key)
+			}
+			value = payload[0] != 0
+			payload = payload[1:]
+		default:
+			return nil, fmt.Errorf("i2o: parameter %q has unknown type %d", key, t)
+		}
+		params = append(params, Param{Key: key, Value: value})
+	}
+	return params, nil
+}
+
+// EncodeKeys renders a UtilParamsGet request payload: the list of parameter
+// keys being read.  An empty list requests all parameters.
+func EncodeKeys(keys []string) ([]byte, error) {
+	params := make([]Param, len(keys))
+	for i, k := range keys {
+		params[i] = Param{Key: k, Value: true}
+	}
+	return EncodeParams(params)
+}
+
+// DecodeKeys parses a UtilParamsGet request payload.
+func DecodeKeys(payload []byte) ([]string, error) {
+	params, err := DecodeParams(payload)
+	if err != nil {
+		return nil, err
+	}
+	keys := make([]string, len(params))
+	for i, p := range params {
+		keys[i] = p.Key
+	}
+	return keys, nil
+}
+
+// SortParams orders a parameter list by key, for deterministic encoding of
+// map-derived lists.
+func SortParams(params []Param) {
+	sort.Slice(params, func(i, j int) bool { return params[i].Key < params[j].Key })
+}

@@ -1,0 +1,176 @@
+package i2o
+
+import (
+	"bytes"
+	"math"
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+)
+
+func TestParamsRoundTrip(t *testing.T) {
+	in := []Param{
+		{Key: "name", Value: "readout-unit"},
+		{Key: "instance", Value: int64(-3)},
+		{Key: "rate", Value: uint64(100000)},
+		{Key: "threshold", Value: 0.25},
+		{Key: "enabled", Value: true},
+		{Key: "blob", Value: []byte{1, 2, 3, 0, 255}},
+		{Key: "", Value: "empty key is legal"},
+	}
+	payload, err := EncodeParams(in)
+	if err != nil {
+		t.Fatalf("EncodeParams: %v", err)
+	}
+	out, err := DecodeParams(payload)
+	if err != nil {
+		t.Fatalf("DecodeParams: %v", err)
+	}
+	if !reflect.DeepEqual(in, out) {
+		t.Fatalf("round trip mismatch:\n in: %#v\nout: %#v", in, out)
+	}
+}
+
+func TestParamsEmptyList(t *testing.T) {
+	payload, err := EncodeParams(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := DecodeParams(payload)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != 0 {
+		t.Fatalf("decoded %d params from empty list", len(out))
+	}
+}
+
+func TestParamsRejectUnsupportedType(t *testing.T) {
+	if _, err := EncodeParams([]Param{{Key: "x", Value: struct{}{}}}); err == nil {
+		t.Fatal("EncodeParams accepted a struct value")
+	}
+	if _, err := EncodeParams([]Param{{Key: "x", Value: int32(1)}}); err == nil {
+		t.Fatal("EncodeParams accepted int32; only int64 is supported")
+	}
+}
+
+func TestParamsDecodeTruncation(t *testing.T) {
+	payload, err := EncodeParams([]Param{{Key: "key", Value: "value"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Every strict prefix must fail cleanly, never panic.
+	for i := 0; i < len(payload); i++ {
+		if _, err := DecodeParams(payload[:i]); err == nil {
+			t.Fatalf("prefix of %d bytes decoded successfully", i)
+		}
+	}
+}
+
+func TestParamsDecodeUnknownType(t *testing.T) {
+	payload, err := EncodeParams([]Param{{Key: "k", Value: true}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	payload[2+2+1] = 0xEE // overwrite the type tag after count+keylen+key
+	if _, err := DecodeParams(payload); err == nil {
+		t.Fatal("unknown type tag decoded successfully")
+	}
+}
+
+func TestKeysRoundTrip(t *testing.T) {
+	in := []string{"a", "b", "third"}
+	payload, err := EncodeKeys(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := DecodeKeys(payload)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(in, out) {
+		t.Fatalf("keys mismatch: %v", out)
+	}
+}
+
+func TestSortParams(t *testing.T) {
+	ps := []Param{{Key: "z"}, {Key: "a"}, {Key: "m"}}
+	SortParams(ps)
+	if ps[0].Key != "a" || ps[1].Key != "m" || ps[2].Key != "z" {
+		t.Fatalf("SortParams: %v", ps)
+	}
+}
+
+func randParam(r *rand.Rand) Param {
+	key := make([]byte, r.Intn(12))
+	for i := range key {
+		key[i] = byte('a' + r.Intn(26))
+	}
+	p := Param{Key: string(key)}
+	switch r.Intn(6) {
+	case 0:
+		p.Value = string(key) + "-value"
+	case 1:
+		p.Value = int64(r.Uint64())
+	case 2:
+		p.Value = r.Uint64()
+	case 3:
+		// NaN breaks DeepEqual; use a finite float.
+		p.Value = math.Trunc(r.Float64()*1e6) / 1e3
+	case 4:
+		p.Value = r.Intn(2) == 0
+	default:
+		b := make([]byte, r.Intn(32))
+		r.Read(b)
+		p.Value = b
+	}
+	return p
+}
+
+func TestQuickParamsRoundTrip(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		in := make([]Param, r.Intn(8))
+		for i := range in {
+			in[i] = randParam(r)
+		}
+		payload, err := EncodeParams(in)
+		if err != nil {
+			return false
+		}
+		out, err := DecodeParams(payload)
+		if err != nil {
+			return false
+		}
+		if len(in) != len(out) {
+			return false
+		}
+		for i := range in {
+			if in[i].Key != out[i].Key {
+				return false
+			}
+			if b, ok := in[i].Value.([]byte); ok {
+				if !bytes.Equal(b, out[i].Value.([]byte)) {
+					return false
+				}
+			} else if in[i].Value != out[i].Value {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickDecodeParamsNeverPanics(t *testing.T) {
+	f := func(junk []byte) bool {
+		_, _ = DecodeParams(junk)
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,99 @@
+// Package modules registers the toolkit's standard device classes with
+// the executive's module registry, so cluster controllers can instantiate
+// them on any node with ExecPlugin messages — the paper's dynamic module
+// download, adapted to Go (compiled-in factories instead of object code).
+//
+// Importing this package (for side effects) makes the following modules
+// pluggable:
+//
+//	echo      — replies to private function 1 with the request payload
+//	daq.evm   — event manager (parameter: events)
+//	daq.ru    — readout unit (parameter: fragsize)
+//	daq.bu    — builder unit (wire it with Configure before starting)
+//	i2o.bsa   — block storage volume (parameters: blocksize, blocks)
+package modules
+
+import (
+	"xdaq/internal/bsa"
+	"xdaq/internal/daq"
+	"xdaq/internal/device"
+	"xdaq/internal/executive"
+	"xdaq/internal/i2o"
+)
+
+func init() {
+	executive.RegisterModule("echo", func(instance int, params []i2o.Param) (*device.Device, error) {
+		d := device.New("echo", instance)
+		d.Bind(1, func(ctx *device.Context, m *i2o.Message) error {
+			if !m.Flags.Has(i2o.FlagReplyExpected) {
+				return nil
+			}
+			buf, err := ctx.Host.Alloc(len(m.Payload))
+			if err != nil {
+				return err
+			}
+			copy(buf.Bytes(), m.Payload)
+			rep := i2o.NewReply(m)
+			rep.Payload = buf.Bytes()
+			rep.AttachBuffer(buf)
+			return ctx.Host.Send(rep)
+		})
+		applyParams(d, params)
+		return d, nil
+	})
+
+	executive.RegisterModule("daq.evm", func(instance int, params []i2o.Param) (*device.Device, error) {
+		limit := uint64(0)
+		for _, p := range params {
+			if p.Key == "events" {
+				if n, ok := p.Value.(int64); ok && n >= 0 {
+					limit = uint64(n)
+				}
+			}
+		}
+		return daq.NewEVM(limit).Device(), nil
+	})
+
+	executive.RegisterModule("daq.ru", func(instance int, params []i2o.Param) (*device.Device, error) {
+		fragSize := 0
+		for _, p := range params {
+			if p.Key == "fragsize" {
+				if n, ok := p.Value.(int64); ok && n > 0 {
+					fragSize = int(n)
+				}
+			}
+		}
+		return daq.NewRU(instance, fragSize).Device(), nil
+	})
+
+	executive.RegisterModule("daq.bu", func(instance int, params []i2o.Param) (*device.Device, error) {
+		return daq.NewBU(instance).Device(), nil
+	})
+
+	executive.RegisterModule("i2o.bsa", func(instance int, params []i2o.Param) (*device.Device, error) {
+		blockSize, blocks := 0, uint64(1024)
+		for _, p := range params {
+			switch p.Key {
+			case "blocksize":
+				if n, ok := p.Value.(int64); ok && n > 0 {
+					blockSize = int(n)
+				}
+			case "blocks":
+				if n, ok := p.Value.(int64); ok && n > 0 {
+					blocks = uint64(n)
+				}
+			}
+		}
+		return bsa.New(instance, blockSize, blocks).Module(), nil
+	})
+}
+
+// applyParams copies plug-time parameters (minus the bookkeeping keys)
+// into a device's parameter store.
+func applyParams(d *device.Device, params []i2o.Param) {
+	for _, p := range params {
+		if p.Key != "module" && p.Key != "instance" {
+			d.Params().Set(p.Key, p.Value)
+		}
+	}
+}

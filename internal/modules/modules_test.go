@@ -1,0 +1,164 @@
+package modules
+
+import (
+	"testing"
+	"time"
+
+	"xdaq/internal/daq"
+	"xdaq/internal/executive"
+	"xdaq/internal/i2o"
+)
+
+func newExec(t *testing.T) *executive.Executive {
+	t.Helper()
+	e := executive.New(executive.Options{
+		Name: "mods", Node: 1,
+		RequestTimeout: 2 * time.Second,
+		Logf:           func(string, ...any) {},
+	})
+	t.Cleanup(e.Close)
+	return e
+}
+
+func TestAllStandardModulesRegistered(t *testing.T) {
+	want := map[string]bool{"echo": false, "daq.evm": false, "daq.ru": false, "daq.bu": false, "i2o.bsa": false}
+	for _, name := range executive.Modules() {
+		if _, ok := want[name]; ok {
+			want[name] = true
+		}
+	}
+	for name, found := range want {
+		if !found {
+			t.Errorf("module %q not registered", name)
+		}
+	}
+}
+
+func TestEchoModule(t *testing.T) {
+	e := newExec(t)
+	d, err := executive.Instantiate("echo", 3, []i2o.Param{{Key: "note", Value: "hi"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Class() != "echo" || d.Instance() != 3 {
+		t.Fatalf("device %v", d)
+	}
+	if d.Params().String("note", "") != "hi" {
+		t.Fatal("plug-time parameter not applied")
+	}
+	id, err := e.Plug(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := e.Request(&i2o.Message{
+		Target: id, Initiator: i2o.TIDExecutive,
+		Function: i2o.FuncPrivate, Org: i2o.OrgXDAQ, XFunction: 1,
+		Payload: []byte("roundtrip"),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rep.Release()
+	if string(rep.Payload) != "roundtrip" {
+		t.Fatalf("echo %q", rep.Payload)
+	}
+}
+
+func TestEchoModuleFireAndForget(t *testing.T) {
+	e := newExec(t)
+	d, err := executive.Instantiate("echo", 0, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	id, err := e.Plug(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// No reply expected: must not generate one (would be dropped anyway,
+	// but the handler path must not error either).
+	if err := e.Send(&i2o.Message{
+		Target: id, Initiator: i2o.TIDExecutive,
+		Function: i2o.FuncPrivate, Org: i2o.OrgXDAQ, XFunction: 1,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(time.Second)
+	for e.Stats().Dispatched == 0 && time.Now().Before(deadline) {
+		time.Sleep(time.Millisecond)
+	}
+	if e.Stats().Failures != 0 {
+		t.Fatalf("stats %+v", e.Stats())
+	}
+}
+
+func TestDaqModulesHonorParams(t *testing.T) {
+	evm, err := executive.Instantiate("daq.evm", 0, []i2o.Param{{Key: "events", Value: int64(17)}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if evm.Class() != daq.EVMClass {
+		t.Fatalf("class %q", evm.Class())
+	}
+	if evm.Params().Int("events", 0) != 17 {
+		t.Fatal("events parameter not applied")
+	}
+
+	ru, err := executive.Instantiate("daq.ru", 2, []i2o.Param{{Key: "fragsize", Value: int64(4096)}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ru.Class() != daq.RUClass || ru.Instance() != 2 {
+		t.Fatalf("ru %v", ru)
+	}
+	if ru.Params().Int("fragsize", 0) != 4096 {
+		t.Fatal("fragsize parameter not applied")
+	}
+
+	bu, err := executive.Instantiate("daq.bu", 1, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bu.Class() != daq.BUClass {
+		t.Fatalf("bu %v", bu)
+	}
+}
+
+func TestPluggableEndToEnd(t *testing.T) {
+	// The full path a controller uses: ExecPlugin message -> module
+	// factory -> device serving requests.
+	e := newExec(t)
+	payload, err := i2o.EncodeParams([]i2o.Param{
+		{Key: "module", Value: "daq.ru"},
+		{Key: "instance", Value: int64(0)},
+		{Key: "fragsize", Value: int64(256)},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := e.Request(&i2o.Message{
+		Target: i2o.TIDExecutive, Initiator: i2o.TIDExecutive,
+		Function: i2o.ExecPlugin, Payload: payload,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	params, _ := i2o.DecodeParams(rep.Payload)
+	rep.Release()
+	ruTID := i2o.TID(params[0].Value.(int64))
+
+	// Ask the plugged RU for a fragment.
+	req := make([]byte, 8)
+	req[0] = 9 // event id 9
+	rep, err = e.Request(&i2o.Message{
+		Target: ruTID, Initiator: i2o.TIDExecutive,
+		Function: i2o.FuncPrivate, Org: i2o.OrgXDAQ, XFunction: daq.XFuncFragment,
+		Payload: req,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rep.Release()
+	if len(rep.Payload) != 8+256 {
+		t.Fatalf("fragment reply %d bytes", len(rep.Payload))
+	}
+}

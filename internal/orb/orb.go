@@ -1,0 +1,311 @@
+package orb
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+)
+
+// Wire is the byte transport an endpoint binds to: a point-to-point
+// connection to one peer endpoint.  Bindings exist for the simulated
+// Myrinet fabric (fair comparison with the XDAQ GM peer transport) and for
+// in-process pipes (tests).
+type Wire interface {
+	// Send transmits one message to the peer.
+	Send(data []byte) error
+
+	// Receive blocks for the next message; ok is false once the wire is
+	// closed.
+	Receive() ([]byte, bool)
+
+	// Close tears the wire down.
+	Close()
+}
+
+// Message kinds.
+const (
+	msgRequest byte = 1
+	msgReply   byte = 2
+	msgFault   byte = 3
+)
+
+// protocolVersion is carried in every message header.
+const protocolVersion byte = 1
+
+// Errors.
+var (
+	// ErrClosed reports use of a closed endpoint.
+	ErrClosed = errors.New("orb: closed")
+
+	// ErrNoObject reports an unknown object key.
+	ErrNoObject = errors.New("orb: unknown object")
+
+	// ErrNoOperation reports an unknown operation name.
+	ErrNoOperation = errors.New("orb: unknown operation")
+
+	// ErrProtocol reports a malformed message.
+	ErrProtocol = errors.New("orb: protocol error")
+)
+
+// Operation is one servant method.
+type Operation func(args []any) ([]any, error)
+
+// Servant is one remotely invocable object: named operations.
+type Servant struct {
+	mu  sync.RWMutex
+	ops map[string]Operation
+}
+
+// NewServant returns an empty servant.
+func NewServant() *Servant { return &Servant{ops: make(map[string]Operation)} }
+
+// Register adds an operation under name.
+func (s *Servant) Register(name string, op Operation) {
+	s.mu.Lock()
+	s.ops[name] = op
+	s.mu.Unlock()
+}
+
+func (s *Servant) lookup(name string) (Operation, bool) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	op, ok := s.ops[name]
+	return op, ok
+}
+
+// Endpoint is one side of an ORB connection: it serves local objects and
+// invokes remote ones over a single wire.
+type Endpoint struct {
+	wire Wire
+
+	mu      sync.RWMutex
+	objects map[string]*Servant
+
+	pendMu  sync.Mutex
+	pending map[uint64]chan reply
+	reqSeq  atomic.Uint64
+
+	closed atomic.Bool
+	done   chan struct{}
+}
+
+type reply struct {
+	results []any
+	err     error
+}
+
+// NewEndpoint binds an endpoint to a wire and starts its receive loop.
+func NewEndpoint(w Wire) *Endpoint {
+	e := &Endpoint{
+		wire:    w,
+		objects: make(map[string]*Servant),
+		pending: make(map[uint64]chan reply),
+		done:    make(chan struct{}),
+	}
+	go e.receiveLoop()
+	return e
+}
+
+// Bind exports a servant under an object key.
+func (e *Endpoint) Bind(key string, s *Servant) {
+	e.mu.Lock()
+	e.objects[key] = s
+	e.mu.Unlock()
+}
+
+// Object returns a reference for invoking operations on the peer's object
+// with the given key.
+func (e *Endpoint) Object(key string) *ObjectRef {
+	return &ObjectRef{ep: e, key: key}
+}
+
+// Close shuts the endpoint and its wire down.
+func (e *Endpoint) Close() {
+	if e.closed.Swap(true) {
+		return
+	}
+	e.wire.Close()
+	<-e.done
+	e.pendMu.Lock()
+	for id, ch := range e.pending {
+		ch <- reply{err: ErrClosed}
+		delete(e.pending, id)
+	}
+	e.pendMu.Unlock()
+}
+
+// ObjectRef is a client-side reference to a remote object.
+type ObjectRef struct {
+	ep  *Endpoint
+	key string
+}
+
+// Invoke calls the named operation with the given arguments and returns
+// its results — the full generality path: marshal, request header with
+// service context, correlation table, demarshal.
+func (r *ObjectRef) Invoke(operation string, args ...any) ([]any, error) {
+	if r.ep.closed.Load() {
+		return nil, ErrClosed
+	}
+	body, err := MarshalValues(args)
+	if err != nil {
+		return nil, err
+	}
+	id := r.ep.reqSeq.Add(1)
+
+	// Header: kind, version, request id, service context count (always
+	// encoded, always empty — the cost of protocol generality), object
+	// key, operation name.
+	buf := make([]byte, 0, 32+len(r.key)+len(operation)+len(body))
+	buf = append(buf, msgRequest, protocolVersion)
+	buf = binary.LittleEndian.AppendUint64(buf, id)
+	buf = binary.LittleEndian.AppendUint32(buf, 0) // service contexts
+	buf = appendString(buf, r.key)
+	buf = appendString(buf, operation)
+	buf = append(buf, body...)
+
+	ch := make(chan reply, 1)
+	r.ep.pendMu.Lock()
+	r.ep.pending[id] = ch
+	r.ep.pendMu.Unlock()
+
+	if err := r.ep.wire.Send(buf); err != nil {
+		r.ep.pendMu.Lock()
+		delete(r.ep.pending, id)
+		r.ep.pendMu.Unlock()
+		return nil, err
+	}
+	rep := <-ch
+	return rep.results, rep.err
+}
+
+func appendString(buf []byte, s string) []byte {
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(len(s)))
+	return append(buf, s...)
+}
+
+func readString(buf []byte) (string, []byte, error) {
+	if len(buf) < 4 {
+		return "", nil, ErrProtocol
+	}
+	n := int(binary.LittleEndian.Uint32(buf))
+	buf = buf[4:]
+	if n < 0 || len(buf) < n {
+		return "", nil, ErrProtocol
+	}
+	return string(buf[:n]), buf[n:], nil
+}
+
+func (e *Endpoint) receiveLoop() {
+	defer close(e.done)
+	for {
+		data, ok := e.wire.Receive()
+		if !ok {
+			return
+		}
+		if len(data) < 2 || data[1] != protocolVersion {
+			continue
+		}
+		switch data[0] {
+		case msgRequest:
+			// Thread-per-request dispatch, the conventional ORB model.
+			req := append([]byte(nil), data...)
+			go e.serveRequest(req)
+		case msgReply, msgFault:
+			e.completeReply(data)
+		}
+	}
+}
+
+func (e *Endpoint) serveRequest(data []byte) {
+	buf := data[2:]
+	if len(buf) < 12 {
+		return
+	}
+	id := binary.LittleEndian.Uint64(buf)
+	nctx := int(binary.LittleEndian.Uint32(buf[8:]))
+	buf = buf[12:]
+	for i := 0; i < nctx; i++ { // skip service contexts
+		var err error
+		if _, buf, err = readString(buf); err != nil {
+			return
+		}
+	}
+	key, buf, err := readString(buf)
+	if err != nil {
+		return
+	}
+	op, buf, err := readString(buf)
+	if err != nil {
+		return
+	}
+
+	results, ferr := e.dispatch(key, op, buf)
+
+	var out []byte
+	if ferr != nil {
+		out = append(out, msgFault, protocolVersion)
+		out = binary.LittleEndian.AppendUint64(out, id)
+		out = appendString(out, ferr.Error())
+	} else {
+		body, err := MarshalValues(results)
+		if err != nil {
+			out = append(out, msgFault, protocolVersion)
+			out = binary.LittleEndian.AppendUint64(out, id)
+			out = appendString(out, err.Error())
+		} else {
+			out = append(out, msgReply, protocolVersion)
+			out = binary.LittleEndian.AppendUint64(out, id)
+			out = append(out, body...)
+		}
+	}
+	_ = e.wire.Send(out)
+}
+
+func (e *Endpoint) dispatch(key, op string, body []byte) ([]any, error) {
+	e.mu.RLock()
+	servant := e.objects[key]
+	e.mu.RUnlock()
+	if servant == nil {
+		return nil, fmt.Errorf("%w: %q", ErrNoObject, key)
+	}
+	operation, ok := servant.lookup(op)
+	if !ok {
+		return nil, fmt.Errorf("%w: %q on %q", ErrNoOperation, op, key)
+	}
+	args, _, err := UnmarshalValues(body)
+	if err != nil {
+		return nil, err
+	}
+	return operation(args)
+}
+
+func (e *Endpoint) completeReply(data []byte) {
+	buf := data[2:]
+	if len(buf) < 8 {
+		return
+	}
+	id := binary.LittleEndian.Uint64(buf)
+	buf = buf[8:]
+	e.pendMu.Lock()
+	ch, ok := e.pending[id]
+	if ok {
+		delete(e.pending, id)
+	}
+	e.pendMu.Unlock()
+	if !ok {
+		return
+	}
+	if data[0] == msgFault {
+		detail, _, err := readString(buf)
+		if err != nil {
+			detail = "undecodable fault"
+		}
+		ch <- reply{err: fmt.Errorf("orb: remote fault: %s", detail)}
+		return
+	}
+	results, _, err := UnmarshalValues(buf)
+	ch <- reply{results: results, err: err}
+}

@@ -1,0 +1,283 @@
+package orb
+
+import (
+	"errors"
+	"math/rand"
+	"reflect"
+	"strings"
+	"sync"
+	"testing"
+	"testing/quick"
+
+	"xdaq/internal/transport/gm"
+)
+
+func TestValuesRoundTrip(t *testing.T) {
+	args := []any{
+		nil, true, false, int64(-9), uint64(9), 3.75,
+		"a string", []byte{0, 1, 2},
+		[]any{int64(1), "nested", []any{false}},
+	}
+	buf, err := MarshalValues(args)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, rest, err := UnmarshalValues(buf)
+	if err != nil || len(rest) != 0 {
+		t.Fatalf("unmarshal: %v rest=%d", err, len(rest))
+	}
+	if !reflect.DeepEqual(got, args) {
+		t.Fatalf("round trip:\n got %#v\nwant %#v", got, args)
+	}
+}
+
+func TestValuesIntCoercion(t *testing.T) {
+	buf, err := MarshalValues([]any{42})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, _, err := UnmarshalValues(buf)
+	if err != nil || got[0] != int64(42) {
+		t.Fatalf("int coercion: %v %v", got, err)
+	}
+}
+
+func TestValuesRejectUnsupported(t *testing.T) {
+	if _, err := MarshalValues([]any{struct{}{}}); !errors.Is(err, ErrBadValue) {
+		t.Fatalf("struct: %v", err)
+	}
+	if _, err := MarshalValues([]any{[]any{complex(1, 2)}}); !errors.Is(err, ErrBadValue) {
+		t.Fatalf("nested: %v", err)
+	}
+}
+
+func TestValuesTruncation(t *testing.T) {
+	buf, err := MarshalValues([]any{"hello", int64(1), []any{true}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < len(buf); i++ {
+		if _, _, err := UnmarshalValues(buf[:i]); err == nil {
+			t.Fatalf("prefix %d decoded", i)
+		}
+	}
+}
+
+func TestQuickValuesNeverPanic(t *testing.T) {
+	f := func(junk []byte) bool {
+		_, _, _ = UnmarshalValues(junk)
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickValuesRoundTrip(t *testing.T) {
+	var gen func(r *rand.Rand, depth int) any
+	gen = func(r *rand.Rand, depth int) any {
+		switch r.Intn(8) {
+		case 0:
+			return nil
+		case 1:
+			return r.Intn(2) == 0
+		case 2:
+			return int64(r.Uint64())
+		case 3:
+			return r.Uint64()
+		case 4:
+			return float64(r.Intn(1000)) / 8
+		case 5:
+			return strings.Repeat("x", r.Intn(20))
+		case 6:
+			b := make([]byte, r.Intn(20))
+			r.Read(b)
+			return b
+		default:
+			if depth >= 2 {
+				return nil
+			}
+			seq := make([]any, r.Intn(4))
+			for i := range seq {
+				seq[i] = gen(r, depth+1)
+			}
+			return seq
+		}
+	}
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		args := make([]any, r.Intn(6))
+		for i := range args {
+			args[i] = gen(r, 0)
+		}
+		buf, err := MarshalValues(args)
+		if err != nil {
+			return false
+		}
+		got, rest, err := UnmarshalValues(buf)
+		if err != nil || len(rest) != 0 {
+			return false
+		}
+		if len(args) == 0 {
+			return len(got) == 0
+		}
+		return reflect.DeepEqual(got, args)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func echoServant() *Servant {
+	s := NewServant()
+	s.Register("echo", func(args []any) ([]any, error) { return args, nil })
+	s.Register("concat", func(args []any) ([]any, error) {
+		var b strings.Builder
+		for _, a := range args {
+			if s, ok := a.(string); ok {
+				b.WriteString(s)
+			}
+		}
+		return []any{b.String()}, nil
+	})
+	s.Register("fail", func([]any) ([]any, error) {
+		return nil, errors.New("intentional")
+	})
+	return s
+}
+
+func pipePair(t *testing.T) (*Endpoint, *Endpoint) {
+	t.Helper()
+	wa, wb := NewPipe(0)
+	a := NewEndpoint(wa)
+	b := NewEndpoint(wb)
+	t.Cleanup(a.Close)
+	t.Cleanup(b.Close)
+	return a, b
+}
+
+func TestInvokeOverPipe(t *testing.T) {
+	a, b := pipePair(t)
+	b.Bind("svc", echoServant())
+	ref := a.Object("svc")
+	out, err := ref.Invoke("echo", int64(1), "two", 3.0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(out, []any{int64(1), "two", 3.0}) {
+		t.Fatalf("echo: %#v", out)
+	}
+	out, err = ref.Invoke("concat", "a", "b", "c")
+	if err != nil || out[0] != "abc" {
+		t.Fatalf("concat: %v %v", out, err)
+	}
+}
+
+func TestInvokeFaults(t *testing.T) {
+	a, b := pipePair(t)
+	b.Bind("svc", echoServant())
+	if _, err := a.Object("missing").Invoke("echo"); err == nil || !strings.Contains(err.Error(), "unknown object") {
+		t.Fatalf("missing object: %v", err)
+	}
+	if _, err := a.Object("svc").Invoke("nope"); err == nil || !strings.Contains(err.Error(), "unknown operation") {
+		t.Fatalf("missing op: %v", err)
+	}
+	if _, err := a.Object("svc").Invoke("fail"); err == nil || !strings.Contains(err.Error(), "intentional") {
+		t.Fatalf("fault: %v", err)
+	}
+}
+
+func TestBidirectionalObjects(t *testing.T) {
+	a, b := pipePair(t)
+	a.Bind("left", echoServant())
+	b.Bind("right", echoServant())
+	out, err := a.Object("right").Invoke("concat", "from-a")
+	if err != nil || out[0] != "from-a" {
+		t.Fatal(err)
+	}
+	out, err = b.Object("left").Invoke("concat", "from-b")
+	if err != nil || out[0] != "from-b" {
+		t.Fatal(err)
+	}
+}
+
+func TestConcurrentInvocations(t *testing.T) {
+	a, b := pipePair(t)
+	b.Bind("svc", echoServant())
+	ref := a.Object("svc")
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 50; i++ {
+				out, err := ref.Invoke("echo", int64(g*1000+i))
+				if err != nil || out[0] != int64(g*1000+i) {
+					t.Errorf("g%d i%d: %v %v", g, i, out, err)
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+}
+
+func TestCloseFailsPending(t *testing.T) {
+	wa, wb := NewPipe(0)
+	a := NewEndpoint(wa)
+	b := NewEndpoint(wb)
+	s := NewServant()
+	block := make(chan struct{})
+	entered := make(chan struct{})
+	s.Register("hang", func([]any) ([]any, error) {
+		close(entered)
+		<-block
+		return nil, nil
+	})
+	b.Bind("svc", s)
+	errCh := make(chan error, 1)
+	go func() {
+		_, err := a.Object("svc").Invoke("hang")
+		errCh <- err
+	}()
+	// Wait until the server entered the handler, then close the client.
+	<-entered
+	a.Close()
+	close(block)
+	if err := <-errCh; !errors.Is(err, ErrClosed) {
+		t.Fatalf("pending after close: %v", err)
+	}
+	b.Close()
+	if _, err := a.Object("svc").Invoke("echo"); !errors.Is(err, ErrClosed) {
+		t.Fatalf("invoke after close: %v", err)
+	}
+}
+
+func TestOverGMFabric(t *testing.T) {
+	fabric := gm.NewFabric()
+	na, err := fabric.Open(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	nb, err := fabric.Open(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wa, err := NewGMWire(na, 2, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wb, err := NewGMWire(nb, 1, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := NewEndpoint(wa)
+	b := NewEndpoint(wb)
+	defer a.Close()
+	defer b.Close()
+	b.Bind("svc", echoServant())
+	out, err := a.Object("svc").Invoke("echo", "over gm")
+	if err != nil || out[0] != "over gm" {
+		t.Fatalf("%v %v", out, err)
+	}
+}

@@ -1,0 +1,110 @@
+package orb
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"xdaq/internal/transport/gm"
+)
+
+// GMWire binds an endpoint to a simulated Myrinet NIC, point-to-point to
+// one peer port.  Using the same fabric as the XDAQ GM peer transport
+// keeps the ORB-vs-XDAQ benchmark an apples-to-apples comparison: both
+// stacks pay identical wire costs, so the measured difference is pure
+// middleware overhead.
+type GMWire struct {
+	nic  *gm.NIC
+	peer gm.Port
+}
+
+// NewGMWire opens a wire on nic toward peer, keeping `provide` receive
+// buffers posted.
+func NewGMWire(nic *gm.NIC, peer gm.Port, provide int) (*GMWire, error) {
+	if provide <= 0 {
+		provide = 32
+	}
+	w := &GMWire{nic: nic, peer: peer}
+	for i := 0; i < provide; i++ {
+		if err := nic.Provide(make([]byte, gm.MTU), nil); err != nil {
+			return nil, err
+		}
+	}
+	return w, nil
+}
+
+// Send implements Wire.
+func (w *GMWire) Send(data []byte) error { return w.nic.Send(w.peer, data) }
+
+// Receive implements Wire.  The consumed buffer is replaced so the ring
+// stays populated; the returned slice is only valid until the next
+// Receive (the ORB endpoint copies requests before serving them).
+func (w *GMWire) Receive() ([]byte, bool) {
+	r, ok := w.nic.Receive()
+	if !ok {
+		return nil, false
+	}
+	_ = w.nic.Provide(make([]byte, gm.MTU), nil)
+	return r.Buf[:r.N], true
+}
+
+// Close implements Wire.
+func (w *GMWire) Close() { w.nic.Close() }
+
+// PipeWire is an in-process wire pair for tests: unbounded queues of
+// copied messages.
+type PipeWire struct {
+	out    chan []byte
+	in     chan []byte
+	closed atomic.Bool
+	once   *sync.Once // shared by both ends
+	done   chan struct{}
+}
+
+// NewPipe returns two connected wires.
+func NewPipe(depth int) (*PipeWire, *PipeWire) {
+	if depth <= 0 {
+		depth = 128
+	}
+	ab := make(chan []byte, depth)
+	ba := make(chan []byte, depth)
+	done := make(chan struct{})
+	once := &sync.Once{}
+	a := &PipeWire{out: ab, in: ba, done: done, once: once}
+	b := &PipeWire{out: ba, in: ab, done: done, once: once}
+	return a, b
+}
+
+// Send implements Wire.
+func (p *PipeWire) Send(data []byte) error {
+	if p.closed.Load() {
+		return ErrClosed
+	}
+	cp := append([]byte(nil), data...)
+	select {
+	case p.out <- cp:
+		return nil
+	case <-p.done:
+		return ErrClosed
+	}
+}
+
+// Receive implements Wire.
+func (p *PipeWire) Receive() ([]byte, bool) {
+	select {
+	case d := <-p.in:
+		return d, true
+	case <-p.done:
+		select {
+		case d := <-p.in:
+			return d, true
+		default:
+			return nil, false
+		}
+	}
+}
+
+// Close implements Wire; closing either side closes both.
+func (p *PipeWire) Close() {
+	p.closed.Store(true)
+	p.once.Do(func() { close(p.done) })
+}

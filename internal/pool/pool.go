@@ -1,0 +1,176 @@
+// Package pool implements the executive-owned buffer pools that give XDAQ
+// its zero-copy operation (§4 of the paper).
+//
+// All message payloads live in pool blocks.  Blocks are handed out with a
+// reference count of one; transports and queues retain blocks while frames
+// are in flight and release them after delivery, so blocks are recycled
+// automatically once nobody references them anymore ("automatic garbage
+// collection is provided, such that blocks are recycled if they are not
+// referenced anymore").
+//
+// Two allocators are provided, matching the two schemes measured in the
+// paper:
+//
+//   - Fixed: the original scheme, a pre-carved set of fixed-size blocks
+//     searched first-fit under one lock.  The whitebox test showed most of
+//     the peer transport processing time went into this allocation.
+//   - Table: the optimized scheme, with on-demand block creation and a
+//     table-based match from requested size to bucket, which cut the
+//     framework overhead roughly in half (8.9 µs → 4.9 µs per call).
+package pool
+
+import (
+	"errors"
+	"fmt"
+	"sync/atomic"
+)
+
+// MaxBlock is the largest single block the pools hand out: the paper fixes
+// the maximum block length at 256 KB; longer payloads use scatter-gather
+// lists (package sgl).
+const MaxBlock = 256 << 10
+
+// Errors returned by allocators.
+var (
+	// ErrTooLarge reports a request above MaxBlock.
+	ErrTooLarge = errors.New("pool: request exceeds maximum block size")
+
+	// ErrExhausted reports that a bounded pool has no free block able to
+	// satisfy the request.
+	ErrExhausted = errors.New("pool: exhausted")
+
+	// ErrClosed reports an allocation from a closed pool.
+	ErrClosed = errors.New("pool: closed")
+)
+
+// Allocator hands out reference-counted buffers.
+type Allocator interface {
+	// Alloc returns a buffer with at least n usable bytes (Bytes() has
+	// length exactly n) and a reference count of one.
+	Alloc(n int) (*Buffer, error)
+
+	// Stats returns a snapshot of allocation counters.
+	Stats() Stats
+
+	// Name identifies the allocation scheme ("fixed" or "table").
+	Name() string
+}
+
+// Stats is a snapshot of pool activity.
+type Stats struct {
+	Allocs    uint64 // successful allocations
+	Fails     uint64 // failed allocations (exhaustion or oversize)
+	Recycles  uint64 // blocks returned to a free list
+	Grows     uint64 // blocks created on demand (table scheme only)
+	InUse     int64  // blocks currently referenced
+	HighWater int64  // maximum simultaneous blocks in use observed
+}
+
+func (s Stats) String() string {
+	return fmt.Sprintf("allocs=%d fails=%d recycles=%d grows=%d inUse=%d high=%d",
+		s.Allocs, s.Fails, s.Recycles, s.Grows, s.InUse, s.HighWater)
+}
+
+// counters is the shared atomic statistics block embedded by allocators.
+type counters struct {
+	allocs   atomic.Uint64
+	fails    atomic.Uint64
+	recycles atomic.Uint64
+	grows    atomic.Uint64
+	inUse    atomic.Int64
+	high     atomic.Int64
+}
+
+func (c *counters) onAlloc() {
+	c.allocs.Add(1)
+	n := c.inUse.Add(1)
+	for {
+		h := c.high.Load()
+		if n <= h || c.high.CompareAndSwap(h, n) {
+			return
+		}
+	}
+}
+
+func (c *counters) onRecycle() {
+	c.recycles.Add(1)
+	c.inUse.Add(-1)
+}
+
+func (c *counters) snapshot() Stats {
+	return Stats{
+		Allocs:    c.allocs.Load(),
+		Fails:     c.fails.Load(),
+		Recycles:  c.recycles.Load(),
+		Grows:     c.grows.Load(),
+		InUse:     c.inUse.Load(),
+		HighWater: c.high.Load(),
+	}
+}
+
+// recycler is the pool-side interface a Buffer returns itself through.
+type recycler interface {
+	recycle(b *Buffer)
+}
+
+// Buffer is one reference-counted pool block.  The zero value is not
+// usable; buffers come from an Allocator.
+type Buffer struct {
+	data   []byte // full block capacity
+	length int    // requested (usable) length
+	refs   atomic.Int32
+	owner  recycler
+	bucket int // owner-specific free list index
+}
+
+// Bytes returns the usable bytes of the block: length as requested from
+// Alloc (or set by Resize), backed by the full block capacity.
+func (b *Buffer) Bytes() []byte { return b.data[:b.length] }
+
+// Len returns the usable length.
+func (b *Buffer) Len() int { return b.length }
+
+// Cap returns the full block capacity.
+func (b *Buffer) Cap() int { return cap(b.data) }
+
+// Resize changes the usable length within the block capacity.  It is used
+// when a frame is filled incrementally (receive paths allocate at block
+// granularity, then shrink to the actual message size).
+func (b *Buffer) Resize(n int) error {
+	if n < 0 || n > cap(b.data) {
+		return fmt.Errorf("pool: resize to %d outside block capacity %d", n, cap(b.data))
+	}
+	b.length = n
+	return nil
+}
+
+// Refs returns the current reference count; primarily for tests and leak
+// diagnostics.
+func (b *Buffer) Refs() int { return int(b.refs.Load()) }
+
+// Retain increments the reference count.  It panics on a recycled buffer:
+// retaining after free is always a bug in the caller.
+func (b *Buffer) Retain() {
+	if b.refs.Add(1) <= 1 {
+		panic("pool: Retain on released buffer")
+	}
+}
+
+// Release decrements the reference count and recycles the block to its pool
+// when it reaches zero.  Further use of the buffer after the final release
+// is a bug; double-release panics.
+func (b *Buffer) Release() {
+	n := b.refs.Add(-1)
+	switch {
+	case n == 0:
+		b.owner.recycle(b)
+	case n < 0:
+		panic("pool: Release of unreferenced buffer")
+	}
+}
+
+// reset prepares a recycled block for hand-out.
+func (b *Buffer) reset(length int) {
+	b.length = length
+	b.refs.Store(1)
+}

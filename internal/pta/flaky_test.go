@@ -1,0 +1,205 @@
+package pta_test
+
+import (
+	"errors"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"xdaq/internal/device"
+	"xdaq/internal/executive"
+	"xdaq/internal/i2o"
+	"xdaq/internal/pta"
+	"xdaq/internal/transport/loopback"
+)
+
+// flakyPT wraps a real transport and injects failures: every Nth send is
+// either dropped silently (lost on the wire) or refused with an error.
+type flakyPT struct {
+	pta.PeerTransport
+	n       atomic.Uint64
+	every   uint64
+	refuse  bool // true: Send errors; false: frame silently lost
+	dropped atomic.Uint64
+}
+
+func (f *flakyPT) Send(dst i2o.NodeID, m *i2o.Message) error {
+	if f.every > 0 && f.n.Add(1)%f.every == 0 {
+		f.dropped.Add(1)
+		m.Release()
+		if f.refuse {
+			return errors.New("flaky: injected send failure")
+		}
+		return nil // lost on the wire
+	}
+	return f.PeerTransport.Send(dst, m)
+}
+
+// flakyPair builds two executives whose A-side transport drops or refuses
+// every Nth frame.
+func flakyPair(t *testing.T, every uint64, refuse bool) (*executive.Executive, *executive.Executive, *flakyPT) {
+	t.Helper()
+	fabric := loopback.NewFabric()
+	mk := func(id i2o.NodeID, wrap bool) (*executive.Executive, *flakyPT) {
+		e := executive.New(executive.Options{
+			Name: "flaky", Node: id,
+			RequestTimeout: 200 * time.Millisecond,
+			Logf:           func(string, ...any) {},
+		})
+		ep, err := fabric.Attach(id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		agent, err := pta.New(e)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var pt pta.PeerTransport = ep
+		var fl *flakyPT
+		if wrap {
+			fl = &flakyPT{PeerTransport: ep, every: every, refuse: refuse}
+			pt = fl
+		}
+		if err := agent.Register(pt, pta.Task); err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(func() {
+			agent.Close()
+			e.Close()
+		})
+		e.SetRoute(1, loopback.DefaultName)
+		e.SetRoute(2, loopback.DefaultName)
+		return e, fl
+	}
+	a, fl := mk(1, true)
+	b, _ := mk(2, false)
+	return a, b, fl
+}
+
+func plugFlakyEcho(t *testing.T, e *executive.Executive) {
+	t.Helper()
+	d := device.New("echo", 0)
+	d.Bind(1, func(ctx *device.Context, m *i2o.Message) error {
+		return device.ReplyIfExpected(ctx, m, m.Payload)
+	})
+	if _, err := e.Plug(d); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLostFramesTimeOutAndSystemRecovers(t *testing.T) {
+	a, b, fl := flakyPair(t, 4, false) // every 4th frame silently lost
+	plugFlakyEcho(t, b)
+	target, err := a.Discover(2, "echo", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var ok, timeouts int
+	for i := 0; i < 40; i++ {
+		rep, err := a.Request(&i2o.Message{
+			Target: target, Initiator: i2o.TIDExecutive,
+			Function: i2o.FuncPrivate, Org: i2o.OrgXDAQ, XFunction: 1,
+			Payload: []byte{byte(i)},
+		})
+		switch {
+		case err == nil:
+			if rep.Payload[0] != byte(i) {
+				t.Fatalf("call %d: wrong reply", i)
+			}
+			rep.Release()
+			ok++
+		case errors.Is(err, executive.ErrTimeout):
+			timeouts++
+		default:
+			t.Fatalf("call %d: unexpected error %v", i, err)
+		}
+	}
+	if timeouts == 0 {
+		t.Fatal("no frame was ever lost; injector inactive?")
+	}
+	if ok == 0 {
+		t.Fatal("no call ever succeeded; system did not recover")
+	}
+	if fl.dropped.Load() == 0 {
+		t.Fatal("drop counter")
+	}
+	// The system keeps working afterwards: next non-dropped call succeeds.
+	recovered := false
+	for i := 0; i < 4 && !recovered; i++ {
+		rep, err := a.Request(&i2o.Message{
+			Target: target, Initiator: i2o.TIDExecutive,
+			Function: i2o.FuncPrivate, Org: i2o.OrgXDAQ, XFunction: 1,
+		})
+		if err == nil {
+			rep.Release()
+			recovered = true
+		}
+	}
+	if !recovered {
+		t.Fatal("no recovery after fault burst")
+	}
+}
+
+func TestRefusedSendsSurfaceImmediately(t *testing.T) {
+	a, b, _ := flakyPair(t, 3, true) // every 3rd send refused with an error
+	plugFlakyEcho(t, b)
+	target, err := a.Discover(2, "echo", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var immediate, ok int
+	for i := 0; i < 30; i++ {
+		start := time.Now()
+		rep, err := a.Request(&i2o.Message{
+			Target: target, Initiator: i2o.TIDExecutive,
+			Function: i2o.FuncPrivate, Org: i2o.OrgXDAQ, XFunction: 1,
+		})
+		if err == nil {
+			rep.Release()
+			ok++
+			continue
+		}
+		// A refused send must fail fast (no timeout wait): the transport
+		// error propagates synchronously through Forward.
+		if time.Since(start) < 100*time.Millisecond && !errors.Is(err, executive.ErrTimeout) {
+			immediate++
+		}
+	}
+	if immediate == 0 {
+		t.Fatal("refused sends never surfaced as immediate errors")
+	}
+	if ok == 0 {
+		t.Fatal("no call succeeded")
+	}
+}
+
+func TestNoBufferLeaksUnderFaults(t *testing.T) {
+	a, b, _ := flakyPair(t, 2, false) // heavy loss: every 2nd frame
+	plugFlakyEcho(t, b)
+	target, err := a.Discover(2, "echo", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 30; i++ {
+		m, err := a.AllocMessage(256)
+		if err != nil {
+			t.Fatal(err)
+		}
+		m.Target = target
+		m.Initiator = i2o.TIDExecutive
+		m.XFunction = 1
+		if rep, err := a.Request(m); err == nil {
+			rep.Release()
+		}
+	}
+	// Give in-flight frames a moment, then check both pools drained.
+	deadline := time.Now().Add(2 * time.Second)
+	for time.Now().Before(deadline) {
+		if a.Allocator().Stats().InUse == 0 && b.Allocator().Stats().InUse == 0 {
+			return
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	t.Fatalf("buffers leaked under faults: a=%d b=%d",
+		a.Allocator().Stats().InUse, b.Allocator().Stats().InUse)
+}

@@ -1,0 +1,306 @@
+// Package pta implements the Peer Transport Agent: the module that owns
+// all Peer Transports and moves frames between the executive and remote
+// IOPs (figure 4 of the paper).
+//
+// Peer Transports "encapsulate all details about a specific transport
+// layer" and are themselves ordinary device modules: registering one plugs
+// a device into the executive, so every PT has a TiD and answers the
+// standard executive and utility messages.  The agent distinguishes the
+// paper's two modes of operation (§4):
+//
+//   - Polling: the agent's polling goroutine periodically scans all
+//     registered polling-mode PTs for pending data.  Efficient for
+//     lightweight user-level network interfaces — but one slow PT in the
+//     polling set degrades all of them, which BenchmarkPollingVsTask
+//     reproduces.
+//   - Task: the PT has its own thread of control and reports to the
+//     executive whenever data have arrived.
+//
+// Multiple transports can be registered and used in parallel; each device
+// route names the PT that carries it.
+package pta
+
+import (
+	"errors"
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"xdaq/internal/device"
+	"xdaq/internal/executive"
+	"xdaq/internal/i2o"
+)
+
+// Mode selects how received frames reach the executive.
+type Mode int
+
+const (
+	// Task mode: the transport delivers from its own goroutine.
+	Task Mode = iota
+
+	// Polling mode: the agent's scan loop asks the transport for pending
+	// frames.
+	Polling
+)
+
+func (m Mode) String() string {
+	if m == Polling {
+		return "polling"
+	}
+	return "task"
+}
+
+// Deliver hands a received frame (with the sending IOP's identity) to the
+// local messaging instance.  Ownership of the frame passes to the callee.
+type Deliver func(src i2o.NodeID, m *i2o.Message) error
+
+// PeerTransport is the contract every transport implements.
+type PeerTransport interface {
+	// Name is the route identifier, e.g. "pt.gm" or "pt.tcp".
+	Name() string
+
+	// Send transmits a frame to the given IOP.  Ownership of the frame
+	// passes to the transport: it releases any attached buffer once the
+	// frame is on the wire (or delivered, for pointer-passing transports).
+	Send(dst i2o.NodeID, m *i2o.Message) error
+
+	// Start switches the transport into task mode, delivering through fn
+	// until Stop.  Transports that cannot run a task loop return an error.
+	Start(fn Deliver) error
+
+	// Poll delivers at most budget pending frames through fn and reports
+	// how many it delivered.  Transports that cannot poll return 0.
+	Poll(fn Deliver, budget int) int
+
+	// Stop terminates delivery and releases transport resources.
+	Stop() error
+}
+
+// Errors.
+var (
+	// ErrUnknownRoute reports a forward over an unregistered route.
+	ErrUnknownRoute = errors.New("pta: unknown route")
+
+	// ErrSuspended reports a forward over a suspended transport.
+	ErrSuspended = errors.New("pta: transport suspended")
+
+	// ErrDuplicate reports a second registration of a route name.
+	ErrDuplicate = errors.New("pta: route already registered")
+)
+
+type slot struct {
+	pt        PeerTransport
+	mode      Mode
+	dev       *device.Device
+	suspended atomic.Bool
+}
+
+// Agent is the Peer Transport Agent for one executive.
+type Agent struct {
+	exec *executive.Executive
+	dev  *device.Device
+
+	mu    sync.RWMutex
+	slots map[string]*slot
+
+	pollStop chan struct{}
+	pollDone chan struct{}
+	closed   atomic.Bool
+
+	nSent     atomic.Uint64
+	nReceived atomic.Uint64
+	nErrors   atomic.Uint64
+}
+
+// New creates the agent, plugs its device module into the executive and
+// installs it as the executive's router.
+func New(e *executive.Executive) (*Agent, error) {
+	a := &Agent{
+		exec:     e,
+		slots:    make(map[string]*slot),
+		pollStop: make(chan struct{}),
+		pollDone: make(chan struct{}),
+	}
+	a.dev = device.New("pta", 0)
+	if _, err := e.Plug(a.dev); err != nil {
+		return nil, fmt.Errorf("pta: plug agent device: %w", err)
+	}
+	e.SetRouter(a)
+	go a.pollLoop()
+	return a, nil
+}
+
+// MustNew is New for program setup paths that cannot proceed without an
+// agent; it panics on error.
+func MustNew(e *executive.Executive) *Agent {
+	a, err := New(e)
+	if err != nil {
+		panic(err)
+	}
+	return a
+}
+
+// Register adds a transport under its route name and plugs its device
+// module.  Task-mode transports are started immediately.
+func (a *Agent) Register(pt PeerTransport, mode Mode) error {
+	s := &slot{pt: pt, mode: mode}
+	s.dev = device.New(pt.Name(), 0)
+	s.dev.Params().Set("mode", mode.String())
+	s.dev.Params().Set("suspended", false)
+	s.dev.Params().OnSet(func(changed []i2o.Param) {
+		for _, p := range changed {
+			if p.Key == "suspended" {
+				if b, ok := p.Value.(bool); ok {
+					s.suspended.Store(b)
+				}
+			}
+		}
+	})
+
+	a.mu.Lock()
+	if _, dup := a.slots[pt.Name()]; dup {
+		a.mu.Unlock()
+		return fmt.Errorf("%w: %s", ErrDuplicate, pt.Name())
+	}
+	a.slots[pt.Name()] = s
+	a.mu.Unlock()
+
+	if _, err := a.exec.Plug(s.dev); err != nil {
+		a.mu.Lock()
+		delete(a.slots, pt.Name())
+		a.mu.Unlock()
+		return fmt.Errorf("pta: plug %s: %w", pt.Name(), err)
+	}
+	if mode == Task {
+		if err := pt.Start(a.deliverFunc(pt.Name())); err != nil {
+			a.mu.Lock()
+			delete(a.slots, pt.Name())
+			a.mu.Unlock()
+			return fmt.Errorf("pta: start %s: %w", pt.Name(), err)
+		}
+	}
+	return nil
+}
+
+// deliverFunc builds the delivery callback for one route: frames received
+// there are injected with return-proxy rewriting (peer operation step 7).
+func (a *Agent) deliverFunc(route string) Deliver {
+	return func(src i2o.NodeID, m *i2o.Message) error {
+		a.nReceived.Add(1)
+		return a.exec.InjectFrom(src, route, m)
+	}
+}
+
+// Forward implements executive.Router.
+func (a *Agent) Forward(route string, dst i2o.NodeID, m *i2o.Message) error {
+	a.mu.RLock()
+	s := a.slots[route]
+	a.mu.RUnlock()
+	if s == nil {
+		m.Release()
+		a.nErrors.Add(1)
+		return fmt.Errorf("%w: %s", ErrUnknownRoute, route)
+	}
+	if s.suspended.Load() {
+		m.Release()
+		a.nErrors.Add(1)
+		return fmt.Errorf("%w: %s", ErrSuspended, route)
+	}
+	if err := s.pt.Send(dst, m); err != nil {
+		a.nErrors.Add(1)
+		return err
+	}
+	a.nSent.Add(1)
+	return nil
+}
+
+// Suspend pauses or resumes a transport.  Suspended polling transports are
+// skipped by the scan loop — the paper's advice for protecting a
+// low-latency PT from a slow one.
+func (a *Agent) Suspend(route string, suspended bool) error {
+	a.mu.RLock()
+	s := a.slots[route]
+	a.mu.RUnlock()
+	if s == nil {
+		return fmt.Errorf("%w: %s", ErrUnknownRoute, route)
+	}
+	s.suspended.Store(suspended)
+	s.dev.Params().Set("suspended", suspended)
+	return nil
+}
+
+// Routes returns the registered route names.
+func (a *Agent) Routes() []string {
+	a.mu.RLock()
+	defer a.mu.RUnlock()
+	out := make([]string, 0, len(a.slots))
+	for name := range a.slots {
+		out = append(out, name)
+	}
+	return out
+}
+
+// Stats summarizes agent activity.
+type Stats struct {
+	Sent     uint64
+	Received uint64
+	Errors   uint64
+}
+
+// Stats returns a snapshot of the agent's counters.
+func (a *Agent) Stats() Stats {
+	return Stats{Sent: a.nSent.Load(), Received: a.nReceived.Load(), Errors: a.nErrors.Load()}
+}
+
+// pollBudget bounds the frames drained from one transport per scan so one
+// busy PT cannot starve the others within a scan round.
+const pollBudget = 64
+
+// pollLoop is the agent's scan goroutine for polling-mode transports.
+func (a *Agent) pollLoop() {
+	defer close(a.pollDone)
+	for {
+		select {
+		case <-a.pollStop:
+			return
+		default:
+		}
+		a.mu.RLock()
+		slots := make([]*slot, 0, len(a.slots))
+		for _, s := range a.slots {
+			if s.mode == Polling && !s.suspended.Load() {
+				slots = append(slots, s)
+			}
+		}
+		a.mu.RUnlock()
+		delivered := 0
+		for _, s := range slots {
+			delivered += s.pt.Poll(a.deliverFunc(s.pt.Name()), pollBudget)
+		}
+		if delivered == 0 {
+			// Nothing pending anywhere: yield rather than burn the core.
+			runtime.Gosched()
+		}
+	}
+}
+
+// Close stops the polling loop and all transports.
+func (a *Agent) Close() {
+	if a.closed.Swap(true) {
+		return
+	}
+	close(a.pollStop)
+	<-a.pollDone
+	a.mu.Lock()
+	slots := make([]*slot, 0, len(a.slots))
+	for _, s := range a.slots {
+		slots = append(slots, s)
+	}
+	a.mu.Unlock()
+	for _, s := range slots {
+		if err := s.pt.Stop(); err != nil {
+			a.exec.Logf("pta: stop %s: %v", s.pt.Name(), err)
+		}
+	}
+}

@@ -1,0 +1,288 @@
+package pta
+
+import (
+	"errors"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"xdaq/internal/executive"
+	"xdaq/internal/i2o"
+)
+
+// fakePT is a scriptable transport.
+type fakePT struct {
+	name    string
+	mu      sync.Mutex
+	sent    []*i2o.Message
+	pending []fakeFrame // frames Poll will deliver
+	started atomic.Bool
+	stopped atomic.Bool
+	sendErr error
+}
+
+type fakeFrame struct {
+	src i2o.NodeID
+	m   *i2o.Message
+}
+
+func (f *fakePT) Name() string { return f.name }
+
+func (f *fakePT) Send(dst i2o.NodeID, m *i2o.Message) error {
+	if f.sendErr != nil {
+		m.Release()
+		return f.sendErr
+	}
+	f.mu.Lock()
+	f.sent = append(f.sent, m)
+	f.mu.Unlock()
+	return nil
+}
+
+func (f *fakePT) Start(Deliver) error { f.started.Store(true); return nil }
+
+func (f *fakePT) Poll(fn Deliver, budget int) int {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	n := 0
+	for n < budget && len(f.pending) > 0 {
+		fr := f.pending[0]
+		f.pending = f.pending[1:]
+		if err := fn(fr.src, fr.m); err != nil {
+			return n
+		}
+		n++
+	}
+	return n
+}
+
+func (f *fakePT) Stop() error { f.stopped.Store(true); return nil }
+
+func (f *fakePT) enqueue(src i2o.NodeID, m *i2o.Message) {
+	f.mu.Lock()
+	f.pending = append(f.pending, fakeFrame{src, m})
+	f.mu.Unlock()
+}
+
+func newAgent(t *testing.T) (*executive.Executive, *Agent) {
+	t.Helper()
+	e := executive.New(executive.Options{
+		Name: "pta-test", Node: 1,
+		RequestTimeout: time.Second,
+		Logf:           func(string, ...any) {},
+	})
+	a, err := New(e)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() {
+		a.Close()
+		e.Close()
+	})
+	return e, a
+}
+
+func TestAgentPlugsDeviceAndRoutes(t *testing.T) {
+	e, a := newAgent(t)
+	if _, err := e.Resolve("pta", 0, i2o.NodeNone); err != nil {
+		t.Fatal("agent device not plugged")
+	}
+	pt := &fakePT{name: "pt.fake"}
+	if err := a.Register(pt, Task); err != nil {
+		t.Fatal(err)
+	}
+	if !pt.started.Load() {
+		t.Fatal("task transport not started")
+	}
+	if _, err := e.Resolve("pt.fake", 0, i2o.NodeNone); err != nil {
+		t.Fatal("transport device not plugged")
+	}
+	routes := a.Routes()
+	if len(routes) != 1 || routes[0] != "pt.fake" {
+		t.Fatalf("routes %v", routes)
+	}
+}
+
+func TestRegisterDuplicate(t *testing.T) {
+	_, a := newAgent(t)
+	if err := a.Register(&fakePT{name: "pt.x"}, Task); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Register(&fakePT{name: "pt.x"}, Task); !errors.Is(err, ErrDuplicate) {
+		t.Fatalf("dup: %v", err)
+	}
+}
+
+func TestForward(t *testing.T) {
+	_, a := newAgent(t)
+	pt := &fakePT{name: "pt.fake"}
+	if err := a.Register(pt, Task); err != nil {
+		t.Fatal(err)
+	}
+	m := &i2o.Message{Target: 5, Function: i2o.UtilNOP}
+	if err := a.Forward("pt.fake", 2, m); err != nil {
+		t.Fatal(err)
+	}
+	if len(pt.sent) != 1 || a.Stats().Sent != 1 {
+		t.Fatalf("sent %d stats %+v", len(pt.sent), a.Stats())
+	}
+	if err := a.Forward("pt.none", 2, &i2o.Message{Target: 5, Function: i2o.UtilNOP}); !errors.Is(err, ErrUnknownRoute) {
+		t.Fatalf("unknown route: %v", err)
+	}
+	if a.Stats().Errors != 1 {
+		t.Fatalf("stats %+v", a.Stats())
+	}
+}
+
+func TestForwardSendError(t *testing.T) {
+	_, a := newAgent(t)
+	boom := errors.New("wire down")
+	pt := &fakePT{name: "pt.bad", sendErr: boom}
+	if err := a.Register(pt, Task); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Forward("pt.bad", 2, &i2o.Message{Target: 5, Function: i2o.UtilNOP}); !errors.Is(err, boom) {
+		t.Fatalf("err %v", err)
+	}
+	if a.Stats().Errors != 1 {
+		t.Fatalf("stats %+v", a.Stats())
+	}
+}
+
+func TestSuspendBlocksForward(t *testing.T) {
+	_, a := newAgent(t)
+	pt := &fakePT{name: "pt.fake"}
+	if err := a.Register(pt, Task); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Suspend("pt.fake", true); err != nil {
+		t.Fatal(err)
+	}
+	err := a.Forward("pt.fake", 2, &i2o.Message{Target: 5, Function: i2o.UtilNOP})
+	if !errors.Is(err, ErrSuspended) {
+		t.Fatalf("suspended forward: %v", err)
+	}
+	if err := a.Suspend("pt.fake", false); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Forward("pt.fake", 2, &i2o.Message{Target: 5, Function: i2o.UtilNOP}); err != nil {
+		t.Fatalf("resumed forward: %v", err)
+	}
+	if err := a.Suspend("pt.none", true); !errors.Is(err, ErrUnknownRoute) {
+		t.Fatalf("suspend unknown: %v", err)
+	}
+}
+
+func TestSuspendViaParams(t *testing.T) {
+	e, a := newAgent(t)
+	pt := &fakePT{name: "pt.fake"}
+	if err := a.Register(pt, Polling); err != nil {
+		t.Fatal(err)
+	}
+	ptTID, err := e.Resolve("pt.fake", 0, i2o.NodeNone)
+	if err != nil {
+		t.Fatal(err)
+	}
+	payload, _ := i2o.EncodeParams([]i2o.Param{{Key: "suspended", Value: true}})
+	rep, err := e.Request(&i2o.Message{
+		Target: ptTID, Initiator: i2o.TIDExecutive,
+		Function: i2o.UtilParamsSet, Payload: payload,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep.Release()
+	if err := a.Forward("pt.fake", 2, &i2o.Message{Target: 5, Function: i2o.UtilNOP}); !errors.Is(err, ErrSuspended) {
+		t.Fatalf("params suspend not applied: %v", err)
+	}
+}
+
+func TestPollingDelivery(t *testing.T) {
+	e, a := newAgent(t)
+	pt := &fakePT{name: "pt.poll"}
+	if err := a.Register(pt, Polling); err != nil {
+		t.Fatal(err)
+	}
+	// A frame for the executive: ExecStatusGet without reply expectation
+	// just bumps the dispatch counter.
+	before := e.Stats().Dispatched
+	pt.enqueue(2, &i2o.Message{Target: i2o.TIDExecutive, Function: i2o.UtilNOP})
+	deadline := time.After(2 * time.Second)
+	for e.Stats().Dispatched == before {
+		select {
+		case <-deadline:
+			t.Fatal("polled frame never dispatched")
+		default:
+			time.Sleep(time.Millisecond)
+		}
+	}
+	if a.Stats().Received != 1 {
+		t.Fatalf("stats %+v", a.Stats())
+	}
+}
+
+func TestSuspendedPollingPTNotScanned(t *testing.T) {
+	e, a := newAgent(t)
+	pt := &fakePT{name: "pt.poll"}
+	if err := a.Register(pt, Polling); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Suspend("pt.poll", true); err != nil {
+		t.Fatal(err)
+	}
+	pt.enqueue(2, &i2o.Message{Target: i2o.TIDExecutive, Function: i2o.UtilNOP})
+	time.Sleep(30 * time.Millisecond)
+	if got := a.Stats().Received; got != 0 {
+		t.Fatalf("suspended PT delivered %d frames", got)
+	}
+	_ = e
+}
+
+func TestReturnProxyRewritesInitiator(t *testing.T) {
+	e, a := newAgent(t)
+	pt := &fakePT{name: "pt.poll"}
+	if err := a.Register(pt, Polling); err != nil {
+		t.Fatal(err)
+	}
+	// A remote frame whose initiator is TiD 0x42 on node 7.
+	pt.enqueue(7, &i2o.Message{
+		Target: i2o.TIDExecutive, Initiator: 0x42, Function: i2o.UtilNOP,
+	})
+	deadline := time.After(2 * time.Second)
+	for {
+		if _, ok := e.Table().Resolve("@peer:pt.poll", 0x42, 7); ok {
+			break
+		}
+		select {
+		case <-deadline:
+			t.Fatal("return proxy never created")
+		default:
+			time.Sleep(time.Millisecond)
+		}
+	}
+}
+
+func TestCloseStopsTransports(t *testing.T) {
+	e := executive.New(executive.Options{Name: "x", Node: 1, Logf: func(string, ...any) {}})
+	defer e.Close()
+	a, err := New(e)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pt := &fakePT{name: "pt.fake"}
+	if err := a.Register(pt, Task); err != nil {
+		t.Fatal(err)
+	}
+	a.Close()
+	a.Close() // idempotent
+	if !pt.stopped.Load() {
+		t.Fatal("transport not stopped")
+	}
+}
+
+func TestModeString(t *testing.T) {
+	if Task.String() == Polling.String() {
+		t.Fatal("mode strings")
+	}
+}

@@ -1,0 +1,44 @@
+package queue
+
+import "xdaq/internal/i2o"
+
+// deque is a growable ring buffer of frames with O(1) push-back/pop-front.
+type deque struct {
+	buf  []*i2o.Message
+	head int
+	n    int
+}
+
+func (d *deque) len() int { return d.n }
+
+func (d *deque) pushBack(m *i2o.Message) {
+	if d.n == len(d.buf) {
+		d.grow()
+	}
+	d.buf[(d.head+d.n)%len(d.buf)] = m
+	d.n++
+}
+
+func (d *deque) popFront() *i2o.Message {
+	if d.n == 0 {
+		return nil
+	}
+	m := d.buf[d.head]
+	d.buf[d.head] = nil
+	d.head = (d.head + 1) % len(d.buf)
+	d.n--
+	return m
+}
+
+func (d *deque) grow() {
+	size := len(d.buf) * 2
+	if size == 0 {
+		size = 8
+	}
+	buf := make([]*i2o.Message, size)
+	for i := 0; i < d.n; i++ {
+		buf[i] = d.buf[(d.head+i)%len(d.buf)]
+	}
+	d.buf = buf
+	d.head = 0
+}

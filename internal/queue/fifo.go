@@ -1,0 +1,121 @@
+package queue
+
+import (
+	"sync"
+	"time"
+
+	"xdaq/internal/i2o"
+)
+
+// FIFO is a bounded multi-producer multi-consumer frame queue.  It models
+// the plain inbound/outbound hardware queue pairs of the I2O messaging
+// instance (figure 2 of the paper) and is reused by the simulated PCI
+// transport for its hardware FIFOs.
+type FIFO struct {
+	ch        chan *i2o.Message
+	done      chan struct{}
+	closeOnce sync.Once
+}
+
+// NewFIFO returns a FIFO bounded at capacity frames; capacity must be
+// positive (hardware queues always have a depth).
+func NewFIFO(capacity int) *FIFO {
+	if capacity <= 0 {
+		panic("queue: FIFO capacity must be positive")
+	}
+	return &FIFO{
+		ch:   make(chan *i2o.Message, capacity),
+		done: make(chan struct{}),
+	}
+}
+
+// Push enqueues without blocking; a full queue returns ErrFull.
+func (f *FIFO) Push(m *i2o.Message) error {
+	select {
+	case <-f.done:
+		return ErrClosed
+	default:
+	}
+	select {
+	case f.ch <- m:
+		return nil
+	default:
+		return ErrFull
+	}
+}
+
+// PushWait blocks until space is available (backpressure, as a full
+// hardware FIFO stalls the writer) or the queue closes.
+func (f *FIFO) PushWait(m *i2o.Message) error {
+	select {
+	case <-f.done:
+		return ErrClosed
+	default:
+	}
+	select {
+	case f.ch <- m:
+		return nil
+	case <-f.done:
+		return ErrClosed
+	}
+}
+
+// Pop blocks until a frame is available; it returns (nil, false) once the
+// queue is closed and drained.
+func (f *FIFO) Pop() (*i2o.Message, bool) {
+	select {
+	case m := <-f.ch:
+		return m, true
+	case <-f.done:
+		// Closed: drain whatever remains, then report closure.
+		select {
+		case m := <-f.ch:
+			return m, true
+		default:
+			return nil, false
+		}
+	}
+}
+
+// TryPop returns the next frame without blocking.
+func (f *FIFO) TryPop() (*i2o.Message, bool) {
+	select {
+	case m := <-f.ch:
+		return m, true
+	default:
+		return nil, false
+	}
+}
+
+// PopTimeout waits up to d for a frame.  It returns (nil, false) on timeout
+// or on closure with an empty queue.  Polling-mode peer transports use it
+// to bound their scan.
+func (f *FIFO) PopTimeout(d time.Duration) (*i2o.Message, bool) {
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case m := <-f.ch:
+		return m, true
+	case <-f.done:
+		select {
+		case m := <-f.ch:
+			return m, true
+		default:
+			return nil, false
+		}
+	case <-t.C:
+		return nil, false
+	}
+}
+
+// Close wakes all waiters; Pop drains remaining frames first.  Close is
+// idempotent.
+func (f *FIFO) Close() {
+	f.closeOnce.Do(func() { close(f.done) })
+}
+
+// Len returns the number of queued frames.
+func (f *FIFO) Len() int { return len(f.ch) }
+
+// Cap returns the queue depth.
+func (f *FIFO) Cap() int { return cap(f.ch) }

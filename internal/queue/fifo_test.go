@@ -1,0 +1,227 @@
+package queue
+
+import (
+	"errors"
+	"sync"
+	"testing"
+	"time"
+
+	"xdaq/internal/i2o"
+)
+
+func TestFIFOOrder(t *testing.T) {
+	f := NewFIFO(16)
+	for i := uint32(0); i < 10; i++ {
+		if err := f.Push(msg(1, 0, i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if f.Len() != 10 || f.Cap() != 16 {
+		t.Fatalf("len=%d cap=%d", f.Len(), f.Cap())
+	}
+	for i := uint32(0); i < 10; i++ {
+		m, ok := f.TryPop()
+		if !ok || m.InitiatorContext != i {
+			t.Fatalf("pop %d: %v %v", i, m, ok)
+		}
+	}
+	if _, ok := f.TryPop(); ok {
+		t.Fatal("TryPop on empty returned a frame")
+	}
+}
+
+func TestFIFOFull(t *testing.T) {
+	f := NewFIFO(1)
+	if err := f.Push(msg(1, 0, 1)); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Push(msg(1, 0, 2)); !errors.Is(err, ErrFull) {
+		t.Fatalf("push to full: %v", err)
+	}
+}
+
+func TestFIFOPushWaitBackpressure(t *testing.T) {
+	f := NewFIFO(1)
+	if err := f.PushWait(msg(1, 0, 1)); err != nil {
+		t.Fatal(err)
+	}
+	unblocked := make(chan error, 1)
+	go func() { unblocked <- f.PushWait(msg(1, 0, 2)) }()
+	select {
+	case <-unblocked:
+		t.Fatal("PushWait did not block on a full queue")
+	case <-time.After(20 * time.Millisecond):
+	}
+	if _, ok := f.Pop(); !ok {
+		t.Fatal("pop")
+	}
+	if err := <-unblocked; err != nil {
+		t.Fatalf("PushWait after drain: %v", err)
+	}
+}
+
+func TestFIFOCloseSemantics(t *testing.T) {
+	f := NewFIFO(4)
+	if err := f.Push(msg(1, 0, 1)); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+	f.Close() // idempotent
+	if err := f.Push(msg(1, 0, 2)); !errors.Is(err, ErrClosed) {
+		t.Fatalf("push after close: %v", err)
+	}
+	if err := f.PushWait(msg(1, 0, 3)); !errors.Is(err, ErrClosed) {
+		t.Fatalf("pushwait after close: %v", err)
+	}
+	if m, ok := f.Pop(); !ok || m.InitiatorContext != 1 {
+		t.Fatalf("drain after close: %v %v", m, ok)
+	}
+	if _, ok := f.Pop(); ok {
+		t.Fatal("pop after drain")
+	}
+}
+
+func TestFIFOCloseWakesBlockedPop(t *testing.T) {
+	f := NewFIFO(1)
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		if _, ok := f.Pop(); ok {
+			t.Error("blocked Pop on empty queue returned a frame")
+		}
+	}()
+	time.Sleep(20 * time.Millisecond)
+	f.Close()
+	waitDone(t, &wg, time.Second)
+}
+
+func TestFIFOCloseWakesBlockedPushWait(t *testing.T) {
+	f := NewFIFO(1)
+	if err := f.Push(msg(1, 0, 1)); err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		if err := f.PushWait(msg(1, 0, 2)); !errors.Is(err, ErrClosed) {
+			t.Errorf("blocked PushWait: %v", err)
+		}
+	}()
+	time.Sleep(20 * time.Millisecond)
+	f.Close()
+	waitDone(t, &wg, time.Second)
+}
+
+func waitDone(t *testing.T, wg *sync.WaitGroup, d time.Duration) {
+	t.Helper()
+	done := make(chan struct{})
+	go func() { wg.Wait(); close(done) }()
+	select {
+	case <-done:
+	case <-time.After(d):
+		t.Fatal("goroutines did not finish")
+	}
+}
+
+func TestFIFOPopTimeout(t *testing.T) {
+	f := NewFIFO(1)
+	start := time.Now()
+	if _, ok := f.PopTimeout(10 * time.Millisecond); ok {
+		t.Fatal("PopTimeout on empty returned a frame")
+	}
+	if time.Since(start) < 10*time.Millisecond {
+		t.Fatal("PopTimeout returned early")
+	}
+	if err := f.Push(msg(1, 0, 7)); err != nil {
+		t.Fatal(err)
+	}
+	m, ok := f.PopTimeout(time.Second)
+	if !ok || m.InitiatorContext != 7 {
+		t.Fatalf("PopTimeout: %v %v", m, ok)
+	}
+}
+
+func TestFIFOPopTimeoutAfterClose(t *testing.T) {
+	f := NewFIFO(1)
+	if err := f.Push(msg(1, 0, 1)); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+	if m, ok := f.PopTimeout(time.Second); !ok || m.InitiatorContext != 1 {
+		t.Fatalf("drain via PopTimeout: %v %v", m, ok)
+	}
+	if _, ok := f.PopTimeout(time.Millisecond); ok {
+		t.Fatal("PopTimeout after drain")
+	}
+}
+
+func TestFIFOZeroCapacityPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("NewFIFO(0) did not panic")
+		}
+	}()
+	NewFIFO(0)
+}
+
+func TestFIFOConcurrent(t *testing.T) {
+	f := NewFIFO(8)
+	const producers, per = 4, 250
+	var wg sync.WaitGroup
+	for p := 0; p < producers; p++ {
+		wg.Add(1)
+		go func(p int) {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				if err := f.PushWait(msg(i2o.TID(p+1), 0, uint32(i))); err != nil {
+					t.Errorf("push: %v", err)
+					return
+				}
+			}
+		}(p)
+	}
+	counts := make(map[i2o.TID]int)
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for {
+			m, ok := f.Pop()
+			if !ok {
+				return
+			}
+			counts[m.Target]++
+		}
+	}()
+	wg.Wait()
+	f.Close()
+	<-done
+	for p := 1; p <= producers; p++ {
+		if counts[i2o.TID(p)] != per {
+			t.Fatalf("producer %d delivered %d frames", p, counts[i2o.TID(p)])
+		}
+	}
+}
+
+func TestDequeGrowth(t *testing.T) {
+	var d deque
+	// Interleave pushes and pops so head is nonzero when growth happens.
+	for i := uint32(0); i < 3; i++ {
+		d.pushBack(msg(1, 0, i))
+	}
+	d.popFront()
+	d.popFront()
+	for i := uint32(3); i < 50; i++ {
+		d.pushBack(msg(1, 0, i))
+	}
+	for want := uint32(2); want < 50; want++ {
+		m := d.popFront()
+		if m == nil || m.InitiatorContext != want {
+			t.Fatalf("popFront = %v, want seq %d", m, want)
+		}
+	}
+	if d.len() != 0 || d.popFront() != nil {
+		t.Fatal("deque not empty at end")
+	}
+}

@@ -1,0 +1,192 @@
+// Package queue implements the messaging instance of an IOP: the inbound
+// frame scheduler with the I2O dispatch discipline, and the plain bounded
+// FIFOs used for outbound paths and simulated hardware queues.
+//
+// The paper (§4): "For scheduling the dispatching of messages we follow the
+// algorithm given in the I2O specification.  There exist seven priority
+// levels and for each one the messages are scheduled to a FIFO.  All
+// devices are then dispatched in round-robin manner."  Sched implements
+// exactly that: per priority level, frames are queued FIFO per target
+// device, and within a level the scheduler serves the devices that have
+// pending frames in round-robin order.  Lower levels preempt higher ones
+// between frames (never mid-handler: the loop of control stays in the
+// executive).
+package queue
+
+import (
+	"errors"
+	"sync"
+
+	"xdaq/internal/i2o"
+)
+
+// Errors.
+var (
+	// ErrFull reports a push to a scheduler or FIFO at capacity.
+	ErrFull = errors.New("queue: full")
+
+	// ErrClosed reports a push to a closed queue.
+	ErrClosed = errors.New("queue: closed")
+)
+
+// devQueue is one device's FIFO within one priority level.
+type devQueue struct {
+	tid i2o.TID
+	q   deque
+}
+
+// level is one priority level: the set of devices with pending frames, in
+// round-robin order.  Serving a device rotates it to the back of the ring;
+// a device that becomes active (re-)enters at the back, so no device is
+// served twice before every other pending device is served once.
+type level struct {
+	ring  []*devQueue
+	byTID map[i2o.TID]*devQueue
+}
+
+func (l *level) push(m *i2o.Message) {
+	if l.byTID == nil {
+		l.byTID = make(map[i2o.TID]*devQueue)
+	}
+	dq, ok := l.byTID[m.Target]
+	if !ok {
+		dq = &devQueue{tid: m.Target}
+		l.byTID[m.Target] = dq
+	}
+	if dq.q.len() == 0 {
+		l.ring = append(l.ring, dq)
+	}
+	dq.q.pushBack(m)
+}
+
+func (l *level) pop() *i2o.Message {
+	if len(l.ring) == 0 {
+		return nil
+	}
+	dq := l.ring[0]
+	m := dq.q.popFront()
+	l.ring = l.ring[1:]
+	if dq.q.len() > 0 {
+		l.ring = append(l.ring, dq)
+	} else {
+		delete(l.byTID, dq.tid)
+	}
+	return m
+}
+
+// Sched is the inbound scheduler.  It is safe for concurrent use; Pop is
+// intended to be called by the single executive dispatch goroutine.
+type Sched struct {
+	mu       sync.Mutex
+	notEmpty *sync.Cond
+	levels   [i2o.NumPriorities]level
+	size     int
+	capacity int
+	closed   bool
+}
+
+// NewSched returns a scheduler bounded at capacity frames (0 means
+// unbounded).  A full scheduler rejects pushes with ErrFull: the executive
+// turns that into a FailResources reply rather than blocking a transport.
+func NewSched(capacity int) *Sched {
+	s := &Sched{capacity: capacity}
+	s.notEmpty = sync.NewCond(&s.mu)
+	return s
+}
+
+// Push enqueues a frame according to its priority and target.
+func (s *Sched) Push(m *i2o.Message) error {
+	if !m.Priority.Valid() {
+		return i2o.ErrBadPriority
+	}
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return ErrClosed
+	}
+	if s.capacity > 0 && s.size >= s.capacity {
+		s.mu.Unlock()
+		return ErrFull
+	}
+	s.levels[m.Priority].push(m)
+	s.size++
+	s.mu.Unlock()
+	s.notEmpty.Signal()
+	return nil
+}
+
+// Pop blocks until a frame is available and returns it, serving the lowest
+// non-empty priority level and rotating among that level's devices.  It
+// returns (nil, false) once the scheduler is closed and drained.
+func (s *Sched) Pop() (*i2o.Message, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for {
+		if s.size > 0 {
+			return s.popLocked(), true
+		}
+		if s.closed {
+			return nil, false
+		}
+		s.notEmpty.Wait()
+	}
+}
+
+// TryPop returns the next frame without blocking.
+func (s *Sched) TryPop() (*i2o.Message, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.size == 0 {
+		return nil, false
+	}
+	return s.popLocked(), true
+}
+
+func (s *Sched) popLocked() *i2o.Message {
+	for p := range s.levels {
+		if m := s.levels[p].pop(); m != nil {
+			s.size--
+			return m
+		}
+	}
+	panic("queue: size positive but all levels empty")
+}
+
+// Close wakes all blocked consumers.  Remaining frames are still drained by
+// Pop; pushes after Close fail with ErrClosed.
+func (s *Sched) Close() {
+	s.mu.Lock()
+	s.closed = true
+	s.mu.Unlock()
+	s.notEmpty.Broadcast()
+}
+
+// Drain removes and returns all pending frames (used on shutdown so their
+// pool buffers can be released).
+func (s *Sched) Drain() []*i2o.Message {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]*i2o.Message, 0, s.size)
+	for s.size > 0 {
+		out = append(out, s.popLocked())
+	}
+	return out
+}
+
+// Len returns the number of queued frames.
+func (s *Sched) Len() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.size
+}
+
+// LevelLen returns the number of frames queued at one priority level.
+func (s *Sched) LevelLen(p i2o.Priority) int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	n := 0
+	for _, dq := range s.levels[p].byTID {
+		n += dq.q.len()
+	}
+	return n
+}

@@ -1,0 +1,243 @@
+// Package rmi implements the remote-method-invocation adapters of §4:
+// "To further shield users from these details, adapters can be provided
+// that allow a remote method invocation style communication scheme.  The
+// stub part will take the call parameters and marshal them into a standard
+// message, whereas the skeleton part scans the message and provides typed
+// pointers to its contents."
+//
+// The marshalling is deliberately minimal — fixed-width little-endian
+// primitives and length-prefixed strings — because a key argument of the
+// paper is that heavyweight, general marshalling engines (CORBA ORBs) are
+// what costs middleware its efficiency.
+package rmi
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"math"
+)
+
+// ErrTruncated reports a decode past the end of the argument buffer.
+var ErrTruncated = errors.New("rmi: truncated arguments")
+
+// ErrTrailing reports undecoded bytes left after Finish.
+var ErrTrailing = errors.New("rmi: trailing bytes after arguments")
+
+// Encoder marshals call parameters into a frame payload.
+type Encoder struct {
+	buf []byte
+}
+
+// NewEncoder returns an encoder with optional preallocated capacity.
+func NewEncoder(capacity int) *Encoder {
+	return &Encoder{buf: make([]byte, 0, capacity)}
+}
+
+// Bytes returns the accumulated payload.
+func (e *Encoder) Bytes() []byte { return e.buf }
+
+// Len returns the encoded size so far.
+func (e *Encoder) Len() int { return len(e.buf) }
+
+func (e *Encoder) Byte(v byte)     { e.buf = append(e.buf, v) }
+func (e *Encoder) Bool(v bool)     { e.Byte(boolByte(v)) }
+func (e *Encoder) Uint16(v uint16) { e.buf = binary.LittleEndian.AppendUint16(e.buf, v) }
+func (e *Encoder) Uint32(v uint32) { e.buf = binary.LittleEndian.AppendUint32(e.buf, v) }
+func (e *Encoder) Uint64(v uint64) { e.buf = binary.LittleEndian.AppendUint64(e.buf, v) }
+func (e *Encoder) Int16(v int16)   { e.Uint16(uint16(v)) }
+func (e *Encoder) Int32(v int32)   { e.Uint32(uint32(v)) }
+func (e *Encoder) Int64(v int64)   { e.Uint64(uint64(v)) }
+func (e *Encoder) Float32(v float32) {
+	e.Uint32(math.Float32bits(v))
+}
+func (e *Encoder) Float64(v float64) {
+	e.Uint64(math.Float64bits(v))
+}
+
+// String writes a uint32-length-prefixed UTF-8 string.
+func (e *Encoder) String(v string) {
+	e.Uint32(uint32(len(v)))
+	e.buf = append(e.buf, v...)
+}
+
+// Bytes32 writes a uint32-length-prefixed byte slice.
+func (e *Encoder) Bytes32(v []byte) {
+	e.Uint32(uint32(len(v)))
+	e.buf = append(e.buf, v...)
+}
+
+// Float64s writes a counted slice of float64 values.
+func (e *Encoder) Float64s(v []float64) {
+	e.Uint32(uint32(len(v)))
+	for _, f := range v {
+		e.Float64(f)
+	}
+}
+
+// Int64s writes a counted slice of int64 values.
+func (e *Encoder) Int64s(v []int64) {
+	e.Uint32(uint32(len(v)))
+	for _, n := range v {
+		e.Int64(n)
+	}
+}
+
+// Strings writes a counted slice of strings.
+func (e *Encoder) Strings(v []string) {
+	e.Uint32(uint32(len(v)))
+	for _, s := range v {
+		e.String(s)
+	}
+}
+
+func boolByte(v bool) byte {
+	if v {
+		return 1
+	}
+	return 0
+}
+
+// Decoder unmarshals call parameters from a frame payload.  Decoding
+// methods record the first error; check Err (or Finish) once at the end
+// rather than after every read — the skeleton does this for handlers.
+type Decoder struct {
+	buf []byte
+	off int
+	err error
+}
+
+// NewDecoder reads from payload (which is aliased, not copied).
+func NewDecoder(payload []byte) *Decoder { return &Decoder{buf: payload} }
+
+// Err returns the first decode error, if any.
+func (d *Decoder) Err() error { return d.err }
+
+// Remaining returns the number of unread bytes.
+func (d *Decoder) Remaining() int { return len(d.buf) - d.off }
+
+// Finish fails if a decode error occurred or bytes remain unread.
+func (d *Decoder) Finish() error {
+	if d.err != nil {
+		return d.err
+	}
+	if d.off != len(d.buf) {
+		return fmt.Errorf("%w: %d bytes", ErrTrailing, len(d.buf)-d.off)
+	}
+	return nil
+}
+
+func (d *Decoder) take(n int) []byte {
+	if d.err != nil {
+		return nil
+	}
+	if d.Remaining() < n {
+		d.err = fmt.Errorf("%w: want %d, have %d", ErrTruncated, n, d.Remaining())
+		return nil
+	}
+	b := d.buf[d.off : d.off+n]
+	d.off += n
+	return b
+}
+
+func (d *Decoder) Byte() byte {
+	if b := d.take(1); b != nil {
+		return b[0]
+	}
+	return 0
+}
+
+func (d *Decoder) Bool() bool { return d.Byte() != 0 }
+
+func (d *Decoder) Uint16() uint16 {
+	if b := d.take(2); b != nil {
+		return binary.LittleEndian.Uint16(b)
+	}
+	return 0
+}
+
+func (d *Decoder) Uint32() uint32 {
+	if b := d.take(4); b != nil {
+		return binary.LittleEndian.Uint32(b)
+	}
+	return 0
+}
+
+func (d *Decoder) Uint64() uint64 {
+	if b := d.take(8); b != nil {
+		return binary.LittleEndian.Uint64(b)
+	}
+	return 0
+}
+
+func (d *Decoder) Int16() int16     { return int16(d.Uint16()) }
+func (d *Decoder) Int32() int32     { return int32(d.Uint32()) }
+func (d *Decoder) Int64() int64     { return int64(d.Uint64()) }
+func (d *Decoder) Float32() float32 { return math.Float32frombits(d.Uint32()) }
+func (d *Decoder) Float64() float64 { return math.Float64frombits(d.Uint64()) }
+
+// String reads a uint32-length-prefixed string.
+func (d *Decoder) String() string {
+	n := int(d.Uint32())
+	if b := d.take(n); b != nil {
+		return string(b)
+	}
+	return ""
+}
+
+// Bytes32 reads a uint32-length-prefixed byte slice, aliasing the payload.
+func (d *Decoder) Bytes32() []byte {
+	n := int(d.Uint32())
+	return d.take(n)
+}
+
+// Float64s reads a counted slice of float64 values.
+func (d *Decoder) Float64s() []float64 {
+	n := int(d.Uint32())
+	if d.err != nil || n < 0 || d.Remaining() < 8*n {
+		if d.err == nil {
+			d.err = fmt.Errorf("%w: float64 slice of %d", ErrTruncated, n)
+		}
+		return nil
+	}
+	out := make([]float64, n)
+	for i := range out {
+		out[i] = d.Float64()
+	}
+	return out
+}
+
+// Int64s reads a counted slice of int64 values.
+func (d *Decoder) Int64s() []int64 {
+	n := int(d.Uint32())
+	if d.err != nil || n < 0 || d.Remaining() < 8*n {
+		if d.err == nil {
+			d.err = fmt.Errorf("%w: int64 slice of %d", ErrTruncated, n)
+		}
+		return nil
+	}
+	out := make([]int64, n)
+	for i := range out {
+		out[i] = d.Int64()
+	}
+	return out
+}
+
+// Strings reads a counted slice of strings.
+func (d *Decoder) Strings() []string {
+	n := int(d.Uint32())
+	if d.err != nil || n < 0 || d.Remaining() < n {
+		if d.err == nil {
+			d.err = fmt.Errorf("%w: string slice of %d", ErrTruncated, n)
+		}
+		return nil
+	}
+	out := make([]string, 0, n)
+	for i := 0; i < n; i++ {
+		out = append(out, d.String())
+	}
+	if d.err != nil {
+		return nil
+	}
+	return out
+}

@@ -1,0 +1,118 @@
+package rmi
+
+import (
+	"fmt"
+
+	"xdaq/internal/device"
+	"xdaq/internal/i2o"
+)
+
+// Stub is the client-side adapter: it marshals typed call parameters into
+// private I2O frames and unmarshals typed results from the replies, hiding
+// frameSend and the frame format from the caller.
+type Stub struct {
+	host      device.Host
+	target    i2o.TID
+	initiator i2o.TID
+	org       i2o.OrgID
+	priority  i2o.Priority
+}
+
+// NewStub builds a stub calling the device at target through host (an
+// executive, or any device.Host).  Calls originate from the executive TiD
+// unless SetInitiator overrides it.
+func NewStub(host device.Host, target i2o.TID) *Stub {
+	return &Stub{
+		host:      host,
+		target:    target,
+		initiator: i2o.TIDExecutive,
+		org:       i2o.OrgXDAQ,
+		priority:  i2o.PriorityDefault,
+	}
+}
+
+// SetInitiator changes the TiD replies are routed back to.
+func (s *Stub) SetInitiator(id i2o.TID) { s.initiator = id }
+
+// SetPriority changes the scheduling priority of calls.
+func (s *Stub) SetPriority(p i2o.Priority) { s.priority = p }
+
+// SetOrg changes the organization ID of the private frames.
+func (s *Stub) SetOrg(org i2o.OrgID) { s.org = org }
+
+// Invoke performs a synchronous call: marshal writes the parameters,
+// unmarshal reads the result.  Either may be nil for void argument or
+// result lists.  The decoder passed to unmarshal is checked with Finish
+// afterwards, so handlers that leave trailing bytes are caught.
+func (s *Stub) Invoke(xfunc uint16, marshal func(*Encoder), unmarshal func(*Decoder) error) error {
+	m := s.message(xfunc, marshal)
+	rep, err := s.host.Request(m)
+	if err != nil {
+		return err
+	}
+	defer rep.Release()
+	if unmarshal == nil {
+		return nil
+	}
+	d := NewDecoder(rep.Payload)
+	if err := unmarshal(d); err != nil {
+		return err
+	}
+	return d.Finish()
+}
+
+// Notify performs a one-way call: parameters are marshalled and sent with
+// no reply expected.
+func (s *Stub) Notify(xfunc uint16, marshal func(*Encoder)) error {
+	return s.host.Send(s.message(xfunc, marshal))
+}
+
+func (s *Stub) message(xfunc uint16, marshal func(*Encoder)) *i2o.Message {
+	var payload []byte
+	if marshal != nil {
+		e := NewEncoder(64)
+		marshal(e)
+		payload = e.Bytes()
+	}
+	return &i2o.Message{
+		Priority:  s.priority,
+		Target:    s.target,
+		Initiator: s.initiator,
+		Function:  i2o.FuncPrivate,
+		Org:       s.org,
+		XFunction: xfunc,
+		Payload:   payload,
+	}
+}
+
+// Method is a skeleton-side procedure: args provides typed access to the
+// call parameters, result collects the reply values.
+type Method func(args *Decoder, result *Encoder) error
+
+// Skeleton binds methods onto a device: each registered method becomes a
+// private-message handler that scans the frame and provides typed access
+// to its contents.
+type Skeleton struct {
+	dev *device.Device
+}
+
+// NewSkeleton wraps a device.
+func NewSkeleton(dev *device.Device) *Skeleton { return &Skeleton{dev: dev} }
+
+// Device returns the underlying device for plugging.
+func (k *Skeleton) Device() *device.Device { return k.dev }
+
+// Handle registers a method under the given extended function code.
+func (k *Skeleton) Handle(xfunc uint16, fn Method) {
+	k.dev.Bind(xfunc, func(ctx *device.Context, m *i2o.Message) error {
+		args := NewDecoder(m.Payload)
+		result := NewEncoder(64)
+		if err := fn(args, result); err != nil {
+			return err
+		}
+		if err := args.Finish(); err != nil {
+			return fmt.Errorf("rmi: method %#04x: %w", xfunc, err)
+		}
+		return device.ReplyIfExpected(ctx, m, result.Bytes())
+	})
+}

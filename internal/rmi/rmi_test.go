@@ -1,0 +1,302 @@
+package rmi
+
+import (
+	"bytes"
+	"errors"
+	"math"
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"xdaq/internal/device"
+	"xdaq/internal/executive"
+	"xdaq/internal/i2o"
+)
+
+func TestCodecRoundTrip(t *testing.T) {
+	e := NewEncoder(0)
+	e.Bool(true)
+	e.Byte(0xAB)
+	e.Int16(-12345)
+	e.Uint16(54321)
+	e.Int32(-7)
+	e.Uint32(7)
+	e.Int64(math.MinInt64)
+	e.Uint64(math.MaxUint64)
+	e.Float32(1.5)
+	e.Float64(-2.25)
+	e.String("hello")
+	e.Bytes32([]byte{1, 2, 3})
+	e.Float64s([]float64{0.5, 1.5})
+	e.Int64s([]int64{-1, 2, -3})
+	e.Strings([]string{"a", "", "ccc"})
+
+	d := NewDecoder(e.Bytes())
+	if !d.Bool() || d.Byte() != 0xAB || d.Int16() != -12345 || d.Uint16() != 54321 {
+		t.Fatal("scalar mismatch")
+	}
+	if d.Int32() != -7 || d.Uint32() != 7 || d.Int64() != math.MinInt64 || d.Uint64() != math.MaxUint64 {
+		t.Fatal("integer mismatch")
+	}
+	if d.Float32() != 1.5 || d.Float64() != -2.25 {
+		t.Fatal("float mismatch")
+	}
+	if d.String() != "hello" || !bytes.Equal(d.Bytes32(), []byte{1, 2, 3}) {
+		t.Fatal("string/bytes mismatch")
+	}
+	if !reflect.DeepEqual(d.Float64s(), []float64{0.5, 1.5}) {
+		t.Fatal("float64s")
+	}
+	if !reflect.DeepEqual(d.Int64s(), []int64{-1, 2, -3}) {
+		t.Fatal("int64s")
+	}
+	if !reflect.DeepEqual(d.Strings(), []string{"a", "", "ccc"}) {
+		t.Fatal("strings")
+	}
+	if err := d.Finish(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDecoderTruncation(t *testing.T) {
+	e := NewEncoder(0)
+	e.String("truncate me")
+	full := e.Bytes()
+	for i := 0; i < len(full); i++ {
+		d := NewDecoder(full[:i])
+		_ = d.String()
+		if d.Err() == nil {
+			t.Fatalf("prefix %d decoded", i)
+		}
+		// Errors are sticky: further reads return zero values.
+		if d.Uint64() != 0 || d.Bool() {
+			t.Fatal("post-error reads not zero")
+		}
+	}
+}
+
+func TestDecoderTrailing(t *testing.T) {
+	e := NewEncoder(0)
+	e.Uint32(1)
+	e.Uint32(2)
+	d := NewDecoder(e.Bytes())
+	d.Uint32()
+	if err := d.Finish(); !errors.Is(err, ErrTrailing) {
+		t.Fatalf("finish: %v", err)
+	}
+}
+
+func TestSliceLengthBombs(t *testing.T) {
+	// A hostile length prefix must not allocate unboundedly or panic.
+	e := NewEncoder(0)
+	e.Uint32(math.MaxUint32)
+	for _, read := range []func(*Decoder){
+		func(d *Decoder) { d.Float64s() },
+		func(d *Decoder) { d.Int64s() },
+		func(d *Decoder) { d.Strings() },
+		func(d *Decoder) { d.Bytes32() },
+		func(d *Decoder) { _ = d.String() },
+	} {
+		d := NewDecoder(e.Bytes())
+		read(d)
+		if d.Err() == nil {
+			t.Fatal("length bomb decoded")
+		}
+	}
+}
+
+func TestQuickCodecScalars(t *testing.T) {
+	f := func(b bool, u8 byte, i16 int16, u32 uint32, i64 int64, f64 float64, s string, raw []byte) bool {
+		if math.IsNaN(f64) {
+			return true
+		}
+		e := NewEncoder(0)
+		e.Bool(b)
+		e.Byte(u8)
+		e.Int16(i16)
+		e.Uint32(u32)
+		e.Int64(i64)
+		e.Float64(f64)
+		e.String(s)
+		e.Bytes32(raw)
+		d := NewDecoder(e.Bytes())
+		ok := d.Bool() == b && d.Byte() == u8 && d.Int16() == i16 &&
+			d.Uint32() == u32 && d.Int64() == i64 && d.Float64() == f64 &&
+			d.String() == s && bytes.Equal(d.Bytes32(), raw)
+		return ok && d.Finish() == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickDecoderNeverPanics(t *testing.T) {
+	f := func(junk []byte, seed int64) bool {
+		d := NewDecoder(junk)
+		r := rand.New(rand.NewSource(seed))
+		for i := 0; i < 20; i++ {
+			switch r.Intn(10) {
+			case 0:
+				d.Bool()
+			case 1:
+				d.Byte()
+			case 2:
+				d.Uint16()
+			case 3:
+				d.Uint32()
+			case 4:
+				d.Uint64()
+			case 5:
+				d.Float64()
+			case 6:
+				_ = d.String()
+			case 7:
+				d.Bytes32()
+			case 8:
+				d.Float64s()
+			case 9:
+				d.Strings()
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// calculator is the classic RMI demo service.
+func calculatorSkeleton() *Skeleton {
+	k := NewSkeleton(device.New("calculator", 0))
+	k.Handle(1, func(args *Decoder, result *Encoder) error { // add
+		a, b := args.Float64(), args.Float64()
+		result.Float64(a + b)
+		return nil
+	})
+	k.Handle(2, func(args *Decoder, result *Encoder) error { // sum
+		vals := args.Float64s()
+		total := 0.0
+		for _, v := range vals {
+			total += v
+		}
+		result.Float64(total)
+		return nil
+	})
+	k.Handle(3, func(args *Decoder, result *Encoder) error { // div
+		a, b := args.Float64(), args.Float64()
+		if b == 0 {
+			return errors.New("division by zero")
+		}
+		result.Float64(a / b)
+		return nil
+	})
+	return k
+}
+
+func newExecWithCalc(t *testing.T) (*executive.Executive, i2o.TID) {
+	t.Helper()
+	e := executive.New(executive.Options{
+		Name: "rmi", Node: 1,
+		RequestTimeout: 2 * time.Second,
+		Logf:           func(string, ...any) {},
+	})
+	t.Cleanup(e.Close)
+	id, err := e.Plug(calculatorSkeleton().Device())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return e, id
+}
+
+func TestStubSkeletonInvoke(t *testing.T) {
+	e, id := newExecWithCalc(t)
+	stub := NewStub(e, id)
+	var sum float64
+	err := stub.Invoke(1,
+		func(enc *Encoder) { enc.Float64(2.5); enc.Float64(4.0) },
+		func(dec *Decoder) error { sum = dec.Float64(); return nil },
+	)
+	if err != nil || sum != 6.5 {
+		t.Fatalf("add: %v sum=%v", err, sum)
+	}
+	err = stub.Invoke(2,
+		func(enc *Encoder) { enc.Float64s([]float64{1, 2, 3, 4}) },
+		func(dec *Decoder) error { sum = dec.Float64(); return nil },
+	)
+	if err != nil || sum != 10 {
+		t.Fatalf("sum: %v sum=%v", err, sum)
+	}
+}
+
+func TestStubApplicationError(t *testing.T) {
+	e, id := newExecWithCalc(t)
+	stub := NewStub(e, id)
+	err := stub.Invoke(3,
+		func(enc *Encoder) { enc.Float64(1); enc.Float64(0) },
+		func(*Decoder) error { return nil },
+	)
+	var rec *i2o.FailRecord
+	if !errors.As(err, &rec) || rec.Code != i2o.FailApplication {
+		t.Fatalf("div by zero: %v", err)
+	}
+}
+
+func TestSkeletonRejectsExtraArgs(t *testing.T) {
+	e, id := newExecWithCalc(t)
+	stub := NewStub(e, id)
+	err := stub.Invoke(1,
+		func(enc *Encoder) { enc.Float64(1); enc.Float64(2); enc.Float64(3) },
+		nil,
+	)
+	if err == nil {
+		t.Fatal("extra argument accepted")
+	}
+}
+
+func TestStubVoidCall(t *testing.T) {
+	e := executive.New(executive.Options{
+		Name: "rmi", Node: 1, RequestTimeout: 2 * time.Second,
+		Logf: func(string, ...any) {},
+	})
+	defer e.Close()
+	k := NewSkeleton(device.New("void", 0))
+	called := make(chan struct{}, 2)
+	k.Handle(1, func(args *Decoder, result *Encoder) error {
+		called <- struct{}{}
+		return nil
+	})
+	id, err := e.Plug(k.Device())
+	if err != nil {
+		t.Fatal(err)
+	}
+	stub := NewStub(e, id)
+	if err := stub.Invoke(1, nil, nil); err != nil {
+		t.Fatal(err)
+	}
+	<-called
+	if err := stub.Notify(1, nil); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case <-called:
+	case <-time.After(time.Second):
+		t.Fatal("notify never arrived")
+	}
+}
+
+func TestStubConfig(t *testing.T) {
+	e, id := newExecWithCalc(t)
+	stub := NewStub(e, id)
+	stub.SetPriority(i2o.PriorityUrgent)
+	stub.SetInitiator(i2o.TIDExecutive)
+	stub.SetOrg(i2o.OrgXDAQ)
+	var out float64
+	if err := stub.Invoke(1,
+		func(enc *Encoder) { enc.Float64(1); enc.Float64(1) },
+		func(dec *Decoder) error { out = dec.Float64(); return nil },
+	); err != nil || out != 2 {
+		t.Fatalf("%v %v", err, out)
+	}
+}

@@ -1,0 +1,255 @@
+// Package sgl implements I2O Scatter-Gather Lists: chains of fixed-size
+// buffer pool blocks that carry payloads longer than a single block.
+//
+// The paper (§4): "Memory is allocated in fixed sized blocks with a maximum
+// length of 256 KB. Making use of I2O's Scatter-Gather Lists (SGL) or
+// chaining blocks helps to transmit arbitrary length information."  A List
+// owns references to its blocks; Retain/Release manage the whole chain, so
+// a list travels through queues and transports exactly like a single frame
+// payload.
+package sgl
+
+import (
+	"errors"
+	"fmt"
+	"io"
+
+	"xdaq/internal/pool"
+)
+
+// ErrRange reports an out-of-bounds offset or length.
+var ErrRange = errors.New("sgl: offset out of range")
+
+// List is a chain of pool blocks viewed as one contiguous byte sequence.
+type List struct {
+	segs   []*pool.Buffer
+	length int
+}
+
+// DefaultSegment is the block size used by builders when the caller does
+// not choose one: the paper's maximum block length.
+const DefaultSegment = pool.MaxBlock
+
+// Build allocates a list of total bytes, chaining blocks of segSize
+// (segSize <= 0 selects DefaultSegment).  The content is uninitialized;
+// use a Writer or CopyFrom to fill it.
+func Build(alloc pool.Allocator, total, segSize int) (*List, error) {
+	if total < 0 {
+		return nil, fmt.Errorf("%w: total %d", ErrRange, total)
+	}
+	if segSize <= 0 {
+		segSize = DefaultSegment
+	}
+	if segSize > pool.MaxBlock {
+		segSize = pool.MaxBlock
+	}
+	l := &List{}
+	for remaining := total; remaining > 0; {
+		n := segSize
+		if remaining < n {
+			n = remaining
+		}
+		b, err := alloc.Alloc(n)
+		if err != nil {
+			l.Release()
+			return nil, err
+		}
+		l.segs = append(l.segs, b)
+		l.length += n
+		remaining -= n
+	}
+	return l, nil
+}
+
+// FromBytes builds a list containing a copy of data, chained at segSize.
+func FromBytes(alloc pool.Allocator, data []byte, segSize int) (*List, error) {
+	l, err := Build(alloc, len(data), segSize)
+	if err != nil {
+		return nil, err
+	}
+	l.CopyFrom(0, data)
+	return l, nil
+}
+
+// Len returns the total byte length of the list.
+func (l *List) Len() int { return l.length }
+
+// Segments returns the number of chained blocks.
+func (l *List) Segments() int { return len(l.segs) }
+
+// Segment returns the byte view of the i-th block.
+func (l *List) Segment(i int) []byte { return l.segs[i].Bytes() }
+
+// Retain increments the reference count of every block in the chain.
+func (l *List) Retain() {
+	for _, s := range l.segs {
+		s.Retain()
+	}
+}
+
+// Clone returns a new list sharing the same blocks, with every block
+// retained.  Both lists must eventually be released.
+func (l *List) Clone() *List {
+	c := &List{segs: append([]*pool.Buffer(nil), l.segs...), length: l.length}
+	c.Retain()
+	return c
+}
+
+// Release decrements the reference count of every block, recycling those
+// that reach zero.  The list must not be used afterwards.
+func (l *List) Release() {
+	for i, s := range l.segs {
+		s.Release()
+		l.segs[i] = nil
+	}
+	l.segs = l.segs[:0]
+	l.length = 0
+}
+
+// locate maps a list offset to (segment index, offset within segment).
+func (l *List) locate(off int) (int, int, error) {
+	if off < 0 || off > l.length {
+		return 0, 0, fmt.Errorf("%w: %d of %d", ErrRange, off, l.length)
+	}
+	for i, s := range l.segs {
+		if off < s.Len() {
+			return i, off, nil
+		}
+		off -= s.Len()
+	}
+	return len(l.segs), 0, nil // off == length
+}
+
+// CopyFrom writes src into the list starting at off.  It fails if the write
+// would run past the end of the list.
+func (l *List) CopyFrom(off int, src []byte) error {
+	if off < 0 || off+len(src) > l.length {
+		return fmt.Errorf("%w: write [%d,%d) of %d", ErrRange, off, off+len(src), l.length)
+	}
+	i, so, _ := l.locate(off)
+	for len(src) > 0 {
+		n := copy(l.segs[i].Bytes()[so:], src)
+		src = src[n:]
+		i++
+		so = 0
+	}
+	return nil
+}
+
+// CopyTo reads into dst starting at list offset off and returns the number
+// of bytes copied (short at end of list).
+func (l *List) CopyTo(off int, dst []byte) (int, error) {
+	i, so, err := l.locate(off)
+	if err != nil {
+		return 0, err
+	}
+	total := 0
+	for total < len(dst) && i < len(l.segs) {
+		n := copy(dst[total:], l.segs[i].Bytes()[so:])
+		total += n
+		i++
+		so = 0
+	}
+	return total, nil
+}
+
+// Bytes flattens the list into a new contiguous slice.  Intended for tests
+// and small lists; the point of an SGL is to avoid this copy.
+func (l *List) Bytes() []byte {
+	out := make([]byte, l.length)
+	_, _ = l.CopyTo(0, out)
+	return out
+}
+
+// Walk calls fn for every segment in order, stopping at the first error.
+// Transports use Walk to transmit a chained payload without flattening it.
+func (l *List) Walk(fn func(seg []byte) error) error {
+	for _, s := range l.segs {
+		if err := fn(s.Bytes()); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Reader returns an io.Reader over the list contents.  The reader does not
+// retain the list; the caller keeps it alive.
+func (l *List) Reader() io.Reader { return &reader{l: l} }
+
+type reader struct {
+	l   *List
+	off int
+}
+
+func (r *reader) Read(p []byte) (int, error) {
+	if r.off >= r.l.length {
+		return 0, io.EOF
+	}
+	n, err := r.l.CopyTo(r.off, p)
+	r.off += n
+	return n, err
+}
+
+// Writer appends bytes to a growing list, allocating blocks on demand.
+type Writer struct {
+	alloc   pool.Allocator
+	segSize int
+	list    *List
+	fill    int // bytes used in the final segment
+	err     error
+}
+
+// NewWriter returns a writer chaining blocks of segSize (<= 0 selects
+// DefaultSegment) from alloc.
+func NewWriter(alloc pool.Allocator, segSize int) *Writer {
+	if segSize <= 0 {
+		segSize = DefaultSegment
+	}
+	if segSize > pool.MaxBlock {
+		segSize = pool.MaxBlock
+	}
+	return &Writer{alloc: alloc, segSize: segSize, list: &List{}}
+}
+
+// Write implements io.Writer.
+func (w *Writer) Write(p []byte) (int, error) {
+	if w.err != nil {
+		return 0, w.err
+	}
+	written := 0
+	for len(p) > 0 {
+		if w.fill == 0 || w.fill == w.segSize {
+			b, err := w.alloc.Alloc(w.segSize)
+			if err != nil {
+				w.err = err
+				return written, err
+			}
+			w.list.segs = append(w.list.segs, b)
+			w.fill = 0
+		}
+		seg := w.list.segs[len(w.list.segs)-1]
+		n := copy(seg.Bytes()[w.fill:], p)
+		w.fill += n
+		w.list.length += n
+		p = p[n:]
+		written += n
+	}
+	return written, nil
+}
+
+// List finalizes and returns the accumulated list, shrinking the final
+// block to its used length.  The writer must not be used afterwards.
+func (w *Writer) List() (*List, error) {
+	if w.err != nil {
+		w.list.Release()
+		return nil, w.err
+	}
+	if n := len(w.list.segs); n > 0 && w.fill < w.segSize {
+		if err := w.list.segs[n-1].Resize(w.fill); err != nil {
+			return nil, err
+		}
+	}
+	l := w.list
+	w.list = nil
+	return l, nil
+}

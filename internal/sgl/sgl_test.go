@@ -1,0 +1,302 @@
+package sgl
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"xdaq/internal/pool"
+)
+
+func newPool() pool.Allocator { return pool.NewTable(0) }
+
+func TestBuildSegmentation(t *testing.T) {
+	p := newPool()
+	cases := []struct {
+		total, seg, wantSegs int
+	}{
+		{0, 1024, 0},
+		{1, 1024, 1},
+		{1024, 1024, 1},
+		{1025, 1024, 2},
+		{4096, 1024, 4},
+		{4097, 1024, 5},
+	}
+	for _, c := range cases {
+		l, err := Build(p, c.total, c.seg)
+		if err != nil {
+			t.Fatalf("Build(%d,%d): %v", c.total, c.seg, err)
+		}
+		if l.Len() != c.total || l.Segments() != c.wantSegs {
+			t.Fatalf("Build(%d,%d): len=%d segs=%d want segs=%d",
+				c.total, c.seg, l.Len(), l.Segments(), c.wantSegs)
+		}
+		l.Release()
+	}
+	if p.Stats().InUse != 0 {
+		t.Fatalf("leak: %v", p.Stats())
+	}
+}
+
+func TestBuildNegative(t *testing.T) {
+	if _, err := Build(newPool(), -1, 0); !errors.Is(err, ErrRange) {
+		t.Fatalf("Build(-1): %v", err)
+	}
+}
+
+func TestBuildCapsSegmentAtMaxBlock(t *testing.T) {
+	l, err := Build(newPool(), pool.MaxBlock+1, pool.MaxBlock*2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Release()
+	if l.Segments() != 2 {
+		t.Fatalf("segments = %d, want 2 (segment size must cap at MaxBlock)", l.Segments())
+	}
+}
+
+func TestFromBytesRoundTrip(t *testing.T) {
+	p := newPool()
+	data := make([]byte, 10_000)
+	rand.New(rand.NewSource(1)).Read(data)
+	l, err := FromBytes(p, data, 999) // deliberately unaligned segment size
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(l.Bytes(), data) {
+		t.Fatal("round trip mismatch")
+	}
+	l.Release()
+	if p.Stats().InUse != 0 {
+		t.Fatal("leak after release")
+	}
+}
+
+func TestCopyToAcrossBoundaries(t *testing.T) {
+	data := []byte("abcdefghij") // 10 bytes, 3-byte segments: abc|def|ghi|j
+	l, err := FromBytes(newPool(), data, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Release()
+	for off := 0; off <= len(data); off++ {
+		for n := 0; n <= len(data)-off; n++ {
+			dst := make([]byte, n)
+			got, err := l.CopyTo(off, dst)
+			if err != nil || got != n {
+				t.Fatalf("CopyTo(%d, len %d) = %d, %v", off, n, got, err)
+			}
+			if !bytes.Equal(dst, data[off:off+n]) {
+				t.Fatalf("CopyTo(%d, %d) = %q", off, n, dst)
+			}
+		}
+	}
+	// Reading past the end is short, not an error.
+	dst := make([]byte, 5)
+	got, err := l.CopyTo(8, dst)
+	if err != nil || got != 2 {
+		t.Fatalf("short read = %d, %v", got, err)
+	}
+	if _, err := l.CopyTo(11, dst); !errors.Is(err, ErrRange) {
+		t.Fatalf("offset past end: %v", err)
+	}
+	if _, err := l.CopyTo(-1, dst); !errors.Is(err, ErrRange) {
+		t.Fatalf("negative offset: %v", err)
+	}
+}
+
+func TestCopyFromAcrossBoundaries(t *testing.T) {
+	l, err := Build(newPool(), 10, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Release()
+	if err := l.CopyFrom(0, []byte("0000000000")); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.CopyFrom(2, []byte("ABCDE")); err != nil {
+		t.Fatal(err)
+	}
+	if got := string(l.Bytes()); got != "00ABCDE000" {
+		t.Fatalf("content = %q", got)
+	}
+	if err := l.CopyFrom(8, []byte("xyz")); !errors.Is(err, ErrRange) {
+		t.Fatalf("overflow write: %v", err)
+	}
+	if err := l.CopyFrom(-1, []byte("x")); !errors.Is(err, ErrRange) {
+		t.Fatalf("negative write: %v", err)
+	}
+}
+
+func TestWalkOrderAndError(t *testing.T) {
+	l, err := FromBytes(newPool(), []byte("abcdefg"), 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Release()
+	var joined []byte
+	if err := l.Walk(func(seg []byte) error {
+		joined = append(joined, seg...)
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if string(joined) != "abcdefg" {
+		t.Fatalf("walk joined %q", joined)
+	}
+	boom := errors.New("boom")
+	calls := 0
+	if err := l.Walk(func([]byte) error { calls++; return boom }); !errors.Is(err, boom) {
+		t.Fatalf("walk error: %v", err)
+	}
+	if calls != 1 {
+		t.Fatalf("walk continued after error: %d calls", calls)
+	}
+}
+
+func TestReader(t *testing.T) {
+	data := make([]byte, 5000)
+	rand.New(rand.NewSource(7)).Read(data)
+	l, err := FromBytes(newPool(), data, 512)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Release()
+	got, err := io.ReadAll(l.Reader())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, data) {
+		t.Fatal("reader mismatch")
+	}
+}
+
+func TestWriterAccumulates(t *testing.T) {
+	p := newPool()
+	w := NewWriter(p, 4)
+	chunks := [][]byte{[]byte("ab"), []byte("cdefg"), {}, []byte("hij")}
+	var want []byte
+	for _, c := range chunks {
+		n, err := w.Write(c)
+		if err != nil || n != len(c) {
+			t.Fatalf("Write(%q) = %d, %v", c, n, err)
+		}
+		want = append(want, c...)
+	}
+	l, err := w.List()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(l.Bytes(), want) {
+		t.Fatalf("writer content %q, want %q", l.Bytes(), want)
+	}
+	// 10 bytes over 4-byte segments -> 3 segments, last resized to 2.
+	if l.Segments() != 3 || l.Segment(2) == nil || len(l.Segment(2)) != 2 {
+		t.Fatalf("segments=%d last=%d", l.Segments(), len(l.Segment(l.Segments()-1)))
+	}
+	l.Release()
+	if p.Stats().InUse != 0 {
+		t.Fatal("leak")
+	}
+}
+
+func TestWriterAllocFailure(t *testing.T) {
+	p := pool.MustFixed([]pool.FixedClass{{Size: 64, Count: 1}})
+	w := NewWriter(p, 64)
+	if _, err := w.Write(make([]byte, 64)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := w.Write([]byte("x")); err == nil {
+		t.Fatal("write past pool capacity succeeded")
+	}
+	if _, err := w.List(); err == nil {
+		t.Fatal("List after failed write succeeded")
+	}
+	// The failed writer must have released what it held.
+	if p.Stats().InUse != 0 {
+		t.Fatalf("failed writer leaked: %v", p.Stats())
+	}
+}
+
+func TestRetainReleaseChain(t *testing.T) {
+	p := newPool()
+	l, err := FromBytes(p, make([]byte, 100), 32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	l2 := l.Clone() // a second holder of the same chain
+	l.Release()
+	if p.Stats().InUse == 0 {
+		t.Fatal("chain recycled while still retained")
+	}
+	l2.Release()
+	if p.Stats().InUse != 0 {
+		t.Fatal("chain leaked")
+	}
+}
+
+func TestQuickWriterMatchesFlat(t *testing.T) {
+	p := newPool()
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		segSize := 1 + r.Intn(300)
+		w := NewWriter(p, segSize)
+		var want []byte
+		for i, n := 0, r.Intn(8); i < n; i++ {
+			chunk := make([]byte, r.Intn(700))
+			r.Read(chunk)
+			if _, err := w.Write(chunk); err != nil {
+				return false
+			}
+			want = append(want, chunk...)
+		}
+		l, err := w.List()
+		if err != nil {
+			return false
+		}
+		ok := bytes.Equal(l.Bytes(), want) && l.Len() == len(want)
+		l.Release()
+		return ok && p.Stats().InUse == 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickCopyToFromConsistent(t *testing.T) {
+	p := newPool()
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		total := r.Intn(2000)
+		seg := 1 + r.Intn(257)
+		l, err := Build(p, total, seg)
+		if err != nil {
+			return false
+		}
+		defer l.Release()
+		ref := make([]byte, total)
+		if err := l.CopyFrom(0, make([]byte, total)); err != nil {
+			return false
+		}
+		for i := 0; i < 5; i++ {
+			off := 0
+			if total > 0 {
+				off = r.Intn(total)
+			}
+			n := r.Intn(total - off + 1)
+			patch := make([]byte, n)
+			r.Read(patch)
+			if err := l.CopyFrom(off, patch); err != nil {
+				return false
+			}
+			copy(ref[off:], patch)
+		}
+		return bytes.Equal(l.Bytes(), ref)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

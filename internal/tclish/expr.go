@@ -1,0 +1,460 @@
+package tclish
+
+import (
+	"errors"
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// ErrExpr reports a malformed expression.
+var ErrExpr = errors.New("tclish: expression error")
+
+// exprString evaluates an expression after performing substitution on it
+// (Tcl's expr runs its own substitution pass, which is what makes braced
+// conditions like {$i < 10} work in while loops).
+func (in *Interp) exprString(raw string) (string, error) {
+	sub, err := in.Substitute(raw)
+	if err != nil {
+		return "", err
+	}
+	v, err := evalExpr(sub)
+	if err != nil {
+		return "", err
+	}
+	return v.text(), nil
+}
+
+// exprBool evaluates an expression as a condition.
+func (in *Interp) exprBool(raw string) (bool, error) {
+	s, err := in.exprString(raw)
+	if err != nil {
+		return false, err
+	}
+	switch strings.TrimSpace(s) {
+	case "0", "false", "no", "":
+		return false, nil
+	default:
+		return true, nil
+	}
+}
+
+// value is an expression operand: integer, float or string.
+type value struct {
+	kind byte // 'i', 'f' or 's'
+	i    int64
+	f    float64
+	s    string
+}
+
+func intVal(i int64) value     { return value{kind: 'i', i: i} }
+func floatVal(f float64) value { return value{kind: 'f', f: f} }
+func strVal(s string) value    { return value{kind: 's', s: s} }
+func boolVal(b bool) value {
+	if b {
+		return intVal(1)
+	}
+	return intVal(0)
+}
+
+func (v value) text() string {
+	switch v.kind {
+	case 'i':
+		return strconv.FormatInt(v.i, 10)
+	case 'f':
+		return strconv.FormatFloat(v.f, 'g', -1, 64)
+	default:
+		return v.s
+	}
+}
+
+func (v value) asFloat() float64 {
+	switch v.kind {
+	case 'i':
+		return float64(v.i)
+	case 'f':
+		return v.f
+	default:
+		return 0
+	}
+}
+
+func (v value) isNumber() bool { return v.kind == 'i' || v.kind == 'f' }
+
+func (v value) truthy() bool {
+	switch v.kind {
+	case 'i':
+		return v.i != 0
+	case 'f':
+		return v.f != 0
+	default:
+		return v.s != "" && v.s != "0" && v.s != "false" && v.s != "no"
+	}
+}
+
+// lexer
+
+type exprToken struct {
+	kind byte // 'n' number, 's' string, 'o' operator, '(' , ')', 0 EOF
+	text string
+}
+
+type exprLexer struct {
+	src string
+	pos int
+	tok exprToken
+}
+
+var exprOps = []string{"<=", ">=", "==", "!=", "&&", "||", "+", "-", "*", "/", "%", "<", ">", "!", "(", ")"}
+
+func (l *exprLexer) next() error {
+	for l.pos < len(l.src) && (l.src[l.pos] == ' ' || l.src[l.pos] == '\t' || l.src[l.pos] == '\n' || l.src[l.pos] == '\r') {
+		l.pos++
+	}
+	if l.pos >= len(l.src) {
+		l.tok = exprToken{kind: 0}
+		return nil
+	}
+	c := l.src[l.pos]
+	if c == '(' || c == ')' {
+		l.tok = exprToken{kind: c}
+		l.pos++
+		return nil
+	}
+	for _, op := range exprOps {
+		if strings.HasPrefix(l.src[l.pos:], op) {
+			l.tok = exprToken{kind: 'o', text: op}
+			l.pos += len(op)
+			return nil
+		}
+	}
+	if c >= '0' && c <= '9' || c == '.' {
+		j := l.pos
+		for j < len(l.src) {
+			d := l.src[j]
+			if d >= '0' && d <= '9' || d == '.' || d == 'e' || d == 'E' || d == 'x' || d == 'X' ||
+				(d >= 'a' && d <= 'f') || (d >= 'A' && d <= 'F') ||
+				((d == '+' || d == '-') && j > l.pos && (l.src[j-1] == 'e' || l.src[j-1] == 'E')) {
+				j++
+				continue
+			}
+			break
+		}
+		l.tok = exprToken{kind: 'n', text: l.src[l.pos:j]}
+		l.pos = j
+		return nil
+	}
+	if c == '"' {
+		j := l.pos + 1
+		for j < len(l.src) && l.src[j] != '"' {
+			j++
+		}
+		if j >= len(l.src) {
+			return fmt.Errorf("%w: unterminated string", ErrExpr)
+		}
+		l.tok = exprToken{kind: 's', text: l.src[l.pos+1 : j]}
+		l.pos = j + 1
+		return nil
+	}
+	// A bare word: identifier-like operand (eq/ne operators or a string).
+	j := l.pos
+	for j < len(l.src) && (isAlnum(l.src[j]) || l.src[j] == '_' || l.src[j] == '.') {
+		j++
+	}
+	if j == l.pos {
+		return fmt.Errorf("%w: unexpected character %q", ErrExpr, c)
+	}
+	word := l.src[l.pos:j]
+	l.pos = j
+	switch word {
+	case "eq", "ne":
+		l.tok = exprToken{kind: 'o', text: word}
+	case "true", "false", "yes", "no":
+		l.tok = exprToken{kind: 's', text: word}
+	default:
+		l.tok = exprToken{kind: 's', text: word}
+	}
+	return nil
+}
+
+// evalExpr parses and evaluates one fully substituted expression.
+func evalExpr(src string) (value, error) {
+	l := &exprLexer{src: src}
+	if err := l.next(); err != nil {
+		return value{}, err
+	}
+	v, err := parseOr(l)
+	if err != nil {
+		return value{}, err
+	}
+	if l.tok.kind != 0 {
+		return value{}, fmt.Errorf("%w: trailing %q", ErrExpr, l.tok.text)
+	}
+	return v, nil
+}
+
+func parseOr(l *exprLexer) (value, error) {
+	v, err := parseAnd(l)
+	if err != nil {
+		return value{}, err
+	}
+	for l.tok.kind == 'o' && l.tok.text == "||" {
+		if err := l.next(); err != nil {
+			return value{}, err
+		}
+		rhs, err := parseAnd(l)
+		if err != nil {
+			return value{}, err
+		}
+		v = boolVal(v.truthy() || rhs.truthy())
+	}
+	return v, nil
+}
+
+func parseAnd(l *exprLexer) (value, error) {
+	v, err := parseCmp(l)
+	if err != nil {
+		return value{}, err
+	}
+	for l.tok.kind == 'o' && l.tok.text == "&&" {
+		if err := l.next(); err != nil {
+			return value{}, err
+		}
+		rhs, err := parseCmp(l)
+		if err != nil {
+			return value{}, err
+		}
+		v = boolVal(v.truthy() && rhs.truthy())
+	}
+	return v, nil
+}
+
+func parseCmp(l *exprLexer) (value, error) {
+	v, err := parseAdd(l)
+	if err != nil {
+		return value{}, err
+	}
+	for l.tok.kind == 'o' {
+		op := l.tok.text
+		switch op {
+		case "==", "!=", "<", "<=", ">", ">=", "eq", "ne":
+		default:
+			return v, nil
+		}
+		if err := l.next(); err != nil {
+			return value{}, err
+		}
+		rhs, err := parseAdd(l)
+		if err != nil {
+			return value{}, err
+		}
+		v, err = compare(op, v, rhs)
+		if err != nil {
+			return value{}, err
+		}
+	}
+	return v, nil
+}
+
+func compare(op string, a, b value) (value, error) {
+	if op == "eq" || op == "ne" {
+		eq := a.text() == b.text()
+		return boolVal(eq == (op == "eq")), nil
+	}
+	if a.isNumber() && b.isNumber() {
+		x, y := a.asFloat(), b.asFloat()
+		switch op {
+		case "==":
+			return boolVal(x == y), nil
+		case "!=":
+			return boolVal(x != y), nil
+		case "<":
+			return boolVal(x < y), nil
+		case "<=":
+			return boolVal(x <= y), nil
+		case ">":
+			return boolVal(x > y), nil
+		case ">=":
+			return boolVal(x >= y), nil
+		}
+	}
+	// String comparison for non-numeric operands.
+	switch op {
+	case "==":
+		return boolVal(a.text() == b.text()), nil
+	case "!=":
+		return boolVal(a.text() != b.text()), nil
+	default:
+		return value{}, fmt.Errorf("%w: %q needs numeric operands", ErrExpr, op)
+	}
+}
+
+func parseAdd(l *exprLexer) (value, error) {
+	v, err := parseMul(l)
+	if err != nil {
+		return value{}, err
+	}
+	for l.tok.kind == 'o' && (l.tok.text == "+" || l.tok.text == "-") {
+		op := l.tok.text
+		if err := l.next(); err != nil {
+			return value{}, err
+		}
+		rhs, err := parseMul(l)
+		if err != nil {
+			return value{}, err
+		}
+		v, err = arith(op, v, rhs)
+		if err != nil {
+			return value{}, err
+		}
+	}
+	return v, nil
+}
+
+func parseMul(l *exprLexer) (value, error) {
+	v, err := parseUnary(l)
+	if err != nil {
+		return value{}, err
+	}
+	for l.tok.kind == 'o' && (l.tok.text == "*" || l.tok.text == "/" || l.tok.text == "%") {
+		op := l.tok.text
+		if err := l.next(); err != nil {
+			return value{}, err
+		}
+		rhs, err := parseUnary(l)
+		if err != nil {
+			return value{}, err
+		}
+		v, err = arith(op, v, rhs)
+		if err != nil {
+			return value{}, err
+		}
+	}
+	return v, nil
+}
+
+func arith(op string, a, b value) (value, error) {
+	if !a.isNumber() || !b.isNumber() {
+		return value{}, fmt.Errorf("%w: %q needs numeric operands", ErrExpr, op)
+	}
+	if a.kind == 'i' && b.kind == 'i' {
+		switch op {
+		case "+":
+			return intVal(a.i + b.i), nil
+		case "-":
+			return intVal(a.i - b.i), nil
+		case "*":
+			return intVal(a.i * b.i), nil
+		case "/":
+			if b.i == 0 {
+				return value{}, fmt.Errorf("%w: division by zero", ErrExpr)
+			}
+			return intVal(a.i / b.i), nil
+		case "%":
+			if b.i == 0 {
+				return value{}, fmt.Errorf("%w: division by zero", ErrExpr)
+			}
+			return intVal(a.i % b.i), nil
+		}
+	}
+	x, y := a.asFloat(), b.asFloat()
+	switch op {
+	case "+":
+		return floatVal(x + y), nil
+	case "-":
+		return floatVal(x - y), nil
+	case "*":
+		return floatVal(x * y), nil
+	case "/":
+		if y == 0 {
+			return value{}, fmt.Errorf("%w: division by zero", ErrExpr)
+		}
+		return floatVal(x / y), nil
+	case "%":
+		return value{}, fmt.Errorf("%w: %% needs integer operands", ErrExpr)
+	}
+	return value{}, fmt.Errorf("%w: unknown operator %q", ErrExpr, op)
+}
+
+func parseUnary(l *exprLexer) (value, error) {
+	if l.tok.kind == 'o' {
+		switch l.tok.text {
+		case "-":
+			if err := l.next(); err != nil {
+				return value{}, err
+			}
+			v, err := parseUnary(l)
+			if err != nil {
+				return value{}, err
+			}
+			if v.kind == 'i' {
+				return intVal(-v.i), nil
+			}
+			if v.kind == 'f' {
+				return floatVal(-v.f), nil
+			}
+			return value{}, fmt.Errorf("%w: unary - on string", ErrExpr)
+		case "+":
+			if err := l.next(); err != nil {
+				return value{}, err
+			}
+			return parseUnary(l)
+		case "!":
+			if err := l.next(); err != nil {
+				return value{}, err
+			}
+			v, err := parseUnary(l)
+			if err != nil {
+				return value{}, err
+			}
+			return boolVal(!v.truthy()), nil
+		}
+	}
+	return parsePrimary(l)
+}
+
+func parsePrimary(l *exprLexer) (value, error) {
+	switch l.tok.kind {
+	case '(':
+		if err := l.next(); err != nil {
+			return value{}, err
+		}
+		v, err := parseOr(l)
+		if err != nil {
+			return value{}, err
+		}
+		if l.tok.kind != ')' {
+			return value{}, fmt.Errorf("%w: missing )", ErrExpr)
+		}
+		return v, l.next()
+	case 'n':
+		text := l.tok.text
+		if err := l.next(); err != nil {
+			return value{}, err
+		}
+		if i, err := strconv.ParseInt(text, 0, 64); err == nil {
+			return intVal(i), nil
+		}
+		f, err := strconv.ParseFloat(text, 64)
+		if err != nil {
+			return value{}, fmt.Errorf("%w: bad number %q", ErrExpr, text)
+		}
+		return floatVal(f), nil
+	case 's':
+		text := l.tok.text
+		if err := l.next(); err != nil {
+			return value{}, err
+		}
+		switch text {
+		case "true", "yes":
+			return intVal(1), nil
+		case "false", "no":
+			return intVal(0), nil
+		}
+		return strVal(text), nil
+	case 0:
+		return value{}, fmt.Errorf("%w: unexpected end of expression", ErrExpr)
+	default:
+		return value{}, fmt.Errorf("%w: unexpected %q", ErrExpr, l.tok.text)
+	}
+}

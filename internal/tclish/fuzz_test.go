@@ -1,0 +1,38 @@
+package tclish
+
+import "testing"
+
+func FuzzEval(f *testing.F) {
+	f.Add(`set a 1; puts "$a [expr 1 + 1]"`)
+	f.Add(`proc p {x} {return $x}; p {a b}`)
+	f.Add(`foreach x {1 2 3} { if {$x == 2} { break } }`)
+	f.Add("{unbalanced")
+	f.Add(`expr (((((1)))))`)
+	f.Fuzz(func(t *testing.T, script string) {
+		in := New(nil)
+		in.LoopLimit = 1000
+		// Must terminate (depth/loop limits) and never panic.
+		_, _ = in.Eval(script)
+	})
+}
+
+func FuzzSplitList(f *testing.F) {
+	f.Add(`a {b c} "d e" $f`)
+	f.Add(``)
+	f.Fuzz(func(t *testing.T, list string) {
+		elems, err := SplitList(list)
+		if err != nil {
+			return
+		}
+		// Join/Split must be stable on the produced elements.
+		again, err := SplitList(JoinList(elems))
+		if err != nil || len(again) != len(elems) {
+			t.Fatalf("round trip: %v (%d vs %d)", err, len(again), len(elems))
+		}
+		for i := range elems {
+			if elems[i] != again[i] {
+				t.Fatalf("element %d: %q vs %q", i, elems[i], again[i])
+			}
+		}
+	})
+}

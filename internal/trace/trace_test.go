@@ -1,0 +1,160 @@
+package trace
+
+import (
+	"strings"
+	"sync"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"xdaq/internal/i2o"
+)
+
+func rec(i int) Record {
+	return Record{
+		At: time.Unix(0, int64(i)), Kind: Dispatched,
+		Target: i2o.TID(i + 1), Initiator: 2,
+		Function: i2o.FuncPrivate, XFunction: uint16(i), Priority: 3, Bytes: i,
+	}
+}
+
+func TestRingOrderAndEviction(t *testing.T) {
+	r := NewRing(4)
+	for i := 0; i < 3; i++ {
+		r.Add(rec(i))
+	}
+	snap := r.Snapshot()
+	if len(snap) != 3 || snap[0].XFunction != 0 || snap[2].XFunction != 2 {
+		t.Fatalf("partial snapshot %v", snap)
+	}
+	for i := 3; i < 10; i++ {
+		r.Add(rec(i))
+	}
+	snap = r.Snapshot()
+	if len(snap) != 4 {
+		t.Fatalf("full snapshot len %d", len(snap))
+	}
+	for j, want := range []uint16{6, 7, 8, 9} {
+		if snap[j].XFunction != want {
+			t.Fatalf("snapshot[%d] = %d, want %d (oldest-first order)", j, snap[j].XFunction, want)
+		}
+	}
+	if r.Total() != 10 || r.Len() != 4 {
+		t.Fatalf("total=%d len=%d", r.Total(), r.Len())
+	}
+}
+
+func TestRingReset(t *testing.T) {
+	r := NewRing(2)
+	r.Add(rec(1))
+	r.Reset()
+	if r.Len() != 0 || r.Total() != 0 || len(r.Snapshot()) != 0 {
+		t.Fatal("reset incomplete")
+	}
+	r.Add(rec(2))
+	if r.Len() != 1 {
+		t.Fatal("ring unusable after reset")
+	}
+}
+
+func TestDefaultDepth(t *testing.T) {
+	r := NewRing(0)
+	for i := 0; i < DefaultDepth+10; i++ {
+		r.Add(rec(i))
+	}
+	if r.Len() != DefaultDepth {
+		t.Fatalf("len %d", r.Len())
+	}
+}
+
+func TestOfAndFormat(t *testing.T) {
+	m := &i2o.Message{
+		Target: 5, Initiator: 6,
+		Function: i2o.FuncPrivate, Org: i2o.OrgXDAQ, XFunction: 0x42,
+		Priority: 2, Payload: []byte("abc"),
+	}
+	record := Of(Forwarded, m)
+	if record.Target != 5 || record.Bytes != 3 || record.Kind != Forwarded {
+		t.Fatalf("record %+v", record)
+	}
+	line := record.Format()
+	if !strings.Contains(line, "forward") || !strings.Contains(line, "0x0042") {
+		t.Fatalf("format %q", line)
+	}
+	// Standard functions print their names.
+	std := Of(Failed, &i2o.Message{Target: 1, Function: i2o.UtilNOP})
+	if !strings.Contains(std.Format(), "UtilNOP") {
+		t.Fatalf("format %q", std.Format())
+	}
+}
+
+func TestDump(t *testing.T) {
+	r := NewRing(8)
+	r.Add(rec(0))
+	r.Add(rec(1))
+	dump := r.Dump()
+	if strings.Count(dump, "\n") != 2 {
+		t.Fatalf("dump %q", dump)
+	}
+}
+
+func TestKindStrings(t *testing.T) {
+	for k := Dispatched; k <= Dropped; k++ {
+		if k.String() == "" {
+			t.Fatal("empty kind")
+		}
+	}
+	if Kind(99).String() == "" {
+		t.Fatal("unknown kind")
+	}
+}
+
+func TestConcurrentAdd(t *testing.T) {
+	r := NewRing(64)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 500; i++ {
+				r.Add(rec(i))
+			}
+		}()
+	}
+	wg.Wait()
+	if r.Total() != 4000 || r.Len() != 64 {
+		t.Fatalf("total=%d len=%d", r.Total(), r.Len())
+	}
+}
+
+func TestQuickRingInvariants(t *testing.T) {
+	f := func(depth uint8, adds uint16) bool {
+		d := int(depth%32) + 1
+		r := NewRing(d)
+		n := int(adds % 200)
+		for i := 0; i < n; i++ {
+			r.Add(rec(i))
+		}
+		snap := r.Snapshot()
+		if r.Total() != uint64(n) {
+			return false
+		}
+		want := n
+		if want > d {
+			want = d
+		}
+		if len(snap) != want {
+			return false
+		}
+		// Snapshot must be the most recent records, oldest first.
+		for j := range snap {
+			if snap[j].XFunction != uint16(n-want+j) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,136 @@
+package loopback
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"xdaq/internal/device"
+	"xdaq/internal/executive"
+	"xdaq/internal/i2o"
+	"xdaq/internal/pta"
+)
+
+func buildNode(t *testing.T, f *Fabric, id i2o.NodeID) (*executive.Executive, *pta.Agent) {
+	t.Helper()
+	e := executive.New(executive.Options{
+		Name: "lb", Node: id,
+		RequestTimeout: 2 * time.Second,
+		Logf:           func(string, ...any) {},
+	})
+	ep, err := f.Attach(id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	agent, err := pta.New(e)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := agent.Register(ep, pta.Task); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() {
+		agent.Close()
+		e.Close()
+	})
+	return e, agent
+}
+
+func TestCrossExecutiveRoundTrip(t *testing.T) {
+	f := NewFabric()
+	a, _ := buildNode(t, f, 1)
+	b, _ := buildNode(t, f, 2)
+	a.SetRoute(2, DefaultName)
+	b.SetRoute(1, DefaultName)
+
+	d := device.New("echo", 0)
+	d.Bind(1, func(ctx *device.Context, m *i2o.Message) error {
+		return device.ReplyIfExpected(ctx, m, append([]byte(nil), m.Payload...))
+	})
+	if _, err := b.Plug(d); err != nil {
+		t.Fatal(err)
+	}
+	remote, err := a.Discover(2, "echo", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := a.Request(&i2o.Message{
+		Target: remote, Initiator: i2o.TIDExecutive,
+		Function: i2o.FuncPrivate, Org: i2o.OrgXDAQ, XFunction: 1,
+		Payload: []byte("zero-copy"),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rep.Release()
+	if string(rep.Payload) != "zero-copy" {
+		t.Fatalf("payload %q", rep.Payload)
+	}
+}
+
+func TestSendToUnknownNode(t *testing.T) {
+	f := NewFabric()
+	ep, err := f.Attach(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ep.Stop()
+	m := &i2o.Message{Target: 1, Function: i2o.UtilNOP}
+	if err := ep.Send(99, m); !errors.Is(err, ErrUnknownNode) {
+		t.Fatalf("send: %v", err)
+	}
+}
+
+func TestSendToUnstartedPeer(t *testing.T) {
+	f := NewFabric()
+	a, _ := f.Attach(1)
+	b, _ := f.Attach(2)
+	defer a.Stop()
+	defer b.Stop()
+	m := &i2o.Message{Target: 1, Function: i2o.UtilNOP}
+	if err := a.Send(2, m); !errors.Is(err, ErrNotStarted) {
+		t.Fatalf("send: %v", err)
+	}
+}
+
+func TestDuplicateAttach(t *testing.T) {
+	f := NewFabric()
+	if _, err := f.Attach(1); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Attach(1); !errors.Is(err, ErrDuplicateNode) {
+		t.Fatalf("dup attach: %v", err)
+	}
+}
+
+func TestStopDetaches(t *testing.T) {
+	f := NewFabric()
+	a, _ := f.Attach(1)
+	b, _ := f.Attach(2)
+	if err := b.Start(func(i2o.NodeID, *i2o.Message) error { return nil }); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Stop(); err != nil {
+		t.Fatal(err)
+	}
+	m := &i2o.Message{Target: 1, Function: i2o.UtilNOP}
+	if err := a.Send(2, m); !errors.Is(err, ErrUnknownNode) {
+		t.Fatalf("send after stop: %v", err)
+	}
+	// The node id is reusable after Stop.
+	if _, err := f.Attach(2); err != nil {
+		t.Fatalf("reattach: %v", err)
+	}
+}
+
+func TestPollIsAlwaysEmpty(t *testing.T) {
+	f := NewFabric()
+	ep, _ := f.Attach(1)
+	defer ep.Stop()
+	if n := ep.Poll(func(i2o.NodeID, *i2o.Message) error { return nil }, 10); n != 0 {
+		t.Fatalf("poll delivered %d", n)
+	}
+	if ep.Name() != DefaultName || ep.Node() != 1 {
+		t.Fatal("identity")
+	}
+}

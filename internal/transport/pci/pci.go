@@ -1,0 +1,217 @@
+// Package pci simulates the hardware-FIFO messaging of an intelligent I/O
+// board on a PCI segment — the IOP480-based processor board of the paper's
+// ongoing-work section ("the board gives I2O support through hardware
+// FIFOs, which will allow us to provide communication efficiency
+// measurements with and without hardware support").
+//
+// Endpoints on a segment exchange frame *pointers* through fixed-depth
+// inbound FIFOs, modelling figure 2: the host posts a pointer to an I2O
+// frame into the IOP's inbound FIFO and the device modules post replies to
+// the outbound queue.  A full FIFO blocks the writer, as real message
+// units stall the PCI write.  Because only pointers cross, the transport
+// is zero-copy like loopback but with hardware-realistic backpressure, and
+// it supports both polling and task mode.
+package pci
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"xdaq/internal/i2o"
+	"xdaq/internal/pta"
+)
+
+// PTName is the default route name.
+const PTName = "pt.pci"
+
+// DefaultDepth is the hardware FIFO depth used when the segment is built
+// with depth <= 0; real messaging units have small fixed depths.
+const DefaultDepth = 16
+
+// Errors.
+var (
+	// ErrClosed reports use of a detached endpoint.
+	ErrClosed = errors.New("pci: closed")
+
+	// ErrUnknownNode reports a send to a node not on this segment.
+	ErrUnknownNode = errors.New("pci: unknown node")
+
+	// ErrDuplicateNode reports attaching one node twice.
+	ErrDuplicateNode = errors.New("pci: node already attached")
+)
+
+// envelope is one FIFO slot: the frame pointer plus its source.
+type envelope struct {
+	src i2o.NodeID
+	m   *i2o.Message
+}
+
+// Segment is one PCI bus segment.
+type Segment struct {
+	depth int
+	mu    sync.RWMutex
+	eps   map[i2o.NodeID]*Endpoint
+}
+
+// NewSegment builds a segment whose endpoints have FIFOs of the given
+// depth (DefaultDepth when <= 0).
+func NewSegment(depth int) *Segment {
+	if depth <= 0 {
+		depth = DefaultDepth
+	}
+	return &Segment{depth: depth, eps: make(map[i2o.NodeID]*Endpoint)}
+}
+
+// Attach adds one endpoint to the segment.
+func (s *Segment) Attach(node i2o.NodeID) (*Endpoint, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, dup := s.eps[node]; dup {
+		return nil, fmt.Errorf("%w: %v", ErrDuplicateNode, node)
+	}
+	ep := &Endpoint{
+		segment: s,
+		node:    node,
+		fifo:    make(chan envelope, s.depth),
+		done:    make(chan struct{}),
+	}
+	s.eps[node] = ep
+	return ep, nil
+}
+
+func (s *Segment) lookup(node i2o.NodeID) *Endpoint {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.eps[node]
+}
+
+func (s *Segment) detach(node i2o.NodeID) {
+	s.mu.Lock()
+	delete(s.eps, node)
+	s.mu.Unlock()
+}
+
+// Endpoint is one node's messaging unit on the segment.
+type Endpoint struct {
+	segment *Segment
+	node    i2o.NodeID
+	fifo    chan envelope
+	done    chan struct{}
+	closed  atomic.Bool
+
+	taskMu   sync.Mutex
+	taskDone chan struct{}
+
+	nSent atomic.Uint64
+	nRecv atomic.Uint64
+}
+
+var _ pta.PeerTransport = (*Endpoint)(nil)
+
+// Name implements pta.PeerTransport.
+func (e *Endpoint) Name() string { return PTName }
+
+// Node returns the endpoint's identity.
+func (e *Endpoint) Node() i2o.NodeID { return e.node }
+
+// Depth returns the hardware FIFO depth.
+func (e *Endpoint) Depth() int { return cap(e.fifo) }
+
+// Pending returns the inbound FIFO population.
+func (e *Endpoint) Pending() int { return len(e.fifo) }
+
+// Send implements pta.PeerTransport: the frame pointer is posted into the
+// destination's inbound FIFO, blocking while it is full.
+func (e *Endpoint) Send(dst i2o.NodeID, m *i2o.Message) error {
+	peer := e.segment.lookup(dst)
+	if peer == nil {
+		m.Release()
+		return fmt.Errorf("%w: %v", ErrUnknownNode, dst)
+	}
+	select {
+	case peer.fifo <- envelope{src: e.node, m: m}:
+		e.nSent.Add(1)
+		return nil
+	case <-peer.done:
+		m.Release()
+		return ErrClosed
+	case <-e.done:
+		m.Release()
+		return ErrClosed
+	}
+}
+
+// Poll implements pta.PeerTransport (polling mode): the executive scans
+// the hardware FIFO.
+func (e *Endpoint) Poll(fn pta.Deliver, budget int) int {
+	n := 0
+	for n < budget {
+		select {
+		case env := <-e.fifo:
+			e.nRecv.Add(1)
+			if err := fn(env.src, env.m); err != nil {
+				return n
+			}
+			n++
+		default:
+			return n
+		}
+	}
+	return n
+}
+
+// Start implements pta.PeerTransport (task mode).
+func (e *Endpoint) Start(fn pta.Deliver) error {
+	e.taskMu.Lock()
+	defer e.taskMu.Unlock()
+	if e.taskDone != nil {
+		return fmt.Errorf("pci: %v already started", e.node)
+	}
+	done := make(chan struct{})
+	e.taskDone = done
+	go func() {
+		defer close(done)
+		for {
+			select {
+			case env := <-e.fifo:
+				e.nRecv.Add(1)
+				_ = fn(env.src, env.m)
+			case <-e.done:
+				return
+			}
+		}
+	}()
+	return nil
+}
+
+// Stats reports frames sent and received.
+func (e *Endpoint) Stats() (sent, received uint64) {
+	return e.nSent.Load(), e.nRecv.Load()
+}
+
+// Stop implements pta.PeerTransport: detaches from the segment and
+// releases queued frames.
+func (e *Endpoint) Stop() error {
+	if e.closed.Swap(true) {
+		return nil
+	}
+	e.segment.detach(e.node)
+	close(e.done)
+	e.taskMu.Lock()
+	done := e.taskDone
+	e.taskDone = nil
+	e.taskMu.Unlock()
+	if done != nil {
+		<-done
+	}
+	for {
+		select {
+		case env := <-e.fifo:
+			env.m.Release()
+		default:
+			return nil
+		}
+	}
+}

@@ -1,0 +1,335 @@
+// Package tcp implements a peer transport over TCP/IP.  In the paper's
+// system the TCP PT carried configuration and control traffic next to the
+// low-latency Myrinet PT ("another PT thread was handling TCP
+// communication for configuration and control purposes"); here it also
+// serves as the transport for genuinely distributed deployments of the
+// cmd/xdaqd node daemon.
+//
+// Wire format per connection: an 12-byte handshake (8-byte magic, 4-byte
+// node id little-endian), then a stream of records, each a 4-byte frame
+// length followed by the encoded I2O frame.  Received payloads land
+// directly in executive pool blocks, preserving zero-copy from the socket
+// buffer onward.
+package tcp
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+	"sync/atomic"
+
+	"xdaq/internal/i2o"
+	"xdaq/internal/pool"
+	"xdaq/internal/pta"
+)
+
+// PTName is the default route name.
+const PTName = "pt.tcp"
+
+var magic = [8]byte{'X', 'D', 'A', 'Q', 'I', '2', 'O', '1'}
+
+// Errors.
+var (
+	// ErrClosed reports use of a stopped transport.
+	ErrClosed = errors.New("tcp: closed")
+
+	// ErrNoPeer reports a send to a node with no known address or
+	// connection.
+	ErrNoPeer = errors.New("tcp: no peer address")
+
+	// ErrHandshake reports a connection with a bad magic or node id.
+	ErrHandshake = errors.New("tcp: handshake failed")
+)
+
+// Transport is one node's TCP peer transport.
+type Transport struct {
+	node  i2o.NodeID
+	alloc pool.Allocator
+	name  string
+	ln    net.Listener
+
+	mu      sync.Mutex
+	conns   map[i2o.NodeID]*peerConn
+	addrs   map[i2o.NodeID]string
+	deliver pta.Deliver
+
+	closed atomic.Bool
+	wg     sync.WaitGroup
+
+	nSent atomic.Uint64
+	nRecv atomic.Uint64
+}
+
+type peerConn struct {
+	node    i2o.NodeID
+	c       net.Conn
+	writeMu sync.Mutex
+}
+
+var _ pta.PeerTransport = (*Transport)(nil)
+
+// Config configures a Transport.
+type Config struct {
+	// Name overrides the route name; defaults to PTName.
+	Name string
+
+	// Listen is the accept address, e.g. "127.0.0.1:0".  Empty disables
+	// listening (a pure client node).
+	Listen string
+
+	// Peers maps node identities to dial addresses.
+	Peers map[i2o.NodeID]string
+}
+
+// New creates the transport and, when configured, starts listening.
+func New(node i2o.NodeID, alloc pool.Allocator, cfg Config) (*Transport, error) {
+	if cfg.Name == "" {
+		cfg.Name = PTName
+	}
+	t := &Transport{
+		node:  node,
+		alloc: alloc,
+		name:  cfg.Name,
+		conns: make(map[i2o.NodeID]*peerConn),
+		addrs: make(map[i2o.NodeID]string),
+	}
+	for n, a := range cfg.Peers {
+		t.addrs[n] = a
+	}
+	if cfg.Listen != "" {
+		ln, err := net.Listen("tcp", cfg.Listen)
+		if err != nil {
+			return nil, fmt.Errorf("tcp: listen %s: %w", cfg.Listen, err)
+		}
+		t.ln = ln
+		t.wg.Add(1)
+		go t.acceptLoop()
+	}
+	return t, nil
+}
+
+// Addr returns the listening address, or "" for client-only transports.
+func (t *Transport) Addr() string {
+	if t.ln == nil {
+		return ""
+	}
+	return t.ln.Addr().String()
+}
+
+// AddPeer maps a node to a dial address at runtime.
+func (t *Transport) AddPeer(node i2o.NodeID, addr string) {
+	t.mu.Lock()
+	t.addrs[node] = addr
+	t.mu.Unlock()
+}
+
+// Name implements pta.PeerTransport.
+func (t *Transport) Name() string { return t.name }
+
+// Start implements pta.PeerTransport.  TCP runs in task mode only: every
+// connection has its own read goroutine.
+func (t *Transport) Start(fn pta.Deliver) error {
+	t.mu.Lock()
+	t.deliver = fn
+	t.mu.Unlock()
+	return nil
+}
+
+// Poll implements pta.PeerTransport; TCP is push-only.
+func (t *Transport) Poll(pta.Deliver, int) int { return 0 }
+
+func (t *Transport) deliverFn() pta.Deliver {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.deliver
+}
+
+// Send implements pta.PeerTransport.
+func (t *Transport) Send(dst i2o.NodeID, m *i2o.Message) error {
+	defer m.Release()
+	if t.closed.Load() {
+		return ErrClosed
+	}
+	pc, err := t.connTo(dst)
+	if err != nil {
+		return err
+	}
+	size := m.WireSize()
+	buf := make([]byte, 4+size)
+	binary.LittleEndian.PutUint32(buf, uint32(size))
+	if _, err := m.Encode(buf[4:]); err != nil {
+		return err
+	}
+	pc.writeMu.Lock()
+	_, err = pc.c.Write(buf)
+	pc.writeMu.Unlock()
+	if err != nil {
+		t.dropConn(pc)
+		return fmt.Errorf("tcp: write to %v: %w", dst, err)
+	}
+	t.nSent.Add(1)
+	return nil
+}
+
+// connTo returns the connection to dst, dialing if necessary.
+func (t *Transport) connTo(dst i2o.NodeID) (*peerConn, error) {
+	t.mu.Lock()
+	if pc, ok := t.conns[dst]; ok {
+		t.mu.Unlock()
+		return pc, nil
+	}
+	addr, ok := t.addrs[dst]
+	t.mu.Unlock()
+	if !ok {
+		return nil, fmt.Errorf("%w: %v", ErrNoPeer, dst)
+	}
+	c, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("tcp: dial %v at %s: %w", dst, addr, err)
+	}
+	// Send our identity, read theirs.
+	var hello [12]byte
+	copy(hello[:8], magic[:])
+	binary.LittleEndian.PutUint32(hello[8:], uint32(t.node))
+	if _, err := c.Write(hello[:]); err != nil {
+		c.Close()
+		return nil, fmt.Errorf("%w: %v", ErrHandshake, err)
+	}
+	peer, err := readHello(c)
+	if err != nil {
+		c.Close()
+		return nil, err
+	}
+	if peer != dst {
+		c.Close()
+		return nil, fmt.Errorf("%w: dialed %v, got %v", ErrHandshake, dst, peer)
+	}
+	return t.adopt(peer, c)
+}
+
+func readHello(c net.Conn) (i2o.NodeID, error) {
+	var hello [12]byte
+	if _, err := io.ReadFull(c, hello[:]); err != nil {
+		return 0, fmt.Errorf("%w: %v", ErrHandshake, err)
+	}
+	if [8]byte(hello[:8]) != magic {
+		return 0, fmt.Errorf("%w: bad magic", ErrHandshake)
+	}
+	return i2o.NodeID(binary.LittleEndian.Uint32(hello[8:])), nil
+}
+
+// adopt registers a live connection and starts its read loop.  On a
+// simultaneous-connect race the existing connection wins.
+func (t *Transport) adopt(peer i2o.NodeID, c net.Conn) (*peerConn, error) {
+	pc := &peerConn{node: peer, c: c}
+	t.mu.Lock()
+	if existing, ok := t.conns[peer]; ok {
+		t.mu.Unlock()
+		c.Close()
+		return existing, nil
+	}
+	t.conns[peer] = pc
+	t.mu.Unlock()
+	t.wg.Add(1)
+	go t.readLoop(pc)
+	return pc, nil
+}
+
+func (t *Transport) dropConn(pc *peerConn) {
+	t.mu.Lock()
+	if t.conns[pc.node] == pc {
+		delete(t.conns, pc.node)
+	}
+	t.mu.Unlock()
+	pc.c.Close()
+}
+
+func (t *Transport) acceptLoop() {
+	defer t.wg.Done()
+	for {
+		c, err := t.ln.Accept()
+		if err != nil {
+			return
+		}
+		t.wg.Add(1)
+		go func() {
+			defer t.wg.Done()
+			peer, err := readHello(c)
+			if err != nil {
+				c.Close()
+				return
+			}
+			var hello [12]byte
+			copy(hello[:8], magic[:])
+			binary.LittleEndian.PutUint32(hello[8:], uint32(t.node))
+			if _, err := c.Write(hello[:]); err != nil {
+				c.Close()
+				return
+			}
+			_, _ = t.adopt(peer, c)
+		}()
+	}
+}
+
+func (t *Transport) readLoop(pc *peerConn) {
+	defer t.wg.Done()
+	defer t.dropConn(pc)
+	var lenBuf [4]byte
+	for {
+		if _, err := io.ReadFull(pc.c, lenBuf[:]); err != nil {
+			return
+		}
+		size := int(binary.LittleEndian.Uint32(lenBuf[:]))
+		if size < i2o.StandardHeaderSize || size > i2o.MaxWireSize {
+			return // protocol violation; drop the connection
+		}
+		block, err := t.alloc.Alloc(size)
+		if err != nil {
+			return
+		}
+		if _, err := io.ReadFull(pc.c, block.Bytes()); err != nil {
+			block.Release()
+			return
+		}
+		m, _, err := i2o.Decode(block.Bytes())
+		if err != nil {
+			block.Release()
+			return
+		}
+		m.AttachBuffer(block)
+		fn := t.deliverFn()
+		if fn == nil {
+			m.Release()
+			continue
+		}
+		t.nRecv.Add(1)
+		if err := fn(pc.node, m); err != nil && t.closed.Load() {
+			return
+		}
+	}
+}
+
+// Stats reports frames sent and received.
+func (t *Transport) Stats() (sent, received uint64) {
+	return t.nSent.Load(), t.nRecv.Load()
+}
+
+// Stop implements pta.PeerTransport.
+func (t *Transport) Stop() error {
+	if t.closed.Swap(true) {
+		return nil
+	}
+	if t.ln != nil {
+		t.ln.Close()
+	}
+	t.mu.Lock()
+	for _, pc := range t.conns {
+		pc.c.Close()
+	}
+	t.mu.Unlock()
+	t.wg.Wait()
+	return nil
+}

@@ -1,0 +1,341 @@
+// Package xdaq is the public face of the XDAQ toolkit: a Go reproduction
+// of "Architectural Software Support for Processing Clusters" (Gutleber et
+// al., IEEE CLUSTER 2000) — the I2O-based distributed data acquisition
+// framework developed at CERN for the CMS experiment.
+//
+// The model in one paragraph: every node in the processing cluster is an
+// I2O I/O processor running an executive.  Applications are device
+// classes — bundles of handlers for private I2O messages — addressed by
+// node-local Target IDs (TiDs).  Remote devices appear behind local proxy
+// TiDs, so callers never know whether a call is redirected (transparency
+// of location).  Frames are scheduled through seven priority FIFOs and
+// dispatched round-robin per device; payloads live in reference-counted
+// buffer pool blocks for zero-copy operation; peer transports (simulated
+// Myrinet/GM, TCP, in-process loopback, simulated PCI message units) carry
+// frames between nodes under a Peer Transport Agent.
+//
+// Quick start:
+//
+//	a, _ := xdaq.NewNode(xdaq.NodeOptions{Name: "a", Node: 1})
+//	b, _ := xdaq.NewNode(xdaq.NodeOptions{Name: "b", Node: 2})
+//	defer a.Close()
+//	defer b.Close()
+//	xdaq.ConnectLoopback(a, b)
+//
+//	echo := xdaq.NewDevice("echo", 0)
+//	echo.Bind(1, func(ctx *xdaq.Context, m *xdaq.Message) error {
+//	    return xdaq.ReplyIfExpected(ctx, m, m.Payload)
+//	})
+//	b.Plug(echo)
+//
+//	target, _ := a.Discover(2, "echo", 0)
+//	reply, _ := a.Call(target, 1, []byte("ping"))
+//	fmt.Printf("%s\n", reply) // "ping"
+package xdaq
+
+import (
+	"fmt"
+	"time"
+
+	"xdaq/internal/device"
+	"xdaq/internal/executive"
+	"xdaq/internal/i2o"
+	"xdaq/internal/pool"
+	"xdaq/internal/pta"
+	"xdaq/internal/transport/gm"
+	"xdaq/internal/transport/loopback"
+	"xdaq/internal/transport/pci"
+	"xdaq/internal/transport/tcp"
+)
+
+// Re-exported core types.  The type aliases make the internal packages'
+// documented APIs available to library users through one import.
+type (
+	// Message is one I2O message frame.
+	Message = i2o.Message
+
+	// TID is a node-local target identifier.
+	TID = i2o.TID
+
+	// NodeID identifies one IOP in the cluster.
+	NodeID = i2o.NodeID
+
+	// Priority is a frame scheduling level (0 most urgent, 7 levels).
+	Priority = i2o.Priority
+
+	// Param is a typed device parameter.
+	Param = i2o.Param
+
+	// Device is one device-class instance.
+	Device = device.Device
+
+	// Context gives handlers access to executive services.
+	Context = device.Context
+
+	// Handler processes one frame addressed to a device.
+	Handler = device.Handler
+
+	// Executive is the per-node runtime.
+	Executive = executive.Executive
+)
+
+// Re-exported constants.
+const (
+	TIDExecutive = i2o.TIDExecutive
+
+	PriorityUrgent  = i2o.PriorityUrgent
+	PriorityHigh    = i2o.PriorityHigh
+	PriorityNormal  = i2o.PriorityNormal
+	PriorityLow     = i2o.PriorityLow
+	PriorityBulk    = i2o.PriorityBulk
+	PriorityDefault = i2o.PriorityDefault
+)
+
+// NewDevice creates a device-class instance; bind private handlers with
+// Bind, then plug it into a node.
+func NewDevice(class string, instance int) *Device { return device.New(class, instance) }
+
+// ReplyIfExpected sends a success reply carrying payload when the request
+// asked for one.
+func ReplyIfExpected(ctx *Context, req *Message, payload []byte) error {
+	return device.ReplyIfExpected(ctx, req, payload)
+}
+
+// NodeOptions configures a Node.
+type NodeOptions struct {
+	// Name tags logs and status reports.
+	Name string
+
+	// Node is the IOP identity; must be unique in the cluster.
+	Node NodeID
+
+	// Allocator selects the buffer pool scheme: "table" (default, the
+	// paper's optimized allocator) or "fixed" (the original scheme).
+	Allocator string
+
+	// QueueCapacity bounds the inbound scheduler (0 = unbounded).
+	QueueCapacity int
+
+	// RequestTimeout bounds synchronous calls (default 5s).
+	RequestTimeout time.Duration
+
+	// Watchdog bounds handler run time (0 = disabled, the fast path).
+	Watchdog time.Duration
+
+	// Logf sinks diagnostics (default: standard logger).
+	Logf func(format string, args ...any)
+}
+
+// Node is one cluster member: an executive plus its peer transport agent.
+type Node struct {
+	// Exec is the underlying executive, exposed for advanced use
+	// (AllocMessage, timers, the address table).
+	Exec *Executive
+
+	// Agent is the peer transport agent.
+	Agent *pta.Agent
+}
+
+// NewNode builds and starts a node.
+func NewNode(opts NodeOptions) (*Node, error) {
+	var alloc pool.Allocator
+	switch opts.Allocator {
+	case "", "table":
+		alloc = pool.NewTable(0)
+	case "fixed":
+		var err error
+		alloc, err = pool.NewFixed(pool.DefaultFixedClasses())
+		if err != nil {
+			return nil, err
+		}
+	default:
+		return nil, fmt.Errorf("xdaq: unknown allocator %q (want table or fixed)", opts.Allocator)
+	}
+	e := executive.New(executive.Options{
+		Name:           opts.Name,
+		Node:           opts.Node,
+		Allocator:      alloc,
+		QueueCapacity:  opts.QueueCapacity,
+		RequestTimeout: opts.RequestTimeout,
+		Watchdog:       opts.Watchdog,
+		Logf:           opts.Logf,
+	})
+	agent, err := pta.New(e)
+	if err != nil {
+		e.Close()
+		return nil, err
+	}
+	return &Node{Exec: e, Agent: agent}, nil
+}
+
+// Close shuts the node down: transports first, then the executive.
+func (n *Node) Close() {
+	n.Agent.Close()
+	n.Exec.Close()
+}
+
+// Plug registers a device module and returns its TiD.
+func (n *Node) Plug(d *Device) (TID, error) { return n.Exec.Plug(d) }
+
+// Unplug removes a device module.
+func (n *Node) Unplug(id TID) error { return n.Exec.Unplug(id) }
+
+// Discover resolves (class, instance) on a remote node, creating a local
+// proxy TiD for it.
+func (n *Node) Discover(node NodeID, class string, instance int) (TID, error) {
+	return n.Exec.Discover(node, class, instance)
+}
+
+// Resolve returns the local TiD for a known device (local, or a proxy
+// created earlier).
+func (n *Node) Resolve(class string, instance int, node NodeID) (TID, error) {
+	return n.Exec.Resolve(class, instance, node)
+}
+
+// Send delivers a fire-and-forget private frame to target.
+func (n *Node) Send(target TID, xfunc uint16, payload []byte) error {
+	m, err := n.message(target, xfunc, payload)
+	if err != nil {
+		return err
+	}
+	return n.Exec.Send(m)
+}
+
+// Call sends a private frame to target and returns the reply payload.  The
+// reply's buffer is released before returning; use Exec.Request directly
+// to keep zero-copy access to the reply.
+func (n *Node) Call(target TID, xfunc uint16, payload []byte) ([]byte, error) {
+	m, err := n.message(target, xfunc, payload)
+	if err != nil {
+		return nil, err
+	}
+	rep, err := n.Exec.Request(m)
+	if err != nil {
+		return nil, err
+	}
+	out := append([]byte(nil), rep.Payload...)
+	rep.Release()
+	return out, nil
+}
+
+// message builds a private frame with a pool-backed payload.
+func (n *Node) message(target TID, xfunc uint16, payload []byte) (*Message, error) {
+	m, err := n.Exec.AllocMessage(len(payload))
+	if err != nil {
+		return nil, err
+	}
+	copy(m.Payload, payload)
+	m.Target = target
+	m.Initiator = TIDExecutive
+	m.XFunction = xfunc
+	return m, nil
+}
+
+// ConnectLoopback wires the given nodes over an in-process loopback
+// fabric: every node gets an endpoint and a route to every other node.
+func ConnectLoopback(nodes ...*Node) error {
+	fabric := loopback.NewFabric()
+	for _, n := range nodes {
+		ep, err := fabric.Attach(n.Exec.Node())
+		if err != nil {
+			return err
+		}
+		if err := n.Agent.Register(ep, pta.Task); err != nil {
+			return err
+		}
+	}
+	for _, n := range nodes {
+		for _, peer := range nodes {
+			if n != peer {
+				n.Exec.SetRoute(peer.Exec.Node(), loopback.DefaultName)
+			}
+		}
+	}
+	return nil
+}
+
+// GMOptions tunes ConnectGM.
+type GMOptions struct {
+	// Mode selects task (default) or polling PT operation.
+	Mode pta.Mode
+
+	// Provide is the number of receive blocks each PT keeps posted.
+	Provide int
+}
+
+// ConnectGM wires the given nodes over a simulated Myrinet/GM fabric with
+// one NIC per node (port = node id).
+func ConnectGM(opts GMOptions, nodes ...*Node) error {
+	fabric := gm.NewFabric()
+	routes := make(map[NodeID]gm.Port, len(nodes))
+	for _, n := range nodes {
+		routes[n.Exec.Node()] = gm.Port(n.Exec.Node())
+	}
+	for _, n := range nodes {
+		nic, err := fabric.Open(routes[n.Exec.Node()])
+		if err != nil {
+			return err
+		}
+		tr, err := gm.NewTransport(nic, n.Exec.Allocator(), gm.Config{
+			Routes:  routes,
+			Provide: opts.Provide,
+		})
+		if err != nil {
+			return err
+		}
+		if err := n.Agent.Register(tr, opts.Mode); err != nil {
+			return err
+		}
+		for _, peer := range nodes {
+			if n != peer {
+				n.Exec.SetRoute(peer.Exec.Node(), gm.PTName)
+			}
+		}
+	}
+	return nil
+}
+
+// ConnectPCI wires the given nodes over a simulated PCI bus segment with
+// hardware message-unit FIFOs of the given depth (0 selects the default).
+// This is the §7 "ongoing work" configuration: frames cross the segment
+// as pointers through fixed-depth FIFOs, and the executives poll their
+// message units.
+func ConnectPCI(depth int, nodes ...*Node) error {
+	segment := pci.NewSegment(depth)
+	for _, n := range nodes {
+		ep, err := segment.Attach(n.Exec.Node())
+		if err != nil {
+			return err
+		}
+		if err := n.Agent.Register(ep, pta.Polling); err != nil {
+			return err
+		}
+		for _, peer := range nodes {
+			if n != peer {
+				n.Exec.SetRoute(peer.Exec.Node(), pci.PTName)
+			}
+		}
+	}
+	return nil
+}
+
+// ListenTCP attaches a TCP peer transport listening on addr and returns
+// the transport so peers can be added (and its bound address read).
+func (n *Node) ListenTCP(addr string) (*tcp.Transport, error) {
+	tr, err := tcp.New(n.Exec.Node(), n.Exec.Allocator(), tcp.Config{Listen: addr})
+	if err != nil {
+		return nil, err
+	}
+	if err := n.Agent.Register(tr, pta.Task); err != nil {
+		tr.Stop()
+		return nil, err
+	}
+	return tr, nil
+}
+
+// AddTCPPeer maps a remote node to its TCP address and routes frames for
+// it over the TCP transport.
+func (n *Node) AddTCPPeer(tr *tcp.Transport, node NodeID, addr string) {
+	tr.AddPeer(node, addr)
+	n.Exec.SetRoute(node, tr.Name())
+}

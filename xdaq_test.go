@@ -1,0 +1,229 @@
+package xdaq
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"time"
+)
+
+func quiet(name string, id NodeID) NodeOptions {
+	return NodeOptions{
+		Name: name, Node: id,
+		RequestTimeout: 2 * time.Second,
+		Logf:           func(string, ...any) {},
+	}
+}
+
+func pair(t *testing.T, connect func(a, b *Node) error) (*Node, *Node) {
+	t.Helper()
+	a, err := NewNode(quiet("a", 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := NewNode(quiet("b", 2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(a.Close)
+	t.Cleanup(b.Close)
+	if err := connect(a, b); err != nil {
+		t.Fatal(err)
+	}
+	return a, b
+}
+
+func plugEcho(t *testing.T, n *Node) {
+	t.Helper()
+	echo := NewDevice("echo", 0)
+	echo.Bind(1, func(ctx *Context, m *Message) error {
+		return ReplyIfExpected(ctx, m, m.Payload)
+	})
+	if _, err := n.Plug(echo); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickstartLoopback(t *testing.T) {
+	a, b := pair(t, func(a, b *Node) error { return ConnectLoopback(a, b) })
+	plugEcho(t, b)
+	target, err := a.Discover(2, "echo", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := a.Call(target, 1, []byte("ping"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != "ping" {
+		t.Fatalf("reply %q", got)
+	}
+}
+
+func TestQuickstartGM(t *testing.T) {
+	a, b := pair(t, func(a, b *Node) error { return ConnectGM(GMOptions{}, a, b) })
+	plugEcho(t, b)
+	target, err := a.Discover(2, "echo", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	payload := bytes.Repeat([]byte{7}, 4096)
+	got, err := a.Call(target, 1, payload)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, payload) {
+		t.Fatal("payload mismatch over GM")
+	}
+}
+
+func TestQuickstartTCP(t *testing.T) {
+	a, b := pair(t, func(a, b *Node) error {
+		ta, err := a.ListenTCP("127.0.0.1:0")
+		if err != nil {
+			return err
+		}
+		tb, err := b.ListenTCP("127.0.0.1:0")
+		if err != nil {
+			return err
+		}
+		a.AddTCPPeer(ta, 2, tb.Addr())
+		b.AddTCPPeer(tb, 1, ta.Addr())
+		return nil
+	})
+	plugEcho(t, b)
+	target, err := a.Discover(2, "echo", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := a.Call(target, 1, []byte("over tcp"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != "over tcp" {
+		t.Fatalf("reply %q", got)
+	}
+}
+
+func TestSendFireAndForget(t *testing.T) {
+	a, b := pair(t, func(a, b *Node) error { return ConnectLoopback(a, b) })
+	got := make(chan []byte, 1)
+	sink := NewDevice("sink", 0)
+	sink.Bind(2, func(ctx *Context, m *Message) error {
+		got <- append([]byte(nil), m.Payload...)
+		return nil
+	})
+	if _, err := b.Plug(sink); err != nil {
+		t.Fatal(err)
+	}
+	target, err := a.Discover(2, "sink", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Send(target, 2, []byte("datagram")); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case p := <-got:
+		if string(p) != "datagram" {
+			t.Fatalf("payload %q", p)
+		}
+	case <-time.After(time.Second):
+		t.Fatal("frame never arrived")
+	}
+}
+
+func TestAllocatorSelection(t *testing.T) {
+	for _, name := range []string{"", "table", "fixed"} {
+		opts := quiet("alloc", 9)
+		opts.Allocator = name
+		n, err := NewNode(opts)
+		if err != nil {
+			t.Fatalf("%q: %v", name, err)
+		}
+		want := name
+		if want == "" {
+			want = "table"
+		}
+		if got := n.Exec.Allocator().Name(); got != want {
+			t.Fatalf("%q: allocator %q", name, got)
+		}
+		n.Close()
+	}
+	opts := quiet("alloc", 9)
+	opts.Allocator = "bogus"
+	if _, err := NewNode(opts); err == nil || !strings.Contains(err.Error(), "bogus") {
+		t.Fatalf("bogus allocator: %v", err)
+	}
+}
+
+func TestThreeNodeLoopbackMesh(t *testing.T) {
+	var nodes []*Node
+	for i := NodeID(1); i <= 3; i++ {
+		n, err := NewNode(quiet("n", i))
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(n.Close)
+		nodes = append(nodes, n)
+	}
+	if err := ConnectLoopback(nodes...); err != nil {
+		t.Fatal(err)
+	}
+	for _, n := range nodes {
+		plugEcho(t, n)
+	}
+	// Every node calls every other node.
+	for _, from := range nodes {
+		for _, to := range nodes {
+			if from == to {
+				continue
+			}
+			target, err := from.Discover(to.Exec.Node(), "echo", 0)
+			if err != nil {
+				t.Fatal(err)
+			}
+			got, err := from.Call(target, 1, []byte("mesh"))
+			if err != nil || string(got) != "mesh" {
+				t.Fatalf("%v -> %v: %q %v", from.Exec.Node(), to.Exec.Node(), got, err)
+			}
+		}
+	}
+}
+
+func TestQuickstartPCI(t *testing.T) {
+	a, b := pair(t, func(a, b *Node) error { return ConnectPCI(8, a, b) })
+	plugEcho(t, b)
+	target, err := a.Discover(2, "echo", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := a.Call(target, 1, []byte("over the bus"))
+	if err != nil || string(got) != "over the bus" {
+		t.Fatalf("%q %v", got, err)
+	}
+}
+
+func TestResolveLocal(t *testing.T) {
+	n, err := NewNode(quiet("solo", 4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer n.Close()
+	plugEcho(t, n)
+	id, err := n.Resolve("echo", 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Local call through the full dispatch path.
+	got, err := n.Call(id, 1, []byte("local"))
+	if err != nil || string(got) != "local" {
+		t.Fatalf("%q %v", got, err)
+	}
+	if err := n.Unplug(id); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := n.Resolve("echo", 0, 0); err == nil {
+		t.Fatal("resolve after unplug")
+	}
+}
