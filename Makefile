@@ -1,0 +1,25 @@
+# Development entry points.  `make check` is the gate every change must
+# pass: vet, full build, full test suite, and the race detector on the
+# packages with the most concurrency (dispatch loop, transport agent,
+# metrics hot path).
+
+GO ?= go
+
+.PHONY: check build test vet race bench
+
+check: vet build test race
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./internal/executive/ ./internal/pta/ ./internal/metrics/
+
+bench:
+	$(GO) test -bench . -benchmem ./...

@@ -9,10 +9,12 @@
 //	xdaqctl -node 100 -peer 1=... -peer 2=... -script setup.tcl
 //	echo 'resources 1' | xdaqctl -node 100 -peer 1=...
 //	xdaqctl -i -node 100 -peer 1=...          # interactive session
+//	xdaqctl -node 100 -peer 1=... -e 'metrics 1 exec.'   # scrape counters
 //
 // The cluster commands available in scripts are documented on
 // cluster.Controller.Bind: nodes, status, resources, plug, unplug,
-// enable, quiesce, clear, systab, paramget, paramset, trace, control.
+// enable, quiesce, clear, systab, paramget, paramset, trace, metrics,
+// control.
 package main
 
 import (

@@ -4,7 +4,7 @@
 //
 // Example three-node cluster on one machine:
 //
-//	xdaqd -node 1 -listen 127.0.0.1:9101 &
+//	xdaqd -node 1 -listen 127.0.0.1:9101 -metrics 127.0.0.1:9190 &
 //	xdaqd -node 2 -listen 127.0.0.1:9102 -peer 1=127.0.0.1:9101 &
 //	xdaqctl -node 100 -peer 1=127.0.0.1:9101 -peer 2=127.0.0.1:9102 \
 //	        -e 'plug 1 echo 0; status 1'
@@ -18,6 +18,8 @@ import (
 	"flag"
 	"fmt"
 	"log"
+	"net"
+	"net/http"
 	"os"
 	"os/signal"
 	"strconv"
@@ -63,6 +65,7 @@ func main() {
 		node    = flag.Uint("node", 1, "this IOP's node identifier")
 		name    = flag.String("name", "", "executive name (default: node<N>)")
 		listen  = flag.String("listen", "127.0.0.1:0", "TCP peer transport listen address")
+		metrics = flag.String("metrics", "", "HTTP metrics address, e.g. 127.0.0.1:9190 (empty disables)")
 		alloc   = flag.String("alloc", "table", "buffer pool scheme: table or fixed")
 		peers   = peerList{}
 		modules = moduleList{}
@@ -90,6 +93,21 @@ func main() {
 	}
 	for peer, addr := range peers {
 		n.AddTCPPeer(tr, peer, addr)
+	}
+	if *metrics != "" {
+		ln, err := net.Listen("tcp", *metrics)
+		if err != nil {
+			log.Fatalf("xdaqd: metrics listen %s: %v", *metrics, err)
+		}
+		defer ln.Close()
+		mux := http.NewServeMux()
+		mux.Handle("/metrics", n.Exec.Metrics())
+		go func() {
+			if err := http.Serve(ln, mux); err != nil {
+				log.Printf("xdaqd: metrics server: %v", err)
+			}
+		}()
+		log.Printf("xdaqd: metrics on http://%s/metrics", ln.Addr())
 	}
 	for _, spec := range modules {
 		mod, instStr, _ := strings.Cut(spec, ":")

@@ -473,6 +473,28 @@ func (c *Controller) TraceDump(node i2o.NodeID) (string, error) {
 	return c.trace(node, nil)
 }
 
+// Metrics scrapes a node's metrics registry over ordinary I2O frames.
+// An empty prefix returns everything; otherwise only metrics whose name
+// starts with prefix.  The reply is the flattened form (counters and
+// gauges as scalars, histograms expanded to .count/.sum.ns/.p50.ns/
+// .p99.ns rows), identical to what a local metrics.Flatten would see.
+func (c *Controller) Metrics(node i2o.NodeID, prefix string) ([]i2o.Param, error) {
+	var payload []byte
+	if prefix != "" {
+		var err error
+		payload, err = i2o.EncodeParams([]i2o.Param{{Key: "prefix", Value: prefix}})
+		if err != nil {
+			return nil, err
+		}
+	}
+	rep, err := c.execRequest(node, i2o.ExecMetricsGet, payload)
+	if err != nil {
+		return nil, err
+	}
+	defer rep.Release()
+	return i2o.DecodeParams(rep.Payload)
+}
+
 // GetParams reads parameters of a device on a node (all when keys empty).
 func (c *Controller) GetParams(node i2o.NodeID, class string, instance int, keys []string) ([]i2o.Param, error) {
 	payload, err := i2o.EncodeKeys(keys)

@@ -389,3 +389,43 @@ func TestRoleString(t *testing.T) {
 		t.Fatal("role strings")
 	}
 }
+
+func TestMetricsRemotely(t *testing.T) {
+	tc := buildCluster(t)
+	c := primary(t, tc)
+
+	// Generate traffic on node 1 so its counters move.
+	if _, err := c.Status(1); err != nil {
+		t.Fatal(err)
+	}
+	params, err := c.Metrics(1, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	found := false
+	for _, p := range params {
+		if p.Key == "exec.dispatched" {
+			found = true
+			if n, ok := p.Value.(uint64); !ok || n == 0 {
+				t.Fatalf("exec.dispatched = %v (%T), want nonzero uint64", p.Value, p.Value)
+			}
+		}
+	}
+	if !found {
+		t.Fatalf("exec.dispatched missing from %d params", len(params))
+	}
+
+	// Prefix filter restricts, and the tclish command renders the list.
+	in := tclish.New(nil)
+	c.Bind(in)
+	out, err := in.Eval("metrics 1 exec.dispatched")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(out, "exec.dispatched ") {
+		t.Fatalf("tclish metrics output %q", out)
+	}
+	if strings.Contains(out, "pool.") {
+		t.Fatalf("prefix filter leaked: %q", out)
+	}
+}

@@ -27,6 +27,8 @@ import (
 //	systab <node> {peer route ...}
 //	paramget <node> <class> <inst> ?key?    -> value or {key value ...}
 //	paramset <node> <class> <inst> <k> <v>
+//	trace <node> on|off|dump|reset
+//	metrics <node> ?prefix?                 -> {name value ...}
 //	control request|release|holding
 func (c *Controller) Bind(in *tclish.Interp) {
 	in.Register("nodes", func(in *tclish.Interp, args []string) (string, error) {
@@ -214,6 +216,25 @@ func (c *Controller) Bind(in *tclish.Interp) {
 		default:
 			return "", fmt.Errorf("tclish: trace: unknown action %q", args[2])
 		}
+	})
+
+	in.Register("metrics", func(in *tclish.Interp, args []string) (string, error) {
+		if len(args) != 2 && len(args) != 3 {
+			return "", fmt.Errorf("tclish: usage: metrics <node> ?prefix?")
+		}
+		node, err := nodeArg(args, 1)
+		if err != nil {
+			return "", err
+		}
+		prefix := ""
+		if len(args) == 3 {
+			prefix = args[2]
+		}
+		params, err := c.Metrics(node, prefix)
+		if err != nil {
+			return "", err
+		}
+		return paramsToList(params), nil
 	})
 
 	in.Register("control", func(in *tclish.Interp, args []string) (string, error) {

@@ -24,6 +24,7 @@ import (
 
 	"xdaq/internal/device"
 	"xdaq/internal/i2o"
+	"xdaq/internal/metrics"
 	"xdaq/internal/pool"
 	"xdaq/internal/probe"
 	"xdaq/internal/queue"
@@ -70,6 +71,13 @@ type Options struct {
 	// probe.Default.  Collection only happens while probe.Enable(true).
 	Probes *probe.Registry
 
+	// Metrics receives the node's operational counters (dispatch counts,
+	// queue depths, transport frame/byte counts).  Defaults to a fresh
+	// registry per executive, so a process hosting several nodes exports
+	// per-node numbers; pass metrics.Default to share the process-wide
+	// registry instead.
+	Metrics *metrics.Registry
+
 	// Logf sinks diagnostics; defaults to the standard logger.
 	Logf func(format string, args ...any)
 }
@@ -106,11 +114,12 @@ type Executive struct {
 	self  *device.Device
 	state atomic.Int32 // device.State of the whole IOP
 
-	nDispatched atomic.Uint64
-	nForwarded  atomic.Uint64
-	nReplies    atomic.Uint64
-	nFailures   atomic.Uint64
-	nDropped    atomic.Uint64
+	reg         *metrics.Registry
+	nDispatched *metrics.Counter
+	nForwarded  *metrics.Counter
+	nReplies    *metrics.Counter
+	nFailures   *metrics.Counter
+	nDropped    *metrics.Counter
 
 	pDemux     *probe.Point
 	pUpcall    *probe.Point
@@ -152,6 +161,9 @@ func New(opts Options) *Executive {
 	if opts.Probes == nil {
 		opts.Probes = probe.Default
 	}
+	if opts.Metrics == nil {
+		opts.Metrics = metrics.NewRegistry()
+	}
 	if opts.Logf == nil {
 		logger := log.Default()
 		name := opts.Name
@@ -170,6 +182,13 @@ func New(opts Options) *Executive {
 		timers:   make(map[uint32]*time.Timer),
 		loopDone: make(chan struct{}),
 
+		reg:         opts.Metrics,
+		nDispatched: opts.Metrics.Counter("exec.dispatched"),
+		nForwarded:  opts.Metrics.Counter("exec.forwarded"),
+		nReplies:    opts.Metrics.Counter("exec.replies"),
+		nFailures:   opts.Metrics.Counter("exec.failures"),
+		nDropped:    opts.Metrics.Counter("exec.dropped"),
+
 		pDemux:     opts.Probes.Point("exec.demux"),
 		pUpcall:    opts.Probes.Point("exec.upcall"),
 		pApp:       opts.Probes.Point("exec.app"),
@@ -180,6 +199,7 @@ func New(opts Options) *Executive {
 		traceRing: trace.NewRing(0),
 	}
 	e.state.Store(int32(device.Operational))
+	e.registerMetrics()
 
 	e.self = newSelfDevice(e)
 	entry, err := e.table.Claim(i2o.TIDExecutive, "executive", 0)
@@ -197,6 +217,42 @@ func New(opts Options) *Executive {
 	go e.loop()
 	return e
 }
+
+// registerMetrics publishes the executive's sampled gauges and installs
+// the per-priority queue wait-time observer.  Sampled gauges surface
+// values other subsystems already maintain (scheduler depths, pool
+// statistics) without adding anything to their hot paths; the wait-time
+// histograms only collect while metrics.Enable(true), the same gating
+// discipline as the whitebox probes.
+func (e *Executive) registerMetrics() {
+	e.reg.Func("exec.queue.depth", func() int64 { return int64(e.in.Len()) })
+	for p := 0; p < i2o.NumPriorities; p++ {
+		prio := i2o.Priority(p)
+		e.reg.Func(fmt.Sprintf("exec.queue.depth.p%d", p), func() int64 {
+			return int64(e.in.LevelLen(prio))
+		})
+	}
+	e.reg.Func("exec.devices", func() int64 { return int64(len(e.Devices())) })
+
+	e.reg.Func("pool.allocs", func() int64 { return int64(e.alloc.Stats().Allocs) })
+	e.reg.Func("pool.fails", func() int64 { return int64(e.alloc.Stats().Fails) })
+	e.reg.Func("pool.frees", func() int64 { return int64(e.alloc.Stats().Recycles) })
+	e.reg.Func("pool.grows", func() int64 { return int64(e.alloc.Stats().Grows) })
+	e.reg.Func("pool.inuse", func() int64 { return e.alloc.Stats().InUse })
+	e.reg.Func("pool.highwater", func() int64 { return e.alloc.Stats().HighWater })
+
+	var waits [i2o.NumPriorities]*metrics.Histogram
+	for p := range waits {
+		waits[p] = e.reg.Histogram(fmt.Sprintf("exec.queue.wait.p%d", p))
+	}
+	e.in.SetWaitObserver(func(p i2o.Priority, d time.Duration) {
+		waits[p].Observe(d)
+	})
+}
+
+// Metrics exposes the node's metrics registry (for the HTTP endpoint and
+// for wiring transports created outside the executive).
+func (e *Executive) Metrics() *metrics.Registry { return e.reg }
 
 // Name returns the executive's configured name.
 func (e *Executive) Name() string { return e.opts.Name }
@@ -216,11 +272,11 @@ func (e *Executive) Table() *tid.Table { return e.table }
 // Stats returns a snapshot of dispatch counters.
 func (e *Executive) Stats() Stats {
 	return Stats{
-		Dispatched: e.nDispatched.Load(),
-		Forwarded:  e.nForwarded.Load(),
-		Replies:    e.nReplies.Load(),
-		Failures:   e.nFailures.Load(),
-		Dropped:    e.nDropped.Load(),
+		Dispatched: e.nDispatched.Value(),
+		Forwarded:  e.nForwarded.Value(),
+		Replies:    e.nReplies.Value(),
+		Failures:   e.nFailures.Value(),
+		Dropped:    e.nDropped.Value(),
 	}
 }
 

@@ -3,9 +3,11 @@ package executive
 import (
 	"fmt"
 	"strconv"
+	"strings"
 
 	"xdaq/internal/device"
 	"xdaq/internal/i2o"
+	"xdaq/internal/metrics"
 	"xdaq/internal/tid"
 )
 
@@ -30,6 +32,7 @@ func newSelfDevice(e *Executive) *device.Device {
 	d.BindFunction(i2o.ExecTimerSet, e.handleTimerSet)
 	d.BindFunction(i2o.ExecTimerCancel, e.handleTimerCancel)
 	d.BindFunction(i2o.ExecTraceGet, e.handleTraceGet)
+	d.BindFunction(i2o.ExecMetricsGet, e.handleMetricsGet)
 	d.BindFunction(i2o.ExecOutboundInit, func(ctx *device.Context, m *i2o.Message) error {
 		// Queues are initialized at construction; the code exists so hosts
 		// following the I2O bring-up sequence get a success reply.
@@ -159,11 +162,11 @@ func (e *Executive) handleSysQuiesce(ctx *device.Context, m *i2o.Message) error 
 }
 
 func (e *Executive) handleSysClear(ctx *device.Context, m *i2o.Message) error {
-	e.nDispatched.Store(0)
-	e.nForwarded.Store(0)
-	e.nReplies.Store(0)
-	e.nFailures.Store(0)
-	e.nDropped.Store(0)
+	e.nDispatched.Reset()
+	e.nForwarded.Reset()
+	e.nReplies.Reset()
+	e.nFailures.Reset()
+	e.nDropped.Reset()
 	return device.ReplyIfExpected(ctx, m, nil)
 }
 
@@ -192,6 +195,45 @@ func (e *Executive) handleTraceGet(ctx *device.Context, m *i2o.Message) error {
 		{Key: "dump", Value: e.traceRing.Dump()},
 		{Key: "enabled", Value: e.traceOn.Load()},
 		{Key: "total", Value: e.traceRing.Total()},
+	}
+	payload, err := i2o.EncodeParams(out)
+	if err != nil {
+		return err
+	}
+	return device.ReplyIfExpected(ctx, m, payload)
+}
+
+// handleMetricsGet answers a remote scrape: every metric in the node's
+// registry, flattened to scalar rows and encoded as an ordinary parameter
+// list, so `xdaqctl metrics <node>` sees the same numbers a local
+// Snapshot would.  An optional "prefix" string restricts the reply.
+func (e *Executive) handleMetricsGet(ctx *device.Context, m *i2o.Message) error {
+	prefix := ""
+	if len(m.Payload) > 0 {
+		params, err := i2o.DecodeParams(m.Payload)
+		if err != nil {
+			return err
+		}
+		for _, p := range params {
+			if p.Key == "prefix" {
+				if s, ok := p.Value.(string); ok {
+					prefix = s
+				}
+			}
+		}
+	}
+	var out []i2o.Param
+	for _, fs := range metrics.Flatten(e.reg.Snapshot()) {
+		if prefix != "" && !strings.HasPrefix(fs.Name, prefix) {
+			continue
+		}
+		p := i2o.Param{Key: fs.Name}
+		if fs.IsUint {
+			p.Value = fs.Uint
+		} else {
+			p.Value = fs.Int
+		}
+		out = append(out, p)
 	}
 	payload, err := i2o.EncodeParams(out)
 	if err != nil {

@@ -88,6 +88,14 @@ const (
 	// the ring contents.  Not defined by I2O; added for the system
 	// management dimension, like ExecPlugin.
 	ExecTraceGet Function = 0xE4
+
+	// ExecMetricsGet reads the node's metrics registry: the reply carries
+	// an encoded parameter list with one entry per counter and gauge, and
+	// flattened count/sum/quantile rows per histogram.  An optional
+	// "prefix" parameter in the request restricts the reply to matching
+	// names.  Not defined by I2O; added so any node can scrape any other
+	// node's operational counters over ordinary message frames.
+	ExecMetricsGet Function = 0xE5
 )
 
 // FuncPrivate marks a private frame: the operation is identified by the
@@ -107,7 +115,8 @@ func (f Function) IsExecutive() bool {
 	switch f {
 	case ExecStatusGet, ExecOutboundInit, ExecHrtGet, ExecSysTabSet,
 		ExecSysEnable, ExecSysQuiesce, ExecSysClear,
-		ExecPlugin, ExecUnplug, ExecTimerSet, ExecTimerCancel, ExecTraceGet:
+		ExecPlugin, ExecUnplug, ExecTimerSet, ExecTimerCancel, ExecTraceGet,
+		ExecMetricsGet:
 		return true
 	}
 	return false
@@ -132,6 +141,7 @@ var functionNames = map[Function]string{
 	ExecTimerSet:      "ExecTimerSet",
 	ExecTimerCancel:   "ExecTimerCancel",
 	ExecTraceGet:      "ExecTraceGet",
+	ExecMetricsGet:    "ExecMetricsGet",
 	FuncPrivate:       "Private",
 }
 

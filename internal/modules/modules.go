@@ -1,7 +1,9 @@
 // Package modules registers the toolkit's standard device classes with
 // the executive's module registry, so cluster controllers can instantiate
 // them on any node with ExecPlugin messages — the paper's dynamic module
-// download, adapted to Go (compiled-in factories instead of object code).
+// download (§4: "Applications can be downloaded and configured during run
+// time in the form of modules"), adapted to Go with compiled-in factories
+// instead of relocatable object code.
 //
 // Importing this package (for side effects) makes the following modules
 // pluggable:

@@ -26,10 +26,12 @@ import (
 	"runtime"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"xdaq/internal/device"
 	"xdaq/internal/executive"
 	"xdaq/internal/i2o"
+	"xdaq/internal/metrics"
 )
 
 // Mode selects how received frames reach the executive.
@@ -94,6 +96,13 @@ type slot struct {
 	mode      Mode
 	dev       *device.Device
 	suspended atomic.Bool
+
+	// Per-route traffic counters (pta.<route>.sent etc.), created at
+	// Register time from the executive's registry.
+	cSent      *metrics.Counter
+	cRecv      *metrics.Counter
+	cSentBytes *metrics.Counter
+	cRecvBytes *metrics.Counter
 }
 
 // Agent is the Peer Transport Agent for one executive.
@@ -108,19 +117,26 @@ type Agent struct {
 	pollDone chan struct{}
 	closed   atomic.Bool
 
-	nSent     atomic.Uint64
-	nReceived atomic.Uint64
-	nErrors   atomic.Uint64
+	nSent     *metrics.Counter
+	nReceived *metrics.Counter
+	nErrors   *metrics.Counter
+	pollScan  *metrics.Histogram
 }
 
 // New creates the agent, plugs its device module into the executive and
 // installs it as the executive's router.
 func New(e *executive.Executive) (*Agent, error) {
+	reg := e.Metrics()
 	a := &Agent{
 		exec:     e,
 		slots:    make(map[string]*slot),
 		pollStop: make(chan struct{}),
 		pollDone: make(chan struct{}),
+
+		nSent:     reg.Counter("pta.sent"),
+		nReceived: reg.Counter("pta.recv"),
+		nErrors:   reg.Counter("pta.errors"),
+		pollScan:  reg.Histogram("pta.pollScan"),
 	}
 	a.dev = device.New("pta", 0)
 	if _, err := e.Plug(a.dev); err != nil {
@@ -144,7 +160,16 @@ func MustNew(e *executive.Executive) *Agent {
 // Register adds a transport under its route name and plugs its device
 // module.  Task-mode transports are started immediately.
 func (a *Agent) Register(pt PeerTransport, mode Mode) error {
-	s := &slot{pt: pt, mode: mode}
+	reg := a.exec.Metrics()
+	s := &slot{
+		pt:   pt,
+		mode: mode,
+
+		cSent:      reg.Counter("pta." + pt.Name() + ".sent"),
+		cRecv:      reg.Counter("pta." + pt.Name() + ".recv"),
+		cSentBytes: reg.Counter("pta." + pt.Name() + ".sentBytes"),
+		cRecvBytes: reg.Counter("pta." + pt.Name() + ".recvBytes"),
+	}
 	s.dev = device.New(pt.Name(), 0)
 	s.dev.Params().Set("mode", mode.String())
 	s.dev.Params().Set("suspended", false)
@@ -185,9 +210,18 @@ func (a *Agent) Register(pt PeerTransport, mode Mode) error {
 
 // deliverFunc builds the delivery callback for one route: frames received
 // there are injected with return-proxy rewriting (peer operation step 7).
+// Frame and byte counts are recorded before injection, because ownership
+// of the frame passes to the executive.
 func (a *Agent) deliverFunc(route string) Deliver {
+	a.mu.RLock()
+	s := a.slots[route]
+	a.mu.RUnlock()
 	return func(src i2o.NodeID, m *i2o.Message) error {
-		a.nReceived.Add(1)
+		a.nReceived.Inc()
+		if s != nil {
+			s.cRecv.Inc()
+			s.cRecvBytes.Add(uint64(m.WireSize()))
+		}
 		return a.exec.InjectFrom(src, route, m)
 	}
 }
@@ -199,19 +233,23 @@ func (a *Agent) Forward(route string, dst i2o.NodeID, m *i2o.Message) error {
 	a.mu.RUnlock()
 	if s == nil {
 		m.Release()
-		a.nErrors.Add(1)
+		a.nErrors.Inc()
 		return fmt.Errorf("%w: %s", ErrUnknownRoute, route)
 	}
 	if s.suspended.Load() {
 		m.Release()
-		a.nErrors.Add(1)
+		a.nErrors.Inc()
 		return fmt.Errorf("%w: %s", ErrSuspended, route)
 	}
+	// Size the frame before Send: ownership passes to the transport.
+	wire := uint64(m.WireSize())
 	if err := s.pt.Send(dst, m); err != nil {
-		a.nErrors.Add(1)
+		a.nErrors.Inc()
 		return err
 	}
-	a.nSent.Add(1)
+	a.nSent.Inc()
+	s.cSent.Inc()
+	s.cSentBytes.Add(wire)
 	return nil
 }
 
@@ -250,7 +288,7 @@ type Stats struct {
 
 // Stats returns a snapshot of the agent's counters.
 func (a *Agent) Stats() Stats {
-	return Stats{Sent: a.nSent.Load(), Received: a.nReceived.Load(), Errors: a.nErrors.Load()}
+	return Stats{Sent: a.nSent.Value(), Received: a.nReceived.Value(), Errors: a.nErrors.Value()}
 }
 
 // pollBudget bounds the frames drained from one transport per scan so one
@@ -274,11 +312,21 @@ func (a *Agent) pollLoop() {
 			}
 		}
 		a.mu.RUnlock()
+		var start time.Time
+		if metrics.Enabled() {
+			start = time.Now()
+		}
 		delivered := 0
 		for _, s := range slots {
 			delivered += s.pt.Poll(a.deliverFunc(s.pt.Name()), pollBudget)
 		}
-		if delivered == 0 {
+		if delivered > 0 {
+			// Only productive rounds are observed; empty spins would swamp
+			// the histogram with scheduler noise.
+			if !start.IsZero() {
+				a.pollScan.Since(start)
+			}
+		} else {
 			// Nothing pending anywhere: yield rather than burn the core.
 			runtime.Gosched()
 		}

@@ -1,33 +1,44 @@
 package queue
 
-import "xdaq/internal/i2o"
+import (
+	"time"
+
+	"xdaq/internal/i2o"
+)
+
+// item is one queued frame plus its enqueue timestamp (zero unless a wait
+// observer is installed and metrics timing is enabled).
+type item struct {
+	m  *i2o.Message
+	at time.Time
+}
 
 // deque is a growable ring buffer of frames with O(1) push-back/pop-front.
 type deque struct {
-	buf  []*i2o.Message
+	buf  []item
 	head int
 	n    int
 }
 
 func (d *deque) len() int { return d.n }
 
-func (d *deque) pushBack(m *i2o.Message) {
+func (d *deque) pushBack(it item) {
 	if d.n == len(d.buf) {
 		d.grow()
 	}
-	d.buf[(d.head+d.n)%len(d.buf)] = m
+	d.buf[(d.head+d.n)%len(d.buf)] = it
 	d.n++
 }
 
-func (d *deque) popFront() *i2o.Message {
+func (d *deque) popFront() item {
 	if d.n == 0 {
-		return nil
+		return item{}
 	}
-	m := d.buf[d.head]
-	d.buf[d.head] = nil
+	it := d.buf[d.head]
+	d.buf[d.head] = item{}
 	d.head = (d.head + 1) % len(d.buf)
 	d.n--
-	return m
+	return it
 }
 
 func (d *deque) grow() {
@@ -35,7 +46,7 @@ func (d *deque) grow() {
 	if size == 0 {
 		size = 8
 	}
-	buf := make([]*i2o.Message, size)
+	buf := make([]item, size)
 	for i := 0; i < d.n; i++ {
 		buf[i] = d.buf[(d.head+i)%len(d.buf)]
 	}

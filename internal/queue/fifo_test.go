@@ -208,20 +208,20 @@ func TestDequeGrowth(t *testing.T) {
 	var d deque
 	// Interleave pushes and pops so head is nonzero when growth happens.
 	for i := uint32(0); i < 3; i++ {
-		d.pushBack(msg(1, 0, i))
+		d.pushBack(item{m: msg(1, 0, i)})
 	}
 	d.popFront()
 	d.popFront()
 	for i := uint32(3); i < 50; i++ {
-		d.pushBack(msg(1, 0, i))
+		d.pushBack(item{m: msg(1, 0, i)})
 	}
 	for want := uint32(2); want < 50; want++ {
-		m := d.popFront()
-		if m == nil || m.InitiatorContext != want {
-			t.Fatalf("popFront = %v, want seq %d", m, want)
+		it := d.popFront()
+		if it.m == nil || it.m.InitiatorContext != want {
+			t.Fatalf("popFront = %v, want seq %d", it.m, want)
 		}
 	}
-	if d.len() != 0 || d.popFront() != nil {
+	if d.len() != 0 || d.popFront().m != nil {
 		t.Fatal("deque not empty at end")
 	}
 }

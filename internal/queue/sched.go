@@ -16,8 +16,10 @@ package queue
 import (
 	"errors"
 	"sync"
+	"time"
 
 	"xdaq/internal/i2o"
+	"xdaq/internal/metrics"
 )
 
 // Errors.
@@ -44,34 +46,34 @@ type level struct {
 	byTID map[i2o.TID]*devQueue
 }
 
-func (l *level) push(m *i2o.Message) {
+func (l *level) push(it item) {
 	if l.byTID == nil {
 		l.byTID = make(map[i2o.TID]*devQueue)
 	}
-	dq, ok := l.byTID[m.Target]
+	dq, ok := l.byTID[it.m.Target]
 	if !ok {
-		dq = &devQueue{tid: m.Target}
-		l.byTID[m.Target] = dq
+		dq = &devQueue{tid: it.m.Target}
+		l.byTID[it.m.Target] = dq
 	}
 	if dq.q.len() == 0 {
 		l.ring = append(l.ring, dq)
 	}
-	dq.q.pushBack(m)
+	dq.q.pushBack(it)
 }
 
-func (l *level) pop() *i2o.Message {
+func (l *level) pop() item {
 	if len(l.ring) == 0 {
-		return nil
+		return item{}
 	}
 	dq := l.ring[0]
-	m := dq.q.popFront()
+	it := dq.q.popFront()
 	l.ring = l.ring[1:]
 	if dq.q.len() > 0 {
 		l.ring = append(l.ring, dq)
 	} else {
 		delete(l.byTID, dq.tid)
 	}
-	return m
+	return it
 }
 
 // Sched is the inbound scheduler.  It is safe for concurrent use; Pop is
@@ -83,6 +85,22 @@ type Sched struct {
 	size     int
 	capacity int
 	closed   bool
+	waitObs  WaitObserver
+}
+
+// WaitObserver receives the time one frame spent queued, per priority
+// level.  The executive installs one that feeds the per-priority
+// exec.queue.wait histograms.
+type WaitObserver func(p i2o.Priority, wait time.Duration)
+
+// SetWaitObserver installs (or clears, with nil) the wait-time observer.
+// Frames are only timestamped while an observer is installed and
+// metrics.Enabled() is true — the same gating discipline as the whitebox
+// probes, so the blackbox configuration never reads the clock.
+func (s *Sched) SetWaitObserver(fn WaitObserver) {
+	s.mu.Lock()
+	s.waitObs = fn
+	s.mu.Unlock()
 }
 
 // NewSched returns a scheduler bounded at capacity frames (0 means
@@ -108,7 +126,11 @@ func (s *Sched) Push(m *i2o.Message) error {
 		s.mu.Unlock()
 		return ErrFull
 	}
-	s.levels[m.Priority].push(m)
+	it := item{m: m}
+	if s.waitObs != nil && metrics.Enabled() {
+		it.at = time.Now()
+	}
+	s.levels[m.Priority].push(it)
 	s.size++
 	s.mu.Unlock()
 	s.notEmpty.Signal()
@@ -144,9 +166,12 @@ func (s *Sched) TryPop() (*i2o.Message, bool) {
 
 func (s *Sched) popLocked() *i2o.Message {
 	for p := range s.levels {
-		if m := s.levels[p].pop(); m != nil {
+		if it := s.levels[p].pop(); it.m != nil {
 			s.size--
-			return m
+			if !it.at.IsZero() && s.waitObs != nil {
+				s.waitObs(i2o.Priority(p), time.Since(it.at))
+			}
+			return it.m
 		}
 	}
 	panic("queue: size positive but all levels empty")

@@ -1,7 +1,11 @@
 // Package loopback implements an in-process peer transport: executives in
 // the same address space exchange frame pointers directly, with no
-// serialization at all.  It is the cheapest possible transport and the
-// reference point for measuring what any other transport adds; it also
+// serialization at all.  It is the degenerate case of the peer transport
+// architecture of §3.4/figure 4 — a PT is "an ordinary device class" and
+// the fabric behind it can be anything, including shared memory on one
+// host (§2 lists "shared memory (e.g. PCI)" among the interconnect
+// technologies to support).  As the cheapest possible transport it is the
+// reference point for measuring what any other transport adds, and it
 // lets examples and tests build multi-node clusters inside one process.
 package loopback
 
@@ -11,6 +15,7 @@ import (
 	"sync"
 
 	"xdaq/internal/i2o"
+	"xdaq/internal/metrics"
 	"xdaq/internal/pta"
 )
 
@@ -48,7 +53,12 @@ func (f *Fabric) Attach(node i2o.NodeID) (*Endpoint, error) {
 	if _, dup := f.nodes[node]; dup {
 		return nil, fmt.Errorf("%w: %v", ErrDuplicateNode, node)
 	}
-	ep := &Endpoint{fabric: f, node: node}
+	ep := &Endpoint{
+		fabric: f,
+		node:   node,
+		cSent:  metrics.Default.Counter(DefaultName + ".sent"),
+		cRecv:  metrics.Default.Counter(DefaultName + ".recv"),
+	}
 	f.nodes[node] = ep
 	return ep, nil
 }
@@ -74,6 +84,18 @@ type Endpoint struct {
 
 	mu      sync.RWMutex
 	deliver pta.Deliver
+	cSent   *metrics.Counter
+	cRecv   *metrics.Counter
+}
+
+// SetMetrics redirects the endpoint's frame counters into reg (normally
+// the owning executive's registry).  Call it before the endpoint carries
+// traffic.
+func (e *Endpoint) SetMetrics(reg *metrics.Registry) {
+	e.mu.Lock()
+	e.cSent = reg.Counter(DefaultName + ".sent")
+	e.cRecv = reg.Counter(DefaultName + ".recv")
+	e.mu.Unlock()
 }
 
 var _ pta.PeerTransport = (*Endpoint)(nil)
@@ -94,11 +116,16 @@ func (e *Endpoint) Send(dst i2o.NodeID, m *i2o.Message) error {
 	}
 	peer.mu.RLock()
 	deliver := peer.deliver
+	recv := peer.cRecv
 	peer.mu.RUnlock()
 	if deliver == nil {
 		m.Release()
 		return fmt.Errorf("%w: %v", ErrNotStarted, dst)
 	}
+	e.mu.RLock()
+	e.cSent.Inc()
+	e.mu.RUnlock()
+	recv.Inc()
 	return deliver(e.node, m)
 }
 

@@ -20,6 +20,7 @@ import (
 	"sync/atomic"
 
 	"xdaq/internal/i2o"
+	"xdaq/internal/metrics"
 	"xdaq/internal/pta"
 )
 
@@ -77,6 +78,7 @@ func (s *Segment) Attach(node i2o.NodeID) (*Endpoint, error) {
 		fifo:    make(chan envelope, s.depth),
 		done:    make(chan struct{}),
 	}
+	ep.SetMetrics(metrics.Default)
 	s.eps[node] = ep
 	return ep, nil
 }
@@ -104,8 +106,27 @@ type Endpoint struct {
 	taskMu   sync.Mutex
 	taskDone chan struct{}
 
-	nSent atomic.Uint64
-	nRecv atomic.Uint64
+	cmu       sync.RWMutex
+	nSent     *metrics.Counter
+	nRecv     *metrics.Counter
+	nFifoFull *metrics.Counter
+}
+
+// SetMetrics redirects the endpoint's counters (pt.pci.sent, .recv,
+// .fifoFull) into reg, normally the owning executive's registry.  Call it
+// before the endpoint carries traffic.
+func (e *Endpoint) SetMetrics(reg *metrics.Registry) {
+	e.cmu.Lock()
+	e.nSent = reg.Counter(PTName + ".sent")
+	e.nRecv = reg.Counter(PTName + ".recv")
+	e.nFifoFull = reg.Counter(PTName + ".fifoFull")
+	e.cmu.Unlock()
+}
+
+func (e *Endpoint) counters() (sent, recv, full *metrics.Counter) {
+	e.cmu.RLock()
+	defer e.cmu.RUnlock()
+	return e.nSent, e.nRecv, e.nFifoFull
 }
 
 var _ pta.PeerTransport = (*Endpoint)(nil)
@@ -130,9 +151,21 @@ func (e *Endpoint) Send(dst i2o.NodeID, m *i2o.Message) error {
 		m.Release()
 		return fmt.Errorf("%w: %v", ErrUnknownNode, dst)
 	}
+	sent, _, full := e.counters()
+	env := envelope{src: e.node, m: m}
+	// First try without blocking so a full hardware FIFO is visible in the
+	// fifoFull counter — the stall a real message unit turns into a held
+	// PCI write.
 	select {
-	case peer.fifo <- envelope{src: e.node, m: m}:
-		e.nSent.Add(1)
+	case peer.fifo <- env:
+		sent.Inc()
+		return nil
+	default:
+		full.Inc()
+	}
+	select {
+	case peer.fifo <- env:
+		sent.Inc()
 		return nil
 	case <-peer.done:
 		m.Release()
@@ -150,7 +183,8 @@ func (e *Endpoint) Poll(fn pta.Deliver, budget int) int {
 	for n < budget {
 		select {
 		case env := <-e.fifo:
-			e.nRecv.Add(1)
+			_, recv, _ := e.counters()
+			recv.Inc()
 			if err := fn(env.src, env.m); err != nil {
 				return n
 			}
@@ -176,7 +210,8 @@ func (e *Endpoint) Start(fn pta.Deliver) error {
 		for {
 			select {
 			case env := <-e.fifo:
-				e.nRecv.Add(1)
+				_, recv, _ := e.counters()
+				recv.Inc()
 				_ = fn(env.src, env.m)
 			case <-e.done:
 				return
@@ -188,7 +223,8 @@ func (e *Endpoint) Start(fn pta.Deliver) error {
 
 // Stats reports frames sent and received.
 func (e *Endpoint) Stats() (sent, received uint64) {
-	return e.nSent.Load(), e.nRecv.Load()
+	s, r, _ := e.counters()
+	return s.Value(), r.Value()
 }
 
 // Stop implements pta.PeerTransport: detaches from the segment and

@@ -1,9 +1,9 @@
 // Package tcp implements a peer transport over TCP/IP.  In the paper's
-// system the TCP PT carried configuration and control traffic next to the
-// low-latency Myrinet PT ("another PT thread was handling TCP
-// communication for configuration and control purposes"); here it also
-// serves as the transport for genuinely distributed deployments of the
-// cmd/xdaqd node daemon.
+// benchmark system (§5) the TCP PT carried configuration and control
+// traffic next to the low-latency Myrinet PT ("another PT thread was
+// handling TCP communication for configuration and control purposes");
+// here it also serves as the transport for genuinely distributed
+// deployments of the cmd/xdaqd node daemon.
 //
 // Wire format per connection: an 12-byte handshake (8-byte magic, 4-byte
 // node id little-endian), then a stream of records, each a 4-byte frame
@@ -22,6 +22,7 @@ import (
 	"sync/atomic"
 
 	"xdaq/internal/i2o"
+	"xdaq/internal/metrics"
 	"xdaq/internal/pool"
 	"xdaq/internal/pta"
 )
@@ -59,8 +60,11 @@ type Transport struct {
 	closed atomic.Bool
 	wg     sync.WaitGroup
 
-	nSent atomic.Uint64
-	nRecv atomic.Uint64
+	nSent  *metrics.Counter
+	nRecv  *metrics.Counter
+	nDials *metrics.Counter
+	nAccs  *metrics.Counter
+	nDrops *metrics.Counter
 }
 
 type peerConn struct {
@@ -82,6 +86,12 @@ type Config struct {
 
 	// Peers maps node identities to dial addresses.
 	Peers map[i2o.NodeID]string
+
+	// Metrics receives the transport's counters (<name>.sent, .recv,
+	// .dials, .accepts, .connDrops); defaults to metrics.Default.  Pass
+	// the owning executive's registry so the counters show up in that
+	// node's scrape.
+	Metrics *metrics.Registry
 }
 
 // New creates the transport and, when configured, starts listening.
@@ -89,12 +99,21 @@ func New(node i2o.NodeID, alloc pool.Allocator, cfg Config) (*Transport, error) 
 	if cfg.Name == "" {
 		cfg.Name = PTName
 	}
+	if cfg.Metrics == nil {
+		cfg.Metrics = metrics.Default
+	}
 	t := &Transport{
 		node:  node,
 		alloc: alloc,
 		name:  cfg.Name,
 		conns: make(map[i2o.NodeID]*peerConn),
 		addrs: make(map[i2o.NodeID]string),
+
+		nSent:  cfg.Metrics.Counter(cfg.Name + ".sent"),
+		nRecv:  cfg.Metrics.Counter(cfg.Name + ".recv"),
+		nDials: cfg.Metrics.Counter(cfg.Name + ".dials"),
+		nAccs:  cfg.Metrics.Counter(cfg.Name + ".accepts"),
+		nDrops: cfg.Metrics.Counter(cfg.Name + ".connDrops"),
 	}
 	for n, a := range cfg.Peers {
 		t.addrs[n] = a
@@ -170,7 +189,7 @@ func (t *Transport) Send(dst i2o.NodeID, m *i2o.Message) error {
 		t.dropConn(pc)
 		return fmt.Errorf("tcp: write to %v: %w", dst, err)
 	}
-	t.nSent.Add(1)
+	t.nSent.Inc()
 	return nil
 }
 
@@ -190,6 +209,7 @@ func (t *Transport) connTo(dst i2o.NodeID) (*peerConn, error) {
 	if err != nil {
 		return nil, fmt.Errorf("tcp: dial %v at %s: %w", dst, addr, err)
 	}
+	t.nDials.Inc()
 	// Send our identity, read theirs.
 	var hello [12]byte
 	copy(hello[:8], magic[:])
@@ -240,10 +260,14 @@ func (t *Transport) adopt(peer i2o.NodeID, c net.Conn) (*peerConn, error) {
 
 func (t *Transport) dropConn(pc *peerConn) {
 	t.mu.Lock()
-	if t.conns[pc.node] == pc {
+	dropped := t.conns[pc.node] == pc
+	if dropped {
 		delete(t.conns, pc.node)
 	}
 	t.mu.Unlock()
+	if dropped {
+		t.nDrops.Inc()
+	}
 	pc.c.Close()
 }
 
@@ -269,6 +293,7 @@ func (t *Transport) acceptLoop() {
 				c.Close()
 				return
 			}
+			t.nAccs.Inc()
 			_, _ = t.adopt(peer, c)
 		}()
 	}
@@ -305,7 +330,7 @@ func (t *Transport) readLoop(pc *peerConn) {
 			m.Release()
 			continue
 		}
-		t.nRecv.Add(1)
+		t.nRecv.Inc()
 		if err := fn(pc.node, m); err != nil && t.closed.Load() {
 			return
 		}
@@ -314,7 +339,7 @@ func (t *Transport) readLoop(pc *peerConn) {
 
 // Stats reports frames sent and received.
 func (t *Transport) Stats() (sent, received uint64) {
-	return t.nSent.Load(), t.nRecv.Load()
+	return t.nSent.Value(), t.nRecv.Value()
 }
 
 // Stop implements pta.PeerTransport.

@@ -240,6 +240,7 @@ func ConnectLoopback(nodes ...*Node) error {
 		if err != nil {
 			return err
 		}
+		ep.SetMetrics(n.Exec.Metrics())
 		if err := n.Agent.Register(ep, pta.Task); err != nil {
 			return err
 		}
@@ -279,6 +280,7 @@ func ConnectGM(opts GMOptions, nodes ...*Node) error {
 		tr, err := gm.NewTransport(nic, n.Exec.Allocator(), gm.Config{
 			Routes:  routes,
 			Provide: opts.Provide,
+			Metrics: n.Exec.Metrics(),
 		})
 		if err != nil {
 			return err
@@ -307,6 +309,7 @@ func ConnectPCI(depth int, nodes ...*Node) error {
 		if err != nil {
 			return err
 		}
+		ep.SetMetrics(n.Exec.Metrics())
 		if err := n.Agent.Register(ep, pta.Polling); err != nil {
 			return err
 		}
@@ -322,7 +325,10 @@ func ConnectPCI(depth int, nodes ...*Node) error {
 // ListenTCP attaches a TCP peer transport listening on addr and returns
 // the transport so peers can be added (and its bound address read).
 func (n *Node) ListenTCP(addr string) (*tcp.Transport, error) {
-	tr, err := tcp.New(n.Exec.Node(), n.Exec.Allocator(), tcp.Config{Listen: addr})
+	tr, err := tcp.New(n.Exec.Node(), n.Exec.Allocator(), tcp.Config{
+		Listen:  addr,
+		Metrics: n.Exec.Metrics(),
+	})
 	if err != nil {
 		return nil, err
 	}
