@@ -19,7 +19,7 @@ test:
 	$(GO) test ./...
 
 race:
-	$(GO) test -race ./internal/executive/ ./internal/pta/ ./internal/metrics/
+	$(GO) test -race ./internal/executive/ ./internal/pta/ ./internal/metrics/ ./internal/health/
 
 bench:
 	$(GO) test -bench . -benchmem ./...

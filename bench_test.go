@@ -406,13 +406,13 @@ func BenchmarkTransportComparison(b *testing.B) {
 		}
 	}
 	b.Run("pci-hardware-fifos", func(b *testing.B) {
-		runEcho(b, func(a, bb *Node) error { return ConnectPCI(0, a, bb) })
+		runEcho(b, func(a, bb *Node) error { return Connect(PCI(0), Nodes(a, bb)) })
 	})
 	b.Run("loopback", func(b *testing.B) {
-		runEcho(b, func(a, bb *Node) error { return ConnectLoopback(a, bb) })
+		runEcho(b, func(a, bb *Node) error { return Connect(Loopback(), Nodes(a, bb)) })
 	})
 	b.Run("gm-fabric", func(b *testing.B) {
-		runEcho(b, func(a, bb *Node) error { return ConnectGM(GMOptions{}, a, bb) })
+		runEcho(b, func(a, bb *Node) error { return Connect(GM(), Nodes(a, bb)) })
 	})
 }
 

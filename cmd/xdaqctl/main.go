@@ -10,11 +10,12 @@
 //	echo 'resources 1' | xdaqctl -node 100 -peer 1=...
 //	xdaqctl -i -node 100 -peer 1=...          # interactive session
 //	xdaqctl -node 100 -peer 1=... -e 'metrics 1 exec.'   # scrape counters
+//	xdaqctl -node 100 -peer 1=... -e 'health 1'          # peer liveness
 //
 // The cluster commands available in scripts are documented on
 // cluster.Controller.Bind: nodes, status, resources, plug, unplug,
 // enable, quiesce, clear, systab, paramget, paramset, trace, metrics,
-// control.
+// health, control.
 package main
 
 import (

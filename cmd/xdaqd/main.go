@@ -67,6 +67,7 @@ func main() {
 		listen  = flag.String("listen", "127.0.0.1:0", "TCP peer transport listen address")
 		metrics = flag.String("metrics", "", "HTTP metrics address, e.g. 127.0.0.1:9190 (empty disables)")
 		alloc   = flag.String("alloc", "table", "buffer pool scheme: table or fixed")
+		health  = flag.Duration("health", 0, "peer health probe interval, e.g. 1s (0 disables)")
 		peers   = peerList{}
 		modules = moduleList{}
 	)
@@ -127,6 +128,11 @@ func main() {
 			log.Fatalf("xdaqd: plug %s: %v", spec, err)
 		}
 		log.Printf("xdaqd: plugged %s as %v", spec, id)
+	}
+
+	if *health > 0 {
+		n.StartHealth(xdaq.HealthOptions{Interval: *health, Logf: log.Printf})
+		log.Printf("xdaqd: peer health monitor on, probing every %v", *health)
 	}
 
 	log.Printf("xdaqd: node %d (%s) listening on %s; modules: %v",

@@ -1,0 +1,336 @@
+package xdaq
+
+import (
+	"fmt"
+
+	"xdaq/internal/pta"
+	"xdaq/internal/transport/faults"
+	"xdaq/internal/transport/gm"
+	"xdaq/internal/transport/loopback"
+	"xdaq/internal/transport/pci"
+	"xdaq/internal/transport/tcp"
+)
+
+// Mode selects how a peer transport is driven: ModeTask gives the
+// transport its own goroutine, ModePolling makes the agent's scan loop
+// drive it (the paper's §4.2 dichotomy).
+type Mode = pta.Mode
+
+// Peer transport modes.
+const (
+	ModeTask    = pta.Task
+	ModePolling = pta.Polling
+)
+
+// RetryPolicy bounds the peer transport agent's resend behavior for
+// transient transport errors; see pta.RetryPolicy.
+type RetryPolicy = pta.RetryPolicy
+
+// FaultInjector deterministically injects drops, delays and errors into a
+// transport's send path; see the faults package.  Share one injector
+// across a fabric to script a global frame sequence, or build one per
+// node for per-link scripts.
+type FaultInjector = faults.Injector
+
+// FaultRule is one fault-injection rule.
+type FaultRule = faults.Rule
+
+// FaultOp is a fault-injection operation.
+type FaultOp = faults.Op
+
+// Fault-injection operations.
+const (
+	FaultPass  = faults.Pass
+	FaultDrop  = faults.Drop
+	FaultDelay = faults.Delay
+	FaultError = faults.Error
+)
+
+// NewFaultInjector creates a deterministic injector from seed.
+func NewFaultInjector(seed int64) *FaultInjector { return faults.New(seed) }
+
+// ConnectConfig collects the options applied by Connect.  Fabrics read it
+// through their attach hook; users populate it with ConnectOption values.
+type ConnectConfig struct {
+	nodes   []*Node
+	mode    Mode
+	modeSet bool
+	provide int
+	retry   *RetryPolicy
+	faults  *FaultInjector
+}
+
+// modeOr returns the configured mode, or def when none was set — each
+// fabric has its natural default (GM and loopback run in task mode, PCI
+// message units are polled).
+func (c *ConnectConfig) modeOr(def Mode) Mode {
+	if c.modeSet {
+		return c.mode
+	}
+	return def
+}
+
+// ConnectOption configures one aspect of a Connect call.
+type ConnectOption func(*ConnectConfig)
+
+// Nodes names the cluster members to wire together.  At least two are
+// required.
+func Nodes(nodes ...*Node) ConnectOption {
+	return func(c *ConnectConfig) { c.nodes = append(c.nodes, nodes...) }
+}
+
+// WithMode overrides the fabric's default transport mode.
+func WithMode(m Mode) ConnectOption {
+	return func(c *ConnectConfig) { c.mode, c.modeSet = m, true }
+}
+
+// WithProvide sets how many receive blocks each transport keeps posted
+// (fabrics without a provided-block scheme ignore it).
+func WithProvide(n int) ConnectOption {
+	return func(c *ConnectConfig) { c.provide = n }
+}
+
+// WithRetry installs a resend policy on every node's peer transport
+// agent: transient transport errors are retried with exponential backoff.
+func WithRetry(p RetryPolicy) ConnectOption {
+	return func(c *ConnectConfig) { c.retry = &p }
+}
+
+// WithFaults installs a fault injector on every transport the fabric
+// creates.  The injector is shared, so its rules see one global frame
+// sequence across the whole fabric.
+func WithFaults(in *FaultInjector) ConnectOption {
+	return func(c *ConnectConfig) { c.faults = in }
+}
+
+// Fabric is one interconnect technology a cluster can be wired over.
+// Implementations are provided by Loopback, GM, PCI and TCP; the
+// interface is sealed (the attach hook needs Node internals).
+type Fabric interface {
+	// Name is the route name frames for peers are forwarded under.
+	Name() string
+
+	// attach wires one node into the fabric per the config.
+	attach(n *Node, cfg *ConnectConfig) error
+}
+
+// linker is implemented by fabrics that need a second pass once every
+// node is attached (e.g. TCP address exchange, GM port routes).
+type linker interface {
+	link(nodes []*Node) error
+}
+
+// Connect wires the given nodes over one fabric: every node gets a
+// transport endpoint, a route to every other node, and any configured
+// retry policy or fault injector.
+//
+//	a, _ := xdaq.NewNode(xdaq.NodeOptions{Name: "a", Node: 1})
+//	b, _ := xdaq.NewNode(xdaq.NodeOptions{Name: "b", Node: 2})
+//	err := xdaq.Connect(xdaq.GM(), xdaq.Nodes(a, b),
+//	    xdaq.WithRetry(xdaq.RetryPolicy{Attempts: 3, Backoff: time.Millisecond}))
+//
+// Call Connect once per fabric; a cluster may layer several (say, GM for
+// data and TCP for control) and fail routes over between them with
+// Node.StartHealth.
+func Connect(fabric Fabric, opts ...ConnectOption) error {
+	cfg := &ConnectConfig{}
+	for _, opt := range opts {
+		opt(cfg)
+	}
+	if len(cfg.nodes) < 2 {
+		return fmt.Errorf("xdaq: Connect needs at least two nodes, got %d", len(cfg.nodes))
+	}
+	for _, n := range cfg.nodes {
+		if err := fabric.attach(n, cfg); err != nil {
+			return fmt.Errorf("xdaq: attach node %v to %s: %w", n.Exec.Node(), fabric.Name(), err)
+		}
+	}
+	if lk, ok := fabric.(linker); ok {
+		if err := lk.link(cfg.nodes); err != nil {
+			return err
+		}
+	}
+	for _, n := range cfg.nodes {
+		if cfg.retry != nil {
+			n.Agent.SetRetryPolicy(*cfg.retry)
+		}
+		for _, peer := range cfg.nodes {
+			if n != peer {
+				n.Exec.SetRoute(peer.Exec.Node(), fabric.Name())
+			}
+		}
+	}
+	return nil
+}
+
+// Loopback returns the in-process fabric: synchronous pointer-passing
+// between executives in one address space.
+func Loopback() Fabric { return &loopbackFabric{f: loopback.NewFabric()} }
+
+type loopbackFabric struct {
+	f *loopback.Fabric
+}
+
+func (lf *loopbackFabric) Name() string { return loopback.DefaultName }
+
+func (lf *loopbackFabric) attach(n *Node, cfg *ConnectConfig) error {
+	ep, err := lf.f.Attach(n.Exec.Node())
+	if err != nil {
+		return err
+	}
+	ep.SetMetrics(n.Exec.Metrics())
+	if cfg.faults != nil {
+		ep.SetFaults(cfg.faults)
+	}
+	return n.Agent.Register(ep, cfg.modeOr(ModeTask))
+}
+
+// GM returns a simulated Myrinet/GM fabric with one NIC per node
+// (port = node id), the paper's §5 data path.
+func GM() Fabric {
+	return &gmFabric{f: gm.NewFabric(), trs: make(map[*Node]*gm.Transport)}
+}
+
+type gmFabric struct {
+	f   *gm.Fabric
+	trs map[*Node]*gm.Transport
+}
+
+func (gf *gmFabric) Name() string { return gm.PTName }
+
+func (gf *gmFabric) attach(n *Node, cfg *ConnectConfig) error {
+	nic, err := gf.f.Open(gm.Port(n.Exec.Node()))
+	if err != nil {
+		return err
+	}
+	tr, err := gm.NewTransport(nic, n.Exec.Allocator(), gm.Config{
+		Provide: cfg.provide,
+		Metrics: n.Exec.Metrics(),
+	})
+	if err != nil {
+		return err
+	}
+	if cfg.faults != nil {
+		tr.SetFaults(cfg.faults)
+	}
+	if err := n.Agent.Register(tr, cfg.modeOr(ModeTask)); err != nil {
+		return err
+	}
+	gf.trs[n] = tr
+	return nil
+}
+
+func (gf *gmFabric) link(nodes []*Node) error {
+	for _, n := range nodes {
+		tr := gf.trs[n]
+		for _, peer := range nodes {
+			if n != peer {
+				id := peer.Exec.Node()
+				tr.AddRoute(id, gm.Port(id))
+			}
+		}
+	}
+	return nil
+}
+
+// PCI returns a simulated PCI bus segment with hardware message-unit
+// FIFOs of the given depth (0 selects the default) — the §7 "ongoing
+// work" configuration.  Endpoints default to polling mode.
+func PCI(depth int) Fabric { return &pciFabric{seg: pci.NewSegment(depth)} }
+
+type pciFabric struct {
+	seg *pci.Segment
+}
+
+func (pf *pciFabric) Name() string { return pci.PTName }
+
+func (pf *pciFabric) attach(n *Node, cfg *ConnectConfig) error {
+	ep, err := pf.seg.Attach(n.Exec.Node())
+	if err != nil {
+		return err
+	}
+	ep.SetMetrics(n.Exec.Metrics())
+	if cfg.faults != nil {
+		ep.SetFaults(cfg.faults)
+	}
+	return n.Agent.Register(ep, cfg.modeOr(ModePolling))
+}
+
+// TCP returns a localhost TCP fabric: every node listens on an ephemeral
+// 127.0.0.1 port and dials its peers on demand.  For genuinely
+// distributed deployments use Node.ListenTCP and Node.AddTCPPeer with
+// real addresses instead.
+func TCP() Fabric { return &tcpFabric{trs: make(map[*Node]*tcp.Transport)} }
+
+type tcpFabric struct {
+	trs map[*Node]*tcp.Transport
+}
+
+func (tf *tcpFabric) Name() string { return tcp.PTName }
+
+func (tf *tcpFabric) attach(n *Node, cfg *ConnectConfig) error {
+	tr, err := tcp.New(n.Exec.Node(), n.Exec.Allocator(), tcp.Config{
+		Listen:  "127.0.0.1:0",
+		Metrics: n.Exec.Metrics(),
+	})
+	if err != nil {
+		return err
+	}
+	if cfg.faults != nil {
+		tr.SetFaults(cfg.faults)
+	}
+	if err := n.Agent.Register(tr, cfg.modeOr(ModeTask)); err != nil {
+		tr.Stop()
+		return err
+	}
+	tf.trs[n] = tr
+	return nil
+}
+
+func (tf *tcpFabric) link(nodes []*Node) error {
+	for _, n := range nodes {
+		tr := tf.trs[n]
+		for _, peer := range nodes {
+			if n != peer {
+				tr.AddPeer(peer.Exec.Node(), tf.trs[peer].Addr())
+			}
+		}
+	}
+	return nil
+}
+
+// ConnectLoopback wires the given nodes over an in-process loopback
+// fabric.
+//
+// Deprecated: Use Connect(Loopback(), Nodes(nodes...)).
+func ConnectLoopback(nodes ...*Node) error {
+	return Connect(Loopback(), Nodes(nodes...))
+}
+
+// GMOptions tunes ConnectGM.
+//
+// Deprecated: Use WithMode and WithProvide options to Connect.
+type GMOptions struct {
+	// Mode selects task (default) or polling PT operation.
+	Mode Mode
+
+	// Provide is the number of receive blocks each PT keeps posted.
+	Provide int
+}
+
+// ConnectGM wires the given nodes over a simulated Myrinet/GM fabric with
+// one NIC per node (port = node id).
+//
+// Deprecated: Use Connect(GM(), Nodes(nodes...), ...).
+func ConnectGM(opts GMOptions, nodes ...*Node) error {
+	return Connect(GM(), Nodes(nodes...),
+		WithMode(opts.Mode), WithProvide(opts.Provide))
+}
+
+// ConnectPCI wires the given nodes over a simulated PCI bus segment with
+// message-unit FIFOs of the given depth (0 selects the default).
+//
+// Deprecated: Use Connect(PCI(depth), Nodes(nodes...)).
+func ConnectPCI(depth int, nodes ...*Node) error {
+	return Connect(PCI(depth), Nodes(nodes...))
+}

@@ -1,0 +1,44 @@
+package xdaq
+
+import (
+	"xdaq/internal/executive"
+	"xdaq/internal/queue"
+	"xdaq/internal/transport/faults"
+)
+
+// Typed sentinel errors.  Every failure surfaced by Call, CallContext,
+// Send and the executive request path wraps one of these, so callers
+// classify outcomes with errors.Is instead of string matching:
+//
+//	_, err := n.CallContext(ctx, target, 1, payload)
+//	switch {
+//	case errors.Is(err, xdaq.ErrPeerDown):
+//	    // the health monitor declared the peer dead; pick another node
+//	case errors.Is(err, xdaq.ErrTimeout):
+//	    // the peer is routed and believed up, but the reply never came
+//	case errors.Is(err, xdaq.ErrNoRoute):
+//	    // no transport knows the peer; configuration problem
+//	case errors.Is(err, xdaq.ErrQueueFull):
+//	    // local backpressure: the inbound scheduler is at capacity
+//	}
+var (
+	// ErrPeerDown reports a frame addressed to a peer the health monitor
+	// has declared down.  Pending requests for the peer fail with it the
+	// moment the verdict lands; new ones fail immediately after.
+	ErrPeerDown = executive.ErrPeerDown
+
+	// ErrTimeout reports a request whose reply did not arrive within the
+	// per-call deadline (context or option) or the node default.
+	ErrTimeout = executive.ErrTimeout
+
+	// ErrNoRoute reports a frame for a node absent from the system table.
+	ErrNoRoute = executive.ErrNoRoute
+
+	// ErrQueueFull reports local backpressure from a bounded inbound
+	// scheduler (NodeOptions.QueueCapacity).
+	ErrQueueFull = queue.ErrFull
+
+	// ErrInjected marks transport failures produced by a FaultInjector,
+	// so tests can tell scripted faults from real ones.
+	ErrInjected = faults.ErrInjected
+)

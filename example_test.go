@@ -1,7 +1,10 @@
 package xdaq_test
 
 import (
+	"context"
+	"errors"
 	"fmt"
+	"time"
 
 	"xdaq"
 )
@@ -13,7 +16,7 @@ func Example() {
 	b, _ := xdaq.NewNode(xdaq.NodeOptions{Name: "b", Node: 2, Logf: func(string, ...any) {}})
 	defer a.Close()
 	defer b.Close()
-	if err := xdaq.ConnectLoopback(a, b); err != nil {
+	if err := xdaq.Connect(xdaq.Loopback(), xdaq.Nodes(a, b)); err != nil {
 		fmt.Println(err)
 		return
 	}
@@ -28,9 +31,45 @@ func Example() {
 	}
 
 	target, _ := a.Discover(2, "echo", 0)
-	reply, _ := a.Call(target, 1, []byte("ping"))
+	reply, _ := a.CallContext(context.Background(), target, 1, []byte("ping"))
 	fmt.Printf("%s\n", reply)
 	// Output: ping
+}
+
+// ExampleNode_CallContext shows the typed error surface of the request
+// path: a context deadline turns into ErrTimeout, classified with
+// errors.Is rather than string matching.  A peer declared dead by the
+// health monitor would surface as ErrPeerDown the same way.
+func ExampleNode_CallContext() {
+	a, _ := xdaq.NewNode(xdaq.NodeOptions{Name: "a", Node: 1, Logf: func(string, ...any) {}})
+	b, _ := xdaq.NewNode(xdaq.NodeOptions{Name: "b", Node: 2, Logf: func(string, ...any) {}})
+	defer a.Close()
+	defer b.Close()
+	_ = xdaq.Connect(xdaq.Loopback(), xdaq.Nodes(a, b))
+
+	// A device that accepts the request but never answers it.
+	tarpit := xdaq.NewDevice("tarpit", 0)
+	block := make(chan struct{})
+	defer close(block)
+	tarpit.Bind(1, func(ctx *xdaq.Context, m *xdaq.Message) error {
+		<-block
+		return nil
+	})
+	b.Plug(tarpit)
+
+	target, _ := a.Discover(2, "tarpit", 0)
+	ctx, cancel := context.WithTimeout(context.Background(), 20*time.Millisecond)
+	defer cancel()
+	_, err := a.CallContext(ctx, target, 1, []byte("anyone home?"))
+	switch {
+	case errors.Is(err, xdaq.ErrPeerDown):
+		fmt.Println("peer is down")
+	case errors.Is(err, xdaq.ErrTimeout):
+		fmt.Println("request timed out")
+	case err == nil:
+		fmt.Println("unexpected reply")
+	}
+	// Output: request timed out
 }
 
 // ExampleNode_Send shows fire-and-forget messaging: no reply is expected,

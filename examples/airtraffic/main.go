@@ -124,7 +124,7 @@ func main() {
 		log.Fatal(err)
 	}
 	defer site.Close()
-	if err := xdaq.ConnectLoopback(center, site); err != nil {
+	if err := xdaq.Connect(xdaq.Loopback(), xdaq.Nodes(center, site)); err != nil {
 		log.Fatal(err)
 	}
 

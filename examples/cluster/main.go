@@ -39,7 +39,7 @@ func main() {
 	defer secondary.Close()
 	defer w1.Close()
 	defer w2.Close()
-	if err := xdaq.ConnectLoopback(primary, secondary, w1, w2); err != nil {
+	if err := xdaq.Connect(xdaq.Loopback(), xdaq.Nodes(primary, secondary, w1, w2)); err != nil {
 		log.Fatal(err)
 	}
 

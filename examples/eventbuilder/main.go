@@ -24,7 +24,6 @@ import (
 
 	"xdaq"
 	"xdaq/internal/daq"
-	"xdaq/internal/pta"
 )
 
 func main() {
@@ -52,7 +51,7 @@ func main() {
 		defer n.Close()
 		nodes[i] = n
 	}
-	if err := xdaq.ConnectGM(xdaq.GMOptions{Mode: pta.Task}, nodes...); err != nil {
+	if err := xdaq.Connect(xdaq.GM(), xdaq.Nodes(nodes...), xdaq.WithMode(xdaq.ModeTask)); err != nil {
 		log.Fatal(err)
 	}
 

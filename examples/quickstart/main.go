@@ -5,8 +5,10 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
+	"time"
 
 	"xdaq"
 )
@@ -23,7 +25,7 @@ func main() {
 		log.Fatal(err)
 	}
 	defer b.Close()
-	if err := xdaq.ConnectLoopback(a, b); err != nil {
+	if err := xdaq.Connect(xdaq.Loopback(), xdaq.Nodes(a, b)); err != nil {
 		log.Fatal(err)
 	}
 
@@ -44,7 +46,12 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	reply, err := a.Call(target, 1, []byte("ping across the cluster"))
+	// CallContext bounds the round trip: a dead or wedged peer turns
+	// into a typed error (xdaq.ErrTimeout / xdaq.ErrPeerDown) instead of
+	// an indefinite hang.
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+	defer cancel()
+	reply, err := a.CallContext(ctx, target, 1, []byte("ping across the cluster"))
 	if err != nil {
 		log.Fatal(err)
 	}

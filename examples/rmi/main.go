@@ -39,7 +39,7 @@ func main() {
 		log.Fatal(err)
 	}
 	defer server.Close()
-	if err := xdaq.ConnectGM(xdaq.GMOptions{}, client, server); err != nil {
+	if err := xdaq.Connect(xdaq.GM(), xdaq.Nodes(client, server)); err != nil {
 		log.Fatal(err)
 	}
 

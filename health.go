@@ -1,0 +1,72 @@
+package xdaq
+
+import (
+	"time"
+
+	"xdaq/internal/health"
+)
+
+// Re-exported health types.
+type (
+	// HealthMonitor probes a node's routed peers and drives failover;
+	// see the health package for the state machine.
+	HealthMonitor = health.Monitor
+
+	// PeerStatus is one peer's externally visible health.
+	PeerStatus = health.PeerStatus
+
+	// PeerState classifies one peer's liveness.
+	PeerState = health.State
+)
+
+// Peer liveness states.
+const (
+	PeerUp      = health.Up
+	PeerSuspect = health.Suspect
+	PeerDown    = health.Down
+)
+
+// HealthOptions tunes a node's peer health monitor.
+type HealthOptions struct {
+	// Interval is the probe period per peer; defaults to 1s.
+	Interval time.Duration
+
+	// Timeout bounds one probe round trip; defaults to Interval.
+	Timeout time.Duration
+
+	// Threshold is how many consecutive probe failures demote a peer to
+	// down (or trigger a failover); defaults to 3.
+	Threshold int
+
+	// Fallback maps peers to a backup route name (e.g. "pt.tcp") tried
+	// when the threshold is crossed, before the peer is declared down.
+	Fallback map[NodeID]string
+
+	// Logf sinks state-transition diagnostics; nil silences them.
+	Logf func(format string, args ...any)
+}
+
+// StartHealth starts probing the node's routed peers.  Peers that stop
+// answering are failed over to their Fallback route or declared down, at
+// which point calls to them return ErrPeerDown within roughly
+// Interval×Threshold instead of hanging until the request timeout.  The
+// monitor also answers health queries from other nodes (xdaqctl health).
+//
+// The monitor is owned by the node: Close stops it.  Starting a second
+// monitor stops the first.
+func (n *Node) StartHealth(opts HealthOptions) *HealthMonitor {
+	mon := health.New(n.Exec, health.Config{
+		Interval:  opts.Interval,
+		Timeout:   opts.Timeout,
+		Threshold: opts.Threshold,
+		Fallback:  opts.Fallback,
+		Logf:      opts.Logf,
+	})
+	if old := n.health.Swap(mon); old != nil {
+		old.Close()
+	}
+	return mon
+}
+
+// Health returns the node's running monitor, or nil before StartHealth.
+func (n *Node) Health() *HealthMonitor { return n.health.Load() }

@@ -495,6 +495,19 @@ func (c *Controller) Metrics(node i2o.NodeID, prefix string) ([]i2o.Param, error
 	return i2o.DecodeParams(rep.Payload)
 }
 
+// Health queries a node's peer health monitor over ordinary I2O frames.
+// Nodes without a running monitor answer a single monitor=off row; nodes
+// with one report per-peer state, consecutive failures, current route and
+// failover status (see the health package).
+func (c *Controller) Health(node i2o.NodeID) ([]i2o.Param, error) {
+	rep, err := c.execRequest(node, i2o.ExecHealthGet, nil)
+	if err != nil {
+		return nil, err
+	}
+	defer rep.Release()
+	return i2o.DecodeParams(rep.Payload)
+}
+
 // GetParams reads parameters of a device on a node (all when keys empty).
 func (c *Controller) GetParams(node i2o.NodeID, class string, instance int, keys []string) ([]i2o.Param, error) {
 	payload, err := i2o.EncodeKeys(keys)

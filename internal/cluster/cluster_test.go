@@ -8,6 +8,7 @@ import (
 
 	"xdaq/internal/device"
 	"xdaq/internal/executive"
+	"xdaq/internal/health"
 	"xdaq/internal/i2o"
 	"xdaq/internal/pta"
 	"xdaq/internal/tclish"
@@ -427,5 +428,61 @@ func TestMetricsRemotely(t *testing.T) {
 	}
 	if strings.Contains(out, "pool.") {
 		t.Fatalf("prefix filter leaked: %q", out)
+	}
+}
+
+func TestHealthRemotely(t *testing.T) {
+	tc := buildCluster(t)
+	c := primary(t, tc)
+
+	// Node 1 runs no monitor: the query must still answer.
+	params, err := c.Health(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(params) != 1 || params[0].Key != "monitor" || params[0].Value != "off" {
+		t.Fatalf("monitor-less node answered %v", params)
+	}
+
+	// Give node 2 a monitor and wait for its first probe verdicts.
+	mon := health.New(tc.nodes[2], health.Config{
+		Interval: 20 * time.Millisecond, Threshold: 2,
+	})
+	defer mon.Close()
+	deadline := time.Now().Add(2 * time.Second)
+	var report []i2o.Param
+	for time.Now().Before(deadline) {
+		report, err = c.Health(2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(report) > 3 {
+			break
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	keys := make(map[string]any, len(report))
+	for _, p := range report {
+		keys[p.Key] = p.Value
+	}
+	if keys["monitor"] != "on" {
+		t.Fatalf("monitor state in %v", report)
+	}
+	// Node 2 routes to 1 and 100; both should appear with a state row.
+	for _, want := range []string{"peer.1.state", "peer.100.state"} {
+		if _, ok := keys[want]; !ok {
+			t.Fatalf("%s missing from %v", want, report)
+		}
+	}
+
+	// The tclish command renders the same view.
+	in := tclish.New(nil)
+	c.Bind(in)
+	out, err := in.Eval("health 2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "monitor on") {
+		t.Fatalf("tclish health output %q", out)
 	}
 }

@@ -29,6 +29,7 @@ import (
 //	paramset <node> <class> <inst> <k> <v>
 //	trace <node> on|off|dump|reset
 //	metrics <node> ?prefix?                 -> {name value ...}
+//	health <node>                           -> {key value ...}
 //	control request|release|holding
 func (c *Controller) Bind(in *tclish.Interp) {
 	in.Register("nodes", func(in *tclish.Interp, args []string) (string, error) {
@@ -231,6 +232,21 @@ func (c *Controller) Bind(in *tclish.Interp) {
 			prefix = args[2]
 		}
 		params, err := c.Metrics(node, prefix)
+		if err != nil {
+			return "", err
+		}
+		return paramsToList(params), nil
+	})
+
+	in.Register("health", func(in *tclish.Interp, args []string) (string, error) {
+		if len(args) != 2 {
+			return "", fmt.Errorf("tclish: usage: health <node>")
+		}
+		node, err := nodeArg(args, 1)
+		if err != nil {
+			return "", err
+		}
+		params, err := c.Health(node)
 		if err != nil {
 			return "", err
 		}

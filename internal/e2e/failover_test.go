@@ -1,0 +1,235 @@
+package e2e_test
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+
+	"xdaq"
+	"xdaq/internal/device"
+	"xdaq/internal/executive"
+	"xdaq/internal/health"
+	"xdaq/internal/i2o"
+	"xdaq/internal/transport/tcp"
+)
+
+// plugWire plugs a plain echo device used as the data-plane stand-in.
+func plugWire(t *testing.T, e *executive.Executive) {
+	t.Helper()
+	d := device.New("wire", 0)
+	d.Bind(1, func(ctx *device.Context, m *i2o.Message) error {
+		return device.ReplyIfExpected(ctx, m, m.Payload)
+	})
+	if _, err := e.Plug(d); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestKillOneOfThree is the headline fault-tolerance demo: a three-node
+// GM cluster loses a member, the survivors are unaffected, and calls to
+// the dead node turn into fast typed errors instead of hung requests.
+func TestKillOneOfThree(t *testing.T) {
+	mk := func(id xdaq.NodeID) *xdaq.Node {
+		n, err := xdaq.NewNode(xdaq.NodeOptions{
+			Name: "ft", Node: id,
+			RequestTimeout: 10 * time.Second, // the hang we refuse to wait out
+			Logf:           func(string, ...any) {},
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(n.Close)
+		return n
+	}
+	n1, n2, n3 := mk(1), mk(2), mk(3)
+	if err := xdaq.Connect(xdaq.GM(), xdaq.Nodes(n1, n2, n3)); err != nil {
+		t.Fatal(err)
+	}
+	for _, n := range []*xdaq.Node{n2, n3} {
+		echo := xdaq.NewDevice("echo", 0)
+		echo.Bind(1, func(ctx *xdaq.Context, m *xdaq.Message) error {
+			return xdaq.ReplyIfExpected(ctx, m, m.Payload)
+		})
+		if _, err := n.Plug(echo); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// A tarpit on node 3 parks one request server-side, so it is still
+	// pending when the node dies.  The block channel is closed before the
+	// node's cleanup so its dispatch loop can exit.
+	block := make(chan struct{})
+	t.Cleanup(func() { close(block) })
+	tarpit := xdaq.NewDevice("tarpit", 0)
+	tarpit.Bind(2, func(ctx *xdaq.Context, m *xdaq.Message) error {
+		<-block
+		return nil
+	})
+	if _, err := n3.Plug(tarpit); err != nil {
+		t.Fatal(err)
+	}
+	to2, err := n1.Discover(2, "echo", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	to3, err := n1.Discover(3, "echo", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	toTarpit, err := n1.Discover(3, "tarpit", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	mon := n1.StartHealth(xdaq.HealthOptions{
+		Interval:  40 * time.Millisecond,
+		Timeout:   60 * time.Millisecond,
+		Threshold: 3,
+	})
+	waitFor(t, 2*time.Second, "both peers up", func() bool {
+		return mon.State(2) == xdaq.PeerUp && mon.State(3) == xdaq.PeerUp
+	})
+
+	// An in-flight request is parked on node 3 when it dies.
+	inflight := make(chan error, 1)
+	go func() {
+		_, err := n1.Call(toTarpit, 2, []byte("doomed"))
+		inflight <- err
+	}()
+	time.Sleep(20 * time.Millisecond) // let the frame reach the tarpit
+	killed := time.Now()
+	// Kill the node's connectivity: its transports stop, so it vanishes
+	// from the fabric mid-request.  (Its executive is torn down by the
+	// test cleanup, after the tarpit is released.)
+	n3.Agent.Close()
+
+	// The survivors never notice: 1 -> 2 keeps answering throughout the
+	// detection window and after it.
+	deadline := time.Now().Add(2 * time.Second)
+	for time.Now().Before(deadline) && mon.State(3) != xdaq.PeerDown {
+		if got, err := n1.Call(to2, 1, []byte("alive")); err != nil || string(got) != "alive" {
+			t.Fatalf("surviving pair broken during detection: %q %v", got, err)
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	if mon.State(3) != xdaq.PeerDown {
+		t.Fatal("dead node never declared down")
+	}
+
+	// The parked request fails with the typed sentinel well inside the
+	// detection bound (interval x threshold plus slack), nowhere near the
+	// 10s request timeout.
+	select {
+	case err := <-inflight:
+		if !errors.Is(err, xdaq.ErrPeerDown) {
+			t.Fatalf("in-flight call to dead node: %v, want ErrPeerDown", err)
+		}
+	case <-time.After(3 * time.Second):
+		t.Fatal("in-flight call still parked after the peer was declared down")
+	}
+	if d := time.Since(killed); d > 3*time.Second {
+		t.Fatalf("detection took %v", d)
+	}
+
+	// New calls fail immediately, and the verdict is visible in metrics.
+	start := time.Now()
+	if _, err := n1.Call(to3, 1, []byte("late")); !errors.Is(err, xdaq.ErrPeerDown) {
+		t.Fatalf("call to dead node: %v, want ErrPeerDown", err)
+	}
+	if d := time.Since(start); d > 200*time.Millisecond {
+		t.Fatalf("fail-fast took %v", d)
+	}
+	if n := n1.Exec.Metrics().Counter("health.transitions.down").Value(); n == 0 {
+		t.Fatal("down transition not recorded in node 1 metrics")
+	}
+	if got, err := n1.Call(to2, 1, []byte("still here")); err != nil || string(got) != "still here" {
+		t.Fatalf("survivor call after detection: %q %v", got, err)
+	}
+}
+
+// TestFailoverGMToTCP reproduces the paper's two-transport deployment
+// (§5: GM for data, TCP for control) and shows the health monitor moving
+// a peer's route from the dead GM fabric onto the TCP control network
+// without the peer ever being declared down.
+func TestFailoverGMToTCP(t *testing.T) {
+	host, workers := buildMixedCluster(t)
+	_ = host
+	a, b := workers[1], workers[2]
+
+	plugWire(t, b.exec) // the wire echo device from e2e_test.go
+	target, err := a.exec.Discover(2, "wire", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	cfg := health.Config{
+		Interval:  30 * time.Millisecond,
+		Timeout:   50 * time.Millisecond,
+		Threshold: 3,
+	}
+	cfgA, cfgB := cfg, cfg
+	cfgA.Fallback = map[i2o.NodeID]string{2: tcp.PTName}
+	cfgB.Fallback = map[i2o.NodeID]string{1: tcp.PTName}
+	monA := health.New(a.exec, cfgA)
+	defer monA.Close()
+	monB := health.New(b.exec, cfgB)
+	defer monB.Close()
+
+	waitFor(t, 2*time.Second, "peers up over gm", func() bool {
+		return monA.State(2) == health.Up && monB.State(1) == health.Up
+	})
+
+	// The Myrinet fabric dies: both workers stop their GM transports, so
+	// frames between them vanish (or fail) while TCP stays healthy.
+	a.gmTr.Stop()
+	b.gmTr.Stop()
+
+	waitFor(t, 3*time.Second, "both routes failed over to tcp", func() bool {
+		ra, _ := a.exec.Route(2)
+		rb, _ := b.exec.Route(1)
+		return ra == tcp.PTName && rb == tcp.PTName
+	})
+	waitFor(t, 3*time.Second, "peers up again over tcp", func() bool {
+		return monA.State(2) == health.Up && monB.State(1) == health.Up
+	})
+	if a.exec.PeerDown(2) || b.exec.PeerDown(1) {
+		t.Fatal("peer declared down despite a working fallback fabric")
+	}
+	if n := a.exec.Metrics().Counter("health.failovers").Value(); n != 1 {
+		t.Fatalf("health.failovers on A = %d, want 1", n)
+	}
+
+	// Data keeps flowing: the pre-failover proxy now rides the control
+	// network.
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+	defer cancel()
+	m, err := a.exec.AllocMessage(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	copy(m.Payload, "data")
+	m.Target = target
+	m.Initiator = i2o.TIDExecutive
+	m.XFunction = 1
+	rep, err := a.exec.RequestContext(ctx, m)
+	if err != nil {
+		t.Fatalf("call after GM->TCP failover: %v", err)
+	}
+	if string(rep.Payload) != "data" {
+		t.Fatalf("echo after failover: %q", rep.Payload)
+	}
+	rep.Release()
+}
+
+// waitFor polls cond until it holds or the deadline passes.
+func waitFor(t *testing.T, d time.Duration, what string, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(d)
+	for time.Now().Before(deadline) {
+		if cond() {
+			return
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	t.Fatalf("timed out waiting for %s", what)
+}

@@ -56,7 +56,7 @@ func TestMetricsScrapeOverI2O(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer worker.Close()
-	if err := xdaq.ConnectLoopback(host, worker); err != nil {
+	if err := xdaq.Connect(xdaq.Loopback(), xdaq.Nodes(host, worker)); err != nil {
 		t.Fatal(err)
 	}
 
@@ -147,7 +147,7 @@ func TestMetricsHTTPExport(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer b.Close()
-	if err := xdaq.ConnectLoopback(a, b); err != nil {
+	if err := xdaq.Connect(xdaq.Loopback(), xdaq.Nodes(a, b)); err != nil {
 		t.Fatal(err)
 	}
 	echo := xdaq.NewDevice("echo", 0)

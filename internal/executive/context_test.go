@@ -1,0 +1,173 @@
+package executive
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+
+	"xdaq/internal/device"
+	"xdaq/internal/i2o"
+)
+
+func newQuietExec(t *testing.T, node i2o.NodeID) *Executive {
+	t.Helper()
+	e := New(Options{
+		Name: "ctx", Node: node,
+		RequestTimeout: 2 * time.Second,
+		Logf:           func(string, ...any) {},
+	})
+	t.Cleanup(e.Close)
+	return e
+}
+
+// plugSilent registers a device that accepts requests but never replies,
+// leaving the caller parked on its pending channel.
+func plugSilent(t *testing.T, e *Executive) i2o.TID {
+	t.Helper()
+	d := device.New("silent", 0)
+	d.Bind(1, func(*device.Context, *i2o.Message) error { return nil })
+	id, err := e.Plug(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return id
+}
+
+func pendingLen(e *Executive) int {
+	e.pendMu.Lock()
+	defer e.pendMu.Unlock()
+	return len(e.pending)
+}
+
+func TestRequestContextCancellation(t *testing.T) {
+	e := newQuietExec(t, 1)
+	target := plugSilent(t, e)
+
+	ctx, cancel := context.WithCancel(context.Background())
+	go func() {
+		time.Sleep(20 * time.Millisecond)
+		cancel()
+	}()
+	start := time.Now()
+	_, err := e.RequestContext(ctx, &i2o.Message{
+		Target: target, Initiator: i2o.TIDExecutive,
+		Function: i2o.FuncPrivate, Org: i2o.OrgXDAQ, XFunction: 1,
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if d := time.Since(start); d > 500*time.Millisecond {
+		t.Fatalf("cancellation took %v; did the call wait for the timeout?", d)
+	}
+	if n := pendingLen(e); n != 0 {
+		t.Fatalf("%d pending requests left after cancellation", n)
+	}
+}
+
+func TestRequestContextDeadlineIsErrTimeout(t *testing.T) {
+	e := newQuietExec(t, 1)
+	target := plugSilent(t, e)
+
+	ctx, cancel := context.WithTimeout(context.Background(), 25*time.Millisecond)
+	defer cancel()
+	start := time.Now()
+	_, err := e.RequestContext(ctx, &i2o.Message{
+		Target: target, Initiator: i2o.TIDExecutive,
+		Function: i2o.FuncPrivate, Org: i2o.OrgXDAQ, XFunction: 1,
+	})
+	if !errors.Is(err, ErrTimeout) {
+		t.Fatalf("err = %v, want ErrTimeout", err)
+	}
+	if d := time.Since(start); d > time.Second {
+		t.Fatalf("per-call deadline honored after %v; node default leaked in", d)
+	}
+	if n := pendingLen(e); n != 0 {
+		t.Fatalf("%d pending requests left after deadline", n)
+	}
+}
+
+// sinkRouter swallows every forwarded frame: the black hole a dead peer is.
+type sinkRouter struct{}
+
+func (sinkRouter) Forward(route string, dst i2o.NodeID, m *i2o.Message) error {
+	m.Release()
+	return nil
+}
+
+func TestSetPeerDownFailsPendingAndNewRequests(t *testing.T) {
+	e := newQuietExec(t, 1)
+	e.SetRouter(sinkRouter{})
+	e.SetRoute(2, "blackhole")
+	entry, err := e.Table().AllocProxy("dev", 0, 2, "blackhole", i2o.TID(7))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// A request already in flight when the peer is marked down must fail
+	// immediately with ErrPeerDown, not wait out the 2s node timeout.
+	errc := make(chan error, 1)
+	start := time.Now()
+	go func() {
+		_, err := e.Request(&i2o.Message{
+			Target: entry.TID, Initiator: i2o.TIDExecutive,
+			Function: i2o.FuncPrivate, Org: i2o.OrgXDAQ, XFunction: 1,
+		})
+		errc <- err
+	}()
+	time.Sleep(20 * time.Millisecond) // let the request register and forward
+	e.SetPeerDown(2, true)
+	select {
+	case err := <-errc:
+		if !errors.Is(err, ErrPeerDown) {
+			t.Fatalf("pending request err = %v, want ErrPeerDown", err)
+		}
+	case <-time.After(time.Second):
+		t.Fatal("pending request not failed by SetPeerDown")
+	}
+	if d := time.Since(start); d > time.Second {
+		t.Fatalf("pending request took %v to fail", d)
+	}
+
+	// New sends are refused at the gate.
+	err = e.Send(&i2o.Message{
+		Target: entry.TID, Initiator: i2o.TIDExecutive,
+		Function: i2o.FuncPrivate, Org: i2o.OrgXDAQ, XFunction: 1,
+	})
+	if !errors.Is(err, ErrPeerDown) {
+		t.Fatalf("send to down peer err = %v, want ErrPeerDown", err)
+	}
+
+	// The probe path bypasses the gate: a ping to the down peer reaches
+	// the (black hole) transport and times out instead of short-circuiting.
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Millisecond)
+	defer cancel()
+	if err := e.PingContext(ctx, 2); errors.Is(err, ErrPeerDown) {
+		t.Fatalf("ping was blocked by the peer-down gate: %v", err)
+	}
+
+	// Marking the peer up again reopens the gate.
+	e.SetPeerDown(2, false)
+	if e.PeerDown(2) {
+		t.Fatal("peer still down after SetPeerDown(false)")
+	}
+}
+
+func TestFailoverRouteReroutesProxies(t *testing.T) {
+	e := newQuietExec(t, 1)
+	e.SetRoute(2, "primary")
+	entry, err := e.Table().AllocProxy("dev", 0, 2, "primary", i2o.TID(7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if moved := e.FailoverRoute(2, "backup"); moved != 1 {
+		t.Fatalf("FailoverRoute moved %d proxies, want 1", moved)
+	}
+	if r, _ := e.Route(2); r != "backup" {
+		t.Fatalf("system table route = %q, want backup", r)
+	}
+	got, ok := e.Table().Lookup(entry.TID)
+	if !ok || got.Route != "backup" {
+		t.Fatalf("proxy route = %q, want backup", got.Route)
+	}
+}

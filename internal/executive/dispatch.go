@@ -32,9 +32,9 @@ func (e *Executive) dispatch(m *i2o.Message) {
 	// Replies to synchronous requests never reach a handler; the waiting
 	// Request call owns them.
 	if m.Flags.Has(i2o.FlagReply) && m.InitiatorContext != 0 {
-		if ch := e.takePending(m.InitiatorContext); ch != nil {
+		if p := e.takePending(m.InitiatorContext); p != nil {
 			e.nReplies.Add(1)
-			ch <- m
+			p.ch <- m
 			return
 		}
 	}
@@ -181,6 +181,8 @@ func failCodeFor(err error) i2o.FailCode {
 		return i2o.FailUnknownFunction
 	case errors.Is(err, i2o.ErrTruncated), errors.Is(err, i2o.ErrShortBuffer):
 		return i2o.FailBadFrame
+	case errors.Is(err, ErrPeerDown):
+		return i2o.FailPeerDown
 	default:
 		return i2o.FailApplication
 	}

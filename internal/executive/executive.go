@@ -104,8 +104,14 @@ type Executive struct {
 	router  Router
 
 	pendMu  sync.Mutex
-	pending map[uint32]chan *i2o.Message
+	pending map[uint32]*pendingReq
 	ctxSeq  atomic.Uint32
+
+	downMu    sync.RWMutex
+	downPeers map[i2o.NodeID]struct{}
+
+	healthMu     sync.RWMutex
+	healthSource func() []i2o.Param
 
 	timerMu  sync.Mutex
 	timers   map[uint32]*time.Timer
@@ -145,7 +151,22 @@ var (
 
 	// ErrTimeout reports an expired synchronous request.
 	ErrTimeout = errors.New("executive: request timed out")
+
+	// ErrPeerDown reports a frame refused — or a pending request failed —
+	// because the health monitor has marked the target's node down.
+	// Callers see it immediately instead of waiting out a timeout.
+	ErrPeerDown = errors.New("executive: peer down")
 )
+
+// pendingReq tracks one outstanding synchronous request: the reply channel
+// the dispatcher fills, a failure channel the health layer can trip, and
+// the destination node (NodeNone for local targets) so a peer-down sweep
+// can find the requests it strands.
+type pendingReq struct {
+	ch   chan *i2o.Message
+	fail chan error
+	node i2o.NodeID
+}
 
 // New creates and starts an executive.  The dispatch loop runs until Close.
 func New(opts Options) *Executive {
@@ -172,15 +193,16 @@ func New(opts Options) *Executive {
 		}
 	}
 	e := &Executive{
-		opts:     opts,
-		table:    tid.NewTable(),
-		alloc:    opts.Allocator,
-		in:       queue.NewSched(opts.QueueCapacity),
-		devices:  make(map[i2o.TID]*device.Device),
-		routes:   make(map[i2o.NodeID]string),
-		pending:  make(map[uint32]chan *i2o.Message),
-		timers:   make(map[uint32]*time.Timer),
-		loopDone: make(chan struct{}),
+		opts:      opts,
+		table:     tid.NewTable(),
+		alloc:     opts.Allocator,
+		in:        queue.NewSched(opts.QueueCapacity),
+		devices:   make(map[i2o.TID]*device.Device),
+		routes:    make(map[i2o.NodeID]string),
+		pending:   make(map[uint32]*pendingReq),
+		downPeers: make(map[i2o.NodeID]struct{}),
+		timers:    make(map[uint32]*time.Timer),
+		loopDone:  make(chan struct{}),
 
 		reg:         opts.Metrics,
 		nDispatched: opts.Metrics.Counter("exec.dispatched"),
@@ -323,6 +345,79 @@ func (e *Executive) Route(node i2o.NodeID) (string, bool) {
 	return r, ok
 }
 
+// Routes returns a snapshot of the system table.  The health monitor scans
+// it to learn which peers to probe.
+func (e *Executive) Routes() map[i2o.NodeID]string {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	out := make(map[i2o.NodeID]string, len(e.routes))
+	for node, route := range e.routes {
+		out[node] = route
+	}
+	return out
+}
+
+// FailoverRoute atomically repoints all traffic for a node at another peer
+// transport route: the system table entry is replaced and every existing
+// proxy for the node is rerouted, so pending discovery results and the
+// executive proxy switch fabrics without re-resolution.
+func (e *Executive) FailoverRoute(node i2o.NodeID, route string) int {
+	e.mu.Lock()
+	e.routes[node] = route
+	e.mu.Unlock()
+	return e.table.Reroute(node, route)
+}
+
+// SetPeerDown marks a peer node down or up.  While down, frames for the
+// node's proxies are refused with ErrPeerDown instead of being handed to a
+// transport, and marking a node down fails every pending request bound for
+// it immediately — the tail-latency fix: a request to a corpse no longer
+// waits out its full timeout.
+func (e *Executive) SetPeerDown(node i2o.NodeID, down bool) {
+	if node == i2o.NodeNone {
+		return
+	}
+	e.downMu.Lock()
+	if down {
+		e.downPeers[node] = struct{}{}
+	} else {
+		delete(e.downPeers, node)
+	}
+	e.downMu.Unlock()
+	if !down {
+		return
+	}
+	var stranded []*pendingReq
+	e.pendMu.Lock()
+	for ctx, p := range e.pending {
+		if p.node == node {
+			delete(e.pending, ctx)
+			stranded = append(stranded, p)
+		}
+	}
+	e.pendMu.Unlock()
+	for _, p := range stranded {
+		p.fail <- fmt.Errorf("%w: %v", ErrPeerDown, node)
+	}
+}
+
+// PeerDown reports whether a node is currently marked down.
+func (e *Executive) PeerDown(node i2o.NodeID) bool {
+	e.downMu.RLock()
+	_, down := e.downPeers[node]
+	e.downMu.RUnlock()
+	return down
+}
+
+// SetHealthSource installs the callback behind ExecHealthGet, normally the
+// health monitor's Report.  The indirection keeps the executive free of
+// health-layer knowledge, the same way Router keeps it free of transports.
+func (e *Executive) SetHealthSource(fn func() []i2o.Param) {
+	e.healthMu.Lock()
+	e.healthSource = fn
+	e.healthMu.Unlock()
+}
+
 // Plug registers a device module, assigns it a TiD and enables it.  This
 // is the API form of the ExecPlugin message ("the object code is
 // downloaded dynamically into the running executives.  At this point a
@@ -436,8 +531,8 @@ func (e *Executive) Close() {
 		}
 
 		e.pendMu.Lock()
-		for ctx, ch := range e.pending {
-			close(ch)
+		for ctx, p := range e.pending {
+			close(p.ch)
 			delete(e.pending, ctx)
 		}
 		e.pendMu.Unlock()

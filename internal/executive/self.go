@@ -33,6 +33,12 @@ func newSelfDevice(e *Executive) *device.Device {
 	d.BindFunction(i2o.ExecTimerCancel, e.handleTimerCancel)
 	d.BindFunction(i2o.ExecTraceGet, e.handleTraceGet)
 	d.BindFunction(i2o.ExecMetricsGet, e.handleMetricsGet)
+	d.BindFunction(i2o.ExecPing, func(ctx *device.Context, m *i2o.Message) error {
+		// The liveness probe: an empty success reply is the whole answer.
+		// Reaching here proves route, agent and dispatch loop are alive.
+		return device.ReplyIfExpected(ctx, m, nil)
+	})
+	d.BindFunction(i2o.ExecHealthGet, e.handleHealthGet)
 	d.BindFunction(i2o.ExecOutboundInit, func(ctx *device.Context, m *i2o.Message) error {
 		// Queues are initialized at construction; the code exists so hosts
 		// following the I2O bring-up sequence get a success reply.
@@ -236,6 +242,26 @@ func (e *Executive) handleMetricsGet(ctx *device.Context, m *i2o.Message) error 
 		out = append(out, p)
 	}
 	payload, err := i2o.EncodeParams(out)
+	if err != nil {
+		return err
+	}
+	return device.ReplyIfExpected(ctx, m, payload)
+}
+
+// handleHealthGet answers a remote liveness query with the health
+// monitor's report, or a single "monitor=off" row when no monitor is
+// installed on this node.
+func (e *Executive) handleHealthGet(ctx *device.Context, m *i2o.Message) error {
+	e.healthMu.RLock()
+	source := e.healthSource
+	e.healthMu.RUnlock()
+	var params []i2o.Param
+	if source == nil {
+		params = []i2o.Param{{Key: "monitor", Value: "off"}}
+	} else {
+		params = source()
+	}
+	payload, err := i2o.EncodeParams(params)
 	if err != nil {
 		return err
 	}

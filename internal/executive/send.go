@@ -1,6 +1,8 @@
 package executive
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"time"
 
@@ -58,6 +60,13 @@ func (e *Executive) Free(m *i2o.Message) {
 // router.  The caller must not touch m afterwards unless it retained the
 // buffer first.
 func (e *Executive) Send(m *i2o.Message) error {
+	return e.send(m, false)
+}
+
+// send is Send with a bypass for the peer-down gate, so health probes can
+// keep testing a node that is marked down (recovery would otherwise be
+// undetectable).
+func (e *Executive) send(m *i2o.Message, bypassDown bool) error {
 	if err := m.Validate(); err != nil {
 		return err
 	}
@@ -67,12 +76,20 @@ func (e *Executive) Send(m *i2o.Message) error {
 		return fmt.Errorf("%w: %v", tid.ErrUnknown, m.Target)
 	}
 	if entry.Kind == tid.Proxy {
+		if !bypassDown && e.PeerDown(entry.Node) {
+			m.Release()
+			e.nDropped.Add(1)
+			return fmt.Errorf("%w: %v", ErrPeerDown, entry.Node)
+		}
 		return e.forward(entry, m)
 	}
 	if err := e.in.Push(m); err != nil {
 		e.nDropped.Add(1)
 		if err == queue.ErrFull {
-			return fmt.Errorf("%w: inbound queue", pool.ErrExhausted)
+			// Both sentinels stay in the chain: queue.ErrFull is the public
+			// ErrQueueFull, pool.ErrExhausted is the historical resource
+			// classification.
+			return fmt.Errorf("%w (%w): inbound queue", queue.ErrFull, pool.ErrExhausted)
 		}
 		return ErrClosed
 	}
@@ -151,54 +168,132 @@ func (e *Executive) forward(entry tid.Entry, m *i2o.Message) error {
 
 // Request implements device.Host: it assigns a fresh initiator context,
 // marks the frame reply-expected, sends it and blocks for the correlated
-// reply (or the configured timeout).  The caller owns the returned reply
-// and must Release it when it carries a pool buffer.
+// reply (or the node's default timeout).  The caller owns the returned
+// reply and must Release it when it carries a pool buffer.
 func (e *Executive) Request(m *i2o.Message) (*i2o.Message, error) {
-	return e.RequestTimeout(m, e.opts.RequestTimeout)
+	return e.RequestContext(context.Background(), m)
 }
 
-// RequestTimeout is Request with an explicit deadline.
+// RequestTimeout is Request with an explicit per-call deadline.
 func (e *Executive) RequestTimeout(m *i2o.Message, d time.Duration) (*i2o.Message, error) {
-	ctx := e.nextContext()
-	m.InitiatorContext = ctx
+	ctx, cancel := context.WithTimeout(context.Background(), d)
+	defer cancel()
+	return e.RequestContext(ctx, m)
+}
+
+// RequestContext is Request honoring the context's cancellation and
+// deadline.  A context without a deadline falls back to the node's
+// configured RequestTimeout.  When the call is cancelled or times out, the
+// pending reply is unregistered and any reply racing in is released, so no
+// pool buffer is stranded; deadline expiry surfaces as ErrTimeout, plain
+// cancellation as the context's own error.
+func (e *Executive) RequestContext(ctx context.Context, m *i2o.Message) (*i2o.Message, error) {
+	return e.requestContext(ctx, m, false)
+}
+
+func (e *Executive) requestContext(ctx context.Context, m *i2o.Message, bypassDown bool) (*i2o.Message, error) {
+	reqCtx := e.nextContext()
+	m.InitiatorContext = reqCtx
 	m.Flags |= i2o.FlagReplyExpected
 
-	ch := make(chan *i2o.Message, 1)
+	// Resolve the destination node up front so a later peer-down sweep can
+	// find this request.
+	node := i2o.NodeNone
+	if entry, ok := e.table.Lookup(m.Target); ok && entry.Kind == tid.Proxy {
+		node = entry.Node
+	}
+	p := &pendingReq{ch: make(chan *i2o.Message, 1), fail: make(chan error, 1), node: node}
 	e.pendMu.Lock()
-	e.pending[ctx] = ch
+	e.pending[reqCtx] = p
 	e.pendMu.Unlock()
 
-	if err := e.Send(m); err != nil {
-		e.dropPending(ctx)
+	if err := e.send(m, bypassDown); err != nil {
+		e.dropPending(reqCtx)
 		return nil, err
 	}
-	timer := time.NewTimer(d)
-	defer timer.Stop()
+
+	// The per-call deadline comes from the context; without one, the
+	// node-global default applies.
+	var timeoutC <-chan time.Time
+	var fallback time.Duration
+	if _, hasDeadline := ctx.Deadline(); !hasDeadline {
+		fallback = e.opts.RequestTimeout
+		timer := time.NewTimer(fallback)
+		defer timer.Stop()
+		timeoutC = timer.C
+	}
+
+	target := m.Target
 	select {
-	case rep, ok := <-ch:
+	case rep, ok := <-p.ch:
 		if !ok {
 			return nil, ErrClosed
 		}
 		if err := i2o.ReplyError(rep); err != nil {
 			rep.Release()
-			return nil, err
+			return nil, replyFailure(err)
 		}
 		return rep, nil
-	case <-timer.C:
-		e.dropPending(ctx)
-		// The dispatcher may have claimed the waiter just before the drop;
-		// release a reply parked in the buffered channel so its pool
-		// buffer is not stranded.  (A delivery racing in after this drain
-		// leaves only the frame struct to the garbage collector.)
-		select {
-		case rep, ok := <-ch:
-			if ok && rep != nil {
-				rep.Release()
-			}
-		default:
+	case err := <-p.fail:
+		return nil, err
+	case <-ctx.Done():
+		e.dropPending(reqCtx)
+		e.drainParked(p)
+		if errors.Is(ctx.Err(), context.DeadlineExceeded) {
+			return nil, fmt.Errorf("%w: %v (%v)", ErrTimeout, ctx.Err(), target)
 		}
-		return nil, fmt.Errorf("%w after %v (%v)", ErrTimeout, d, m.Target)
+		return nil, ctx.Err()
+	case <-timeoutC:
+		e.dropPending(reqCtx)
+		e.drainParked(p)
+		return nil, fmt.Errorf("%w after %v (%v)", ErrTimeout, fallback, target)
 	}
+}
+
+// replyFailure maps remote failure records onto local sentinels, so a peer
+// refusing a forward because *its* health monitor marked the final hop down
+// surfaces as ErrPeerDown here too.
+func replyFailure(err error) error {
+	var rec *i2o.FailRecord
+	if errors.As(err, &rec) && rec.Code == i2o.FailPeerDown {
+		return fmt.Errorf("%w: %v", ErrPeerDown, rec)
+	}
+	return err
+}
+
+// drainParked releases a reply the dispatcher may have parked in the
+// buffered channel just before the waiter gave up, so its pool buffer is
+// not stranded.  (A delivery racing in after this drain leaves only the
+// frame struct to the garbage collector.)
+func (e *Executive) drainParked(p *pendingReq) {
+	select {
+	case rep, ok := <-p.ch:
+		if ok && rep != nil {
+			rep.Release()
+		}
+	default:
+	}
+}
+
+// PingContext sends an ExecPing to the node's executive and waits for the
+// empty reply.  It bypasses the peer-down gate — the health monitor must be
+// able to probe a node it has given up on, or recovery would never be seen.
+func (e *Executive) PingContext(ctx context.Context, node i2o.NodeID) error {
+	target, err := e.ExecProxy(node)
+	if err != nil {
+		return err
+	}
+	rep, err := e.requestContext(ctx, &i2o.Message{
+		Priority:  i2o.PriorityUrgent,
+		Target:    target,
+		Initiator: i2o.TIDExecutive,
+		Function:  i2o.ExecPing,
+	}, true)
+	if err != nil {
+		return err
+	}
+	rep.Release()
+	return nil
 }
 
 // nextContext returns a nonzero correlation token.
@@ -217,9 +312,9 @@ func (e *Executive) dropPending(ctx uint32) {
 }
 
 // takePending claims the waiter for a reply context.
-func (e *Executive) takePending(ctx uint32) chan *i2o.Message {
+func (e *Executive) takePending(ctx uint32) *pendingReq {
 	e.pendMu.Lock()
-	ch, ok := e.pending[ctx]
+	p, ok := e.pending[ctx]
 	if ok {
 		delete(e.pending, ctx)
 	}
@@ -227,7 +322,7 @@ func (e *Executive) takePending(ctx uint32) chan *i2o.Message {
 	if !ok {
 		return nil
 	}
-	return ch
+	return p
 }
 
 // Resolve implements device.Host: it returns the local TiD for a device on

@@ -1,0 +1,331 @@
+// Package health implements the peer-liveness and failover layer: the
+// fault-tolerance dimension the paper's executives leave to the fabric.
+// A Monitor owns a probe loop that heartbeats every node in the owning
+// executive's system table with the ExecPing message, carried over the
+// ordinary peer transport route — so a successful probe proves the whole
+// forwarding path, not just the wire.
+//
+// Per-peer state machine:
+//
+//	┌────┐  probe fails   ┌─────────┐  fails >= threshold  ┌──────┐
+//	│ Up │ ─────────────▶ │ Suspect │ ───────────────────▶ │ Down │
+//	└────┘ ◀───────────── └─────────┘ ◀─────────────────── └──────┘
+//	         probe ok            probe ok (route or peer recovered)
+//
+// Crossing the threshold first tries a route failover when a fallback
+// transport is configured (e.g. GM primary → TCP control network): the
+// executive's system table and every existing proxy are repointed
+// atomically and the peer gets a fresh chance over the new fabric.  With
+// no (remaining) fallback the peer is marked down in the executive, which
+// fails all pending requests for it immediately and refuses new ones with
+// ErrPeerDown — tail latency collapses from the request timeout to the
+// detection bound (probe interval × threshold).  Probes keep flowing to
+// down peers, so a rebooted node is promoted back to Up automatically.
+package health
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"time"
+
+	"xdaq/internal/executive"
+	"xdaq/internal/i2o"
+	"xdaq/internal/metrics"
+)
+
+// State is one peer's liveness classification.
+type State int
+
+const (
+	// Up: the last probe succeeded.
+	Up State = iota
+
+	// Suspect: at least one probe failed, fewer than the threshold.
+	Suspect
+
+	// Down: the failure threshold was crossed (and no fallback route was
+	// left to try).  The executive fails requests for the peer fast.
+	Down
+)
+
+func (s State) String() string {
+	switch s {
+	case Up:
+		return "up"
+	case Suspect:
+		return "suspect"
+	case Down:
+		return "down"
+	}
+	return fmt.Sprintf("State(%d)", int(s))
+}
+
+// Config tunes a Monitor.
+type Config struct {
+	// Interval is the probe period per peer; defaults to 1s.
+	Interval time.Duration
+
+	// Timeout bounds one probe round trip; defaults to Interval.
+	Timeout time.Duration
+
+	// Threshold is how many consecutive failures demote a peer to Down
+	// (or trigger a failover); defaults to 3.
+	Threshold int
+
+	// Fallback maps peers to a backup peer transport route tried when the
+	// threshold is crossed, before the peer is declared down.
+	Fallback map[i2o.NodeID]string
+
+	// Logf sinks state transition diagnostics; nil silences them.
+	Logf func(format string, args ...any)
+}
+
+// PeerStatus is one peer's externally visible health.
+type PeerStatus struct {
+	Node       i2o.NodeID
+	State      State
+	Fails      int    // consecutive probe failures
+	Route      string // current system table route
+	FailedOver bool   // the fallback route is in use
+	LastErr    string // most recent probe error, "" after a success
+}
+
+type peer struct {
+	state      State
+	fails      int
+	failedOver bool
+	probing    bool
+	lastErr    string
+}
+
+// Monitor probes the peers of one executive.
+type Monitor struct {
+	exec *executive.Executive
+	cfg  Config
+
+	mu    sync.Mutex
+	peers map[i2o.NodeID]*peer
+
+	stop      chan struct{}
+	done      chan struct{}
+	closeOnce sync.Once
+	wg        sync.WaitGroup
+
+	cProbes     *metrics.Counter
+	cProbeFails *metrics.Counter
+	cUp         *metrics.Counter
+	cSuspect    *metrics.Counter
+	cDown       *metrics.Counter
+	cFailovers  *metrics.Counter
+	gPeersDown  *metrics.Gauge
+}
+
+// New starts a monitor for the executive's routed peers and registers it
+// as the node's ExecHealthGet source.  Close it before the executive.
+func New(e *executive.Executive, cfg Config) *Monitor {
+	if cfg.Interval <= 0 {
+		cfg.Interval = time.Second
+	}
+	if cfg.Timeout <= 0 {
+		cfg.Timeout = cfg.Interval
+	}
+	if cfg.Threshold <= 0 {
+		cfg.Threshold = 3
+	}
+	reg := e.Metrics()
+	m := &Monitor{
+		exec:  e,
+		cfg:   cfg,
+		peers: make(map[i2o.NodeID]*peer),
+		stop:  make(chan struct{}),
+		done:  make(chan struct{}),
+
+		cProbes:     reg.Counter("health.probes"),
+		cProbeFails: reg.Counter("health.probeFails"),
+		cUp:         reg.Counter("health.transitions.up"),
+		cSuspect:    reg.Counter("health.transitions.suspect"),
+		cDown:       reg.Counter("health.transitions.down"),
+		cFailovers:  reg.Counter("health.failovers"),
+		gPeersDown:  reg.Gauge("health.peersDown"),
+	}
+	e.SetHealthSource(m.Report)
+	go m.loop()
+	return m
+}
+
+func (m *Monitor) logf(format string, args ...any) {
+	if m.cfg.Logf != nil {
+		m.cfg.Logf(format, args...)
+	}
+}
+
+// loop fans one probe per routed peer out every interval.  A slow peer
+// never delays the others: each probe runs on its own goroutine and a
+// peer with a probe still in flight is skipped this round.
+func (m *Monitor) loop() {
+	defer close(m.done)
+	ticker := time.NewTicker(m.cfg.Interval)
+	defer ticker.Stop()
+	m.sweep() // probe immediately; the first verdicts arrive within Timeout
+	for {
+		select {
+		case <-m.stop:
+			m.wg.Wait()
+			return
+		case <-ticker.C:
+			m.sweep()
+		}
+	}
+}
+
+func (m *Monitor) sweep() {
+	for node := range m.exec.Routes() {
+		if node == m.exec.Node() {
+			continue
+		}
+		m.mu.Lock()
+		p := m.peers[node]
+		if p == nil {
+			p = &peer{state: Up}
+			m.peers[node] = p
+		}
+		launch := !p.probing
+		if launch {
+			p.probing = true
+		}
+		m.mu.Unlock()
+		if launch {
+			m.wg.Add(1)
+			go m.probe(node)
+		}
+	}
+}
+
+func (m *Monitor) probe(node i2o.NodeID) {
+	defer m.wg.Done()
+	ctx, cancel := context.WithTimeout(context.Background(), m.cfg.Timeout)
+	err := m.exec.PingContext(ctx, node)
+	cancel()
+	m.cProbes.Inc()
+	m.record(node, err)
+}
+
+// record applies one probe verdict to the peer's state machine.
+func (m *Monitor) record(node i2o.NodeID, err error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	p := m.peers[node]
+	if p == nil {
+		return
+	}
+	p.probing = false
+
+	if err == nil {
+		p.fails = 0
+		p.lastErr = ""
+		if p.state != Up {
+			if p.state == Down {
+				m.gPeersDown.Add(-1)
+				m.exec.SetPeerDown(node, false)
+			}
+			p.state = Up
+			m.cUp.Inc()
+			m.logf("health: peer %v up", node)
+		}
+		return
+	}
+
+	m.cProbeFails.Inc()
+	p.fails++
+	p.lastErr = err.Error()
+	if p.state == Up {
+		p.state = Suspect
+		m.cSuspect.Inc()
+		m.logf("health: peer %v suspect (%v)", node, err)
+	}
+	if p.fails < m.cfg.Threshold || p.state == Down {
+		return
+	}
+
+	// Threshold crossed: try the fallback route once, else declare down.
+	if fb, ok := m.cfg.Fallback[node]; ok && !p.failedOver {
+		if cur, _ := m.exec.Route(node); cur != fb {
+			p.failedOver = true
+			p.fails = 0
+			moved := m.exec.FailoverRoute(node, fb)
+			m.cFailovers.Inc()
+			m.logf("health: peer %v failed over to %s (%d proxies rerouted)", node, fb, moved)
+			return
+		}
+	}
+	p.state = Down
+	m.cDown.Inc()
+	m.gPeersDown.Add(1)
+	m.exec.SetPeerDown(node, true)
+	m.logf("health: peer %v down after %d failed probes (%v)", node, p.fails, err)
+}
+
+// Status returns a snapshot of every monitored peer.
+func (m *Monitor) Status() []PeerStatus {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	out := make([]PeerStatus, 0, len(m.peers))
+	for node, p := range m.peers {
+		route, _ := m.exec.Route(node)
+		out = append(out, PeerStatus{
+			Node:       node,
+			State:      p.state,
+			Fails:      p.fails,
+			Route:      route,
+			FailedOver: p.failedOver,
+			LastErr:    p.lastErr,
+		})
+	}
+	return out
+}
+
+// State returns one peer's state (Up for peers never probed).
+func (m *Monitor) State(node i2o.NodeID) State {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if p := m.peers[node]; p != nil {
+		return p.state
+	}
+	return Up
+}
+
+// Report encodes the monitor's view as a parameter list; it backs the
+// ExecHealthGet executive message so `xdaqctl health <node>` sees it.
+func (m *Monitor) Report() []i2o.Param {
+	params := []i2o.Param{
+		{Key: "monitor", Value: "on"},
+		{Key: "interval.ms", Value: m.cfg.Interval.Milliseconds()},
+		{Key: "threshold", Value: int64(m.cfg.Threshold)},
+	}
+	for _, s := range m.Status() {
+		prefix := fmt.Sprintf("peer.%d.", s.Node)
+		params = append(params,
+			i2o.Param{Key: prefix + "state", Value: s.State.String()},
+			i2o.Param{Key: prefix + "fails", Value: int64(s.Fails)},
+			i2o.Param{Key: prefix + "route", Value: s.Route},
+			i2o.Param{Key: prefix + "failedOver", Value: s.FailedOver},
+		)
+		if s.LastErr != "" {
+			params = append(params, i2o.Param{Key: prefix + "lastErr", Value: s.LastErr})
+		}
+	}
+	i2o.SortParams(params)
+	return params
+}
+
+// Close stops the probe loop and waits for in-flight probes.  Peers marked
+// down stay down in the executive; closing the monitor does not revive
+// anything.
+func (m *Monitor) Close() {
+	m.closeOnce.Do(func() {
+		close(m.stop)
+		<-m.done
+		m.exec.SetHealthSource(nil)
+	})
+}

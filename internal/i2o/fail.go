@@ -36,6 +36,10 @@ const (
 	// or an explicit UtilAbort.
 	FailAborted FailCode = 7
 
+	// FailPeerDown reports a frame refused because the health monitor has
+	// marked the target's node down.
+	FailPeerDown FailCode = 8
+
 	// FailApplication is the generic code for errors raised by user device
 	// code.
 	FailApplication FailCode = 100
@@ -49,6 +53,7 @@ var failNames = map[FailCode]string{
 	FailResources:       "resource exhaustion",
 	FailBadFrame:        "malformed frame",
 	FailAborted:         "aborted",
+	FailPeerDown:        "peer down",
 	FailApplication:     "application error",
 }
 

@@ -96,6 +96,19 @@ const (
 	// names.  Not defined by I2O; added so any node can scrape any other
 	// node's operational counters over ordinary message frames.
 	ExecMetricsGet Function = 0xE5
+
+	// ExecPing is the liveness probe: an empty request answered with an
+	// empty reply by the executive self device.  The health monitor sends
+	// it at urgent priority over the configured peer transport route, so a
+	// successful round trip proves the route, the remote agent and the
+	// remote dispatch loop are all alive.  Not defined by I2O.
+	ExecPing Function = 0xE6
+
+	// ExecHealthGet reads the node's peer-liveness report: one parameter
+	// row per monitored peer (state, consecutive failures, current route).
+	// Nodes without a health monitor answer with a "monitor=off" row.  Not
+	// defined by I2O.
+	ExecHealthGet Function = 0xE7
 )
 
 // FuncPrivate marks a private frame: the operation is identified by the
@@ -116,7 +129,7 @@ func (f Function) IsExecutive() bool {
 	case ExecStatusGet, ExecOutboundInit, ExecHrtGet, ExecSysTabSet,
 		ExecSysEnable, ExecSysQuiesce, ExecSysClear,
 		ExecPlugin, ExecUnplug, ExecTimerSet, ExecTimerCancel, ExecTraceGet,
-		ExecMetricsGet:
+		ExecMetricsGet, ExecPing, ExecHealthGet:
 		return true
 	}
 	return false
@@ -142,6 +155,8 @@ var functionNames = map[Function]string{
 	ExecTimerCancel:   "ExecTimerCancel",
 	ExecTraceGet:      "ExecTraceGet",
 	ExecMetricsGet:    "ExecMetricsGet",
+	ExecPing:          "ExecPing",
+	ExecHealthGet:     "ExecHealthGet",
 	FuncPrivate:       "Private",
 }
 

@@ -32,6 +32,7 @@ import (
 	"xdaq/internal/executive"
 	"xdaq/internal/i2o"
 	"xdaq/internal/metrics"
+	"xdaq/internal/transport/faults"
 )
 
 // Mode selects how received frames reach the executive.
@@ -89,7 +90,28 @@ var (
 
 	// ErrDuplicate reports a second registration of a route name.
 	ErrDuplicate = errors.New("pta: route already registered")
+
+	// ErrTransient marks transport errors worth retrying: the fabric
+	// hiccuped but the route is believed alive (a refused write on a live
+	// connection, a failed dial to a restarting peer).  Transports wrap
+	// such errors; everything else fails the forward on the first attempt.
+	ErrTransient = errors.New("pta: transient transport error")
 )
+
+// RetryPolicy bounds re-sends of frames whose transport send failed with a
+// transient error.  The zero value (and any Attempts <= 1) disables
+// retrying, preserving fail-fast forwarding.
+type RetryPolicy struct {
+	// Attempts is the total number of sends, including the first.
+	Attempts int
+
+	// Backoff is the sleep before the first retry; it doubles per attempt.
+	// Zero defaults to 1ms.
+	Backoff time.Duration
+
+	// MaxBackoff caps the doubling; 0 leaves it uncapped.
+	MaxBackoff time.Duration
+}
 
 type slot struct {
 	pt        PeerTransport
@@ -117,9 +139,12 @@ type Agent struct {
 	pollDone chan struct{}
 	closed   atomic.Bool
 
+	retry atomic.Pointer[RetryPolicy]
+
 	nSent     *metrics.Counter
 	nReceived *metrics.Counter
 	nErrors   *metrics.Counter
+	nRetries  *metrics.Counter
 	pollScan  *metrics.Histogram
 }
 
@@ -136,6 +161,7 @@ func New(e *executive.Executive) (*Agent, error) {
 		nSent:     reg.Counter("pta.sent"),
 		nReceived: reg.Counter("pta.recv"),
 		nErrors:   reg.Counter("pta.errors"),
+		nRetries:  reg.Counter("pta.retries"),
 		pollScan:  reg.Histogram("pta.pollScan"),
 	}
 	a.dev = device.New("pta", 0)
@@ -226,6 +252,25 @@ func (a *Agent) deliverFunc(route string) Deliver {
 	}
 }
 
+// SetRetryPolicy installs the forward retry policy for all routes.
+func (a *Agent) SetRetryPolicy(p RetryPolicy) {
+	a.retry.Store(&p)
+}
+
+// RetryPolicy returns the installed policy (zero value when none is set).
+func (a *Agent) RetryPolicy() RetryPolicy {
+	if p := a.retry.Load(); p != nil {
+		return *p
+	}
+	return RetryPolicy{}
+}
+
+// retryable reports whether a failed send may be re-attempted: only errors
+// the transport marked transient, and injector refusals (which model them).
+func retryable(err error) bool {
+	return errors.Is(err, ErrTransient) || errors.Is(err, faults.ErrInjected)
+}
+
 // Forward implements executive.Router.
 func (a *Agent) Forward(route string, dst i2o.NodeID, m *i2o.Message) error {
 	a.mu.RLock()
@@ -243,14 +288,53 @@ func (a *Agent) Forward(route string, dst i2o.NodeID, m *i2o.Message) error {
 	}
 	// Size the frame before Send: ownership passes to the transport.
 	wire := uint64(m.WireSize())
-	if err := s.pt.Send(dst, m); err != nil {
-		a.nErrors.Inc()
-		return err
+
+	pol := a.RetryPolicy()
+	attempts := pol.Attempts
+	if attempts < 1 {
+		attempts = 1
 	}
-	a.nSent.Inc()
-	s.cSent.Inc()
-	s.cSentBytes.Add(wire)
-	return nil
+	backoff := pol.Backoff
+	if backoff <= 0 {
+		backoff = time.Millisecond
+	}
+	// Transports release the frame's pool buffer on failure as well as
+	// success, so a retried attempt must hold its own reference and
+	// re-attach it to the frame before resending.
+	buf := m.Buffer()
+	for attempt := 1; ; attempt++ {
+		guarded := attempts > 1 && buf != nil
+		if guarded {
+			buf.Retain()
+		}
+		err := s.pt.Send(dst, m)
+		if err == nil {
+			if guarded {
+				buf.Release()
+			}
+			a.nSent.Inc()
+			s.cSent.Inc()
+			s.cSentBytes.Add(wire)
+			return nil
+		}
+		if attempt >= attempts || !retryable(err) {
+			if guarded {
+				buf.Release()
+			}
+			a.nErrors.Inc()
+			return err
+		}
+		a.nRetries.Inc()
+		time.Sleep(backoff)
+		backoff *= 2
+		if pol.MaxBackoff > 0 && backoff > pol.MaxBackoff {
+			backoff = pol.MaxBackoff
+		}
+		if buf != nil {
+			// Our retained reference becomes the frame's hold again.
+			m.AttachBuffer(buf)
+		}
+	}
 }
 
 // Suspend pauses or resumes a transport.  Suspended polling transports are

@@ -228,6 +228,24 @@ func (t *Table) Entries() []Entry {
 	return out
 }
 
+// Reroute repoints every proxy for the given node at a different peer
+// transport route and reports how many entries changed.  The table lock
+// makes the switch atomic with respect to Lookup: a concurrent forward
+// sees either the old route or the new one, never a torn entry.
+func (t *Table) Reroute(node i2o.NodeID, route string) int {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	n := 0
+	for id, e := range t.entries {
+		if e.Kind == Proxy && e.Node == node && e.Route != route {
+			e.Route = route
+			t.entries[id] = e
+			n++
+		}
+	}
+	return n
+}
+
 // Proxies returns a snapshot of proxy rows routed over the named transport,
 // used when a route goes down and its proxies must be invalidated.
 func (t *Table) Proxies(route string) []Entry {

@@ -1,0 +1,180 @@
+// Package faults provides a deterministic, seedable fault injector for the
+// peer transports.  Every transport consults an optional Injector at the top
+// of its Send path and either passes the frame through, drops it silently
+// (lost on the wire), delays it, or refuses it with an error — the three
+// failure modes a real fabric exhibits.  Rules select frames by position
+// (every Nth, after a warm-up offset, up to a limit) or by seeded
+// probability, so fault schedules are reproducible: the same seed and the
+// same send sequence always yield the same faults.  The health monitor,
+// the PTA retry policy and the failover path are all tested against it.
+package faults
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"sync"
+	"time"
+)
+
+// Op is what the injector does to one frame.
+type Op int
+
+const (
+	// Pass lets the frame through untouched.
+	Pass Op = iota
+
+	// Drop discards the frame silently; the send reports success, exactly
+	// like a datagram lost on the wire.
+	Drop
+
+	// Delay holds the sending goroutine for the rule's duration, then
+	// passes the frame through.
+	Delay
+
+	// Error refuses the frame: the send fails with the rule's error (or a
+	// generated one wrapping ErrInjected).
+	Error
+)
+
+func (o Op) String() string {
+	switch o {
+	case Pass:
+		return "pass"
+	case Drop:
+		return "drop"
+	case Delay:
+		return "delay"
+	case Error:
+		return "error"
+	}
+	return fmt.Sprintf("Op(%d)", int(o))
+}
+
+// ErrInjected marks errors produced by an injector.  It counts as a
+// transient transport error for the PTA retry policy, so injected refusals
+// exercise the same code path as real fabric hiccups.
+var ErrInjected = errors.New("faults: injected transport error")
+
+// Rule selects frames and the fault to apply to them.  A frame is hit when
+// its sequence number (1-based, counted per injector) is past After and
+// either lands on an Nth multiple or wins the probability roll.  A zero
+// Rule never matches.
+type Rule struct {
+	// Op is the fault to apply.
+	Op Op
+
+	// Nth hits every Nth frame counted from After (1 hits every frame).
+	Nth uint64
+
+	// Prob hits each frame independently with this probability, using the
+	// injector's seeded generator.
+	Prob float64
+
+	// After skips the first After frames entirely (warm-up traffic).
+	After uint64
+
+	// Limit caps how many frames this rule may hit; 0 is unlimited.
+	Limit uint64
+
+	// Delay is the hold time for Op == Delay.
+	Delay time.Duration
+
+	// Err overrides the generated error for Op == Error.  It should wrap
+	// ErrInjected if retry behavior is under test.
+	Err error
+}
+
+// Action is the injector's verdict for one frame.
+type Action struct {
+	Op    Op
+	Delay time.Duration
+	Err   error
+}
+
+// Injector applies an ordered rule list to a send sequence.  It is safe
+// for concurrent use; concurrent senders serialize on the sequence counter,
+// which keeps the schedule deterministic for single-goroutine tests.
+type Injector struct {
+	mu      sync.Mutex
+	rng     *rand.Rand
+	seq     uint64
+	rules   []Rule
+	applied []uint64
+}
+
+// New returns an injector whose probability rolls use the given seed.
+func New(seed int64) *Injector {
+	return &Injector{rng: rand.New(rand.NewSource(seed))}
+}
+
+// Add appends a rule and returns the injector for chaining.
+func (in *Injector) Add(r Rule) *Injector {
+	in.mu.Lock()
+	in.rules = append(in.rules, r)
+	in.applied = append(in.applied, 0)
+	in.mu.Unlock()
+	return in
+}
+
+// DropNth drops every nth frame.
+func (in *Injector) DropNth(n uint64) *Injector { return in.Add(Rule{Op: Drop, Nth: n}) }
+
+// DropAfter drops every frame past the first n (a peer that goes silent).
+func (in *Injector) DropAfter(n uint64) *Injector {
+	return in.Add(Rule{Op: Drop, Nth: 1, After: n})
+}
+
+// ErrorNth refuses every nth frame with an error wrapping ErrInjected.
+func (in *Injector) ErrorNth(n uint64) *Injector { return in.Add(Rule{Op: Error, Nth: n}) }
+
+// DelayNth holds every nth frame for d.
+func (in *Injector) DelayNth(n uint64, d time.Duration) *Injector {
+	return in.Add(Rule{Op: Delay, Nth: n, Delay: d})
+}
+
+// Next assigns the next sequence number and returns the action for it.
+// The first matching rule wins.
+func (in *Injector) Next() Action {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	in.seq++
+	for i, r := range in.rules {
+		if r.Limit > 0 && in.applied[i] >= r.Limit {
+			continue
+		}
+		if in.seq <= r.After {
+			continue
+		}
+		hit := r.Nth > 0 && (in.seq-r.After)%r.Nth == 0
+		if !hit && r.Prob > 0 && in.rng.Float64() < r.Prob {
+			hit = true
+		}
+		if !hit {
+			continue
+		}
+		in.applied[i]++
+		act := Action{Op: r.Op, Delay: r.Delay, Err: r.Err}
+		if act.Op == Error && act.Err == nil {
+			act.Err = fmt.Errorf("%w: frame %d", ErrInjected, in.seq)
+		}
+		return act
+	}
+	return Action{Op: Pass}
+}
+
+// Frames reports how many frames the injector has seen.
+func (in *Injector) Frames() uint64 {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	return in.seq
+}
+
+// Applied reports how many frames each rule has hit, in rule order.
+func (in *Injector) Applied() []uint64 {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	out := make([]uint64, len(in.applied))
+	copy(out, in.applied)
+	return out
+}

@@ -1,0 +1,95 @@
+package faults
+
+import (
+	"errors"
+	"testing"
+	"time"
+)
+
+func TestNthSchedule(t *testing.T) {
+	in := New(1).DropNth(3)
+	var got []Op
+	for i := 0; i < 9; i++ {
+		got = append(got, in.Next().Op)
+	}
+	want := []Op{Pass, Pass, Drop, Pass, Pass, Drop, Pass, Pass, Drop}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("frame %d: got %v, want %v (full: %v)", i+1, got[i], want[i], got)
+		}
+	}
+	if in.Frames() != 9 {
+		t.Fatalf("Frames() = %d, want 9", in.Frames())
+	}
+	if n := in.Applied()[0]; n != 3 {
+		t.Fatalf("Applied() = %d, want 3", n)
+	}
+}
+
+func TestAfterAndLimit(t *testing.T) {
+	in := New(1).Add(Rule{Op: Error, Nth: 1, After: 2, Limit: 2})
+	var errs int
+	for i := 0; i < 6; i++ {
+		act := in.Next()
+		if act.Op == Error {
+			errs++
+			if i < 2 {
+				t.Fatalf("rule fired during warm-up, frame %d", i+1)
+			}
+			if !errors.Is(act.Err, ErrInjected) {
+				t.Fatalf("generated error %v does not wrap ErrInjected", act.Err)
+			}
+		}
+	}
+	if errs != 2 {
+		t.Fatalf("rule hit %d frames, want limit 2", errs)
+	}
+}
+
+func TestDropAfterGoesSilent(t *testing.T) {
+	in := New(1).DropAfter(4)
+	for i := 1; i <= 10; i++ {
+		act := in.Next()
+		if i <= 4 && act.Op != Pass {
+			t.Fatalf("frame %d faulted during warm-up: %v", i, act.Op)
+		}
+		if i > 4 && act.Op != Drop {
+			t.Fatalf("frame %d not dropped after cutoff: %v", i, act.Op)
+		}
+	}
+}
+
+func TestSeededProbabilityIsDeterministic(t *testing.T) {
+	run := func() []Op {
+		in := New(42).Add(Rule{Op: Drop, Prob: 0.5})
+		var out []Op
+		for i := 0; i < 32; i++ {
+			out = append(out, in.Next().Op)
+		}
+		return out
+	}
+	a, b := run(), run()
+	var drops int
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("same seed diverged at frame %d", i+1)
+		}
+		if a[i] == Drop {
+			drops++
+		}
+	}
+	if drops == 0 || drops == len(a) {
+		t.Fatalf("p=0.5 rule hit %d/%d frames; generator not engaged", drops, len(a))
+	}
+}
+
+func TestFirstMatchWinsAndDelayCarries(t *testing.T) {
+	in := New(1).
+		Add(Rule{Op: Delay, Nth: 2, Delay: 5 * time.Millisecond}).
+		Add(Rule{Op: Drop, Nth: 2})
+	in.Next() // frame 1: pass
+	act := in.Next()
+	if act.Op != Delay || act.Delay != 5*time.Millisecond {
+		t.Fatalf("frame 2: got %v/%v, want first-listed Delay rule", act.Op, act.Delay)
+	}
+}

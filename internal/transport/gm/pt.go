@@ -3,6 +3,7 @@ package gm
 import (
 	"fmt"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"xdaq/internal/i2o"
@@ -10,6 +11,7 @@ import (
 	"xdaq/internal/pool"
 	"xdaq/internal/probe"
 	"xdaq/internal/pta"
+	"xdaq/internal/transport/faults"
 )
 
 // PTName is the route name of the GM peer transport.
@@ -41,10 +43,15 @@ type Transport struct {
 	taskStop chan struct{}
 	taskDone chan struct{}
 
+	flt atomic.Pointer[faults.Injector]
+
 	nSent      *metrics.Counter
 	nRecv      *metrics.Counter
 	nShortRing *metrics.Counter
 }
+
+// SetFaults installs a fault injector on the send path; nil removes it.
+func (t *Transport) SetFaults(in *faults.Injector) { t.flt.Store(in) }
 
 var _ pta.PeerTransport = (*Transport)(nil)
 
@@ -136,6 +143,18 @@ func (t *Transport) Name() string { return t.name }
 // Send implements pta.PeerTransport: header + payload + padding gathered
 // straight onto the wire, then the frame's pool buffer is released.
 func (t *Transport) Send(dst i2o.NodeID, m *i2o.Message) error {
+	if in := t.flt.Load(); in != nil {
+		switch act := in.Next(); act.Op {
+		case faults.Drop:
+			m.Release()
+			return nil // descriptor dropped by the fabric
+		case faults.Delay:
+			time.Sleep(act.Delay)
+		case faults.Error:
+			m.Release()
+			return fmt.Errorf("gm: %w", act.Err)
+		}
+	}
 	t.mu.RLock()
 	port, ok := t.toPort[dst]
 	t.mu.RUnlock()

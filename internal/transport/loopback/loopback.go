@@ -13,10 +13,13 @@ import (
 	"errors"
 	"fmt"
 	"sync"
+	"sync/atomic"
+	"time"
 
 	"xdaq/internal/i2o"
 	"xdaq/internal/metrics"
 	"xdaq/internal/pta"
+	"xdaq/internal/transport/faults"
 )
 
 // DefaultName is the route name endpoints register under.
@@ -86,7 +89,12 @@ type Endpoint struct {
 	deliver pta.Deliver
 	cSent   *metrics.Counter
 	cRecv   *metrics.Counter
+
+	flt atomic.Pointer[faults.Injector]
 }
+
+// SetFaults installs a fault injector on the send path; nil removes it.
+func (e *Endpoint) SetFaults(in *faults.Injector) { e.flt.Store(in) }
 
 // SetMetrics redirects the endpoint's frame counters into reg (normally
 // the owning executive's registry).  Call it before the endpoint carries
@@ -109,6 +117,18 @@ func (e *Endpoint) Node() i2o.NodeID { return e.node }
 // Send implements pta.PeerTransport: the frame pointer crosses directly
 // into the destination executive.  Zero copies.
 func (e *Endpoint) Send(dst i2o.NodeID, m *i2o.Message) error {
+	if in := e.flt.Load(); in != nil {
+		switch act := in.Next(); act.Op {
+		case faults.Drop:
+			m.Release()
+			return nil // lost on the wire
+		case faults.Delay:
+			time.Sleep(act.Delay)
+		case faults.Error:
+			m.Release()
+			return fmt.Errorf("loopback: %w", act.Err)
+		}
+	}
 	peer := e.fabric.lookup(dst)
 	if peer == nil {
 		m.Release()

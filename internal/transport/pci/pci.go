@@ -18,10 +18,12 @@ import (
 	"fmt"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"xdaq/internal/i2o"
 	"xdaq/internal/metrics"
 	"xdaq/internal/pta"
+	"xdaq/internal/transport/faults"
 )
 
 // PTName is the default route name.
@@ -110,7 +112,12 @@ type Endpoint struct {
 	nSent     *metrics.Counter
 	nRecv     *metrics.Counter
 	nFifoFull *metrics.Counter
+
+	flt atomic.Pointer[faults.Injector]
 }
+
+// SetFaults installs a fault injector on the send path; nil removes it.
+func (e *Endpoint) SetFaults(in *faults.Injector) { e.flt.Store(in) }
 
 // SetMetrics redirects the endpoint's counters (pt.pci.sent, .recv,
 // .fifoFull) into reg, normally the owning executive's registry.  Call it
@@ -146,6 +153,18 @@ func (e *Endpoint) Pending() int { return len(e.fifo) }
 // Send implements pta.PeerTransport: the frame pointer is posted into the
 // destination's inbound FIFO, blocking while it is full.
 func (e *Endpoint) Send(dst i2o.NodeID, m *i2o.Message) error {
+	if in := e.flt.Load(); in != nil {
+		switch act := in.Next(); act.Op {
+		case faults.Drop:
+			m.Release()
+			return nil // lost on the segment
+		case faults.Delay:
+			time.Sleep(act.Delay)
+		case faults.Error:
+			m.Release()
+			return fmt.Errorf("pci: %w", act.Err)
+		}
+	}
 	peer := e.segment.lookup(dst)
 	if peer == nil {
 		m.Release()

@@ -21,10 +21,13 @@ import (
 	"sync"
 	"sync/atomic"
 
+	"time"
+
 	"xdaq/internal/i2o"
 	"xdaq/internal/metrics"
 	"xdaq/internal/pool"
 	"xdaq/internal/pta"
+	"xdaq/internal/transport/faults"
 )
 
 // PTName is the default route name.
@@ -59,6 +62,8 @@ type Transport struct {
 
 	closed atomic.Bool
 	wg     sync.WaitGroup
+
+	flt atomic.Pointer[faults.Injector]
 
 	nSent  *metrics.Counter
 	nRecv  *metrics.Counter
@@ -145,6 +150,9 @@ func (t *Transport) AddPeer(node i2o.NodeID, addr string) {
 	t.mu.Unlock()
 }
 
+// SetFaults installs a fault injector on the send path; nil removes it.
+func (t *Transport) SetFaults(in *faults.Injector) { t.flt.Store(in) }
+
 // Name implements pta.PeerTransport.
 func (t *Transport) Name() string { return t.name }
 
@@ -172,6 +180,16 @@ func (t *Transport) Send(dst i2o.NodeID, m *i2o.Message) error {
 	if t.closed.Load() {
 		return ErrClosed
 	}
+	if in := t.flt.Load(); in != nil {
+		switch act := in.Next(); act.Op {
+		case faults.Drop:
+			return nil // lost on the wire
+		case faults.Delay:
+			time.Sleep(act.Delay)
+		case faults.Error:
+			return fmt.Errorf("tcp: %w", act.Err)
+		}
+	}
 	pc, err := t.connTo(dst)
 	if err != nil {
 		return err
@@ -187,7 +205,9 @@ func (t *Transport) Send(dst i2o.NodeID, m *i2o.Message) error {
 	pc.writeMu.Unlock()
 	if err != nil {
 		t.dropConn(pc)
-		return fmt.Errorf("tcp: write to %v: %w", dst, err)
+		// A broken connection is transient from the agent's view: the next
+		// attempt redials, so the retry policy may recover the frame.
+		return fmt.Errorf("tcp: write to %v: %w (%w)", dst, err, pta.ErrTransient)
 	}
 	t.nSent.Inc()
 	return nil
@@ -207,7 +227,7 @@ func (t *Transport) connTo(dst i2o.NodeID) (*peerConn, error) {
 	}
 	c, err := net.Dial("tcp", addr)
 	if err != nil {
-		return nil, fmt.Errorf("tcp: dial %v at %s: %w", dst, addr, err)
+		return nil, fmt.Errorf("tcp: dial %v at %s: %w (%w)", dst, addr, err, pta.ErrTransient)
 	}
 	t.nDials.Inc()
 	// Send our identity, read theirs.

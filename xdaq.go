@@ -20,7 +20,7 @@
 //	b, _ := xdaq.NewNode(xdaq.NodeOptions{Name: "b", Node: 2})
 //	defer a.Close()
 //	defer b.Close()
-//	xdaq.ConnectLoopback(a, b)
+//	xdaq.Connect(xdaq.Loopback(), xdaq.Nodes(a, b))
 //
 //	echo := xdaq.NewDevice("echo", 0)
 //	echo.Bind(1, func(ctx *xdaq.Context, m *xdaq.Message) error {
@@ -29,22 +29,27 @@
 //	b.Plug(echo)
 //
 //	target, _ := a.Discover(2, "echo", 0)
-//	reply, _ := a.Call(target, 1, []byte("ping"))
+//	reply, _ := a.CallContext(context.Background(), target, 1, []byte("ping"))
 //	fmt.Printf("%s\n", reply) // "ping"
+//
+// Fault tolerance: Connect accepts a WithRetry policy for transient
+// transport errors, and Node.StartHealth runs a peer liveness monitor
+// that fails routes over to a backup fabric or turns a dead peer's
+// requests into fast ErrPeerDown returns.  See doc/fault-tolerance.md.
 package xdaq
 
 import (
+	"context"
 	"fmt"
+	"sync/atomic"
 	"time"
 
 	"xdaq/internal/device"
 	"xdaq/internal/executive"
+	"xdaq/internal/health"
 	"xdaq/internal/i2o"
 	"xdaq/internal/pool"
 	"xdaq/internal/pta"
-	"xdaq/internal/transport/gm"
-	"xdaq/internal/transport/loopback"
-	"xdaq/internal/transport/pci"
 	"xdaq/internal/transport/tcp"
 )
 
@@ -134,6 +139,8 @@ type Node struct {
 
 	// Agent is the peer transport agent.
 	Agent *pta.Agent
+
+	health atomic.Pointer[health.Monitor]
 }
 
 // NewNode builds and starts a node.
@@ -168,8 +175,12 @@ func NewNode(opts NodeOptions) (*Node, error) {
 	return &Node{Exec: e, Agent: agent}, nil
 }
 
-// Close shuts the node down: transports first, then the executive.
+// Close shuts the node down: the health monitor first, then the
+// transports, then the executive.
 func (n *Node) Close() {
+	if mon := n.health.Swap(nil); mon != nil {
+		mon.Close()
+	}
 	n.Agent.Close()
 	n.Exec.Close()
 }
@@ -201,15 +212,28 @@ func (n *Node) Send(target TID, xfunc uint16, payload []byte) error {
 	return n.Exec.Send(m)
 }
 
-// Call sends a private frame to target and returns the reply payload.  The
-// reply's buffer is released before returning; use Exec.Request directly
-// to keep zero-copy access to the reply.
+// Call sends a private frame to target and returns the reply payload,
+// bounded by the node's default request timeout.  It is CallContext with
+// a background context.
 func (n *Node) Call(target TID, xfunc uint16, payload []byte) ([]byte, error) {
+	return n.CallContext(context.Background(), target, xfunc, payload)
+}
+
+// CallContext sends a private frame to target and returns the reply
+// payload.  The context's deadline bounds the call (falling back to the
+// node's request timeout when it has none) and cancelling it abandons the
+// call immediately — the frame's buffer is released and the pending reply
+// slot is torn down.  Failures wrap the package sentinels: ErrPeerDown,
+// ErrTimeout, ErrNoRoute, ErrQueueFull.
+//
+// The reply's buffer is released before returning; use Exec.RequestContext
+// directly to keep zero-copy access to the reply.
+func (n *Node) CallContext(ctx context.Context, target TID, xfunc uint16, payload []byte) ([]byte, error) {
 	m, err := n.message(target, xfunc, payload)
 	if err != nil {
 		return nil, err
 	}
-	rep, err := n.Exec.Request(m)
+	rep, err := n.Exec.RequestContext(ctx, m)
 	if err != nil {
 		return nil, err
 	}
@@ -229,97 +253,6 @@ func (n *Node) message(target TID, xfunc uint16, payload []byte) (*Message, erro
 	m.Initiator = TIDExecutive
 	m.XFunction = xfunc
 	return m, nil
-}
-
-// ConnectLoopback wires the given nodes over an in-process loopback
-// fabric: every node gets an endpoint and a route to every other node.
-func ConnectLoopback(nodes ...*Node) error {
-	fabric := loopback.NewFabric()
-	for _, n := range nodes {
-		ep, err := fabric.Attach(n.Exec.Node())
-		if err != nil {
-			return err
-		}
-		ep.SetMetrics(n.Exec.Metrics())
-		if err := n.Agent.Register(ep, pta.Task); err != nil {
-			return err
-		}
-	}
-	for _, n := range nodes {
-		for _, peer := range nodes {
-			if n != peer {
-				n.Exec.SetRoute(peer.Exec.Node(), loopback.DefaultName)
-			}
-		}
-	}
-	return nil
-}
-
-// GMOptions tunes ConnectGM.
-type GMOptions struct {
-	// Mode selects task (default) or polling PT operation.
-	Mode pta.Mode
-
-	// Provide is the number of receive blocks each PT keeps posted.
-	Provide int
-}
-
-// ConnectGM wires the given nodes over a simulated Myrinet/GM fabric with
-// one NIC per node (port = node id).
-func ConnectGM(opts GMOptions, nodes ...*Node) error {
-	fabric := gm.NewFabric()
-	routes := make(map[NodeID]gm.Port, len(nodes))
-	for _, n := range nodes {
-		routes[n.Exec.Node()] = gm.Port(n.Exec.Node())
-	}
-	for _, n := range nodes {
-		nic, err := fabric.Open(routes[n.Exec.Node()])
-		if err != nil {
-			return err
-		}
-		tr, err := gm.NewTransport(nic, n.Exec.Allocator(), gm.Config{
-			Routes:  routes,
-			Provide: opts.Provide,
-			Metrics: n.Exec.Metrics(),
-		})
-		if err != nil {
-			return err
-		}
-		if err := n.Agent.Register(tr, opts.Mode); err != nil {
-			return err
-		}
-		for _, peer := range nodes {
-			if n != peer {
-				n.Exec.SetRoute(peer.Exec.Node(), gm.PTName)
-			}
-		}
-	}
-	return nil
-}
-
-// ConnectPCI wires the given nodes over a simulated PCI bus segment with
-// hardware message-unit FIFOs of the given depth (0 selects the default).
-// This is the §7 "ongoing work" configuration: frames cross the segment
-// as pointers through fixed-depth FIFOs, and the executives poll their
-// message units.
-func ConnectPCI(depth int, nodes ...*Node) error {
-	segment := pci.NewSegment(depth)
-	for _, n := range nodes {
-		ep, err := segment.Attach(n.Exec.Node())
-		if err != nil {
-			return err
-		}
-		ep.SetMetrics(n.Exec.Metrics())
-		if err := n.Agent.Register(ep, pta.Polling); err != nil {
-			return err
-		}
-		for _, peer := range nodes {
-			if n != peer {
-				n.Exec.SetRoute(peer.Exec.Node(), pci.PTName)
-			}
-		}
-	}
-	return nil
 }
 
 // ListenTCP attaches a TCP peer transport listening on addr and returns

@@ -45,7 +45,7 @@ func plugEcho(t *testing.T, n *Node) {
 }
 
 func TestQuickstartLoopback(t *testing.T) {
-	a, b := pair(t, func(a, b *Node) error { return ConnectLoopback(a, b) })
+	a, b := pair(t, func(a, b *Node) error { return Connect(Loopback(), Nodes(a, b)) })
 	plugEcho(t, b)
 	target, err := a.Discover(2, "echo", 0)
 	if err != nil {
@@ -61,7 +61,7 @@ func TestQuickstartLoopback(t *testing.T) {
 }
 
 func TestQuickstartGM(t *testing.T) {
-	a, b := pair(t, func(a, b *Node) error { return ConnectGM(GMOptions{}, a, b) })
+	a, b := pair(t, func(a, b *Node) error { return Connect(GM(), Nodes(a, b)) })
 	plugEcho(t, b)
 	target, err := a.Discover(2, "echo", 0)
 	if err != nil {
@@ -106,7 +106,7 @@ func TestQuickstartTCP(t *testing.T) {
 }
 
 func TestSendFireAndForget(t *testing.T) {
-	a, b := pair(t, func(a, b *Node) error { return ConnectLoopback(a, b) })
+	a, b := pair(t, func(a, b *Node) error { return Connect(Loopback(), Nodes(a, b)) })
 	got := make(chan []byte, 1)
 	sink := NewDevice("sink", 0)
 	sink.Bind(2, func(ctx *Context, m *Message) error {
@@ -167,7 +167,7 @@ func TestThreeNodeLoopbackMesh(t *testing.T) {
 		t.Cleanup(n.Close)
 		nodes = append(nodes, n)
 	}
-	if err := ConnectLoopback(nodes...); err != nil {
+	if err := Connect(Loopback(), Nodes(nodes...)); err != nil {
 		t.Fatal(err)
 	}
 	for _, n := range nodes {
@@ -192,7 +192,7 @@ func TestThreeNodeLoopbackMesh(t *testing.T) {
 }
 
 func TestQuickstartPCI(t *testing.T) {
-	a, b := pair(t, func(a, b *Node) error { return ConnectPCI(8, a, b) })
+	a, b := pair(t, func(a, b *Node) error { return Connect(PCI(8), Nodes(a, b)) })
 	plugEcho(t, b)
 	target, err := a.Discover(2, "echo", 0)
 	if err != nil {
@@ -225,5 +225,78 @@ func TestResolveLocal(t *testing.T) {
 	}
 	if _, err := n.Resolve("echo", 0, 0); err == nil {
 		t.Fatal("resolve after unplug")
+	}
+}
+
+func TestQuickstartTCPFabric(t *testing.T) {
+	a, b := pair(t, func(a, b *Node) error { return Connect(TCP(), Nodes(a, b)) })
+	plugEcho(t, b)
+	target, err := a.Discover(2, "echo", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := a.Call(target, 1, []byte("tcp fabric"))
+	if err != nil || string(got) != "tcp fabric" {
+		t.Fatalf("%q %v", got, err)
+	}
+}
+
+func TestDeprecatedConnectWrappers(t *testing.T) {
+	// The pre-redesign entry points must keep working for one release.
+	wrappers := map[string]func(a, b *Node) error{
+		"loopback": func(a, b *Node) error { return ConnectLoopback(a, b) },
+		"gm":       func(a, b *Node) error { return ConnectGM(GMOptions{}, a, b) },
+		"pci":      func(a, b *Node) error { return ConnectPCI(0, a, b) },
+	}
+	for name, connect := range wrappers {
+		t.Run(name, func(t *testing.T) {
+			a, b := pair(t, connect)
+			plugEcho(t, b)
+			target, err := a.Discover(2, "echo", 0)
+			if err != nil {
+				t.Fatal(err)
+			}
+			got, err := a.Call(target, 1, []byte("legacy"))
+			if err != nil || string(got) != "legacy" {
+				t.Fatalf("%q %v", got, err)
+			}
+		})
+	}
+}
+
+func TestConnectNeedsTwoNodes(t *testing.T) {
+	n, err := NewNode(quiet("solo", 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer n.Close()
+	if err := Connect(Loopback(), Nodes(n)); err == nil {
+		t.Fatal("Connect accepted a single node")
+	}
+	if err := Connect(Loopback()); err == nil {
+		t.Fatal("Connect accepted zero nodes")
+	}
+}
+
+func TestConnectWithRetryAndFaults(t *testing.T) {
+	// The first two frames on the fabric are refused; a retry policy of
+	// three attempts hides that from the application entirely.
+	in := NewFaultInjector(42).Add(FaultRule{Op: FaultError, Nth: 1, Limit: 2})
+	a, b := pair(t, func(a, b *Node) error {
+		return Connect(Loopback(), Nodes(a, b),
+			WithFaults(in),
+			WithRetry(RetryPolicy{Attempts: 3, Backoff: time.Millisecond}))
+	})
+	plugEcho(t, b)
+	target, err := a.Discover(2, "echo", 0)
+	if err != nil {
+		t.Fatalf("discover through injected faults: %v", err)
+	}
+	got, err := a.Call(target, 1, []byte("despite faults"))
+	if err != nil || string(got) != "despite faults" {
+		t.Fatalf("%q %v", got, err)
+	}
+	if n := a.Exec.Metrics().Counter("pta.retries").Value(); n == 0 {
+		t.Fatal("no retries recorded despite injected errors")
 	}
 }
