@@ -1,11 +1,11 @@
 # Development entry points.  `make check` is the gate every change must
 # pass: vet, full build, full test suite, and the race detector on the
-# packages with the most concurrency (dispatch loop, transport agent,
-# metrics hot path).
+# packages with the most concurrency (dispatch workers, scheduler,
+# transport agent, metrics hot path).
 
 GO ?= go
 
-.PHONY: check build test vet race bench
+.PHONY: check build test vet race bench benchall
 
 check: vet build test race
 
@@ -19,7 +19,15 @@ test:
 	$(GO) test ./...
 
 race:
-	$(GO) test -race ./internal/executive/ ./internal/pta/ ./internal/metrics/ ./internal/health/
+	$(GO) test -race ./internal/executive/ ./internal/queue/ ./internal/pta/ ./internal/metrics/ ./internal/health/
 
+# bench runs the dispatch-engine benchmarks (hot-path allocations, worker
+# scaling, watchdog overhead, event builder) and archives the numbers as
+# JSON for before/after comparison.
 bench:
+	$(GO) test -run '^$$' -bench 'Dispatch|EventBuilder|Watchdog' -benchmem . \
+		| tee /dev/stderr | $(GO) run ./cmd/benchjson > BENCH_dispatch.json
+
+# benchall is the full sweep across every package.
+benchall:
 	$(GO) test -bench . -benchmem ./...

@@ -67,6 +67,7 @@ func main() {
 		listen  = flag.String("listen", "127.0.0.1:0", "TCP peer transport listen address")
 		metrics = flag.String("metrics", "", "HTTP metrics address, e.g. 127.0.0.1:9190 (empty disables)")
 		alloc   = flag.String("alloc", "table", "buffer pool scheme: table or fixed")
+		disp    = flag.Int("dispatchers", 0, "parallel dispatch workers (0 or 1: the single I2O loop)")
 		health  = flag.Duration("health", 0, "peer health probe interval, e.g. 1s (0 disables)")
 		peers   = peerList{}
 		modules = moduleList{}
@@ -79,9 +80,10 @@ func main() {
 		*name = fmt.Sprintf("node%d", *node)
 	}
 	n, err := xdaq.NewNode(xdaq.NodeOptions{
-		Name:      *name,
-		Node:      i2o.NodeID(*node),
-		Allocator: *alloc,
+		Name:        *name,
+		Node:        i2o.NodeID(*node),
+		Allocator:   *alloc,
+		Dispatchers: *disp,
 	})
 	if err != nil {
 		log.Fatalf("xdaqd: %v", err)

@@ -52,12 +52,13 @@ func NewFaultInjector(seed int64) *FaultInjector { return faults.New(seed) }
 // ConnectConfig collects the options applied by Connect.  Fabrics read it
 // through their attach hook; users populate it with ConnectOption values.
 type ConnectConfig struct {
-	nodes   []*Node
-	mode    Mode
-	modeSet bool
-	provide int
-	retry   *RetryPolicy
-	faults  *FaultInjector
+	nodes       []*Node
+	mode        Mode
+	modeSet     bool
+	provide     int
+	retry       *RetryPolicy
+	faults      *FaultInjector
+	dispatchers int
 }
 
 // modeOr returns the configured mode, or def when none was set — each
@@ -101,6 +102,15 @@ func WithRetry(p RetryPolicy) ConnectOption {
 // sequence across the whole fabric.
 func WithFaults(in *FaultInjector) ConnectOption {
 	return func(c *ConnectConfig) { c.faults = in }
+}
+
+// WithDispatchers runs n parallel dispatch workers on every connected
+// node's executive (n < 1 is clamped to 1, the paper's single loop).  The
+// I2O discipline — strict priority, per-device FIFO, at most one in-flight
+// frame per device — holds for any n, so handlers written for the single
+// loop need no new locking.
+func WithDispatchers(n int) ConnectOption {
+	return func(c *ConnectConfig) { c.dispatchers = n }
 }
 
 // Fabric is one interconnect technology a cluster can be wired over.
@@ -153,6 +163,9 @@ func Connect(fabric Fabric, opts ...ConnectOption) error {
 	for _, n := range cfg.nodes {
 		if cfg.retry != nil {
 			n.Agent.SetRetryPolicy(*cfg.retry)
+		}
+		if cfg.dispatchers > 0 {
+			n.Exec.SetDispatchers(cfg.dispatchers)
 		}
 		for _, peer := range cfg.nodes {
 			if n != peer {

@@ -8,20 +8,72 @@ import (
 	"xdaq/internal/device"
 	"xdaq/internal/i2o"
 	"xdaq/internal/probe"
+	"xdaq/internal/queue"
 	"xdaq/internal/tid"
 	"xdaq/internal/trace"
 )
 
-// loop is the executive's single dispatch goroutine: the "loop of control
-// [that] remains in the executive framework".
-func (e *Executive) loop() {
-	defer close(e.loopDone)
+// dispatchWorker is one dispatch goroutine.  With Dispatchers(1) — the
+// default — a single worker draining one frame per scheduler visit IS the
+// paper's "loop of control [that] remains in the executive framework",
+// byte-identical in ordering.  With N > 1, the scheduler's exclusive
+// checkout keeps the I2O discipline intact across workers: a device's
+// frames stay FIFO and at most one is in flight, while distinct devices
+// dispatch on distinct cores.
+func (e *Executive) dispatchWorker() {
+	defer e.dispWG.Done()
+	max := e.opts.DispatchBatch
+	if max <= 0 {
+		max = 16
+	}
+	buf := make([]*i2o.Message, max)
+	var epoch uint64
 	for {
-		m, ok := e.in.Pop()
-		if !ok {
-			return
+		// Retire if the configured worker count shrank below the live
+		// count.  The check runs before every scheduler visit and
+		// PopExclusiveBatch bounces on any epoch change — even one that
+		// fired between visits — so a shrink's Interrupt can never be
+		// slept through.
+		for {
+			live := e.dispLive.Load()
+			if live <= e.dispWant.Load() {
+				break
+			}
+			if e.dispLive.CompareAndSwap(live, live-1) {
+				return
+			}
 		}
-		e.dispatch(m)
+		k := e.batchSize()
+		if k > len(buf) {
+			k = len(buf)
+		}
+		n, ok := e.in.PopExclusiveBatch(buf[:k], &epoch)
+		if !ok {
+			// Closed and drained: this worker is done for good.
+			for {
+				live := e.dispLive.Load()
+				if e.dispLive.CompareAndSwap(live, live-1) {
+					return
+				}
+			}
+		}
+		if n > 0 {
+			e.nBatches.Add(1)
+			e.dispBusy.Add(1)
+			for i := 0; i < n; i++ {
+				m := buf[i]
+				buf[i] = nil
+				// Capture before dispatch: the frame may be recycled (and
+				// its fields scrubbed) by the time dispatch returns.
+				tgt := m.Target
+				excl := queue.Exclusive(m)
+				e.dispatch(m)
+				if excl {
+					e.in.DeviceDone(tgt)
+				}
+			}
+			e.dispBusy.Add(-1)
+		}
 	}
 }
 
@@ -30,8 +82,10 @@ func (e *Executive) loop() {
 // Table 1 around each stage.
 func (e *Executive) dispatch(m *i2o.Message) {
 	// Replies to synchronous requests never reach a handler; the waiting
-	// Request call owns them.
-	if m.Flags.Has(i2o.FlagReply) && m.InitiatorContext != 0 {
+	// Request call owns them.  (A correlated reply with no waiter here may
+	// still target a proxy — a bridge IOP relays it onward below.)
+	correlated := m.Flags.Has(i2o.FlagReply) && m.InitiatorContext != 0
+	if correlated {
 		if p := e.takePending(m.InitiatorContext); p != nil {
 			e.nReplies.Add(1)
 			p.ch <- m
@@ -50,6 +104,16 @@ func (e *Executive) dispatch(m *i2o.Message) {
 			e.Logf("forward %v: %v", entry.TID, err)
 			e.nFailures.Add(1)
 		}
+		return
+	}
+
+	// A correlated reply for a local device whose waiter already gave up is
+	// dropped rather than upcalled: the scheduler dispatched it without
+	// checking out its device (see queue.Exclusive), so running a handler
+	// here could race the device's in-flight frame.
+	if correlated {
+		e.nDropped.Add(1)
+		m.Recycle()
 		return
 	}
 
@@ -77,11 +141,11 @@ func (e *Executive) dispatchFast(d *device.Device, m *i2o.Message) {
 	e.traceFrame(trace.Dispatched, m)
 	h, ctx, err := d.Lookup(m)
 	if err != nil {
-		// Late replies (whose waiter timed out) fall through to here; they
-		// are dropped silently rather than answered, which would loop.
+		// Uncorrelated late replies fall through to here; they are dropped
+		// silently rather than answered, which would loop.
 		if m.Flags.Has(i2o.FlagReply) {
 			e.nDropped.Add(1)
-			m.Release()
+			m.Recycle()
 			return
 		}
 		e.failAndRelease(m, i2o.FailUnknownFunction, err.Error())
@@ -92,7 +156,7 @@ func (e *Executive) dispatchFast(d *device.Device, m *i2o.Message) {
 	if err != nil {
 		e.fail(m, failCodeFor(err), err.Error())
 	}
-	m.Release()
+	m.Recycle()
 }
 
 // dispatchProbed mirrors dispatchFast with a probe around every stage,
@@ -107,7 +171,7 @@ func (e *Executive) dispatchProbed(d *device.Device, m *i2o.Message) {
 	if err != nil {
 		if m.Flags.Has(i2o.FlagReply) {
 			e.nDropped.Add(1)
-			m.Release()
+			m.Recycle()
 			return
 		}
 		e.failAndRelease(m, i2o.FailUnknownFunction, err.Error())
@@ -134,25 +198,38 @@ func (e *Executive) dispatchProbed(d *device.Device, m *i2o.Message) {
 	}
 	e.Free(m)
 	e.pRelease.Since(t2)
+	m.Recycle()
 }
 
 // invoke runs a handler with panic containment and, when configured, the
 // watchdog deadline.  A panicking or overrunning handler faults its device
 // so the round-robin loop cannot be monopolized (§4).
+//
+// The watchdog path borrows a reusable runner goroutine and a pooled timer
+// instead of spawning both per frame; the spawn cost is paid only the
+// first time (or after a timeout strands a runner on its stuck handler).
 func (e *Executive) invoke(d *device.Device, h device.Handler, ctx *device.Context, m *i2o.Message) error {
 	if e.opts.Watchdog <= 0 {
 		return e.safeCall(d, h, ctx, m)
 	}
-	done := make(chan error, 1)
-	go func() { done <- e.safeCall(d, h, ctx, m) }()
-	timer := time.NewTimer(e.opts.Watchdog)
-	defer timer.Stop()
+	r := e.runners.get(e)
+	r.in <- wdJob{d: d, h: h, ctx: ctx, m: m}
+	t := acquireTimer(e.opts.Watchdog)
 	select {
-	case err := <-done:
+	case err := <-r.done:
+		releaseTimer(t)
+		e.runners.put(r)
 		return err
-	case <-timer.C:
+	case <-t.C:
+		releaseTimer(t)
 		d.SetState(device.Faulted)
 		e.Logf("watchdog: %s exceeded %v handling %v; device faulted", d, e.opts.Watchdog, m)
+		// The runner is stuck in the overrunning handler; reap it back to
+		// the pool whenever the handler finally returns.
+		go func() {
+			<-r.done
+			e.runners.put(r)
+		}()
 		return fmt.Errorf("%w: handler exceeded %v", errAborted, e.opts.Watchdog)
 	}
 }
@@ -203,8 +280,8 @@ func (e *Executive) fail(req *i2o.Message, code i2o.FailCode, detail string) {
 	}
 }
 
-// failAndRelease is fail followed by releasing the request's buffer.
+// failAndRelease is fail followed by recycling the request frame.
 func (e *Executive) failAndRelease(req *i2o.Message, code i2o.FailCode, detail string) {
 	e.fail(req, code, detail)
-	req.Release()
+	req.Recycle()
 }

@@ -4,11 +4,15 @@
 // registered with it (§4 of the paper).
 //
 // The executive is deliberately lean — "after all, the executive is very
-// lean as it acts only as a delegate": one dispatch goroutine pops frames
-// from the seven-priority scheduler and upcalls the target device's
-// handler.  There is no thread per active object; peer transports in task
-// mode have their own goroutines but only post frames to the inbound
-// queue.  The executive is itself an I2O device: it claims TiD 1, answers
+// lean as it acts only as a delegate": by default one dispatch goroutine
+// pops frames from the seven-priority scheduler and upcalls the target
+// device's handler, exactly the paper's loop of control.  Options.
+// Dispatchers > 1 opts into the parallel engine: N workers drain the same
+// scheduler under per-device exclusive checkout, keeping the I2O
+// discipline (strict priority, per-device FIFO, one in-flight frame per
+// device) while spreading distinct devices across cores.  There is no
+// thread per active object; peer transports in task mode have their own
+// goroutines but only post frames to the inbound queue.  The executive is itself an I2O device: it claims TiD 1, answers
 // the executive function codes (status, resource table, plug/unplug,
 // enable/quiesce, timers, system table) and is configured through the very
 // message format it dispatches.
@@ -66,6 +70,25 @@ type Options struct {
 	// the dispatch goroutine — the efficient configuration measured in the
 	// paper.
 	Watchdog time.Duration
+
+	// Dispatchers is the number of parallel dispatch workers; 0 or 1 runs
+	// the paper's single loop of control with byte-identical scheduling.
+	// With N > 1 the I2O discipline still holds — strict priority across
+	// levels, FIFO per target device, at most one in-flight frame per
+	// device — but distinct devices dispatch concurrently, so handlers
+	// written for the single loop need no new locking.  Reconfigurable at
+	// runtime through SetDispatchers.
+	Dispatchers int
+
+	// DispatchBatch caps how many frames one worker drains from the
+	// scheduler per lock acquisition.  0 (the default) drains one frame
+	// per visit: priority is re-evaluated between every frame, exactly as
+	// the paper's loop, and with parallel dispatchers a slow handler never
+	// delays frames for other devices.  Values above 1 amortize the
+	// scheduler lock for throughput at the cost of that isolation — a
+	// worker dispatches its claimed batch in order, so frames late in a
+	// batch wait on the handlers before them.
+	DispatchBatch int
 
 	// Probes receives the whitebox timing samples; defaults to
 	// probe.Default.  Collection only happens while probe.Enable(true).
@@ -126,6 +149,7 @@ type Executive struct {
 	nReplies    *metrics.Counter
 	nFailures   *metrics.Counter
 	nDropped    *metrics.Counter
+	nBatches    *metrics.Counter
 
 	pDemux     *probe.Point
 	pUpcall    *probe.Point
@@ -137,8 +161,23 @@ type Executive struct {
 	traceOn   atomic.Bool
 	traceRing *trace.Ring
 
+	// Dispatch worker bookkeeping.  dispWant is the configured worker
+	// count, dispLive the number currently running (they converge: surplus
+	// workers retire themselves via a CAS on dispLive after the scheduler
+	// bounces them with Interrupt), dispBusy how many are mid-batch.
+	dispMu     sync.Mutex
+	dispClosed bool
+	dispWant   atomic.Int32
+	dispLive   atomic.Int32
+	dispBusy   atomic.Int32
+	dispWG     sync.WaitGroup
+
+	// runners is the reusable watchdog handler-runner pool (see
+	// watchdog.go): with Watchdog > 0, dispatching borrows a runner
+	// goroutine instead of spawning one per frame.
+	runners runnerPool
+
 	closeOnce sync.Once
-	loopDone  chan struct{}
 }
 
 // Errors.
@@ -166,6 +205,43 @@ type pendingReq struct {
 	ch   chan *i2o.Message
 	fail chan error
 	node i2o.NodeID
+}
+
+// pendingPool recycles pendingReq slots and their channels across Request
+// calls: the request hot path allocates neither.  Ownership discipline
+// guards against late replies landing in a reused slot — only the party
+// that removed the map entry under pendMu may deliver, and the waiter only
+// recycles a slot proven quiescent (it consumed the delivery, or its own
+// dropPending removed the entry so no delivery will ever come).
+var pendingPool = sync.Pool{New: func() any {
+	return &pendingReq{ch: make(chan *i2o.Message, 1), fail: make(chan error, 1)}
+}}
+
+func getPending(node i2o.NodeID) *pendingReq {
+	p := pendingPool.Get().(*pendingReq)
+	p.node = node
+	return p
+}
+
+// putPending returns a quiescent slot to the pool.  The drains are belt
+// and braces: under the ownership discipline both channels are already
+// empty.
+func putPending(p *pendingReq) {
+	select {
+	case rep, ok := <-p.ch:
+		if ok && rep != nil {
+			rep.Recycle()
+		}
+		if !ok {
+			return // closed channel: the slot is dead, never reuse it
+		}
+	default:
+	}
+	select {
+	case <-p.fail:
+	default:
+	}
+	pendingPool.Put(p)
 }
 
 // New creates and starts an executive.  The dispatch loop runs until Close.
@@ -202,7 +278,6 @@ func New(opts Options) *Executive {
 		pending:   make(map[uint32]*pendingReq),
 		downPeers: make(map[i2o.NodeID]struct{}),
 		timers:    make(map[uint32]*time.Timer),
-		loopDone:  make(chan struct{}),
 
 		reg:         opts.Metrics,
 		nDispatched: opts.Metrics.Counter("exec.dispatched"),
@@ -210,6 +285,7 @@ func New(opts Options) *Executive {
 		nReplies:    opts.Metrics.Counter("exec.replies"),
 		nFailures:   opts.Metrics.Counter("exec.failures"),
 		nDropped:    opts.Metrics.Counter("exec.dropped"),
+		nBatches:    opts.Metrics.Counter("exec.dispatch.batches"),
 
 		pDemux:     opts.Probes.Point("exec.demux"),
 		pUpcall:    opts.Probes.Point("exec.upcall"),
@@ -236,8 +312,47 @@ func New(opts Options) *Executive {
 	}
 	e.self.SetState(device.Operational)
 
-	go e.loop()
+	e.SetDispatchers(opts.Dispatchers)
 	return e
+}
+
+// SetDispatchers reconfigures the number of parallel dispatch workers at
+// runtime (n < 1 is clamped to 1).  Growing spawns workers immediately;
+// shrinking interrupts the scheduler so surplus workers retire after their
+// current batch.  Frames never stall during either transition.
+func (e *Executive) SetDispatchers(n int) {
+	if n < 1 {
+		n = 1
+	}
+	e.dispMu.Lock()
+	defer e.dispMu.Unlock()
+	if e.dispClosed {
+		return
+	}
+	e.dispWant.Store(int32(n))
+	for int(e.dispLive.Load()) < n {
+		e.dispLive.Add(1)
+		e.dispWG.Add(1)
+		go e.dispatchWorker()
+	}
+	if int(e.dispLive.Load()) > n {
+		e.in.Interrupt()
+	}
+}
+
+// Dispatchers returns the configured dispatch worker count.
+func (e *Executive) Dispatchers() int { return int(e.dispWant.Load()) }
+
+// batchSize is the per-lock drain limit a worker uses.  The default of 1
+// reproduces the paper's loop exactly (priority re-evaluated between every
+// frame) and keeps parallel workers from claiming frames they cannot
+// dispatch yet — a batch is dispatched in order by one worker, so any
+// frame after a slow handler would wait on it.
+func (e *Executive) batchSize() int {
+	if e.opts.DispatchBatch > 0 {
+		return e.opts.DispatchBatch
+	}
+	return 1
 }
 
 // registerMetrics publishes the executive's sampled gauges and installs
@@ -255,6 +370,10 @@ func (e *Executive) registerMetrics() {
 		})
 	}
 	e.reg.Func("exec.devices", func() int64 { return int64(len(e.Devices())) })
+
+	e.reg.Func("exec.dispatchers", func() int64 { return int64(e.dispWant.Load()) })
+	e.reg.Func("exec.dispatchers.live", func() int64 { return int64(e.dispLive.Load()) })
+	e.reg.Func("exec.dispatchers.busy", func() int64 { return int64(e.dispBusy.Load()) })
 
 	e.reg.Func("pool.allocs", func() int64 { return int64(e.alloc.Stats().Allocs) })
 	e.reg.Func("pool.fails", func() int64 { return int64(e.alloc.Stats().Fails) })
@@ -513,7 +632,7 @@ func (e *Executive) Devices() []*device.Device {
 	return out
 }
 
-// Close stops the dispatch loop, cancels timers and releases queued
+// Close stops the dispatch workers, cancels timers and releases queued
 // frames.  It is idempotent.
 func (e *Executive) Close() {
 	e.closeOnce.Do(func() {
@@ -524,10 +643,13 @@ func (e *Executive) Close() {
 		}
 		e.timerMu.Unlock()
 
+		e.dispMu.Lock()
+		e.dispClosed = true
+		e.dispMu.Unlock()
 		e.in.Close()
-		<-e.loopDone
+		e.dispWG.Wait()
 		for _, m := range e.in.Drain() {
-			m.Release()
+			m.Recycle()
 		}
 
 		e.pendMu.Lock()
@@ -536,5 +658,7 @@ func (e *Executive) Close() {
 			delete(e.pending, ctx)
 		}
 		e.pendMu.Unlock()
+
+		e.runners.close()
 	})
 }

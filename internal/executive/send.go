@@ -26,18 +26,19 @@ func (e *Executive) Alloc(n int) (*pool.Buffer, error) {
 }
 
 // AllocMessage builds a private message whose payload lives in a fresh
-// pool block of n bytes, ready for zero-copy sending.
+// pool block of n bytes, ready for zero-copy sending.  The frame struct
+// comes from the i2o free list and is recycled by the dispatcher once its
+// dispatch ends, so steady-state senders allocate nothing per message.
 func (e *Executive) AllocMessage(n int) (*i2o.Message, error) {
 	b, err := e.Alloc(n)
 	if err != nil {
 		return nil, err
 	}
-	m := &i2o.Message{
-		Priority: i2o.PriorityDefault,
-		Function: i2o.FuncPrivate,
-		Org:      i2o.OrgXDAQ,
-		Payload:  b.Bytes(),
-	}
+	m := i2o.AcquireMessage()
+	m.Priority = i2o.PriorityDefault
+	m.Function = i2o.FuncPrivate
+	m.Org = i2o.OrgXDAQ
+	m.Payload = b.Bytes()
 	m.AttachBuffer(b)
 	return m, nil
 }
@@ -202,13 +203,22 @@ func (e *Executive) requestContext(ctx context.Context, m *i2o.Message, bypassDo
 	if entry, ok := e.table.Lookup(m.Target); ok && entry.Kind == tid.Proxy {
 		node = entry.Node
 	}
-	p := &pendingReq{ch: make(chan *i2o.Message, 1), fail: make(chan error, 1), node: node}
+	p := getPending(node)
 	e.pendMu.Lock()
 	e.pending[reqCtx] = p
 	e.pendMu.Unlock()
 
+	// Capture before send: ownership of m passes to the executive, and for
+	// a local target the dispatcher may have recycled the frame (scrubbing
+	// its fields) before we read it again.
+	target := m.Target
+
 	if err := e.send(m, bypassDown); err != nil {
-		e.dropPending(reqCtx)
+		if e.dropPending(reqCtx) {
+			// Nobody delivered into the slot (a racing peer-down sweep
+			// would have removed the entry first), so it is reusable.
+			putPending(p)
+		}
 		return nil, err
 	}
 
@@ -218,35 +228,54 @@ func (e *Executive) requestContext(ctx context.Context, m *i2o.Message, bypassDo
 	var fallback time.Duration
 	if _, hasDeadline := ctx.Deadline(); !hasDeadline {
 		fallback = e.opts.RequestTimeout
-		timer := time.NewTimer(fallback)
-		defer timer.Stop()
+		timer := acquireTimer(fallback)
+		defer releaseTimer(timer)
 		timeoutC = timer.C
 	}
 
-	target := m.Target
 	select {
 	case rep, ok := <-p.ch:
 		if !ok {
+			// Close() shut the channel; the slot is dead, leave it to the
+			// garbage collector.
 			return nil, ErrClosed
 		}
+		putPending(p)
 		if err := i2o.ReplyError(rep); err != nil {
-			rep.Release()
+			rep.Recycle()
 			return nil, replyFailure(err)
 		}
 		return rep, nil
 	case err := <-p.fail:
+		putPending(p)
 		return nil, err
 	case <-ctx.Done():
-		e.dropPending(reqCtx)
-		e.drainParked(p)
+		e.abandonPending(reqCtx, p)
 		if errors.Is(ctx.Err(), context.DeadlineExceeded) {
 			return nil, fmt.Errorf("%w: %v (%v)", ErrTimeout, ctx.Err(), target)
 		}
 		return nil, ctx.Err()
 	case <-timeoutC:
-		e.dropPending(reqCtx)
-		e.drainParked(p)
+		e.abandonPending(reqCtx, p)
 		return nil, fmt.Errorf("%w after %v (%v)", ErrTimeout, fallback, target)
+	}
+}
+
+// abandonPending gives up on a pending request at timeout or cancellation.
+// Recycling the slot is only legal when no delivery can still be in
+// flight: either our dropPending removed the map entry (so nobody else
+// ever will deliver), or the racing deliverer's frame is already parked in
+// the buffered channel (consuming it proves the delivery completed).  A
+// deliverer that removed the entry but has not yet parked its frame keeps
+// the slot: it is abandoned to the garbage collector and the late frame
+// with it.
+func (e *Executive) abandonPending(reqCtx uint32, p *pendingReq) {
+	if e.dropPending(reqCtx) {
+		putPending(p)
+		return
+	}
+	if e.drainParked(p) {
+		putPending(p)
 	}
 }
 
@@ -263,15 +292,17 @@ func replyFailure(err error) error {
 
 // drainParked releases a reply the dispatcher may have parked in the
 // buffered channel just before the waiter gave up, so its pool buffer is
-// not stranded.  (A delivery racing in after this drain leaves only the
-// frame struct to the garbage collector.)
-func (e *Executive) drainParked(p *pendingReq) {
+// not stranded.  It reports whether a delivery was actually consumed
+// (false also covers a channel closed by Close).
+func (e *Executive) drainParked(p *pendingReq) bool {
 	select {
 	case rep, ok := <-p.ch:
 		if ok && rep != nil {
-			rep.Release()
+			rep.Recycle()
 		}
+		return ok
 	default:
+		return false
 	}
 }
 
@@ -292,7 +323,7 @@ func (e *Executive) PingContext(ctx context.Context, node i2o.NodeID) error {
 	if err != nil {
 		return err
 	}
-	rep.Release()
+	rep.Recycle()
 	return nil
 }
 
@@ -305,10 +336,17 @@ func (e *Executive) nextContext() uint32 {
 	}
 }
 
-func (e *Executive) dropPending(ctx uint32) {
+// dropPending unregisters a pending request, reporting whether the entry
+// was still present — i.e. whether the caller, not some racing deliverer,
+// won ownership of the slot.
+func (e *Executive) dropPending(ctx uint32) bool {
 	e.pendMu.Lock()
-	delete(e.pending, ctx)
+	_, ok := e.pending[ctx]
+	if ok {
+		delete(e.pending, ctx)
+	}
 	e.pendMu.Unlock()
+	return ok
 }
 
 // takePending claims the waiter for a reply context.

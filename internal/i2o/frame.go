@@ -4,6 +4,7 @@ import (
 	"encoding/binary"
 	"errors"
 	"fmt"
+	"sync"
 )
 
 // Flags carries the frame control bits.
@@ -93,7 +94,40 @@ type Message struct {
 	// an executive it aliases a buffer pool block; Release returns it.
 	Payload []byte
 
-	buf Releaser
+	buf    Releaser
+	pooled bool
+}
+
+// framePool is the message-struct free list backing the allocation-free
+// dispatch hot path: frames acquired here are recycled by the executive
+// once dispatch ends (or by the caller, for replies it owns), so the
+// steady-state messaging path creates no garbage.  It is the in-memory
+// analogue of the paper's frame buffer recycling, applied to the frame
+// descriptors themselves.
+var framePool = sync.Pool{New: func() any { return new(Message) }}
+
+// AcquireMessage returns a zeroed frame from the package free list.  The
+// frame is marked as pool-managed: whoever terminally owns it may call
+// Recycle to return the struct for reuse.  Frames built as plain struct
+// literals are never pooled and are left to the garbage collector.
+func AcquireMessage() *Message {
+	m := framePool.Get().(*Message)
+	m.pooled = true
+	return m
+}
+
+// Recycle releases the attached buffer (like Release) and, when the frame
+// came from AcquireMessage, returns the struct to the free list.  The
+// message must not be used afterwards.  Calling Recycle on a non-pooled
+// frame is equivalent to Release, so terminal dispatch paths can call it
+// unconditionally.
+func (m *Message) Recycle() {
+	m.Release()
+	if !m.pooled {
+		return
+	}
+	*m = Message{}
+	framePool.Put(m)
 }
 
 // HeaderSize returns the byte size of this message's header on the wire.
@@ -277,6 +311,20 @@ func Decode(src []byte) (*Message, int, error) {
 	return &m, n, nil
 }
 
+// DecodeAcquired is Decode returning a frame from the package free list,
+// so receive paths that hand the frame to a dispatcher (which recycles it
+// at end of dispatch) allocate no frame descriptor per message.  On error
+// the acquired frame is returned to the pool before reporting.
+func DecodeAcquired(src []byte) (*Message, int, error) {
+	m := AcquireMessage()
+	n, err := decode(m, src, nil)
+	if err != nil {
+		m.Recycle()
+		return nil, 0, err
+	}
+	return m, n, nil
+}
+
 // DecodeInto parses one frame from src, copying the payload into
 // payloadDst, which must be at least as large as the payload.  The parsed
 // message's Payload aliases payloadDst.  It returns the bytes consumed
@@ -332,6 +380,7 @@ func decode(m *Message, src, payloadDst []byte) (int, error) {
 		Function:           fn,
 		InitiatorContext:   binary.LittleEndian.Uint32(src[8:]),
 		TransactionContext: binary.LittleEndian.Uint32(src[12:]),
+		pooled:             m.pooled,
 	}
 	if fn.IsPrivate() {
 		x := binary.LittleEndian.Uint32(src[16:])
@@ -353,19 +402,22 @@ func decode(m *Message, src, payloadDst []byte) (int, error) {
 
 // NewReply builds the reply skeleton for req: addresses are swapped, the
 // function code and contexts are preserved, and the reply flag is set.  The
-// caller fills in the payload (and the fail flag, for failures).
+// caller fills in the payload (and the fail flag, for failures).  The frame
+// comes from the package free list; the waiter that consumes it may call
+// Recycle (Release keeps working and merely leaves the struct to the
+// garbage collector).
 func NewReply(req *Message) *Message {
-	return &Message{
-		Flags:              FlagReply,
-		Priority:           req.Priority,
-		Target:             req.Initiator,
-		Initiator:          req.Target,
-		Function:           req.Function,
-		InitiatorContext:   req.InitiatorContext,
-		TransactionContext: req.TransactionContext,
-		XFunction:          req.XFunction,
-		Org:                req.Org,
-	}
+	m := AcquireMessage()
+	m.Flags = FlagReply
+	m.Priority = req.Priority
+	m.Target = req.Initiator
+	m.Initiator = req.Target
+	m.Function = req.Function
+	m.InitiatorContext = req.InitiatorContext
+	m.TransactionContext = req.TransactionContext
+	m.XFunction = req.XFunction
+	m.Org = req.Org
+	return m
 }
 
 // String renders a compact one-line summary for logs and tests.

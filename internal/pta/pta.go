@@ -119,6 +119,12 @@ type slot struct {
 	dev       *device.Device
 	suspended atomic.Bool
 
+	// deliver is the route's delivery callback, built once at Register
+	// time: the poll scan and task starts share it instead of closing over
+	// the route per call (the scan runs per frame batch, so a per-call
+	// closure was measurable garbage).
+	deliver Deliver
+
 	// Per-route traffic counters (pta.<route>.sent etc.), created at
 	// Register time from the executive's registry.
 	cSent      *metrics.Counter
@@ -197,6 +203,13 @@ func (a *Agent) Register(pt PeerTransport, mode Mode) error {
 		cRecvBytes: reg.Counter("pta." + pt.Name() + ".recvBytes"),
 	}
 	s.dev = device.New(pt.Name(), 0)
+	route := pt.Name()
+	s.deliver = func(src i2o.NodeID, m *i2o.Message) error {
+		a.nReceived.Inc()
+		s.cRecv.Inc()
+		s.cRecvBytes.Add(uint64(m.WireSize()))
+		return a.exec.InjectFrom(src, route, m)
+	}
 	s.dev.Params().Set("mode", mode.String())
 	s.dev.Params().Set("suspended", false)
 	s.dev.Params().OnSet(func(changed []i2o.Param) {
@@ -224,7 +237,7 @@ func (a *Agent) Register(pt PeerTransport, mode Mode) error {
 		return fmt.Errorf("pta: plug %s: %w", pt.Name(), err)
 	}
 	if mode == Task {
-		if err := pt.Start(a.deliverFunc(pt.Name())); err != nil {
+		if err := pt.Start(s.deliver); err != nil {
 			a.mu.Lock()
 			delete(a.slots, pt.Name())
 			a.mu.Unlock()
@@ -232,24 +245,6 @@ func (a *Agent) Register(pt PeerTransport, mode Mode) error {
 		}
 	}
 	return nil
-}
-
-// deliverFunc builds the delivery callback for one route: frames received
-// there are injected with return-proxy rewriting (peer operation step 7).
-// Frame and byte counts are recorded before injection, because ownership
-// of the frame passes to the executive.
-func (a *Agent) deliverFunc(route string) Deliver {
-	a.mu.RLock()
-	s := a.slots[route]
-	a.mu.RUnlock()
-	return func(src i2o.NodeID, m *i2o.Message) error {
-		a.nReceived.Inc()
-		if s != nil {
-			s.cRecv.Inc()
-			s.cRecvBytes.Add(uint64(m.WireSize()))
-		}
-		return a.exec.InjectFrom(src, route, m)
-	}
 }
 
 // SetRetryPolicy installs the forward retry policy for all routes.
@@ -402,7 +397,7 @@ func (a *Agent) pollLoop() {
 		}
 		delivered := 0
 		for _, s := range slots {
-			delivered += s.pt.Poll(a.deliverFunc(s.pt.Name()), pollBudget)
+			delivered += s.pt.Poll(s.deliver, pollBudget)
 		}
 		if delivered > 0 {
 			// Only productive rounds are observed; empty spins would swamp

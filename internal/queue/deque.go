@@ -30,6 +30,13 @@ func (d *deque) pushBack(it item) {
 	d.n++
 }
 
+func (d *deque) front() item {
+	if d.n == 0 {
+		return item{}
+	}
+	return d.buf[d.head]
+}
+
 func (d *deque) popFront() item {
 	if d.n == 0 {
 		return item{}

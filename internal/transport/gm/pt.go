@@ -195,7 +195,7 @@ func (t *Transport) handle(r Recv, fn pta.Deliver) error {
 		}
 		return fmt.Errorf("gm: frame from unmapped port %d", r.Src)
 	}
-	m, _, err := i2o.Decode(r.Buf[:r.N])
+	m, _, err := i2o.DecodeAcquired(r.Buf[:r.N])
 	if err != nil {
 		if isBlock {
 			buf.Release()

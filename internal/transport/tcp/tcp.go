@@ -339,7 +339,7 @@ func (t *Transport) readLoop(pc *peerConn) {
 			block.Release()
 			return
 		}
-		m, _, err := i2o.Decode(block.Bytes())
+		m, _, err := i2o.DecodeAcquired(block.Bytes())
 		if err != nil {
 			block.Release()
 			return

@@ -127,6 +127,19 @@ type NodeOptions struct {
 	// Watchdog bounds handler run time (0 = disabled, the fast path).
 	Watchdog time.Duration
 
+	// Dispatchers is the number of parallel dispatch workers (0 or 1 = the
+	// paper's single loop of control).  N > 1 dispatches distinct devices
+	// on distinct cores while keeping per-device FIFO order and
+	// at-most-one-in-flight per device, so handlers need no new locking.
+	// Also settable per Connect call via WithDispatchers.
+	Dispatchers int
+
+	// DispatchBatch caps frames drained from the scheduler per lock
+	// acquisition (0 = 1: full priority preemption and slow-device
+	// isolation; larger batches trade those for scheduler-lock
+	// amortization).
+	DispatchBatch int
+
 	// Logf sinks diagnostics (default: standard logger).
 	Logf func(format string, args ...any)
 }
@@ -165,6 +178,8 @@ func NewNode(opts NodeOptions) (*Node, error) {
 		QueueCapacity:  opts.QueueCapacity,
 		RequestTimeout: opts.RequestTimeout,
 		Watchdog:       opts.Watchdog,
+		Dispatchers:    opts.Dispatchers,
+		DispatchBatch:  opts.DispatchBatch,
 		Logf:           opts.Logf,
 	})
 	agent, err := pta.New(e)
@@ -238,7 +253,7 @@ func (n *Node) CallContext(ctx context.Context, target TID, xfunc uint16, payloa
 		return nil, err
 	}
 	out := append([]byte(nil), rep.Payload...)
-	rep.Release()
+	rep.Recycle()
 	return out, nil
 }
 
