@@ -5,7 +5,7 @@
 
 GO ?= go
 
-.PHONY: check build test vet race bench benchall
+.PHONY: check build test vet race bench bench-remote benchall
 
 check: vet build test race
 
@@ -19,7 +19,7 @@ test:
 	$(GO) test ./...
 
 race:
-	$(GO) test -race ./internal/executive/ ./internal/queue/ ./internal/pta/ ./internal/metrics/ ./internal/health/
+	$(GO) test -race ./internal/executive/ ./internal/queue/ ./internal/pta/ ./internal/metrics/ ./internal/health/ ./internal/transport/tcp/ ./internal/transport/gm/
 
 # bench runs the dispatch-engine benchmarks (hot-path allocations, worker
 # scaling, watchdog overhead, event builder) and archives the numbers as
@@ -27,6 +27,14 @@ race:
 bench:
 	$(GO) test -run '^$$' -bench 'Dispatch|EventBuilder|Watchdog' -benchmem . \
 		| tee /dev/stderr | $(GO) run ./cmd/benchjson > BENCH_dispatch.json
+
+# bench-remote runs the remote data-path benchmarks (batched send path,
+# request/reply latency sweep, batched-vs-unbatched throughput under
+# concurrent senders) and archives them, baseline included, as JSON.
+# Merge with other archives via `go run ./cmd/benchjson a.json b.json`.
+bench-remote:
+	$(GO) test -run '^$$' -bench 'Remote' -benchmem -timeout 30m ./internal/transport/tcp/ \
+		| tee /dev/stderr | $(GO) run ./cmd/benchjson > BENCH_remote.json
 
 # benchall is the full sweep across every package.
 benchall:

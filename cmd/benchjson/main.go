@@ -1,15 +1,23 @@
 // Command benchjson converts `go test -bench` text output on stdin into a
 // JSON document on stdout, so benchmark runs can be archived and diffed
-// (see the Makefile's bench target, which writes BENCH_dispatch.json).
+// (see the Makefile's bench and bench-remote targets, which write
+// BENCH_dispatch.json and BENCH_remote.json).
 //
 // Usage:
 //
 //	go test -bench Dispatch -benchmem . | go run ./cmd/benchjson > BENCH_dispatch.json
+//	go run ./cmd/benchjson BENCH_dispatch.json BENCH_remote.json > BENCH_all.json
 //
 // Each benchmark line becomes one record with the standard columns
 // (iterations, ns/op, B/op, allocs/op, MB/s) plus any custom
 // b.ReportMetric values keyed by their unit.  Context lines (goos, goarch,
 // cpu, pkg) are captured into the header.
+//
+// With file arguments benchjson runs in merge mode instead: each argument
+// is a previously archived JSON document, and the output is one document
+// holding every result.  The header comes from the first file; results
+// from a file whose package differs are tagged with their own pkg so the
+// provenance survives the merge.
 package main
 
 import (
@@ -24,6 +32,7 @@ import (
 // Result is one parsed benchmark line.
 type Result struct {
 	Name       string             `json:"name"`
+	Pkg        string             `json:"pkg,omitempty"` // set in merged documents when it differs from the header
 	Iterations int64              `json:"iterations"`
 	NsPerOp    float64            `json:"ns_per_op"`
 	MBPerSec   float64            `json:"mb_per_s,omitempty"`
@@ -42,6 +51,13 @@ type Report struct {
 }
 
 func main() {
+	if len(os.Args) > 1 {
+		if err := merge(os.Args[1:]); err != nil {
+			fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
 	rep := Report{Results: []Result{}}
 	sc := bufio.NewScanner(os.Stdin)
 	sc.Buffer(make([]byte, 1<<20), 1<<20)
@@ -72,6 +88,36 @@ func main() {
 		fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
 		os.Exit(1)
 	}
+}
+
+// merge reads previously archived reports and writes one combined report.
+// The header (goos/goarch/cpu/pkg) is taken from the first file; results
+// whose source package differs from that header carry their own pkg.
+func merge(files []string) error {
+	var out Report
+	out.Results = []Result{}
+	for i, name := range files {
+		data, err := os.ReadFile(name)
+		if err != nil {
+			return err
+		}
+		var rep Report
+		if err := json.Unmarshal(data, &rep); err != nil {
+			return fmt.Errorf("%s: %w", name, err)
+		}
+		if i == 0 {
+			out.Goos, out.Goarch, out.CPU, out.Pkg = rep.Goos, rep.Goarch, rep.CPU, rep.Pkg
+		}
+		for _, r := range rep.Results {
+			if r.Pkg == "" && rep.Pkg != out.Pkg {
+				r.Pkg = rep.Pkg
+			}
+			out.Results = append(out.Results, r)
+		}
+	}
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	return enc.Encode(out)
 }
 
 // parseLine parses one benchmark result line of the form:

@@ -1,0 +1,80 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestParseLine(t *testing.T) {
+	r, ok := parseLine("BenchmarkRemoteSend-4   1000   9357 ns/op   27.36 MB/s   0 B/op   0 allocs/op")
+	if !ok {
+		t.Fatal("line not parsed")
+	}
+	if r.Name != "BenchmarkRemoteSend-4" || r.Iterations != 1000 ||
+		r.NsPerOp != 9357 || r.MBPerSec != 27.36 || r.AllocsOp != 0 {
+		t.Fatalf("parsed %+v", r)
+	}
+	if _, ok := parseLine("not a benchmark"); ok {
+		t.Fatal("junk line parsed")
+	}
+}
+
+func writeReport(t *testing.T, dir, name string, rep Report) string {
+	t.Helper()
+	data, err := json.Marshal(rep)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := filepath.Join(dir, name)
+	if err := os.WriteFile(p, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func TestMergeCombinesReports(t *testing.T) {
+	dir := t.TempDir()
+	a := writeReport(t, dir, "a.json", Report{
+		Goos: "linux", Pkg: "xdaq",
+		Results: []Result{{Name: "BenchmarkDispatch-4", Iterations: 10}},
+	})
+	b := writeReport(t, dir, "b.json", Report{
+		Goos: "linux", Pkg: "xdaq/internal/transport/tcp",
+		Results: []Result{{Name: "BenchmarkRemoteSend-4", Iterations: 20}},
+	})
+
+	// Capture merge's stdout.
+	old := os.Stdout
+	r, w, err := os.Pipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	os.Stdout = w
+	mergeErr := merge([]string{a, b})
+	w.Close()
+	os.Stdout = old
+	var buf bytes.Buffer
+	if _, err := buf.ReadFrom(r); err != nil {
+		t.Fatal(err)
+	}
+	if mergeErr != nil {
+		t.Fatal(mergeErr)
+	}
+
+	var out Report
+	if err := json.Unmarshal(buf.Bytes(), &out); err != nil {
+		t.Fatal(err)
+	}
+	if out.Pkg != "xdaq" || len(out.Results) != 2 {
+		t.Fatalf("merged %+v", out)
+	}
+	if out.Results[0].Pkg != "" {
+		t.Fatalf("first result gained a pkg tag: %+v", out.Results[0])
+	}
+	if out.Results[1].Pkg != "xdaq/internal/transport/tcp" {
+		t.Fatalf("second result lost its provenance: %+v", out.Results[1])
+	}
+}

@@ -73,6 +73,18 @@ type Releaser interface {
 	Release()
 }
 
+// SegmentedPayload is a payload chained across several pool blocks — an
+// I2O Scatter-Gather List (implemented by sgl.List).  Gather-capable
+// transports walk the segments straight onto the wire instead of
+// flattening them into one buffer first; that avoided copy is the point of
+// the paper's SGL support (§4).  Retain/Release manage the whole chain.
+type SegmentedPayload interface {
+	Releaser
+	Len() int
+	Segments() int
+	Segment(i int) []byte
+}
+
 // Message is one I2O message frame.  The struct form is the in-memory
 // representation moved between devices on the same IOP (zero-copy: Payload
 // aliases a buffer pool block); Encode/Decode translate to the wire layout
@@ -92,9 +104,12 @@ type Message struct {
 
 	// Payload is the frame body.  When the message was allocated through
 	// an executive it aliases a buffer pool block; Release returns it.
+	// A frame carries either Payload or an attached segment list (see
+	// AttachList), never both.
 	Payload []byte
 
 	buf    Releaser
+	list   SegmentedPayload
 	pooled bool
 }
 
@@ -141,8 +156,17 @@ func (m *Message) HeaderSize() int {
 // WireSize returns the total encoded size in bytes, including padding to a
 // word boundary.
 func (m *Message) WireSize() int {
-	n := m.HeaderSize() + len(m.Payload)
+	n := m.HeaderSize() + m.PayloadLen()
 	return (n + wordSize - 1) &^ (wordSize - 1)
+}
+
+// PayloadLen returns the byte length of the frame body, whether it is the
+// flat Payload slice or an attached segment list.
+func (m *Message) PayloadLen() int {
+	if m.list != nil {
+		return m.list.Len()
+	}
+	return len(m.Payload)
 }
 
 // Validation errors.
@@ -153,6 +177,7 @@ var (
 	ErrTooLarge    = errors.New("i2o: frame exceeds maximum wire size")
 	ErrTruncated   = errors.New("i2o: truncated frame")
 	ErrShortBuffer = errors.New("i2o: destination buffer too small")
+	ErrDualBody    = errors.New("i2o: frame has both flat payload and segment list")
 )
 
 // Validate checks that the message can be represented on the wire.
@@ -166,6 +191,9 @@ func (m *Message) Validate() error {
 	if !m.Priority.Valid() {
 		return fmt.Errorf("%w: %d", ErrBadPriority, m.Priority)
 	}
+	if m.list != nil && len(m.Payload) != 0 {
+		return ErrDualBody
+	}
 	if m.WireSize() > MaxWireSize {
 		return fmt.Errorf("%w: %d bytes", ErrTooLarge, m.WireSize())
 	}
@@ -178,6 +206,24 @@ func (m *Message) AttachBuffer(b Releaser) { m.buf = b }
 
 // Buffer returns the attached pool buffer, or nil.
 func (m *Message) Buffer() Releaser { return m.buf }
+
+// AttachList makes l the frame body.  The list takes the attached-buffer
+// slot, so Retain/Release manage the whole chain exactly as they would a
+// single block; Payload must stay nil (Validate rejects frames carrying
+// both).  Only transports that serialize (tcp, gm) can carry a list — the
+// pointer-passing transports deliver the frame struct as-is, so a list
+// payload crossing them would reach a handler expecting Payload bytes.
+func (m *Message) AttachList(l SegmentedPayload) {
+	m.list = l
+	if l == nil {
+		m.buf = nil
+		return
+	}
+	m.buf = l
+}
+
+// List returns the attached segment list, or nil for flat frames.
+func (m *Message) List() SegmentedPayload { return m.list }
 
 // Retain increments the reference count of the backing buffer, if any.
 func (m *Message) Retain() {
@@ -194,6 +240,7 @@ func (m *Message) Release() {
 		m.buf.Release()
 		m.buf = nil
 	}
+	m.list = nil
 }
 
 // Encode writes the wire representation into dst and returns the number of
@@ -216,7 +263,7 @@ func (m *Message) Encode(dst []byte) (int, error) {
 		return 0, fmt.Errorf("%w: need %d, have %d", ErrShortBuffer, size, len(dst))
 	}
 	hdr := m.HeaderSize()
-	pad := size - hdr - len(m.Payload)
+	pad := size - hdr - m.PayloadLen()
 
 	dst[0] = Version
 	dst[1] = byte(m.Priority) | byte(pad)<<3 | byte(m.Flags)<<5
@@ -229,7 +276,14 @@ func (m *Message) Encode(dst []byte) (int, error) {
 	if m.Function.IsPrivate() {
 		binary.LittleEndian.PutUint32(dst[16:], uint32(m.XFunction)|uint32(m.Org)<<16)
 	}
-	copy(dst[hdr:], m.Payload)
+	if m.list != nil {
+		off := hdr
+		for i, n := 0, m.list.Segments(); i < n; i++ {
+			off += copy(dst[off:], m.list.Segment(i))
+		}
+	} else {
+		copy(dst[hdr:], m.Payload)
+	}
 	for i := size - pad; i < size; i++ {
 		dst[i] = 0
 	}
@@ -250,7 +304,7 @@ func (m *Message) EncodeHeader(dst []byte) (int, error) {
 		return 0, fmt.Errorf("%w: need %d, have %d", ErrShortBuffer, hdr, len(dst))
 	}
 	size := m.WireSize()
-	pad := size - hdr - len(m.Payload)
+	pad := size - hdr - m.PayloadLen()
 
 	dst[0] = Version
 	dst[1] = byte(m.Priority) | byte(pad)<<3 | byte(m.Flags)<<5
@@ -271,6 +325,29 @@ func PadBytes(n int) int { return (wordSize - n%wordSize) % wordSize }
 
 // ZeroPad is a ready-made source of padding bytes for gather transmission.
 var ZeroPad = [wordSize]byte{}
+
+// AppendBody appends the frame body — the flat Payload or every segment of
+// an attached list — plus word-alignment padding to vec, and returns the
+// extended vector.  Gather transports call it after EncodeHeader to build
+// the iovec for a single vectored write without flattening anything: the
+// appended slices alias the frame's pool blocks, so no payload byte is
+// copied until the kernel (or the simulated NIC) reads them.
+func (m *Message) AppendBody(vec [][]byte) [][]byte {
+	n := m.PayloadLen()
+	if m.list != nil {
+		for i, segs := 0, m.list.Segments(); i < segs; i++ {
+			if seg := m.list.Segment(i); len(seg) > 0 {
+				vec = append(vec, seg)
+			}
+		}
+	} else if n > 0 {
+		vec = append(vec, m.Payload)
+	}
+	if pad := PadBytes(n); pad > 0 {
+		vec = append(vec, ZeroPad[:pad])
+	}
+	return vec
+}
 
 // AppendEncode appends the wire representation to dst and returns the
 // extended slice.

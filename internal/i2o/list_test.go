@@ -1,0 +1,146 @@
+package i2o
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+)
+
+// stubList is a minimal SegmentedPayload for tests; the real implementation
+// is sgl.List, which cannot be imported here (it imports i2o).
+type stubList struct {
+	segs     [][]byte
+	retained int
+	released int
+}
+
+func (l *stubList) Retain()  { l.retained++ }
+func (l *stubList) Release() { l.released++ }
+func (l *stubList) Len() int {
+	n := 0
+	for _, s := range l.segs {
+		n += len(s)
+	}
+	return n
+}
+func (l *stubList) Segments() int        { return len(l.segs) }
+func (l *stubList) Segment(i int) []byte { return l.segs[i] }
+
+func (l *stubList) flat() []byte {
+	var out []byte
+	for _, s := range l.segs {
+		out = append(out, s...)
+	}
+	return out
+}
+
+func listMessage(segs ...[]byte) (*Message, *stubList) {
+	l := &stubList{segs: segs}
+	m := &Message{
+		Target: 0x12, Initiator: 0x34,
+		Function: FuncPrivate, Org: OrgXDAQ, XFunction: 7,
+	}
+	m.AttachList(l)
+	return m, l
+}
+
+func TestAttachListTakesBufferSlot(t *testing.T) {
+	m, l := listMessage([]byte("abc"))
+	if m.List() != l || m.Buffer() != Releaser(l) {
+		t.Fatal("list not attached as the frame buffer")
+	}
+	m.Retain()
+	if l.retained != 1 {
+		t.Fatalf("retained %d, want 1", l.retained)
+	}
+	m.Release()
+	if l.released != 1 {
+		t.Fatalf("released %d, want 1", l.released)
+	}
+	if m.List() != nil || m.Buffer() != nil {
+		t.Fatal("release left the list attached")
+	}
+	// Detach via nil.
+	m2, _ := listMessage([]byte("x"))
+	m2.AttachList(nil)
+	if m2.List() != nil || m2.Buffer() != nil {
+		t.Fatal("AttachList(nil) did not detach")
+	}
+}
+
+func TestPayloadLenCoversList(t *testing.T) {
+	m, _ := listMessage([]byte("abcd"), []byte("efg"))
+	if m.PayloadLen() != 7 {
+		t.Fatalf("PayloadLen = %d, want 7", m.PayloadLen())
+	}
+	if want := PrivateHeaderSize + 8; m.WireSize() != want { // 7 padded to 8
+		t.Fatalf("WireSize = %d, want %d", m.WireSize(), want)
+	}
+}
+
+func TestValidateRejectsDualBody(t *testing.T) {
+	m, _ := listMessage([]byte("abc"))
+	m.Payload = []byte("also")
+	if err := m.Validate(); !errors.Is(err, ErrDualBody) {
+		t.Fatalf("Validate = %v, want ErrDualBody", err)
+	}
+}
+
+// TestListEncodeMatchesFlat checks a chained body encodes to the identical
+// wire bytes as the equivalent flat payload, so receivers cannot tell the
+// two apart.
+func TestListEncodeMatchesFlat(t *testing.T) {
+	segs := [][]byte{[]byte("hello "), []byte("chained "), []byte("world")}
+	ml, l := listMessage(segs...)
+	mf := &Message{
+		Target: 0x12, Initiator: 0x34,
+		Function: FuncPrivate, Org: OrgXDAQ, XFunction: 7,
+		Payload: l.flat(),
+	}
+	bl := make([]byte, ml.WireSize())
+	bf := make([]byte, mf.WireSize())
+	if _, err := ml.Encode(bl); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := mf.Encode(bf); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(bl, bf) {
+		t.Fatal("list encoding differs from flat encoding")
+	}
+}
+
+func TestAppendBodyGathersSegmentsAndPadding(t *testing.T) {
+	segs := [][]byte{[]byte("abc"), {}, []byte("defgh")} // 8 bytes: word-aligned
+	m, _ := listMessage(segs...)
+	vec := m.AppendBody(nil)
+	if len(vec) != 2 { // empty segment skipped, 8 bytes needs no pad
+		t.Fatalf("vec has %d entries: %q", len(vec), vec)
+	}
+	if &vec[0][0] != &segs[0][0] || &vec[1][0] != &segs[2][0] {
+		t.Fatal("AppendBody copied segments instead of aliasing them")
+	}
+
+	// An unaligned body gains a padding slice.
+	mp, _ := listMessage([]byte("abcde"))
+	vec = mp.AppendBody(nil)
+	if len(vec) != 2 || len(vec[1]) != 3 {
+		t.Fatalf("unaligned list: vec %q", vec)
+	}
+
+	// Flat payloads gather as a single slice plus padding.
+	flat := &Message{Target: 1, Function: UtilNOP, Payload: []byte("abcdef")}
+	vec = flat.AppendBody(nil)
+	if len(vec) != 2 || &vec[0][0] != &flat.Payload[0] || len(vec[1]) != 2 {
+		t.Fatalf("flat body: vec %q", vec)
+	}
+
+	// Gathered bytes must equal the Encode body bytes.
+	total := 0
+	for _, v := range m.AppendBody(nil) {
+		total += len(v)
+	}
+	if total != m.WireSize()-m.HeaderSize() {
+		t.Fatalf("gathered %d body bytes, wire wants %d", total, m.WireSize()-m.HeaderSize())
+	}
+}

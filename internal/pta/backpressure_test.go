@@ -1,0 +1,97 @@
+package pta_test
+
+import (
+	"errors"
+	"fmt"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"xdaq/internal/executive"
+	"xdaq/internal/i2o"
+	"xdaq/internal/pta"
+	"xdaq/internal/queue"
+)
+
+// fullPT refuses the first `refusals` sends with a wrapped queue.ErrFull —
+// the shape of a transport ring-full refusal — then accepts.
+type fullPT struct {
+	refusals int32
+	sent     atomic.Int32
+	tried    atomic.Int32
+}
+
+func (p *fullPT) Name() string { return "pt.full" }
+
+func (p *fullPT) Send(dst i2o.NodeID, m *i2o.Message) error {
+	if p.tried.Add(1) <= p.refusals {
+		m.Release()
+		return fmt.Errorf("full: send ring full: %w", queue.ErrFull)
+	}
+	m.Recycle()
+	p.sent.Add(1)
+	return nil
+}
+
+func (p *fullPT) Start(pta.Deliver) error   { return nil }
+func (p *fullPT) Poll(pta.Deliver, int) int { return 0 }
+func (p *fullPT) Stop() error               { return nil }
+
+// TestRetryRecoversRingBackpressure checks the agent treats a ring-full
+// refusal (an error wrapping queue.ErrFull) as transient: with a retry
+// policy the frame is re-attempted and eventually delivered.
+func TestRetryRecoversRingBackpressure(t *testing.T) {
+	e := executive.New(executive.Options{
+		Name: "bp", Node: 1, Logf: func(string, ...any) {},
+	})
+	defer e.Close()
+	agent, err := pta.New(e)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer agent.Close()
+	agent.SetRetryPolicy(pta.RetryPolicy{Attempts: 4, Backoff: time.Millisecond})
+	tr := &fullPT{refusals: 2}
+	if err := agent.Register(tr, pta.Task); err != nil {
+		t.Fatal(err)
+	}
+
+	m := &i2o.Message{
+		Target: 2, Initiator: i2o.TIDExecutive,
+		Function: i2o.FuncPrivate, Org: i2o.OrgXDAQ, XFunction: 1,
+	}
+	if err := agent.Forward("pt.full", 2, m); err != nil {
+		t.Fatalf("forward through backpressure: %v", err)
+	}
+	if got := tr.tried.Load(); got != 3 {
+		t.Fatalf("%d attempts, want 3 (two refusals, one success)", got)
+	}
+	if tr.sent.Load() != 1 {
+		t.Fatal("frame never delivered")
+	}
+}
+
+// TestBackpressureFailsWithoutPolicy checks the refusal surfaces to the
+// caller, still carrying queue.ErrFull, when no retry policy is set.
+func TestBackpressureFailsWithoutPolicy(t *testing.T) {
+	e := executive.New(executive.Options{
+		Name: "bp2", Node: 1, Logf: func(string, ...any) {},
+	})
+	defer e.Close()
+	agent, err := pta.New(e)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer agent.Close()
+	tr := &fullPT{refusals: 1 << 30}
+	if err := agent.Register(tr, pta.Task); err != nil {
+		t.Fatal(err)
+	}
+	err = agent.Forward("pt.full", 2, &i2o.Message{
+		Target: 2, Initiator: i2o.TIDExecutive,
+		Function: i2o.FuncPrivate, Org: i2o.OrgXDAQ, XFunction: 1,
+	})
+	if !errors.Is(err, queue.ErrFull) {
+		t.Fatalf("err = %v, want to wrap queue.ErrFull", err)
+	}
+}

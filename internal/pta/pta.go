@@ -32,6 +32,7 @@ import (
 	"xdaq/internal/executive"
 	"xdaq/internal/i2o"
 	"xdaq/internal/metrics"
+	"xdaq/internal/queue"
 	"xdaq/internal/transport/faults"
 )
 
@@ -143,6 +144,7 @@ type Agent struct {
 
 	pollStop chan struct{}
 	pollDone chan struct{}
+	pollWake chan struct{}
 	closed   atomic.Bool
 
 	retry atomic.Pointer[RetryPolicy]
@@ -163,6 +165,7 @@ func New(e *executive.Executive) (*Agent, error) {
 		slots:    make(map[string]*slot),
 		pollStop: make(chan struct{}),
 		pollDone: make(chan struct{}),
+		pollWake: make(chan struct{}, 1),
 
 		nSent:     reg.Counter("pta.sent"),
 		nReceived: reg.Counter("pta.recv"),
@@ -217,6 +220,9 @@ func (a *Agent) Register(pt PeerTransport, mode Mode) error {
 			if p.Key == "suspended" {
 				if b, ok := p.Value.(bool); ok {
 					s.suspended.Store(b)
+					if !b && mode == Polling {
+						a.wakePoll()
+					}
 				}
 			}
 		}
@@ -243,6 +249,8 @@ func (a *Agent) Register(pt PeerTransport, mode Mode) error {
 			a.mu.Unlock()
 			return fmt.Errorf("pta: start %s: %w", pt.Name(), err)
 		}
+	} else {
+		a.wakePoll()
 	}
 	return nil
 }
@@ -260,10 +268,16 @@ func (a *Agent) RetryPolicy() RetryPolicy {
 	return RetryPolicy{}
 }
 
-// retryable reports whether a failed send may be re-attempted: only errors
-// the transport marked transient, and injector refusals (which model them).
+// retryable reports whether a failed send may be re-attempted: errors the
+// transport marked transient, injector refusals (which model them), and
+// send-ring backpressure (queue.ErrFull — GM send-token exhaustion and the
+// TCP transport's full per-peer ring): the ring drains as soon as the
+// writer's next vectored write completes, so backing off and re-attempting
+// is exactly right.
 func retryable(err error) bool {
-	return errors.Is(err, ErrTransient) || errors.Is(err, faults.ErrInjected)
+	return errors.Is(err, ErrTransient) ||
+		errors.Is(err, faults.ErrInjected) ||
+		errors.Is(err, queue.ErrFull)
 }
 
 // Forward implements executive.Router.
@@ -344,6 +358,9 @@ func (a *Agent) Suspend(route string, suspended bool) error {
 	}
 	s.suspended.Store(suspended)
 	s.dev.Params().Set("suspended", suspended)
+	if !suspended && s.mode == Polling {
+		a.wakePoll()
+	}
 	return nil
 }
 
@@ -374,23 +391,45 @@ func (a *Agent) Stats() Stats {
 // busy PT cannot starve the others within a scan round.
 const pollBudget = 64
 
+// wakePoll nudges the scan goroutine out of its empty-set park.  Called
+// when a polling transport appears or is resumed; a buffered no-op send
+// keeps it cheap when the loop is already running.
+func (a *Agent) wakePoll() {
+	select {
+	case a.pollWake <- struct{}{}:
+	default:
+	}
+}
+
 // pollLoop is the agent's scan goroutine for polling-mode transports.
 func (a *Agent) pollLoop() {
 	defer close(a.pollDone)
+	var slots []*slot // reused scan scratch; the loop is its only owner
 	for {
 		select {
 		case <-a.pollStop:
 			return
 		default:
 		}
+		slots = slots[:0]
 		a.mu.RLock()
-		slots := make([]*slot, 0, len(a.slots))
 		for _, s := range a.slots {
 			if s.mode == Polling && !s.suspended.Load() {
 				slots = append(slots, s)
 			}
 		}
 		a.mu.RUnlock()
+		if len(slots) == 0 {
+			// Nothing to scan — park until a polling transport is
+			// registered or resumed.  Without this, agents whose
+			// transports are all task-mode would burn a core spinning.
+			select {
+			case <-a.pollStop:
+				return
+			case <-a.pollWake:
+			}
+			continue
+		}
 		var start time.Time
 		if metrics.Enabled() {
 			start = time.Now()

@@ -239,6 +239,36 @@ func TestSuspendedPollingPTNotScanned(t *testing.T) {
 	_ = e
 }
 
+// TestResumeWakesParkedPollLoop pins the scan loop's parking behaviour:
+// with every polling transport suspended the loop blocks (it must not
+// burn the core spinning — see pollLoop), and resuming the transport
+// wakes it so pending frames flow again.
+func TestResumeWakesParkedPollLoop(t *testing.T) {
+	_, a := newAgent(t)
+	pt := &fakePT{name: "pt.poll"}
+	if err := a.Register(pt, Polling); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Suspend("pt.poll", true); err != nil {
+		t.Fatal(err)
+	}
+	// Give the loop time to observe the empty polling set and park.
+	time.Sleep(10 * time.Millisecond)
+	pt.enqueue(2, &i2o.Message{Target: i2o.TIDExecutive, Function: i2o.UtilNOP})
+	if err := a.Suspend("pt.poll", false); err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.After(2 * time.Second)
+	for a.Stats().Received == 0 {
+		select {
+		case <-deadline:
+			t.Fatal("resumed PT never scanned again")
+		default:
+			time.Sleep(time.Millisecond)
+		}
+	}
+}
+
 func TestReturnProxyRewritesInitiator(t *testing.T) {
 	e, a := newAgent(t)
 	pt := &fakePT{name: "pt.poll"}

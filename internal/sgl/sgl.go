@@ -14,6 +14,7 @@ import (
 	"fmt"
 	"io"
 
+	"xdaq/internal/i2o"
 	"xdaq/internal/pool"
 )
 
@@ -25,6 +26,11 @@ type List struct {
 	segs   []*pool.Buffer
 	length int
 }
+
+// A List is a frame body for gather-capable transports: attach one with
+// i2o.Message.AttachList and the wire transports put each segment on the
+// wire without flattening the chain.
+var _ i2o.SegmentedPayload = (*List)(nil)
 
 // DefaultSegment is the block size used by builders when the caller does
 // not choose one: the paper's maximum block length.
@@ -153,9 +159,16 @@ func (l *List) CopyTo(off int, dst []byte) (int, error) {
 	return total, nil
 }
 
-// Bytes flattens the list into a new contiguous slice.  Intended for tests
-// and small lists; the point of an SGL is to avoid this copy.
+// Bytes returns the list contents as one contiguous slice.  A
+// single-segment list returns its block's slice directly — no allocation,
+// no copy; the caller must not outlive the list's reference.  Longer
+// chains flatten into a new slice; the point of an SGL is to avoid that
+// copy, so hot paths should gather segments instead (see Walk and
+// i2o.Message.AppendBody).
 func (l *List) Bytes() []byte {
+	if len(l.segs) == 1 {
+		return l.segs[0].Bytes()
+	}
 	out := make([]byte, l.length)
 	_, _ = l.CopyTo(0, out)
 	return out

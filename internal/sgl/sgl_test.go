@@ -300,3 +300,46 @@ func TestQuickCopyToFromConsistent(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+func TestBytesSingleSegmentNoCopy(t *testing.T) {
+	p := newPool()
+	l, err := FromBytes(p, []byte("hello, wire"), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Release()
+	if l.Segments() != 1 {
+		t.Fatalf("%d segments, want 1", l.Segments())
+	}
+	got := l.Bytes()
+	seg := l.Segment(0)
+	if &got[0] != &seg[0] || len(got) != len(seg) {
+		t.Fatal("single-segment Bytes copied instead of aliasing the block")
+	}
+	// Writes through the returned slice must be visible in the list —
+	// the definition of no-copy.
+	got[0] = 'H'
+	if l.Segment(0)[0] != 'H' {
+		t.Fatal("returned slice does not alias the segment")
+	}
+}
+
+func TestBytesMultiSegmentFlattens(t *testing.T) {
+	p := newPool()
+	data := bytes.Repeat([]byte{1, 2, 3, 4, 5}, 100)
+	l, err := FromBytes(p, data, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Release()
+	if l.Segments() < 2 {
+		t.Fatalf("%d segments, want a chain", l.Segments())
+	}
+	got := l.Bytes()
+	if !bytes.Equal(got, data) {
+		t.Fatal("flattened bytes differ")
+	}
+	if &got[0] == &l.Segment(0)[0] {
+		t.Fatal("multi-segment Bytes aliased the first block")
+	}
+}

@@ -204,6 +204,11 @@ type NIC struct {
 // Port returns the NIC's fabric address.
 func (n *NIC) Port() Port { return n.port }
 
+// RingDepth returns the number of send descriptors currently queued —
+// outstanding send tokens, in GM terms.  The peer transport exports it as
+// the <name>.ring.depth gauge.
+func (n *NIC) RingDepth() int { return len(n.sendRing) }
+
 // Stats returns a snapshot of the NIC's counters.
 func (n *NIC) Stats() Stats {
 	return Stats{Sent: n.nSent.Load(), Received: n.nRecv.Load(), Dropped: n.nDrop.Load()}

@@ -104,6 +104,7 @@ func NewTransport(nic *NIC, alloc pool.Allocator, cfg Config) (*Transport, error
 		nRecv:      cfg.Metrics.Counter(cfg.Name + ".recv"),
 		nShortRing: cfg.Metrics.Counter(cfg.Name + ".shortRing"),
 	}
+	cfg.Metrics.Func(cfg.Name+".ring.depth", func() int64 { return int64(nic.RingDepth()) })
 	for node, port := range cfg.Routes {
 		t.toPort[node] = port
 		t.toNode[port] = node
@@ -168,14 +169,39 @@ func (t *Transport) Send(dst i2o.NodeID, m *i2o.Message) error {
 		m.Release()
 		return err
 	}
-	pad := i2o.PadBytes(len(m.Payload))
-	err = t.nic.SendGather(port, hdr[:n], m.Payload, i2o.ZeroPad[:pad])
-	m.Release()
-	if err == nil {
-		t.nSent.Inc()
+	if m.List() != nil {
+		// Chained payload: gather every segment straight onto the wire —
+		// the SGL path of the paper's §4, no flattening copy.
+		vp := vecPool.Get().(*[][]byte)
+		vec := append((*vp)[:0], hdr[:n])
+		vec = m.AppendBody(vec)
+		err = t.nic.SendGather(port, vec...)
+		for i := range vec {
+			vec[i] = nil
+		}
+		*vp = vec[:0]
+		vecPool.Put(vp)
+	} else {
+		pad := i2o.PadBytes(len(m.Payload))
+		err = t.nic.SendGather(port, hdr[:n], m.Payload, i2o.ZeroPad[:pad])
 	}
-	return err
+	if err != nil {
+		// The buffer is released but the struct stays intact, so the
+		// agent's retry policy can re-attach and resend the frame.
+		m.Release()
+		return err
+	}
+	m.Recycle()
+	t.nSent.Inc()
+	return nil
 }
+
+// vecPool recycles gather vectors for segmented sends; the common
+// flat-payload send builds its three-element vector on the stack instead.
+var vecPool = sync.Pool{New: func() any {
+	v := make([][]byte, 0, 8)
+	return &v
+}}
 
 // handle turns one completed receive into an executive frame and reposts a
 // fresh block.

@@ -1,0 +1,134 @@
+// Package ring implements the bounded send descriptor queue behind the
+// batched remote data path.  It mirrors the GM NIC model of the paper's
+// testbed (a fixed-depth ring of send descriptors drained by the LANai
+// service loop, see internal/transport/gm): producers enqueue frame
+// descriptors without blocking, a single consumer drains everything queued
+// in one batch and puts it on the wire with a single vectored write.
+//
+// The queue is multi-producer single-consumer.  Push never blocks: a full
+// ring is reported to the caller, which maps it to queue.ErrFull so the
+// agent's retry policy treats it as transient backpressure — the software
+// equivalent of GM send token exhaustion.  PopBatch copies the queued
+// descriptors into a caller-owned slice, so the steady state allocates
+// nothing on either side.
+package ring
+
+import (
+	"errors"
+	"sync"
+)
+
+// Errors.
+var (
+	// ErrFull reports a push onto a ring at capacity.
+	ErrFull = errors.New("ring: full")
+
+	// ErrClosed reports a push onto a closed ring.
+	ErrClosed = errors.New("ring: closed")
+)
+
+// DefaultDepth is the ring capacity used when the owner does not choose
+// one.  GM's hardware ring holds 64 descriptors; the software ring defaults
+// deeper because frames here are only pointers and a deeper ring lets more
+// senders ride out one slow write.
+const DefaultDepth = 512
+
+// Queue is a bounded multi-producer single-consumer descriptor queue.
+type Queue[T any] struct {
+	mu     sync.Mutex
+	items  []T
+	depth  int
+	closed bool
+
+	// signal wakes the consumer; capacity 1 so producers never block on it
+	// and repeated pushes coalesce into one wakeup (that coalescing is what
+	// turns a burst of sends into a single vectored write downstream).
+	signal chan struct{}
+}
+
+// New returns a ring holding up to depth descriptors (depth <= 0 selects
+// DefaultDepth).
+func New[T any](depth int) *Queue[T] {
+	if depth <= 0 {
+		depth = DefaultDepth
+	}
+	return &Queue[T]{
+		items:  make([]T, 0, depth),
+		depth:  depth,
+		signal: make(chan struct{}, 1),
+	}
+}
+
+// Depth returns the ring capacity.
+func (q *Queue[T]) Depth() int { return q.depth }
+
+// Len returns the number of queued descriptors.
+func (q *Queue[T]) Len() int {
+	q.mu.Lock()
+	n := len(q.items)
+	q.mu.Unlock()
+	return n
+}
+
+// Push enqueues one descriptor and wakes the consumer.  It never blocks:
+// a ring at capacity returns ErrFull, a closed ring ErrClosed.
+func (q *Queue[T]) Push(v T) error {
+	q.mu.Lock()
+	switch {
+	case q.closed:
+		q.mu.Unlock()
+		return ErrClosed
+	case len(q.items) >= q.depth:
+		q.mu.Unlock()
+		return ErrFull
+	}
+	q.items = append(q.items, v)
+	q.mu.Unlock()
+	q.wake()
+	return nil
+}
+
+func (q *Queue[T]) wake() {
+	select {
+	case q.signal <- struct{}{}:
+	default:
+	}
+}
+
+// PopBatch moves every queued descriptor into dst (reusing its capacity)
+// and reports whether the ring is closed.  Only the single consumer may
+// call it.  Queue slots are zeroed so the ring never pins descriptors it
+// no longer owns.
+func (q *Queue[T]) PopBatch(dst []T) ([]T, bool) {
+	q.mu.Lock()
+	dst = append(dst[:0], q.items...)
+	var zero T
+	for i := range q.items {
+		q.items[i] = zero
+	}
+	q.items = q.items[:0]
+	closed := q.closed
+	q.mu.Unlock()
+	return dst, closed
+}
+
+// Wait blocks until a push (or Close) signals, or stop fires; it returns
+// false only for stop.  A true return does not guarantee a non-empty ring
+// (the signal is coalescing) — the consumer loops PopBatch/Wait.
+func (q *Queue[T]) Wait(stop <-chan struct{}) bool {
+	select {
+	case <-q.signal:
+		return true
+	case <-stop:
+		return false
+	}
+}
+
+// Close marks the ring closed and wakes the consumer so it can drain the
+// remaining descriptors and exit.  Pushes after Close fail with ErrClosed.
+func (q *Queue[T]) Close() {
+	q.mu.Lock()
+	q.closed = true
+	q.mu.Unlock()
+	q.wake()
+}

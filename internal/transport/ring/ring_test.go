@@ -1,0 +1,149 @@
+package ring
+
+import (
+	"errors"
+	"sync"
+	"testing"
+)
+
+func TestPushPopBatchOrder(t *testing.T) {
+	q := New[int](8)
+	for i := 0; i < 5; i++ {
+		if err := q.Push(i); err != nil {
+			t.Fatalf("Push(%d): %v", i, err)
+		}
+	}
+	if q.Len() != 5 {
+		t.Fatalf("Len = %d, want 5", q.Len())
+	}
+	batch, closed := q.PopBatch(nil)
+	if closed {
+		t.Fatal("PopBatch reported closed on open ring")
+	}
+	if len(batch) != 5 {
+		t.Fatalf("batch len = %d, want 5", len(batch))
+	}
+	for i, v := range batch {
+		if v != i {
+			t.Fatalf("batch[%d] = %d, want %d", i, v, i)
+		}
+	}
+	if q.Len() != 0 {
+		t.Fatalf("Len after drain = %d, want 0", q.Len())
+	}
+}
+
+func TestPushFullRing(t *testing.T) {
+	q := New[int](2)
+	if err := q.Push(1); err != nil {
+		t.Fatal(err)
+	}
+	if err := q.Push(2); err != nil {
+		t.Fatal(err)
+	}
+	if err := q.Push(3); !errors.Is(err, ErrFull) {
+		t.Fatalf("Push on full ring = %v, want ErrFull", err)
+	}
+	// Draining makes room again.
+	q.PopBatch(nil)
+	if err := q.Push(4); err != nil {
+		t.Fatalf("Push after drain: %v", err)
+	}
+}
+
+func TestCloseRejectsPushAndDrains(t *testing.T) {
+	q := New[string](4)
+	if err := q.Push("a"); err != nil {
+		t.Fatal(err)
+	}
+	q.Close()
+	if err := q.Push("b"); !errors.Is(err, ErrClosed) {
+		t.Fatalf("Push after Close = %v, want ErrClosed", err)
+	}
+	batch, closed := q.PopBatch(nil)
+	if !closed {
+		t.Fatal("PopBatch did not report closed")
+	}
+	if len(batch) != 1 || batch[0] != "a" {
+		t.Fatalf("drained %v, want [a]", batch)
+	}
+}
+
+func TestWaitWakesOnPushAndStop(t *testing.T) {
+	q := New[int](4)
+	woke := make(chan bool, 1)
+	go func() { woke <- q.Wait(nil) }()
+	if err := q.Push(1); err != nil {
+		t.Fatal(err)
+	}
+	if !<-woke {
+		t.Fatal("Wait returned false after Push")
+	}
+
+	stop := make(chan struct{})
+	go func() { woke <- q.Wait(stop) }()
+	close(stop)
+	if <-woke {
+		t.Fatal("Wait returned true after stop")
+	}
+}
+
+func TestWaitWakesOnClose(t *testing.T) {
+	q := New[int](4)
+	woke := make(chan bool, 1)
+	go func() { woke <- q.Wait(nil) }()
+	q.Close()
+	if !<-woke {
+		t.Fatal("Wait returned false after Close")
+	}
+}
+
+// TestConcurrentProducersPreservePerProducerOrder drives the ring the way
+// the transport does: many senders, one writer.  Each producer's items must
+// drain in its own push order even though batches interleave producers.
+func TestConcurrentProducersPreservePerProducerOrder(t *testing.T) {
+	type item struct{ producer, seq int }
+	const producers, perProducer = 8, 500
+
+	q := New[item](64)
+	var wg sync.WaitGroup
+	for p := 0; p < producers; p++ {
+		wg.Add(1)
+		go func(p int) {
+			defer wg.Done()
+			for s := 0; s < perProducer; s++ {
+				for q.Push(item{p, s}) != nil {
+					// Full ring: real senders back off via the retry
+					// policy; here a bare spin is enough.
+				}
+			}
+		}(p)
+	}
+	done := make(chan struct{})
+	go func() { wg.Wait(); q.Close(); close(done) }()
+
+	next := make([]int, producers)
+	var batch []item
+	total := 0
+	for {
+		var closed bool
+		batch, closed = q.PopBatch(batch)
+		for _, it := range batch {
+			if it.seq != next[it.producer] {
+				t.Fatalf("producer %d: got seq %d, want %d", it.producer, it.seq, next[it.producer])
+			}
+			next[it.producer]++
+			total++
+		}
+		if closed && len(batch) == 0 {
+			break
+		}
+		if len(batch) == 0 {
+			q.Wait(nil)
+		}
+	}
+	<-done
+	if total != producers*perProducer {
+		t.Fatalf("drained %d items, want %d", total, producers*perProducer)
+	}
+}

@@ -5,11 +5,21 @@
 // here it also serves as the transport for genuinely distributed
 // deployments of the cmd/xdaqd node daemon.
 //
-// Wire format per connection: an 12-byte handshake (8-byte magic, 4-byte
+// Wire format per connection: a 12-byte handshake (8-byte magic, 4-byte
 // node id little-endian), then a stream of records, each a 4-byte frame
-// length followed by the encoded I2O frame.  Received payloads land
-// directly in executive pool blocks, preserving zero-copy from the socket
-// buffer onward.
+// length followed by the encoded I2O frame.
+//
+// The data path mirrors the descriptor-ring model of the paper's Myrinet
+// NIC (internal/transport/gm).  Send enqueues the frame descriptor on a
+// per-peer ring and returns; a per-peer writer drains the ring and
+// coalesces everything queued into one vectored write (writev via
+// net.Buffers) — length prefixes and headers in a reused scratch buffer,
+// payload slices (or every segment of an SGL) appended zero-copy.  A full
+// ring is GM send-token exhaustion: Send fails with ErrRingFull, which the
+// agent's retry policy treats as transient backpressure.  Receive streams
+// the socket into 256 KB pool blocks and decodes frames in place; one
+// block backs many frames by reference count, so the steady state
+// allocates nothing on either end.
 package tcp
 
 import (
@@ -20,20 +30,34 @@ import (
 	"net"
 	"sync"
 	"sync/atomic"
-
 	"time"
 
 	"xdaq/internal/i2o"
 	"xdaq/internal/metrics"
 	"xdaq/internal/pool"
 	"xdaq/internal/pta"
+	"xdaq/internal/queue"
 	"xdaq/internal/transport/faults"
+	"xdaq/internal/transport/ring"
 )
 
 // PTName is the default route name.
 const PTName = "pt.tcp"
 
 var magic = [8]byte{'X', 'D', 'A', 'Q', 'I', '2', 'O', '1'}
+
+// readBlockSize is the streaming receive buffer: one pool block sized so
+// that any length-prefixed record fits whole.  It lands exactly on
+// pool.MaxBlock (4 + 0xFFFF*4 = 256 KiB), the paper's maximum block length.
+const readBlockSize = 4 + i2o.MaxWireSize
+
+// recordHeader is the per-frame wire overhead the writer encodes into its
+// scratch buffer: the 4-byte length prefix plus the largest frame header.
+const recordHeader = 4 + i2o.PrivateHeaderSize
+
+// dialTimeout bounds one connection attempt so a writer redialing a dead
+// peer stays responsive to Stop.
+const dialTimeout = 3 * time.Second
 
 // Errors.
 var (
@@ -46,7 +70,35 @@ var (
 
 	// ErrHandshake reports a connection with a bad magic or node id.
 	ErrHandshake = errors.New("tcp: handshake failed")
+
+	// ErrRingFull reports a send onto a full per-peer ring.  It is
+	// prebuilt (the backpressure path must not allocate) and wraps both
+	// queue.ErrFull — the public ErrQueueFull sentinel — and
+	// pta.ErrTransient, so the agent's retry policy backs off and
+	// re-attempts instead of failing the frame.
+	ErrRingFull = fmt.Errorf("tcp: send ring full: %w (%w)", queue.ErrFull, pta.ErrTransient)
 )
+
+// RedialPolicy bounds a writer's attempts to reconnect and resend after a
+// broken connection, with exponential backoff between attempts.
+type RedialPolicy struct {
+	Attempts   int           // dial+write attempts per batch; <1 selects 5
+	Backoff    time.Duration // first retry delay; <=0 selects 1ms
+	MaxBackoff time.Duration // backoff cap; 0 selects 200ms
+}
+
+func (p RedialPolicy) withDefaults() RedialPolicy {
+	if p.Attempts < 1 {
+		p.Attempts = 5
+	}
+	if p.Backoff <= 0 {
+		p.Backoff = time.Millisecond
+	}
+	if p.MaxBackoff <= 0 {
+		p.MaxBackoff = 200 * time.Millisecond
+	}
+	return p
+}
 
 // Transport is one node's TCP peer transport.
 type Transport struct {
@@ -58,24 +110,52 @@ type Transport struct {
 	mu      sync.Mutex
 	conns   map[i2o.NodeID]*peerConn
 	addrs   map[i2o.NodeID]string
+	peers   map[i2o.NodeID]*peer
+	dialing map[i2o.NodeID]*dialCall
 	deliver pta.Deliver
 
 	closed atomic.Bool
+	stopc  chan struct{}
 	wg     sync.WaitGroup
 
-	flt atomic.Pointer[faults.Injector]
+	unbatched bool
+	depth     int
+	redial    RedialPolicy
 
-	nSent  *metrics.Counter
-	nRecv  *metrics.Counter
-	nDials *metrics.Counter
-	nAccs  *metrics.Counter
-	nDrops *metrics.Counter
+	flt  atomic.Pointer[faults.Injector] // send path (enqueue)
+	wflt atomic.Pointer[faults.Injector] // wire path (writer)
+
+	nSent    *metrics.Counter
+	nRecv    *metrics.Counter
+	nDials   *metrics.Counter
+	nAccs    *metrics.Counter
+	nDrops   *metrics.Counter
+	nWrites  *metrics.Counter // batch.writes: vectored writes issued
+	nBatched *metrics.Counter // batch.frames: frames carried by them
+	nFull    *metrics.Counter // ring.full: sends refused by backpressure
+	nErrs    *metrics.Counter // sendErrors: frames dropped by the writer
 }
 
 type peerConn struct {
-	node    i2o.NodeID
-	c       net.Conn
-	writeMu sync.Mutex
+	node      i2o.NodeID
+	initiator i2o.NodeID // who dialed this stream (simultaneous-connect tie-break)
+	c         net.Conn
+	writeMu   sync.Mutex // serializes unbatched senders; writers are sole
+}
+
+// peer is the batched-mode send state: the descriptor ring and the writer
+// draining it.
+type peer struct {
+	node i2o.NodeID
+	q    *ring.Queue[*i2o.Message]
+}
+
+// dialCall dedupes concurrent dials to the same peer (singleflight): the
+// first sender dials, the rest wait for its result.
+type dialCall struct {
+	done chan struct{}
+	pc   *peerConn
+	err  error
 }
 
 var _ pta.PeerTransport = (*Transport)(nil)
@@ -93,10 +173,24 @@ type Config struct {
 	Peers map[i2o.NodeID]string
 
 	// Metrics receives the transport's counters (<name>.sent, .recv,
-	// .dials, .accepts, .connDrops); defaults to metrics.Default.  Pass
-	// the owning executive's registry so the counters show up in that
-	// node's scrape.
+	// .dials, .accepts, .connDrops, .batch.writes, .batch.frames,
+	// .ring.full, .sendErrors and the .ring.depth gauge); defaults to
+	// metrics.Default.  Pass the owning executive's registry so the
+	// counters show up in that node's scrape.
 	Metrics *metrics.Registry
+
+	// Unbatched disables the per-peer send rings: every Send encodes and
+	// writes its frame synchronously under a per-connection mutex.  This
+	// is the pre-ring data path, kept as the measured baseline for the
+	// remote benchmarks (see doc/performance.md).
+	Unbatched bool
+
+	// RingDepth is the per-peer send ring capacity; <=0 selects
+	// ring.DefaultDepth.
+	RingDepth int
+
+	// Redial bounds writer reconnect attempts after a broken connection.
+	Redial RedialPolicy
 }
 
 // New creates the transport and, when configured, starts listening.
@@ -107,19 +201,34 @@ func New(node i2o.NodeID, alloc pool.Allocator, cfg Config) (*Transport, error) 
 	if cfg.Metrics == nil {
 		cfg.Metrics = metrics.Default
 	}
-	t := &Transport{
-		node:  node,
-		alloc: alloc,
-		name:  cfg.Name,
-		conns: make(map[i2o.NodeID]*peerConn),
-		addrs: make(map[i2o.NodeID]string),
-
-		nSent:  cfg.Metrics.Counter(cfg.Name + ".sent"),
-		nRecv:  cfg.Metrics.Counter(cfg.Name + ".recv"),
-		nDials: cfg.Metrics.Counter(cfg.Name + ".dials"),
-		nAccs:  cfg.Metrics.Counter(cfg.Name + ".accepts"),
-		nDrops: cfg.Metrics.Counter(cfg.Name + ".connDrops"),
+	if cfg.RingDepth <= 0 {
+		cfg.RingDepth = ring.DefaultDepth
 	}
+	t := &Transport{
+		node:    node,
+		alloc:   alloc,
+		name:    cfg.Name,
+		conns:   make(map[i2o.NodeID]*peerConn),
+		addrs:   make(map[i2o.NodeID]string),
+		peers:   make(map[i2o.NodeID]*peer),
+		dialing: make(map[i2o.NodeID]*dialCall),
+		stopc:   make(chan struct{}),
+
+		unbatched: cfg.Unbatched,
+		depth:     cfg.RingDepth,
+		redial:    cfg.Redial.withDefaults(),
+
+		nSent:    cfg.Metrics.Counter(cfg.Name + ".sent"),
+		nRecv:    cfg.Metrics.Counter(cfg.Name + ".recv"),
+		nDials:   cfg.Metrics.Counter(cfg.Name + ".dials"),
+		nAccs:    cfg.Metrics.Counter(cfg.Name + ".accepts"),
+		nDrops:   cfg.Metrics.Counter(cfg.Name + ".connDrops"),
+		nWrites:  cfg.Metrics.Counter(cfg.Name + ".batch.writes"),
+		nBatched: cfg.Metrics.Counter(cfg.Name + ".batch.frames"),
+		nFull:    cfg.Metrics.Counter(cfg.Name + ".ring.full"),
+		nErrs:    cfg.Metrics.Counter(cfg.Name + ".sendErrors"),
+	}
+	cfg.Metrics.Func(cfg.Name+".ring.depth", t.ringDepth)
 	for n, a := range cfg.Peers {
 		t.addrs[n] = a
 	}
@@ -133,6 +242,17 @@ func New(node i2o.NodeID, alloc pool.Allocator, cfg Config) (*Transport, error) 
 		go t.acceptLoop()
 	}
 	return t, nil
+}
+
+// ringDepth samples the total frames queued across all per-peer rings.
+func (t *Transport) ringDepth() int64 {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	var n int64
+	for _, p := range t.peers {
+		n += int64(p.q.Len())
+	}
+	return n
 }
 
 // Addr returns the listening address, or "" for client-only transports.
@@ -150,8 +270,17 @@ func (t *Transport) AddPeer(node i2o.NodeID, addr string) {
 	t.mu.Unlock()
 }
 
-// SetFaults installs a fault injector on the send path; nil removes it.
+// SetFaults installs a fault injector on the send (enqueue) path; nil
+// removes it.
 func (t *Transport) SetFaults(in *faults.Injector) { t.flt.Store(in) }
+
+// SetWireFaults installs a fault injector on the wire path: the writer
+// consults it before each vectored write.  Drop and Error sever the live
+// connection — a byte stream cannot lose a single frame, so a wire fault
+// kills the whole stream and the queued frames ride the redial — and Delay
+// stalls the writer (ring backpressure builds up behind it).  Nil removes
+// the injector.
+func (t *Transport) SetWireFaults(in *faults.Injector) { t.wflt.Store(in) }
 
 // Name implements pta.PeerTransport.
 func (t *Transport) Name() string { return t.name }
@@ -174,22 +303,52 @@ func (t *Transport) deliverFn() pta.Deliver {
 	return t.deliver
 }
 
-// Send implements pta.PeerTransport.
+// Send implements pta.PeerTransport.  In batched mode (the default) it
+// enqueues the frame on the peer's send ring and returns immediately; the
+// frame then belongs to the writer, which recycles it after the vectored
+// write.  A full ring fails with ErrRingFull.  On any error return the
+// frame's buffer is released but the struct is left intact, so the agent's
+// retry policy can re-attach and resend it.
 func (t *Transport) Send(dst i2o.NodeID, m *i2o.Message) error {
-	defer m.Release()
 	if t.closed.Load() {
+		m.Release()
 		return ErrClosed
 	}
 	if in := t.flt.Load(); in != nil {
 		switch act := in.Next(); act.Op {
 		case faults.Drop:
+			m.Release()
 			return nil // lost on the wire
 		case faults.Delay:
 			time.Sleep(act.Delay)
 		case faults.Error:
+			m.Release()
 			return fmt.Errorf("tcp: %w", act.Err)
 		}
 	}
+	if t.unbatched {
+		return t.sendDirect(dst, m)
+	}
+	p, err := t.peerFor(dst)
+	if err != nil {
+		m.Release()
+		return err
+	}
+	if err := p.q.Push(m); err != nil {
+		m.Release()
+		if errors.Is(err, ring.ErrClosed) {
+			return ErrClosed
+		}
+		t.nFull.Inc()
+		return ErrRingFull
+	}
+	return nil
+}
+
+// sendDirect is the unbatched baseline: encode into a fresh buffer and
+// write it under the connection mutex.
+func (t *Transport) sendDirect(dst i2o.NodeID, m *i2o.Message) error {
+	defer m.Release()
 	pc, err := t.connTo(dst)
 	if err != nil {
 		return err
@@ -213,19 +372,250 @@ func (t *Transport) Send(dst i2o.NodeID, m *i2o.Message) error {
 	return nil
 }
 
-// connTo returns the connection to dst, dialing if necessary.
-func (t *Transport) connTo(dst i2o.NodeID) (*peerConn, error) {
+// peerFor returns dst's send ring, creating the ring and its writer on
+// first use.  A peer is only created when dst is reachable: a known dial
+// address or an already-adopted connection.
+func (t *Transport) peerFor(dst i2o.NodeID) (*peer, error) {
 	t.mu.Lock()
-	if pc, ok := t.conns[dst]; ok {
+	defer t.mu.Unlock()
+	if t.closed.Load() {
+		return nil, ErrClosed
+	}
+	p := t.peers[dst]
+	if p == nil {
+		if _, ok := t.addrs[dst]; !ok {
+			if _, ok := t.conns[dst]; !ok {
+				return nil, fmt.Errorf("%w: %v", ErrNoPeer, dst)
+			}
+		}
+		p = &peer{node: dst, q: ring.New[*i2o.Message](t.depth)}
+		t.peers[dst] = p
+		t.wg.Add(1)
+		go t.writeLoop(p)
+	}
+	return p, nil
+}
+
+// writeLoop drains one peer's ring: every frame queued since the last
+// write goes out in a single writev.  The scratch buffers (batch slice,
+// header arena, iovec) are reused across batches, so the steady state
+// allocates nothing.  On a broken connection the loop redials and resends
+// the frames the kernel never consumed, preserving order.
+func (t *Transport) writeLoop(p *peer) {
+	defer t.wg.Done()
+	var (
+		pend  = make([]*i2o.Message, 0, t.depth) // unsent frames, oldest first
+		vec   = make([][]byte, 0, 64)            // iovec under construction
+		sizes = make([]int, 0, t.depth)          // per-frame record sizes
+		hdr   []byte                             // prefix+header arena
+		tries int                                // attempts for the current pend
+	)
+	for {
+		if len(pend) == 0 {
+			var closed bool
+			pend, closed = p.q.PopBatch(pend)
+			if len(pend) == 0 {
+				if closed {
+					return
+				}
+				if !p.q.Wait(t.stopc) {
+					t.drainPeer(p, pend)
+					return
+				}
+				continue
+			}
+			tries = 0
+		}
+		if t.closed.Load() {
+			t.failFrames(pend)
+			t.drainPeer(p, pend[:0])
+			return
+		}
+
+		if in := t.wflt.Load(); in != nil {
+			switch act := in.Next(); act.Op {
+			case faults.Delay:
+				time.Sleep(act.Delay)
+			case faults.Drop, faults.Error:
+				t.mu.Lock()
+				pc := t.conns[p.node]
+				t.mu.Unlock()
+				if pc != nil {
+					t.dropConn(pc)
+				}
+			}
+		}
+
+		pc, err := t.connTo(p.node)
+		if err != nil {
+			if errors.Is(err, ErrNoPeer) || errors.Is(err, ErrClosed) || !t.backoff(&tries) {
+				t.failFrames(pend)
+				pend = pend[:0]
+			}
+			continue
+		}
+
+		// Build the batch: for each frame a [len|header] slice from the
+		// arena, then the body — flat payload or SGL segments — appended
+		// zero-copy, then padding.
+		if need := len(pend) * recordHeader; cap(hdr) < need {
+			hdr = make([]byte, 0, need)
+		}
+		hdr, vec, sizes = hdr[:0], vec[:0], sizes[:0]
+		kept := pend[:0]
+		for _, m := range pend {
+			off := len(hdr)
+			hdr = hdr[:off+recordHeader]
+			h, err := m.EncodeHeader(hdr[off+4:])
+			if err != nil {
+				hdr = hdr[:off]
+				t.nErrs.Inc()
+				m.Recycle()
+				continue
+			}
+			size := m.WireSize()
+			binary.LittleEndian.PutUint32(hdr[off:], uint32(size))
+			hdr = hdr[:off+4+h]
+			vec = append(vec, hdr[off:off+4+h])
+			vec = m.AppendBody(vec)
+			sizes = append(sizes, 4+size)
+			kept = append(kept, m)
+		}
+		pend = kept
+		if len(pend) == 0 {
+			continue
+		}
+
+		bufs := net.Buffers(vec)
+		n, err := bufs.WriteTo(pc.c)
+		// WriteTo consumes through the shared backing array; clear the
+		// leftover entries so the scratch iovec never pins payload blocks
+		// across batches.
+		for i := range vec {
+			vec[i] = nil
+		}
+		if err != nil {
+			t.dropConn(pc)
+			// Frames fully consumed by the kernel may have reached the
+			// peer; only the rest are retried, so a frame is never sent
+			// twice and order is preserved.
+			done := framesWritten(sizes, n)
+			for _, m := range pend[:done] {
+				m.Recycle()
+			}
+			t.nSent.Add(uint64(done))
+			pend = append(pend[:0], pend[done:]...)
+			if !t.backoff(&tries) {
+				t.failFrames(pend)
+				pend = pend[:0]
+			}
+			continue
+		}
+		t.nWrites.Inc()
+		t.nBatched.Add(uint64(len(pend)))
+		t.nSent.Add(uint64(len(pend)))
+		for _, m := range pend {
+			m.Recycle()
+		}
+		pend = pend[:0]
+		tries = 0
+	}
+}
+
+// framesWritten counts the leading frames fully covered by n bytes of a
+// partial write.
+func framesWritten(sizes []int, n int64) int {
+	done := 0
+	for _, s := range sizes {
+		if n < int64(s) {
+			break
+		}
+		n -= int64(s)
+		done++
+	}
+	return done
+}
+
+// backoff sleeps out the redial delay for the given attempt count and
+// reports whether another attempt is allowed.  It wakes early on Stop.
+func (t *Transport) backoff(tries *int) bool {
+	*tries++
+	if *tries >= t.redial.Attempts {
+		return false
+	}
+	d := t.redial.Backoff << (*tries - 1)
+	if d > t.redial.MaxBackoff {
+		d = t.redial.MaxBackoff
+	}
+	timer := time.NewTimer(d)
+	select {
+	case <-timer.C:
+	case <-t.stopc:
+		timer.Stop()
+	}
+	return true
+}
+
+// failFrames drops frames the writer could not deliver.
+func (t *Transport) failFrames(ms []*i2o.Message) {
+	for _, m := range ms {
+		t.nErrs.Inc()
+		m.Recycle()
+	}
+}
+
+// drainPeer empties a closed ring, recycling the stranded frames.
+func (t *Transport) drainPeer(p *peer, scratch []*i2o.Message) {
+	items, _ := p.q.PopBatch(scratch)
+	t.failFrames(items)
+}
+
+// connTo returns the connection to dst, dialing if necessary.  Concurrent
+// callers (unbatched senders, or a writer racing the accept side) share a
+// single in-flight dial.
+func (t *Transport) connTo(dst i2o.NodeID) (*peerConn, error) {
+	for {
+		t.mu.Lock()
+		if pc, ok := t.conns[dst]; ok {
+			t.mu.Unlock()
+			return pc, nil
+		}
+		if t.closed.Load() {
+			t.mu.Unlock()
+			return nil, ErrClosed
+		}
+		if d, ok := t.dialing[dst]; ok {
+			t.mu.Unlock()
+			<-d.done
+			if d.err != nil {
+				return nil, d.err
+			}
+			if d.pc != nil {
+				return d.pc, nil
+			}
+			continue
+		}
+		addr, ok := t.addrs[dst]
+		if !ok {
+			t.mu.Unlock()
+			return nil, fmt.Errorf("%w: %v", ErrNoPeer, dst)
+		}
+		d := &dialCall{done: make(chan struct{})}
+		t.dialing[dst] = d
 		t.mu.Unlock()
-		return pc, nil
+
+		d.pc, d.err = t.dial(dst, addr)
+		t.mu.Lock()
+		delete(t.dialing, dst)
+		t.mu.Unlock()
+		close(d.done)
+		return d.pc, d.err
 	}
-	addr, ok := t.addrs[dst]
-	t.mu.Unlock()
-	if !ok {
-		return nil, fmt.Errorf("%w: %v", ErrNoPeer, dst)
-	}
-	c, err := net.Dial("tcp", addr)
+}
+
+// dial opens, handshakes and adopts one connection to dst.
+func (t *Transport) dial(dst i2o.NodeID, addr string) (*peerConn, error) {
+	c, err := net.DialTimeout("tcp", addr, dialTimeout)
 	if err != nil {
 		return nil, fmt.Errorf("tcp: dial %v at %s: %w (%w)", dst, addr, err, pta.ErrTransient)
 	}
@@ -247,7 +637,7 @@ func (t *Transport) connTo(dst i2o.NodeID) (*peerConn, error) {
 		c.Close()
 		return nil, fmt.Errorf("%w: dialed %v, got %v", ErrHandshake, dst, peer)
 	}
-	return t.adopt(peer, c)
+	return t.adopt(peer, c, t.node)
 }
 
 func readHello(c net.Conn) (i2o.NodeID, error) {
@@ -262,17 +652,40 @@ func readHello(c net.Conn) (i2o.NodeID, error) {
 }
 
 // adopt registers a live connection and starts its read loop.  On a
-// simultaneous-connect race the existing connection wins.
-func (t *Transport) adopt(peer i2o.NodeID, c net.Conn) (*peerConn, error) {
-	pc := &peerConn{node: peer, c: c}
+// simultaneous-connect race — both nodes dialed each other at once, so two
+// streams exist — both sides apply the same tie-break and keep the stream
+// dialed by the lower node id; picking deterministically means the peers
+// agree on the surviving stream instead of each closing the one the other
+// kept (which churns connections until the race happens to resolve).  When
+// the same initiator shows up twice the newer stream wins: the initiator
+// only redials after dropping the old one, so the old one is dead.
+func (t *Transport) adopt(peer i2o.NodeID, c net.Conn, initiator i2o.NodeID) (*peerConn, error) {
+	pc := &peerConn{node: peer, initiator: initiator, c: c}
 	t.mu.Lock()
-	if existing, ok := t.conns[peer]; ok {
+	if t.closed.Load() {
 		t.mu.Unlock()
 		c.Close()
-		return existing, nil
+		return nil, ErrClosed
 	}
-	t.conns[peer] = pc
-	t.mu.Unlock()
+	if existing, ok := t.conns[peer]; ok {
+		keepNew := existing.initiator == pc.initiator
+		if !keepNew {
+			low := min(t.node, peer)
+			keepNew = pc.initiator == low
+		}
+		if !keepNew {
+			t.mu.Unlock()
+			c.Close()
+			return existing, nil
+		}
+		delete(t.conns, peer)
+		t.conns[peer] = pc
+		t.mu.Unlock()
+		existing.c.Close() // its readLoop exits; dropConn is a no-op now
+	} else {
+		t.conns[peer] = pc
+		t.mu.Unlock()
+	}
 	t.wg.Add(1)
 	go t.readLoop(pc)
 	return pc, nil
@@ -314,44 +727,97 @@ func (t *Transport) acceptLoop() {
 				return
 			}
 			t.nAccs.Inc()
-			_, _ = t.adopt(peer, c)
+			_, _ = t.adopt(peer, c, peer)
 		}()
 	}
 }
 
+// readLoop streams records out of one connection.  Bytes land in a 256 KB
+// pool block; frames decode in place and retain the block, so one block
+// backs every frame it holds and recycles itself when the last consumer
+// releases.  The loop rewinds the block only when it is the sole owner and
+// moves a partial record to a fresh block otherwise — delivered payloads
+// are never overwritten.
 func (t *Transport) readLoop(pc *peerConn) {
 	defer t.wg.Done()
 	defer t.dropConn(pc)
-	var lenBuf [4]byte
+	var (
+		block      *pool.Buffer
+		data       []byte
+		start, end int
+	)
+	defer func() {
+		if block != nil {
+			block.Release()
+		}
+	}()
+	newBlock := func() bool {
+		b, err := t.alloc.Alloc(readBlockSize)
+		if err != nil {
+			return false
+		}
+		nd := b.Bytes()
+		n := 0
+		if block != nil {
+			n = copy(nd, data[start:end])
+			block.Release()
+		}
+		block, data, start, end = b, nd, 0, n
+		return true
+	}
+	if !newBlock() {
+		return
+	}
 	for {
-		if _, err := io.ReadFull(pc.c, lenBuf[:]); err != nil {
-			return
+		// Decode every complete record in the block.
+		for end-start >= 4 {
+			size := int(binary.LittleEndian.Uint32(data[start:]))
+			if size < i2o.StandardHeaderSize || size > i2o.MaxWireSize {
+				return // protocol violation; drop the connection
+			}
+			if end-start < 4+size {
+				break
+			}
+			m, _, err := i2o.DecodeAcquired(data[start+4 : start+4+size])
+			if err != nil {
+				return
+			}
+			block.Retain()
+			m.AttachBuffer(block)
+			start += 4 + size
+			fn := t.deliverFn()
+			if fn == nil {
+				m.Release()
+				continue
+			}
+			t.nRecv.Inc()
+			if err := fn(pc.node, m); err != nil && t.closed.Load() {
+				return
+			}
 		}
-		size := int(binary.LittleEndian.Uint32(lenBuf[:]))
-		if size < i2o.StandardHeaderSize || size > i2o.MaxWireSize {
-			return // protocol violation; drop the connection
+		// Make room for the next read.
+		if start == end {
+			if block.Refs() == 1 {
+				start, end = 0, 0 // sole owner: reuse in place
+			} else if end == len(data) {
+				if !newBlock() { // block pinned by in-flight frames
+					return
+				}
+			}
+		} else {
+			span := 4
+			if end-start >= 4 {
+				span = 4 + int(binary.LittleEndian.Uint32(data[start:]))
+			}
+			if start+span > len(data) {
+				if !newBlock() { // partial record cannot complete in place
+					return
+				}
+			}
 		}
-		block, err := t.alloc.Alloc(size)
-		if err != nil {
-			return
-		}
-		if _, err := io.ReadFull(pc.c, block.Bytes()); err != nil {
-			block.Release()
-			return
-		}
-		m, _, err := i2o.DecodeAcquired(block.Bytes())
-		if err != nil {
-			block.Release()
-			return
-		}
-		m.AttachBuffer(block)
-		fn := t.deliverFn()
-		if fn == nil {
-			m.Release()
-			continue
-		}
-		t.nRecv.Inc()
-		if err := fn(pc.node, m); err != nil && t.closed.Load() {
+		n, err := pc.c.Read(data[end:])
+		end += n
+		if err != nil && n == 0 {
 			return
 		}
 	}
@@ -362,15 +828,21 @@ func (t *Transport) Stats() (sent, received uint64) {
 	return t.nSent.Value(), t.nRecv.Value()
 }
 
-// Stop implements pta.PeerTransport.
+// Stop implements pta.PeerTransport.  Frames still queued on send rings
+// are released, not flushed: by the time the executive stops a transport
+// their initiators have failed over or timed out already.
 func (t *Transport) Stop() error {
 	if t.closed.Swap(true) {
 		return nil
 	}
+	close(t.stopc)
 	if t.ln != nil {
 		t.ln.Close()
 	}
 	t.mu.Lock()
+	for _, p := range t.peers {
+		p.q.Close()
+	}
 	for _, pc := range t.conns {
 		pc.c.Close()
 	}

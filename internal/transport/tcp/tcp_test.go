@@ -20,7 +20,7 @@ type tcpNode struct {
 	tr    *Transport
 }
 
-func buildNode(t *testing.T, id i2o.NodeID) *tcpNode {
+func buildNode(t testing.TB, id i2o.NodeID) *tcpNode {
 	t.Helper()
 	e := executive.New(executive.Options{
 		Name: "tcp", Node: id,
@@ -46,7 +46,7 @@ func buildNode(t *testing.T, id i2o.NodeID) *tcpNode {
 	return n
 }
 
-func connectPair(t *testing.T) (*tcpNode, *tcpNode) {
+func connectPair(t testing.TB) (*tcpNode, *tcpNode) {
 	t.Helper()
 	a := buildNode(t, 1)
 	b := buildNode(t, 2)
