@@ -5,9 +5,9 @@
 
 GO ?= go
 
-.PHONY: check build test vet race bench bench-remote benchall
+.PHONY: check build test vet race soak-short fuzz bench bench-remote benchall
 
-check: vet build test race
+check: vet build test race soak-short
 
 build:
 	$(GO) build ./...
@@ -19,7 +19,25 @@ test:
 	$(GO) test ./...
 
 race:
-	$(GO) test -race ./internal/executive/ ./internal/queue/ ./internal/pta/ ./internal/metrics/ ./internal/health/ ./internal/transport/tcp/ ./internal/transport/gm/
+	$(GO) test -race ./internal/executive/ ./internal/queue/ ./internal/pta/ ./internal/metrics/ ./internal/health/ ./internal/transport/tcp/ ./internal/transport/gm/ ./internal/chaos/ ./internal/e2e/
+
+# soak-short is the CI face of the chaos harness (see doc/testing.md):
+# three short seeded soaks under the race detector, one per cluster shape —
+# kill+failover on the mixed fabric, heavy wire faults on batched TCP, and
+# dispatcher rescales under load on loopback.  xdaqsoak exits nonzero the
+# moment any invariant checker reports, printing the seed and trace rings,
+# so a red soak-short is reproducible with the seed it prints.
+soak-short:
+	$(GO) run -race ./cmd/xdaqsoak -seed 101 -duration 5s -rounds 3 -fabric gm+tcp -faults light -q
+	$(GO) run -race ./cmd/xdaqsoak -seed 202 -duration 5s -rounds 3 -fabric tcp -faults heavy -kill=false -q
+	$(GO) run -race ./cmd/xdaqsoak -seed 303 -duration 5s -rounds 3 -fabric loopback -faults none -kill=false -q
+
+# fuzz gives each fuzz target a short exploration budget on top of its checked-in
+# seed corpus; lengthen with FUZZTIME=1m for a real session.
+FUZZTIME ?= 10s
+fuzz:
+	$(GO) test -run '^$$' -fuzz '^FuzzDecodeAcquired$$' -fuzztime $(FUZZTIME) ./internal/i2o/
+	$(GO) test -run '^$$' -fuzz '^FuzzSGLRoundTrip$$' -fuzztime $(FUZZTIME) ./internal/sgl/
 
 # bench runs the dispatch-engine benchmarks (hot-path allocations, worker
 # scaling, watchdog overhead, event builder) and archives the numbers as

@@ -40,10 +40,11 @@ type FaultOp = faults.Op
 
 // Fault-injection operations.
 const (
-	FaultPass  = faults.Pass
-	FaultDrop  = faults.Drop
-	FaultDelay = faults.Delay
-	FaultError = faults.Error
+	FaultPass      = faults.Pass
+	FaultDrop      = faults.Drop
+	FaultDelay     = faults.Delay
+	FaultError     = faults.Error
+	FaultDuplicate = faults.Duplicate
 )
 
 // NewFaultInjector creates a deterministic injector from seed.

@@ -1,0 +1,151 @@
+package chaos
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+// Scenario 1: a node's GM data plane is killed mid-run; the health
+// monitors must fail every affected route over to the TCP control plane
+// and the cluster must finish the run with every invariant intact.
+func TestScenarioKillFailover(t *testing.T) {
+	rep, err := Run(Options{
+		Seed:     4242,
+		Fabric:   "gm+tcp",
+		Nodes:    3,
+		Rounds:   3,
+		Duration: 450 * time.Millisecond,
+		Kill:     true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.EchoOK == 0 || rep.SeqRecvd == 0 {
+		t.Fatalf("storm moved no traffic: %s", rep)
+	}
+}
+
+// Scenario 2: batched TCP under heavy send- and wire-path faults — drops,
+// injected errors, duplicated frames, severed connections riding the
+// redial, ring-full backpressure from deliberately small rings — plus SGL
+// bulk transfers.  Conservation must hold in its lossy/duplicated form:
+// nothing corrupted, nothing reordered, nothing invented.
+func TestScenarioWireFaultsTCP(t *testing.T) {
+	rep, err := Run(Options{
+		Seed:     777,
+		Fabric:   "tcp",
+		Nodes:    3,
+		Rounds:   3,
+		Duration: 450 * time.Millisecond,
+		Faults:   "heavy",
+		Bulk:     true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.SeqRecvd == 0 {
+		t.Fatalf("heavy faults starved the run completely: %s", rep)
+	}
+}
+
+// Scenario 3: dispatcher rescales under load on the pointer-passing
+// fabric, with the DAQ event builder riding along.  The run is lossless,
+// so conservation is checked at full strictness: every frame, exactly
+// once, in order, and every event assembled.
+func TestScenarioDispatcherRescale(t *testing.T) {
+	rep, err := Run(Options{
+		Seed:         90125,
+		Fabric:       "loopback",
+		Nodes:        3,
+		Rounds:       3,
+		Duration:     450 * time.Millisecond,
+		Rescale:      true,
+		EventBuilder: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.EchoErr != 0 {
+		t.Fatalf("clean run had %d echo errors: %s", rep.EchoErr, rep)
+	}
+}
+
+// A deliberately broken invariant must be caught and reported with the
+// seed and a trace-ring dump — the harness's own failure path is part of
+// the contract (a checker that cannot fail checks nothing).
+func TestSabotageIsCaught(t *testing.T) {
+	_, err := Run(Options{
+		Seed:     1337,
+		Fabric:   "loopback",
+		Nodes:    2,
+		Rounds:   1,
+		Duration: 60 * time.Millisecond,
+		sabotage: func(c *Cluster) {
+			// Leak one pool block: allocate a buffer and drop it on the
+			// floor still referenced.
+			if _, err := c.Nodes[0].Exec.Alloc(64); err != nil {
+				t.Fatalf("sabotage alloc: %v", err)
+			}
+		},
+	})
+	if err == nil {
+		t.Fatal("leaked a pool block, but no checker fired")
+	}
+	msg := err.Error()
+	for _, want := range []string{"seed=1337", "pool", "leaked", "trace ring node"} {
+		if !strings.Contains(msg, want) {
+			t.Fatalf("failure report lacks %q:\n%s", want, msg)
+		}
+	}
+}
+
+// The whole schedule — fault rules, per-peer stream verdicts, kill
+// victims, rescales, bulk sizes — must be a pure function of the seed:
+// two renders are byte-identical, and a different seed diverges.
+func TestPlanReproducible(t *testing.T) {
+	o := Options{
+		Seed:   31337,
+		Fabric: "tcp",
+		Nodes:  3,
+		Faults: "heavy",
+		Kill:   false,
+		Bulk:   true,
+	}
+	a, b := PlanString(o), PlanString(o)
+	if a != b {
+		t.Fatalf("same options, different plans:\n%s\n----\n%s", a, b)
+	}
+	o2 := o
+	o2.Seed = 31338
+	if PlanString(o2) == a {
+		t.Fatal("different seeds produced identical plans")
+	}
+	if !strings.Contains(a, "seed=31337") {
+		t.Fatalf("plan does not name its seed:\n%s", a)
+	}
+}
+
+// Two full runs from the same seed carry the same plan in their reports —
+// the reproduce-from-the-printed-seed workflow (`xdaqsoak -seed N`).
+func TestRunPlansMatchAcrossRuns(t *testing.T) {
+	o := Options{
+		Seed:     55,
+		Fabric:   "tcp",
+		Nodes:    2,
+		Rounds:   2,
+		Duration: 120 * time.Millisecond,
+		Faults:   "light",
+	}
+	r1, err := Run(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := Run(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r1.Plan != r2.Plan {
+		t.Fatalf("same seed, different schedules:\n%s\n----\n%s", r1.Plan, r2.Plan)
+	}
+}

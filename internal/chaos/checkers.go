@@ -1,0 +1,336 @@
+package chaos
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"xdaq/internal/health"
+	"xdaq/internal/i2o"
+	"xdaq/internal/tid"
+	"xdaq/internal/transport/gm"
+)
+
+// Checker validates one global invariant over a quiescent cluster.  Run
+// invokes every checker after each round's quiesce; each returned string
+// is reported as a violation with the checker's name and the seed.
+//
+// Checkers may poll: "quiescent" is approximate in the presence of health
+// probes and transport rings still flushing, so a checker should wait
+// (bounded) for its property rather than fail on one hot sample.
+type Checker interface {
+	Name() string
+	Check(c *Cluster) []string
+}
+
+// DefaultCheckers returns the full invariant suite:
+//
+//   - conservation: per (sender, worker, receiver) the numbered frame
+//     stream arrives without corruption, duplication (unless duplicate
+//     faults are armed) or reordering, and completely on lossless runs;
+//   - pool: no node's buffer pool population exceeds its last clean
+//     baseline — a leaked reference-counted block never returns;
+//   - pending: every pending-reply table drains to empty;
+//   - queues: every inbound scheduler drains to empty;
+//   - routes: every proxy entry names a registered peer transport, never a
+//     killed one, and agrees with the executive's per-node route;
+//   - health: every monitored peer settles back to Up;
+//   - workload: the storm actually exercised the cluster.
+func DefaultCheckers() []Checker {
+	return []Checker{
+		conservationChecker{},
+		poolChecker{},
+		pendingChecker{},
+		queueChecker{},
+		routesChecker{},
+		healthChecker{},
+		workloadChecker{},
+	}
+}
+
+// settle polls sample until it returns the same value three times in a
+// row (10ms apart) or the budget expires, and returns the last value.
+func settle(budget time.Duration, sample func() int64) int64 {
+	deadline := time.Now().Add(budget)
+	last, stable := sample(), 0
+	for stable < 3 && time.Now().Before(deadline) {
+		time.Sleep(10 * time.Millisecond)
+		v := sample()
+		if v == last {
+			stable++
+		} else {
+			last, stable = v, 0
+		}
+	}
+	return last
+}
+
+// waitTrue polls cond until it holds or the budget expires.
+func waitTrue(budget time.Duration, cond func() bool) bool {
+	deadline := time.Now().Add(budget)
+	for {
+		if cond() {
+			return true
+		}
+		if time.Now().After(deadline) {
+			return false
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+}
+
+// conservationChecker audits the fire-and-forget streams: every received
+// frame must have been sent, arrive in order, at most once (or back to
+// back up to four times when duplicate faults are armed — send-path and
+// wire-path duplication can compound), and — on lossless runs — all of
+// them.
+type conservationChecker struct{}
+
+func (conservationChecker) Name() string { return "frame-conservation" }
+
+func (conservationChecker) Check(c *Cluster) []string {
+	// Frames can still be in flight in transport rings and kernel socket
+	// buffers after the executives look idle; wait for the global arrival
+	// count to stop moving before auditing.
+	settle(3*time.Second, func() int64 {
+		var total int64
+		for _, n := range c.Nodes {
+			n.recvMu.Lock()
+			for _, seqs := range n.recv {
+				total += int64(len(seqs))
+			}
+			n.recvMu.Unlock()
+		}
+		return total
+	})
+
+	maxDup := 1
+	if c.dups {
+		maxDup = 4
+	}
+	var out []string
+	for _, n := range c.Nodes {
+		n.recvMu.Lock()
+		for key, seqs := range n.recv {
+			src, worker := i2o16(key>>16), int(key&0xFFFF)
+			sender := c.node(src)
+			sent := sender.sentTo(worker, n.ID)
+			prev, prevCount := uint32(0), 0
+			delivered := 0
+			for i, s := range seqs {
+				if s < 1 || s > sent {
+					out = append(out, fmt.Sprintf(
+						"node %d got seq %d from node %d worker %d, but only 1..%d were sent",
+						n.ID, s, src, worker, sent))
+					continue
+				}
+				switch {
+				case s == prev:
+					prevCount++
+					if prevCount > maxDup {
+						out = append(out, fmt.Sprintf(
+							"node %d got seq %d from node %d worker %d %d times (max %d)",
+							n.ID, s, src, worker, prevCount, maxDup))
+					}
+				case s < prev:
+					out = append(out, fmt.Sprintf(
+						"node %d: stream from node %d worker %d reordered at index %d: %d after %d",
+						n.ID, src, worker, i, s, prev))
+				default:
+					prev, prevCount = s, 1
+					delivered++
+				}
+			}
+			if !c.lossy && uint32(delivered) != sent {
+				out = append(out, fmt.Sprintf(
+					"lossless run, but node %d got %d of %d frames from node %d worker %d",
+					n.ID, delivered, sent, src, worker))
+			}
+		}
+		n.recvMu.Unlock()
+	}
+	return out
+}
+
+// poolChecker audits buffer accounting: once the cluster is idle, every
+// node's pool population — minus the one receive block each live TCP
+// connection legitimately holds — must be back at (or below) its last
+// clean baseline.  A block above it is a leaked reference — some path
+// retained a frame body and never released it.  The connection adjustment
+// matters because fault-driven health failovers and redials dial real
+// connections mid-run: their read blocks are live population, not leaks.
+type poolChecker struct{}
+
+func (poolChecker) Name() string { return "pool-leaks" }
+
+func (poolChecker) Check(c *Cluster) []string {
+	rebase := c.poolRebase
+	c.poolRebase = false
+	var out []string
+	for _, n := range c.Nodes {
+		inUse := settle(3*time.Second, n.poolPopulation)
+		if rebase {
+			// A kill/failover moved the legitimate steady-state population
+			// this round; accept the settled value as the new baseline.
+			n.baseline = inUse
+			continue
+		}
+		if inUse > n.baseline {
+			conns := 0
+			if n.TCP != nil {
+				conns = n.TCP.Conns()
+			}
+			out = append(out, fmt.Sprintf(
+				"node %d pool holds %d blocks (+%d live tcp conns), baseline %d: %d leaked",
+				n.ID, inUse, conns, n.baseline, inUse-n.baseline))
+			continue
+		}
+		// Ratchet downward: the tightest population ever observed is the
+		// new floor, so a slow leak cannot hide under a generous warm-up.
+		n.baseline = inUse
+	}
+	return out
+}
+
+// pendingChecker verifies every pending-reply table drains: an entry left
+// behind is a request whose reply can never arrive yet was never failed.
+type pendingChecker struct{}
+
+func (pendingChecker) Name() string { return "pending-replies" }
+
+func (pendingChecker) Check(c *Cluster) []string {
+	var out []string
+	for _, n := range c.Nodes {
+		// Health probes are themselves requests, so an instantaneous
+		// nonzero sample is fine; the table must only *reach* empty.
+		if !waitTrue(2*time.Second, func() bool { return n.Exec.PendingRequests() == 0 }) {
+			out = append(out, fmt.Sprintf(
+				"node %d pending-reply table never drained: %d entries",
+				n.ID, n.Exec.PendingRequests()))
+		}
+	}
+	return out
+}
+
+// queueChecker verifies every inbound scheduler drains to empty.
+type queueChecker struct{}
+
+func (queueChecker) Name() string { return "scheduler-drain" }
+
+func (queueChecker) Check(c *Cluster) []string {
+	var out []string
+	for _, n := range c.Nodes {
+		if !waitTrue(2*time.Second, func() bool { return n.Exec.QueueLen() == 0 }) {
+			out = append(out, fmt.Sprintf(
+				"node %d inbound scheduler never drained: %d frames",
+				n.ID, n.Exec.QueueLen()))
+		}
+	}
+	return out
+}
+
+// routesChecker audits the TiD tables: every proxy must name a peer
+// transport that is actually registered, must not point over a killed
+// fabric, and — for discovered device proxies — must agree with the
+// executive's current route for that node (return proxies pin the route
+// the originating frame arrived on, so only the liveness rules apply to
+// them).
+type routesChecker struct{}
+
+func (routesChecker) Name() string { return "proxy-routes" }
+
+func (routesChecker) Check(c *Cluster) []string {
+	var out []string
+	for _, n := range c.Nodes {
+		registered := make(map[string]bool)
+		for _, r := range n.Agent.Routes() {
+			registered[r] = true
+		}
+		for _, en := range n.Exec.Table().Entries() {
+			if en.Kind != tid.Proxy {
+				continue
+			}
+			if !registered[en.Route] {
+				out = append(out, fmt.Sprintf(
+					"node %d: proxy %v routed via %q, which names no registered transport",
+					n.ID, en.TID, en.Route))
+				continue
+			}
+			if en.Route == gm.PTName && (c.gmDead[en.Node] || c.gmDead[n.ID]) {
+				out = append(out, fmt.Sprintf(
+					"node %d: proxy %v still routed over the killed GM fabric to node %d",
+					n.ID, en.TID, en.Node))
+				continue
+			}
+			if strings.HasPrefix(en.Class, "@peer") {
+				continue
+			}
+			if cur, ok := n.Exec.Route(en.Node); ok && cur != en.Route {
+				out = append(out, fmt.Sprintf(
+					"node %d: proxy %v routed via %q, but the executive routes node %d via %q",
+					n.ID, en.TID, en.Route, en.Node, cur))
+			}
+		}
+	}
+	return out
+}
+
+// healthChecker verifies the liveness state machines converge: every
+// monitored peer must settle back to Up (a killed data plane fails over,
+// it does not take the peer down).
+type healthChecker struct{}
+
+func (healthChecker) Name() string { return "health-consensus" }
+
+func (healthChecker) Check(c *Cluster) []string {
+	var out []string
+	for _, n := range c.Nodes {
+		if n.Mon == nil {
+			continue
+		}
+		for _, p := range c.Nodes {
+			if p == n {
+				continue
+			}
+			if !waitTrue(2*time.Second, func() bool { return n.Mon.State(p.ID) == health.Up }) {
+				out = append(out, fmt.Sprintf(
+					"node %d never saw node %d come back up (state %v)",
+					n.ID, p.ID, n.Mon.State(p.ID)))
+			}
+		}
+	}
+	return out
+}
+
+// workloadChecker is the harness's own sanity: a storm that moved no
+// frames validates nothing, so silence here would be a false green.
+type workloadChecker struct{}
+
+func (workloadChecker) Name() string { return "workload-liveness" }
+
+func (workloadChecker) Check(c *Cluster) []string {
+	var echo, sent, recvd uint64
+	for _, n := range c.Nodes {
+		echo += n.echoOK.Load()
+		sent += n.seqSent.Load()
+		n.recvMu.Lock()
+		for _, seqs := range n.recv {
+			recvd += uint64(len(seqs))
+		}
+		n.recvMu.Unlock()
+	}
+	var out []string
+	if echo == 0 {
+		out = append(out, "no echo round trip ever completed")
+	}
+	if sent == 0 {
+		out = append(out, "no sequence frame was ever sent")
+	}
+	if recvd == 0 {
+		out = append(out, "no sequence frame was ever received")
+	}
+	return out
+}
+
+// i2o16 narrows a stored 16-bit node id back to i2o.NodeID.
+func i2o16(v uint32) i2o.NodeID { return i2o.NodeID(v & 0xFFFF) }

@@ -1,0 +1,104 @@
+package chaos
+
+import (
+	"time"
+
+	"xdaq/internal/daq"
+	"xdaq/internal/i2o"
+)
+
+// ebState is the persistent DAQ event-builder deployment riding along with
+// the chaos workload: event manager and readout unit on the first node, a
+// builder unit on the last, exactly the paper's §6 demonstrator.  The
+// modules are plugged once at build time and re-armed every round (the
+// EVM's allocator rewinds, the BU restarts), so proxy entries discovered
+// for them stay valid across rounds and failovers.
+type ebState struct {
+	evm *daq.EVM
+	ru  *daq.RU
+	bu  *daq.BU
+}
+
+// setupEventBuilder plugs the DAQ modules and wires the builder to its
+// sources through proxy TiDs.
+func (c *Cluster) setupEventBuilder() error {
+	src := c.Nodes[0]
+	sink := c.Nodes[len(c.Nodes)-1]
+	eb := &ebState{
+		evm: daq.NewEVM(0),
+		ru:  daq.NewRU(0, 512),
+		bu:  daq.NewBU(0),
+	}
+	if _, err := src.Exec.Plug(eb.evm.Device()); err != nil {
+		return err
+	}
+	if _, err := src.Exec.Plug(eb.ru.Device()); err != nil {
+		return err
+	}
+	if _, err := sink.Exec.Plug(eb.bu.Device()); err != nil {
+		return err
+	}
+	evmTID, err := sink.Exec.Discover(src.ID, daq.EVMClass, 0)
+	if err != nil {
+		return err
+	}
+	ruTID, err := sink.Exec.Discover(src.ID, daq.RUClass, 0)
+	if err != nil {
+		return err
+	}
+	eb.bu.Configure(evmTID, []i2o.TID{ruTID})
+	c.eb = eb
+	return nil
+}
+
+// eventBuilderRound rewinds the EVM to the round's event budget and runs
+// the builder until the manager is exhausted.  Corruption (a fragment that
+// does not match its event) is a violation on any run; a shortfall is one
+// only when the run is clean.
+//
+// The round only runs while the cluster is lossless: the builder's
+// allocate/fragment pipeline is a pure event-driven state machine with no
+// retransmission, so a single dropped frame wedges the run by design —
+// under armed faults or after a transport kill that is expected behavior,
+// not an invariant to audit.
+func (c *Cluster) eventBuilderRound(round, events int) {
+	eb := c.eb
+	if eb == nil {
+		return
+	}
+	if c.lossy {
+		c.logf("chaos: round %d: skipping event builder on a lossy run", round+1)
+		return
+	}
+	eb.evm.Reset(uint64(events))
+	done, err := eb.bu.Start(0, 4)
+	if err != nil {
+		if !c.lossy {
+			c.violate("round %d: event builder start: %v", round+1, err)
+		}
+		return
+	}
+	select {
+	case <-done:
+	case <-time.After(10 * time.Second):
+		c.violate("round %d: event builder wedged (built %d of %d)",
+			round+1, eb.bu.Stats().Built, events)
+		return
+	}
+	// BU counters reset at every Start, so Stats is this round's tally.
+	stats, err := eb.bu.Wait()
+	if stats.Corrupt != 0 {
+		c.violate("round %d: event builder assembled %d corrupt events", round+1, stats.Corrupt)
+	}
+	if c.lossy {
+		return // shortfalls and errors ride on losses
+	}
+	if err != nil {
+		c.violate("round %d: event builder failed: %v", round+1, err)
+		return
+	}
+	if stats.Built != uint64(events) {
+		c.violate("round %d: event builder built %d of %d events", round+1, stats.Built, events)
+	}
+	c.logf("chaos: round %d event builder: %d events, %d bytes", round+1, stats.Built, stats.Bytes)
+}

@@ -1,0 +1,232 @@
+package chaos
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+	"time"
+
+	"xdaq/internal/i2o"
+	"xdaq/internal/transport/faults"
+)
+
+// Everything random about a run — fault rules, kill victims, dispatcher
+// rescales, bulk sizes — is derived from Options.Seed through the helpers
+// in this file, and from nothing else.  PlanString renders the derivation,
+// so two runs with the same options print byte-identical plans and a
+// failing soak can be replayed from the seed alone.
+
+// splitmix64 is the seed-mixing finalizer (Steele et al.); it turns the run
+// seed plus a stream tag into well-separated generator seeds.
+func splitmix64(x uint64) uint64 {
+	x += 0x9E3779B97F4A7C15
+	x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9
+	x = (x ^ (x >> 27)) * 0x94D049BB133111EB
+	return x ^ (x >> 31)
+}
+
+// deriveSeed mixes the run seed with a stream tag.
+func deriveSeed(seed int64, tag uint64) int64 {
+	return int64(splitmix64(uint64(seed) ^ splitmix64(tag)))
+}
+
+// roundPlan is the deterministic script for one chaos round.
+type roundPlan struct {
+	// Dispatchers is the worker count to set per node (index into
+	// Cluster.Nodes); nil leaves the counts alone.
+	Dispatchers []int
+
+	// Kill names the node whose data transport dies at the start of this
+	// round (0: nobody dies).
+	Kill i2o.NodeID
+
+	// Bulk is the SGL bulk-transfer payload size for this round (0: no
+	// bulk traffic).
+	Bulk int
+
+	// Events is the DAQ event-builder event count for this round (0: no
+	// event-builder traffic).
+	Events int
+}
+
+// buildRounds scripts every round of a run from the seed.
+func buildRounds(o Options) []roundPlan {
+	rng := rand.New(rand.NewSource(deriveSeed(o.Seed, 0xC4A05)))
+	rounds := make([]roundPlan, o.Rounds)
+	killRound := -1
+	if o.Kill {
+		// The victim dies mid-run, with at least one clean round before
+		// and one failed-over round after.
+		killRound = 1
+		if o.Rounds > 2 {
+			killRound = 1 + rng.Intn(o.Rounds-2)
+		}
+	}
+	for r := range rounds {
+		rp := &rounds[r]
+		if o.Rescale {
+			rp.Dispatchers = make([]int, o.Nodes)
+			for i := range rp.Dispatchers {
+				rp.Dispatchers[i] = 1 + rng.Intn(4)
+			}
+		}
+		if r == killRound {
+			// Never the first node: it hosts the event-builder sources.
+			rp.Kill = i2o.NodeID(2 + rng.Intn(o.Nodes-1))
+		}
+		if o.Bulk {
+			rp.Bulk = 4096 + rng.Intn(60*1024)
+		}
+		if o.EventBuilder {
+			rp.Events = 6 + rng.Intn(10)
+		}
+	}
+	return rounds
+}
+
+// sendRules returns the send-path fault rule list for the given intensity.
+func sendRules(level string) []faults.Rule {
+	switch level {
+	case "light":
+		return []faults.Rule{
+			{Op: faults.Drop, Prob: 0.02},
+			{Op: faults.Delay, Nth: 37, Delay: 50 * time.Microsecond},
+			{Op: faults.Error, Nth: 53},
+			{Op: faults.Duplicate, Nth: 71},
+		}
+	case "heavy":
+		return []faults.Rule{
+			{Op: faults.Drop, Prob: 0.06},
+			{Op: faults.Duplicate, Prob: 0.02},
+			{Op: faults.Delay, Nth: 23, Delay: 100 * time.Microsecond},
+			{Op: faults.Error, Nth: 19},
+		}
+	}
+	return nil
+}
+
+// wireRules returns the tcp wire-path rule list (connection kills, writer
+// stalls, wire-level retransmits); only "heavy" runs sever connections.
+func wireRules(level string) []faults.Rule {
+	if level != "heavy" {
+		return nil
+	}
+	return []faults.Rule{
+		{Op: faults.Drop, Nth: 97}, // severs the connection; redial resends
+		{Op: faults.Delay, Nth: 41, Delay: 200 * time.Microsecond},
+		{Op: faults.Duplicate, Nth: 61},
+	}
+}
+
+// sendInjector builds the send-path injector for one node, or nil when the
+// run injects no faults.  The injector seed is derived from (run seed,
+// node), so every node's per-peer streams are independent and reproducible.
+func sendInjector(o Options, node i2o.NodeID) *faults.Injector {
+	rules := sendRules(o.Faults)
+	if rules == nil {
+		return nil
+	}
+	in := faults.New(deriveSeed(o.Seed, 0x5E4D<<16|uint64(node)))
+	for _, r := range rules {
+		in.Add(r)
+	}
+	return in
+}
+
+// wireInjector builds the tcp wire-path injector for one node, or nil.
+func wireInjector(o Options, node i2o.NodeID) *faults.Injector {
+	rules := wireRules(o.Faults)
+	if rules == nil || !strings.Contains(o.Fabric, "tcp") {
+		return nil
+	}
+	in := faults.New(deriveSeed(o.Seed, 0x317E<<16|uint64(node)))
+	for _, r := range rules {
+		in.Add(r)
+	}
+	return in
+}
+
+// previewFrames is how many per-peer verdicts PlanString renders per link.
+const previewFrames = 48
+
+func opChar(op faults.Op) byte {
+	switch op {
+	case faults.Drop:
+		return 'D'
+	case faults.Delay:
+		return 'y'
+	case faults.Error:
+		return 'E'
+	case faults.Duplicate:
+		return '2'
+	}
+	return '.'
+}
+
+func appendStreamPreview(b *strings.Builder, label string, mk func(i2o.NodeID) *faults.Injector, nodes int) {
+	for s := 1; s <= nodes; s++ {
+		in := mk(i2o.NodeID(s))
+		if in == nil {
+			return
+		}
+		for d := 1; d <= nodes; d++ {
+			if d == s {
+				continue
+			}
+			line := make([]byte, previewFrames)
+			for k := range line {
+				line[k] = opChar(in.NextFor(uint64(d)).Op)
+			}
+			fmt.Fprintf(b, "  %s %d->%d: %s\n", label, s, d, line)
+		}
+	}
+}
+
+// PlanString renders the complete deterministic schedule of a run: the
+// round script and, for faulty runs, the rule lists plus the first
+// previewFrames verdicts of every per-peer fault stream.  It is a pure
+// function of Options, so `xdaqsoak -seed N` prints the same bytes every
+// time — the reproducibility contract the harness's tests assert.
+func PlanString(o Options) string {
+	o = o.withDefaults()
+	var b strings.Builder
+	fmt.Fprintf(&b, "chaos plan: seed=%d fabric=%s nodes=%d rounds=%d workers=%d faults=%s",
+		o.Seed, o.Fabric, o.Nodes, o.Rounds, o.Workers, o.Faults)
+	fmt.Fprintf(&b, " kill=%v rescale=%v bulk=%v eventbuilder=%v\n",
+		o.Kill, o.Rescale, o.Bulk, o.EventBuilder)
+
+	if rules := sendRules(o.Faults); rules != nil {
+		b.WriteString("send rules (per-peer streams):\n")
+		for i, r := range rules {
+			fmt.Fprintf(&b, "  [%d] %v nth=%d prob=%g after=%d limit=%d delay=%v\n",
+				i, r.Op, r.Nth, r.Prob, r.After, r.Limit, r.Delay)
+		}
+		appendStreamPreview(&b, "send", func(n i2o.NodeID) *faults.Injector { return sendInjector(o, n) }, o.Nodes)
+	}
+	if rules := wireRules(o.Faults); rules != nil && strings.Contains(o.Fabric, "tcp") {
+		b.WriteString("wire rules (tcp writer, per-peer streams):\n")
+		for i, r := range rules {
+			fmt.Fprintf(&b, "  [%d] %v nth=%d delay=%v\n", i, r.Op, r.Nth, r.Delay)
+		}
+		appendStreamPreview(&b, "wire", func(n i2o.NodeID) *faults.Injector { return wireInjector(o, n) }, o.Nodes)
+	}
+
+	b.WriteString("rounds:\n")
+	for r, rp := range buildRounds(o) {
+		fmt.Fprintf(&b, "  round %d:", r+1)
+		if rp.Dispatchers != nil {
+			fmt.Fprintf(&b, " dispatchers=%v", rp.Dispatchers)
+		}
+		if rp.Kill != 0 {
+			fmt.Fprintf(&b, " kill=node%d", rp.Kill)
+		}
+		if rp.Bulk > 0 {
+			fmt.Fprintf(&b, " bulk=%dB", rp.Bulk)
+		}
+		if rp.Events > 0 {
+			fmt.Fprintf(&b, " events=%d", rp.Events)
+		}
+		b.WriteString("\n")
+	}
+	return b.String()
+}

@@ -1,0 +1,141 @@
+package e2e_test
+
+import (
+	"context"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"xdaq/internal/device"
+	"xdaq/internal/i2o"
+	"xdaq/internal/tid"
+	"xdaq/internal/transport/tcp"
+)
+
+// TestLateReplyAfterFailover pins down the reply path's behavior across a
+// mid-flight route failover:
+//
+//   - a request is parked server-side on the GM data plane while the
+//     caller's route to the server fails over to TCP;
+//   - the eventual reply rides the server's return proxy, which pinned the
+//     route the request arrived on — the *old* GM transport — and must
+//     still correlate and complete the waiting request, exactly once;
+//   - a forged duplicate of that reply (same initiator context, arriving
+//     after the pending slot is gone) must be dropped, not delivered into
+//     some later request;
+//   - a fresh request after the failover rides TCP and completes with its
+//     own payload.
+func TestLateReplyAfterFailover(t *testing.T) {
+	_, workers := buildMixedCluster(t)
+	a, b := workers[1], workers[2]
+
+	// A gated echo: the first request parks until released — later ones
+	// answer immediately — and each request's correlation context is
+	// reported so the test can forge a duplicate reply.
+	gate := make(chan struct{})
+	ctxs := make(chan uint32, 4)
+	var parkedOnce atomic.Bool
+	slow := device.New("slow", 0)
+	slow.Bind(1, func(ctx *device.Context, m *i2o.Message) error {
+		ctxs <- m.InitiatorContext
+		if parkedOnce.CompareAndSwap(false, true) {
+			<-gate
+		}
+		return device.ReplyIfExpected(ctx, m, m.Payload)
+	})
+	if _, err := b.exec.Plug(slow); err != nil {
+		t.Fatal(err)
+	}
+	target, err := a.exec.Discover(2, "slow", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Park one request on B.  It travels over GM: that is A's current
+	// route to node 2, and B's return proxy for A pins the same fabric.
+	type result struct {
+		rep *i2o.Message
+		err error
+	}
+	done := make(chan result, 1)
+	go func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		m, err := a.exec.AllocMessage(6)
+		if err != nil {
+			done <- result{nil, err}
+			return
+		}
+		copy(m.Payload, "parked")
+		m.Target = target
+		m.Initiator = i2o.TIDExecutive
+		m.XFunction = 1
+		rep, err := a.exec.RequestContext(ctx, m)
+		done <- result{rep, err}
+	}()
+	staleCtx := <-ctxs // the request reached B and is parked
+
+	// Mid-flight failover: A now routes node 2 over TCP.  The parked
+	// request's reply will still come back over GM — the failover must not
+	// strand it.
+	if n := a.exec.FailoverRoute(2, tcp.PTName); n == 0 {
+		t.Fatal("failover rerouted no proxies")
+	}
+	if r, _ := a.exec.Route(2); r != tcp.PTName {
+		t.Fatalf("route after failover: %q", r)
+	}
+
+	gate <- struct{}{} // let B reply on the old fabric
+	res := <-done
+	if res.err != nil {
+		t.Fatalf("request completed across failover: %v", res.err)
+	}
+	if string(res.rep.Payload) != "parked" {
+		t.Fatalf("reply payload %q, want %q", res.rep.Payload, "parked")
+	}
+	res.rep.Release()
+
+	// The reply was consumed exactly once: its pending slot is gone, so a
+	// duplicate of the same reply — same initiator context, as a confused
+	// or malicious peer might resend — is dropped, never delivered.
+	waitFor(t, 2*time.Second, "pending table drained", func() bool {
+		return a.exec.PendingRequests() == 0
+	})
+	before := a.exec.Stats().Dropped
+	dup := &i2o.Message{
+		Flags: i2o.FlagReply, Priority: i2o.PriorityNormal,
+		Target: i2o.TIDExecutive, Initiator: target,
+		Function: i2o.FuncPrivate, Org: i2o.OrgXDAQ, XFunction: 1,
+		InitiatorContext: staleCtx, Payload: []byte("duplicate"),
+	}
+	if err := a.exec.Inject(dup); err != nil {
+		t.Fatal(err)
+	}
+	waitFor(t, 2*time.Second, "duplicate reply dropped", func() bool {
+		return a.exec.Stats().Dropped > before
+	})
+
+	// The proxy now rides TCP end to end; a fresh request completes with
+	// its own payload, undisturbed by the forged duplicate.
+	if en, ok := a.exec.Table().Lookup(target); !ok || en.Kind != tid.Proxy || en.Route != tcp.PTName {
+		t.Fatalf("proxy entry after failover: %+v ok=%v", en, ok)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+	defer cancel()
+	m, err := a.exec.AllocMessage(5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	copy(m.Payload, "fresh")
+	m.Target = target
+	m.Initiator = i2o.TIDExecutive
+	m.XFunction = 1
+	rep, err := a.exec.RequestContext(ctx, m)
+	if err != nil {
+		t.Fatalf("fresh request over the failed-over route: %v", err)
+	}
+	if string(rep.Payload) != "fresh" {
+		t.Fatalf("fresh reply payload %q", rep.Payload)
+	}
+	rep.Release()
+}

@@ -86,9 +86,8 @@ func (e *Executive) dispatch(m *i2o.Message) {
 	// still target a proxy — a bridge IOP relays it onward below.)
 	correlated := m.Flags.Has(i2o.FlagReply) && m.InitiatorContext != 0
 	if correlated {
-		if p := e.takePending(m.InitiatorContext); p != nil {
+		if e.deliverPending(m.InitiatorContext, m) {
 			e.nReplies.Add(1)
-			p.ch <- m
 			return
 		}
 	}

@@ -424,6 +424,17 @@ func (e *Executive) Stats() Stats {
 // QueueLen returns the inbound backlog.
 func (e *Executive) QueueLen() int { return e.in.Len() }
 
+// PendingRequests returns the number of outstanding correlated requests —
+// entries in the pending-reply table waiting for a reply, timeout, or
+// failure.  A quiescent executive reports zero; the chaos harness asserts
+// exactly that after every storm drains.
+func (e *Executive) PendingRequests() int {
+	e.pendMu.Lock()
+	n := len(e.pending)
+	e.pendMu.Unlock()
+	return n
+}
+
 // SetTrace switches the frame tracer on or off.  Remote operators use the
 // ExecTraceGet message instead.
 func (e *Executive) SetTrace(on bool) { e.traceOn.Store(on) }

@@ -265,10 +265,11 @@ func (e *Executive) requestContext(ctx context.Context, m *i2o.Message, bypassDo
 // Recycling the slot is only legal when no delivery can still be in
 // flight: either our dropPending removed the map entry (so nobody else
 // ever will deliver), or the racing deliverer's frame is already parked in
-// the buffered channel (consuming it proves the delivery completed).  A
-// deliverer that removed the entry but has not yet parked its frame keeps
-// the slot: it is abandoned to the garbage collector and the late frame
-// with it.
+// the buffered channel — deliverPending parks atomically with the removal,
+// so a reply frame can always be drained and its pool buffer reclaimed.  A
+// peer-down sweep, though, removes entries first and posts its error after;
+// a slot caught in that window is abandoned to the garbage collector (the
+// error carries no pool buffer, so nothing leaks).
 func (e *Executive) abandonPending(reqCtx uint32, p *pendingReq) {
 	if e.dropPending(reqCtx) {
 		putPending(p)
@@ -349,18 +350,21 @@ func (e *Executive) dropPending(ctx uint32) bool {
 	return ok
 }
 
-// takePending claims the waiter for a reply context.
-func (e *Executive) takePending(ctx uint32) *pendingReq {
+// deliverPending hands a correlated reply to its waiter.  The park into the
+// slot's buffered channel happens inside the same critical section that
+// removes the map entry: a waiter giving up concurrently either still finds
+// the entry (and owns the slot), or finds it gone with the frame already
+// parked — drainParked can then always reclaim the reply's pool buffer, so
+// an abandoned slot never strands a block.
+func (e *Executive) deliverPending(ctx uint32, m *i2o.Message) bool {
 	e.pendMu.Lock()
 	p, ok := e.pending[ctx]
 	if ok {
 		delete(e.pending, ctx)
+		p.ch <- m
 	}
 	e.pendMu.Unlock()
-	if !ok {
-		return nil
-	}
-	return p
+	return ok
 }
 
 // Resolve implements device.Host: it returns the local TiD for a device on

@@ -178,6 +178,7 @@ var (
 	ErrTruncated   = errors.New("i2o: truncated frame")
 	ErrShortBuffer = errors.New("i2o: destination buffer too small")
 	ErrDualBody    = errors.New("i2o: frame has both flat payload and segment list")
+	ErrBadPadding  = errors.New("i2o: nonzero padding bytes")
 )
 
 // Validate checks that the message can be represented on the wire.
@@ -464,6 +465,14 @@ func decode(m *Message, src, payloadDst []byte) (int, error) {
 		m.XFunction = uint16(x)
 		m.Org = OrgID(x >> 16)
 	}
+	// Encoders emit zero padding; anything else means the sender and
+	// receiver disagree about where the body ends — corruption worth
+	// refusing rather than silently dropping bytes.
+	for _, p := range src[hdr+payloadLen : size] {
+		if p != 0 {
+			return 0, ErrBadPadding
+		}
+	}
 	body := src[hdr : hdr+payloadLen]
 	if payloadDst != nil {
 		if len(payloadDst) < payloadLen {
@@ -475,6 +484,23 @@ func decode(m *Message, src, payloadDst []byte) (int, error) {
 		m.Payload = body
 	}
 	return size, nil
+}
+
+// Dup returns an independent copy of the frame sharing its body: header
+// fields are copied, the flat payload or segment list is aliased, and the
+// backing pool buffer's reference count is incremented so the original and
+// the duplicate can be released (or recycled) independently.  The fault
+// injector's Duplicate op uses it to put the same frame on the wire twice
+// without either copy freeing the block out from under the other.
+func (m *Message) Dup() *Message {
+	d := AcquireMessage()
+	pooled := d.pooled
+	*d = *m
+	d.pooled = pooled
+	if d.buf != nil {
+		d.buf.Retain()
+	}
+	return d
 }
 
 // NewReply builds the reply skeleton for req: addresses are swapped, the

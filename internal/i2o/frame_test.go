@@ -158,6 +158,20 @@ func TestDecodeErrors(t *testing.T) {
 	if _, _, err := Decode(tb); !errors.Is(err, ErrTruncated) {
 		t.Errorf("private without extension: %v", err)
 	}
+
+	// Garbage in the word-alignment padding means the sender and receiver
+	// disagree about where the body ends; the decoder refuses it rather
+	// than silently dropping bytes (found by FuzzDecodeAcquired: accepting
+	// it also broke decode/encode idempotence).
+	padded := &Message{Priority: 0, Target: 5, Function: ExecStatusGet, Payload: []byte{1, 2, 3}}
+	pb := make([]byte, padded.WireSize())
+	if _, err := padded.Encode(pb); err != nil {
+		t.Fatal(err)
+	}
+	pb[len(pb)-1] = 0xFF
+	if _, _, err := Decode(pb); !errors.Is(err, ErrBadPadding) {
+		t.Errorf("nonzero padding: %v", err)
+	}
 }
 
 func TestDecodeInto(t *testing.T) {
@@ -411,4 +425,34 @@ func TestStringForms(t *testing.T) {
 			t.Fatal("empty String()")
 		}
 	}
+}
+
+func TestDupSharesRefcountedBody(t *testing.T) {
+	c := &countingReleaser{}
+	m := sampleMessage()
+	m.AttachBuffer(c)
+
+	d := m.Dup()
+	if c.retains != 1 {
+		t.Fatalf("Dup retained %d times, want 1", c.retains)
+	}
+	if d.String() != m.String() {
+		t.Fatalf("dup differs from original:\n  %v\n  %v", d, m)
+	}
+	if &d.Payload[0] != &m.Payload[0] {
+		t.Fatal("dup copied the payload instead of aliasing it")
+	}
+	d.Recycle()
+	m.Release()
+	if c.releases != 2 {
+		t.Fatalf("releases=%d, want 2 (one per frame)", c.releases)
+	}
+
+	// A dup of a non-pooled frame is itself pooled (from AcquireMessage)
+	// and recyclable; a dup of a pooled frame likewise.
+	p := AcquireMessage()
+	p.Target, p.Priority = 0x010, PriorityNormal
+	pd := p.Dup()
+	pd.Recycle()
+	p.Recycle()
 }

@@ -37,6 +37,68 @@ func FuzzDecode(f *testing.F) {
 	})
 }
 
+// FuzzDecodeAcquired drives the pooled decode path — the one the gm and tcp
+// receive loops use — through the same idempotence property as FuzzDecode,
+// and checks that the pooled and plain decoders always agree.  The seed
+// corpus holds frames shaped like chaos-harness traffic: private-function
+// request/reply storms, DAQ-style bulk bodies, ExecPing probes.
+func FuzzDecodeAcquired(f *testing.F) {
+	m := sampleMessage()
+	buf := make([]byte, m.WireSize())
+	if _, err := m.Encode(buf); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(buf)
+	// Chaos-storm echo request: private frame, correlated, token payload.
+	storm := &Message{
+		Flags: FlagReplyExpected, Priority: PriorityNormal,
+		Target: 0x021, Initiator: 0x111, Function: FuncPrivate,
+		XFunction: 0x0101, Org: 0x049A, InitiatorContext: 0xBEEF,
+		Payload: []byte("w03:000017:tok\x01\x02\x03"),
+	}
+	sb := make([]byte, storm.WireSize())
+	if _, err := storm.Encode(sb); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(sb)
+	// DAQ-style bulk reply with an unaligned body (exercises pad bits).
+	bulk := &Message{
+		Flags: FlagReply, Priority: PriorityLow,
+		Target: 0x111, Initiator: 0x022, Function: FuncPrivate,
+		XFunction: 0x0203, Org: 0x049A,
+		Payload: bytes.Repeat([]byte{0xA5}, 1021),
+	}
+	bb := make([]byte, bulk.WireSize())
+	if _, err := bulk.Encode(bb); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(bb)
+	f.Add([]byte{})
+	f.Add([]byte{Version, 0, 4, 0})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		m, n, err := DecodeAcquired(data)
+		plain, pn, perr := Decode(data)
+		if (err == nil) != (perr == nil) {
+			t.Fatalf("DecodeAcquired err=%v, Decode err=%v", err, perr)
+		}
+		if err != nil {
+			return
+		}
+		if n != pn || m.String() != plain.String() {
+			t.Fatalf("pooled decode disagrees with plain: %v/%d vs %v/%d", m, n, plain, pn)
+		}
+		out := make([]byte, m.WireSize())
+		k, err := m.Encode(out)
+		if err != nil {
+			t.Fatalf("re-encode of decoded frame: %v", err)
+		}
+		if k != n || !bytes.Equal(out[:k], data[:n]) {
+			t.Fatalf("decode/encode not idempotent")
+		}
+		m.Recycle()
+	})
+}
+
 func FuzzDecodeParams(f *testing.F) {
 	good, _ := EncodeParams([]Param{
 		{Key: "s", Value: "x"}, {Key: "i", Value: int64(-1)},

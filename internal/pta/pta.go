@@ -309,8 +309,11 @@ func (a *Agent) Forward(route string, dst i2o.NodeID, m *i2o.Message) error {
 	}
 	// Transports release the frame's pool buffer on failure as well as
 	// success, so a retried attempt must hold its own reference and
-	// re-attach it to the frame before resending.
+	// re-attach it to the frame before resending.  A segment list must be
+	// re-attached as a list: AttachBuffer would fill the buffer slot but
+	// leave the list slot empty, and the frame would be resent bodiless.
 	buf := m.Buffer()
+	list := m.List()
 	for attempt := 1; ; attempt++ {
 		guarded := attempts > 1 && buf != nil
 		if guarded {
@@ -339,8 +342,10 @@ func (a *Agent) Forward(route string, dst i2o.NodeID, m *i2o.Message) error {
 		if pol.MaxBackoff > 0 && backoff > pol.MaxBackoff {
 			backoff = pol.MaxBackoff
 		}
-		if buf != nil {
+		if list != nil {
 			// Our retained reference becomes the frame's hold again.
+			m.AttachList(list)
+		} else if buf != nil {
 			m.AttachBuffer(buf)
 		}
 	}

@@ -13,6 +13,7 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"sync/atomic"
 
 	"xdaq/internal/i2o"
 	"xdaq/internal/pool"
@@ -22,9 +23,18 @@ import (
 var ErrRange = errors.New("sgl: offset out of range")
 
 // List is a chain of pool blocks viewed as one contiguous byte sequence.
+//
+// A list is itself reference counted: it owns exactly one block reference
+// per segment for its whole lifetime, and Retain/Release move the count of
+// *holders of the list*, not of the blocks.  The blocks go back to their
+// pool only when the last holder releases.  This is what makes the
+// retain → send → release guard around an asynchronous transport safe: the
+// guard's release must not tear the chain down while the transport's ring
+// still holds the frame.
 type List struct {
 	segs   []*pool.Buffer
 	length int
+	refs   atomic.Int32
 }
 
 // A List is a frame body for gather-capable transports: attach one with
@@ -49,7 +59,7 @@ func Build(alloc pool.Allocator, total, segSize int) (*List, error) {
 	if segSize > pool.MaxBlock {
 		segSize = pool.MaxBlock
 	}
-	l := &List{}
+	l := newList()
 	for remaining := total; remaining > 0; {
 		n := segSize
 		if remaining < n {
@@ -86,24 +96,38 @@ func (l *List) Segments() int { return len(l.segs) }
 // Segment returns the byte view of the i-th block.
 func (l *List) Segment(i int) []byte { return l.segs[i].Bytes() }
 
-// Retain increments the reference count of every block in the chain.
-func (l *List) Retain() {
-	for _, s := range l.segs {
-		s.Retain()
-	}
+// newList returns an empty list held once by the caller.
+func newList() *List {
+	l := &List{}
+	l.refs.Store(1)
+	return l
 }
 
-// Clone returns a new list sharing the same blocks, with every block
-// retained.  Both lists must eventually be released.
+// Retain adds a holder of the list.  The blocks themselves are untouched:
+// the list keeps its one reference per segment until the last holder lets
+// go.
+func (l *List) Retain() { l.refs.Add(1) }
+
+// Clone returns a new list sharing the same blocks, each block retained
+// once for the clone's own per-segment reference.  Both lists must
+// eventually be released.
 func (l *List) Clone() *List {
-	c := &List{segs: append([]*pool.Buffer(nil), l.segs...), length: l.length}
-	c.Retain()
+	c := newList()
+	c.segs = append([]*pool.Buffer(nil), l.segs...)
+	c.length = l.length
+	for _, s := range c.segs {
+		s.Retain()
+	}
 	return c
 }
 
-// Release decrements the reference count of every block, recycling those
-// that reach zero.  The list must not be used afterwards.
+// Release drops one holder.  When the last holder releases, every block's
+// reference count is decremented, recycling those that reach zero, and the
+// list must not be used afterwards.
 func (l *List) Release() {
+	if l.refs.Add(-1) != 0 {
+		return
+	}
 	for i, s := range l.segs {
 		s.Release()
 		l.segs[i] = nil
@@ -221,7 +245,7 @@ func NewWriter(alloc pool.Allocator, segSize int) *Writer {
 	if segSize > pool.MaxBlock {
 		segSize = pool.MaxBlock
 	}
-	return &Writer{alloc: alloc, segSize: segSize, list: &List{}}
+	return &Writer{alloc: alloc, segSize: segSize, list: newList()}
 }
 
 // Write implements io.Writer.

@@ -238,6 +238,34 @@ func TestRetainReleaseChain(t *testing.T) {
 	}
 }
 
+// A guarded send — retain, hand the frame to an asynchronous transport,
+// release the guard — must leave the chain intact for the transport's later
+// write and release.  An early Release must neither empty the segment slice
+// nor recycle the blocks while a holder remains.
+func TestRetainReleaseIsSymmetric(t *testing.T) {
+	p := newPool()
+	l, err := FromBytes(p, []byte("chained body"), 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	segs := l.Segments()
+
+	l.Retain()  // the guard's hold
+	l.Release() // the guard lets go; the "transport" still holds the frame
+	if l.Segments() != segs || l.Len() == 0 {
+		t.Fatalf("early release tore the chain down: %d segments, %d bytes",
+			l.Segments(), l.Len())
+	}
+	if p.Stats().InUse == 0 {
+		t.Fatal("blocks recycled while the list was still held")
+	}
+
+	l.Release() // the last holder
+	if p.Stats().InUse != 0 {
+		t.Fatalf("chain leaked after final release: %v", p.Stats())
+	}
+}
+
 func TestQuickWriterMatchesFlat(t *testing.T) {
 	p := newPool()
 	f := func(seed int64) bool {

@@ -1,12 +1,32 @@
 // Package faults provides a deterministic, seedable fault injector for the
 // peer transports.  Every transport consults an optional Injector at the top
 // of its Send path and either passes the frame through, drops it silently
-// (lost on the wire), delays it, or refuses it with an error — the three
-// failure modes a real fabric exhibits.  Rules select frames by position
+// (lost on the wire), delays it, duplicates it, or refuses it with an error —
+// the failure modes a real fabric exhibits.  Rules select frames by position
 // (every Nth, after a warm-up offset, up to a limit) or by seeded
 // probability, so fault schedules are reproducible: the same seed and the
 // same send sequence always yield the same faults.  The health monitor,
-// the PTA retry policy and the failover path are all tested against it.
+// the PTA retry policy, the failover path and the chaos harness
+// (internal/chaos) are all tested against it.
+//
+// # Per-peer streams
+//
+// The transports key the injector by destination: Send paths call
+// NextFor(peer), which draws from a per-peer stream whose generator is
+// seeded independently (derived from the injector seed and the peer
+// identity) and whose sequence counter counts only that peer's frames.
+// This is what keeps chaos runs deterministic under parallel dispatchers:
+// frames for different peers are interleaved nondeterministically by the
+// scheduler, but each peer's own frame sequence is totally ordered by the
+// transport (a send ring, a NIC queue, a synchronous deliver), so the
+// verdict for "the Nth frame to peer P" never depends on cross-peer
+// timing.  A single shared generator — the original design — made every
+// verdict depend on the global arrival order and turned any multi-worker
+// run into a new schedule.
+//
+// Next() remains for callers that genuinely want one global sequence (and
+// for single-peer tests, where the two are identical); it draws from its
+// own stream and never perturbs the per-peer ones.
 package faults
 
 import (
@@ -35,6 +55,11 @@ const (
 	// Error refuses the frame: the send fails with the rule's error (or a
 	// generated one wrapping ErrInjected).
 	Error
+
+	// Duplicate sends the frame twice — the retransmission a real fabric
+	// produces when an ack is lost.  The duplicate does not consult the
+	// injector again, so one rule hit yields exactly two wire frames.
+	Duplicate
 )
 
 func (o Op) String() string {
@@ -47,6 +72,8 @@ func (o Op) String() string {
 		return "delay"
 	case Error:
 		return "error"
+	case Duplicate:
+		return "dup"
 	}
 	return fmt.Sprintf("Op(%d)", int(o))
 }
@@ -57,7 +84,7 @@ func (o Op) String() string {
 var ErrInjected = errors.New("faults: injected transport error")
 
 // Rule selects frames and the fault to apply to them.  A frame is hit when
-// its sequence number (1-based, counted per injector) is past After and
+// its sequence number (1-based, counted per stream) is past After and
 // either lands on an Nth multiple or wins the probability roll.  A zero
 // Rule never matches.
 type Rule struct {
@@ -68,13 +95,17 @@ type Rule struct {
 	Nth uint64
 
 	// Prob hits each frame independently with this probability, using the
-	// injector's seeded generator.
+	// stream's seeded generator.
 	Prob float64
 
-	// After skips the first After frames entirely (warm-up traffic).
+	// After skips the first After frames of each stream entirely (warm-up
+	// traffic).
 	After uint64
 
-	// Limit caps how many frames this rule may hit; 0 is unlimited.
+	// Limit caps how many frames this rule may hit per stream; 0 is
+	// unlimited.  Per stream — not global — because a global budget shared
+	// between peers would make each stream's schedule depend on cross-peer
+	// arrival order again.
 	Limit uint64
 
 	// Delay is the hold time for Op == Delay.
@@ -92,27 +123,46 @@ type Action struct {
 	Err   error
 }
 
-// Injector applies an ordered rule list to a send sequence.  It is safe
-// for concurrent use; concurrent senders serialize on the sequence counter,
-// which keeps the schedule deterministic for single-goroutine tests.
-type Injector struct {
-	mu      sync.Mutex
+// stream is one independent fault sequence: its own seeded generator, its
+// own frame counter, its own per-rule hit counts.
+type stream struct {
 	rng     *rand.Rand
 	seq     uint64
-	rules   []Rule
 	applied []uint64
 }
 
-// New returns an injector whose probability rolls use the given seed.
-func New(seed int64) *Injector {
-	return &Injector{rng: rand.New(rand.NewSource(seed))}
+// Injector applies an ordered rule list to send sequences.  It is safe for
+// concurrent use; the mutex serializes verdicts, but because verdicts for
+// different peers come from independent streams, the schedule seen by any
+// one peer does not depend on the interleaving.
+type Injector struct {
+	mu     sync.Mutex
+	seed   int64
+	rules  []Rule
+	global *stream
+	peers  map[uint64]*stream
 }
+
+// New returns an injector whose streams derive their generators from seed.
+func New(seed int64) *Injector {
+	return &Injector{
+		seed:   seed,
+		global: &stream{rng: rand.New(rand.NewSource(seed))},
+		peers:  make(map[uint64]*stream),
+	}
+}
+
+// Seed returns the seed the injector was built from.
+func (in *Injector) Seed() int64 { return in.seed }
 
 // Add appends a rule and returns the injector for chaining.
 func (in *Injector) Add(r Rule) *Injector {
 	in.mu.Lock()
 	in.rules = append(in.rules, r)
-	in.applied = append(in.applied, 0)
+	in.global.applied = append(in.global.applied, 0)
+	for _, s := range in.peers {
+		s.applied = append(s.applied, 0)
+	}
 	in.mu.Unlock()
 	return in
 }
@@ -133,48 +183,122 @@ func (in *Injector) DelayNth(n uint64, d time.Duration) *Injector {
 	return in.Add(Rule{Op: Delay, Nth: n, Delay: d})
 }
 
-// Next assigns the next sequence number and returns the action for it.
-// The first matching rule wins.
-func (in *Injector) Next() Action {
-	in.mu.Lock()
-	defer in.mu.Unlock()
-	in.seq++
+// DupNth duplicates every nth frame.
+func (in *Injector) DupNth(n uint64) *Injector { return in.Add(Rule{Op: Duplicate, Nth: n}) }
+
+// splitmix64 is the seed-mixing finalizer (Steele et al.), used to derive a
+// well-separated per-peer generator seed from (injector seed, peer id).
+func splitmix64(x uint64) uint64 {
+	x += 0x9E3779B97F4A7C15
+	x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9
+	x = (x ^ (x >> 27)) * 0x94D049BB133111EB
+	return x ^ (x >> 31)
+}
+
+// peerStream returns (creating if needed) the stream for peer; in.mu held.
+func (in *Injector) peerStream(peer uint64) *stream {
+	s := in.peers[peer]
+	if s == nil {
+		s = &stream{
+			rng:     rand.New(rand.NewSource(int64(splitmix64(uint64(in.seed) ^ splitmix64(peer))))),
+			applied: make([]uint64, len(in.rules)),
+		}
+		in.peers[peer] = s
+	}
+	return s
+}
+
+// step assigns the stream's next sequence number and returns the action for
+// it; in.mu held.  The first matching rule wins.
+func (in *Injector) step(s *stream) Action {
+	s.seq++
 	for i, r := range in.rules {
-		if r.Limit > 0 && in.applied[i] >= r.Limit {
+		if r.Limit > 0 && s.applied[i] >= r.Limit {
 			continue
 		}
-		if in.seq <= r.After {
+		if s.seq <= r.After {
 			continue
 		}
-		hit := r.Nth > 0 && (in.seq-r.After)%r.Nth == 0
-		if !hit && r.Prob > 0 && in.rng.Float64() < r.Prob {
+		hit := r.Nth > 0 && (s.seq-r.After)%r.Nth == 0
+		if !hit && r.Prob > 0 && s.rng.Float64() < r.Prob {
 			hit = true
 		}
 		if !hit {
 			continue
 		}
-		in.applied[i]++
+		s.applied[i]++
 		act := Action{Op: r.Op, Delay: r.Delay, Err: r.Err}
 		if act.Op == Error && act.Err == nil {
-			act.Err = fmt.Errorf("%w: frame %d", ErrInjected, in.seq)
+			act.Err = fmt.Errorf("%w: frame %d", ErrInjected, s.seq)
 		}
 		return act
 	}
 	return Action{Op: Pass}
 }
 
-// Frames reports how many frames the injector has seen.
+// Next assigns the next global sequence number and returns the action for
+// it.  Use NextFor from transports; Next exists for single-sequence tests
+// and scripted global schedules.
+func (in *Injector) Next() Action {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	return in.step(in.global)
+}
+
+// NextFor assigns the next sequence number of the peer's stream and returns
+// the action for it.  Streams are created on first use, independently
+// seeded from (injector seed, peer), so the schedule for one peer is a pure
+// function of that peer's own send count.
+func (in *Injector) NextFor(peer uint64) Action {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	return in.step(in.peerStream(peer))
+}
+
+// Frames reports how many frames the injector has seen, over all streams.
 func (in *Injector) Frames() uint64 {
 	in.mu.Lock()
 	defer in.mu.Unlock()
-	return in.seq
+	n := in.global.seq
+	for _, s := range in.peers {
+		n += s.seq
+	}
+	return n
 }
 
-// Applied reports how many frames each rule has hit, in rule order.
+// FramesFor reports how many frames the peer's stream has seen.
+func (in *Injector) FramesFor(peer uint64) uint64 {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	if s := in.peers[peer]; s != nil {
+		return s.seq
+	}
+	return 0
+}
+
+// Applied reports how many frames each rule has hit, in rule order, summed
+// over all streams.
 func (in *Injector) Applied() []uint64 {
 	in.mu.Lock()
 	defer in.mu.Unlock()
-	out := make([]uint64, len(in.applied))
-	copy(out, in.applied)
+	out := make([]uint64, len(in.rules))
+	copy(out, in.global.applied)
+	for _, s := range in.peers {
+		for i, n := range s.applied {
+			out[i] += n
+		}
+	}
+	return out
+}
+
+// AppliedFor reports how many frames each rule has hit on the peer's
+// stream, in rule order.
+func (in *Injector) AppliedFor(peer uint64) []uint64 {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	out := make([]uint64, len(in.rules))
+	if s := in.peers[peer]; s != nil {
+		copy(out, s.applied)
+	}
 	return out
 }

@@ -2,6 +2,7 @@ package faults
 
 import (
 	"errors"
+	"sync"
 	"testing"
 	"time"
 )
@@ -91,5 +92,146 @@ func TestFirstMatchWinsAndDelayCarries(t *testing.T) {
 	act := in.Next()
 	if act.Op != Delay || act.Delay != 5*time.Millisecond {
 		t.Fatalf("frame 2: got %v/%v, want first-listed Delay rule", act.Op, act.Delay)
+	}
+}
+
+// Per-peer streams: the verdict for "the Nth frame to peer P" must not
+// depend on how sends to other peers interleave with it.
+func TestPerPeerStreamsIndependentOfInterleaving(t *testing.T) {
+	const frames = 64
+	// Sequential: drain peer 1 fully, then peer 2.
+	seq := func() (a, b []Op) {
+		in := New(7).Add(Rule{Op: Drop, Prob: 0.3}).DupNth(5)
+		for i := 0; i < frames; i++ {
+			a = append(a, in.NextFor(1).Op)
+		}
+		for i := 0; i < frames; i++ {
+			b = append(b, in.NextFor(2).Op)
+		}
+		return
+	}
+	// Interleaved: alternate peers, with global Next() traffic mixed in.
+	inter := func() (a, b []Op) {
+		in := New(7).Add(Rule{Op: Drop, Prob: 0.3}).DupNth(5)
+		for i := 0; i < frames; i++ {
+			b = append(b, in.NextFor(2).Op)
+			in.Next() // unrelated global traffic must not perturb peer streams
+			a = append(a, in.NextFor(1).Op)
+		}
+		return
+	}
+	a1, b1 := seq()
+	a2, b2 := inter()
+	for i := 0; i < frames; i++ {
+		if a1[i] != a2[i] {
+			t.Fatalf("peer 1 frame %d: %v sequential vs %v interleaved", i+1, a1[i], a2[i])
+		}
+		if b1[i] != b2[i] {
+			t.Fatalf("peer 2 frame %d: %v sequential vs %v interleaved", i+1, b1[i], b2[i])
+		}
+	}
+	// Distinct peers must see distinct schedules (independent generators).
+	same := true
+	for i := range a1 {
+		if a1[i] != b1[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatalf("peers 1 and 2 drew identical %d-frame schedules; streams not independently seeded", frames)
+	}
+}
+
+// Concurrent senders to different peers: each peer's schedule must match
+// the single-threaded one exactly, whatever the goroutine interleaving.
+func TestPerPeerStreamsDeterministicUnderConcurrency(t *testing.T) {
+	const peers, frames = 4, 128
+	want := make([][]Op, peers)
+	in := New(99).Add(Rule{Op: Drop, Prob: 0.25}).Add(Rule{Op: Error, Nth: 7})
+	for p := 0; p < peers; p++ {
+		for i := 0; i < frames; i++ {
+			want[p] = append(want[p], in.NextFor(uint64(p)).Op)
+		}
+	}
+	got := make([][]Op, peers)
+	in2 := New(99).Add(Rule{Op: Drop, Prob: 0.25}).Add(Rule{Op: Error, Nth: 7})
+	var wg sync.WaitGroup
+	for p := 0; p < peers; p++ {
+		wg.Add(1)
+		go func(p int) {
+			defer wg.Done()
+			for i := 0; i < frames; i++ {
+				got[p] = append(got[p], in2.NextFor(uint64(p)).Op)
+			}
+		}(p)
+	}
+	wg.Wait()
+	for p := 0; p < peers; p++ {
+		for i := 0; i < frames; i++ {
+			if got[p][i] != want[p][i] {
+				t.Fatalf("peer %d frame %d: got %v, want %v", p, i+1, got[p][i], want[p][i])
+			}
+		}
+	}
+}
+
+// Limits are per stream: a Limit-2 rule fires twice on every peer, not
+// twice total.
+func TestLimitIsPerStream(t *testing.T) {
+	in := New(1).Add(Rule{Op: Drop, Nth: 1, Limit: 2})
+	for _, peer := range []uint64{10, 20} {
+		var drops int
+		for i := 0; i < 5; i++ {
+			if in.NextFor(peer).Op == Drop {
+				drops++
+			}
+		}
+		if drops != 2 {
+			t.Fatalf("peer %d: rule hit %d frames, want per-stream limit 2", peer, drops)
+		}
+		if got := in.AppliedFor(peer)[0]; got != 2 {
+			t.Fatalf("peer %d: AppliedFor = %d, want 2", peer, got)
+		}
+	}
+	if got := in.Applied()[0]; got != 4 {
+		t.Fatalf("Applied() total = %d, want 4 (2 per stream)", got)
+	}
+	if got := in.FramesFor(10); got != 5 {
+		t.Fatalf("FramesFor(10) = %d, want 5", got)
+	}
+	if got := in.Frames(); got != 10 {
+		t.Fatalf("Frames() = %d, want 10", got)
+	}
+}
+
+// Rules added after a stream already exists apply to it from that point.
+func TestAddRuleAfterStreamCreated(t *testing.T) {
+	in := New(1)
+	if act := in.NextFor(3); act.Op != Pass {
+		t.Fatalf("no rules: got %v, want pass", act.Op)
+	}
+	in.DropNth(1)
+	if act := in.NextFor(3); act.Op != Drop {
+		t.Fatalf("after DropNth(1): got %v, want drop", act.Op)
+	}
+}
+
+func TestDuplicateOp(t *testing.T) {
+	in := New(1).DupNth(2)
+	if act := in.Next(); act.Op != Pass {
+		t.Fatalf("frame 1: got %v, want pass", act.Op)
+	}
+	if act := in.Next(); act.Op != Duplicate {
+		t.Fatalf("frame 2: got %v, want dup", act.Op)
+	}
+	if Duplicate.String() != "dup" {
+		t.Fatalf("Duplicate.String() = %q", Duplicate.String())
+	}
+}
+
+func TestSeedAccessor(t *testing.T) {
+	if got := New(1234).Seed(); got != 1234 {
+		t.Fatalf("Seed() = %d, want 1234", got)
 	}
 }

@@ -144,8 +144,11 @@ func (t *Transport) Name() string { return t.name }
 // Send implements pta.PeerTransport: header + payload + padding gathered
 // straight onto the wire, then the frame's pool buffer is released.
 func (t *Transport) Send(dst i2o.NodeID, m *i2o.Message) error {
+	dup := false
 	if in := t.flt.Load(); in != nil {
-		switch act := in.Next(); act.Op {
+		// Faults draw from the per-destination stream so the schedule for
+		// each peer is deterministic whatever the dispatcher interleaving.
+		switch act := in.NextFor(uint64(dst)); act.Op {
 		case faults.Drop:
 			m.Release()
 			return nil // descriptor dropped by the fabric
@@ -154,6 +157,8 @@ func (t *Transport) Send(dst i2o.NodeID, m *i2o.Message) error {
 		case faults.Error:
 			m.Release()
 			return fmt.Errorf("gm: %w", act.Err)
+		case faults.Duplicate:
+			dup = true
 		}
 	}
 	t.mu.RLock()
@@ -163,10 +168,31 @@ func (t *Transport) Send(dst i2o.NodeID, m *i2o.Message) error {
 		m.Release()
 		return fmt.Errorf("gm: no port for %v", dst)
 	}
+	if dup {
+		// A lost-ack retransmission: the same frame hits the wire twice.
+		if err := t.transmit(port, m); err != nil {
+			m.Release()
+			return err
+		}
+		t.nSent.Inc()
+	}
+	if err := t.transmit(port, m); err != nil {
+		// The buffer is released but the struct stays intact, so the
+		// agent's retry policy can re-attach and resend the frame.
+		m.Release()
+		return err
+	}
+	m.Recycle()
+	t.nSent.Inc()
+	return nil
+}
+
+// transmit serializes one frame onto the wire: header + payload (flat or
+// gathered segment chain) + padding.  It neither releases nor recycles m.
+func (t *Transport) transmit(port Port, m *i2o.Message) error {
 	var hdr [i2o.PrivateHeaderSize]byte
 	n, err := m.EncodeHeader(hdr[:])
 	if err != nil {
-		m.Release()
 		return err
 	}
 	if m.List() != nil {
@@ -185,15 +211,7 @@ func (t *Transport) Send(dst i2o.NodeID, m *i2o.Message) error {
 		pad := i2o.PadBytes(len(m.Payload))
 		err = t.nic.SendGather(port, hdr[:n], m.Payload, i2o.ZeroPad[:pad])
 	}
-	if err != nil {
-		// The buffer is released but the struct stays intact, so the
-		// agent's retry policy can re-attach and resend the frame.
-		m.Release()
-		return err
-	}
-	m.Recycle()
-	t.nSent.Inc()
-	return nil
+	return err
 }
 
 // vecPool recycles gather vectors for segmented sends; the common

@@ -118,7 +118,9 @@ func (e *Endpoint) Node() i2o.NodeID { return e.node }
 // into the destination executive.  Zero copies.
 func (e *Endpoint) Send(dst i2o.NodeID, m *i2o.Message) error {
 	if in := e.flt.Load(); in != nil {
-		switch act := in.Next(); act.Op {
+		// Faults draw from the per-destination stream so the schedule for
+		// each peer is deterministic whatever the dispatcher interleaving.
+		switch act := in.NextFor(uint64(dst)); act.Op {
 		case faults.Drop:
 			m.Release()
 			return nil // lost on the wire
@@ -127,8 +129,19 @@ func (e *Endpoint) Send(dst i2o.NodeID, m *i2o.Message) error {
 		case faults.Error:
 			m.Release()
 			return fmt.Errorf("loopback: %w", act.Err)
+		case faults.Duplicate:
+			// The receiver consumes (and recycles) each delivered frame, so
+			// the duplicate must be an independent clone of the original.
+			if err := e.deliverTo(dst, m.Dup()); err != nil {
+				m.Release()
+				return err
+			}
 		}
 	}
+	return e.deliverTo(dst, m)
+}
+
+func (e *Endpoint) deliverTo(dst i2o.NodeID, m *i2o.Message) error {
 	peer := e.fabric.lookup(dst)
 	if peer == nil {
 		m.Release()

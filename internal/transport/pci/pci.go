@@ -154,7 +154,9 @@ func (e *Endpoint) Pending() int { return len(e.fifo) }
 // destination's inbound FIFO, blocking while it is full.
 func (e *Endpoint) Send(dst i2o.NodeID, m *i2o.Message) error {
 	if in := e.flt.Load(); in != nil {
-		switch act := in.Next(); act.Op {
+		// Faults draw from the per-destination stream so the schedule for
+		// each peer is deterministic whatever the dispatcher interleaving.
+		switch act := in.NextFor(uint64(dst)); act.Op {
 		case faults.Drop:
 			m.Release()
 			return nil // lost on the segment
@@ -163,8 +165,20 @@ func (e *Endpoint) Send(dst i2o.NodeID, m *i2o.Message) error {
 		case faults.Error:
 			m.Release()
 			return fmt.Errorf("pci: %w", act.Err)
+		case faults.Duplicate:
+			// A doubled doorbell write: the duplicate descriptor lands in
+			// the FIFO just before the original.
+			if err := e.post(dst, m.Dup()); err != nil {
+				m.Release()
+				return err
+			}
 		}
 	}
+	return e.post(dst, m)
+}
+
+// post places one frame in dst's inbound FIFO, blocking while it is full.
+func (e *Endpoint) post(dst i2o.NodeID, m *i2o.Message) error {
 	peer := e.segment.lookup(dst)
 	if peer == nil {
 		m.Release()

@@ -314,8 +314,11 @@ func (t *Transport) Send(dst i2o.NodeID, m *i2o.Message) error {
 		m.Release()
 		return ErrClosed
 	}
+	dup := false
 	if in := t.flt.Load(); in != nil {
-		switch act := in.Next(); act.Op {
+		// Faults draw from the per-destination stream so the schedule for
+		// each peer is deterministic whatever the dispatcher interleaving.
+		switch act := in.NextFor(uint64(dst)); act.Op {
 		case faults.Drop:
 			m.Release()
 			return nil // lost on the wire
@@ -324,15 +327,32 @@ func (t *Transport) Send(dst i2o.NodeID, m *i2o.Message) error {
 		case faults.Error:
 			m.Release()
 			return fmt.Errorf("tcp: %w", act.Err)
+		case faults.Duplicate:
+			dup = true
 		}
 	}
 	if t.unbatched {
+		if dup {
+			if err := t.sendDirect(dst, m.Dup()); err != nil {
+				m.Release()
+				return err
+			}
+		}
 		return t.sendDirect(dst, m)
 	}
 	p, err := t.peerFor(dst)
 	if err != nil {
 		m.Release()
 		return err
+	}
+	if dup {
+		// A lost-ack retransmission: an independent clone rides the ring
+		// just ahead of the original, so the peer sees the frame twice,
+		// back to back.  Ring-full here simply loses the duplicate.
+		d := m.Dup()
+		if err := p.q.Push(d); err != nil {
+			d.Release()
+		}
 	}
 	if err := p.q.Push(m); err != nil {
 		m.Release()
@@ -433,7 +453,10 @@ func (t *Transport) writeLoop(p *peer) {
 		}
 
 		if in := t.wflt.Load(); in != nil {
-			switch act := in.Next(); act.Op {
+			// Wire faults are keyed by the destination peer: each writer
+			// goroutine owns one peer, so its fault stream is a pure
+			// function of that peer's batch sequence.
+			switch act := in.NextFor(uint64(p.node)); act.Op {
 			case faults.Delay:
 				time.Sleep(act.Delay)
 			case faults.Drop, faults.Error:
@@ -443,6 +466,13 @@ func (t *Transport) writeLoop(p *peer) {
 				if pc != nil {
 					t.dropConn(pc)
 				}
+			case faults.Duplicate:
+				// Retransmit the oldest unsent frame: its clone goes on the
+				// wire immediately before it, like a sender whose ack timer
+				// fired just as the kernel drained the socket.
+				pend = append(pend, nil)
+				copy(pend[1:], pend)
+				pend[0] = pend[1].Dup()
 			}
 		}
 
@@ -689,6 +719,17 @@ func (t *Transport) adopt(peer i2o.NodeID, c net.Conn, initiator i2o.NodeID) (*p
 	t.wg.Add(1)
 	go t.readLoop(pc)
 	return pc, nil
+}
+
+// Conns returns the number of live identified connections.  Each one's
+// readLoop holds one pooled receive block while the connection is open, so
+// pool-population audits (the chaos harness's leak checker) subtract the
+// live-connection count before comparing against a baseline: failover and
+// redial legitimately move it.
+func (t *Transport) Conns() int {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return len(t.conns)
 }
 
 func (t *Transport) dropConn(pc *peerConn) {
