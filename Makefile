@@ -5,7 +5,7 @@
 
 GO ?= go
 
-.PHONY: check build test vet race soak-short fuzz bench bench-remote benchall
+.PHONY: check build test vet race soak-short fuzz bench bench-remote bench-gate benchall
 
 check: vet build test race soak-short
 
@@ -49,10 +49,22 @@ bench:
 # bench-remote runs the remote data-path benchmarks (batched send path,
 # request/reply latency sweep, batched-vs-unbatched throughput under
 # concurrent senders) and archives them, baseline included, as JSON.
+# -count 5 because single runs are hostage to machine-wide load drift:
+# benchjson collapses the five samples per benchmark to their median,
+# which is what BENCH_remote.json records (see doc/performance.md).
 # Merge with other archives via `go run ./cmd/benchjson a.json b.json`.
 bench-remote:
-	$(GO) test -run '^$$' -bench 'Remote' -benchmem -timeout 30m ./internal/transport/tcp/ \
+	$(GO) test -run '^$$' -bench 'Remote' -benchmem -count 5 -timeout 60m ./internal/transport/tcp/ \
 		| tee /dev/stderr | $(GO) run ./cmd/benchjson > BENCH_remote.json
+
+# bench-gate is the remote data-path regression gate: it fails if the
+# batched path delivers less throughput than the unbatched baseline at
+# any payload size in the archived BENCH_remote.json (regenerate it with
+# `make bench-remote` first).  GATE_TOL forgives slowdowns inside the
+# band, e.g. GATE_TOL=0.05 tolerates 5%.
+GATE_TOL ?= 0
+bench-gate:
+	$(GO) run ./cmd/benchjson -compare -tol $(GATE_TOL) BENCH_remote.json
 
 # benchall is the full sweep across every package.
 benchall:

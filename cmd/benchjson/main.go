@@ -7,24 +7,36 @@
 //
 //	go test -bench Dispatch -benchmem . | go run ./cmd/benchjson > BENCH_dispatch.json
 //	go run ./cmd/benchjson BENCH_dispatch.json BENCH_remote.json > BENCH_all.json
+//	go run ./cmd/benchjson -compare [-tol 0.05] BENCH_remote.json
 //
 // Each benchmark line becomes one record with the standard columns
 // (iterations, ns/op, B/op, allocs/op, MB/s) plus any custom
 // b.ReportMetric values keyed by their unit.  Context lines (goos, goarch,
-// cpu, pkg) are captured into the header.
+// cpu, pkg) are captured into the header.  Repeated lines for the same
+// benchmark (a `-count N` run) collapse into one record holding the
+// per-column medians and a "samples" count; medians survive the
+// correlated load drift of a busy host far better than any single run.
 //
 // With file arguments benchjson runs in merge mode instead: each argument
 // is a previously archived JSON document, and the output is one document
 // holding every result.  The header comes from the first file; results
 // from a file whose package differs are tagged with their own pkg so the
 // provenance survives the merge.
+//
+// With -compare, benchjson reads one archived document and pairs every
+// result whose name has a "batched" path component with its "unbatched"
+// counterpart, printing a delta table and exiting non-zero if the batched
+// side is slower anywhere (beyond -tol, a fraction; default 0).  This is
+// the `make bench-gate` regression gate for the remote data path.
 package main
 
 import (
 	"bufio"
 	"encoding/json"
+	"flag"
 	"fmt"
 	"os"
+	"sort"
 	"strconv"
 	"strings"
 )
@@ -38,6 +50,7 @@ type Result struct {
 	MBPerSec   float64            `json:"mb_per_s,omitempty"`
 	BytesPerOp int64              `json:"bytes_per_op,omitempty"`
 	AllocsOp   int64              `json:"allocs_per_op,omitempty"`
+	Samples    int                `json:"samples,omitempty"` // > 1 when collapsed from a -count run
 	Metrics    map[string]float64 `json:"metrics,omitempty"`
 }
 
@@ -51,8 +64,26 @@ type Report struct {
 }
 
 func main() {
-	if len(os.Args) > 1 {
-		if err := merge(os.Args[1:]); err != nil {
+	compareMode := flag.Bool("compare", false, "compare batched vs unbatched results in one archived document")
+	tol := flag.Float64("tol", 0, "tolerated fractional slowdown in -compare mode (0.05 = 5%)")
+	flag.Parse()
+	if *compareMode {
+		if flag.NArg() != 1 {
+			fmt.Fprintln(os.Stderr, "benchjson: -compare needs exactly one archived JSON document")
+			os.Exit(2)
+		}
+		ok, err := compare(flag.Arg(0), *tol)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
+			os.Exit(2)
+		}
+		if !ok {
+			os.Exit(1)
+		}
+		return
+	}
+	if flag.NArg() > 0 {
+		if err := merge(flag.Args()); err != nil {
 			fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
 			os.Exit(1)
 		}
@@ -82,6 +113,7 @@ func main() {
 		fmt.Fprintf(os.Stderr, "benchjson: read stdin: %v\n", err)
 		os.Exit(1)
 	}
+	rep.Results = collapse(rep.Results)
 	enc := json.NewEncoder(os.Stdout)
 	enc.SetIndent("", "  ")
 	if err := enc.Encode(rep); err != nil {
@@ -118,6 +150,155 @@ func merge(files []string) error {
 	enc := json.NewEncoder(os.Stdout)
 	enc.SetIndent("", "  ")
 	return enc.Encode(out)
+}
+
+// collapse folds results that share a name (a `-count N` run) into one
+// record per name.  Timing columns (ns/op, MB/s, custom metrics) take the
+// median across samples — robust against the correlated load drift that
+// makes any single run on a shared host untrustworthy.  Allocation columns
+// (B/op, allocs/op) take the maximum instead, so an allocation regression
+// in even one sample cannot hide behind four clean ones.
+func collapse(in []Result) []Result {
+	groups := make(map[string][]Result, len(in))
+	order := make([]string, 0, len(in))
+	for _, r := range in {
+		if _, seen := groups[r.Name]; !seen {
+			order = append(order, r.Name)
+		}
+		groups[r.Name] = append(groups[r.Name], r)
+	}
+	out := make([]Result, 0, len(order))
+	for _, name := range order {
+		g := groups[name]
+		if len(g) == 1 {
+			out = append(out, g[0])
+			continue
+		}
+		agg := Result{Name: name, Pkg: g[0].Pkg, Samples: len(g)}
+		var ns, mb, iters []float64
+		for _, r := range g {
+			ns = append(ns, r.NsPerOp)
+			mb = append(mb, r.MBPerSec)
+			iters = append(iters, float64(r.Iterations))
+			if r.BytesPerOp > agg.BytesPerOp {
+				agg.BytesPerOp = r.BytesPerOp
+			}
+			if r.AllocsOp > agg.AllocsOp {
+				agg.AllocsOp = r.AllocsOp
+			}
+			for unit := range r.Metrics {
+				if agg.Metrics == nil {
+					agg.Metrics = make(map[string]float64)
+				}
+				agg.Metrics[unit] = 0 // placeholder; median filled in below
+			}
+		}
+		agg.NsPerOp = median(ns)
+		agg.MBPerSec = median(mb)
+		agg.Iterations = int64(median(iters))
+		for unit := range agg.Metrics {
+			vals := make([]float64, 0, len(g))
+			for _, r := range g {
+				if v, ok := r.Metrics[unit]; ok {
+					vals = append(vals, v)
+				}
+			}
+			agg.Metrics[unit] = median(vals)
+		}
+		out = append(out, agg)
+	}
+	return out
+}
+
+// median returns the middle value (mean of the middle two for even n).
+func median(v []float64) float64 {
+	if len(v) == 0 {
+		return 0
+	}
+	s := append([]float64(nil), v...)
+	sort.Float64s(s)
+	n := len(s)
+	if n%2 == 1 {
+		return s[n/2]
+	}
+	return (s[n/2-1] + s[n/2]) / 2
+}
+
+// compare loads one archived document and pairs each result whose name has
+// a "batched" path component with its "unbatched" twin.  It prints a delta
+// table and returns false if the batched side delivers less throughput
+// (or, when no MB/s column exists, more ns/op) beyond the tolerated
+// fraction tol at any pairing.  Unpaired batched results are an error:
+// a gate that silently skips sizes is not a gate.
+func compare(file string, tol float64) (bool, error) {
+	data, err := os.ReadFile(file)
+	if err != nil {
+		return false, err
+	}
+	var rep Report
+	if err := json.Unmarshal(data, &rep); err != nil {
+		return false, fmt.Errorf("%s: %w", file, err)
+	}
+	byName := make(map[string]Result, len(rep.Results))
+	for _, r := range collapse(rep.Results) {
+		byName[stripCPUSuffix(r.Name)] = r
+	}
+	var names []string
+	for name := range byName {
+		if strings.Contains(name, "/batched/") {
+			names = append(names, name)
+		}
+	}
+	if len(names) == 0 {
+		return false, fmt.Errorf("%s: no benchmark with a /batched/ component", file)
+	}
+	sort.Strings(names)
+	fmt.Printf("%-52s %12s %12s %8s\n", "benchmark", "batched", "unbatched", "delta")
+	ok := true
+	for _, name := range names {
+		bat := byName[name]
+		unb, found := byName[strings.Replace(name, "/batched/", "/unbatched/", 1)]
+		if !found {
+			return false, fmt.Errorf("%s: no unbatched twin for %s", file, name)
+		}
+		label := strings.Replace(name, "/batched/", "/", 1)
+		var delta float64 // fractional gain of batched over unbatched; < 0 is a loss
+		var col string
+		if bat.MBPerSec > 0 && unb.MBPerSec > 0 {
+			delta = bat.MBPerSec/unb.MBPerSec - 1
+			col = fmt.Sprintf("%-52s %9.2f MB/s %9.2f MB/s", label, bat.MBPerSec, unb.MBPerSec)
+		} else if bat.NsPerOp > 0 && unb.NsPerOp > 0 {
+			delta = unb.NsPerOp/bat.NsPerOp - 1
+			col = fmt.Sprintf("%-52s %9.0f ns/op %9.0f ns/op", label, bat.NsPerOp, unb.NsPerOp)
+		} else {
+			return false, fmt.Errorf("%s: %s has neither MB/s nor ns/op", file, name)
+		}
+		mark := ""
+		if delta < -tol {
+			mark = "  FAIL"
+			ok = false
+		}
+		fmt.Printf("%s %+7.1f%%%s\n", col, delta*100, mark)
+	}
+	if !ok {
+		fmt.Printf("FAIL: batched path slower than unbatched baseline (tol %.1f%%)\n", tol*100)
+	} else {
+		fmt.Printf("ok: batched >= unbatched at every pairing (tol %.1f%%)\n", tol*100)
+	}
+	return ok, nil
+}
+
+// stripCPUSuffix removes the trailing -N GOMAXPROCS tag Go appends to
+// benchmark names when running with more than one CPU.
+func stripCPUSuffix(name string) string {
+	i := strings.LastIndexByte(name, '-')
+	if i < 0 {
+		return name
+	}
+	if _, err := strconv.Atoi(name[i+1:]); err != nil {
+		return name
+	}
+	return name[:i]
 }
 
 // parseLine parses one benchmark result line of the form:

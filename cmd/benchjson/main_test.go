@@ -22,6 +22,78 @@ func TestParseLine(t *testing.T) {
 	}
 }
 
+func TestCollapseMediansDuplicates(t *testing.T) {
+	in := []Result{
+		{Name: "BenchmarkX", Iterations: 10, NsPerOp: 100, MBPerSec: 10, Metrics: map[string]float64{"frames/op": 4}},
+		{Name: "BenchmarkY", Iterations: 5, NsPerOp: 7},
+		{Name: "BenchmarkX", Iterations: 30, NsPerOp: 300, MBPerSec: 30, AllocsOp: 1, Metrics: map[string]float64{"frames/op": 8}},
+		{Name: "BenchmarkX", Iterations: 20, NsPerOp: 200, MBPerSec: 20, Metrics: map[string]float64{"frames/op": 6}},
+	}
+	out := collapse(in)
+	if len(out) != 2 {
+		t.Fatalf("collapsed to %d results", len(out))
+	}
+	x := out[0]
+	if x.Name != "BenchmarkX" || x.Samples != 3 {
+		t.Fatalf("first result %+v", x)
+	}
+	if x.NsPerOp != 200 || x.MBPerSec != 20 || x.Iterations != 20 {
+		t.Fatalf("medians wrong: %+v", x)
+	}
+	if x.AllocsOp != 1 {
+		t.Fatalf("allocs must take the max so regressions cannot hide: %+v", x)
+	}
+	if x.Metrics["frames/op"] != 6 {
+		t.Fatalf("custom metric median wrong: %+v", x.Metrics)
+	}
+	if y := out[1]; y.Name != "BenchmarkY" || y.Samples != 0 || y.NsPerOp != 7 {
+		t.Fatalf("singleton result mangled: %+v", y)
+	}
+}
+
+func TestCompareGate(t *testing.T) {
+	dir := t.TempDir()
+	mk := func(batched, unbatched float64) string {
+		return writeReport(t, dir, "r.json", Report{Results: []Result{
+			{Name: "BenchmarkRemoteThroughput/batched/64B/senders=4", MBPerSec: batched, NsPerOp: 1},
+			{Name: "BenchmarkRemoteThroughput/unbatched/64B/senders=4", MBPerSec: unbatched, NsPerOp: 1},
+		}})
+	}
+	if ok, err := compare(mk(100, 50), 0); err != nil || !ok {
+		t.Fatalf("faster batched failed the gate: ok=%v err=%v", ok, err)
+	}
+	if ok, err := compare(mk(50, 100), 0); err != nil || ok {
+		t.Fatalf("slower batched passed the gate: ok=%v err=%v", ok, err)
+	}
+	// Tolerance forgives a slowdown inside the band but not outside it.
+	if ok, err := compare(mk(96, 100), 0.05); err != nil || !ok {
+		t.Fatalf("4%% slowdown failed a 5%% tolerance: ok=%v err=%v", ok, err)
+	}
+	if ok, err := compare(mk(90, 100), 0.05); err != nil || ok {
+		t.Fatalf("10%% slowdown passed a 5%% tolerance: ok=%v err=%v", ok, err)
+	}
+	// A batched result with no unbatched twin is an error, not a skip.
+	p := writeReport(t, dir, "orphan.json", Report{Results: []Result{
+		{Name: "BenchmarkRemoteThroughput/batched/64B/senders=4", MBPerSec: 1},
+	}})
+	if _, err := compare(p, 0); err == nil {
+		t.Fatal("orphan batched result did not error")
+	}
+}
+
+func TestStripCPUSuffix(t *testing.T) {
+	for in, want := range map[string]string{
+		"BenchmarkX-4":                 "BenchmarkX",
+		"BenchmarkX":                   "BenchmarkX",
+		"BenchmarkX/size=64B/thr=rv-8": "BenchmarkX/size=64B/thr=rv",
+		"BenchmarkX/thr=rv":            "BenchmarkX/thr=rv",
+	} {
+		if got := stripCPUSuffix(in); got != want {
+			t.Errorf("stripCPUSuffix(%q) = %q, want %q", in, got, want)
+		}
+	}
+}
+
 func writeReport(t *testing.T, dir, name string, rep Report) string {
 	t.Helper()
 	data, err := json.Marshal(rep)

@@ -8,6 +8,7 @@ import (
 
 	"xdaq/internal/i2o"
 	"xdaq/internal/transport/faults"
+	"xdaq/internal/transport/tcp"
 )
 
 // Everything random about a run — fault rules, kill victims, dispatcher
@@ -163,7 +164,7 @@ func opChar(op faults.Op) byte {
 	return '.'
 }
 
-func appendStreamPreview(b *strings.Builder, label string, mk func(i2o.NodeID) *faults.Injector, nodes int) {
+func appendStreamPreview(b *strings.Builder, label string, mk func(i2o.NodeID) *faults.Injector, nodes int, key func(i2o.NodeID) uint64) {
 	for s := 1; s <= nodes; s++ {
 		in := mk(i2o.NodeID(s))
 		if in == nil {
@@ -175,7 +176,7 @@ func appendStreamPreview(b *strings.Builder, label string, mk func(i2o.NodeID) *
 			}
 			line := make([]byte, previewFrames)
 			for k := range line {
-				line[k] = opChar(in.NextFor(uint64(d)).Op)
+				line[k] = opChar(in.NextFor(key(i2o.NodeID(d))).Op)
 			}
 			fmt.Fprintf(b, "  %s %d->%d: %s\n", label, s, d, line)
 		}
@@ -201,14 +202,23 @@ func PlanString(o Options) string {
 			fmt.Fprintf(&b, "  [%d] %v nth=%d prob=%g after=%d limit=%d delay=%v\n",
 				i, r.Op, r.Nth, r.Prob, r.After, r.Limit, r.Delay)
 		}
-		appendStreamPreview(&b, "send", func(n i2o.NodeID) *faults.Injector { return sendInjector(o, n) }, o.Nodes)
+		appendStreamPreview(&b, "send", func(n i2o.NodeID) *faults.Injector { return sendInjector(o, n) }, o.Nodes,
+			func(d i2o.NodeID) uint64 { return uint64(d) })
 	}
 	if rules := wireRules(o.Faults); rules != nil && strings.Contains(o.Fabric, "tcp") {
-		b.WriteString("wire rules (tcp writer, per-peer streams):\n")
+		b.WriteString("wire rules (tcp writer + bulk lane, per-peer streams):\n")
 		for i, r := range rules {
 			fmt.Fprintf(&b, "  [%d] %v nth=%d delay=%v\n", i, r.Op, r.Nth, r.Delay)
 		}
-		appendStreamPreview(&b, "wire", func(n i2o.NodeID) *faults.Injector { return wireInjector(o, n) }, o.Nodes)
+		appendStreamPreview(&b, "wire", func(n i2o.NodeID) *faults.Injector { return wireInjector(o, n) }, o.Nodes,
+			func(d i2o.NodeID) uint64 { return uint64(d) })
+		// The rendezvous lane draws from its own per-peer streams of the
+		// same injector (tcp.BulkFaultStream), so bulk-frame faults have
+		// their own deterministic schedule.  Preview them separately:
+		// these draws come from fresh injectors, leaving the verdict
+		// sequences above unperturbed.
+		appendStreamPreview(&b, "wire-bulk", func(n i2o.NodeID) *faults.Injector { return wireInjector(o, n) }, o.Nodes,
+			func(d i2o.NodeID) uint64 { return tcp.BulkFaultStream(d) })
 	}
 
 	b.WriteString("rounds:\n")

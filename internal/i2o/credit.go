@@ -1,0 +1,45 @@
+package i2o
+
+// Credit piggybacking on the record word.
+//
+// The TCP peer transport prefixes every frame on the wire with one 32-bit
+// little-endian record word.  Frame sizes are bounded by MaxWireSize
+// (0xFFFF words = 262140 bytes < 2^24), so the top byte of the word is
+// free; the transport uses it to carry flow-control credit returns
+// piggybacked on whatever traffic already flows the other way — the same
+// trick MPICH2-over-InfiniBand uses to refresh its send-side credit count
+// from "the header of each back traffic message" (Liu et al., "Design and
+// Implementation of MPICH2 over InfiniBand with RDMA Support", PAPERS.md)
+// so that flow control costs no extra messages on a busy duplex link.
+//
+// A record word with a zero length and a non-zero credit byte is a
+// standalone credit return: a receiver with no reverse traffic still
+// returns its credits, it just pays a tiny extra write for it.  A record
+// word of all zeroes is invalid.
+
+const (
+	// RecordLenBits is the width of the length field in a record word.
+	RecordLenBits = 24
+
+	// RecordLenMask extracts the frame length from a record word.
+	RecordLenMask = 1<<RecordLenBits - 1
+
+	// MaxRecordCredits is the largest credit return one record word can
+	// carry.  A sender owing more returns the rest on subsequent records.
+	MaxRecordCredits = 1<<(32-RecordLenBits) - 1
+)
+
+// PackRecordWord builds the wire record word for a frame of size bytes
+// carrying a piggybacked return of credits.  Size must be 0 (a standalone
+// credit return) or a valid frame length ≤ MaxWireSize; credits must be in
+// [0, MaxRecordCredits].  Both are the caller's contract — values are
+// masked, not validated, because this sits on the zero-alloc hot path.
+func PackRecordWord(size, credits int) uint32 {
+	return uint32(size&RecordLenMask) | uint32(credits)<<RecordLenBits
+}
+
+// UnpackRecordWord splits a wire record word into the frame length and the
+// piggybacked credit return.
+func UnpackRecordWord(w uint32) (size, credits int) {
+	return int(w & RecordLenMask), int(w >> RecordLenBits)
+}

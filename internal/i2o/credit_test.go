@@ -1,0 +1,38 @@
+package i2o
+
+import "testing"
+
+func TestRecordWordRoundTrip(t *testing.T) {
+	cases := []struct{ size, credits int }{
+		{0, 1},
+		{0, MaxRecordCredits},
+		{StandardHeaderSize, 0},
+		{MaxWireSize, MaxRecordCredits},
+		{276, 17},
+	}
+	for _, c := range cases {
+		w := PackRecordWord(c.size, c.credits)
+		size, credits := UnpackRecordWord(w)
+		if size != c.size || credits != c.credits {
+			t.Fatalf("pack(%d,%d) -> unpack = (%d,%d)", c.size, c.credits, size, credits)
+		}
+	}
+}
+
+func TestRecordWordFieldsDoNotCollide(t *testing.T) {
+	// The largest legal frame must leave the credit byte untouched: a
+	// MaxWireSize frame with zero credits decodes with zero credits.
+	if MaxWireSize > RecordLenMask {
+		t.Fatalf("MaxWireSize %d does not fit in %d length bits", MaxWireSize, RecordLenBits)
+	}
+	size, credits := UnpackRecordWord(PackRecordWord(MaxWireSize, 0))
+	if size != MaxWireSize || credits != 0 {
+		t.Fatalf("max frame decoded as (%d,%d)", size, credits)
+	}
+	// A bare length-prefix word written by the legacy unbatched path (no
+	// credit bits set) decodes as a zero credit return.
+	size, credits = UnpackRecordWord(1024)
+	if size != 1024 || credits != 0 {
+		t.Fatalf("legacy prefix decoded as (%d,%d)", size, credits)
+	}
+}

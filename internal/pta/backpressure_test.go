@@ -71,6 +71,67 @@ func TestRetryRecoversRingBackpressure(t *testing.T) {
 	}
 }
 
+// creditPT refuses the first `refusals` sends with an error shaped like the
+// TCP transport's ErrNoCredit — wrapping both queue.ErrFull and
+// pta.ErrTransient — then accepts, modelling a peer whose credit window
+// refills once the receiver recycles delivered frames.
+type creditPT struct {
+	refusals int32
+	sent     atomic.Int32
+	tried    atomic.Int32
+}
+
+func (p *creditPT) Name() string { return "pt.credit" }
+
+func (p *creditPT) Send(dst i2o.NodeID, m *i2o.Message) error {
+	if p.tried.Add(1) <= p.refusals {
+		m.Release()
+		return fmt.Errorf("credit: peer send window exhausted: %w (%w)",
+			queue.ErrFull, pta.ErrTransient)
+	}
+	m.Recycle()
+	p.sent.Add(1)
+	return nil
+}
+
+func (p *creditPT) Start(pta.Deliver) error   { return nil }
+func (p *creditPT) Poll(pta.Deliver, int) int { return 0 }
+func (p *creditPT) Stop() error               { return nil }
+
+// TestRetryRecoversCreditExhaustion checks the agent treats credit-window
+// exhaustion as transient backpressure: with a retry policy the frame is
+// re-attempted and delivered once credits return.
+func TestRetryRecoversCreditExhaustion(t *testing.T) {
+	e := executive.New(executive.Options{
+		Name: "cred", Node: 1, Logf: func(string, ...any) {},
+	})
+	defer e.Close()
+	agent, err := pta.New(e)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer agent.Close()
+	agent.SetRetryPolicy(pta.RetryPolicy{Attempts: 5, Backoff: time.Millisecond})
+	tr := &creditPT{refusals: 3}
+	if err := agent.Register(tr, pta.Task); err != nil {
+		t.Fatal(err)
+	}
+
+	m := &i2o.Message{
+		Target: 2, Initiator: i2o.TIDExecutive,
+		Function: i2o.FuncPrivate, Org: i2o.OrgXDAQ, XFunction: 1,
+	}
+	if err := agent.Forward("pt.credit", 2, m); err != nil {
+		t.Fatalf("forward through credit exhaustion: %v", err)
+	}
+	if got := tr.tried.Load(); got != 4 {
+		t.Fatalf("%d attempts, want 4 (three refusals, one success)", got)
+	}
+	if tr.sent.Load() != 1 {
+		t.Fatal("frame never delivered")
+	}
+}
+
 // TestBackpressureFailsWithoutPolicy checks the refusal surfaces to the
 // caller, still carrying queue.ErrFull, when no retry policy is set.
 func TestBackpressureFailsWithoutPolicy(t *testing.T) {

@@ -270,10 +270,12 @@ func (a *Agent) RetryPolicy() RetryPolicy {
 
 // retryable reports whether a failed send may be re-attempted: errors the
 // transport marked transient, injector refusals (which model them), and
-// send-ring backpressure (queue.ErrFull — GM send-token exhaustion and the
-// TCP transport's full per-peer ring): the ring drains as soon as the
-// writer's next vectored write completes, so backing off and re-attempting
-// is exactly right.
+// send-ring backpressure (queue.ErrFull — GM send-token exhaustion, the
+// TCP transport's full per-peer ring, and its exhausted per-peer credit
+// window, tcp.ErrNoCredit, which wraps both sentinels): the ring drains as
+// soon as the writer's next vectored write completes, and credits flow
+// back as soon as the receiver recycles delivered frames, so backing off
+// and re-attempting is exactly right.
 func retryable(err error) bool {
 	return errors.Is(err, ErrTransient) ||
 		errors.Is(err, faults.ErrInjected) ||

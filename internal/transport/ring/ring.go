@@ -16,6 +16,7 @@ package ring
 import (
 	"errors"
 	"sync"
+	"sync/atomic"
 )
 
 // Errors.
@@ -44,6 +45,11 @@ type Queue[T any] struct {
 	// and repeated pushes coalesce into one wakeup (that coalescing is what
 	// turns a burst of sends into a single vectored write downstream).
 	signal chan struct{}
+
+	// busy is true from the moment PopBatch hands descriptors to the
+	// consumer until the consumer calls Done.  Together with an empty ring
+	// it defines Idle: no descriptor is queued or in the consumer's hands.
+	busy atomic.Bool
 }
 
 // New returns a ring holding up to depth descriptors (depth <= 0 selects
@@ -108,8 +114,33 @@ func (q *Queue[T]) PopBatch(dst []T) ([]T, bool) {
 	}
 	q.items = q.items[:0]
 	closed := q.closed
+	if len(dst) > 0 {
+		// Mark the consumer busy before releasing the lock: an Idle caller
+		// that observes the ring empty is thereby guaranteed to also observe
+		// busy, so descriptors in flight between PopBatch and Done are never
+		// invisible.
+		q.busy.Store(true)
+	}
 	q.mu.Unlock()
 	return dst, closed
+}
+
+// Done marks the batch handed out by the last PopBatch as fully resolved
+// (written, failed or abandoned).  Only the single consumer may call it.
+func (q *Queue[T]) Done() { q.busy.Store(false) }
+
+// Idle reports that no descriptor is queued on the ring or held by the
+// consumer between PopBatch and Done.  The rendezvous send path uses it as
+// its ordering gate: a large frame may bypass the ring only while every
+// earlier ring frame for the same peer is already on the wire — a frame a
+// producer pushed before calling Idle is always observed (Push and Idle
+// synchronize on the ring mutex), so per-producer FIFO order holds across
+// the eager and rendezvous lanes.
+func (q *Queue[T]) Idle() bool {
+	q.mu.Lock()
+	n := len(q.items)
+	q.mu.Unlock()
+	return n == 0 && !q.busy.Load()
 }
 
 // Wait blocks until a push (or Close) signals, or stop fires; it returns

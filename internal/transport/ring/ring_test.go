@@ -98,6 +98,41 @@ func TestWaitWakesOnClose(t *testing.T) {
 	}
 }
 
+// TestIdleTracksQueueAndConsumer checks the rendezvous ordering gate: the
+// ring is idle only when nothing is queued AND the consumer holds no popped
+// batch.  A frame between PopBatch and Done must keep Idle false, or a
+// large frame could overtake it on the bulk lane.
+func TestIdleTracksQueueAndConsumer(t *testing.T) {
+	q := New[int](4)
+	if !q.Idle() {
+		t.Fatal("fresh ring is not idle")
+	}
+	if err := q.Push(1); err != nil {
+		t.Fatal(err)
+	}
+	if q.Idle() {
+		t.Fatal("ring with a queued item reports idle")
+	}
+	batch, _ := q.PopBatch(nil)
+	if len(batch) != 1 {
+		t.Fatalf("popped %d items, want 1", len(batch))
+	}
+	if q.Idle() {
+		t.Fatal("ring reports idle while the consumer holds a popped batch")
+	}
+	q.Done()
+	if !q.Idle() {
+		t.Fatal("ring not idle after Done")
+	}
+	// An empty pop must not flip the busy flag back on.
+	if batch, _ = q.PopBatch(batch); len(batch) != 0 {
+		t.Fatalf("popped %d items from empty ring", len(batch))
+	}
+	if !q.Idle() {
+		t.Fatal("empty PopBatch marked the consumer busy")
+	}
+}
+
 // TestConcurrentProducersPreservePerProducerOrder drives the ring the way
 // the transport does: many senders, one writer.  Each producer's items must
 // drain in its own push order even though batches interleave producers.

@@ -52,10 +52,13 @@ func waitDelivered(b *testing.B, c *atomic.Uint64, want uint64) {
 	}
 }
 
-// BenchmarkRemoteSend measures the batched send path end to end over a
-// real socket pair: enqueue on the ring, vectored write, streaming pooled
-// decode, delivery.  The steady state must not allocate on either side —
-// the acceptance gate of the zero-copy data path.
+// BenchmarkRemoteSend measures the eager (coalescing) send path end to
+// end over a real socket pair: enqueue on the ring, vectored write,
+// streaming pooled decode, delivery.  The 64 B payload keeps the wire
+// size well under DefaultThreshold so every frame rides the ring; the
+// bulk lane has its own gate in BenchmarkRemoteSendRendezvous.  The
+// steady state must not allocate on either side — the acceptance gate of
+// the zero-copy data path.
 func BenchmarkRemoteSend(b *testing.B) {
 	var recvd atomic.Uint64
 	send, _ := rawPair(b, Config{}, func(_ i2o.NodeID, m *i2o.Message) error {
@@ -64,7 +67,7 @@ func BenchmarkRemoteSend(b *testing.B) {
 		return nil
 	})
 	alloc := pool.NewTable(0)
-	blk, err := alloc.Alloc(256)
+	blk, err := alloc.Alloc(64)
 	if err != nil {
 		b.Fatal(err)
 	}
@@ -87,6 +90,96 @@ func BenchmarkRemoteSend(b *testing.B) {
 	}
 	waitDelivered(b, &recvd, 2048+uint64(b.N))
 	b.StopTimer()
+}
+
+// BenchmarkRemoteSendRendezvous is BenchmarkRemoteSend for the bulk lane: a
+// 16 KiB payload, far above any threshold, so every frame takes the direct
+// vectored write that bypasses the coalescing arena.  Steady state must not
+// allocate — the rendezvous path shares the zero-alloc acceptance gate with
+// the eager path.
+func BenchmarkRemoteSendRendezvous(b *testing.B) {
+	var recvd atomic.Uint64
+	send, _ := rawPair(b, Config{}, func(_ i2o.NodeID, m *i2o.Message) error {
+		m.Recycle()
+		recvd.Add(1)
+		return nil
+	})
+	alloc := pool.NewTable(0)
+	blk, err := alloc.Alloc(16384)
+	if err != nil {
+		b.Fatal(err)
+	}
+	payload := blk.Bytes()
+	for i := range payload {
+		payload[i] = byte(i)
+	}
+	for i := 0; i < 512; i++ {
+		sendRetained(b, send, blk, payload)
+	}
+	waitDelivered(b, &recvd, 512)
+
+	b.ReportAllocs()
+	b.SetBytes(int64(len(payload)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sendRetained(b, send, blk, payload)
+	}
+	waitDelivered(b, &recvd, 512+uint64(b.N))
+	b.StopTimer()
+}
+
+// BenchmarkRemoteThreshold sweeps the eager/rendezvous switch point across
+// payload sizes and sender counts — the measurement behind the threshold
+// choice in doc/performance.md.  thr=eager pins every frame to the
+// coalescing ring (Threshold -1), thr=rv forces every frame onto the direct
+// lane (Threshold 1), and the middle setting splits at 512 wire bytes.
+func BenchmarkRemoteThreshold(b *testing.B) {
+	var recvd atomic.Uint64
+	fn := func(_ i2o.NodeID, m *i2o.Message) error {
+		m.Recycle()
+		recvd.Add(1)
+		return nil
+	}
+	transports := []struct {
+		name string
+		tr   *Transport
+	}{
+		{"eager", nil},
+		{"512", nil},
+		{"rv", nil},
+	}
+	for i, thr := range []int{-1, 512, 1} {
+		transports[i].tr, _ = rawPair(b, Config{Threshold: thr}, fn)
+	}
+	alloc := pool.NewTable(0)
+	blk, err := alloc.Alloc(4096)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for i := range blk.Bytes() {
+		blk.Bytes()[i] = byte(i)
+	}
+	for _, tc := range transports {
+		for _, size := range []int{256, 4096} {
+			for _, senders := range []int{1, 4} {
+				name := fmt.Sprintf("size=%dB/thr=%s/senders=%d", size, tc.name, senders)
+				b.Run(name, func(b *testing.B) {
+					payload := blk.Bytes()[:size]
+					base := recvd.Load()
+					b.SetBytes(int64(size))
+					b.SetParallelism(senders)
+					b.ResetTimer()
+					b.RunParallel(func(pb *testing.PB) {
+						for pb.Next() {
+							sendRetained(b, tc.tr, blk, payload)
+						}
+					})
+					waitDelivered(b, &recvd, base+uint64(b.N))
+					b.StopTimer()
+				})
+			}
+		}
+	}
 }
 
 // BenchmarkRemoteRoundTrip measures request/reply latency through the full

@@ -5,21 +5,49 @@
 // here it also serves as the transport for genuinely distributed
 // deployments of the cmd/xdaqd node daemon.
 //
-// Wire format per connection: a 12-byte handshake (8-byte magic, 4-byte
-// node id little-endian), then a stream of records, each a 4-byte frame
-// length followed by the encoded I2O frame.
+// Wire format per connection: a 16-byte handshake (8-byte magic, 4-byte
+// node id, 4-byte credit grant, all little-endian), then a stream of
+// records.  Each record starts with one 32-bit word packing a 24-bit frame
+// length and an 8-bit piggybacked credit return (see i2o.PackRecordWord),
+// followed by the encoded I2O frame; a zero-length record carries a
+// standalone credit return.
 //
-// The data path mirrors the descriptor-ring model of the paper's Myrinet
-// NIC (internal/transport/gm).  Send enqueues the frame descriptor on a
-// per-peer ring and returns; a per-peer writer drains the ring and
-// coalesces everything queued into one vectored write (writev via
-// net.Buffers) — length prefixes and headers in a reused scratch buffer,
-// payload slices (or every segment of an SGL) appended zero-copy.  A full
-// ring is GM send-token exhaustion: Send fails with ErrRingFull, which the
-// agent's retry policy treats as transient backpressure.  Receive streams
-// the socket into 256 KB pool blocks and decodes frames in place; one
-// block backs many frames by reference count, so the steady state
-// allocates nothing on either end.
+// The send path runs two protocols, selected per frame — the small/large
+// message split MPICH2-over-InfiniBand makes with its eager and rendezvous
+// protocols (Liu et al., PAPERS.md):
+//
+//   - Eager: frames below a threshold enqueue on a per-peer descriptor
+//     ring (the GM NIC model of internal/transport/gm); a per-peer writer
+//     drains the ring and coalesces everything queued into one vectored
+//     write — length prefixes and headers in a reused scratch arena,
+//     payload slices (or every segment of an SGL) appended zero-copy.
+//     Coalescing amortizes the syscall over many small frames.
+//   - Rendezvous: frames at or above the threshold bypass the ring and go
+//     out via a direct vectored write on the sender's own goroutine, under
+//     the connection write mutex.  Large payloads are never copied through
+//     or serialized behind the writer, so concurrent bulk senders keep the
+//     socket full instead of queuing behind one goroutine.  The bypass is
+//     gated on an idle ring (ring.Idle), which preserves per-sender FIFO
+//     order across the two lanes.
+//
+// The threshold auto-tunes from the live coalescing metrics, one-sidedly:
+// when writer batches degenerate to a frame or two per writev the
+// threshold trims toward thresholdMin so near-threshold frames take the
+// direct lane, and when batches amortize many frames per syscall again it
+// recovers toward its DefaultThreshold ceiling.  It never rises above the
+// ceiling.  Config.Threshold pins it instead.
+//
+// Flow control is credit-based, as on an InfiniBand link: the handshake
+// grants a per-peer window of in-flight frames, Send consumes one credit
+// per frame, and the receiver returns credits when its pooled receive
+// block recycles, piggybacked on the record words of reverse traffic (or a
+// standalone zero-length record when the link is one-way).  An exhausted
+// window fails with ErrNoCredit — transient backpressure for the agent's
+// retry policy, like a full ring — so a slow receiver throttles senders
+// proactively instead of letting frames pile up in kernel buffers.
+// Receive streams the socket into 256 KB pool blocks and decodes frames in
+// place; one block backs many frames by reference count, so the steady
+// state allocates nothing on either end, on either lane.
 package tcp
 
 import (
@@ -44,7 +72,10 @@ import (
 // PTName is the default route name.
 const PTName = "pt.tcp"
 
-var magic = [8]byte{'X', 'D', 'A', 'Q', 'I', '2', 'O', '1'}
+var magic = [8]byte{'X', 'D', 'A', 'Q', 'I', '2', 'O', '2'}
+
+// helloSize is the handshake length: magic, node id, credit grant.
+const helloSize = 16
 
 // readBlockSize is the streaming receive buffer: one pool block sized so
 // that any length-prefixed record fits whole.  It lands exactly on
@@ -52,12 +83,67 @@ var magic = [8]byte{'X', 'D', 'A', 'Q', 'I', '2', 'O', '1'}
 const readBlockSize = 4 + i2o.MaxWireSize
 
 // recordHeader is the per-frame wire overhead the writer encodes into its
-// scratch buffer: the 4-byte length prefix plus the largest frame header.
+// scratch buffer: the 4-byte record word plus the largest frame header.
 const recordHeader = 4 + i2o.PrivateHeaderSize
 
 // dialTimeout bounds one connection attempt so a writer redialing a dead
 // peer stays responsive to Stop.
 const dialTimeout = 3 * time.Second
+
+// DefaultThreshold is the eager/rendezvous switch point in wire bytes —
+// the small/large message split of MPICH2-over-InfiniBand (PAPERS.md),
+// scaled to this transport: coalescing amortizes its writev only while
+// per-frame overhead dominates the wire time, and on a loopback TCP link
+// that crossover sits near a few hundred bytes, not the tens of kilobytes
+// of an RDMA eager limit.  With auto-tuning enabled (Config.Threshold ==
+// 0) this is also the ceiling; the live coalescing metrics only trim the
+// threshold within [thresholdMin, DefaultThreshold].
+const DefaultThreshold = 256
+
+const (
+	// thresholdMin bounds how far the auto-tuner trims the threshold.
+	thresholdMin = 64
+
+	// tuneFrameFloor restores (doubles) the threshold toward
+	// DefaultThreshold when the writer's average batch carries at least
+	// this many frames: live traffic proves the writev amortizes, so
+	// frames below the ceiling belong in the coalescing.  The tuner
+	// never raises the threshold past DefaultThreshold — batch metrics
+	// describe frames already riding the ring, and say nothing about
+	// whether the larger frames a raise would admit are better off
+	// there; measured on this path, they are not.
+	tuneFrameFloor = 8
+
+	// tuneFrameCeil halves the threshold when the average batch carries
+	// no more than this many frames: the ring is not amortizing
+	// anything, so the hop through the writer buys near-threshold frames
+	// only latency — send them directly.  The gap between the two bounds
+	// is the hysteresis band.
+	tuneFrameCeil = 2
+)
+
+// DefaultCredits is the per-peer receive window granted on connect when
+// Config.Credits is zero: how many frames a peer may have in flight toward
+// us before its sends fail with ErrNoCredit.  Credit-based flow control is
+// the InfiniBand reliable-connection discipline MPICH2 layers its channel
+// on (PAPERS.md): the receiver pre-declares buffer capacity and the sender
+// never overruns it, turning backpressure from a reactive failure into a
+// proactive window.
+//
+// The window is a safety valve against a wedged receiver, not a rate
+// limiter, so it must clear the link's bandwidth-delay product — and the
+// delay that matters is not the wire RTT but the worst-case scheduling
+// latency of the credit-return read on a loaded host (~10ms when runnable
+// goroutines keep the netpoller waiting), at millions of eager frames per
+// second.  A window below that product caps throughput at window/latency
+// regardless of how fast both ends are; 32Ki frames rides out the stall
+// while still bounding a silent peer.
+const DefaultCredits = 32 * 1024
+
+// bulkLaneBit keys the rendezvous lane's wire-fault stream: bulk sends to
+// peer n draw from stream n|bulkLaneBit, the writer from stream n, so each
+// lane sees its own deterministic schedule (faults.Injector.NextFor).
+const bulkLaneBit = uint64(1) << 32
 
 // Errors.
 var (
@@ -77,6 +163,13 @@ var (
 	// pta.ErrTransient, so the agent's retry policy backs off and
 	// re-attempts instead of failing the frame.
 	ErrRingFull = fmt.Errorf("tcp: send ring full: %w (%w)", queue.ErrFull, pta.ErrTransient)
+
+	// ErrNoCredit reports a send against an exhausted per-peer credit
+	// window: the receiver has not yet recycled enough of the frames in
+	// flight.  Like ErrRingFull it is prebuilt and wraps queue.ErrFull and
+	// pta.ErrTransient — credit exhaustion is transient backpressure, and
+	// the window refills as the receiver returns credits.
+	ErrNoCredit = fmt.Errorf("tcp: peer send window exhausted: %w (%w)", queue.ErrFull, pta.ErrTransient)
 )
 
 // RedialPolicy bounds a writer's attempts to reconnect and resend after a
@@ -118,12 +211,25 @@ type Transport struct {
 	stopc  chan struct{}
 	wg     sync.WaitGroup
 
-	unbatched bool
-	depth     int
-	redial    RedialPolicy
+	unbatched  bool
+	depth      int
+	redial     RedialPolicy
+	rendezvous bool         // large frames may bypass the ring
+	autoTune   bool         // threshold follows the coalescing metrics
+	thr        atomic.Int64 // current eager/rendezvous threshold, wire bytes
+	grant      int64        // receive window granted to each peer; 0 = unlimited
+	flushAt    int64        // owed credits that trigger a standalone return
+
+	// EWMA of the writer's batch shape, 1/16 fixed point, alpha 1/8.
+	// Shared across per-peer writers; the races are benign (the tuner is
+	// a heuristic reading approximate averages).
+	avgFrames atomic.Int64
+	avgBytes  atomic.Int64
+
+	scratch sync.Pool // *bulkScratch, reused across rendezvous sends
 
 	flt  atomic.Pointer[faults.Injector] // send path (enqueue)
-	wflt atomic.Pointer[faults.Injector] // wire path (writer)
+	wflt atomic.Pointer[faults.Injector] // wire path (writer + bulk lane)
 
 	nSent    *metrics.Counter
 	nRecv    *metrics.Counter
@@ -134,21 +240,74 @@ type Transport struct {
 	nBatched *metrics.Counter // batch.frames: frames carried by them
 	nFull    *metrics.Counter // ring.full: sends refused by backpressure
 	nErrs    *metrics.Counter // sendErrors: frames dropped by the writer
+	nRvSends *metrics.Counter // rendezvous.sends: frames on the bulk lane
+	nRvBytes *metrics.Counter // rendezvous.bytes: wire bytes they carried
+	nRvFall  *metrics.Counter // rendezvous.fallback: bulk frames via the ring
+	nStalls  *metrics.Counter // credits.stalls: sends refused by ErrNoCredit
+	nCredRet *metrics.Counter // credits.returned: credits accrued for peers
+	nCredSnt *metrics.Counter // credits.sent: credits put on the wire
 }
 
 type peerConn struct {
 	node      i2o.NodeID
 	initiator i2o.NodeID // who dialed this stream (simultaneous-connect tie-break)
 	c         net.Conn
-	writeMu   sync.Mutex // serializes unbatched senders; writers are sole
+	grant     uint32     // credit window the peer granted us; 0 = unlimited
+	writeMu   sync.Mutex // serializes writer batches, bulk sends, unbatched sends, credit flushes
 }
 
-// peer is the batched-mode send state: the descriptor ring and the writer
-// draining it.
+// peer is the per-destination send state: the descriptor ring, the writer
+// draining it, and both directions of the credit account — credits is our
+// remaining send window toward the peer, owed is what we have to give back
+// for frames received from it.
 type peer struct {
 	node i2o.NodeID
 	q    *ring.Queue[*i2o.Message]
+
+	wstarted bool // writer goroutine running (guarded by Transport.mu)
+
+	credits atomic.Int64 // send window remaining toward this peer
+	limit   atomic.Int64 // granted window size; 0 = flow control off
+	owed    atomic.Int64 // credits to return for frames received from it
 }
+
+// refill returns n credits to the send window, clamped at the granted
+// limit: reconnect re-grants and duplicated frames can over-return, and
+// the clamp keeps the window honest.
+func (p *peer) refill(n int64) {
+	lim := p.limit.Load()
+	if lim == 0 || n <= 0 {
+		return
+	}
+	for {
+		cur := p.credits.Load()
+		next := cur + n
+		if next > lim {
+			next = lim
+		}
+		if next <= cur || p.credits.CompareAndSwap(cur, next) {
+			return
+		}
+	}
+}
+
+// bulkScratch is a rendezvous send's reusable encode state: the record
+// word and header land in hdr, the iovec in vec.  Pooled so the
+// steady-state bulk path allocates nothing.  bufs shares vec's backing
+// array for the writev: net.Buffers.WriteTo advances its receiver through
+// the slice, so the call needs a heap-resident header to escape into —
+// keeping it in the pooled struct avoids a per-frame allocation that a
+// stack net.Buffers would pay at the interface call.
+type bulkScratch struct {
+	hdr  [recordHeader]byte
+	buf  []byte // contiguous staging for frames <= bulkCopyLimit
+	vec  [][]byte
+	bufs net.Buffers
+}
+
+// bulkCopyLimit is the largest wire size the bulk lane copies into
+// contiguous scratch instead of sending as a zero-copy writev.
+const bulkCopyLimit = 4096
 
 // dialCall dedupes concurrent dials to the same peer (singleflight): the
 // first sender dials, the rest wait for its result.
@@ -174,15 +333,19 @@ type Config struct {
 
 	// Metrics receives the transport's counters (<name>.sent, .recv,
 	// .dials, .accepts, .connDrops, .batch.writes, .batch.frames,
-	// .ring.full, .sendErrors and the .ring.depth gauge); defaults to
-	// metrics.Default.  Pass the owning executive's registry so the
-	// counters show up in that node's scrape.
+	// .ring.full, .sendErrors, .rendezvous.sends, .rendezvous.bytes,
+	// .rendezvous.fallback, .credits.stalls, .credits.returned,
+	// .credits.sent and the .ring.depth, .rendezvous.threshold,
+	// .credits.available gauges); defaults to metrics.Default.  Pass the
+	// owning executive's registry so the counters show up in that node's
+	// scrape.
 	Metrics *metrics.Registry
 
-	// Unbatched disables the per-peer send rings: every Send encodes and
-	// writes its frame synchronously under a per-connection mutex.  This
-	// is the pre-ring data path, kept as the measured baseline for the
-	// remote benchmarks (see doc/performance.md).
+	// Unbatched disables the per-peer send rings and the rendezvous lane:
+	// every Send encodes and writes its frame synchronously under a
+	// per-connection mutex.  This is the pre-ring data path, kept as the
+	// measured baseline for the remote benchmarks (see doc/performance.md
+	// and the `make bench-gate` regression gate).
 	Unbatched bool
 
 	// RingDepth is the per-peer send ring capacity; <=0 selects
@@ -191,6 +354,25 @@ type Config struct {
 
 	// Redial bounds writer reconnect attempts after a broken connection.
 	Redial RedialPolicy
+
+	// Threshold selects the eager/rendezvous switch point in wire bytes —
+	// the small/large message split of MPICH2-over-InfiniBand (PAPERS.md).
+	// Frames at or above it bypass the coalescing ring via a direct
+	// vectored write when ordering allows.  Zero (the default) starts at
+	// DefaultThreshold and auto-tunes from the live batch.* coalescing
+	// metrics, trimming within [64, DefaultThreshold] — never above it; a
+	// positive value pins the threshold; a negative value disables the
+	// rendezvous lane entirely (every frame coalesces, the pre-split data
+	// path).
+	Threshold int
+
+	// Credits is the receive window granted to each connecting peer: the
+	// number of frames it may have in flight toward this node before its
+	// sends see ErrNoCredit, returned as the receiver recycles its pooled
+	// blocks (credit-based flow control, as on an InfiniBand link).  Zero
+	// selects DefaultCredits; a negative value disables flow control (an
+	// unlimited grant is advertised).
+	Credits int
 }
 
 // New creates the transport and, when configured, starts listening.
@@ -227,8 +409,47 @@ func New(node i2o.NodeID, alloc pool.Allocator, cfg Config) (*Transport, error) 
 		nBatched: cfg.Metrics.Counter(cfg.Name + ".batch.frames"),
 		nFull:    cfg.Metrics.Counter(cfg.Name + ".ring.full"),
 		nErrs:    cfg.Metrics.Counter(cfg.Name + ".sendErrors"),
+		nRvSends: cfg.Metrics.Counter(cfg.Name + ".rendezvous.sends"),
+		nRvBytes: cfg.Metrics.Counter(cfg.Name + ".rendezvous.bytes"),
+		nRvFall:  cfg.Metrics.Counter(cfg.Name + ".rendezvous.fallback"),
+		nStalls:  cfg.Metrics.Counter(cfg.Name + ".credits.stalls"),
+		nCredRet: cfg.Metrics.Counter(cfg.Name + ".credits.returned"),
+		nCredSnt: cfg.Metrics.Counter(cfg.Name + ".credits.sent"),
+	}
+	t.scratch.New = func() any {
+		return &bulkScratch{
+			buf: make([]byte, 4+bulkCopyLimit),
+			vec: make([][]byte, 0, 16),
+		}
+	}
+	thr := cfg.Threshold
+	t.autoTune = thr == 0
+	t.rendezvous = thr >= 0 && !cfg.Unbatched
+	if thr <= 0 {
+		thr = DefaultThreshold
+	}
+	t.thr.Store(int64(thr))
+	switch {
+	case cfg.Credits < 0:
+		t.grant = 0
+	case cfg.Credits == 0:
+		t.grant = DefaultCredits
+	default:
+		t.grant = int64(cfg.Credits)
+	}
+	if t.grant > 1<<31-1 {
+		t.grant = 1<<31 - 1
+	}
+	t.flushAt = t.grant / 4
+	if t.flushAt < 1 {
+		t.flushAt = 1
+	}
+	if t.flushAt > i2o.MaxRecordCredits {
+		t.flushAt = i2o.MaxRecordCredits
 	}
 	cfg.Metrics.Func(cfg.Name+".ring.depth", t.ringDepth)
+	cfg.Metrics.Func(cfg.Name+".rendezvous.threshold", t.thresholdGauge)
+	cfg.Metrics.Func(cfg.Name+".credits.available", t.creditsAvailable)
 	for n, a := range cfg.Peers {
 		t.addrs[n] = a
 	}
@@ -255,6 +476,29 @@ func (t *Transport) ringDepth() int64 {
 	return n
 }
 
+// thresholdGauge samples the live eager/rendezvous threshold; 0 means the
+// rendezvous lane is disabled.
+func (t *Transport) thresholdGauge() int64 {
+	if !t.rendezvous {
+		return 0
+	}
+	return t.thr.Load()
+}
+
+// creditsAvailable samples the remaining send window summed over peers
+// with flow control active.
+func (t *Transport) creditsAvailable() int64 {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	var n int64
+	for _, p := range t.peers {
+		if p.limit.Load() > 0 {
+			n += p.credits.Load()
+		}
+	}
+	return n
+}
+
 // Addr returns the listening address, or "" for client-only transports.
 func (t *Transport) Addr() string {
 	if t.ln == nil {
@@ -275,12 +519,21 @@ func (t *Transport) AddPeer(node i2o.NodeID, addr string) {
 func (t *Transport) SetFaults(in *faults.Injector) { t.flt.Store(in) }
 
 // SetWireFaults installs a fault injector on the wire path: the writer
-// consults it before each vectored write.  Drop and Error sever the live
-// connection — a byte stream cannot lose a single frame, so a wire fault
-// kills the whole stream and the queued frames ride the redial — and Delay
-// stalls the writer (ring backpressure builds up behind it).  Nil removes
-// the injector.
+// consults it before each vectored write, and a rendezvous send before
+// each bulk write, each lane drawing from its own per-peer stream (the
+// bulk lane's key is BulkFaultStream) so both schedules stay
+// deterministic.  Drop and Error sever the live connection — a byte stream
+// cannot lose a single frame, so a wire fault kills the whole stream and
+// the affected frames ride the redial — and Delay stalls the sending
+// goroutine (backpressure builds up behind it).  Nil removes the injector.
 func (t *Transport) SetWireFaults(in *faults.Injector) { t.wflt.Store(in) }
+
+// BulkFaultStream returns the wire-fault stream key the rendezvous lane
+// draws for sends to node — distinct from the eager writer's stream (the
+// bare node id), so each lane sees its own deterministic fault schedule.
+// The chaos harness uses it to render bulk-lane fault plans
+// (chaos.PlanString) that replay byte-identically from a seed.
+func BulkFaultStream(node i2o.NodeID) uint64 { return uint64(node) | bulkLaneBit }
 
 // Name implements pta.PeerTransport.
 func (t *Transport) Name() string { return t.name }
@@ -303,12 +556,16 @@ func (t *Transport) deliverFn() pta.Deliver {
 	return t.deliver
 }
 
-// Send implements pta.PeerTransport.  In batched mode (the default) it
-// enqueues the frame on the peer's send ring and returns immediately; the
+// Send implements pta.PeerTransport.  Every frame first consumes one
+// credit from the peer's window (ErrNoCredit when exhausted).  Small
+// frames enqueue on the peer's send ring and return immediately — the
 // frame then belongs to the writer, which recycles it after the vectored
-// write.  A full ring fails with ErrRingFull.  On any error return the
-// frame's buffer is released but the struct is left intact, so the agent's
-// retry policy can re-attach and resend it.
+// write; a full ring fails with ErrRingFull.  Frames at or above the
+// rendezvous threshold go out synchronously on the bulk lane when the ring
+// is idle, falling back to the ring otherwise to preserve per-sender
+// order.  On any error return the frame's buffer is released but the
+// struct is left intact, so the agent's retry policy can re-attach and
+// resend it.
 func (t *Transport) Send(dst i2o.NodeID, m *i2o.Message) error {
 	if t.closed.Load() {
 		m.Release()
@@ -345,6 +602,30 @@ func (t *Transport) Send(dst i2o.NodeID, m *i2o.Message) error {
 		m.Release()
 		return err
 	}
+	credited := false
+	if p.limit.Load() != 0 {
+		if p.credits.Add(-1) < 0 {
+			p.credits.Add(1)
+			m.Release()
+			t.nStalls.Inc()
+			return ErrNoCredit
+		}
+		credited = true
+	}
+	if t.rendezvous && m.WireSize() >= int(t.thr.Load()) {
+		if p.q.Idle() {
+			if dup {
+				// The retransmitted clone goes on the wire immediately
+				// before the original, uncredited (its credit return is
+				// the clamp's problem, not the window's).
+				_ = t.bulkWrite(p, m.Dup())
+			}
+			return t.sendBulk(p, m, credited)
+		}
+		// Earlier frames are still on or behind the ring; ride it so
+		// per-sender order holds across the lanes.
+		t.nRvFall.Inc()
+	}
 	if dup {
 		// A lost-ack retransmission: an independent clone rides the ring
 		// just ahead of the original, so the peer sees the frame twice,
@@ -355,6 +636,9 @@ func (t *Transport) Send(dst i2o.NodeID, m *i2o.Message) error {
 		}
 	}
 	if err := p.q.Push(m); err != nil {
+		if credited {
+			p.refill(1)
+		}
 		m.Release()
 		if errors.Is(err, ring.ErrClosed) {
 			return ErrClosed
@@ -366,7 +650,9 @@ func (t *Transport) Send(dst i2o.NodeID, m *i2o.Message) error {
 }
 
 // sendDirect is the unbatched baseline: encode into a fresh buffer and
-// write it under the connection mutex.
+// write it under the connection mutex.  It neither consumes credits nor
+// piggybacks returns — the baseline stays the pre-split data path — but
+// its bare length prefix is a valid record word (zero credit byte).
 func (t *Transport) sendDirect(dst i2o.NodeID, m *i2o.Message) error {
 	defer m.Release()
 	pc, err := t.connTo(dst)
@@ -392,7 +678,213 @@ func (t *Transport) sendDirect(dst i2o.NodeID, m *i2o.Message) error {
 	return nil
 }
 
-// peerFor returns dst's send ring, creating the ring and its writer on
+// sendBulk is the rendezvous lane: wire faults for the bulk stream, then a
+// direct vectored write.  A failed send refunds the frame's credit — the
+// agent's retry re-enters Send and consumes a fresh one.
+func (t *Transport) sendBulk(p *peer, m *i2o.Message, credited bool) error {
+	if in := t.wflt.Load(); in != nil {
+		switch act := in.NextFor(BulkFaultStream(p.node)); act.Op {
+		case faults.Delay:
+			time.Sleep(act.Delay)
+		case faults.Drop, faults.Error:
+			t.mu.Lock()
+			pc := t.conns[p.node]
+			t.mu.Unlock()
+			if pc != nil {
+				t.dropConn(pc)
+			}
+		case faults.Duplicate:
+			_ = t.bulkWrite(p, m.Dup())
+		}
+	}
+	err := t.bulkWrite(p, m)
+	if err != nil && credited {
+		p.refill(1)
+	}
+	return err
+}
+
+// bulkWrite puts one frame on the wire from the sender's own goroutine,
+// under the connection write mutex.  Frames up to bulkCopyLimit are copied
+// whole into pooled scratch and leave in a single contiguous write: at
+// these sizes the memcpy is cheaper than the extra iovec bookkeeping of a
+// writev (measured — the copying unbatched path beat a two-segment writev
+// up to 4 KiB on this host).  Larger frames go out as a zero-copy writev
+// of record word, header and body segments.  On a broken connection it
+// redials and resends exactly like the writer — the record either reached
+// the kernel whole or the receiver discards the torn tail with the
+// connection, so the frame is never delivered twice.
+func (t *Transport) bulkWrite(p *peer, m *i2o.Message) error {
+	s := t.scratch.Get().(*bulkScratch)
+	defer t.scratch.Put(s)
+	tries := 0
+	for {
+		if t.closed.Load() {
+			m.Release()
+			return ErrClosed
+		}
+		pc, err := t.connTo(p.node)
+		if err != nil {
+			if errors.Is(err, ErrNoPeer) || errors.Is(err, ErrClosed) || !t.backoff(&tries) {
+				t.nErrs.Inc()
+				m.Release()
+				return err
+			}
+			continue
+		}
+		size := m.WireSize()
+		var (
+			n    int64
+			werr error
+		)
+		if size <= bulkCopyLimit {
+			buf := s.buf[:4+size]
+			binary.LittleEndian.PutUint32(buf, i2o.PackRecordWord(size, t.claimOwed(p)))
+			if _, err := m.Encode(buf[4:]); err != nil {
+				t.nErrs.Inc()
+				m.Release()
+				return err
+			}
+			pc.writeMu.Lock()
+			wn, e := pc.c.Write(buf)
+			pc.writeMu.Unlock()
+			n, werr = int64(wn), e
+		} else {
+			h, err := m.EncodeHeader(s.hdr[4:])
+			if err != nil {
+				t.nErrs.Inc()
+				m.Release()
+				return err
+			}
+			binary.LittleEndian.PutUint32(s.hdr[:4], i2o.PackRecordWord(size, t.claimOwed(p)))
+			s.vec = append(s.vec[:0], s.hdr[:4+h])
+			s.vec = m.AppendBody(s.vec)
+			s.bufs = net.Buffers(s.vec)
+			pc.writeMu.Lock()
+			n, werr = s.bufs.WriteTo(pc.c)
+			pc.writeMu.Unlock()
+			// WriteTo consumes through the shared backing array; clear
+			// the leftovers so the pooled scratch never pins payload
+			// blocks.
+			s.bufs = nil
+			for i := range s.vec {
+				s.vec[i] = nil
+			}
+		}
+		if werr != nil {
+			t.dropConn(pc)
+			if n < int64(4+size) {
+				// Nothing delivered: a torn record dies with the stream.
+				if !t.backoff(&tries) {
+					t.nErrs.Inc()
+					m.Release()
+					return fmt.Errorf("tcp: bulk write to %v: %w (%w)", p.node, werr, pta.ErrTransient)
+				}
+				continue
+			}
+			// The kernel consumed the whole record before the error: the
+			// frame may have reached the peer, so it counts as sent.
+		}
+		t.nSent.Inc()
+		t.nRvSends.Inc()
+		t.nRvBytes.Add(uint64(size))
+		m.Recycle()
+		return nil
+	}
+}
+
+// claimOwed drains up to one record word's worth of the credits owed to a
+// peer, for piggybacking on an outbound record.  Claims riding a write
+// that never reaches the peer are simply lost: the connection died with
+// them, and both windows reset on reconnect.
+func (t *Transport) claimOwed(p *peer) int {
+	if p == nil {
+		return 0
+	}
+	for {
+		o := p.owed.Load()
+		if o <= 0 {
+			return 0
+		}
+		take := o
+		if take > i2o.MaxRecordCredits {
+			take = i2o.MaxRecordCredits
+		}
+		if p.owed.CompareAndSwap(o, o-take) {
+			t.nCredSnt.Add(uint64(take))
+			return int(take)
+		}
+	}
+}
+
+// returnCredits accrues credits owed to a peer for recycled receive
+// frames, flushing a standalone return when reverse traffic has not
+// piggybacked them away fast enough.
+func (t *Transport) returnCredits(p *peer, n int64) {
+	if p == nil || n <= 0 || t.grant == 0 || t.closed.Load() {
+		return
+	}
+	t.nCredRet.Add(uint64(n))
+	if p.owed.Add(n) >= t.flushAt {
+		t.flushCredits(p)
+	}
+}
+
+// flushCredits writes a zero-length record carrying only a credit return —
+// the one-way-traffic fallback for receivers with nothing to piggyback on.
+func (t *Transport) flushCredits(p *peer) {
+	t.mu.Lock()
+	pc := t.conns[p.node]
+	t.mu.Unlock()
+	if pc == nil {
+		return
+	}
+	take := t.claimOwed(p)
+	if take == 0 {
+		return
+	}
+	var w [4]byte
+	binary.LittleEndian.PutUint32(w[:], i2o.PackRecordWord(0, take))
+	pc.writeMu.Lock()
+	_, err := pc.c.Write(w[:])
+	pc.writeMu.Unlock()
+	if err != nil {
+		t.dropConn(pc)
+	}
+}
+
+// stateLocked returns dst's peer state, creating it (ring, credit account,
+// no writer) under t.mu.  The initial window is the connection's grant
+// when one exists, optimistic DefaultCredits otherwise — adopt resets it
+// to the real grant as soon as a handshake completes.
+func (t *Transport) stateLocked(dst i2o.NodeID) *peer {
+	p := t.peers[dst]
+	if p != nil {
+		return p
+	}
+	p = &peer{node: dst, q: ring.New[*i2o.Message](t.depth)}
+	grant := int64(DefaultCredits)
+	if pc := t.conns[dst]; pc != nil {
+		grant = int64(pc.grant)
+	}
+	p.limit.Store(grant)
+	p.credits.Store(grant)
+	t.peers[dst] = p
+	return p
+}
+
+// stateFor is stateLocked for callers that already hold a connection (the
+// read loop's credit accounting); it returns nil only while stopping.
+func (t *Transport) stateFor(dst i2o.NodeID) *peer {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.closed.Load() {
+		return nil
+	}
+	return t.stateLocked(dst)
+}
+
+// peerFor returns dst's send state, creating it and starting its writer on
 // first use.  A peer is only created when dst is reachable: a known dial
 // address or an already-adopted connection.
 func (t *Transport) peerFor(dst i2o.NodeID) (*peer, error) {
@@ -408,8 +900,10 @@ func (t *Transport) peerFor(dst i2o.NodeID) (*peer, error) {
 				return nil, fmt.Errorf("%w: %v", ErrNoPeer, dst)
 			}
 		}
-		p = &peer{node: dst, q: ring.New[*i2o.Message](t.depth)}
-		t.peers[dst] = p
+		p = t.stateLocked(dst)
+	}
+	if !p.wstarted {
+		p.wstarted = true
 		t.wg.Add(1)
 		go t.writeLoop(p)
 	}
@@ -420,7 +914,10 @@ func (t *Transport) peerFor(dst i2o.NodeID) (*peer, error) {
 // write goes out in a single writev.  The scratch buffers (batch slice,
 // header arena, iovec) are reused across batches, so the steady state
 // allocates nothing.  On a broken connection the loop redials and resends
-// the frames the kernel never consumed, preserving order.
+// the frames the kernel never consumed, preserving order.  Credits owed to
+// the peer piggyback on the record words; abandoned frames do not refund
+// their senders' credits — abandonment means the connection is gone, and
+// dropConn already reset the window.
 func (t *Transport) writeLoop(p *peer) {
 	defer t.wg.Done()
 	var (
@@ -432,6 +929,7 @@ func (t *Transport) writeLoop(p *peer) {
 	)
 	for {
 		if len(pend) == 0 {
+			p.q.Done() // batch resolved: reopen the rendezvous gate
 			var closed bool
 			pend, closed = p.q.PopBatch(pend)
 			if len(pend) == 0 {
@@ -485,8 +983,8 @@ func (t *Transport) writeLoop(p *peer) {
 			continue
 		}
 
-		// Build the batch: for each frame a [len|header] slice from the
-		// arena, then the body — flat payload or SGL segments — appended
+		// Build the batch: for each frame a [record word|header] slice from
+		// the arena, then the body — flat payload or SGL segments — appended
 		// zero-copy, then padding.
 		if need := len(pend) * recordHeader; cap(hdr) < need {
 			hdr = make([]byte, 0, need)
@@ -500,11 +998,12 @@ func (t *Transport) writeLoop(p *peer) {
 			if err != nil {
 				hdr = hdr[:off]
 				t.nErrs.Inc()
+				p.refill(1) // unencodable frames never fly; undo their credit
 				m.Recycle()
 				continue
 			}
 			size := m.WireSize()
-			binary.LittleEndian.PutUint32(hdr[off:], uint32(size))
+			binary.LittleEndian.PutUint32(hdr[off:], i2o.PackRecordWord(size, t.claimOwed(p)))
 			hdr = hdr[:off+4+h]
 			vec = append(vec, hdr[off:off+4+h])
 			vec = m.AppendBody(vec)
@@ -517,7 +1016,9 @@ func (t *Transport) writeLoop(p *peer) {
 		}
 
 		bufs := net.Buffers(vec)
+		pc.writeMu.Lock()
 		n, err := bufs.WriteTo(pc.c)
+		pc.writeMu.Unlock()
 		// WriteTo consumes through the shared backing array; clear the
 		// leftover entries so the scratch iovec never pins payload blocks
 		// across batches.
@@ -544,11 +1045,42 @@ func (t *Transport) writeLoop(p *peer) {
 		t.nWrites.Inc()
 		t.nBatched.Add(uint64(len(pend)))
 		t.nSent.Add(uint64(len(pend)))
+		t.tuneThreshold(len(pend), int(n))
 		for _, m := range pend {
 			m.Recycle()
 		}
 		pend = pend[:0]
 		tries = 0
+	}
+}
+
+// tuneThreshold adapts the eager/rendezvous split to the writer's measured
+// batch shape (an EWMA over the batch.* metrics' inputs).  The signal is
+// frames per writev: when batches degenerate to one or two frames, the
+// ring hop amortizes nothing and the threshold halves so near-threshold
+// frames take the direct lane instead; when many frames share each
+// syscall again, the threshold doubles back toward its DefaultThreshold
+// ceiling.  The tuner is deliberately one-sided — it trims, it never
+// raises past the ceiling — and total batch bytes are deliberately not a
+// trigger: a byte-heavy batch of many small frames is coalescing at its
+// best, not a reason to divert traffic.  Mis-tuned states self-correct
+// within a few batches.
+func (t *Transport) tuneThreshold(frames, bytes int) {
+	if !t.autoTune {
+		return
+	}
+	af := t.avgFrames.Load()
+	af += (int64(frames)<<4 - af) >> 3
+	t.avgFrames.Store(af)
+	ab := t.avgBytes.Load()
+	ab += (int64(bytes)<<4 - ab) >> 3
+	t.avgBytes.Store(ab)
+	thr := t.thr.Load()
+	switch {
+	case af>>4 >= tuneFrameFloor && thr < DefaultThreshold:
+		t.thr.Store(thr << 1)
+	case af>>4 <= tuneFrameCeil && thr > thresholdMin:
+		t.thr.Store(thr >> 1)
 	}
 }
 
@@ -598,11 +1130,12 @@ func (t *Transport) failFrames(ms []*i2o.Message) {
 func (t *Transport) drainPeer(p *peer, scratch []*i2o.Message) {
 	items, _ := p.q.PopBatch(scratch)
 	t.failFrames(items)
+	p.q.Done()
 }
 
 // connTo returns the connection to dst, dialing if necessary.  Concurrent
-// callers (unbatched senders, or a writer racing the accept side) share a
-// single in-flight dial.
+// callers (bulk or unbatched senders, or a writer racing the accept side)
+// share a single in-flight dial.
 func (t *Transport) connTo(dst i2o.NodeID) (*peerConn, error) {
 	for {
 		t.mu.Lock()
@@ -650,15 +1183,12 @@ func (t *Transport) dial(dst i2o.NodeID, addr string) (*peerConn, error) {
 		return nil, fmt.Errorf("tcp: dial %v at %s: %w (%w)", dst, addr, err, pta.ErrTransient)
 	}
 	t.nDials.Inc()
-	// Send our identity, read theirs.
-	var hello [12]byte
-	copy(hello[:8], magic[:])
-	binary.LittleEndian.PutUint32(hello[8:], uint32(t.node))
-	if _, err := c.Write(hello[:]); err != nil {
+	// Send our identity and credit grant, read theirs.
+	if err := t.writeHello(c); err != nil {
 		c.Close()
-		return nil, fmt.Errorf("%w: %v", ErrHandshake, err)
+		return nil, err
 	}
-	peer, err := readHello(c)
+	peer, grant, err := readHello(c)
 	if err != nil {
 		c.Close()
 		return nil, err
@@ -667,18 +1197,31 @@ func (t *Transport) dial(dst i2o.NodeID, addr string) (*peerConn, error) {
 		c.Close()
 		return nil, fmt.Errorf("%w: dialed %v, got %v", ErrHandshake, dst, peer)
 	}
-	return t.adopt(peer, c, t.node)
+	return t.adopt(peer, grant, c, t.node)
 }
 
-func readHello(c net.Conn) (i2o.NodeID, error) {
-	var hello [12]byte
+func (t *Transport) writeHello(c net.Conn) error {
+	var hello [helloSize]byte
+	copy(hello[:8], magic[:])
+	binary.LittleEndian.PutUint32(hello[8:], uint32(t.node))
+	binary.LittleEndian.PutUint32(hello[12:], uint32(t.grant))
+	if _, err := c.Write(hello[:]); err != nil {
+		return fmt.Errorf("%w: %v", ErrHandshake, err)
+	}
+	return nil
+}
+
+func readHello(c net.Conn) (i2o.NodeID, uint32, error) {
+	var hello [helloSize]byte
 	if _, err := io.ReadFull(c, hello[:]); err != nil {
-		return 0, fmt.Errorf("%w: %v", ErrHandshake, err)
+		return 0, 0, fmt.Errorf("%w: %v", ErrHandshake, err)
 	}
 	if [8]byte(hello[:8]) != magic {
-		return 0, fmt.Errorf("%w: bad magic", ErrHandshake)
+		return 0, 0, fmt.Errorf("%w: bad magic", ErrHandshake)
 	}
-	return i2o.NodeID(binary.LittleEndian.Uint32(hello[8:])), nil
+	node := i2o.NodeID(binary.LittleEndian.Uint32(hello[8:]))
+	grant := binary.LittleEndian.Uint32(hello[12:])
+	return node, grant, nil
 }
 
 // adopt registers a live connection and starts its read loop.  On a
@@ -689,8 +1232,12 @@ func readHello(c net.Conn) (i2o.NodeID, error) {
 // kept (which churns connections until the race happens to resolve).  When
 // the same initiator shows up twice the newer stream wins: the initiator
 // only redials after dropping the old one, so the old one is dead.
-func (t *Transport) adopt(peer i2o.NodeID, c net.Conn, initiator i2o.NodeID) (*peerConn, error) {
-	pc := &peerConn{node: peer, initiator: initiator, c: c}
+//
+// Adoption also resets the peer's credit account to the fresh grant:
+// credits consumed or owed on the dead stream died with it, and both sides
+// re-grant on reconnect so the windows stay in agreement.
+func (t *Transport) adopt(peer i2o.NodeID, grant uint32, c net.Conn, initiator i2o.NodeID) (*peerConn, error) {
+	pc := &peerConn{node: peer, initiator: initiator, c: c, grant: grant}
 	t.mu.Lock()
 	if t.closed.Load() {
 		t.mu.Unlock()
@@ -710,10 +1257,20 @@ func (t *Transport) adopt(peer i2o.NodeID, c net.Conn, initiator i2o.NodeID) (*p
 		}
 		delete(t.conns, peer)
 		t.conns[peer] = pc
+		if p := t.peers[peer]; p != nil {
+			p.limit.Store(int64(grant))
+			p.credits.Store(int64(grant))
+			p.owed.Store(0)
+		}
 		t.mu.Unlock()
 		existing.c.Close() // its readLoop exits; dropConn is a no-op now
 	} else {
 		t.conns[peer] = pc
+		if p := t.peers[peer]; p != nil {
+			p.limit.Store(int64(grant))
+			p.credits.Store(int64(grant))
+			p.owed.Store(0)
+		}
 		t.mu.Unlock()
 	}
 	t.wg.Add(1)
@@ -732,11 +1289,21 @@ func (t *Transport) Conns() int {
 	return len(t.conns)
 }
 
+// dropConn retires a dead connection.  The credit account dies with the
+// stream: consumed credits whose frames were lost in flight would
+// otherwise leak the window shut — and an exhausted window with no live
+// connection would refuse every Send before anything redials, wedging the
+// link for good.  Resetting here is safe because the next handshake
+// re-grants both sides anyway.
 func (t *Transport) dropConn(pc *peerConn) {
 	t.mu.Lock()
 	dropped := t.conns[pc.node] == pc
 	if dropped {
 		delete(t.conns, pc.node)
+		if p := t.peers[pc.node]; p != nil {
+			p.credits.Store(p.limit.Load())
+			p.owed.Store(0)
+		}
 	}
 	t.mu.Unlock()
 	if dropped {
@@ -755,41 +1322,74 @@ func (t *Transport) acceptLoop() {
 		t.wg.Add(1)
 		go func() {
 			defer t.wg.Done()
-			peer, err := readHello(c)
+			peer, grant, err := readHello(c)
 			if err != nil {
 				c.Close()
 				return
 			}
-			var hello [12]byte
-			copy(hello[:8], magic[:])
-			binary.LittleEndian.PutUint32(hello[8:], uint32(t.node))
-			if _, err := c.Write(hello[:]); err != nil {
+			if err := t.writeHello(c); err != nil {
 				c.Close()
 				return
 			}
 			t.nAccs.Inc()
-			_, _ = t.adopt(peer, c, peer)
+			_, _ = t.adopt(peer, grant, c, peer)
 		}()
 	}
 }
 
+// recvBlock wraps one pooled receive block in the transport's credit
+// accounting: frames decoded from the block retain the wrapper instead of
+// the block, and every consumer Release recycles one frame back to the
+// pool and returns its credit to the sending peer right away.  Returning
+// per frame rather than per block keeps the window liquid — one long-held
+// frame (a pending request payload, say) must not pin the credits of the
+// thousands of short-lived frames its block also served.  One wrapper
+// serves the whole block, so the per-frame receive path stays
+// allocation-free.
+type recvBlock struct {
+	t    *Transport
+	p    *peer
+	buf  *pool.Buffer
+	refs atomic.Int64
+}
+
+func (b *recvBlock) Retain() { b.refs.Add(1) }
+
+// Release is the frame consumers' hook: one frame done, one credit back.
+// Retain/Release pairs beyond the decode-time reference (agent retries,
+// duplicated frames) over-return; the sender's window clamp absorbs that.
+func (b *recvBlock) Release() {
+	b.t.returnCredits(b.p, 1)
+	b.drop()
+}
+
+// drop releases a reference without a credit return — the read loop's own
+// block ownership is not a frame.
+func (b *recvBlock) drop() {
+	if b.refs.Add(-1) == 0 {
+		b.buf.Release()
+	}
+}
+
 // readLoop streams records out of one connection.  Bytes land in a 256 KB
-// pool block; frames decode in place and retain the block, so one block
-// backs every frame it holds and recycles itself when the last consumer
-// releases.  The loop rewinds the block only when it is the sole owner and
-// moves a partial record to a fresh block otherwise — delivered payloads
-// are never overwritten.
+// pool block; frames decode in place and retain the block (via its credit
+// wrapper), so one block backs every frame it holds and recycles itself
+// when the last consumer releases.  The loop rewinds the block only when
+// it is the sole owner and moves a partial record to a fresh block
+// otherwise — delivered payloads are never overwritten.  Credit returns
+// arriving on record words refill the send window toward this peer.
 func (t *Transport) readLoop(pc *peerConn) {
 	defer t.wg.Done()
 	defer t.dropConn(pc)
+	p := t.stateFor(pc.node) // nil only while stopping
 	var (
-		block      *pool.Buffer
+		rb         *recvBlock
 		data       []byte
 		start, end int
 	)
 	defer func() {
-		if block != nil {
-			block.Release()
+		if rb != nil {
+			rb.drop()
 		}
 	}()
 	newBlock := func() bool {
@@ -797,13 +1397,15 @@ func (t *Transport) readLoop(pc *peerConn) {
 		if err != nil {
 			return false
 		}
+		nrb := &recvBlock{t: t, p: p, buf: b}
+		nrb.refs.Store(1)
 		nd := b.Bytes()
 		n := 0
-		if block != nil {
+		if rb != nil {
 			n = copy(nd, data[start:end])
-			block.Release()
+			rb.drop()
 		}
-		block, data, start, end = b, nd, 0, n
+		rb, data, start, end = nrb, nd, 0, n
 		return true
 	}
 	if !newBlock() {
@@ -812,19 +1414,33 @@ func (t *Transport) readLoop(pc *peerConn) {
 	for {
 		// Decode every complete record in the block.
 		for end-start >= 4 {
-			size := int(binary.LittleEndian.Uint32(data[start:]))
+			size, cred := i2o.UnpackRecordWord(binary.LittleEndian.Uint32(data[start:]))
+			if size == 0 {
+				if cred == 0 {
+					return // all-zero word: protocol violation
+				}
+				// Standalone credit return.
+				if p != nil {
+					p.refill(int64(cred))
+				}
+				start += 4
+				continue
+			}
 			if size < i2o.StandardHeaderSize || size > i2o.MaxWireSize {
 				return // protocol violation; drop the connection
 			}
 			if end-start < 4+size {
 				break
 			}
+			if cred > 0 && p != nil {
+				p.refill(int64(cred)) // piggybacked return
+			}
 			m, _, err := i2o.DecodeAcquired(data[start+4 : start+4+size])
 			if err != nil {
 				return
 			}
-			block.Retain()
-			m.AttachBuffer(block)
+			rb.Retain()
+			m.AttachBuffer(rb)
 			start += 4 + size
 			fn := t.deliverFn()
 			if fn == nil {
@@ -838,7 +1454,7 @@ func (t *Transport) readLoop(pc *peerConn) {
 		}
 		// Make room for the next read.
 		if start == end {
-			if block.Refs() == 1 {
+			if rb.refs.Load() == 1 {
 				start, end = 0, 0 // sole owner: reuse in place
 			} else if end == len(data) {
 				if !newBlock() { // block pinned by in-flight frames
@@ -848,7 +1464,8 @@ func (t *Transport) readLoop(pc *peerConn) {
 		} else {
 			span := 4
 			if end-start >= 4 {
-				span = 4 + int(binary.LittleEndian.Uint32(data[start:]))
+				sz, _ := i2o.UnpackRecordWord(binary.LittleEndian.Uint32(data[start:]))
+				span = 4 + sz
 			}
 			if start+span > len(data) {
 				if !newBlock() { // partial record cannot complete in place

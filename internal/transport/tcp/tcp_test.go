@@ -162,7 +162,7 @@ func TestHandshakeRejectsBadMagic(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer c.Close()
-	if _, err := c.Write([]byte("BADMAGIC0000")); err != nil {
+	if _, err := c.Write([]byte("BADMAGIC00000000")); err != nil {
 		t.Fatal(err)
 	}
 	// The server must close the connection without handing back a hello.
@@ -191,11 +191,11 @@ func TestOversizeRecordDropsConnection(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer c.Close()
-	hello := append(append([]byte{}, magic[:]...), 9, 0, 0, 0)
+	hello := append(append([]byte{}, magic[:]...), 9, 0, 0, 0, 1, 0, 0, 0)
 	if _, err := c.Write(hello); err != nil {
 		t.Fatal(err)
 	}
-	var back [12]byte
+	var back [16]byte
 	if _, err := readFull(c, back[:]); err != nil {
 		t.Fatal(err)
 	}

@@ -271,7 +271,12 @@ func (n *Node) message(target TID, xfunc uint16, payload []byte) (*Message, erro
 }
 
 // ListenTCP attaches a TCP peer transport listening on addr and returns
-// the transport so peers can be added (and its bound address read).
+// the transport so peers can be added (and its bound address read).  The
+// transport runs with the package defaults: the eager/rendezvous switch
+// point auto-tunes below tcp.DefaultThreshold and each accepted peer is
+// granted tcp.DefaultCredits of send window.  To pin those knobs
+// (tcp.Config.Threshold, tcp.Config.Credits) build the transport with
+// tcp.New and register it on n.Agent directly.
 func (n *Node) ListenTCP(addr string) (*tcp.Transport, error) {
 	tr, err := tcp.New(n.Exec.Node(), n.Exec.Allocator(), tcp.Config{
 		Listen:  addr,
