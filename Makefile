@@ -5,7 +5,7 @@
 
 GO ?= go
 
-.PHONY: check build test vet race soak-short fuzz bench bench-remote bench-gate benchall
+.PHONY: check build test vet race soak-short fuzz bench bench-remote bench-cluster bench-gate benchall
 
 check: vet build test race soak-short
 
@@ -19,7 +19,7 @@ test:
 	$(GO) test ./...
 
 race:
-	$(GO) test -race ./internal/executive/ ./internal/queue/ ./internal/pta/ ./internal/metrics/ ./internal/health/ ./internal/transport/tcp/ ./internal/transport/gm/ ./internal/chaos/ ./internal/e2e/
+	$(GO) test -race ./internal/executive/ ./internal/queue/ ./internal/pta/ ./internal/metrics/ ./internal/health/ ./internal/transport/tcp/ ./internal/transport/gm/ ./internal/transport/shm/ ./internal/cluster/ ./internal/chaos/ ./internal/e2e/
 
 # soak-short is the CI face of the chaos harness (see doc/testing.md):
 # three short seeded soaks under the race detector, one per cluster shape —
@@ -56,6 +56,16 @@ bench:
 bench-remote:
 	$(GO) test -run '^$$' -bench 'Remote' -benchmem -count 5 -timeout 60m ./internal/transport/tcp/ \
 		| tee /dev/stderr | $(GO) run ./cmd/benchjson > BENCH_remote.json
+
+# bench-cluster runs the multi-process deployment benchmarks: each spawns
+# real child processes (internal/proc re-execs its test binary as cluster
+# members), so the numbers include genuine process-boundary costs —
+# cross-process request/reply latency over sockets, and shm-ring vs
+# loopback-TCP throughput for colocated processes.  Median of 5 runs, as
+# in bench-remote.
+bench-cluster:
+	$(GO) test -run '^$$' -bench 'Cluster' -benchmem -count 5 -timeout 30m ./internal/proc/ \
+		| tee /dev/stderr | $(GO) run ./cmd/benchjson > BENCH_cluster.json
 
 # bench-gate is the remote data-path regression gate: it fails if the
 # batched path delivers less throughput than the unbatched baseline at

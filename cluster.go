@@ -1,0 +1,357 @@
+package xdaq
+
+// Multi-process deployment: the public face of the cluster bootstrap
+// protocol (internal/cluster) and the transports that carry it.  A
+// process calls Join with a listen address and (unless it is the seed) a
+// rendezvous address; one ExecJoin round trip later it holds a Cluster
+// handle whose membership converges across every process.  Colocated
+// processes that share a ShmDir exchange frames over mmap'd rings
+// (internal/transport/shm) with their TCP routes as the health-monitored
+// fallback.  See doc/deployment.md for the process model and protocol.
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"xdaq/internal/cluster"
+	"xdaq/internal/pta"
+	"xdaq/internal/transport/shm"
+	"xdaq/internal/transport/tcp"
+)
+
+// Member is one cluster member's record: identity, listen address,
+// shared-memory directory and exported device table.
+type Member = cluster.Member
+
+// DeviceExport is one row of a member's exported device table.
+type DeviceExport = cluster.DeviceExport
+
+// Listener is a node's TCP peer-transport endpoint: the public wrapper
+// around the internal transport, so deployments never name internal
+// types.  It listens for peers, dials them on demand, and identifies
+// unknown peers by address (the cluster rendezvous handshake).
+type Listener struct {
+	n  *Node
+	tr *tcp.Transport
+}
+
+// Listen attaches a TCP peer transport listening on addr ("host:port";
+// port 0 picks an ephemeral port) and returns its Listener.  The
+// transport runs with the package defaults: the eager/rendezvous switch
+// point auto-tunes and each accepted peer is granted the default credit
+// window.
+func (n *Node) Listen(addr string) (*Listener, error) {
+	tr, err := tcp.New(n.Exec.Node(), n.Exec.Allocator(), tcp.Config{
+		Listen:  addr,
+		Metrics: n.Exec.Metrics(),
+	})
+	if err != nil {
+		return nil, err
+	}
+	if err := n.Agent.Register(tr, pta.Task); err != nil {
+		tr.Stop()
+		return nil, err
+	}
+	return &Listener{n: n, tr: tr}, nil
+}
+
+// Addr returns the bound listen address.
+func (l *Listener) Addr() string { return l.tr.Addr() }
+
+// Route returns the route name frames are forwarded under ("pt.tcp").
+func (l *Listener) Route() string { return l.tr.Name() }
+
+// AddPeer maps a remote node to its address and routes frames for it
+// over this listener's transport.
+func (l *Listener) AddPeer(node NodeID, addr string) {
+	l.tr.AddPeer(node, addr)
+	l.n.Exec.SetRoute(node, l.tr.Name())
+}
+
+// Identify dials addr, learns which node answers, adopts the connection
+// and routes that node over this listener.  It is AddPeer for a peer
+// whose identity is not known in advance — the seed rendezvous.
+func (l *Listener) Identify(ctx context.Context, addr string) (NodeID, error) {
+	node, err := l.tr.Identify(ctx, addr)
+	if err != nil {
+		return 0, timeoutErr(ctx, err)
+	}
+	l.n.Exec.SetRoute(node, l.tr.Name())
+	return node, nil
+}
+
+// ClusterConfig configures one Join call.
+type ClusterConfig struct {
+	// Node configures the local executive (identity, allocator,
+	// dispatchers...).  Node.Node must be unique in the cluster.
+	Node NodeOptions
+
+	// Listen is the TCP listen address; defaults to "127.0.0.1:0".
+	// Other members reach this process here, so cross-host deployments
+	// must use a routable address.
+	Listen string
+
+	// Seed is any live member's listen address.  Empty means this
+	// process starts the cluster (it is the seed others name).  After
+	// bootstrap all members are equal — any of them can admit joiners —
+	// so a restarted process may seed off any live member.
+	Seed string
+
+	// ShmDir, when set, attaches a shared-memory transport rooted at
+	// this directory.  Members reporting the same ShmDir are colocated:
+	// frames to them ride mmap'd rings with the TCP route as health
+	// fallback.  Use one fresh directory per cluster incarnation.
+	ShmDir string
+
+	// Health tunes the peer liveness monitor Join starts; nil selects
+	// the defaults (1s probes, threshold 3).  The monitor is what turns
+	// a crashed member into a membership eviction.
+	Health *HealthOptions
+
+	// NoHealth disables the liveness monitor, and with it
+	// eviction-on-down.
+	NoHealth bool
+
+	// Timeout bounds the bootstrap (identify + join round trip) when
+	// the caller's context has no deadline; defaults to 5s.
+	Timeout time.Duration
+
+	// Logf sinks cluster diagnostics; defaults to NodeOptions.Logf.
+	Logf func(format string, args ...any)
+}
+
+// Cluster is a process's handle on a running multi-process cluster.
+type Cluster struct {
+	node *Node
+	ln   *Listener
+	ms   *cluster.Membership
+
+	mu     sync.Mutex
+	shm    *shm.Transport
+	shmDir string
+	mon    *HealthMonitor
+}
+
+// Join builds a node, starts its listener (and shm transport, when
+// configured), and enters the cluster through cfg.Seed — or starts a new
+// cluster when Seed is empty.  The context bounds the bootstrap; expiry
+// surfaces as ErrTimeout.
+//
+//	cl, err := xdaq.Join(ctx, xdaq.ClusterConfig{
+//	    Node:   xdaq.NodeOptions{Name: "ru1", Node: 2},
+//	    Listen: "10.0.0.2:9002",
+//	    Seed:   "10.0.0.1:9001",
+//	})
+//
+// The join exchange carries each side's exported device table (the TiD
+// exchange), re-snapshotted every time a record is shared — so a device
+// plugged on any member before a peer joins appears behind a proxy on
+// that peer with no Discover round trip.  Devices plugged after the
+// last join are reachable through Discover as usual.
+func Join(ctx context.Context, cfg ClusterConfig) (*Cluster, error) {
+	if cfg.Timeout <= 0 {
+		cfg.Timeout = 5 * time.Second
+	}
+	if cfg.Logf == nil {
+		cfg.Logf = cfg.Node.Logf
+	}
+	node, err := NewNode(cfg.Node)
+	if err != nil {
+		return nil, err
+	}
+	listen := cfg.Listen
+	if listen == "" {
+		listen = "127.0.0.1:0"
+	}
+	ln, err := node.Listen(listen)
+	if err != nil {
+		node.Close()
+		return nil, fmt.Errorf("xdaq: join: %w", err)
+	}
+	c := &Cluster{node: node, ln: ln, shmDir: cfg.ShmDir}
+	if cfg.ShmDir != "" {
+		tr, err := shm.New(node.Exec.Node(), node.Exec.Allocator(), shm.Config{
+			Dir:     cfg.ShmDir,
+			Metrics: node.Exec.Metrics(),
+		})
+		if err != nil {
+			node.Close()
+			return nil, fmt.Errorf("xdaq: join: %w", err)
+		}
+		if err := node.Agent.Register(tr, pta.Task); err != nil {
+			tr.Stop()
+			node.Close()
+			return nil, fmt.Errorf("xdaq: join: %w", err)
+		}
+		c.shm = tr
+	}
+
+	ms, err := cluster.NewMembership(cluster.MembershipConfig{
+		Exec: node.Exec,
+		Self: Member{
+			Node: node.Exec.Node(),
+			Name: cfg.Node.Name,
+			Addr: ln.Addr(),
+			Shm:  cfg.ShmDir,
+		},
+		Wire:           c.wire,
+		RequestTimeout: cfg.Timeout,
+		Logf:           cfg.Logf,
+	})
+	if err != nil {
+		node.Close()
+		return nil, err
+	}
+	c.ms = ms
+
+	if cfg.Seed != "" {
+		bctx := ctx
+		if _, ok := ctx.Deadline(); !ok {
+			var cancel context.CancelFunc
+			bctx, cancel = context.WithTimeout(ctx, cfg.Timeout)
+			defer cancel()
+		}
+		// Retry the whole rendezvous until the bootstrap deadline:
+		// cluster processes start near-simultaneously, so the seed's
+		// listener may come up a beat after ours and the first dial
+		// lands on connection-refused.
+		for {
+			var seedNode NodeID
+			seedNode, err = ln.Identify(bctx, cfg.Seed)
+			if err == nil {
+				err = ms.Join(bctx, seedNode)
+			}
+			if err == nil {
+				break
+			}
+			select {
+			case <-bctx.Done():
+				c.teardown()
+				return nil, fmt.Errorf("xdaq: join: seed %s: %w", cfg.Seed, timeoutErr(bctx, err))
+			case <-time.After(100 * time.Millisecond):
+			}
+		}
+	}
+
+	if !cfg.NoHealth {
+		opts := HealthOptions{}
+		if cfg.Health != nil {
+			opts = *cfg.Health
+		}
+		if opts.Logf == nil {
+			opts.Logf = cfg.Logf
+		}
+		prev := opts.OnState
+		opts.OnState = func(peer NodeID, state PeerState) {
+			switch state {
+			case PeerDown:
+				ms.Evict(peer)
+			case PeerUp:
+				ms.Revive(peer)
+			}
+			if prev != nil {
+				prev(peer, state)
+			}
+		}
+		// Every already-wired colocated peer falls back to TCP.
+		if opts.Fallback == nil {
+			opts.Fallback = make(map[NodeID]string)
+		}
+		c.mu.Lock()
+		if c.shm != nil {
+			for _, m := range ms.Members() {
+				if m.Node != node.Exec.Node() && m.Shm == c.shmDir {
+					opts.Fallback[m.Node] = ln.Route()
+				}
+			}
+		}
+		mon := node.StartHealth(opts)
+		c.mon = mon
+		c.mu.Unlock()
+	}
+	return c, nil
+}
+
+// wire is the membership's fabric hook: connect a learned member and
+// return its route.
+func (c *Cluster) wire(m Member) (string, error) {
+	if m.Addr != "" {
+		c.ln.tr.AddPeer(m.Node, m.Addr)
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.shm != nil && m.Shm != "" && m.Shm == c.shmDir {
+		if err := c.shm.AddPeer(m.Node); err != nil {
+			return "", err
+		}
+		if c.mon != nil {
+			c.mon.SetFallback(m.Node, c.ln.Route())
+		}
+		return c.shm.Name(), nil
+	}
+	if m.Addr == "" {
+		return "", fmt.Errorf("xdaq: member %v has no address and no shared shm dir", m.Node)
+	}
+	return c.ln.Route(), nil
+}
+
+// Node returns the underlying node (plug devices, make calls).
+func (c *Cluster) Node() *Node { return c.node }
+
+// Listener returns the cluster's TCP endpoint (its Addr is what other
+// processes pass as Seed).
+func (c *Cluster) Listener() *Listener { return c.ln }
+
+// Members returns the current membership, sorted by node id.
+func (c *Cluster) Members() []Member { return c.ms.Members() }
+
+// Epoch returns the local membership epoch.
+func (c *Cluster) Epoch() uint64 { return c.ms.Epoch() }
+
+// WaitReady blocks until at least n members are known (including this
+// process).  Deadline expiry surfaces as ErrTimeout.
+func (c *Cluster) WaitReady(ctx context.Context, n int) error {
+	if err := c.ms.WaitReady(ctx, n); err != nil {
+		return timeoutErr(ctx, err)
+	}
+	return nil
+}
+
+// Leave announces a graceful departure to every member.  The node stays
+// usable (and may Join again); call Close to shut it down.
+func (c *Cluster) Leave(ctx context.Context) error {
+	return c.ms.Leave(ctx)
+}
+
+// Close tears the handle down: membership hooks first, then the node
+// (health monitor, transports, executive).  It does not announce a
+// leave — call Leave first for a graceful departure; a silent Close is
+// indistinguishable from a crash and costs the others a health
+// detection period.
+func (c *Cluster) Close() {
+	c.teardown()
+}
+
+func (c *Cluster) teardown() {
+	c.ms.Close()
+	c.node.Close()
+}
+
+// timeoutErr folds context expiry into the package's sentinel set: a
+// deadline that ran out becomes ErrTimeout (wrapped, so errors.Is sees
+// both).
+func timeoutErr(ctx context.Context, err error) error {
+	if err == nil {
+		return nil
+	}
+	if errors.Is(err, ErrTimeout) {
+		return err
+	}
+	if errors.Is(err, context.DeadlineExceeded) || (ctx != nil && errors.Is(ctx.Err(), context.DeadlineExceeded)) {
+		return fmt.Errorf("%w: %w", ErrTimeout, err)
+	}
+	return err
+}

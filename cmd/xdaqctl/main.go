@@ -5,21 +5,28 @@
 //
 // Examples:
 //
+//	xdaqctl -node 100 -join 127.0.0.1:9101 -e 'members; status 1'
 //	xdaqctl -node 100 -peer 1=127.0.0.1:9101 -e 'status 1'
 //	xdaqctl -node 100 -peer 1=... -peer 2=... -script setup.tcl
 //	echo 'resources 1' | xdaqctl -node 100 -peer 1=...
-//	xdaqctl -i -node 100 -peer 1=...          # interactive session
+//	xdaqctl -i -node 100 -join 127.0.0.1:9101          # interactive session
 //	xdaqctl -node 100 -peer 1=... -e 'metrics 1 exec.'   # scrape counters
 //	xdaqctl -node 100 -peer 1=... -e 'health 1'          # peer liveness
+//	xdaqctl -node 100 -join 127.0.0.1:9101 -e 'ebround 1000 2048'
 //
-// The cluster commands available in scripts are documented on
-// cluster.Controller.Bind: nodes, status, resources, plug, unplug,
-// enable, quiesce, clear, systab, paramget, paramset, trace, metrics,
-// health, control.
+// -join enters the cluster through any live member's address using the
+// bootstrap protocol and registers every member automatically; -peer
+// wires nodes statically by id and address.  The cluster commands
+// available in scripts are documented on cluster.Controller.Bind: nodes,
+// status, resources, plug, unplug, enable, quiesce, clear, systab,
+// paramget, paramset, trace, metrics, health, control — plus members
+// (the bootstrap membership view) and ebround (an event-builder round
+// across the cluster, with the builder unit hosted on the control node).
 package main
 
 import (
 	"bufio"
+	"context"
 	"flag"
 	"fmt"
 	"io"
@@ -27,9 +34,11 @@ import (
 	"os"
 	"strconv"
 	"strings"
+	"time"
 
 	"xdaq"
 	"xdaq/internal/cluster"
+	"xdaq/internal/daq"
 	"xdaq/internal/i2o"
 	_ "xdaq/internal/modules"
 	"xdaq/internal/tclish"
@@ -61,6 +70,7 @@ func (p peerList) Set(v string) error {
 func main() {
 	var (
 		node        = flag.Uint("node", 100, "the control host's own node identifier")
+		join        = flag.String("join", "", "cluster member address to join; members are registered automatically")
 		script      = flag.String("script", "", "tclish script file to run ('-' or empty reads stdin when -e is not given)")
 		inline      = flag.String("e", "", "inline tclish script")
 		interactive = flag.Bool("i", false, "interactive session: evaluate stdin line by line")
@@ -78,26 +88,42 @@ func main() {
 		}
 	}
 
-	host, err := xdaq.NewNode(xdaq.NodeOptions{
-		Name: "ctl",
-		Node: i2o.NodeID(*node),
-		Logf: func(string, ...any) {}, // control session: keep stdout for script output
+	quiet := func(string, ...any) {} // control session: keep stdout for script output
+	cl, err := xdaq.Join(context.Background(), xdaq.ClusterConfig{
+		Node: xdaq.NodeOptions{
+			Name: "ctl",
+			Node: i2o.NodeID(*node),
+			Logf: quiet,
+		},
+		Seed:     *join,
+		NoHealth: true, // a control session should not evict working nodes
+		Logf:     quiet,
 	})
 	if err != nil {
 		log.Fatalf("xdaqctl: %v", err)
 	}
-	defer host.Close()
+	defer cl.Close()
+	defer func() { // announce the departure so members drop us cleanly
+		ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+		defer cancel()
+		cl.Leave(ctx)
+	}()
+	host := cl.Node()
 
-	tr, err := host.ListenTCP("127.0.0.1:0")
-	if err != nil {
-		log.Fatalf("xdaqctl: %v", err)
-	}
 	ctl, err := cluster.NewPrimary(host.Exec)
 	if err != nil {
 		log.Fatalf("xdaqctl: %v", err)
 	}
+	for _, m := range cl.Members() {
+		if m.Node == host.Exec.Node() {
+			continue
+		}
+		if err := ctl.AddNode(m.Node, m.Name); err != nil {
+			log.Fatalf("xdaqctl: add member %d: %v", m.Node, err)
+		}
+	}
 	for peer, addr := range peers {
-		host.AddTCPPeer(tr, peer, addr)
+		cl.Listener().AddPeer(peer, addr)
 		if err := ctl.AddNode(peer, addr); err != nil {
 			log.Fatalf("xdaqctl: add node %d: %v", peer, err)
 		}
@@ -105,6 +131,7 @@ func main() {
 
 	interp := tclish.New(os.Stdout)
 	ctl.Bind(interp)
+	bindClusterCommands(interp, cl, ctl, host)
 
 	if *interactive {
 		repl(interp)
@@ -117,6 +144,107 @@ func main() {
 	if result != "" {
 		fmt.Println(result)
 	}
+}
+
+// bindClusterCommands adds the bootstrap-membership commands on top of
+// the controller's standard set.
+func bindClusterCommands(interp *tclish.Interp, cl *xdaq.Cluster, ctl *cluster.Controller, host *xdaq.Node) {
+	// members — one line per cluster member: node, name, addr, shm.
+	interp.Register("members", func(in *tclish.Interp, args []string) (string, error) {
+		var b strings.Builder
+		for _, m := range cl.Members() {
+			fmt.Fprintf(&b, "node %d name %q addr %q", m.Node, m.Name, m.Addr)
+			if m.Shm != "" {
+				fmt.Fprintf(&b, " shm %q", m.Shm)
+			}
+			b.WriteByte('\n')
+		}
+		return strings.TrimRight(b.String(), "\n"), nil
+	})
+
+	// ebround <events> <fragsize> ?pipeline? — run one event-builder
+	// round across the registered processing nodes: the EVM on the first
+	// node, a readout unit on each other node, and the builder unit here
+	// on the control host pulling fragments from all of them.
+	interp.Register("ebround", func(in *tclish.Interp, args []string) (string, error) {
+		if len(args) < 3 || len(args) > 4 {
+			return "", fmt.Errorf("tclish: usage: ebround <events> <fragsize> ?pipeline?")
+		}
+		events, err := strconv.ParseUint(args[1], 10, 64)
+		if err != nil || events == 0 {
+			return "", fmt.Errorf("tclish: bad event count %q", args[1])
+		}
+		fragSize, err := strconv.Atoi(args[2])
+		if err != nil || fragSize <= 0 {
+			return "", fmt.Errorf("tclish: bad fragment size %q", args[2])
+		}
+		pipeline := 8
+		if len(args) == 4 {
+			if pipeline, err = strconv.Atoi(args[3]); err != nil || pipeline <= 0 {
+				return "", fmt.Errorf("tclish: bad pipeline %q", args[3])
+			}
+		}
+		nodes := ctl.Nodes()
+		if len(nodes) < 2 {
+			return "", fmt.Errorf("tclish: ebround needs at least 2 processing nodes (EVM + RUs), have %d", len(nodes))
+		}
+		return ebround(cl, ctl, host, nodes, events, fragSize, pipeline)
+	})
+}
+
+// ebround plugs an EVM and RUs across the cluster, builds events into a
+// locally hosted BU, and unplugs everything again.
+func ebround(cl *xdaq.Cluster, ctl *cluster.Controller, host *xdaq.Node,
+	nodes []i2o.NodeID, events uint64, fragSize, pipeline int) (string, error) {
+	evmNode, ruNodes := nodes[0], nodes[1:]
+
+	evmTID, err := ctl.Plug(evmNode, "daq.evm", 0, []i2o.Param{{Key: "events", Value: int64(events)}})
+	if err != nil {
+		return "", fmt.Errorf("plug daq.evm on node %v: %w", evmNode, err)
+	}
+	defer ctl.Unplug(evmNode, evmTID)
+
+	ruTIDs := make([]i2o.TID, len(ruNodes))
+	for i, n := range ruNodes {
+		ruTIDs[i], err = ctl.Plug(n, "daq.ru", i, []i2o.Param{{Key: "fragsize", Value: int64(fragSize)}})
+		if err != nil {
+			return "", fmt.Errorf("plug daq.ru on node %v: %w", n, err)
+		}
+		defer func(n i2o.NodeID, id i2o.TID) { ctl.Unplug(n, id) }(n, ruTIDs[i])
+	}
+
+	// The BU lives on the control host and pulls across the wire.
+	bu := daq.NewBU(0)
+	buTID, err := host.Plug(bu.Device())
+	if err != nil {
+		return "", fmt.Errorf("plug local BU: %w", err)
+	}
+	defer host.Unplug(buTID)
+
+	evmProxy, err := host.Discover(evmNode, daq.EVMClass, 0)
+	if err != nil {
+		return "", fmt.Errorf("discover EVM: %w", err)
+	}
+	ruProxies := make([]i2o.TID, len(ruNodes))
+	for i, n := range ruNodes {
+		if ruProxies[i], err = host.Discover(n, daq.RUClass, i); err != nil {
+			return "", fmt.Errorf("discover RU on node %v: %w", n, err)
+		}
+	}
+	bu.Configure(evmProxy, ruProxies)
+
+	start := time.Now()
+	if _, err := bu.Start(0, pipeline); err != nil {
+		return "", err
+	}
+	stats, err := bu.Wait()
+	if err != nil {
+		return "", fmt.Errorf("event builder round: %w", err)
+	}
+	elapsed := time.Since(start)
+	return fmt.Sprintf("built %d events (%d corrupt) from %d RUs x %d B in %v: %.0f events/s, %.2f MB/s",
+		stats.Built, stats.Corrupt, len(ruNodes), fragSize, elapsed.Round(time.Millisecond),
+		float64(stats.Built)/elapsed.Seconds(), float64(stats.Bytes)/elapsed.Seconds()/1e6), nil
 }
 
 // repl evaluates stdin line by line, continuing across errors — the

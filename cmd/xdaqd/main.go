@@ -1,13 +1,20 @@
-// Command xdaqd runs one XDAQ processing node: an executive with a TCP
-// peer transport, ready to be configured and controlled by a primary host
-// (cmd/xdaqctl) through I2O executive messages.
+// Command xdaqd runs one XDAQ processing node as its own OS process: an
+// executive with a TCP peer transport (and optionally shared-memory rings
+// toward colocated processes), joined into a cluster through the
+// bootstrap protocol and ready to be configured and controlled by a
+// primary host (cmd/xdaqctl) through I2O executive messages.
 //
-// Example three-node cluster on one machine:
+// Example three-process cluster on one machine:
 //
-//	xdaqd -node 1 -listen 127.0.0.1:9101 -metrics 127.0.0.1:9190 &
-//	xdaqd -node 2 -listen 127.0.0.1:9102 -peer 1=127.0.0.1:9101 &
-//	xdaqctl -node 100 -peer 1=127.0.0.1:9101 -peer 2=127.0.0.1:9102 \
-//	        -e 'plug 1 echo 0; status 1'
+//	xdaqd -node 1 -listen 127.0.0.1:9101 &                  # the seed
+//	xdaqd -node 2 -listen 127.0.0.1:9102 -join 127.0.0.1:9101 &
+//	xdaqd -node 3 -listen 127.0.0.1:9103 -join 127.0.0.1:9101 &
+//	xdaqctl -node 100 -join 127.0.0.1:9101 -e 'members; status 1'
+//
+// Colocated processes that share a -shm directory exchange frames over
+// mmap'd rings instead of sockets, falling back to TCP if the rings fail.
+// The legacy -peer node=addr flag still wires static peers without the
+// bootstrap protocol.
 //
 // Modules available to ExecPlugin are those compiled in through the
 // module registry (see internal/modules): echo, daq.evm, daq.ru, daq.bu.
@@ -15,6 +22,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
@@ -25,6 +33,7 @@ import (
 	"strconv"
 	"strings"
 	"syscall"
+	"time"
 
 	"xdaq"
 	"xdaq/internal/executive"
@@ -65,37 +74,47 @@ func main() {
 		node    = flag.Uint("node", 1, "this IOP's node identifier")
 		name    = flag.String("name", "", "executive name (default: node<N>)")
 		listen  = flag.String("listen", "127.0.0.1:0", "TCP peer transport listen address")
+		join    = flag.String("join", "", "seed member address to join (empty: start a new cluster as the seed)")
+		shmDir  = flag.String("shm", "", "shared-memory ring directory for colocated processes (empty disables)")
 		metrics = flag.String("metrics", "", "HTTP metrics address, e.g. 127.0.0.1:9190 (empty disables)")
 		alloc   = flag.String("alloc", "table", "buffer pool scheme: table or fixed")
 		disp    = flag.Int("dispatchers", 0, "parallel dispatch workers (0 or 1: the single I2O loop)")
-		health  = flag.Duration("health", 0, "peer health probe interval, e.g. 1s (0 disables)")
+		health  = flag.Duration("health", 0, "peer health probe interval (0: the 1s default; negative disables)")
 		peers   = peerList{}
 		modules = moduleList{}
 	)
-	flag.Var(peers, "peer", "peer node as node=addr (repeatable)")
+	flag.Var(peers, "peer", "static peer as node=addr, wired without the bootstrap protocol (repeatable)")
 	flag.Var(&modules, "module", "module to plug at startup as name[:instance] (repeatable)")
 	flag.Parse()
 
 	if *name == "" {
 		*name = fmt.Sprintf("node%d", *node)
 	}
-	n, err := xdaq.NewNode(xdaq.NodeOptions{
-		Name:        *name,
-		Node:        i2o.NodeID(*node),
-		Allocator:   *alloc,
-		Dispatchers: *disp,
-	})
+	cfg := xdaq.ClusterConfig{
+		Node: xdaq.NodeOptions{
+			Name:        *name,
+			Node:        i2o.NodeID(*node),
+			Allocator:   *alloc,
+			Dispatchers: *disp,
+		},
+		Listen:   *listen,
+		Seed:     *join,
+		ShmDir:   *shmDir,
+		NoHealth: *health < 0,
+		Logf:     log.Printf,
+	}
+	if *health > 0 {
+		cfg.Health = &xdaq.HealthOptions{Interval: *health, Logf: log.Printf}
+	}
+	cl, err := xdaq.Join(context.Background(), cfg)
 	if err != nil {
 		log.Fatalf("xdaqd: %v", err)
 	}
-	defer n.Close()
+	defer cl.Close()
+	n := cl.Node()
 
-	tr, err := n.ListenTCP(*listen)
-	if err != nil {
-		log.Fatalf("xdaqd: %v", err)
-	}
 	for peer, addr := range peers {
-		n.AddTCPPeer(tr, peer, addr)
+		cl.Listener().AddPeer(peer, addr)
 	}
 	if *metrics != "" {
 		ln, err := net.Listen("tcp", *metrics)
@@ -132,16 +151,21 @@ func main() {
 		log.Printf("xdaqd: plugged %s as %v", spec, id)
 	}
 
-	if *health > 0 {
-		n.StartHealth(xdaq.HealthOptions{Interval: *health, Logf: log.Printf})
-		log.Printf("xdaqd: peer health monitor on, probing every %v", *health)
+	role := "seed"
+	if *join != "" {
+		role = fmt.Sprintf("joined via %s", *join)
 	}
-
-	log.Printf("xdaqd: node %d (%s) listening on %s; modules: %v",
-		*node, *name, tr.Addr(), executive.Modules())
+	log.Printf("xdaqd: node %d (%s) listening on %s (%s, %d members); modules: %v",
+		*node, *name, cl.Listener().Addr(), role, len(cl.Members()), executive.Modules())
 
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
 	<-sig
+	log.Printf("xdaqd: leaving cluster")
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+	defer cancel()
+	if err := cl.Leave(ctx); err != nil {
+		log.Printf("xdaqd: leave: %v", err)
+	}
 	log.Printf("xdaqd: shutting down")
 }

@@ -1,13 +1,16 @@
 package xdaq
 
 import (
+	"context"
 	"fmt"
+	"os"
 
 	"xdaq/internal/pta"
 	"xdaq/internal/transport/faults"
 	"xdaq/internal/transport/gm"
 	"xdaq/internal/transport/loopback"
 	"xdaq/internal/transport/pci"
+	"xdaq/internal/transport/shm"
 	"xdaq/internal/transport/tcp"
 )
 
@@ -53,6 +56,7 @@ func NewFaultInjector(seed int64) *FaultInjector { return faults.New(seed) }
 // ConnectConfig collects the options applied by Connect.  Fabrics read it
 // through their attach hook; users populate it with ConnectOption values.
 type ConnectConfig struct {
+	ctx         context.Context
 	nodes       []*Node
 	mode        Mode
 	modeSet     bool
@@ -144,7 +148,15 @@ type linker interface {
 // data and TCP for control) and fail routes over between them with
 // Node.StartHealth.
 func Connect(fabric Fabric, opts ...ConnectOption) error {
-	cfg := &ConnectConfig{}
+	return ConnectContext(context.Background(), fabric, opts...)
+}
+
+// ConnectContext is Connect bounded by a context: the deadline covers
+// the whole wiring pass (attach every node, link the fabric) and expiry
+// surfaces as ErrTimeout.  Fabrics whose links dial real sockets (Remote)
+// honor the deadline per dial as well.
+func ConnectContext(ctx context.Context, fabric Fabric, opts ...ConnectOption) error {
+	cfg := &ConnectConfig{ctx: ctx}
 	for _, opt := range opts {
 		opt(cfg)
 	}
@@ -152,13 +164,19 @@ func Connect(fabric Fabric, opts ...ConnectOption) error {
 		return fmt.Errorf("xdaq: Connect needs at least two nodes, got %d", len(cfg.nodes))
 	}
 	for _, n := range cfg.nodes {
+		if err := ctx.Err(); err != nil {
+			return timeoutErr(ctx, err)
+		}
 		if err := fabric.attach(n, cfg); err != nil {
-			return fmt.Errorf("xdaq: attach node %v to %s: %w", n.Exec.Node(), fabric.Name(), err)
+			return timeoutErr(ctx, fmt.Errorf("xdaq: attach node %v to %s: %w", n.Exec.Node(), fabric.Name(), err))
 		}
 	}
 	if lk, ok := fabric.(linker); ok {
+		if err := ctx.Err(); err != nil {
+			return timeoutErr(ctx, err)
+		}
 		if err := lk.link(cfg.nodes); err != nil {
-			return err
+			return timeoutErr(ctx, err)
 		}
 	}
 	for _, n := range cfg.nodes {
@@ -272,8 +290,8 @@ func (pf *pciFabric) attach(n *Node, cfg *ConnectConfig) error {
 
 // TCP returns a localhost TCP fabric: every node listens on an ephemeral
 // 127.0.0.1 port and dials its peers on demand.  For genuinely
-// distributed deployments use Node.ListenTCP and Node.AddTCPPeer with
-// real addresses instead.
+// distributed deployments use Remote with real addresses — or Join,
+// which bootstraps membership instead of wiring a fixed node set.
 func TCP() Fabric { return &tcpFabric{trs: make(map[*Node]*tcp.Transport)} }
 
 type tcpFabric struct {
@@ -313,38 +331,108 @@ func (tf *tcpFabric) link(nodes []*Node) error {
 	return nil
 }
 
-// ConnectLoopback wires the given nodes over an in-process loopback
-// fabric.
-//
-// Deprecated: Use Connect(Loopback(), Nodes(nodes...)).
-func ConnectLoopback(nodes ...*Node) error {
-	return Connect(Loopback(), Nodes(nodes...))
+// Shm returns a shared-memory fabric: every pair of nodes exchanges
+// frames over mmap'd descriptor rings rooted at dir (one file per
+// direction per pair).  An empty dir creates a fresh temporary directory.
+// Within one process Loopback is cheaper; Shm is the colocated-process
+// transport — this fabric form exists so single-process tests and
+// benchmarks can exercise the exact cross-process data path.
+func Shm(dir string) Fabric { return &shmFabric{dir: dir, trs: make(map[*Node]*shm.Transport)} }
+
+type shmFabric struct {
+	dir string
+	trs map[*Node]*shm.Transport
 }
 
-// GMOptions tunes ConnectGM.
-//
-// Deprecated: Use WithMode and WithProvide options to Connect.
-type GMOptions struct {
-	// Mode selects task (default) or polling PT operation.
-	Mode Mode
+func (sf *shmFabric) Name() string { return shm.PTName }
 
-	// Provide is the number of receive blocks each PT keeps posted.
-	Provide int
+func (sf *shmFabric) attach(n *Node, cfg *ConnectConfig) error {
+	if sf.dir == "" {
+		dir, err := os.MkdirTemp("", "xdaq-shm-")
+		if err != nil {
+			return err
+		}
+		sf.dir = dir
+	}
+	tr, err := shm.New(n.Exec.Node(), n.Exec.Allocator(), shm.Config{
+		Dir:     sf.dir,
+		Metrics: n.Exec.Metrics(),
+	})
+	if err != nil {
+		return err
+	}
+	if cfg.faults != nil {
+		tr.SetFaults(cfg.faults)
+	}
+	if err := n.Agent.Register(tr, cfg.modeOr(ModeTask)); err != nil {
+		tr.Stop()
+		return err
+	}
+	sf.trs[n] = tr
+	return nil
 }
 
-// ConnectGM wires the given nodes over a simulated Myrinet/GM fabric with
-// one NIC per node (port = node id).
-//
-// Deprecated: Use Connect(GM(), Nodes(nodes...), ...).
-func ConnectGM(opts GMOptions, nodes ...*Node) error {
-	return Connect(GM(), Nodes(nodes...),
-		WithMode(opts.Mode), WithProvide(opts.Provide))
+func (sf *shmFabric) link(nodes []*Node) error {
+	for _, n := range nodes {
+		tr := sf.trs[n]
+		for _, peer := range nodes {
+			if n != peer {
+				if err := tr.AddPeer(peer.Exec.Node()); err != nil {
+					return err
+				}
+			}
+		}
+	}
+	return nil
 }
 
-// ConnectPCI wires the given nodes over a simulated PCI bus segment with
-// message-unit FIFOs of the given depth (0 selects the default).
-//
-// Deprecated: Use Connect(PCI(depth), Nodes(nodes...)).
-func ConnectPCI(depth int, nodes ...*Node) error {
-	return Connect(PCI(depth), Nodes(nodes...))
+// Remote returns a TCP fabric bound to real addresses: each node listens
+// on addrs[node id] ("host:port"; missing entries default to
+// "127.0.0.1:0") and the link pass exchanges the bound addresses.  It is
+// the Connect-style counterpart to Join for deployments that wire a
+// fixed node set explicitly instead of running the bootstrap protocol.
+func Remote(addrs map[NodeID]string) Fabric {
+	return &remoteFabric{addrs: addrs, trs: make(map[*Node]*tcp.Transport)}
+}
+
+type remoteFabric struct {
+	addrs map[NodeID]string
+	trs   map[*Node]*tcp.Transport
+}
+
+func (rf *remoteFabric) Name() string { return tcp.PTName }
+
+func (rf *remoteFabric) attach(n *Node, cfg *ConnectConfig) error {
+	listen := rf.addrs[n.Exec.Node()]
+	if listen == "" {
+		listen = "127.0.0.1:0"
+	}
+	tr, err := tcp.New(n.Exec.Node(), n.Exec.Allocator(), tcp.Config{
+		Listen:  listen,
+		Metrics: n.Exec.Metrics(),
+	})
+	if err != nil {
+		return err
+	}
+	if cfg.faults != nil {
+		tr.SetFaults(cfg.faults)
+	}
+	if err := n.Agent.Register(tr, cfg.modeOr(ModeTask)); err != nil {
+		tr.Stop()
+		return err
+	}
+	rf.trs[n] = tr
+	return nil
+}
+
+func (rf *remoteFabric) link(nodes []*Node) error {
+	for _, n := range nodes {
+		tr := rf.trs[n]
+		for _, peer := range nodes {
+			if n != peer {
+				tr.AddPeer(peer.Exec.Node(), rf.trs[peer].Addr())
+			}
+		}
+	}
+	return nil
 }

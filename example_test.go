@@ -72,6 +72,51 @@ func ExampleNode_CallContext() {
 	// Output: request timed out
 }
 
+// ExampleJoin shows the multi-process deployment path: each Join call
+// here would normally live in its own OS process (see cmd/xdaqd).  The
+// first process seeds the cluster; later ones rendezvous at any live
+// member's listen address, exchange TiD tables, and converge on the same
+// membership.
+func ExampleJoin() {
+	ctx := context.Background()
+	seed, err := xdaq.Join(ctx, xdaq.ClusterConfig{
+		Node: xdaq.NodeOptions{Name: "seed", Node: 1, Logf: func(string, ...any) {}},
+	})
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	defer seed.Close()
+
+	echo := xdaq.NewDevice("echo", 0)
+	echo.Bind(1, func(ctx *xdaq.Context, m *xdaq.Message) error {
+		return xdaq.ReplyIfExpected(ctx, m, m.Payload)
+	})
+	seed.Node().Plug(echo)
+
+	worker, err := xdaq.Join(ctx, xdaq.ClusterConfig{
+		Node: xdaq.NodeOptions{Name: "worker", Node: 2, Logf: func(string, ...any) {}},
+		Seed: seed.Listener().Addr(),
+	})
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	defer worker.Close()
+
+	worker.WaitReady(ctx, 2)
+	fmt.Println("members:", len(worker.Members()))
+
+	// The join exchange carried the seed's device table: Resolve finds
+	// the echo proxy with no Discover round trip.
+	target, _ := worker.Node().Resolve("echo", 0, 1)
+	reply, _ := worker.Node().Call(target, 1, []byte("over the wire"))
+	fmt.Printf("%s\n", reply)
+	// Output:
+	// members: 2
+	// over the wire
+}
+
 // ExampleNode_Send shows fire-and-forget messaging: no reply is expected,
 // the frame is dispatched to the bound handler and that is all.
 func ExampleNode_Send() {

@@ -40,7 +40,13 @@ type HealthOptions struct {
 
 	// Fallback maps peers to a backup route name (e.g. "pt.tcp") tried
 	// when the threshold is crossed, before the peer is declared down.
+	// Peers learned later are added with HealthMonitor.SetFallback.
 	Fallback map[NodeID]string
+
+	// OnState, when set, is called after every peer state transition
+	// (up↔suspect↔down), outside the monitor's lock.  Join uses it to
+	// evict down peers from the membership and re-admit recovered ones.
+	OnState func(node NodeID, state PeerState)
 
 	// Logf sinks state-transition diagnostics; nil silences them.
 	Logf func(format string, args ...any)
@@ -60,6 +66,7 @@ func (n *Node) StartHealth(opts HealthOptions) *HealthMonitor {
 		Timeout:   opts.Timeout,
 		Threshold: opts.Threshold,
 		Fallback:  opts.Fallback,
+		OnState:   opts.OnState,
 		Logf:      opts.Logf,
 	})
 	if old := n.health.Swap(mon); old != nil {

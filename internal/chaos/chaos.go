@@ -24,6 +24,7 @@
 package chaos
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"strings"
@@ -31,6 +32,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"xdaq/internal/cluster"
 	"xdaq/internal/executive"
 	"xdaq/internal/health"
 	"xdaq/internal/i2o"
@@ -125,6 +127,7 @@ type Node struct {
 	Exec  *executive.Executive
 	Agent *pta.Agent
 	Mon   *health.Monitor
+	MS    *cluster.Membership
 	TCP   *tcp.Transport
 	GM    *gm.Transport
 	LB    *loopback.Endpoint
@@ -489,7 +492,31 @@ func build(o Options) (*Cluster, error) {
 		}
 	}
 
+	// Membership: the bootstrap protocol rides the fabric under test.
+	// Node 1 seeds; everyone else joins through it over the already-wired
+	// routes (no Wire callback needed in-process).
+	for _, n := range c.Nodes {
+		ms, err := cluster.NewMembership(cluster.MembershipConfig{
+			Exec: n.Exec,
+			Self: cluster.Member{Name: fmt.Sprintf("chaos%d", n.ID)},
+		})
+		if err != nil {
+			return fail(err)
+		}
+		n.MS = ms
+	}
+	for _, n := range c.Nodes[1:] {
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		err := n.MS.Join(ctx, c.Nodes[0].ID)
+		cancel()
+		if err != nil {
+			return fail(fmt.Errorf("membership join from node %d: %w", n.ID, err))
+		}
+	}
+
 	// Health monitors with TCP fallback guard the kill/failover scenarios.
+	// A peer declared down is evicted from the membership; a recovered one
+	// is re-admitted — the membership checker audits this coupling.
 	if o.Fabric == "gm+tcp" {
 		for _, n := range c.Nodes {
 			fb := make(map[i2o.NodeID]string)
@@ -498,9 +525,18 @@ func build(o Options) (*Cluster, error) {
 					fb[p.ID] = tcp.PTName
 				}
 			}
+			ms := n.MS
 			n.Mon = health.New(n.Exec, health.Config{
 				Interval: 25 * time.Millisecond, Timeout: 60 * time.Millisecond,
 				Threshold: 3, Fallback: fb,
+				OnState: func(node i2o.NodeID, s health.State) {
+					switch s {
+					case health.Down:
+						ms.Evict(node)
+					case health.Up:
+						ms.Revive(node)
+					}
+				},
 			})
 		}
 	}
@@ -670,6 +706,9 @@ func (c *Cluster) shutdown() {
 	for _, n := range c.Nodes {
 		if n.Mon != nil {
 			n.Mon.Close()
+		}
+		if n.MS != nil {
+			n.MS.Close()
 		}
 	}
 	for _, n := range c.Nodes {

@@ -35,6 +35,8 @@ type Checker interface {
 //   - routes: every proxy entry names a registered peer transport, never a
 //     killed one, and agrees with the executive's per-node route;
 //   - health: every monitored peer settles back to Up;
+//   - membership: each node's bootstrap-protocol member set agrees with
+//     its own health consensus — peers up are members, peers down are not;
 //   - workload: the storm actually exercised the cluster.
 func DefaultCheckers() []Checker {
 	return []Checker{
@@ -44,6 +46,7 @@ func DefaultCheckers() []Checker {
 		queueChecker{},
 		routesChecker{},
 		healthChecker{},
+		membershipChecker{},
 		workloadChecker{},
 	}
 }
@@ -296,6 +299,48 @@ func (healthChecker) Check(c *Cluster) []string {
 				out = append(out, fmt.Sprintf(
 					"node %d never saw node %d come back up (state %v)",
 					n.ID, p.ID, n.Mon.State(p.ID)))
+			}
+		}
+	}
+	return out
+}
+
+// membershipChecker verifies the bootstrap-protocol membership agrees
+// with health at every quiescent point: a peer the local monitor sees Up
+// (or is not monitoring) must be in the member set, a peer it sees Down
+// must not be.  The coupling is eventually consistent — eviction and
+// re-admission ride the health transitions — so the checker waits
+// (bounded) for each pair to converge.
+type membershipChecker struct{}
+
+func (membershipChecker) Name() string { return "membership-consensus" }
+
+func (membershipChecker) Check(c *Cluster) []string {
+	var out []string
+	for _, n := range c.Nodes {
+		if n.MS == nil {
+			continue
+		}
+		for _, p := range c.Nodes {
+			if p == n {
+				continue
+			}
+			agreed := waitTrue(2*time.Second, func() bool {
+				_, member := n.MS.Lookup(p.ID)
+				if n.Mon == nil {
+					return member
+				}
+				return member == (n.Mon.State(p.ID) != health.Down)
+			})
+			if !agreed {
+				_, member := n.MS.Lookup(p.ID)
+				state := "unmonitored"
+				if n.Mon != nil {
+					state = n.Mon.State(p.ID).String()
+				}
+				out = append(out, fmt.Sprintf(
+					"node %d: membership disagrees with health for node %d: member=%v, health=%s",
+					n.ID, p.ID, member, state))
 			}
 		}
 	}

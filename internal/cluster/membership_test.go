@@ -1,0 +1,320 @@
+package cluster
+
+import (
+	"context"
+	"testing"
+	"time"
+
+	"xdaq/internal/device"
+	"xdaq/internal/executive"
+	"xdaq/internal/i2o"
+	"xdaq/internal/pta"
+	"xdaq/internal/transport/loopback"
+)
+
+// memberNode is one in-process cluster member: executive + loopback
+// endpoint + membership manager.  Routes are NOT pre-wired; the
+// membership Wire callback installs them, like a real deployment.
+type memberNode struct {
+	exec  *executive.Executive
+	agent *pta.Agent
+	ms    *Membership
+}
+
+func buildMember(t *testing.T, fabric *loopback.Fabric, id i2o.NodeID) *memberNode {
+	t.Helper()
+	e := executive.New(executive.Options{
+		Name: "m", Node: id,
+		RequestTimeout: 2 * time.Second,
+		Logf:           func(string, ...any) {},
+	})
+	agent, err := pta.New(e)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ep, err := fabric.Attach(id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := agent.Register(ep, pta.Task); err != nil {
+		t.Fatal(err)
+	}
+	n := &memberNode{exec: e, agent: agent}
+	t.Cleanup(func() {
+		agent.Close()
+		e.Close()
+	})
+	return n
+}
+
+// startMembership installs a manager whose Wire callback routes members
+// over the loopback fabric.
+func startMembership(t *testing.T, n *memberNode, name string) *Membership {
+	t.Helper()
+	ms, err := NewMembership(MembershipConfig{
+		Exec: n.exec,
+		Self: Member{Name: name},
+		Wire: func(Member) (string, error) { return loopback.DefaultName, nil },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	n.ms = ms
+	t.Cleanup(ms.Close)
+	return ms
+}
+
+func plugEchoDevice(t *testing.T, e *executive.Executive) i2o.TID {
+	t.Helper()
+	d := device.New("echo", 0)
+	d.Bind(1, func(ctx *device.Context, m *i2o.Message) error {
+		return device.ReplyIfExpected(ctx, m, append([]byte(nil), m.Payload...))
+	})
+	id, err := e.Plug(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return id
+}
+
+func waitMembers(t *testing.T, ms *Membership, want int) {
+	t.Helper()
+	ctx, cancel := context.WithTimeout(context.Background(), 3*time.Second)
+	defer cancel()
+	if err := ms.WaitReady(ctx, want); err != nil {
+		t.Fatalf("membership never reached %d members: %v (have %v)", want, err, ms.Members())
+	}
+}
+
+// TestJoinPropagates checks the full bootstrap flow: B joins via seed A,
+// then C joins via seed A; every member converges on all three, including
+// B and C learning about each other only through A's pushes.
+func TestJoinPropagates(t *testing.T) {
+	fabric := loopback.NewFabric()
+	a := buildMember(t, fabric, 1)
+	b := buildMember(t, fabric, 2)
+	c := buildMember(t, fabric, 3)
+	msA := startMembership(t, a, "a")
+	msB := startMembership(t, b, "b")
+	msC := startMembership(t, c, "c")
+
+	// Joiners need a route to the seed before the first request (the
+	// xdaq layer does this with tcp Identify).
+	b.exec.SetRoute(1, loopback.DefaultName)
+	c.exec.SetRoute(1, loopback.DefaultName)
+
+	ctx := context.Background()
+	if err := msB.Join(ctx, 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := msC.Join(ctx, 1); err != nil {
+		t.Fatal(err)
+	}
+	for _, ms := range []*Membership{msA, msB, msC} {
+		waitMembers(t, ms, 3)
+		got := ms.Members()
+		if len(got) != 3 || got[0].Node != 1 || got[1].Node != 2 || got[2].Node != 3 {
+			t.Fatalf("members = %+v", got)
+		}
+	}
+	if msA.Epoch() < 3 {
+		t.Fatalf("seed epoch %d, want >= 3 after two joins", msA.Epoch())
+	}
+}
+
+// TestTiDExchange verifies the join reply carries exported devices and
+// that the joiner can call them through the auto-created proxies with no
+// Discover round trip.
+func TestTiDExchange(t *testing.T) {
+	fabric := loopback.NewFabric()
+	a := buildMember(t, fabric, 1)
+	b := buildMember(t, fabric, 2)
+	echoTID := plugEchoDevice(t, a.exec) // plugged before membership starts
+	msA := startMembership(t, a, "a")
+	msB := startMembership(t, b, "b")
+	_ = msA
+
+	b.exec.SetRoute(1, loopback.DefaultName)
+	if err := msB.Join(context.Background(), 1); err != nil {
+		t.Fatal(err)
+	}
+
+	// The seed's record in B's membership lists the echo device.
+	m, ok := msB.Lookup(1)
+	if !ok {
+		t.Fatal("seed not in members")
+	}
+	found := false
+	for _, d := range m.Devices {
+		if d.Class == "echo" && d.Instance == 0 && d.TID == echoTID {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("echo device not exported: %+v", m.Devices)
+	}
+
+	// Resolve works immediately — the proxy was created by the merge.
+	proxy, err := b.exec.Resolve("echo", 0, 1)
+	if err != nil {
+		t.Fatalf("resolve after join: %v", err)
+	}
+	req, err := b.exec.AllocMessage(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	copy(req.Payload, "ping")
+	req.Target = proxy
+	req.Initiator = i2o.TIDExecutive
+	req.Function = i2o.FuncPrivate
+	req.Org = i2o.OrgXDAQ
+	req.XFunction = 1
+	rep, err := b.exec.Request(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(rep.Payload) != "ping" {
+		t.Fatalf("echo = %q", rep.Payload)
+	}
+	rep.Recycle()
+}
+
+// TestLeave checks the graceful departure: every member drops the leaver
+// and marks it down; a rejoin re-admits it.
+func TestLeave(t *testing.T) {
+	fabric := loopback.NewFabric()
+	a := buildMember(t, fabric, 1)
+	b := buildMember(t, fabric, 2)
+	c := buildMember(t, fabric, 3)
+	msA := startMembership(t, a, "a")
+	msB := startMembership(t, b, "b")
+	msC := startMembership(t, c, "c")
+
+	b.exec.SetRoute(1, loopback.DefaultName)
+	c.exec.SetRoute(1, loopback.DefaultName)
+	ctx := context.Background()
+	if err := msB.Join(ctx, 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := msC.Join(ctx, 1); err != nil {
+		t.Fatal(err)
+	}
+	waitMembers(t, msA, 3)
+	waitMembers(t, msB, 3)
+	waitMembers(t, msC, 3)
+
+	if err := msC.Leave(ctx); err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(2 * time.Second)
+	for {
+		if len(msA.Members()) == 2 && len(msB.Members()) == 2 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("leave did not propagate: a=%v b=%v", msA.Members(), msB.Members())
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	if !a.exec.PeerDown(3) {
+		t.Fatal("left peer not marked down on a")
+	}
+	if got := len(msC.Members()); got != 1 {
+		t.Fatalf("leaver still sees %d members", got)
+	}
+
+	// Rejoin through B this time (any member is a rendezvous).
+	c.exec.SetRoute(2, loopback.DefaultName)
+	if err := msC.Join(ctx, 2); err != nil {
+		t.Fatal(err)
+	}
+	waitMembers(t, msA, 3)
+	waitMembers(t, msB, 3)
+	waitMembers(t, msC, 3)
+	if a.exec.PeerDown(3) {
+		t.Fatal("rejoined peer still marked down on a")
+	}
+}
+
+// TestEvictAndRevive drives the health-integration surface directly.
+func TestEvictAndRevive(t *testing.T) {
+	fabric := loopback.NewFabric()
+	a := buildMember(t, fabric, 1)
+	b := buildMember(t, fabric, 2)
+	msA := startMembership(t, a, "a")
+	msB := startMembership(t, b, "b")
+	_ = msB
+
+	b.exec.SetRoute(1, loopback.DefaultName)
+	if err := msB.Join(context.Background(), 1); err != nil {
+		t.Fatal(err)
+	}
+	waitMembers(t, msA, 2)
+
+	msA.Evict(2)
+	if got := len(msA.Members()); got != 1 {
+		t.Fatalf("after evict: %d members", got)
+	}
+	if !a.exec.PeerDown(2) {
+		t.Fatal("evicted peer not marked down")
+	}
+
+	msA.Revive(2)
+	if got := len(msA.Members()); got != 2 {
+		t.Fatalf("after revive: %d members", got)
+	}
+	m, _ := msA.Lookup(2)
+	if m.Name != "b" {
+		t.Fatalf("revived record lost: %+v", m)
+	}
+}
+
+// TestJoinWithoutManagerFails checks a joiner dialing a non-cluster node
+// gets a clean failure, not a timeout.
+func TestJoinWithoutManagerFails(t *testing.T) {
+	fabric := loopback.NewFabric()
+	a := buildMember(t, fabric, 1) // no membership manager
+	b := buildMember(t, fabric, 2)
+	msB := startMembership(t, b, "b")
+	_ = a
+
+	b.exec.SetRoute(1, loopback.DefaultName)
+	ctx, cancel := context.WithTimeout(context.Background(), time.Second)
+	defer cancel()
+	if err := msB.Join(ctx, 1); err == nil {
+		t.Fatal("join against bare node succeeded")
+	}
+}
+
+// TestMemberListRoundTrip exercises the wire codec with dotted classes
+// and multiple members.
+func TestMemberListRoundTrip(t *testing.T) {
+	in := []Member{
+		{Node: 1, Name: "a", Addr: "127.0.0.1:9001", Shm: "/dev/shm/x", Devices: []DeviceExport{
+			{Class: "daq.evm", Instance: 0, TID: 5},
+			{Class: "echo", Instance: 2, TID: 9},
+		}},
+		{Node: 7, Name: "b", Devices: nil},
+	}
+	params := encodeMemberList(42, in)
+	payload, err := i2o.EncodeParams(params)
+	if err != nil {
+		t.Fatal(err)
+	}
+	epoch, out, err := decodeMemberList(payload)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if epoch != 42 {
+		t.Fatalf("epoch = %d", epoch)
+	}
+	if len(out) != 2 || out[0].Node != 1 || out[1].Node != 7 {
+		t.Fatalf("members = %+v", out)
+	}
+	if out[0].Addr != in[0].Addr || out[0].Shm != in[0].Shm || out[0].Name != "a" {
+		t.Fatalf("member 1 = %+v", out[0])
+	}
+	if len(out[0].Devices) != 2 || out[0].Devices[0].Class != "daq.evm" || out[0].Devices[1].TID != 9 {
+		t.Fatalf("devices = %+v", out[0].Devices)
+	}
+}

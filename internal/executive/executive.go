@@ -136,6 +136,9 @@ type Executive struct {
 	healthMu     sync.RWMutex
 	healthSource func() []i2o.Param
 
+	memberMu   sync.RWMutex
+	memberHook func(fn i2o.Function, params []i2o.Param) ([]i2o.Param, error)
+
 	timerMu  sync.Mutex
 	timers   map[uint32]*time.Timer
 	timerSeq atomic.Uint32
@@ -546,6 +549,19 @@ func (e *Executive) SetHealthSource(fn func() []i2o.Param) {
 	e.healthMu.Lock()
 	e.healthSource = fn
 	e.healthMu.Unlock()
+}
+
+// SetMembershipHandler installs the callback behind ExecJoin and
+// ExecPeerList, normally the cluster membership manager's message hook.
+// The handler receives the function code and the request's decoded
+// parameter list and returns the reply's parameters.  Like
+// SetHealthSource, the indirection keeps the executive free of
+// cluster-layer knowledge; without a handler installed, join attempts are
+// answered with a failure reply.  Nil uninstalls.
+func (e *Executive) SetMembershipHandler(fn func(i2o.Function, []i2o.Param) ([]i2o.Param, error)) {
+	e.memberMu.Lock()
+	e.memberHook = fn
+	e.memberMu.Unlock()
 }
 
 // Plug registers a device module, assigns it a TiD and enables it.  This

@@ -39,6 +39,8 @@ func newSelfDevice(e *Executive) *device.Device {
 		return device.ReplyIfExpected(ctx, m, nil)
 	})
 	d.BindFunction(i2o.ExecHealthGet, e.handleHealthGet)
+	d.BindFunction(i2o.ExecJoin, e.handleMembership)
+	d.BindFunction(i2o.ExecPeerList, e.handleMembership)
 	d.BindFunction(i2o.ExecOutboundInit, func(ctx *device.Context, m *i2o.Message) error {
 		// Queues are initialized at construction; the code exists so hosts
 		// following the I2O bring-up sequence get a success reply.
@@ -264,6 +266,34 @@ func (e *Executive) handleHealthGet(ctx *device.Context, m *i2o.Message) error {
 	payload, err := i2o.EncodeParams(params)
 	if err != nil {
 		return err
+	}
+	return device.ReplyIfExpected(ctx, m, payload)
+}
+
+// handleMembership forwards ExecJoin and ExecPeerList frames to the
+// installed membership manager (see SetMembershipHandler).  A node with
+// no manager fails the request — a joiner dialing a non-cluster node gets
+// a clean failure reply instead of a timeout.
+func (e *Executive) handleMembership(ctx *device.Context, m *i2o.Message) error {
+	e.memberMu.RLock()
+	hook := e.memberHook
+	e.memberMu.RUnlock()
+	if hook == nil {
+		return fmt.Errorf("executive: %v: no membership manager on node %v", m.Function, e.Node())
+	}
+	params, err := i2o.DecodeParams(m.Payload)
+	if err != nil {
+		return err
+	}
+	out, err := hook(m.Function, params)
+	if err != nil {
+		return err
+	}
+	var payload []byte
+	if len(out) > 0 {
+		if payload, err = i2o.EncodeParams(out); err != nil {
+			return err
+		}
 	}
 	return device.ReplyIfExpected(ctx, m, payload)
 }

@@ -4,6 +4,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"strings"
 	"time"
 
 	"xdaq/internal/i2o"
@@ -77,7 +78,15 @@ func (e *Executive) send(m *i2o.Message, bypassDown bool) error {
 		return fmt.Errorf("%w: %v", tid.ErrUnknown, m.Target)
 	}
 	if entry.Kind == tid.Proxy {
-		if !bypassDown && e.PeerDown(entry.Node) {
+		// The peer-down gate fast-fails NEW work addressed at a down
+		// peer.  Replies (return-proxy targets) are exempt: the request
+		// they answer already arrived, and swallowing the answer turns a
+		// one-sided down-marking into a hang on the other side — a node
+		// that marks a live peer down (a graceful leave does exactly
+		// this) would otherwise also stop acking that peer's frames and
+		// drag it down too.  If the peer really is dead the forward
+		// fails at the transport instead.
+		if !bypassDown && e.PeerDown(entry.Node) && !strings.HasPrefix(entry.Class, peerClass) {
 			m.Release()
 			e.nDropped.Add(1)
 			return fmt.Errorf("%w: %v", ErrPeerDown, entry.Node)

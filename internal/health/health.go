@@ -74,8 +74,16 @@ type Config struct {
 	Threshold int
 
 	// Fallback maps peers to a backup peer transport route tried when the
-	// threshold is crossed, before the peer is declared down.
+	// threshold is crossed, before the peer is declared down.  Peers
+	// learned after the monitor starts are added with SetFallback.
 	Fallback map[i2o.NodeID]string
+
+	// OnState, when set, is called after every peer state transition
+	// (Up↔Suspect↔Down), outside the monitor's lock so the callback may
+	// call back into the monitor or the executive.  The cluster
+	// membership layer uses it to evict down peers and re-admit
+	// recovered ones.
+	OnState func(node i2o.NodeID, state State)
 
 	// Logf sinks state transition diagnostics; nil silences them.
 	Logf func(format string, args ...any)
@@ -211,13 +219,21 @@ func (m *Monitor) probe(node i2o.NodeID) {
 	m.record(node, err)
 }
 
-// record applies one probe verdict to the peer's state machine.
+// record applies one probe verdict to the peer's state machine and fires
+// the OnState hook (outside the lock) when the state changed.
 func (m *Monitor) record(node i2o.NodeID, err error) {
+	state, changed := m.apply(node, err)
+	if changed && m.cfg.OnState != nil {
+		m.cfg.OnState(node, state)
+	}
+}
+
+func (m *Monitor) apply(node i2o.NodeID, err error) (State, bool) {
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	p := m.peers[node]
 	if p == nil {
-		return
+		return Up, false
 	}
 	p.probing = false
 
@@ -232,20 +248,23 @@ func (m *Monitor) record(node i2o.NodeID, err error) {
 			p.state = Up
 			m.cUp.Inc()
 			m.logf("health: peer %v up", node)
+			return Up, true
 		}
-		return
+		return Up, false
 	}
 
 	m.cProbeFails.Inc()
 	p.fails++
 	p.lastErr = err.Error()
+	suspected := false
 	if p.state == Up {
 		p.state = Suspect
+		suspected = true
 		m.cSuspect.Inc()
 		m.logf("health: peer %v suspect (%v)", node, err)
 	}
 	if p.fails < m.cfg.Threshold || p.state == Down {
-		return
+		return p.state, suspected
 	}
 
 	// Threshold crossed: try the fallback route once, else declare down.
@@ -256,7 +275,7 @@ func (m *Monitor) record(node i2o.NodeID, err error) {
 			moved := m.exec.FailoverRoute(node, fb)
 			m.cFailovers.Inc()
 			m.logf("health: peer %v failed over to %s (%d proxies rerouted)", node, fb, moved)
-			return
+			return p.state, suspected
 		}
 	}
 	p.state = Down
@@ -264,6 +283,23 @@ func (m *Monitor) record(node i2o.NodeID, err error) {
 	m.gPeersDown.Add(1)
 	m.exec.SetPeerDown(node, true)
 	m.logf("health: peer %v down after %d failed probes (%v)", node, p.fails, err)
+	return Down, true
+}
+
+// SetFallback adds or replaces one peer's backup route at runtime — the
+// membership layer calls it as peers join (a colocated peer's primary shm
+// route falls back to its TCP route).  An empty route removes the entry.
+func (m *Monitor) SetFallback(node i2o.NodeID, route string) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.cfg.Fallback == nil {
+		m.cfg.Fallback = make(map[i2o.NodeID]string)
+	}
+	if route == "" {
+		delete(m.cfg.Fallback, node)
+		return
+	}
+	m.cfg.Fallback[node] = route
 }
 
 // Status returns a snapshot of every monitored peer.

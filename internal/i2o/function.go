@@ -109,6 +109,22 @@ const (
 	// Nodes without a health monitor answer with a "monitor=off" row.  Not
 	// defined by I2O.
 	ExecHealthGet Function = 0xE7
+
+	// ExecJoin is the cluster bootstrap rendezvous: a joining executive
+	// sends its member record (identity, listen address, shared-memory
+	// directory, exported device table) to any current member and the
+	// reply carries the full membership list.  With an "op=leave"
+	// parameter it is the graceful-departure notification instead, sent
+	// fire-and-forget to every member.  Not defined by I2O; see
+	// doc/deployment.md.
+	ExecJoin Function = 0xE8
+
+	// ExecPeerList pushes the membership list (epoch + one record per
+	// member) to a peer after a change.  Membership sync is additive:
+	// receivers adopt members they have not seen, and removals travel
+	// only as explicit ExecJoin leaves or local health evictions.  Not
+	// defined by I2O.
+	ExecPeerList Function = 0xE9
 )
 
 // FuncPrivate marks a private frame: the operation is identified by the
@@ -129,7 +145,7 @@ func (f Function) IsExecutive() bool {
 	case ExecStatusGet, ExecOutboundInit, ExecHrtGet, ExecSysTabSet,
 		ExecSysEnable, ExecSysQuiesce, ExecSysClear,
 		ExecPlugin, ExecUnplug, ExecTimerSet, ExecTimerCancel, ExecTraceGet,
-		ExecMetricsGet, ExecPing, ExecHealthGet:
+		ExecMetricsGet, ExecPing, ExecHealthGet, ExecJoin, ExecPeerList:
 		return true
 	}
 	return false
@@ -157,6 +173,8 @@ var functionNames = map[Function]string{
 	ExecMetricsGet:    "ExecMetricsGet",
 	ExecPing:          "ExecPing",
 	ExecHealthGet:     "ExecHealthGet",
+	ExecJoin:          "ExecJoin",
+	ExecPeerList:      "ExecPeerList",
 	FuncPrivate:       "Private",
 }
 

@@ -1,0 +1,8 @@
+// Package proc exercises the deployment surface at the real process
+// boundary.  Its tests re-exec the test binary as xdaqd-like child
+// processes, join them into one cluster over loopback sockets (and,
+// where configured, shared-memory rings), and assert the bootstrap
+// protocol across genuine OS process boundaries: rendezvous at any live
+// member, TiD exchange, eviction of a killed seed.  The benchmarks
+// behind `make bench-cluster` live here too.
+package proc

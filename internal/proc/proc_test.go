@@ -1,0 +1,326 @@
+package proc
+
+import (
+	"context"
+	"fmt"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strconv"
+	"testing"
+	"time"
+
+	"xdaq"
+)
+
+// The child role: when these env vars are set, the test binary is not a
+// test runner but one cluster member process (see TestMain).
+const (
+	roleEnv     = "XDAQ_PROC_ROLE"
+	nodeEnv     = "XDAQ_PROC_NODE"
+	seedEnv     = "XDAQ_PROC_SEED"
+	shmEnv      = "XDAQ_PROC_SHM"
+	addrFileEnv = "XDAQ_PROC_ADDRFILE"
+	noHealthEnv = "XDAQ_PROC_NOHEALTH"
+)
+
+func TestMain(m *testing.M) {
+	if os.Getenv(roleEnv) == "member" {
+		runMember()
+		return
+	}
+	os.Exit(m.Run())
+}
+
+// runMember is the whole life of a child process: join the cluster,
+// plug an echo device, publish the bound address, serve until killed.
+func runMember() {
+	node, err := strconv.ParseUint(os.Getenv(nodeEnv), 10, 32)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "proc member: bad %s: %v\n", nodeEnv, err)
+		os.Exit(1)
+	}
+	cfg := xdaq.ClusterConfig{
+		Node: xdaq.NodeOptions{
+			Name: fmt.Sprintf("proc%d", node),
+			Node: xdaq.NodeID(node),
+			Logf: func(string, ...any) {},
+		},
+		Seed:     os.Getenv(seedEnv),
+		ShmDir:   os.Getenv(shmEnv),
+		NoHealth: os.Getenv(noHealthEnv) != "",
+		Logf:     func(string, ...any) {},
+	}
+	if !cfg.NoHealth {
+		cfg.Health = &xdaq.HealthOptions{Interval: 40 * time.Millisecond, Threshold: 3}
+	}
+	cl, err := xdaq.Join(context.Background(), cfg)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "proc member %d: join: %v\n", node, err)
+		os.Exit(1)
+	}
+	defer cl.Close()
+
+	echo := xdaq.NewDevice("echo", 0)
+	echo.Bind(1, func(ctx *xdaq.Context, m *xdaq.Message) error {
+		return xdaq.ReplyIfExpected(ctx, m, m.Payload)
+	})
+	if _, err := cl.Node().Plug(echo); err != nil {
+		fmt.Fprintf(os.Stderr, "proc member %d: plug: %v\n", node, err)
+		os.Exit(1)
+	}
+
+	// Publish the bound address atomically: the parent polls for this
+	// file and must never read a half-written one.
+	path := os.Getenv(addrFileEnv)
+	tmp := path + ".tmp"
+	if err := os.WriteFile(tmp, []byte(cl.Listener().Addr()), 0o644); err == nil {
+		err = os.Rename(tmp, path)
+	}
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "proc member %d: addr file: %v\n", node, err)
+		os.Exit(1)
+	}
+	select {} // serve until the parent kills us
+}
+
+// member is the parent's handle on one child process.
+type member struct {
+	cmd  *exec.Cmd
+	node xdaq.NodeID
+	addr string
+}
+
+// spawnMember re-execs the test binary as a cluster member process and
+// waits for it to publish its bound listen address.
+func spawnMember(tb testing.TB, node uint, seed, shmDir string, noHealth bool) *member {
+	tb.Helper()
+	addrFile := filepath.Join(tb.TempDir(), fmt.Sprintf("addr%d", node))
+	cmd := exec.Command(os.Args[0])
+	cmd.Env = append(os.Environ(),
+		roleEnv+"=member",
+		fmt.Sprintf("%s=%d", nodeEnv, node),
+		seedEnv+"="+seed,
+		shmEnv+"="+shmDir,
+		addrFileEnv+"="+addrFile,
+	)
+	if noHealth {
+		cmd.Env = append(cmd.Env, noHealthEnv+"=1")
+	}
+	cmd.Stderr = os.Stderr
+	if err := cmd.Start(); err != nil {
+		tb.Fatalf("spawn member %d: %v", node, err)
+	}
+	m := &member{cmd: cmd, node: xdaq.NodeID(node)}
+	tb.Cleanup(func() {
+		cmd.Process.Kill()
+		cmd.Wait()
+	})
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		if b, err := os.ReadFile(addrFile); err == nil {
+			m.addr = string(b)
+			return m
+		}
+		if time.Now().After(deadline) {
+			tb.Fatalf("member %d never published its address", node)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+// joinLocal joins the parent test process into the cluster in-process.
+func joinLocal(tb testing.TB, node uint, seed, shmDir string, noHealth bool) *xdaq.Cluster {
+	tb.Helper()
+	cfg := xdaq.ClusterConfig{
+		Node: xdaq.NodeOptions{
+			Name: fmt.Sprintf("parent%d", node),
+			Node: xdaq.NodeID(node),
+			Logf: func(string, ...any) {},
+		},
+		Seed:     seed,
+		ShmDir:   shmDir,
+		NoHealth: noHealth,
+		Logf:     func(string, ...any) {},
+	}
+	if !noHealth {
+		cfg.Health = &xdaq.HealthOptions{Interval: 30 * time.Millisecond, Threshold: 3}
+	}
+	cl, err := xdaq.Join(context.Background(), cfg)
+	if err != nil {
+		tb.Fatalf("join local node %d: %v", node, err)
+	}
+	tb.Cleanup(cl.Close)
+	return cl
+}
+
+// waitFor polls cond until it holds or the budget expires.
+func waitFor(budget time.Duration, cond func() bool) bool {
+	deadline := time.Now().Add(budget)
+	for {
+		if cond() {
+			return true
+		}
+		if time.Now().After(deadline) {
+			return false
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+// hasMember reports whether the cluster currently lists node.
+func hasMember(cl *xdaq.Cluster, node xdaq.NodeID) bool {
+	for _, m := range cl.Members() {
+		if m.Node == node {
+			return true
+		}
+	}
+	return false
+}
+
+// echoVia reaches the echo device on node and round-trips a payload
+// through it.  Devices advertised through the TiD exchange resolve
+// locally; ones plugged after the owner's join need a Discover round
+// trip, exactly as on a single-process cluster.
+func echoVia(tb testing.TB, cl *xdaq.Cluster, node xdaq.NodeID, payload []byte) {
+	tb.Helper()
+	target, err := cl.Node().Resolve("echo", 0, node)
+	if err != nil {
+		target, err = cl.Node().Discover(node, "echo", 0)
+	}
+	if err != nil {
+		tb.Fatalf("reach echo on node %d: %v", node, err)
+	}
+	reply, err := cl.Node().Call(target, 1, payload)
+	if err != nil {
+		tb.Fatalf("echo via node %d: %v", node, err)
+	}
+	if string(reply) != string(payload) {
+		tb.Fatalf("echo via node %d: got %d bytes, want %d", node, len(reply), len(payload))
+	}
+}
+
+// TestClusterKillSeed is the end-to-end process story: three child
+// processes plus the parent form a cluster through the seed, the seed is
+// then killed, the survivors evict it and stay callable, and a brand-new
+// process still joins — rendezvousing at a non-seed member, because
+// after bootstrap every member is an equal admission point.
+func TestClusterKillSeed(t *testing.T) {
+	if testing.Short() {
+		t.Skip("spawns OS processes")
+	}
+	seed := spawnMember(t, 1, "", "", false)
+	m2 := spawnMember(t, 2, seed.addr, "", false)
+	m3 := spawnMember(t, 3, seed.addr, "", false)
+
+	cl := joinLocal(t, 100, seed.addr, "", false)
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := cl.WaitReady(ctx, 4); err != nil {
+		t.Fatalf("wait for 4 members: %v", err)
+	}
+
+	// The TiD exchange crossed the process boundary: the seed's device
+	// table was re-snapshotted when it admitted us, so its echo resolves
+	// with no Discover round trip.
+	if _, err := cl.Node().Resolve("echo", 0, seed.node); err != nil {
+		t.Fatalf("seed's exported echo did not cross in the TiD exchange: %v", err)
+	}
+	for _, m := range []*member{seed, m2, m3} {
+		echoVia(t, cl, m.node, []byte("cross-process"))
+	}
+
+	// Kill the seed outright — no Leave, a crash.  Health demotes it,
+	// the OnState hook evicts it from the membership.
+	seed.cmd.Process.Kill()
+	seed.cmd.Wait()
+	if !waitFor(10*time.Second, func() bool { return !hasMember(cl, seed.node) }) {
+		t.Fatalf("killed seed %d was never evicted; members: %v", seed.node, cl.Members())
+	}
+
+	// The survivors are unaffected.
+	echoVia(t, cl, m2.node, []byte("still here"))
+	echoVia(t, cl, m3.node, []byte("still here"))
+
+	// A new process joins through node 2 — the seed is gone, but any
+	// live member admits joiners.
+	m4 := spawnMember(t, 4, m2.addr, "", false)
+	if !waitFor(10*time.Second, func() bool { return hasMember(cl, m4.node) }) {
+		t.Fatalf("join via non-seed member never propagated; members: %v", cl.Members())
+	}
+	echoVia(t, cl, m4.node, []byte("late joiner"))
+
+	// Admitting node 4 made node 2 re-snapshot its own device table, so
+	// the push that announced the join also carried node 2's echo — it
+	// now resolves here without Discover.
+	if !waitFor(5*time.Second, func() bool {
+		_, err := cl.Node().Resolve("echo", 0, m2.node)
+		return err == nil
+	}) {
+		t.Fatalf("node 2's device table never propagated with the admission push")
+	}
+}
+
+// TestClusterShmRoute verifies two processes sharing a ring directory
+// route frames over shared memory, across a real process boundary.
+func TestClusterShmRoute(t *testing.T) {
+	if testing.Short() {
+		t.Skip("spawns OS processes")
+	}
+	shmDir := t.TempDir()
+	seed := spawnMember(t, 1, "", shmDir, false)
+	cl := joinLocal(t, 2, seed.addr, shmDir, false)
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := cl.WaitReady(ctx, 2); err != nil {
+		t.Fatalf("wait for 2 members: %v", err)
+	}
+	if route, ok := cl.Node().Exec.Route(seed.node); !ok || route != "pt.shm" {
+		t.Fatalf("colocated peer routed via %q, want pt.shm", route)
+	}
+	echoVia(t, cl, seed.node, make([]byte, 32<<10))
+}
+
+// BenchmarkClusterRoundTrip measures a 64 B request/reply between two OS
+// processes over the TCP peer transport — the cross-process round-trip
+// latency figure in BENCH_cluster.json.
+func BenchmarkClusterRoundTrip(b *testing.B) {
+	seed := spawnMember(b, 1, "", "", true)
+	cl := joinLocal(b, 2, seed.addr, "", true)
+	target, err := cl.Node().Resolve("echo", 0, seed.node)
+	if err != nil {
+		b.Fatalf("resolve echo: %v", err)
+	}
+	payload := make([]byte, 64)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := cl.Node().Call(target, 1, payload); err != nil {
+			b.Fatalf("round trip: %v", err)
+		}
+	}
+}
+
+// BenchmarkClusterShmVsTCP contrasts colocated-process throughput over
+// mmap'd shared-memory rings against loopback TCP with 16 KiB payloads.
+func BenchmarkClusterShmVsTCP(b *testing.B) {
+	run := func(b *testing.B, shmDir string) {
+		seed := spawnMember(b, 1, "", shmDir, true)
+		cl := joinLocal(b, 2, seed.addr, shmDir, true)
+		target, err := cl.Node().Resolve("echo", 0, seed.node)
+		if err != nil {
+			b.Fatalf("resolve echo: %v", err)
+		}
+		payload := make([]byte, 16<<10)
+		b.SetBytes(int64(len(payload)))
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := cl.Node().Call(target, 1, payload); err != nil {
+				b.Fatalf("round trip: %v", err)
+			}
+		}
+	}
+	b.Run("tcp", func(b *testing.B) { run(b, "") })
+	b.Run("shm", func(b *testing.B) { run(b, b.TempDir()) })
+}

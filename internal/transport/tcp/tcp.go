@@ -51,6 +51,7 @@
 package tcp
 
 import (
+	"context"
 	"encoding/binary"
 	"errors"
 	"fmt"
@@ -1198,6 +1199,43 @@ func (t *Transport) dial(dst i2o.NodeID, addr string) (*peerConn, error) {
 		return nil, fmt.Errorf("%w: dialed %v, got %v", ErrHandshake, dst, peer)
 	}
 	return t.adopt(peer, grant, c, t.node)
+}
+
+// Identify dials addr, handshakes, and adopts the connection for
+// whichever node answers — the inverse of dial, which requires knowing
+// the peer's identity up front.  It returns the peer's node id after
+// registering addr as its dial address, so the cluster bootstrap can
+// rendezvous with a seed member knowing only "host:port".  The context
+// bounds the dial; the handshake itself rides the connection's own
+// deadline handling.
+func (t *Transport) Identify(ctx context.Context, addr string) (i2o.NodeID, error) {
+	if t.closed.Load() {
+		return 0, ErrClosed
+	}
+	d := net.Dialer{Timeout: dialTimeout}
+	c, err := d.DialContext(ctx, "tcp", addr)
+	if err != nil {
+		return 0, fmt.Errorf("tcp: identify %s: %w (%w)", addr, err, pta.ErrTransient)
+	}
+	t.nDials.Inc()
+	if err := t.writeHello(c); err != nil {
+		c.Close()
+		return 0, err
+	}
+	peer, grant, err := readHello(c)
+	if err != nil {
+		c.Close()
+		return 0, err
+	}
+	if peer == t.node {
+		c.Close()
+		return 0, fmt.Errorf("%w: %s is ourselves (node %v)", ErrHandshake, addr, peer)
+	}
+	t.AddPeer(peer, addr)
+	if _, err := t.adopt(peer, grant, c, t.node); err != nil {
+		return 0, err
+	}
+	return peer, nil
 }
 
 func (t *Transport) writeHello(c net.Conn) error {

@@ -1,6 +1,7 @@
 package tcp
 
 import (
+	"context"
 	"bytes"
 	"errors"
 	"net"
@@ -260,5 +261,51 @@ func TestPollIsNoop(t *testing.T) {
 	}
 	if tr.Addr() != "" {
 		t.Fatal("client-only transport has an address")
+	}
+}
+
+// TestIdentify checks the address-only rendezvous handshake: a node that
+// knows only "host:port" learns the peer's identity and ends up with a
+// working adopted connection.
+func TestIdentify(t *testing.T) {
+	a := buildNode(t, 1)
+	b := buildNode(t, 2)
+	peer, err := a.tr.Identify(context.Background(), b.tr.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if peer != 2 {
+		t.Fatalf("identified node %v, want 2", peer)
+	}
+	b.tr.AddPeer(1, a.tr.Addr())
+	a.exec.SetRoute(2, PTName)
+	b.exec.SetRoute(1, PTName)
+	d := device.New("echo", 0)
+	d.Bind(1, func(ctx *device.Context, m *i2o.Message) error {
+		return device.ReplyIfExpected(ctx, m, append([]byte(nil), m.Payload...))
+	})
+	if _, err := b.exec.Plug(d); err != nil {
+		t.Fatal(err)
+	}
+	remote, err := a.exec.Discover(2, "echo", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := a.exec.Request(&i2o.Message{
+		Target: remote, Initiator: i2o.TIDExecutive,
+		Function: i2o.FuncPrivate, Org: i2o.OrgXDAQ, XFunction: 1,
+		Payload: []byte("who"),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(rep.Payload) != "who" {
+		t.Fatalf("payload = %q", rep.Payload)
+	}
+	rep.Recycle()
+
+	// Identifying ourselves is an error, not a half-adopted connection.
+	if _, err := a.tr.Identify(context.Background(), a.tr.Addr()); err == nil {
+		t.Fatal("self-identify succeeded")
 	}
 }

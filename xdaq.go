@@ -50,7 +50,6 @@ import (
 	"xdaq/internal/i2o"
 	"xdaq/internal/pool"
 	"xdaq/internal/pta"
-	"xdaq/internal/transport/tcp"
 )
 
 // Re-exported core types.  The type aliases make the internal packages'
@@ -270,31 +269,19 @@ func (n *Node) message(target TID, xfunc uint16, payload []byte) (*Message, erro
 	return m, nil
 }
 
-// ListenTCP attaches a TCP peer transport listening on addr and returns
-// the transport so peers can be added (and its bound address read).  The
-// transport runs with the package defaults: the eager/rendezvous switch
-// point auto-tunes below tcp.DefaultThreshold and each accepted peer is
-// granted tcp.DefaultCredits of send window.  To pin those knobs
-// (tcp.Config.Threshold, tcp.Config.Credits) build the transport with
-// tcp.New and register it on n.Agent directly.
-func (n *Node) ListenTCP(addr string) (*tcp.Transport, error) {
-	tr, err := tcp.New(n.Exec.Node(), n.Exec.Allocator(), tcp.Config{
-		Listen:  addr,
-		Metrics: n.Exec.Metrics(),
-	})
-	if err != nil {
-		return nil, err
-	}
-	if err := n.Agent.Register(tr, pta.Task); err != nil {
-		tr.Stop()
-		return nil, err
-	}
-	return tr, nil
+// ListenTCP attaches a TCP peer transport listening on addr.
+//
+// Deprecated: use Listen, which returns the same Listener.  ListenTCP
+// survives one release as a thin wrapper and then goes away.
+func (n *Node) ListenTCP(addr string) (*Listener, error) {
+	return n.Listen(addr)
 }
 
 // AddTCPPeer maps a remote node to its TCP address and routes frames for
-// it over the TCP transport.
-func (n *Node) AddTCPPeer(tr *tcp.Transport, node NodeID, addr string) {
-	tr.AddPeer(node, addr)
-	n.Exec.SetRoute(node, tr.Name())
+// it over the listener's transport.
+//
+// Deprecated: use Listener.AddPeer.  AddTCPPeer survives one release as
+// a thin wrapper and then goes away.
+func (n *Node) AddTCPPeer(l *Listener, node NodeID, addr string) {
+	l.AddPeer(node, addr)
 }
