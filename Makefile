@@ -5,7 +5,7 @@
 
 GO ?= go
 
-.PHONY: check build test vet race soak-short fuzz bench bench-remote bench-cluster bench-gate benchall
+.PHONY: check build test vet race soak-short fuzz bench bench-remote bench-cluster bench-eb bench-gate benchall
 
 check: vet build test race soak-short
 
@@ -19,18 +19,21 @@ test:
 	$(GO) test ./...
 
 race:
-	$(GO) test -race ./internal/executive/ ./internal/queue/ ./internal/pta/ ./internal/metrics/ ./internal/health/ ./internal/transport/tcp/ ./internal/transport/gm/ ./internal/transport/shm/ ./internal/cluster/ ./internal/chaos/ ./internal/e2e/
+	$(GO) test -race ./internal/executive/ ./internal/queue/ ./internal/pta/ ./internal/metrics/ ./internal/health/ ./internal/transport/tcp/ ./internal/transport/gm/ ./internal/transport/shm/ ./internal/cluster/ ./internal/chaos/ ./internal/daq/ ./internal/e2e/
 
 # soak-short is the CI face of the chaos harness (see doc/testing.md):
-# three short seeded soaks under the race detector, one per cluster shape —
-# kill+failover on the mixed fabric, heavy wire faults on batched TCP, and
-# dispatcher rescales under load on loopback.  xdaqsoak exits nonzero the
+# four short seeded soaks under the race detector, one per cluster shape —
+# kill+failover on the mixed fabric, heavy wire faults on batched TCP,
+# dispatcher rescales under load on loopback, and a loopback run that
+# kills a builder unit mid-round and audits the shard-map rebalance.
+# xdaqsoak exits nonzero the
 # moment any invariant checker reports, printing the seed and trace rings,
 # so a red soak-short is reproducible with the seed it prints.
 soak-short:
 	$(GO) run -race ./cmd/xdaqsoak -seed 101 -duration 5s -rounds 3 -fabric gm+tcp -faults light -q
 	$(GO) run -race ./cmd/xdaqsoak -seed 202 -duration 5s -rounds 3 -fabric tcp -faults heavy -kill=false -q
 	$(GO) run -race ./cmd/xdaqsoak -seed 303 -duration 5s -rounds 3 -fabric loopback -faults none -kill=false -q
+	$(GO) run -race ./cmd/xdaqsoak -seed 404 -duration 5s -rounds 3 -fabric loopback -faults none -kill=false -killbu -q
 
 # fuzz gives each fuzz target a short exploration budget on top of its checked-in
 # seed corpus; lengthen with FUZZTIME=1m for a real session.
@@ -38,6 +41,7 @@ FUZZTIME ?= 10s
 fuzz:
 	$(GO) test -run '^$$' -fuzz '^FuzzDecodeAcquired$$' -fuzztime $(FUZZTIME) ./internal/i2o/
 	$(GO) test -run '^$$' -fuzz '^FuzzSGLRoundTrip$$' -fuzztime $(FUZZTIME) ./internal/sgl/
+	$(GO) test -run '^$$' -fuzz '^FuzzWireRecords$$' -fuzztime $(FUZZTIME) ./internal/daq/
 
 # bench runs the dispatch-engine benchmarks (hot-path allocations, worker
 # scaling, watchdog overhead, event builder) and archives the numbers as
@@ -67,14 +71,24 @@ bench-cluster:
 	$(GO) test -run '^$$' -bench 'Cluster' -benchmem -count 5 -timeout 30m ./internal/proc/ \
 		| tee /dev/stderr | $(GO) run ./cmd/benchjson > BENCH_cluster.json
 
-# bench-gate is the remote data-path regression gate: it fails if the
-# batched path delivers less throughput than the unbatched baseline at
-# any payload size in the archived BENCH_remote.json (regenerate it with
-# `make bench-remote` first).  GATE_TOL forgives slowdowns inside the
-# band, e.g. GATE_TOL=0.05 tolerates 5%.
+# bench-eb runs the event-builder scaling sweep — flat vs hierarchical
+# wiring at 4..256 readout units — and archives the median of 5 runs as
+# BENCH_eb.json (see doc/performance.md).
+bench-eb:
+	$(GO) test -run '^$$' -bench 'EventBuilder' -benchmem -count 5 -timeout 60m . \
+		| tee /dev/stderr | $(GO) run ./cmd/benchjson > BENCH_eb.json
+
+# bench-gate holds the archived performance claims: the batched remote
+# path must beat the unbatched baseline at every payload size
+# (BENCH_remote.json), and the hierarchical event builder must beat the
+# flat one at high readout counts (BENCH_eb.json; at small counts the
+# tree's extra hop is allowed to cost).  Regenerate the archives with
+# `make bench-remote bench-eb` first.  GATE_TOL forgives slowdowns inside
+# the band, e.g. GATE_TOL=0.05 tolerates 5%.
 GATE_TOL ?= 0
 bench-gate:
 	$(GO) run ./cmd/benchjson -compare -tol $(GATE_TOL) BENCH_remote.json
+	$(GO) run ./cmd/benchjson -compare -pair 'topo=tree:topo=flat' -grep 'rus=(64|256)$$' -tol $(GATE_TOL) BENCH_eb.json
 
 # benchall is the full sweep across every package.
 benchall:

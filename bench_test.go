@@ -419,79 +419,172 @@ func BenchmarkTransportComparison(b *testing.B) {
 
 // --- Extension: event builder throughput (the paper's motivating DAQ) ---
 
-func BenchmarkEventBuilder(b *testing.B) {
-	for _, nRU := range []int{1, 2, 4} {
-		b.Run(fmt.Sprintf("rus=%d", nRU), func(b *testing.B) {
-			fabric := loopback.NewFabric()
-			total := 2 + nRU
-			execs := make([]*executive.Executive, total)
-			for i := range execs {
-				id := i2o.NodeID(i + 1)
-				e := executive.New(executive.Options{
-					Name: "eb", Node: id,
-					RequestTimeout: 10 * time.Second,
-					Logf:           func(string, ...any) {},
-				})
-				agent, err := pta.New(e)
-				if err != nil {
-					b.Fatal(err)
-				}
-				ep, err := fabric.Attach(id)
-				if err != nil {
-					b.Fatal(err)
-				}
-				if err := agent.Register(ep, pta.Task); err != nil {
-					b.Fatal(err)
-				}
-				defer e.Close()
-				defer agent.Close()
-				execs[i] = e
-			}
-			for _, e := range execs {
-				for _, peer := range execs {
-					if e != peer {
-						e.SetRoute(peer.Node(), loopback.DefaultName)
-					}
-				}
-			}
-			evm := daq.NewEVM(0)
-			if _, err := execs[0].Plug(evm.Device()); err != nil {
-				b.Fatal(err)
-			}
-			for i := 0; i < nRU; i++ {
-				if _, err := execs[1+i].Plug(daq.NewRU(i, 2048).Device()); err != nil {
-					b.Fatal(err)
-				}
-			}
-			bu := daq.NewBU(0)
-			buExec := execs[total-1]
-			if _, err := buExec.Plug(bu.Device()); err != nil {
-				b.Fatal(err)
-			}
-			evmTID, err := buExec.Discover(1, daq.EVMClass, 0)
-			if err != nil {
-				b.Fatal(err)
-			}
-			rus := make([]i2o.TID, nRU)
-			for i := range rus {
-				if rus[i], err = buExec.Discover(i2o.NodeID(2+i), daq.RUClass, i); err != nil {
-					b.Fatal(err)
-				}
-			}
-			bu.Configure(evmTID, rus)
-			b.ResetTimer()
-			if _, err := bu.Start(uint64(b.N), 8); err != nil {
-				b.Fatal(err)
-			}
-			stats, err := bu.Wait()
-			if err != nil {
-				b.Fatal(err)
-			}
-			if stats.Built != uint64(b.N) {
-				b.Fatalf("built %d of %d", stats.Built, b.N)
-			}
-			b.SetBytes(int64(nRU) * 2048)
+// The flat topology is the legacy wiring: one builder asking every
+// readout unit directly, one event per allocation.  The tree topology is
+// the PR's hierarchical path: events granted in blocks of ebRangeSize,
+// fragments pulled through aggregators with a bounded fan-in — per event
+// it moves roughly (1+rus/fanin)/rangeSize + rus/rangeSize frames instead
+// of flat's 1+rus, which is what lets the builder keep up as the readout
+// count grows toward the paper's "hundreds of RUs".
+const (
+	ebFragSize  = 512
+	ebFanin     = 16 // aggregator children per stage
+	ebRangeSize = 8  // events per block on the hierarchical path
+	ebRUsatNode = 8  // readout units packed per node
+)
+
+// ebRig is one event-builder deployment: EVM on node 1, readout units
+// packed ebRUsatNode per node, the builder alone on the last node, and —
+// on the tree topology — one aggregator per ebFanin readout units,
+// placed on its first child's node.
+type ebRig struct {
+	bu    *daq.BU
+	close func()
+}
+
+func newEBRig(b *testing.B, topo string, nRU int, events uint64) *ebRig {
+	b.Helper()
+	fabric := loopback.NewFabric()
+	ruNodes := (nRU + ebRUsatNode - 1) / ebRUsatNode
+	total := 2 + ruNodes // EVM + RU nodes + BU
+	execs := make([]*executive.Executive, total)
+	agents := make([]*pta.Agent, total)
+	for i := range execs {
+		id := i2o.NodeID(i + 1)
+		e := executive.New(executive.Options{
+			Name: "eb", Node: id,
+			RequestTimeout: 10 * time.Second,
+			Logf:           func(string, ...any) {},
 		})
+		agent, err := pta.New(e)
+		if err != nil {
+			b.Fatal(err)
+		}
+		ep, err := fabric.Attach(id)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := agent.Register(ep, pta.Task); err != nil {
+			b.Fatal(err)
+		}
+		execs[i], agents[i] = e, agent
+	}
+	for _, e := range execs {
+		for _, peer := range execs {
+			if e != peer {
+				e.SetRoute(peer.Node(), loopback.DefaultName)
+			}
+		}
+	}
+	rig := &ebRig{close: func() {
+		for i := range execs {
+			agents[i].Close()
+			execs[i].Close()
+		}
+	}}
+
+	evm := daq.NewEVM(events)
+	if topo == "tree" {
+		evm.SetSharding(8, ebRangeSize)
+	}
+	if _, err := execs[0].Plug(evm.Device()); err != nil {
+		b.Fatal(err)
+	}
+	ruExec := func(i int) *executive.Executive { return execs[1+i/ebRUsatNode] }
+	rus := make([]*daq.RU, nRU)
+	for i := 0; i < nRU; i++ {
+		ru := daq.NewRU(i, ebFragSize)
+		e := ruExec(i)
+		evmTID, err := e.Discover(1, daq.EVMClass, 0)
+		if err != nil {
+			b.Fatal(err)
+		}
+		ru.SetEVM(evmTID)
+		if _, err := e.Plug(ru.Device()); err != nil {
+			b.Fatal(err)
+		}
+		rus[i] = ru
+	}
+
+	rig.bu = daq.NewBU(0)
+	buExec := execs[total-1]
+	if _, err := buExec.Plug(rig.bu.Device()); err != nil {
+		b.Fatal(err)
+	}
+	evmFromBU, err := buExec.Discover(1, daq.EVMClass, 0)
+	if err != nil {
+		b.Fatal(err)
+	}
+
+	if topo == "flat" {
+		ruTIDs := make([]i2o.TID, nRU)
+		for i := range ruTIDs {
+			if ruTIDs[i], err = buExec.Discover(ruExec(i).Node(), daq.RUClass, i); err != nil {
+				b.Fatal(err)
+			}
+		}
+		rig.bu.Configure(evmFromBU, ruTIDs)
+		return rig
+	}
+
+	// Tree: one aggregator per ebFanin readout units, hosted on its first
+	// child's node; the builder pulls super-fragments from the roots.
+	nAgg := (nRU + ebFanin - 1) / ebFanin
+	roots := make([]i2o.TID, nAgg)
+	for a := 0; a < nAgg; a++ {
+		first := a * ebFanin
+		e := ruExec(first)
+		agg := daq.NewAggregator(a)
+		var children []daq.AggChild
+		for i := first; i < first+ebFanin && i < nRU; i++ {
+			tid := rus[i].Device().TID()
+			if ruExec(i) != e {
+				if tid, err = e.Discover(ruExec(i).Node(), daq.RUClass, i); err != nil {
+					b.Fatal(err)
+				}
+			}
+			children = append(children, daq.AggChild{TID: tid})
+		}
+		evmTID, err := e.Discover(1, daq.EVMClass, 0)
+		if err != nil {
+			b.Fatal(err)
+		}
+		agg.Configure(evmTID, children)
+		if _, err := e.Plug(agg.Device()); err != nil {
+			b.Fatal(err)
+		}
+		if roots[a], err = buExec.Discover(e.Node(), daq.AggClass, a); err != nil {
+			b.Fatal(err)
+		}
+	}
+	rig.bu.ConfigureTree(evmFromBU, roots, nRU)
+	return rig
+}
+
+func BenchmarkEventBuilder(b *testing.B) {
+	for _, topo := range []string{"flat", "tree"} {
+		for _, nRU := range []int{4, 16, 64, 256} {
+			b.Run(fmt.Sprintf("topo=%s/rus=%d", topo, nRU), func(b *testing.B) {
+				rig := newEBRig(b, topo, nRU, uint64(b.N))
+				defer rig.close()
+				b.ResetTimer()
+				if _, err := rig.bu.Start(0, 8); err != nil {
+					b.Fatal(err)
+				}
+				stats, err := rig.bu.Wait()
+				if err != nil {
+					b.Fatal(err)
+				}
+				if stats.Built != uint64(b.N) {
+					b.Fatalf("built %d of %d", stats.Built, b.N)
+				}
+				if stats.Corrupt != 0 {
+					b.Fatalf("%d corrupt fragments", stats.Corrupt)
+				}
+				b.SetBytes(int64(nRU) * ebFragSize)
+				b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "events/s")
+			})
+		}
 	}
 }
 

@@ -24,10 +24,17 @@
 // provenance survives the merge.
 //
 // With -compare, benchjson reads one archived document and pairs every
-// result whose name has a "batched" path component with its "unbatched"
-// counterpart, printing a delta table and exiting non-zero if the batched
-// side is slower anywhere (beyond -tol, a fraction; default 0).  This is
-// the `make bench-gate` regression gate for the remote data path.
+// result whose name has the left path component of -pair (default
+// "batched:unbatched") with the counterpart whose name has the right
+// component instead, printing a delta table and exiting non-zero if the
+// left side is slower anywhere (beyond -tol, a fraction; default 0).
+// -grep restricts the gate to left-side names matching a regular
+// expression.  This is the `make bench-gate` regression gate for the
+// remote data path (batched vs unbatched) and the hierarchical event
+// builder (topo=tree vs topo=flat at high readout counts):
+//
+//	benchjson -compare -tol 0.05 BENCH_remote.json
+//	benchjson -compare -pair topo=tree:topo=flat -grep 'rus=(64|256)$' BENCH_eb.json
 package main
 
 import (
@@ -36,6 +43,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"regexp"
 	"sort"
 	"strconv"
 	"strings"
@@ -64,15 +72,30 @@ type Report struct {
 }
 
 func main() {
-	compareMode := flag.Bool("compare", false, "compare batched vs unbatched results in one archived document")
+	compareMode := flag.Bool("compare", false, "compare paired results in one archived document")
 	tol := flag.Float64("tol", 0, "tolerated fractional slowdown in -compare mode (0.05 = 5%)")
+	pair := flag.String("pair", "batched:unbatched", "colon-separated path components pairing the gated side with its baseline")
+	grep := flag.String("grep", "", "regexp restricting -compare to matching gated-side names")
 	flag.Parse()
 	if *compareMode {
 		if flag.NArg() != 1 {
 			fmt.Fprintln(os.Stderr, "benchjson: -compare needs exactly one archived JSON document")
 			os.Exit(2)
 		}
-		ok, err := compare(flag.Arg(0), *tol)
+		left, right, found := strings.Cut(*pair, ":")
+		if !found || left == "" || right == "" {
+			fmt.Fprintln(os.Stderr, "benchjson: -pair must be two colon-separated path components")
+			os.Exit(2)
+		}
+		var re *regexp.Regexp
+		if *grep != "" {
+			var err error
+			if re, err = regexp.Compile(*grep); err != nil {
+				fmt.Fprintf(os.Stderr, "benchjson: -grep: %v\n", err)
+				os.Exit(2)
+			}
+		}
+		ok, err := compare(flag.Arg(0), *tol, left, right, re)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
 			os.Exit(2)
@@ -224,13 +247,15 @@ func median(v []float64) float64 {
 	return (s[n/2-1] + s[n/2]) / 2
 }
 
-// compare loads one archived document and pairs each result whose name has
-// a "batched" path component with its "unbatched" twin.  It prints a delta
-// table and returns false if the batched side delivers less throughput
-// (or, when no MB/s column exists, more ns/op) beyond the tolerated
-// fraction tol at any pairing.  Unpaired batched results are an error:
-// a gate that silently skips sizes is not a gate.
-func compare(file string, tol float64) (bool, error) {
+// compare loads one archived document and pairs each result whose name
+// has the `left` path component with the twin whose name carries `right`
+// in that component's place.  It prints a delta table and returns false
+// if the left side delivers less throughput (or, when no MB/s column
+// exists, more ns/op) beyond the tolerated fraction tol at any pairing.
+// re, when non-nil, restricts the gate to left-side names it matches.
+// Unpaired left-side results are an error: a gate that silently skips
+// sizes is not a gate.
+func compare(file string, tol float64, left, right string, re *regexp.Regexp) (bool, error) {
 	data, err := os.ReadFile(file)
 	if err != nil {
 		return false, err
@@ -245,31 +270,31 @@ func compare(file string, tol float64) (bool, error) {
 	}
 	var names []string
 	for name := range byName {
-		if strings.Contains(name, "/batched/") {
+		if hasComponent(name, left) && (re == nil || re.MatchString(name)) {
 			names = append(names, name)
 		}
 	}
 	if len(names) == 0 {
-		return false, fmt.Errorf("%s: no benchmark with a /batched/ component", file)
+		return false, fmt.Errorf("%s: no benchmark with a %q component matching the filter", file, left)
 	}
 	sort.Strings(names)
-	fmt.Printf("%-52s %12s %12s %8s\n", "benchmark", "batched", "unbatched", "delta")
+	fmt.Printf("%-52s %12s %12s %8s\n", "benchmark", left, right, "delta")
 	ok := true
 	for _, name := range names {
-		bat := byName[name]
-		unb, found := byName[strings.Replace(name, "/batched/", "/unbatched/", 1)]
+		gated := byName[name]
+		base, found := byName[replaceComponent(name, left, right)]
 		if !found {
-			return false, fmt.Errorf("%s: no unbatched twin for %s", file, name)
+			return false, fmt.Errorf("%s: no %q twin for %s", file, right, name)
 		}
-		label := strings.Replace(name, "/batched/", "/", 1)
-		var delta float64 // fractional gain of batched over unbatched; < 0 is a loss
+		label := replaceComponent(name, left, "")
+		var delta float64 // fractional gain of the gated side; < 0 is a loss
 		var col string
-		if bat.MBPerSec > 0 && unb.MBPerSec > 0 {
-			delta = bat.MBPerSec/unb.MBPerSec - 1
-			col = fmt.Sprintf("%-52s %9.2f MB/s %9.2f MB/s", label, bat.MBPerSec, unb.MBPerSec)
-		} else if bat.NsPerOp > 0 && unb.NsPerOp > 0 {
-			delta = unb.NsPerOp/bat.NsPerOp - 1
-			col = fmt.Sprintf("%-52s %9.0f ns/op %9.0f ns/op", label, bat.NsPerOp, unb.NsPerOp)
+		if gated.MBPerSec > 0 && base.MBPerSec > 0 {
+			delta = gated.MBPerSec/base.MBPerSec - 1
+			col = fmt.Sprintf("%-52s %9.2f MB/s %9.2f MB/s", label, gated.MBPerSec, base.MBPerSec)
+		} else if gated.NsPerOp > 0 && base.NsPerOp > 0 {
+			delta = base.NsPerOp/gated.NsPerOp - 1
+			col = fmt.Sprintf("%-52s %9.0f ns/op %9.0f ns/op", label, gated.NsPerOp, base.NsPerOp)
 		} else {
 			return false, fmt.Errorf("%s: %s has neither MB/s nor ns/op", file, name)
 		}
@@ -281,11 +306,39 @@ func compare(file string, tol float64) (bool, error) {
 		fmt.Printf("%s %+7.1f%%%s\n", col, delta*100, mark)
 	}
 	if !ok {
-		fmt.Printf("FAIL: batched path slower than unbatched baseline (tol %.1f%%)\n", tol*100)
+		fmt.Printf("FAIL: %s slower than %s baseline (tol %.1f%%)\n", left, right, tol*100)
 	} else {
-		fmt.Printf("ok: batched >= unbatched at every pairing (tol %.1f%%)\n", tol*100)
+		fmt.Printf("ok: %s >= %s at every pairing (tol %.1f%%)\n", left, right, tol*100)
 	}
 	return ok, nil
+}
+
+// hasComponent reports whether one "/"-separated component of name equals
+// comp exactly (a substring match would conflate topo=flat with
+// topo=flat8 and the like).
+func hasComponent(name, comp string) bool {
+	for _, seg := range strings.Split(name, "/") {
+		if seg == comp {
+			return true
+		}
+	}
+	return false
+}
+
+// replaceComponent swaps the first path component equal to old for new;
+// an empty new drops the component entirely (for display labels).
+func replaceComponent(name, old, new string) string {
+	segs := strings.Split(name, "/")
+	for i, seg := range segs {
+		if seg == old {
+			if new == "" {
+				return strings.Join(append(segs[:i:i], segs[i+1:]...), "/")
+			}
+			segs[i] = new
+			return strings.Join(segs, "/")
+		}
+	}
+	return name
 }
 
 // stripCPUSuffix removes the trailing -N GOMAXPROCS tag Go appends to

@@ -5,6 +5,7 @@ import (
 	"encoding/json"
 	"os"
 	"path/filepath"
+	"regexp"
 	"testing"
 )
 
@@ -59,25 +60,52 @@ func TestCompareGate(t *testing.T) {
 			{Name: "BenchmarkRemoteThroughput/unbatched/64B/senders=4", MBPerSec: unbatched, NsPerOp: 1},
 		}})
 	}
-	if ok, err := compare(mk(100, 50), 0); err != nil || !ok {
+	if ok, err := compare(mk(100, 50), 0, "batched", "unbatched", nil); err != nil || !ok {
 		t.Fatalf("faster batched failed the gate: ok=%v err=%v", ok, err)
 	}
-	if ok, err := compare(mk(50, 100), 0); err != nil || ok {
+	if ok, err := compare(mk(50, 100), 0, "batched", "unbatched", nil); err != nil || ok {
 		t.Fatalf("slower batched passed the gate: ok=%v err=%v", ok, err)
 	}
 	// Tolerance forgives a slowdown inside the band but not outside it.
-	if ok, err := compare(mk(96, 100), 0.05); err != nil || !ok {
+	if ok, err := compare(mk(96, 100), 0.05, "batched", "unbatched", nil); err != nil || !ok {
 		t.Fatalf("4%% slowdown failed a 5%% tolerance: ok=%v err=%v", ok, err)
 	}
-	if ok, err := compare(mk(90, 100), 0.05); err != nil || ok {
+	if ok, err := compare(mk(90, 100), 0.05, "batched", "unbatched", nil); err != nil || ok {
 		t.Fatalf("10%% slowdown passed a 5%% tolerance: ok=%v err=%v", ok, err)
 	}
 	// A batched result with no unbatched twin is an error, not a skip.
 	p := writeReport(t, dir, "orphan.json", Report{Results: []Result{
 		{Name: "BenchmarkRemoteThroughput/batched/64B/senders=4", MBPerSec: 1},
 	}})
-	if _, err := compare(p, 0); err == nil {
+	if _, err := compare(p, 0, "batched", "unbatched", nil); err == nil {
 		t.Fatal("orphan batched result did not error")
+	}
+}
+
+func TestComparePairAndGrep(t *testing.T) {
+	dir := t.TempDir()
+	p := writeReport(t, dir, "eb.json", Report{Results: []Result{
+		{Name: "BenchmarkEventBuilder/topo=tree/rus=4", MBPerSec: 50, NsPerOp: 1},
+		{Name: "BenchmarkEventBuilder/topo=flat/rus=4", MBPerSec: 100, NsPerOp: 1},
+		{Name: "BenchmarkEventBuilder/topo=tree/rus=64", MBPerSec: 200, NsPerOp: 1},
+		{Name: "BenchmarkEventBuilder/topo=flat/rus=64", MBPerSec: 100, NsPerOp: 1},
+	}})
+	// Ungated, the rus=4 pairing (tree slower) fails the gate.
+	if ok, err := compare(p, 0, "topo=tree", "topo=flat", nil); err != nil || ok {
+		t.Fatalf("slower tree pairing passed: ok=%v err=%v", ok, err)
+	}
+	// The grep narrows the gate to the pairings where tree must win.
+	re := regexp.MustCompile(`rus=(64|256)$`)
+	if ok, err := compare(p, 0, "topo=tree", "topo=flat", re); err != nil || !ok {
+		t.Fatalf("grep-narrowed gate failed: ok=%v err=%v", ok, err)
+	}
+	// A grep matching nothing is an error, not a vacuous pass.
+	if _, err := compare(p, 0, "topo=tree", "topo=flat", regexp.MustCompile(`rus=512`)); err == nil {
+		t.Fatal("empty gate did not error")
+	}
+	// Pair components match whole path segments, not substrings.
+	if _, err := compare(p, 0, "topo=tre", "topo=flat", nil); err == nil {
+		t.Fatal("partial segment matched")
 	}
 }
 

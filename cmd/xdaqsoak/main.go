@@ -50,6 +50,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 		rescale  = fs.Bool("rescale", true, "churn dispatcher counts between rounds")
 		bulk     = fs.Bool("bulk", true, "add SGL bulk transfers on serializing fabrics")
 		eb       = fs.Bool("eb", true, "add DAQ event-builder rounds")
+		killbu   = fs.Bool("killbu", false, "kill one builder unit mid-round and audit the shard-map rebalance (needs -eb)")
 		planOnly = fs.Bool("plan", false, "print the run's schedule and exit without running")
 		quiet    = fs.Bool("q", false, "suppress progress diagnostics")
 	)
@@ -78,6 +79,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 		Rescale:      *rescale,
 		Bulk:         *bulk,
 		EventBuilder: *eb,
+		KillBU:       *killbu && *eb,
 	}
 	if !*quiet {
 		o.Logf = log.New(stderr, "", log.Ltime|log.Lmicroseconds).Printf

@@ -3,17 +3,22 @@
 // was built for, and the origin of its name: n builder units talk to m
 // readout units in both directions, so the communication channels cross.
 //
-// Topology (all in this process, over the simulated Myrinet fabric):
+// Flat topology (all in this process, over the simulated Myrinet fabric):
 //
 //	node 1         node 2..1+nRU      node 2+nRU..1+nRU+nBU
 //	┌─────┐        ┌────┐             ┌────┐
 //	│ EVM │◄──────►│ RU │◄───────────►│ BU │
 //	└─────┘        └────┘             └────┘
 //
-// Each BU asks the EVM for an event id, pulls that event's fragment from
-// every RU, verifies and counts the built event, and reports completion.
+// Each BU asks the EVM for an event block, pulls the events' fragments
+// from every RU, verifies and counts the built events, and reports
+// completion.  With -topo tree the BUs instead pull super-fragments
+// through a layer of aggregators (one per -fanin readout units, hosted on
+// the first child's node), and the EVM hands out events in blocks of
+// -rangesize via the versioned shard map — the hierarchical path that
+// scales toward hundreds of RUs.
 //
-//	go run ./examples/eventbuilder [-events N] [-rus N] [-bus N] [-fragsize BYTES]
+//	go run ./examples/eventbuilder [-topo flat|tree] [-events N] [-rus N] [-bus N] [-fragsize BYTES]
 package main
 
 import (
@@ -28,15 +33,22 @@ import (
 
 func main() {
 	var (
-		events   = flag.Uint64("events", 10000, "events to build")
-		nRU      = flag.Int("rus", 3, "readout units")
-		nBU      = flag.Int("bus", 2, "builder units")
-		fragSize = flag.Int("fragsize", 2048, "fragment bytes per RU")
-		pipeline = flag.Int("pipeline", 8, "events in flight per BU")
+		events    = flag.Uint64("events", 10000, "events to build")
+		nRU       = flag.Int("rus", 3, "readout units")
+		nBU       = flag.Int("bus", 2, "builder units")
+		fragSize  = flag.Int("fragsize", 2048, "fragment bytes per RU")
+		pipeline  = flag.Int("pipeline", 8, "event blocks in flight per BU")
+		topo      = flag.String("topo", "flat", "wiring: flat (BU asks every RU) or tree (aggregator fan-in, event-range blocks)")
+		fanin     = flag.Int("fanin", 4, "readout units per aggregator (tree only)")
+		rangeSize = flag.Int("rangesize", 8, "events per allocation block (tree only)")
 	)
 	flag.Parse()
+	if *topo != "flat" && *topo != "tree" {
+		log.Fatalf("unknown -topo %q (want flat or tree)", *topo)
+	}
 
-	// One node per component: EVM, RUs, BUs.
+	// One node per component: EVM, RUs, BUs.  Tree-topology aggregators
+	// ride on their first child RU's node.
 	total := 1 + *nRU + *nBU
 	nodes := make([]*xdaq.Node, total)
 	for i := range nodes {
@@ -57,16 +69,59 @@ func main() {
 
 	// Plug the device modules.
 	evm := daq.NewEVM(*events)
+	if *topo == "tree" {
+		evm.SetSharding(daq.DefaultShardSlots, uint32(*rangeSize))
+	}
 	if _, err := nodes[0].Plug(evm.Device()); err != nil {
 		log.Fatal(err)
 	}
 	rus := make([]*daq.RU, *nRU)
+	ruNode := func(i int) *xdaq.Node { return nodes[1+i] }
 	for i := range rus {
 		rus[i] = daq.NewRU(i, *fragSize)
-		if _, err := nodes[1+i].Plug(rus[i].Device()); err != nil {
+		evmTID, err := ruNode(i).Discover(1, daq.EVMClass, 0)
+		if err != nil {
+			log.Fatal(err)
+		}
+		rus[i].SetEVM(evmTID)
+		if _, err := ruNode(i).Plug(rus[i].Device()); err != nil {
 			log.Fatal(err)
 		}
 	}
+
+	// Tree wiring: one aggregator per fanin RUs, on its first child's node.
+	var nAgg int
+	var aggNodes []*xdaq.Node
+	if *topo == "tree" {
+		nAgg = (*nRU + *fanin - 1) / *fanin
+		aggNodes = make([]*xdaq.Node, nAgg)
+		for a := 0; a < nAgg; a++ {
+			first := a * *fanin
+			host := ruNode(first)
+			aggNodes[a] = host
+			agg := daq.NewAggregator(a)
+			var children []daq.AggChild
+			for i := first; i < first+*fanin && i < *nRU; i++ {
+				tid := rus[i].Device().TID()
+				if ruNode(i) != host {
+					var err error
+					if tid, err = host.Discover(xdaq.NodeID(2+i), daq.RUClass, i); err != nil {
+						log.Fatal(err)
+					}
+				}
+				children = append(children, daq.AggChild{TID: tid})
+			}
+			evmTID, err := host.Discover(1, daq.EVMClass, 0)
+			if err != nil {
+				log.Fatal(err)
+			}
+			agg.Configure(evmTID, children)
+			if _, err := host.Plug(agg.Device()); err != nil {
+				log.Fatal(err)
+			}
+		}
+	}
+
 	bus := make([]*daq.BU, *nBU)
 	for i := range bus {
 		bus[i] = daq.NewBU(i)
@@ -74,10 +129,21 @@ func main() {
 		if _, err := buNode.Plug(bus[i].Device()); err != nil {
 			log.Fatal(err)
 		}
-		// Wire the BU: discover the EVM and every RU across the cluster.
+		// Wire the BU: discover the EVM and its fragment sources — every
+		// RU when flat, the aggregator roots when hierarchical.
 		evmTID, err := buNode.Discover(1, daq.EVMClass, 0)
 		if err != nil {
 			log.Fatal(err)
+		}
+		if *topo == "tree" {
+			roots := make([]xdaq.TID, nAgg)
+			for a := range roots {
+				if roots[a], err = buNode.Discover(aggNodes[a].Exec.Node(), daq.AggClass, a); err != nil {
+					log.Fatal(err)
+				}
+			}
+			bus[i].ConfigureTree(evmTID, roots, *nRU)
+			continue
 		}
 		ruTIDs := make([]xdaq.TID, *nRU)
 		for j := range ruTIDs {
@@ -88,8 +154,12 @@ func main() {
 		bus[i].Configure(evmTID, ruTIDs)
 	}
 
-	fmt.Printf("event builder: %d events, %d RUs x %d B fragments, %d BUs, pipeline %d\n",
-		*events, *nRU, *fragSize, *nBU, *pipeline)
+	fmt.Printf("event builder (%s): %d events, %d RUs x %d B fragments, %d BUs, pipeline %d\n",
+		*topo, *events, *nRU, *fragSize, *nBU, *pipeline)
+	if *topo == "tree" {
+		fmt.Printf("  %d aggregators (fan-in %d), %d-event blocks, shard map v%d\n",
+			nAgg, *fanin, *rangeSize, evm.ShardVersion())
+	}
 	start := time.Now()
 	for _, bu := range bus {
 		if _, err := bu.Start(0, *pipeline); err != nil {

@@ -82,9 +82,15 @@ type Options struct {
 	// Bulk adds SGL bulk transfers on serializing fabrics.
 	Bulk bool
 
-	// EventBuilder adds DAQ event-builder rounds (EVM/RU on the first
-	// node, a BU per round on the last).
+	// EventBuilder adds DAQ event-builder rounds: a hierarchical
+	// deployment (EVM/RU on the first node, RU plus aggregator on the
+	// second, two sharded BUs on the last) re-armed every round.
 	EventBuilder bool
+
+	// KillBU kills one builder unit mid-round (and evicts it from the
+	// shard map) on seeded rounds, so the exactly-once audit exercises
+	// the EVM's dynamic rebalancing.  Requires EventBuilder.
+	KillBU bool
 
 	// Checkers validates invariants at every quiescent point; defaults to
 	// DefaultCheckers().
@@ -321,7 +327,7 @@ func Run(o Options) (*Report, error) {
 			c.bulkRound(rp.Bulk)
 		}
 		if rp.Events > 0 {
-			c.eventBuilderRound(r, rp.Events)
+			c.eventBuilderRound(r, rp.Events, rp.KillBU)
 		}
 		if err := c.quiesce(10 * time.Second); err != nil {
 			c.violate("round %d quiesce: %v", r+1, err)
@@ -348,6 +354,9 @@ func Run(o Options) (*Report, error) {
 func build(o Options) (*Cluster, error) {
 	if o.Kill && o.Fabric != "gm+tcp" {
 		return nil, errors.New("kill requires the gm+tcp fabric (a fallback route)")
+	}
+	if o.KillBU && !o.EventBuilder {
+		return nil, errors.New("killbu requires the event-builder workload")
 	}
 	if o.Nodes < 2 {
 		return nil, errors.New("need at least 2 nodes")
@@ -533,6 +542,14 @@ func build(o Options) (*Cluster, error) {
 					switch s {
 					case health.Down:
 						ms.Evict(node)
+						// A node that is down took its builder units
+						// with it: hand their event ranges to the
+						// survivors.  c.eb is consulted at fire time —
+						// the event builder is wired after the
+						// monitors start.
+						if c.eb != nil {
+							c.eb.evm.PeerDown(node)
+						}
 					case health.Up:
 						ms.Revive(node)
 					}

@@ -71,6 +71,28 @@ func TestScenarioDispatcherRescale(t *testing.T) {
 	}
 }
 
+// Scenario 4: a builder unit is killed mid-round and evicted from the
+// shard map; the EVM must rebalance its event range onto the surviving
+// builder with every budgeted event built exactly once — the tentpole's
+// failover invariant under the seeded harness.
+func TestScenarioKillBuilderUnit(t *testing.T) {
+	rep, err := Run(Options{
+		Seed:         404,
+		Fabric:       "loopback",
+		Nodes:        3,
+		Rounds:       3,
+		Duration:     450 * time.Millisecond,
+		EventBuilder: true,
+		KillBU:       true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(rep.Plan, "killbu=") {
+		t.Fatalf("plan scheduled no builder kill:\n%s", rep.Plan)
+	}
+}
+
 // A deliberately broken invariant must be caught and reported with the
 // seed and a trace-ring dump — the harness's own failure path is part of
 // the contract (a checker that cannot fail checks nothing).

@@ -37,6 +37,10 @@ type Checker interface {
 //   - health: every monitored peer settles back to Up;
 //   - membership: each node's bootstrap-protocol member set agrees with
 //     its own health consensus — peers up are members, peers down are not;
+//   - eventbuilder: across every round so far — including rounds that
+//     killed a builder unit and rebalanced its event range — each event
+//     was built exactly once and the event manager saw no duplicate
+//     built notes;
 //   - workload: the storm actually exercised the cluster.
 func DefaultCheckers() []Checker {
 	return []Checker{
@@ -47,6 +51,7 @@ func DefaultCheckers() []Checker {
 		routesChecker{},
 		healthChecker{},
 		membershipChecker{},
+		ebChecker{},
 		workloadChecker{},
 	}
 }
@@ -343,6 +348,38 @@ func (membershipChecker) Check(c *Cluster) []string {
 					n.ID, p.ID, member, state))
 			}
 		}
+	}
+	return out
+}
+
+// ebChecker re-audits the event-builder workload's cumulative totals at
+// every quiescent point: the per-round logs must have added up to exactly
+// one completion per budgeted event (eventBuilderRound records the
+// per-event violations; this checker catches cross-round accounting
+// drift), and the event manager's duplicate counter — which fires on a
+// built note for an event it did not hand out or already saw completed —
+// must still read zero.  Killing a builder and rebalancing its range is
+// exactly the scenario this invariant exists for.
+type ebChecker struct{}
+
+func (ebChecker) Name() string { return "eventbuilder-exactly-once" }
+
+func (ebChecker) Check(c *Cluster) []string {
+	eb := c.eb
+	if eb == nil {
+		return nil
+	}
+	var out []string
+	if dup := eb.evm.Duplicates(); dup != 0 {
+		out = append(out, fmt.Sprintf("event manager counted %d duplicate built notes", dup))
+	}
+	eb.mu.Lock()
+	expected, built, kills := eb.totalExpected, eb.totalBuilt, eb.killRounds
+	eb.mu.Unlock()
+	if built != expected {
+		out = append(out, fmt.Sprintf(
+			"%d distinct events completed across all rounds, budget was %d (%d kill rounds)",
+			built, expected, kills))
 	}
 	return out
 }

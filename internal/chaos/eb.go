@@ -1,6 +1,8 @@
 package chaos
 
 import (
+	"errors"
+	"sync"
 	"time"
 
 	"xdaq/internal/daq"
@@ -8,60 +10,119 @@ import (
 )
 
 // ebState is the persistent DAQ event-builder deployment riding along with
-// the chaos workload: event manager and readout unit on the first node, a
-// builder unit on the last, exactly the paper's §6 demonstrator.  The
-// modules are plugged once at build time and re-armed every round (the
-// EVM's allocator rewinds, the BU restarts), so proxy entries discovered
-// for them stay valid across rounds and failovers.
+// the chaos workload, in the PR's hierarchical shape: event manager and
+// readout unit 0 on the first node, readout unit 1 plus the aggregator
+// stage on the second, and two sharded builder units on the last — the
+// paper's §6 demonstrator scaled to a (tiny) tree with a real shard map.
+// The modules are plugged once at build time and re-armed every round (the
+// EVM's allocator rewinds, the BUs restart and re-register), so proxy
+// entries discovered for them stay valid across rounds and failovers.
+//
+// Every completed event lands in builtBy via the builders' OnEvent hooks;
+// eventBuilderRound audits the log for exactly-once completion and the
+// ebChecker re-audits the cumulative totals at every quiescent point.
 type ebState struct {
 	evm *daq.EVM
-	ru  *daq.RU
-	bu  *daq.BU
+	rus []*daq.RU
+	agg *daq.Aggregator
+	bus []*daq.BU
+
+	mu      sync.Mutex
+	builtBy map[uint64][]int // event -> builder instances that completed it (this round)
+
+	// Cumulative across rounds, for the exactly-once checker.
+	totalExpected uint64 // sum of clean-round event budgets
+	totalBuilt    uint64 // sum of per-round distinct events completed
+	killRounds    int    // rounds that killed a builder mid-run
 }
 
-// setupEventBuilder plugs the DAQ modules and wires the builder to its
-// sources through proxy TiDs.
+// setupEventBuilder plugs the DAQ modules and wires the tree through proxy
+// TiDs: both builders pull super-fragments from the aggregator, which
+// fans out to the two readout units; everyone fences on the EVM's shard
+// map.
 func (c *Cluster) setupEventBuilder() error {
 	src := c.Nodes[0]
+	mid := c.Nodes[1]
 	sink := c.Nodes[len(c.Nodes)-1]
 	eb := &ebState{
-		evm: daq.NewEVM(0),
-		ru:  daq.NewRU(0, 512),
-		bu:  daq.NewBU(0),
+		evm:     daq.NewEVM(0),
+		rus:     []*daq.RU{daq.NewRU(0, 512), daq.NewRU(1, 512)},
+		agg:     daq.NewAggregator(0),
+		bus:     []*daq.BU{daq.NewBU(0), daq.NewBU(1)},
+		builtBy: make(map[uint64][]int),
 	}
+	eb.evm.SetSharding(16, 4)
 	if _, err := src.Exec.Plug(eb.evm.Device()); err != nil {
 		return err
 	}
-	if _, err := src.Exec.Plug(eb.ru.Device()); err != nil {
+	if _, err := src.Exec.Plug(eb.rus[0].Device()); err != nil {
 		return err
 	}
-	if _, err := sink.Exec.Plug(eb.bu.Device()); err != nil {
+	if _, err := mid.Exec.Plug(eb.rus[1].Device()); err != nil {
 		return err
 	}
-	evmTID, err := sink.Exec.Discover(src.ID, daq.EVMClass, 0)
+	if _, err := mid.Exec.Plug(eb.agg.Device()); err != nil {
+		return err
+	}
+
+	// The readout units fence on the shard map they fetch from the EVM.
+	evmLocal := eb.evm.Device().TID()
+	eb.rus[0].SetEVM(evmLocal)
+	evmFromMid, err := mid.Exec.Discover(src.ID, daq.EVMClass, 0)
 	if err != nil {
 		return err
 	}
-	ruTID, err := sink.Exec.Discover(src.ID, daq.RUClass, 0)
+	eb.rus[1].SetEVM(evmFromMid)
+
+	// Aggregator children: RU 0 by proxy, RU 1 locally.
+	ru0FromMid, err := mid.Exec.Discover(src.ID, daq.RUClass, 0)
 	if err != nil {
 		return err
 	}
-	eb.bu.Configure(evmTID, []i2o.TID{ruTID})
+	eb.agg.Configure(evmFromMid, []daq.AggChild{
+		{TID: ru0FromMid},
+		{TID: eb.rus[1].Device().TID()},
+	})
+
+	// Builders: one aggregator root covering both readout units.
+	evmFromSink, err := sink.Exec.Discover(src.ID, daq.EVMClass, 0)
+	if err != nil {
+		return err
+	}
+	aggFromSink, err := sink.Exec.Discover(mid.ID, daq.AggClass, 0)
+	if err != nil {
+		return err
+	}
+	for i, bu := range eb.bus {
+		if _, err := sink.Exec.Plug(bu.Device()); err != nil {
+			return err
+		}
+		bu.ConfigureTree(evmFromSink, []i2o.TID{aggFromSink}, len(eb.rus))
+		who := i
+		bu.OnEvent = func(event uint64, size int) {
+			eb.mu.Lock()
+			eb.builtBy[event] = append(eb.builtBy[event], who)
+			eb.mu.Unlock()
+		}
+	}
 	c.eb = eb
 	return nil
 }
 
 // eventBuilderRound rewinds the EVM to the round's event budget and runs
-// the builder until the manager is exhausted.  Corruption (a fragment that
-// does not match its event) is a violation on any run; a shortfall is one
-// only when the run is clean.
+// both builders until the manager is exhausted.  When killBU names a
+// builder (1-based instance+1), that builder is killed after it makes
+// real progress and evicted from the shard map shortly after — the EVM
+// re-grants its unfinished blocks (with built events masked out) to the
+// survivor, and the exactly-once audit at the end of the round must still
+// hold.  Corruption or a duplicated event is a violation on any run; a
+// shortfall is one only when the run is clean.
 //
 // The round only runs while the cluster is lossless: the builder's
-// allocate/fragment pipeline is a pure event-driven state machine with no
-// retransmission, so a single dropped frame wedges the run by design —
-// under armed faults or after a transport kill that is expected behavior,
-// not an invariant to audit.
-func (c *Cluster) eventBuilderRound(round, events int) {
+// allocate/fragment pipeline recovers from fenced (failed) requests but
+// not from silently dropped frames — under armed faults or after a
+// transport kill a wedge is expected behavior, not an invariant to audit.
+func (c *Cluster) eventBuilderRound(round, events, killBU int) {
 	eb := c.eb
 	if eb == nil {
 		return
@@ -71,34 +132,99 @@ func (c *Cluster) eventBuilderRound(round, events int) {
 		return
 	}
 	eb.evm.Reset(uint64(events))
-	done, err := eb.bu.Start(0, 4)
-	if err != nil {
-		if !c.lossy {
-			c.violate("round %d: event builder start: %v", round+1, err)
+	eb.mu.Lock()
+	eb.builtBy = make(map[uint64][]int)
+	eb.mu.Unlock()
+
+	dones := make([]<-chan struct{}, len(eb.bus))
+	for i, bu := range eb.bus {
+		done, err := bu.Start(0, 4)
+		if err != nil {
+			c.violate("round %d: event builder %d start: %v", round+1, i, err)
+			return
 		}
+		dones[i] = done
+	}
+
+	victim := killBU - 1
+	if victim >= 0 && victim < len(eb.bus) {
+		// Kill only after the victim completed something, so the round
+		// exercises a mid-pipeline handoff rather than a clean no-op.
+		bu := eb.bus[victim]
+		deadline := time.Now().Add(3 * time.Second)
+		for bu.Stats().Built == 0 && time.Now().Before(deadline) {
+			time.Sleep(500 * time.Microsecond)
+		}
+		c.logf("chaos: round %d: killing event builder %d (built %d)",
+			round+1, victim, bu.Stats().Built)
+		bu.Kill()
+		// The eviction arrives a beat later, the way a health monitor
+		// would deliver it: the victim's in-flight built notes land first.
+		time.Sleep(20 * time.Millisecond)
+		eb.evm.RemoveBU(uint32(victim))
+		eb.mu.Lock()
+		eb.killRounds++
+		eb.mu.Unlock()
+	}
+
+	wedged := false
+	for i, done := range dones {
+		select {
+		case <-done:
+		case <-time.After(10 * time.Second):
+			c.violate("round %d: event builder %d wedged (built %d of %d)",
+				round+1, i, eb.bus[i].Stats().Built, events)
+			wedged = true
+		}
+	}
+	if wedged {
 		return
 	}
-	select {
-	case <-done:
-	case <-time.After(10 * time.Second):
-		c.violate("round %d: event builder wedged (built %d of %d)",
-			round+1, eb.bu.Stats().Built, events)
-		return
-	}
+
 	// BU counters reset at every Start, so Stats is this round's tally.
-	stats, err := eb.bu.Wait()
-	if stats.Corrupt != 0 {
-		c.violate("round %d: event builder assembled %d corrupt events", round+1, stats.Corrupt)
+	var built, bytes uint64
+	for i, bu := range eb.bus {
+		stats, err := bu.Wait()
+		if stats.Corrupt != 0 {
+			c.violate("round %d: event builder %d assembled %d corrupt events",
+				round+1, i, stats.Corrupt)
+		}
+		if err != nil && !(i == victim && errors.Is(err, daq.ErrKilled)) {
+			c.violate("round %d: event builder %d failed: %v", round+1, i, err)
+			return
+		}
+		built += stats.Built
+		bytes += stats.Bytes
 	}
-	if c.lossy {
-		return // shortfalls and errors ride on losses
+
+	// Exactly once: every event in the round's range completed on exactly
+	// one builder — across the kill, the eviction, and the re-grant.
+	eb.mu.Lock()
+	distinct := uint64(len(eb.builtBy))
+	for ev := uint64(1); ev <= uint64(events); ev++ {
+		switch who := eb.builtBy[ev]; len(who) {
+		case 0:
+			c.violate("round %d: event %d never built", round+1, ev)
+		case 1:
+		default:
+			c.violate("round %d: event %d built %d times by builders %v",
+				round+1, ev, len(who), who)
+		}
 	}
-	if err != nil {
-		c.violate("round %d: event builder failed: %v", round+1, err)
-		return
+	eb.totalExpected += uint64(events)
+	eb.totalBuilt += distinct
+	eb.mu.Unlock()
+
+	if dup := eb.evm.Duplicates(); dup != 0 {
+		c.violate("round %d: event manager counted %d duplicate built notes", round+1, dup)
 	}
-	if stats.Built != uint64(events) {
-		c.violate("round %d: event builder built %d of %d events", round+1, stats.Built, events)
+	if built != uint64(events) {
+		c.violate("round %d: event builders built %d of %d events", round+1, built, events)
 	}
-	c.logf("chaos: round %d event builder: %d events, %d bytes", round+1, stats.Built, stats.Bytes)
+	if killBU > 0 && eb.evm.Reassigned() == 0 {
+		c.violate("round %d: builder %d was killed but no blocks were reassigned",
+			round+1, victim)
+	}
+	c.logf("chaos: round %d event builder: %d events, %d bytes, %d reassigned blocks",
+		round+1, built, bytes, eb.evm.Reassigned())
 }

@@ -48,6 +48,11 @@ type roundPlan struct {
 	// Events is the DAQ event-builder event count for this round (0: no
 	// event-builder traffic).
 	Events int
+
+	// KillBU names the builder unit killed mid-round as instance+1 (0:
+	// nobody dies); the EVM must rebalance its event range onto the
+	// survivor without losing or duplicating an event.
+	KillBU int
 }
 
 // buildRounds scripts every round of a run from the seed.
@@ -61,6 +66,15 @@ func buildRounds(o Options) []roundPlan {
 		killRound = 1
 		if o.Rounds > 2 {
 			killRound = 1 + rng.Intn(o.Rounds-2)
+		}
+	}
+	killBURound := -1
+	if o.KillBU && o.EventBuilder {
+		// Same shape: at least one clean round before the builder dies,
+		// so the shard map has a settled baseline to rebalance from.
+		killBURound = 1
+		if o.Rounds > 2 {
+			killBURound = 1 + rng.Intn(o.Rounds-2)
 		}
 	}
 	for r := range rounds {
@@ -79,7 +93,15 @@ func buildRounds(o Options) []roundPlan {
 			rp.Bulk = 4096 + rng.Intn(60*1024)
 		}
 		if o.EventBuilder {
-			rp.Events = 6 + rng.Intn(10)
+			rp.Events = 48 + rng.Intn(32)
+			if r == killBURound {
+				rp.KillBU = 1 + rng.Intn(2)
+				// A kill round needs a budget the victim cannot drain
+				// before the kill lands (loopback builds tens of events
+				// per millisecond): otherwise nothing is left to
+				// reassign and the round proves nothing.
+				rp.Events = 768 + rng.Intn(512)
+			}
 		}
 	}
 	return rounds
@@ -193,8 +215,8 @@ func PlanString(o Options) string {
 	var b strings.Builder
 	fmt.Fprintf(&b, "chaos plan: seed=%d fabric=%s nodes=%d rounds=%d workers=%d faults=%s",
 		o.Seed, o.Fabric, o.Nodes, o.Rounds, o.Workers, o.Faults)
-	fmt.Fprintf(&b, " kill=%v rescale=%v bulk=%v eventbuilder=%v\n",
-		o.Kill, o.Rescale, o.Bulk, o.EventBuilder)
+	fmt.Fprintf(&b, " kill=%v rescale=%v bulk=%v eventbuilder=%v killbu=%v\n",
+		o.Kill, o.Rescale, o.Bulk, o.EventBuilder, o.KillBU)
 
 	if rules := sendRules(o.Faults); rules != nil {
 		b.WriteString("send rules (per-peer streams):\n")
@@ -235,6 +257,9 @@ func PlanString(o Options) string {
 		}
 		if rp.Events > 0 {
 			fmt.Fprintf(&b, " events=%d", rp.Events)
+		}
+		if rp.KillBU > 0 {
+			fmt.Fprintf(&b, " killbu=%d", rp.KillBU-1)
 		}
 		b.WriteString("\n")
 	}

@@ -4,84 +4,141 @@ import (
 	"encoding/binary"
 	"errors"
 	"fmt"
+	"math/bits"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"xdaq/internal/chain"
 	"xdaq/internal/device"
 	"xdaq/internal/i2o"
 )
 
-// BUStats summarizes a builder unit's run.
+// ErrKilled reports a run terminated by Kill (the chaos harness's builder
+// failure injection).
+var ErrKilled = errors.New("daq: builder unit killed")
+
+// retryDelay paces the BU's polling retries: allocation re-asks after an
+// AllocRetry, and fragment re-requests after a transient FailStaleShard.
+const retryDelay = 500 * time.Microsecond
+
+// BUStats summarizes a builder unit's run.  Every field is maintained
+// with atomics, so Stats is safe to call from any goroutine while
+// dispatchers and retry timers are mutating the run concurrently.
 type BUStats struct {
-	Built   uint64 // complete events assembled
-	Bytes   uint64 // fragment payload bytes received
-	Corrupt uint64 // fragments whose fill byte did not verify
+	Built        uint64 // complete events assembled
+	Bytes        uint64 // fragment payload bytes received
+	Corrupt      uint64 // fragments whose fill byte did not verify
+	StaleRetries uint64 // fragment requests retried after a shard fence
+	LostBlocks   uint64 // blocks dropped because ownership moved away
 }
 
-// BU is a builder unit: the consumer side of the event builder.  It is a
-// pure event-driven state machine — every transition happens inside a
-// message handler on the executive's dispatch goroutine, so the run state
-// needs no locking.  Start itself only posts a kickoff frame to the BU's
-// own TiD ("essentially every occurrence in the system is mapped to an
-// I2O message").
+// BU is a builder unit: the consumer side of the event builder.  It is an
+// event-driven state machine — transitions happen inside message handlers
+// and retry timers, guarded by one mutex (timers run off the dispatch
+// goroutine, so the run state is no longer single-threaded).  Start
+// itself only posts a kickoff frame to the BU's own TiD ("essentially
+// every occurrence in the system is mapped to an I2O message").
+//
+// The unit works in event blocks: it registers with the EVM (entering the
+// shard map), then keeps up to `pipeline` block allocations in flight.
+// Each granted block fans out one FragReq per source — every RU in the
+// flat wiring, or a handful of aggregator roots in the tree wiring — and
+// completes as the batched replies drain in.
 type BU struct {
 	dev      *device.Device
 	instance int
 
 	// Wiring, set before Start.
-	evm i2o.TID
-	rus []i2o.TID
-	fu  i2o.TID // optional filter unit receiving built events
+	evm      i2o.TID
+	srcs     []i2o.TID // fragment sources: RUs (flat) or aggregator roots (tree)
+	srcFunc  uint16    // XFuncFragment (flat) or XFuncSuper (tree)
+	perEvent int       // fragments expected per event (= total RUs)
+	fu       i2o.TID   // optional filter unit receiving built events
 
-	// OnEvent, if set, runs on the dispatch goroutine for every built
-	// event (the hook where a filter unit would attach).
+	// OnEvent, if set, runs for every built event (the hook where a
+	// filter unit would attach).  It is called with the BU's run lock
+	// held; keep it short and never call back into the BU.
 	OnEvent func(event uint64, size int)
 
-	// Run state, touched only on the dispatch goroutine.
+	// Run state, guarded by mu (handlers and retry timers).
+	mu        sync.Mutex
 	target    uint64
 	pipeline  int
-	inflight  map[uint64]*eventBuild
-	allocsOut int
 	issued    uint64
-	drained   bool
+	allocsOut int
+	timersOut int
+	over      bool
+	blocks    map[uint32]*blockBuild
+	done      chan struct{}
+	running   bool
+	failure   error
+	runCtx    *device.Context
+
+	blockSeq atomic.Uint32 // monotonic across runs: stale replies miss
+	runGen   atomic.Uint32 // stamped on alloc/register requests
+	killed   atomic.Bool
+	shardVer atomic.Uint64
 
 	built   atomic.Uint64
 	bytes   atomic.Uint64
 	corrupt atomic.Uint64
+	stale   atomic.Uint64
+	lost    atomic.Uint64
 
 	xferSeq atomic.Uint32
+}
 
-	mu      sync.Mutex
-	done    chan struct{}
-	running bool
-	failure error
+// blockBuild is one event block under assembly.
+type blockBuild struct {
+	first       uint64
+	count       uint32
+	skip        uint64
+	pendingSrcs int
+	doneEvents  int
+	events      []eventBuild
 }
 
 type eventBuild struct {
 	got   int
 	bytes int
+	done  bool
 	frags [][]byte // fragment copies, kept only when forwarding to an FU
 }
 
 // NewBU creates builder unit `instance`.
 func NewBU(instance int) *BU {
-	b := &BU{instance: instance}
+	b := &BU{instance: instance, evm: i2o.TIDNone, fu: i2o.TIDNone}
 	b.dev = device.New(BUClass, instance)
 	b.dev.Bind(XFuncStart, b.handleStart)
 	b.dev.Bind(XFuncAllocate, b.handleAllocateReply)
+	b.dev.Bind(XFuncRegister, b.handleRegisterReply)
 	b.dev.Bind(XFuncFragment, b.handleFragmentReply)
+	b.dev.Bind(XFuncSuper, b.handleFragmentReply)
 	return b
 }
 
 // Device returns the module to plug into an executive.
 func (b *BU) Device() *device.Device { return b.dev }
 
-// Configure wires the builder to its event manager and readout units
-// (local TiDs; proxies for remote devices).  Must precede Start.
+// Configure wires the builder flat: it talks to every readout unit
+// directly (local TiDs; proxies for remote devices).  Must precede Start.
 func (b *BU) Configure(evm i2o.TID, rus []i2o.TID) {
 	b.evm = evm
-	b.rus = append([]i2o.TID(nil), rus...)
+	b.srcs = append([]i2o.TID(nil), rus...)
+	b.srcFunc = XFuncFragment
+	b.perEvent = len(rus)
+}
+
+// ConfigureTree wires the builder hierarchically: fragment requests go to
+// the given aggregator roots, each covering a subtree of readout units;
+// totalRUs is the number of leaf RUs across all subtrees (the fragment
+// count that completes an event).  Must precede Start.
+func (b *BU) ConfigureTree(evm i2o.TID, roots []i2o.TID, totalRUs int) {
+	b.evm = evm
+	b.srcs = append([]i2o.TID(nil), roots...)
+	b.srcFunc = XFuncSuper
+	b.perEvent = totalRUs
 }
 
 // SetFilterUnit streams every built event to the filter unit at fu as a
@@ -89,9 +146,16 @@ func (b *BU) Configure(evm i2o.TID, rus []i2o.TID) {
 // forwarding.  Must precede Start.
 func (b *BU) SetFilterUnit(fu i2o.TID) { b.fu = fu }
 
-// Stats returns the current counters.
+// Stats returns the current counters (atomic reads; safe concurrently
+// with a running build).
 func (b *BU) Stats() BUStats {
-	return BUStats{Built: b.built.Load(), Bytes: b.bytes.Load(), Corrupt: b.corrupt.Load()}
+	return BUStats{
+		Built:        b.built.Load(),
+		Bytes:        b.bytes.Load(),
+		Corrupt:      b.corrupt.Load(),
+		StaleRetries: b.stale.Load(),
+		LostBlocks:   b.lost.Load(),
+	}
 }
 
 // Err returns the failure that ended the run, if any.
@@ -102,7 +166,7 @@ func (b *BU) Err() error {
 }
 
 // Start begins building nevents events (0 = run until the EVM is
-// exhausted), keeping up to pipeline allocations in flight.  It returns
+// exhausted), keeping up to pipeline event blocks in flight.  It returns
 // the channel closed at completion.
 func (b *BU) Start(nevents uint64, pipeline int) (<-chan struct{}, error) {
 	if pipeline <= 0 {
@@ -112,7 +176,7 @@ func (b *BU) Start(nevents uint64, pipeline int) (<-chan struct{}, error) {
 	if err != nil {
 		return nil, err
 	}
-	if b.evm == i2o.TIDNone || len(b.rus) == 0 {
+	if b.evm == i2o.TIDNone || len(b.srcs) == 0 {
 		return nil, errors.New("daq: builder unit not configured")
 	}
 	b.mu.Lock()
@@ -124,6 +188,17 @@ func (b *BU) Start(nevents uint64, pipeline int) (<-chan struct{}, error) {
 	b.failure = nil
 	b.done = make(chan struct{})
 	done := b.done
+	b.killed.Store(false)
+	b.runGen.Add(1)
+	// Counters reset here, not in the kickoff handler: the moment Start
+	// returns, Stats reports this run — a caller gating on progress (the
+	// chaos harness's builder-kill trigger) must never read a stale tally
+	// from the previous round.
+	b.built.Store(0)
+	b.bytes.Store(0)
+	b.corrupt.Store(0)
+	b.stale.Store(0)
+	b.lost.Store(0)
 	b.mu.Unlock()
 
 	payload := make([]byte, 12)
@@ -147,9 +222,22 @@ func (b *BU) Wait() (BUStats, error) {
 	return b.Stats(), b.Err()
 }
 
+// Kill terminates the run immediately: in-flight frames are dropped on
+// arrival and Wait returns ErrKilled.  It models a crashed builder for
+// failover tests — the EVM re-grants the unit's blocks to the survivors
+// once RemoveBU (or PeerDown) runs.
+func (b *BU) Kill() {
+	b.killed.Store(true)
+	b.finish(ErrKilled)
+}
+
 func (b *BU) finish(err error) {
 	b.mu.Lock()
-	defer b.mu.Unlock()
+	b.finishLocked(err)
+	b.mu.Unlock()
+}
+
+func (b *BU) finishLocked(err error) {
 	if !b.running {
 		return
 	}
@@ -158,146 +246,329 @@ func (b *BU) finish(err error) {
 	close(b.done)
 }
 
+// maybeFinishLocked closes the run once no work remains anywhere: no
+// allocation or retry in flight, no block under assembly, and either the
+// EVM said the run is over or the local target is reached.
+func (b *BU) maybeFinishLocked() {
+	if b.allocsOut == 0 && b.timersOut == 0 && len(b.blocks) == 0 &&
+		(b.over || (b.target > 0 && b.built.Load() >= b.target)) {
+		b.finishLocked(nil)
+	}
+}
+
 func (b *BU) handleStart(ctx *device.Context, m *i2o.Message) error {
 	if len(m.Payload) < 12 {
 		b.finish(i2o.ErrTruncated)
 		return i2o.ErrTruncated
 	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
 	b.target = binary.LittleEndian.Uint64(m.Payload)
 	b.pipeline = int(binary.LittleEndian.Uint32(m.Payload[8:]))
-	b.inflight = make(map[uint64]*eventBuild, b.pipeline)
-	b.allocsOut = 0
 	b.issued = 0
-	b.drained = false
-	b.built.Store(0)
-	b.bytes.Store(0)
-	b.corrupt.Store(0)
-	b.pump(ctx)
-	b.maybeFinish()
+	b.allocsOut = 0
+	b.timersOut = 0
+	b.over = false
+	b.blocks = make(map[uint32]*blockBuild, b.pipeline)
+	b.runCtx = ctx
+
+	// Register with the EVM (idempotent): the reply carries the shard map
+	// version and unblocks the allocation pump.
+	req := EncodeRegisterReq(RegisterReq{BU: uint32(b.instance), Node: uint32(ctx.Host.Node())})
+	if err := b.requestTagged(ctx, b.evm, XFuncRegister, b.runGen.Load(), req); err != nil {
+		b.finishLocked(fmt.Errorf("daq: register: %w", err))
+	}
 	return nil
 }
 
-// pump keeps the allocation pipeline full.
-func (b *BU) pump(ctx *device.Context) {
-	for b.allocsOut+len(b.inflight) < b.pipeline {
-		if b.drained || (b.target > 0 && b.issued >= b.target) {
+// requestTagged sends a reply-expected private frame with the given
+// transaction context (for correlating replies to runs and blocks).
+func (b *BU) requestTagged(ctx *device.Context, target i2o.TID, xfunc uint16, txn uint32, payload []byte) error {
+	return ctx.Host.Send(&i2o.Message{
+		Flags:              i2o.FlagReplyExpected,
+		Priority:           i2o.PriorityNormal,
+		Target:             target,
+		Initiator:          b.dev.TID(),
+		Function:           i2o.FuncPrivate,
+		Org:                i2o.OrgXDAQ,
+		XFunction:          xfunc,
+		TransactionContext: txn,
+		Payload:            payload,
+	})
+}
+
+func (b *BU) handleRegisterReply(ctx *device.Context, m *i2o.Message) error {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if !b.running || b.killed.Load() || m.TransactionContext != b.runGen.Load() {
+		return nil
+	}
+	if err := i2o.ReplyError(m); err != nil {
+		b.finishLocked(fmt.Errorf("daq: register: %w", err))
+		return nil
+	}
+	rep, err := DecodeRegisterRep(m.Payload)
+	if err != nil {
+		b.finishLocked(err)
+		return nil
+	}
+	b.shardVer.Store(rep.Version)
+	b.pumpLocked(ctx)
+	b.maybeFinishLocked()
+	return nil
+}
+
+// pumpLocked keeps the block-allocation pipeline full.  Each outstanding
+// allocation request reserves at least one event against the target, so a
+// bounded run never over-asks (with the default one-event blocks the
+// reservation is exact — the legacy Start(n, p) contract).
+func (b *BU) pumpLocked(ctx *device.Context) {
+	for b.allocsOut+b.timersOut+len(b.blocks) < b.pipeline {
+		if b.over || (b.target > 0 && b.issued >= b.target) {
 			return
 		}
-		if err := request(ctx.Host, b.evm, b.dev.TID(), XFuncAllocate, i2o.PriorityNormal, nil); err != nil {
-			b.finish(fmt.Errorf("daq: allocate request: %w", err))
+		if err := b.sendAllocLocked(ctx); err != nil {
+			b.finishLocked(fmt.Errorf("daq: allocate request: %w", err))
 			return
 		}
-		b.allocsOut++
 		b.issued++
 	}
+}
+
+func (b *BU) sendAllocLocked(ctx *device.Context) error {
+	payload := EncodeAllocReq(AllocReq{BU: uint32(b.instance)})
+	if err := b.requestTagged(ctx, b.evm, XFuncAllocate, b.runGen.Load(), payload); err != nil {
+		return err
+	}
+	b.allocsOut++
+	return nil
 }
 
 func (b *BU) handleAllocateReply(ctx *device.Context, m *i2o.Message) error {
 	if !m.Flags.Has(i2o.FlagReply) {
 		return fmt.Errorf("daq: builder unit does not allocate events")
 	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if !b.running || b.killed.Load() || m.TransactionContext != b.runGen.Load() {
+		return nil
+	}
 	b.allocsOut--
 	if err := i2o.ReplyError(m); err != nil {
-		b.finish(fmt.Errorf("daq: allocation failed: %w", err))
+		b.finishLocked(fmt.Errorf("daq: allocation failed: %w", err))
 		return nil
 	}
-	event, ok := getU64(m.Payload)
-	if !ok {
-		// Empty allocation: the EVM ran out of events.
-		b.drained = true
-		b.maybeFinish()
+	rep, err := DecodeAllocRep(m.Payload)
+	if err != nil {
+		b.finishLocked(err)
 		return nil
 	}
-	b.inflight[event] = &eventBuild{}
-	payload := putU64(event)
-	for _, ru := range b.rus {
-		if err := request(ctx.Host, ru, b.dev.TID(), XFuncFragment, i2o.PriorityNormal, payload); err != nil {
-			b.finish(fmt.Errorf("daq: fragment request to %v: %w", ru, err))
-			return nil
+	b.shardVer.Store(rep.Version)
+	switch rep.Status {
+	case AllocOver:
+		b.over = true
+	case AllocRetry:
+		// The EVM has nothing for us yet (other builders hold blocks that
+		// may orphan back).  Re-ask after a beat.
+		b.scheduleLocked(func(ctx *device.Context) {
+			if b.over {
+				return
+			}
+			if err := b.sendAllocLocked(ctx); err != nil {
+				b.finishLocked(fmt.Errorf("daq: allocate retry: %w", err))
+			}
+		})
+	case AllocGrant:
+		if uint64(rep.Count) > 1 {
+			// A multi-event grant consumes more of the target than the one
+			// event the request reserved.
+			b.issued += uint64(rep.Count) - 1
+		}
+		seq := b.blockSeq.Add(1)
+		bb := &blockBuild{
+			first:       rep.First,
+			count:       rep.Count,
+			skip:        rep.Skip,
+			pendingSrcs: len(b.srcs),
+			events:      make([]eventBuild, rep.Count),
+		}
+		for i := uint32(0); i < rep.Count; i++ {
+			if rep.Skip&(1<<i) != 0 {
+				bb.events[i].done = true
+				bb.doneEvents++
+			}
+		}
+		b.blocks[seq] = bb
+		req := FragReq{
+			Version: rep.Version,
+			BU:      uint32(b.instance),
+			First:   rep.First,
+			Count:   rep.Count,
+			Skip:    rep.Skip,
+		}
+		payload := EncodeFragReq(req)
+		for i, src := range b.srcs {
+			if err := b.requestTagged(ctx, src, b.srcFunc, seq<<8|uint32(i), payload); err != nil {
+				b.finishLocked(fmt.Errorf("daq: fragment request to %v: %w", src, err))
+				return nil
+			}
 		}
 	}
+	b.pumpLocked(ctx)
+	b.maybeFinishLocked()
 	return nil
+}
+
+// scheduleLocked arms a retry timer.  The callback runs with the lock
+// held, only while the same run is still live.
+func (b *BU) scheduleLocked(f func(ctx *device.Context)) {
+	b.timersOut++
+	gen := b.runGen.Load()
+	time.AfterFunc(retryDelay, func() {
+		b.mu.Lock()
+		defer b.mu.Unlock()
+		if gen != b.runGen.Load() {
+			return // a newer run owns the state now
+		}
+		b.timersOut--
+		if !b.running || b.killed.Load() {
+			return
+		}
+		f(b.runCtx)
+		b.maybeFinishLocked()
+	})
 }
 
 func (b *BU) handleFragmentReply(ctx *device.Context, m *i2o.Message) error {
 	if !m.Flags.Has(i2o.FlagReply) {
 		return fmt.Errorf("daq: builder unit serves no fragments")
 	}
+	seq, srcIdx := m.TransactionContext>>8, int(m.TransactionContext&0xFF)
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if !b.running || b.killed.Load() {
+		return nil
+	}
+	bb := b.blocks[seq]
+	if bb == nil || srcIdx >= len(b.srcs) {
+		return nil // stale reply from a dropped block or an earlier run
+	}
 	if err := i2o.ReplyError(m); err != nil {
-		b.finish(fmt.Errorf("daq: fragment failed: %w", err))
-		return nil
-	}
-	event, ok := getU64(m.Payload)
-	if !ok {
-		b.finish(fmt.Errorf("daq: fragment reply without event id"))
-		return nil
-	}
-	build, ok := b.inflight[event]
-	if !ok {
-		return nil // duplicate or stale; ignore
-	}
-	frag := m.Payload[8:]
-	build.got++
-	build.bytes += len(frag)
-	if b.fu != i2o.TIDNone {
-		// The frame's pool buffer is released after this handler returns;
-		// keep a copy for the filter unit.
-		build.frags = append(build.frags, append([]byte(nil), frag...))
-	}
-	if len(frag) > 0 {
-		// Verify the deterministic fill without knowing which RU answered:
-		// the fill byte must match one of our readout units for this event.
-		valid := false
-		for i := range b.rus {
-			if frag[0] == FragmentFill(i, event) {
-				valid = true
-				break
+		var rec *i2o.FailRecord
+		if errors.As(err, &rec) {
+			switch rec.Code {
+			case FailStaleShard:
+				// Transient: the source's map copy lags ours.  It is
+				// refreshing; re-ask shortly with our latest version.
+				b.stale.Add(1)
+				b.scheduleLocked(func(ctx *device.Context) {
+					if b.blocks[seq] != bb {
+						return
+					}
+					req := FragReq{
+						Version: b.shardVer.Load(),
+						BU:      uint32(b.instance),
+						First:   bb.first,
+						Count:   bb.count,
+						Skip:    bb.skip,
+					}
+					if err := b.requestTagged(ctx, b.srcs[srcIdx], b.srcFunc, seq<<8|uint32(srcIdx), EncodeFragReq(req)); err != nil {
+						b.finishLocked(fmt.Errorf("daq: fragment retry to %v: %w", b.srcs[srcIdx], err))
+					}
+				})
+				return nil
+			case FailNotOwner:
+				// Permanent: a rebalance changed the slot's owner after
+				// our grant.  Return the block to the EVM so it re-grants
+				// to the current owner — without the release it would sit
+				// in the EVM's in-flight table forever and the run could
+				// never drain.
+				b.lost.Add(1)
+				delete(b.blocks, seq)
+				rel := EncodeReleaseNote(ReleaseNote{BU: uint32(b.instance), First: bb.first})
+				if err := send(ctx.Host, b.evm, b.dev.TID(), XFuncRelease, i2o.PriorityHigh, rel); err != nil {
+					ctx.Host.Logf("daq: block release: %v", err)
+				}
+				b.pumpLocked(ctx)
+				b.maybeFinishLocked()
+				return nil
 			}
 		}
-		if !valid {
-			b.corrupt.Add(1)
-		}
-	}
-	if build.got < len(b.rus) {
+		b.finishLocked(fmt.Errorf("daq: fragment failed: %w", err))
 		return nil
 	}
-	// Event complete.
-	delete(b.inflight, event)
-	b.built.Add(1)
-	b.bytes.Add(uint64(build.bytes))
-	if b.OnEvent != nil {
-		b.OnEvent(event, build.bytes)
+	rep, err := DecodeFragRep(m.Payload)
+	if err != nil {
+		b.finishLocked(err)
+		return nil
 	}
-	if err := send(ctx.Host, b.evm, b.dev.TID(), XFuncBuilt, i2o.PriorityLow, putU64(event)); err != nil {
-		ctx.Host.Logf("daq: built notification: %v", err)
+	if rep.Version > b.shardVer.Load() {
+		b.shardVer.Store(rep.Version)
 	}
-	if b.fu != i2o.TIDNone {
-		if err := b.forwardEvent(ctx, event, build); err != nil {
-			ctx.Host.Logf("daq: event %d to filter unit: %v", event, err)
+	for _, f := range rep.Frags {
+		idx := f.Event - bb.first
+		if idx >= uint64(bb.count) {
+			continue // decode already bounds-checks; defensive
+		}
+		ev := &bb.events[idx]
+		if ev.done {
+			continue
+		}
+		ev.got++
+		ev.bytes += len(f.Data)
+		b.bytes.Add(uint64(len(f.Data)))
+		if len(f.Data) > 0 && f.Data[0] != FragmentFill(int(f.RU), f.Event) {
+			b.corrupt.Add(1)
+		}
+		if b.fu != i2o.TIDNone {
+			// The frame's pool buffer is released after this handler
+			// returns; keep a copy for the filter unit.
+			ev.frags = append(ev.frags, append([]byte(nil), f.Data...))
+		}
+		if ev.got >= b.perEvent {
+			ev.done = true
+			bb.doneEvents++
+			b.built.Add(1)
+			if b.OnEvent != nil {
+				b.OnEvent(f.Event, ev.bytes)
+			}
+			note := EncodeBuiltNote(BuiltNote{BU: uint32(b.instance), Event: f.Event})
+			if err := send(ctx.Host, b.evm, b.dev.TID(), XFuncBuilt, i2o.PriorityLow, note); err != nil {
+				ctx.Host.Logf("daq: built notification: %v", err)
+			}
+			if b.fu != i2o.TIDNone {
+				if err := b.forwardEvent(ctx, f.Event, ev); err != nil {
+					ctx.Host.Logf("daq: event %d to filter unit: %v", f.Event, err)
+				}
+			}
 		}
 	}
-	b.pump(ctx)
-	b.maybeFinish()
+	bb.pendingSrcs--
+	if bb.pendingSrcs > 0 {
+		return nil
+	}
+	// All sources answered for this block.
+	if bb.doneEvents != int(bb.count) {
+		served := int(bb.count) - bits.OnesCount64(bb.skip)
+		b.finishLocked(fmt.Errorf(
+			"daq: block %d incomplete: %d of %d events built (%d served)",
+			bb.first, bb.doneEvents, bb.count, served))
+		return nil
+	}
+	delete(b.blocks, seq)
+	b.pumpLocked(ctx)
+	b.maybeFinishLocked()
 	return nil
 }
 
 // forwardEvent ships one complete event to the filter unit as a chain
 // transfer: 8-byte event id, then the fragments in arrival order.
-func (b *BU) forwardEvent(ctx *device.Context, event uint64, build *eventBuild) error {
-	payload := make([]byte, 8, 8+build.bytes)
+func (b *BU) forwardEvent(ctx *device.Context, event uint64, ev *eventBuild) error {
+	payload := make([]byte, 8, 8+ev.bytes)
 	binary.LittleEndian.PutUint64(payload, event)
-	for _, f := range build.frags {
+	for _, f := range ev.frags {
 		payload = append(payload, f...)
 	}
 	id := uint32(b.xferSeq.Add(1))
 	return chain.SendBytes(ctx.Host, b.fu, b.dev.TID(), XFuncEvent, i2o.PriorityBulk, id, payload)
-}
-
-// maybeFinish closes the run once no work remains.
-func (b *BU) maybeFinish() {
-	finished := b.allocsOut == 0 && len(b.inflight) == 0 &&
-		(b.drained || (b.target > 0 && b.built.Load() >= b.target))
-	if finished {
-		b.finish(nil)
-	}
 }

@@ -2,27 +2,32 @@
 // distributed data acquisition event builder in the style of the CMS
 // experiment the XDAQ framework was built for.
 //
-// Three device classes cooperate:
+// Four device classes cooperate:
 //
-//   - EVM, the event manager: allocates event identifiers to builder
-//     units and accounts for completed events.
+//   - EVM, the event manager: owns the versioned shard map assigning
+//     event-range blocks to builder units, grants blocks on request, and
+//     accounts for completed events — rebalancing the map when a builder
+//     is removed so every event is still built exactly once.
 //   - RU, a readout unit: holds (here: synthesizes) one detector
-//     fragment per event and serves it on request.
-//   - BU, a builder unit: requests event allocations from the EVM,
-//     collects the event's fragment from every RU, verifies and counts
-//     the built event.
+//     fragment per event and serves whole blocks of them on request,
+//     fencing requests that disagree with its shard map copy.
+//   - Aggregator: an intermediate stage absorbing the fan-in of a bounded
+//     set of RUs (or deeper aggregators), merging their block replies
+//     into one super-fragment — the tree topology that takes a builder
+//     from O(RUs) conversations per event to O(log RUs).
+//   - BU, a builder unit: registers with the EVM, requests event blocks,
+//     collects every RU's fragment for each event (directly or through
+//     aggregator roots), verifies and counts the built events.
 //
-// True to the paper's event-based processing model (§3.2), the builder
-// unit is a state machine driven entirely by message arrival: it never
-// blocks for a reply.  Requests carry FlagReplyExpected; the replies come
-// back as ordinary private frames into the same bound handlers, and the
-// next step of the protocol fires from there.  n BUs talk to m RUs in
-// both directions — the cross traffic that gave XDAQ its name.
+// True to the paper's event-based processing model (§3.2), every unit is
+// a state machine driven entirely by message arrival: it never blocks for
+// a reply.  Requests carry FlagReplyExpected; the replies come back as
+// ordinary private frames into the same bound handlers, and the next step
+// of the protocol fires from there.  All multi-field payloads are the
+// bounds-checked records of wire.go.
 package daq
 
 import (
-	"encoding/binary"
-
 	"xdaq/internal/i2o"
 )
 
@@ -33,45 +38,53 @@ const (
 	BUClass  = "daq.bu"
 )
 
-// Private function codes.
+// Private function codes.  (XFuncEvent = 5 lives in fu.go with the filter
+// unit, AggClass in aggregator.go.)
 const (
-	// XFuncAllocate (to EVM): request the next event id.  The reply
-	// payload is the uint64 event id, or empty when the configured event
-	// count is exhausted.
+	// XFuncAllocate (to EVM): request the next event block.  Payload:
+	// AllocReq; reply: AllocRep (grant, retry, or run-over).
 	XFuncAllocate uint16 = 1
 
-	// XFuncBuilt (to EVM): one-way notification that an event was built.
-	// Payload: uint64 event id.
+	// XFuncBuilt (to EVM): one-way notification that one event was built.
+	// Payload: BuiltNote.
 	XFuncBuilt uint16 = 2
 
-	// XFuncFragment (to RU): request the fragment of one event.  Payload:
-	// uint64 event id.  Reply payload: uint64 event id, then the fragment
-	// bytes.
+	// XFuncFragment (to RU): request the fragments of one event block.
+	// Payload: FragReq; reply: FragRep (one fragment per served event), or
+	// a fail reply with FailStaleShard/FailNotOwner from the shard fence.
 	XFuncFragment uint16 = 3
 
 	// XFuncStart (to BU, self-addressed): kick off building.  Payload:
 	// uint64 number of events (0 = until the EVM runs dry), uint32
-	// pipeline depth.
+	// pipeline depth in event blocks.
 	XFuncStart uint16 = 4
+
+	// XFuncSuper (to aggregator): request the super-fragment of one event
+	// block — every descendant RU's fragment for every served event.
+	// Payload: FragReq; reply: FragRep.
+	XFuncSuper uint16 = 6
+
+	// XFuncRegister (to EVM): a builder unit announces itself before its
+	// first allocation; the EVM adds it to the shard map.  Payload:
+	// RegisterReq; reply: RegisterRep.
+	XFuncRegister uint16 = 7
+
+	// XFuncShardMap (to EVM): fetch the current shard map; the asker is
+	// recorded as a subscriber and receives one-way pushes (same code, no
+	// reply expected) on every later version bump.
+	XFuncShardMap uint16 = 8
+
+	// XFuncRelease (to EVM): one-way return of a granted block the holder
+	// cannot finish — a readout unit refused it as not-owner after a
+	// rebalance overtook the grant.  The EVM re-queues it for the current
+	// slot owner.  Payload: ReleaseNote.
+	XFuncRelease uint16 = 9
 )
 
 // FragmentFill returns the fill byte of the fragment of event on the
 // given readout unit; builder units verify it on receipt.
 func FragmentFill(ruInstance int, event uint64) byte {
 	return byte(event*2654435761 + uint64(ruInstance)*40503 + 17)
-}
-
-func putU64(v uint64) []byte {
-	b := make([]byte, 8)
-	binary.LittleEndian.PutUint64(b, v)
-	return b
-}
-
-func getU64(p []byte) (uint64, bool) {
-	if len(p) < 8 {
-		return 0, false
-	}
-	return binary.LittleEndian.Uint64(p), true
 }
 
 // send fires one private frame (no reply expected).

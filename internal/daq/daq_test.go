@@ -288,7 +288,7 @@ func TestRUFragSizeReconfigurable(t *testing.T) {
 
 func TestEVMReset(t *testing.T) {
 	evm := NewEVM(5)
-	evm.next.Add(5)
+	evm.allocated.Add(5)
 	evm.built.Add(5)
 	evm.Reset(8)
 	if evm.Allocated() != 0 || evm.Built() != 0 || evm.limit.Load() != 8 {

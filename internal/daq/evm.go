@@ -1,27 +1,77 @@
 package daq
 
 import (
+	"math/bits"
+	"sync"
 	"sync/atomic"
 
 	"xdaq/internal/device"
 	"xdaq/internal/i2o"
 )
 
-// EVM is the event manager: the allocator of event identifiers.  One EVM
-// serves any number of builder units; allocation is a single atomic
-// counter bounded by the configured event count.
+// DefaultShardSlots is the shard slot count when SetSharding is not
+// called.  It only needs to comfortably exceed the builder-unit count so
+// rebalancing granularity stays fine; it is not a scaling parameter.
+const DefaultShardSlots = 16
+
+// EVM is the event manager: the owner of the event space.  It maintains
+// the versioned shard map assigning event-range blocks to builder units,
+// grants blocks on allocation requests (each block to exactly the unit
+// owning its slot), accounts built events, and — when a builder is
+// removed, typically because internal/health declared its node down —
+// reassigns the dead unit's slots and re-queues its in-flight blocks for
+// the survivors, skipping the events already built so nothing is built
+// twice.
 type EVM struct {
-	dev   *device.Device
-	limit atomic.Uint64 // 0 = unbounded
-	next  atomic.Uint64
-	built atomic.Uint64
+	dev *device.Device
+
+	limit      atomic.Uint64 // events per run, 0 = unbounded
+	allocated  atomic.Uint64 // events granted (fresh grants only)
+	built      atomic.Uint64 // distinct events reported built
+	duplicates atomic.Uint64 // built notes for already-built or unknown events
+	reassigned atomic.Uint64 // blocks orphaned by builder removal
+
+	mu        sync.Mutex
+	slots     int    // shard map geometry, fixed at first registration
+	rangeSize uint32 // events per block
+	shard     *ShardMap
+	bus       map[uint32]*evmBU
+	cursor    []uint64               // per slot: ordinal of its next fresh block
+	out       map[uint64]*blockState // granted, not fully built
+	orphans   map[uint64]*blockState // owner removed, awaiting re-grant
+	subs      map[i2o.TID]bool       // shard map subscribers (RUs, aggregators)
+}
+
+// evmBU is one registered builder unit.
+type evmBU struct {
+	node i2o.NodeID
+	rr   int // round-robin start into its slot list
+}
+
+// blockState tracks one granted block of events.
+type blockState struct {
+	bu    uint32
+	first uint64
+	count uint32
+	built uint64 // bit i: event first+i is built
+}
+
+func (b *blockState) done() bool {
+	return bits.OnesCount64(b.built) == int(b.count)
 }
 
 // NewEVM creates the event manager device.  limit bounds the number of
 // events handed out (0 = unbounded); it is also exposed as the "events"
 // parameter so the run size is configurable from the cluster controller.
 func NewEVM(limit uint64) *EVM {
-	e := &EVM{}
+	e := &EVM{
+		slots:     DefaultShardSlots,
+		rangeSize: 1,
+		bus:       make(map[uint32]*evmBU),
+		out:       make(map[uint64]*blockState),
+		orphans:   make(map[uint64]*blockState),
+		subs:      make(map[i2o.TID]bool),
+	}
 	e.limit.Store(limit)
 	e.dev = device.New(EVMClass, 0)
 	e.dev.Params().Set("events", int64(limit))
@@ -36,42 +86,365 @@ func NewEVM(limit uint64) *EVM {
 	})
 	e.dev.Bind(XFuncAllocate, e.handleAllocate)
 	e.dev.Bind(XFuncBuilt, e.handleBuilt)
+	e.dev.Bind(XFuncRegister, e.handleRegister)
+	e.dev.Bind(XFuncShardMap, e.handleShardMap)
+	e.dev.Bind(XFuncRelease, e.handleRelease)
 	return e
 }
 
 // Device returns the module to plug into an executive.
 func (e *EVM) Device() *device.Device { return e.dev }
 
-// Allocated returns how many event ids have been handed out.
-func (e *EVM) Allocated() uint64 { return e.next.Load() }
-
-// Built returns how many completion notifications arrived.
-func (e *EVM) Built() uint64 { return e.built.Load() }
-
-// Reset rewinds the allocator (between benchmark runs).
-func (e *EVM) Reset(limit uint64) {
-	e.limit.Store(limit)
-	e.next.Store(0)
-	e.built.Store(0)
+// SetSharding configures the shard geometry: slot count (granularity of
+// rebalancing; keep it above the builder count) and events per block (the
+// batching factor of the hierarchical data path).  It must be called
+// before the first builder registers; afterwards the geometry is frozen
+// for the life of the map.
+func (e *EVM) SetSharding(slots int, rangeSize uint32) {
+	if slots < 1 {
+		slots = 1
+	}
+	if rangeSize < 1 {
+		rangeSize = 1
+	}
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.shard != nil {
+		return // geometry is frozen once the map exists
+	}
+	e.slots = slots
+	e.rangeSize = rangeSize
 }
 
+// Allocated returns how many events have been granted.
+func (e *EVM) Allocated() uint64 { return e.allocated.Load() }
+
+// Built returns how many distinct events were reported built.
+func (e *EVM) Built() uint64 { return e.built.Load() }
+
+// Duplicates returns how many built notifications named an event already
+// built (or never granted) — the exactly-once violation counter the chaos
+// checker audits.
+func (e *EVM) Duplicates() uint64 { return e.duplicates.Load() }
+
+// Reassigned returns how many in-flight blocks were orphaned and
+// re-queued by builder removals.
+func (e *EVM) Reassigned() uint64 { return e.reassigned.Load() }
+
+// ShardVersion returns the current shard map version (0 before any
+// builder registered).
+func (e *EVM) ShardVersion() uint64 {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.shard == nil {
+		return 0
+	}
+	return e.shard.Version
+}
+
+// Reset rewinds the event space for a new run (between benchmark or chaos
+// rounds).  Registrations, the shard map, and subscribers survive; grant
+// cursors, in-flight blocks, and counters do not.
+func (e *EVM) Reset(limit uint64) {
+	e.mu.Lock()
+	e.limit.Store(limit)
+	e.allocated.Store(0)
+	e.built.Store(0)
+	e.duplicates.Store(0)
+	e.reassigned.Store(0)
+	for i := range e.cursor {
+		e.cursor[i] = 0
+	}
+	e.out = make(map[uint64]*blockState)
+	e.orphans = make(map[uint64]*blockState)
+	e.mu.Unlock()
+}
+
+// PeerDown removes every builder unit registered from the given node —
+// the hook internal/health's OnState callback plugs into (wired by the
+// caller to avoid coupling the DAQ layer to the monitor).
+func (e *EVM) PeerDown(node i2o.NodeID) {
+	e.mu.Lock()
+	var gone []uint32
+	for id, bu := range e.bus {
+		if bu.node == node {
+			gone = append(gone, id)
+		}
+	}
+	e.mu.Unlock()
+	for _, id := range gone {
+		e.RemoveBU(id)
+	}
+}
+
+// RemoveBU evicts one builder unit: its slots are reassigned to the
+// survivors and its in-flight blocks are re-queued for re-grant with the
+// already-built events masked out, so every event is still built exactly
+// once.
+func (e *EVM) RemoveBU(bu uint32) {
+	e.mu.Lock()
+	if _, ok := e.bus[bu]; !ok {
+		e.mu.Unlock()
+		return
+	}
+	delete(e.bus, bu)
+	e.shard.Remove(bu)
+	n := 0
+	for id, st := range e.out {
+		if st.bu != bu {
+			continue
+		}
+		delete(e.out, id)
+		if st.done() {
+			continue
+		}
+		st.bu = NoOwner
+		e.orphans[id] = st
+		n++
+	}
+	e.reassigned.Add(uint64(n))
+	payload := EncodeShardMap(e.shard)
+	subs := e.subscribers()
+	e.mu.Unlock()
+	e.push(subs, payload)
+}
+
+// subscribers snapshots the subscriber set; callers hold e.mu.
+func (e *EVM) subscribers() []i2o.TID {
+	out := make([]i2o.TID, 0, len(e.subs))
+	for t := range e.subs {
+		out = append(out, t)
+	}
+	return out
+}
+
+// push sends the encoded shard map one-way to every subscriber.
+func (e *EVM) push(subs []i2o.TID, payload []byte) {
+	if len(subs) == 0 {
+		return
+	}
+	ctx, err := e.dev.Ctx()
+	if err != nil {
+		return
+	}
+	for _, t := range subs {
+		if err := send(ctx.Host, t, e.dev.TID(), XFuncShardMap, i2o.PriorityHigh, payload); err != nil {
+			ctx.Host.Logf("daq: shard map push to %v: %v", t, err)
+		}
+	}
+}
+
+// handleRegister admits a builder unit to the shard map.
+func (e *EVM) handleRegister(ctx *device.Context, m *i2o.Message) error {
+	req, err := DecodeRegisterReq(m.Payload)
+	if err != nil {
+		return err
+	}
+	e.mu.Lock()
+	if e.shard == nil {
+		e.shard = NewShardMap(e.slots, e.rangeSize)
+		e.cursor = make([]uint64, len(e.shard.Owners))
+	}
+	changed := e.shard.Add(req.BU)
+	if _, ok := e.bus[req.BU]; !ok {
+		e.bus[req.BU] = &evmBU{node: i2o.NodeID(req.Node)}
+	}
+	version := e.shard.Version
+	var payload []byte
+	var subs []i2o.TID
+	if changed {
+		payload = EncodeShardMap(e.shard)
+		subs = e.subscribers()
+	}
+	e.mu.Unlock()
+	e.push(subs, payload)
+	return device.ReplyIfExpected(ctx, m, EncodeRegisterRep(RegisterRep{Version: version}))
+}
+
+// handleShardMap serves the current map and records the asker as a
+// subscriber for future pushes.
+func (e *EVM) handleShardMap(ctx *device.Context, m *i2o.Message) error {
+	if !m.Flags.Has(i2o.FlagReplyExpected) {
+		return nil
+	}
+	e.mu.Lock()
+	if e.shard == nil {
+		e.shard = NewShardMap(e.slots, e.rangeSize)
+		e.cursor = make([]uint64, len(e.shard.Owners))
+	}
+	e.subs[m.Initiator] = true
+	payload := EncodeShardMap(e.shard)
+	e.mu.Unlock()
+	return device.ReplyIfExpected(ctx, m, payload)
+}
+
+// handleAllocate grants the next event block owned by the asking builder.
 func (e *EVM) handleAllocate(ctx *device.Context, m *i2o.Message) error {
 	if !m.Flags.Has(i2o.FlagReplyExpected) {
 		return nil // an allocation nobody waits for is pointless
 	}
-	limit := e.limit.Load()
-	id := e.next.Add(1)
-	if limit > 0 && id > limit {
-		e.next.Add(^uint64(0)) // undo; reply empty: the run is over
-		return device.ReplyIfExpected(ctx, m, nil)
+	req, err := DecodeAllocReq(m.Payload)
+	if err != nil {
+		return err
 	}
-	return device.ReplyIfExpected(ctx, m, putU64(id))
+	e.mu.Lock()
+	rep := e.allocate(req.BU)
+	e.mu.Unlock()
+	return device.ReplyIfExpected(ctx, m, EncodeAllocRep(rep))
 }
 
-func (e *EVM) handleBuilt(ctx *device.Context, m *i2o.Message) error {
-	if _, ok := getU64(m.Payload); !ok {
-		return i2o.ErrTruncated
+// allocate picks the next block for bu; the caller holds e.mu.
+func (e *EVM) allocate(bu uint32) AllocRep {
+	if e.shard == nil {
+		return AllocRep{Status: AllocOver}
 	}
+	rep := AllocRep{Version: e.shard.Version}
+	me, registered := e.bus[bu]
+	if !registered {
+		// Unknown or evicted builders are told to stop: their event range
+		// belongs to someone else now.
+		rep.Status = AllocOver
+		return rep
+	}
+
+	// Orphaned blocks first: work a removed builder left behind, granted
+	// to whichever survivor now owns the slot.  The skip mask carries the
+	// events the dead builder already finished.
+	var pick uint64
+	found := false
+	for id := range e.orphans {
+		if e.shard.Owners[e.shard.Slot(id)] != bu {
+			continue
+		}
+		if !found || id < pick {
+			pick, found = id, true
+		}
+	}
+	if found {
+		st := e.orphans[pick]
+		delete(e.orphans, pick)
+		st.bu = bu
+		e.out[pick] = st
+		rep.Status = AllocGrant
+		rep.First = st.first
+		rep.Count = st.count
+		rep.Skip = st.built
+		return rep
+	}
+
+	// Fresh blocks: round-robin over the slots this builder owns, bounded
+	// by the event limit.
+	limit := e.limit.Load()
+	var mine []int
+	for s, o := range e.shard.Owners {
+		if o == bu {
+			mine = append(mine, s)
+		}
+	}
+	S := uint64(len(e.shard.Owners))
+	R := uint64(e.shard.Range)
+	for i := 0; i < len(mine); i++ {
+		s := mine[(me.rr+i)%len(mine)]
+		block := uint64(s) + e.cursor[s]*S
+		first := block*R + 1
+		if limit > 0 && first > limit {
+			continue // slot exhausted for this run
+		}
+		count := uint32(R)
+		if limit > 0 && first+R-1 > limit {
+			count = uint32(limit - first + 1)
+		}
+		e.cursor[s]++
+		me.rr = (me.rr + i + 1) % len(mine)
+		e.out[block] = &blockState{bu: bu, first: first, count: count}
+		e.allocated.Add(uint64(count))
+		rep.Status = AllocGrant
+		rep.First = first
+		rep.Count = count
+		return rep
+	}
+
+	// Nothing fresh for this builder.  If any block is still in flight or
+	// orphaned — or events in other builders' slots have not even been
+	// granted yet — work may still come to us through a rebalance, so the
+	// builder must keep asking.  Over is only safe once the entire range
+	// is granted and every block accounted: a builder that quits earlier
+	// would strand the events of a peer that dies after the quit.
+	if len(e.out) > 0 || len(e.orphans) > 0 || (limit > 0 && e.allocated.Load() < limit) {
+		rep.Status = AllocRetry
+	} else {
+		rep.Status = AllocOver
+	}
+	return rep
+}
+
+// handleRelease takes back a granted block its holder cannot finish: a
+// rebalance changed the slot's owner between the grant and the fragment
+// fetch, so the readout units fence the holder as not-owner.  The block
+// (with whatever events are already built masked out) goes to the orphan
+// queue and the next allocation from the current slot owner picks it up.
+// Only the recorded holder can return a block — a stale note from an
+// earlier grant generation is ignored.
+func (e *EVM) handleRelease(ctx *device.Context, m *i2o.Message) error {
+	note, err := DecodeReleaseNote(m.Payload)
+	if err != nil {
+		return err
+	}
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.shard == nil {
+		return nil
+	}
+	block := e.shard.Block(note.First)
+	st := e.out[block]
+	if st == nil || st.bu != note.BU || st.first != note.First {
+		return nil // already re-granted, completed, or never ours
+	}
+	delete(e.out, block)
+	if !st.done() {
+		st.bu = NoOwner
+		e.orphans[block] = st
+		e.reassigned.Add(1)
+	}
+	return nil
+}
+
+// handleBuilt accounts one completed event.
+func (e *EVM) handleBuilt(ctx *device.Context, m *i2o.Message) error {
+	note, err := DecodeBuiltNote(m.Payload)
+	if err != nil {
+		return err
+	}
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.shard == nil {
+		e.duplicates.Add(1)
+		return nil
+	}
+	block := e.shard.Block(note.Event)
+	st := e.out[block]
+	orphan := false
+	if st == nil {
+		st = e.orphans[block]
+		orphan = true
+	}
+	if st == nil || note.Event < st.first || note.Event >= st.first+uint64(st.count) {
+		e.duplicates.Add(1)
+		return nil
+	}
+	bit := uint64(1) << (note.Event - st.first)
+	if st.built&bit != 0 {
+		e.duplicates.Add(1)
+		return nil
+	}
+	st.built |= bit
 	e.built.Add(1)
+	if st.done() {
+		if orphan {
+			delete(e.orphans, block)
+		} else {
+			delete(e.out, block)
+		}
+	}
 	return nil
 }

@@ -1,0 +1,201 @@
+package daq
+
+import (
+	"errors"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"xdaq/internal/executive"
+	"xdaq/internal/health"
+	"xdaq/internal/i2o"
+	"xdaq/internal/pta"
+	"xdaq/internal/transport/loopback"
+)
+
+// TestFailoverRebalancesEventRange is the tentpole's failover story end
+// to end: two builders share the event range; one is killed and its node
+// goes dark; the health monitor declares it down; the EVM reassigns its
+// slots and re-grants its unfinished blocks (with built events masked
+// out); the survivor builds the rest.  The OnEvent logs on both builders
+// prove every event was built exactly once across the handoff.
+func TestFailoverRebalancesEventRange(t *testing.T) {
+	// The range must be large enough that the whole run cannot complete
+	// before the kill lands: loopback builds hundreds of events per
+	// millisecond, and a run that drains first leaves nothing to fail
+	// over.
+	const (
+		events   = 40000
+		fragSize = 128
+	)
+	fabric := loopback.NewFabric()
+	execs := make(map[i2o.NodeID]*executive.Executive)
+	agents := make(map[i2o.NodeID]*pta.Agent)
+	nodes := []i2o.NodeID{1, 2, 3}
+	for _, id := range nodes {
+		e := executive.New(executive.Options{
+			Name: "fo", Node: id,
+			RequestTimeout: 2 * time.Second,
+			Logf:           func(string, ...any) {},
+		})
+		agent, err := pta.New(e)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ep, err := fabric.Attach(id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := agent.Register(ep, pta.Task); err != nil {
+			t.Fatal(err)
+		}
+		for _, peer := range nodes {
+			if peer != id {
+				e.SetRoute(peer, loopback.DefaultName)
+			}
+		}
+		execs[id], agents[id] = e, agent
+	}
+	t.Cleanup(func() {
+		for _, id := range nodes {
+			agents[id].Close()
+			execs[id].Close()
+		}
+	})
+
+	// Node 1: EVM, both RUs, and the health monitor that evicts dead
+	// builder nodes from the shard map.
+	evm := NewEVM(events)
+	evm.SetSharding(8, 4)
+	if _, err := execs[1].Plug(evm.Device()); err != nil {
+		t.Fatal(err)
+	}
+	rus := make([]*RU, 2)
+	for i := range rus {
+		rus[i] = NewRU(i, fragSize)
+		rus[i].SetEVM(evm.Device().TID())
+		if _, err := execs[1].Plug(rus[i].Device()); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var downs atomic.Int64
+	mon := health.New(execs[1], health.Config{
+		Interval:  20 * time.Millisecond,
+		Timeout:   20 * time.Millisecond,
+		Threshold: 2,
+		OnState: func(node i2o.NodeID, state health.State) {
+			if state == health.Down {
+				downs.Add(1)
+				evm.PeerDown(node)
+			}
+		},
+	})
+	t.Cleanup(mon.Close)
+
+	// Nodes 2 and 3: one builder each, flat-wired to the node-1 RUs.
+	var mu sync.Mutex
+	builtBy := make(map[uint64][]int) // event -> builders that completed it
+	bus := make([]*BU, 2)
+	for i := range bus {
+		bus[i] = NewBU(i)
+		buExec := execs[i2o.NodeID(2+i)]
+		if _, err := buExec.Plug(bus[i].Device()); err != nil {
+			t.Fatal(err)
+		}
+		evmTID, err := buExec.Discover(1, EVMClass, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ruTIDs := make([]i2o.TID, len(rus))
+		for j := range rus {
+			ruTIDs[j], err = buExec.Discover(1, RUClass, j)
+			if err != nil {
+				t.Fatal(err)
+			}
+		}
+		bus[i].Configure(evmTID, ruTIDs)
+		who := i
+		bus[i].OnEvent = func(event uint64, size int) {
+			mu.Lock()
+			builtBy[event] = append(builtBy[event], who)
+			mu.Unlock()
+		}
+	}
+
+	for i := range bus {
+		if _, err := bus[i].Start(0, 4); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	// Let builder 0 make real progress, then fail its node hard: the
+	// builder stops mid-pipeline and the node stops answering probes.
+	deadline := time.Now().Add(5 * time.Second)
+	for bus[0].Stats().Built < 20 && time.Now().Before(deadline) {
+		time.Sleep(time.Millisecond)
+	}
+	if bus[0].Stats().Built < 20 {
+		t.Fatalf("builder 0 stalled at %d events", bus[0].Stats().Built)
+	}
+	bus[0].Kill()
+	if _, err := bus[0].Wait(); !errors.Is(err, ErrKilled) {
+		t.Fatalf("killed builder returned %v", err)
+	}
+	agents[2].Close()
+	execs[2].Close()
+
+	// The monitor must notice the dead node on its own — if it never
+	// fires, the survivor would spin on AllocRetry forever, so fail fast
+	// here rather than wedging in Wait below.
+	detect := time.Now().Add(3 * time.Second)
+	for downs.Load() == 0 && time.Now().Before(detect) {
+		time.Sleep(time.Millisecond)
+	}
+	if downs.Load() == 0 {
+		t.Fatal("health monitor never declared node 2 down")
+	}
+
+	// The survivor must finish the whole range.
+	stats, err := bus[1].Wait()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if evm.Built() != events {
+		t.Fatalf("evm built %d, want %d", evm.Built(), events)
+	}
+	if evm.Duplicates() != 0 {
+		t.Fatalf("%d duplicate built notes", evm.Duplicates())
+	}
+	if evm.Reassigned() == 0 {
+		t.Fatalf("no blocks were reassigned — failover never happened (bu0=%+v bu1=%+v allocated=%d shardv=%d)",
+			bus[0].Stats(), stats, evm.Allocated(), evm.ShardVersion())
+	}
+	if stats.Corrupt != 0 {
+		t.Fatalf("%d corrupt fragments", stats.Corrupt)
+	}
+
+	// Exactly once: every event in the range completed on exactly one
+	// builder, and both builders contributed.
+	mu.Lock()
+	defer mu.Unlock()
+	for ev := uint64(1); ev <= events; ev++ {
+		switch who := builtBy[ev]; len(who) {
+		case 0:
+			t.Fatalf("event %d never built", ev)
+		case 1:
+		default:
+			t.Fatalf("event %d built %d times by %v", ev, len(who), who)
+		}
+	}
+	if len(builtBy) != events {
+		t.Fatalf("%d distinct events built, want %d", len(builtBy), events)
+	}
+	seen := map[int]bool{}
+	for _, who := range builtBy {
+		seen[who[0]] = true
+	}
+	if !seen[0] || !seen[1] {
+		t.Fatalf("expected both builders to contribute, got %v", seen)
+	}
+}

@@ -12,6 +12,7 @@
 //	daq.evm   — event manager (parameter: events)
 //	daq.ru    — readout unit (parameter: fragsize)
 //	daq.bu    — builder unit (wire it with Configure before starting)
+//	daq.agg   — event-builder aggregator stage (wire it with Configure)
 //	i2o.bsa   — block storage volume (parameters: blocksize, blocks)
 package modules
 
@@ -70,6 +71,10 @@ func init() {
 
 	executive.RegisterModule("daq.bu", func(instance int, params []i2o.Param) (*device.Device, error) {
 		return daq.NewBU(instance).Device(), nil
+	})
+
+	executive.RegisterModule("daq.agg", func(instance int, params []i2o.Param) (*device.Device, error) {
+		return daq.NewAggregator(instance).Device(), nil
 	})
 
 	executive.RegisterModule("i2o.bsa", func(instance int, params []i2o.Param) (*device.Device, error) {

@@ -146,9 +146,8 @@ func TestPluggableEndToEnd(t *testing.T) {
 	rep.Release()
 	ruTID := i2o.TID(params[0].Value.(int64))
 
-	// Ask the plugged RU for a fragment.
-	req := make([]byte, 8)
-	req[0] = 9 // event id 9
+	// Ask the plugged RU for a one-event block.
+	req := daq.EncodeFragReq(daq.FragReq{BU: 0, First: 9, Count: 1})
 	rep, err = e.Request(&i2o.Message{
 		Target: ruTID, Initiator: i2o.TIDExecutive,
 		Function: i2o.FuncPrivate, Org: i2o.OrgXDAQ, XFunction: daq.XFuncFragment,
@@ -158,7 +157,11 @@ func TestPluggableEndToEnd(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer rep.Release()
-	if len(rep.Payload) != 8+256 {
-		t.Fatalf("fragment reply %d bytes", len(rep.Payload))
+	frep, err := daq.DecodeFragRep(rep.Payload)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(frep.Frags) != 1 || frep.Frags[0].Event != 9 || len(frep.Frags[0].Data) != 256 {
+		t.Fatalf("fragment reply %+v", frep)
 	}
 }
