@@ -5,7 +5,7 @@
 
 GO ?= go
 
-.PHONY: check build test vet race soak-short fuzz bench bench-remote bench-cluster bench-eb bench-gate benchall
+.PHONY: check build test vet race soak-short fuzz bench bench-remote bench-cluster bench-eb bench-storage bench-gate benchall
 
 check: vet build test race soak-short
 
@@ -19,21 +19,23 @@ test:
 	$(GO) test ./...
 
 race:
-	$(GO) test -race ./internal/executive/ ./internal/queue/ ./internal/pta/ ./internal/metrics/ ./internal/health/ ./internal/transport/tcp/ ./internal/transport/gm/ ./internal/transport/shm/ ./internal/cluster/ ./internal/chaos/ ./internal/daq/ ./internal/e2e/
+	$(GO) test -race ./internal/executive/ ./internal/queue/ ./internal/pta/ ./internal/metrics/ ./internal/health/ ./internal/transport/tcp/ ./internal/transport/gm/ ./internal/transport/shm/ ./internal/cluster/ ./internal/chaos/ ./internal/daq/ ./internal/storage/ ./internal/e2e/
 
 # soak-short is the CI face of the chaos harness (see doc/testing.md):
-# four short seeded soaks under the race detector, one per cluster shape —
+# five short seeded soaks under the race detector, one per cluster shape —
 # kill+failover on the mixed fabric, heavy wire faults on batched TCP,
-# dispatcher rescales under load on loopback, and a loopback run that
-# kills a builder unit mid-round and audits the shard-map rebalance.
-# xdaqsoak exits nonzero the
-# moment any invariant checker reports, printing the seed and trace rings,
-# so a red soak-short is reproducible with the seed it prints.
+# dispatcher rescales under load on loopback, a loopback run that kills a
+# builder unit mid-round and audits the shard-map rebalance, and a
+# loopback run that crashes a storage writer mid-replay and audits the
+# recovered stripes for exactly-once persistence.  xdaqsoak exits nonzero
+# the moment any invariant checker reports, printing the seed and trace
+# rings, so a red soak-short is reproducible with the seed it prints.
 soak-short:
 	$(GO) run -race ./cmd/xdaqsoak -seed 101 -duration 5s -rounds 3 -fabric gm+tcp -faults light -q
 	$(GO) run -race ./cmd/xdaqsoak -seed 202 -duration 5s -rounds 3 -fabric tcp -faults heavy -kill=false -q
 	$(GO) run -race ./cmd/xdaqsoak -seed 303 -duration 5s -rounds 3 -fabric loopback -faults none -kill=false -q
 	$(GO) run -race ./cmd/xdaqsoak -seed 404 -duration 5s -rounds 3 -fabric loopback -faults none -kill=false -killbu -q
+	$(GO) run -race ./cmd/xdaqsoak -seed 505 -duration 5s -rounds 3 -fabric loopback -faults none -kill=false -killsw -q
 
 # fuzz gives each fuzz target a short exploration budget on top of its checked-in
 # seed corpus; lengthen with FUZZTIME=1m for a real session.
@@ -42,6 +44,7 @@ fuzz:
 	$(GO) test -run '^$$' -fuzz '^FuzzDecodeAcquired$$' -fuzztime $(FUZZTIME) ./internal/i2o/
 	$(GO) test -run '^$$' -fuzz '^FuzzSGLRoundTrip$$' -fuzztime $(FUZZTIME) ./internal/sgl/
 	$(GO) test -run '^$$' -fuzz '^FuzzWireRecords$$' -fuzztime $(FUZZTIME) ./internal/daq/
+	$(GO) test -run '^$$' -fuzz '^FuzzSegment$$' -fuzztime $(FUZZTIME) ./internal/storage/
 
 # bench runs the dispatch-engine benchmarks (hot-path allocations, worker
 # scaling, watchdog overhead, event builder) and archives the numbers as
@@ -78,18 +81,32 @@ bench-eb:
 	$(GO) test -run '^$$' -bench 'EventBuilder' -benchmem -count 5 -timeout 60m . \
 		| tee /dev/stderr | $(GO) run ./cmd/benchjson > BENCH_eb.json
 
+# bench-storage runs the striped-storage writer benchmarks: the
+# single-stripe append hot path (gated at zero allocations per record)
+# and the striping sweep at 1/2/4/8 writers over a simulated per-stripe
+# disk (SimDelay; see doc/storage.md for why real fsync is not bench
+# material on a shared host).  Median of 5 runs, as in bench-remote.
+bench-storage:
+	$(GO) test -run '^$$' -bench 'Storage' -benchmem -count 5 -benchtime 200x -timeout 30m ./internal/storage/ \
+		| tee /dev/stderr | $(GO) run ./cmd/benchjson > BENCH_storage.json
+
 # bench-gate holds the archived performance claims: the batched remote
 # path must beat the unbatched baseline at every payload size
-# (BENCH_remote.json), and the hierarchical event builder must beat the
+# (BENCH_remote.json), the hierarchical event builder must beat the
 # flat one at high readout counts (BENCH_eb.json; at small counts the
-# tree's extra hop is allowed to cost).  Regenerate the archives with
-# `make bench-remote bench-eb` first.  GATE_TOL forgives slowdowns inside
+# tree's extra hop is allowed to cost), and eight storage stripes must
+# deliver at least twice the throughput of one (BENCH_storage.json, the
+# -min 1.0 floor).  Regenerate the archives with `make bench-remote
+# bench-eb bench-storage` first.  GATE_TOL forgives slowdowns inside
 # the band, e.g. GATE_TOL=0.05 tolerates 5%.
 GATE_TOL ?= 0
 bench-gate:
 	$(GO) run ./cmd/benchjson -compare -tol $(GATE_TOL) BENCH_remote.json
 	$(GO) run ./cmd/benchjson -compare -pair 'topo=tree:topo=flat' -grep 'rus=(64|256)$$' -tol $(GATE_TOL) BENCH_eb.json
+	$(GO) run ./cmd/benchjson -compare -pair 'writers=8:writers=1' -min 1.0 -tol $(GATE_TOL) BENCH_storage.json
 
-# benchall is the full sweep across every package.
-benchall:
-	$(GO) test -bench . -benchmem ./...
+# benchall regenerates every archive and merges them into one document
+# (benchjson's merge mode tags each result with its source package), so
+# BENCH_all.json is the single cross-package snapshot of a host.
+benchall: bench bench-remote bench-cluster bench-eb bench-storage
+	$(GO) run ./cmd/benchjson BENCH_dispatch.json BENCH_remote.json BENCH_cluster.json BENCH_eb.json BENCH_storage.json > BENCH_all.json

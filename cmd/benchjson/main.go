@@ -28,13 +28,18 @@
 // "batched:unbatched") with the counterpart whose name has the right
 // component instead, printing a delta table and exiting non-zero if the
 // left side is slower anywhere (beyond -tol, a fraction; default 0).
-// -grep restricts the gate to left-side names matching a regular
-// expression.  This is the `make bench-gate` regression gate for the
-// remote data path (batched vs unbatched) and the hierarchical event
-// builder (topo=tree vs topo=flat at high readout counts):
+// -min raises the bar from "no slower" to a required fractional gain:
+// -min 1.0 demands the left side deliver at least 2x the baseline at
+// every pairing (-tol still forgives a band below that floor).  -grep
+// restricts the gate to left-side names matching a regular expression.
+// This is the `make bench-gate` regression gate for the remote data path
+// (batched vs unbatched), the hierarchical event builder (topo=tree vs
+// topo=flat at high readout counts), and the striped-storage scaling
+// claim (writers=8 vs writers=1):
 //
 //	benchjson -compare -tol 0.05 BENCH_remote.json
 //	benchjson -compare -pair topo=tree:topo=flat -grep 'rus=(64|256)$' BENCH_eb.json
+//	benchjson -compare -pair writers=8:writers=1 -min 1.0 BENCH_storage.json
 package main
 
 import (
@@ -74,6 +79,7 @@ type Report struct {
 func main() {
 	compareMode := flag.Bool("compare", false, "compare paired results in one archived document")
 	tol := flag.Float64("tol", 0, "tolerated fractional slowdown in -compare mode (0.05 = 5%)")
+	minGain := flag.Float64("min", 0, "required fractional gain in -compare mode (1.0 = the gated side must be 2x its baseline)")
 	pair := flag.String("pair", "batched:unbatched", "colon-separated path components pairing the gated side with its baseline")
 	grep := flag.String("grep", "", "regexp restricting -compare to matching gated-side names")
 	flag.Parse()
@@ -95,7 +101,7 @@ func main() {
 				os.Exit(2)
 			}
 		}
-		ok, err := compare(flag.Arg(0), *tol, left, right, re)
+		ok, err := compare(flag.Arg(0), *tol, *minGain, left, right, re)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
 			os.Exit(2)
@@ -252,10 +258,12 @@ func median(v []float64) float64 {
 // in that component's place.  It prints a delta table and returns false
 // if the left side delivers less throughput (or, when no MB/s column
 // exists, more ns/op) beyond the tolerated fraction tol at any pairing.
-// re, when non-nil, restricts the gate to left-side names it matches.
-// Unpaired left-side results are an error: a gate that silently skips
-// sizes is not a gate.
-func compare(file string, tol float64, left, right string, re *regexp.Regexp) (bool, error) {
+// min raises the floor from zero to a required fractional gain — the
+// speedup-claim gate (min 1.0: left must be at least 2x right), with tol
+// still forgiving a band below it.  re, when non-nil, restricts the gate
+// to left-side names it matches.  Unpaired left-side results are an
+// error: a gate that silently skips sizes is not a gate.
+func compare(file string, tol, min float64, left, right string, re *regexp.Regexp) (bool, error) {
 	data, err := os.ReadFile(file)
 	if err != nil {
 		return false, err
@@ -299,16 +307,20 @@ func compare(file string, tol float64, left, right string, re *regexp.Regexp) (b
 			return false, fmt.Errorf("%s: %s has neither MB/s nor ns/op", file, name)
 		}
 		mark := ""
-		if delta < -tol {
+		if delta < min-tol {
 			mark = "  FAIL"
 			ok = false
 		}
 		fmt.Printf("%s %+7.1f%%%s\n", col, delta*100, mark)
 	}
+	floor := fmt.Sprintf("tol %.1f%%", tol*100)
+	if min > 0 {
+		floor = fmt.Sprintf("required gain %.0f%%, tol %.1f%%", min*100, tol*100)
+	}
 	if !ok {
-		fmt.Printf("FAIL: %s slower than %s baseline (tol %.1f%%)\n", left, right, tol*100)
+		fmt.Printf("FAIL: %s below its %s baseline floor (%s)\n", left, right, floor)
 	} else {
-		fmt.Printf("ok: %s >= %s at every pairing (tol %.1f%%)\n", left, right, tol*100)
+		fmt.Printf("ok: %s >= %s at every pairing (%s)\n", left, right, floor)
 	}
 	return ok, nil
 }

@@ -60,24 +60,24 @@ func TestCompareGate(t *testing.T) {
 			{Name: "BenchmarkRemoteThroughput/unbatched/64B/senders=4", MBPerSec: unbatched, NsPerOp: 1},
 		}})
 	}
-	if ok, err := compare(mk(100, 50), 0, "batched", "unbatched", nil); err != nil || !ok {
+	if ok, err := compare(mk(100, 50), 0, 0, "batched", "unbatched", nil); err != nil || !ok {
 		t.Fatalf("faster batched failed the gate: ok=%v err=%v", ok, err)
 	}
-	if ok, err := compare(mk(50, 100), 0, "batched", "unbatched", nil); err != nil || ok {
+	if ok, err := compare(mk(50, 100), 0, 0, "batched", "unbatched", nil); err != nil || ok {
 		t.Fatalf("slower batched passed the gate: ok=%v err=%v", ok, err)
 	}
 	// Tolerance forgives a slowdown inside the band but not outside it.
-	if ok, err := compare(mk(96, 100), 0.05, "batched", "unbatched", nil); err != nil || !ok {
+	if ok, err := compare(mk(96, 100), 0.05, 0, "batched", "unbatched", nil); err != nil || !ok {
 		t.Fatalf("4%% slowdown failed a 5%% tolerance: ok=%v err=%v", ok, err)
 	}
-	if ok, err := compare(mk(90, 100), 0.05, "batched", "unbatched", nil); err != nil || ok {
+	if ok, err := compare(mk(90, 100), 0.05, 0, "batched", "unbatched", nil); err != nil || ok {
 		t.Fatalf("10%% slowdown passed a 5%% tolerance: ok=%v err=%v", ok, err)
 	}
 	// A batched result with no unbatched twin is an error, not a skip.
 	p := writeReport(t, dir, "orphan.json", Report{Results: []Result{
 		{Name: "BenchmarkRemoteThroughput/batched/64B/senders=4", MBPerSec: 1},
 	}})
-	if _, err := compare(p, 0, "batched", "unbatched", nil); err == nil {
+	if _, err := compare(p, 0, 0, "batched", "unbatched", nil); err == nil {
 		t.Fatal("orphan batched result did not error")
 	}
 }
@@ -91,21 +91,44 @@ func TestComparePairAndGrep(t *testing.T) {
 		{Name: "BenchmarkEventBuilder/topo=flat/rus=64", MBPerSec: 100, NsPerOp: 1},
 	}})
 	// Ungated, the rus=4 pairing (tree slower) fails the gate.
-	if ok, err := compare(p, 0, "topo=tree", "topo=flat", nil); err != nil || ok {
+	if ok, err := compare(p, 0, 0, "topo=tree", "topo=flat", nil); err != nil || ok {
 		t.Fatalf("slower tree pairing passed: ok=%v err=%v", ok, err)
 	}
 	// The grep narrows the gate to the pairings where tree must win.
 	re := regexp.MustCompile(`rus=(64|256)$`)
-	if ok, err := compare(p, 0, "topo=tree", "topo=flat", re); err != nil || !ok {
+	if ok, err := compare(p, 0, 0, "topo=tree", "topo=flat", re); err != nil || !ok {
 		t.Fatalf("grep-narrowed gate failed: ok=%v err=%v", ok, err)
 	}
 	// A grep matching nothing is an error, not a vacuous pass.
-	if _, err := compare(p, 0, "topo=tree", "topo=flat", regexp.MustCompile(`rus=512`)); err == nil {
+	if _, err := compare(p, 0, 0, "topo=tree", "topo=flat", regexp.MustCompile(`rus=512`)); err == nil {
 		t.Fatal("empty gate did not error")
 	}
 	// Pair components match whole path segments, not substrings.
-	if _, err := compare(p, 0, "topo=tre", "topo=flat", nil); err == nil {
+	if _, err := compare(p, 0, 0, "topo=tre", "topo=flat", nil); err == nil {
 		t.Fatal("partial segment matched")
+	}
+}
+
+// -min turns the gate from "no slower" into a speedup claim: the gated
+// side must beat its baseline by the required fractional gain.
+func TestCompareMinGain(t *testing.T) {
+	dir := t.TempDir()
+	mk := func(w8, w1 float64) string {
+		return writeReport(t, dir, "st.json", Report{Results: []Result{
+			{Name: "BenchmarkStorageStriped/writers=8", MBPerSec: w8, NsPerOp: 1},
+			{Name: "BenchmarkStorageStriped/writers=1", MBPerSec: w1, NsPerOp: 1},
+		}})
+	}
+	// 2.5x clears a 2x floor; 1.5x does not, even though it is faster.
+	if ok, err := compare(mk(250, 100), 0, 1.0, "writers=8", "writers=1", nil); err != nil || !ok {
+		t.Fatalf("2.5x gain failed a 2x floor: ok=%v err=%v", ok, err)
+	}
+	if ok, err := compare(mk(150, 100), 0, 1.0, "writers=8", "writers=1", nil); err != nil || ok {
+		t.Fatalf("1.5x gain passed a 2x floor: ok=%v err=%v", ok, err)
+	}
+	// Tolerance forgives a band below the floor, as it does at zero.
+	if ok, err := compare(mk(196, 100), 0.05, 1.0, "writers=8", "writers=1", nil); err != nil || !ok {
+		t.Fatalf("1.96x failed a 2x floor with 5%% tolerance: ok=%v err=%v", ok, err)
 	}
 }
 

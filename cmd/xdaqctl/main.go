@@ -13,6 +13,8 @@
 //	xdaqctl -node 100 -peer 1=... -e 'metrics 1 exec.'   # scrape counters
 //	xdaqctl -node 100 -peer 1=... -e 'health 1'          # peer liveness
 //	xdaqctl -node 100 -join 127.0.0.1:9101 -e 'ebround 1000 2048'
+//	xdaqctl -node 100 -join ... -e 'plug 2 storage.sw 0 dir /data; ebround 1000 2048 8 2'
+//	xdaqctl -node 100 -peer 1=... -e 'storage 1'         # storage-writer gauges
 //
 // -join enters the cluster through any live member's address using the
 // bootstrap protocol and registers every member automatically; -peer
@@ -41,6 +43,7 @@ import (
 	"xdaq/internal/daq"
 	"xdaq/internal/i2o"
 	_ "xdaq/internal/modules"
+	"xdaq/internal/storage"
 	"xdaq/internal/tclish"
 )
 
@@ -162,13 +165,41 @@ func bindClusterCommands(interp *tclish.Interp, cl *xdaq.Cluster, ctl *cluster.C
 		return strings.TrimRight(b.String(), "\n"), nil
 	})
 
-	// ebround <events> <fragsize> ?pipeline? — run one event-builder
-	// round across the registered processing nodes: the EVM on the first
-	// node, a readout unit on each other node, and the builder unit here
-	// on the control host pulling fragments from all of them.
+	// storage <node> — the node's storage-writer gauges (stripe depth,
+	// bytes, stalls, recovery counters): a metrics scrape filtered to
+	// the storage. prefix, one "key value" row per line.
+	interp.Register("storage", func(in *tclish.Interp, args []string) (string, error) {
+		if len(args) != 2 {
+			return "", fmt.Errorf("tclish: usage: storage <node>")
+		}
+		n, err := strconv.ParseUint(args[1], 10, 32)
+		if err != nil {
+			return "", fmt.Errorf("tclish: bad node %q", args[1])
+		}
+		params, err := ctl.Metrics(i2o.NodeID(n), "storage.")
+		if err != nil {
+			return "", err
+		}
+		if len(params) == 0 {
+			return "no storage writer on node " + args[1], nil
+		}
+		var b strings.Builder
+		for _, p := range params {
+			fmt.Fprintf(&b, "%s %v\n", p.Key, p.Value)
+		}
+		return strings.TrimRight(b.String(), "\n"), nil
+	})
+
+	// ebround <events> <fragsize> ?pipeline? ?swnodes? — run one
+	// event-builder round across the registered processing nodes: the EVM
+	// on the first node, a readout unit on each other node, and the
+	// builder unit here on the control host pulling fragments from all of
+	// them.  swnodes (comma-separated node ids, each hosting a plugged
+	// storage.sw instance 0) extends the chain to disk: built events
+	// stripe across the writers and the round waits for their acks.
 	interp.Register("ebround", func(in *tclish.Interp, args []string) (string, error) {
-		if len(args) < 3 || len(args) > 4 {
-			return "", fmt.Errorf("tclish: usage: ebround <events> <fragsize> ?pipeline?")
+		if len(args) < 3 || len(args) > 5 {
+			return "", fmt.Errorf("tclish: usage: ebround <events> <fragsize> ?pipeline? ?swnodes?")
 		}
 		events, err := strconv.ParseUint(args[1], 10, 64)
 		if err != nil || events == 0 {
@@ -179,23 +210,34 @@ func bindClusterCommands(interp *tclish.Interp, cl *xdaq.Cluster, ctl *cluster.C
 			return "", fmt.Errorf("tclish: bad fragment size %q", args[2])
 		}
 		pipeline := 8
-		if len(args) == 4 {
+		if len(args) >= 4 {
 			if pipeline, err = strconv.Atoi(args[3]); err != nil || pipeline <= 0 {
 				return "", fmt.Errorf("tclish: bad pipeline %q", args[3])
+			}
+		}
+		var swNodes []i2o.NodeID
+		if len(args) == 5 {
+			for _, s := range strings.Split(args[4], ",") {
+				n, err := strconv.ParseUint(s, 10, 32)
+				if err != nil {
+					return "", fmt.Errorf("tclish: bad storage node %q", s)
+				}
+				swNodes = append(swNodes, i2o.NodeID(n))
 			}
 		}
 		nodes := ctl.Nodes()
 		if len(nodes) < 2 {
 			return "", fmt.Errorf("tclish: ebround needs at least 2 processing nodes (EVM + RUs), have %d", len(nodes))
 		}
-		return ebround(cl, ctl, host, nodes, events, fragSize, pipeline)
+		return ebround(cl, ctl, host, nodes, swNodes, events, fragSize, pipeline)
 	})
 }
 
 // ebround plugs an EVM and RUs across the cluster, builds events into a
-// locally hosted BU, and unplugs everything again.
+// locally hosted BU — striping them to the swNodes' storage writers when
+// given — and unplugs everything again.
 func ebround(cl *xdaq.Cluster, ctl *cluster.Controller, host *xdaq.Node,
-	nodes []i2o.NodeID, events uint64, fragSize, pipeline int) (string, error) {
+	nodes, swNodes []i2o.NodeID, events uint64, fragSize, pipeline int) (string, error) {
 	evmNode, ruNodes := nodes[0], nodes[1:]
 
 	evmTID, err := ctl.Plug(evmNode, "daq.evm", 0, []i2o.Param{{Key: "events", Value: int64(events)}})
@@ -232,6 +274,15 @@ func ebround(cl *xdaq.Cluster, ctl *cluster.Controller, host *xdaq.Node,
 		}
 	}
 	bu.Configure(evmProxy, ruProxies)
+	if len(swNodes) > 0 {
+		swTIDs := make([]i2o.TID, len(swNodes))
+		for i, n := range swNodes {
+			if swTIDs[i], err = host.Discover(n, storage.ClassSW, 0); err != nil {
+				return "", fmt.Errorf("discover storage.sw on node %v (plug it first): %w", n, err)
+			}
+		}
+		bu.SetStorage(swTIDs, pipeline)
+	}
 
 	start := time.Now()
 	if _, err := bu.Start(0, pipeline); err != nil {
@@ -242,9 +293,14 @@ func ebround(cl *xdaq.Cluster, ctl *cluster.Controller, host *xdaq.Node,
 		return "", fmt.Errorf("event builder round: %w", err)
 	}
 	elapsed := time.Since(start)
-	return fmt.Sprintf("built %d events (%d corrupt) from %d RUs x %d B in %v: %.0f events/s, %.2f MB/s",
+	out := fmt.Sprintf("built %d events (%d corrupt) from %d RUs x %d B in %v: %.0f events/s, %.2f MB/s",
 		stats.Built, stats.Corrupt, len(ruNodes), fragSize, elapsed.Round(time.Millisecond),
-		float64(stats.Built)/elapsed.Seconds(), float64(stats.Bytes)/elapsed.Seconds()/1e6), nil
+		float64(stats.Built)/elapsed.Seconds(), float64(stats.Bytes)/elapsed.Seconds()/1e6)
+	if len(swNodes) > 0 {
+		out += fmt.Sprintf("; stored %d across %d stripes (%d write stalls)",
+			stats.Stored, len(swNodes), stats.WriteStalls)
+	}
+	return out, nil
 }
 
 // repl evaluates stdin line by line, continuing across errors — the

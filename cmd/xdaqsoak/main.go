@@ -51,6 +51,8 @@ func run(args []string, stdout, stderr io.Writer) int {
 		bulk     = fs.Bool("bulk", true, "add SGL bulk transfers on serializing fabrics")
 		eb       = fs.Bool("eb", true, "add DAQ event-builder rounds")
 		killbu   = fs.Bool("killbu", false, "kill one builder unit mid-round and audit the shard-map rebalance (needs -eb)")
+		store    = fs.Bool("storage", true, "add striped-storage replay rounds with an on-disk exactly-once audit")
+		killsw   = fs.Bool("killsw", false, "crash one storage writer mid-replay and audit the recovery (needs -storage)")
 		planOnly = fs.Bool("plan", false, "print the run's schedule and exit without running")
 		quiet    = fs.Bool("q", false, "suppress progress diagnostics")
 	)
@@ -80,6 +82,8 @@ func run(args []string, stdout, stderr io.Writer) int {
 		Bulk:         *bulk,
 		EventBuilder: *eb,
 		KillBU:       *killbu && *eb,
+		Storage:      *store,
+		KillSW:       *killsw && *store,
 	}
 	if !*quiet {
 		o.Logf = log.New(stderr, "", log.Ltime|log.Lmicroseconds).Printf

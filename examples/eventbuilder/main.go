@@ -25,10 +25,12 @@ import (
 	"flag"
 	"fmt"
 	"log"
+	"os"
 	"time"
 
 	"xdaq"
 	"xdaq/internal/daq"
+	"xdaq/internal/storage"
 )
 
 func main() {
@@ -41,6 +43,8 @@ func main() {
 		topo      = flag.String("topo", "flat", "wiring: flat (BU asks every RU) or tree (aggregator fan-in, event-range blocks)")
 		fanin     = flag.Int("fanin", 4, "readout units per aggregator (tree only)")
 		rangeSize = flag.Int("rangesize", 8, "events per allocation block (tree only)")
+		writers   = flag.Int("writers", 0, "storage writers: stripe built events across N on-disk segments (0 disables)")
+		dataDir   = flag.String("datadir", "", "segment directory for -writers (default: a scratch temp dir)")
 	)
 	flag.Parse()
 	if *topo != "flat" && *topo != "tree" {
@@ -49,7 +53,7 @@ func main() {
 
 	// One node per component: EVM, RUs, BUs.  Tree-topology aggregators
 	// ride on their first child RU's node.
-	total := 1 + *nRU + *nBU
+	total := 1 + *nRU + *nBU + *writers
 	nodes := make([]*xdaq.Node, total)
 	for i := range nodes {
 		n, err := xdaq.NewNode(xdaq.NodeOptions{
@@ -122,6 +126,33 @@ func main() {
 		}
 	}
 
+	// Storage writers: the acquisition chain's disk stage, one stripe per
+	// writer, each on its own node.
+	var sws []*storage.SW
+	dir := *dataDir
+	if *writers > 0 && dir == "" {
+		var err error
+		if dir, err = os.MkdirTemp("", "xdaq-eventbuilder-*"); err != nil {
+			log.Fatal(err)
+		}
+		defer os.RemoveAll(dir)
+	}
+	for i := 0; i < *writers; i++ {
+		swNode := nodes[1+*nRU+*nBU+i]
+		sw := storage.NewSW(i, swNode.Exec.Allocator())
+		if _, err := swNode.Plug(sw.Device()); err != nil {
+			log.Fatal(err)
+		}
+		w, err := storage.Open(storage.Options{
+			Dir: dir, Instance: i, ArenaSize: 1 << 20, IndexHint: int(*events)/(*writers) + 2,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		sw.Attach(w)
+		sws = append(sws, sw)
+	}
+
 	bus := make([]*daq.BU, *nBU)
 	for i := range bus {
 		bus[i] = daq.NewBU(i)
@@ -143,19 +174,31 @@ func main() {
 				}
 			}
 			bus[i].ConfigureTree(evmTID, roots, *nRU)
-			continue
-		}
-		ruTIDs := make([]xdaq.TID, *nRU)
-		for j := range ruTIDs {
-			if ruTIDs[j], err = buNode.Discover(xdaq.NodeID(2+j), daq.RUClass, j); err != nil {
-				log.Fatal(err)
+		} else {
+			ruTIDs := make([]xdaq.TID, *nRU)
+			for j := range ruTIDs {
+				if ruTIDs[j], err = buNode.Discover(xdaq.NodeID(2+j), daq.RUClass, j); err != nil {
+					log.Fatal(err)
+				}
 			}
+			bus[i].Configure(evmTID, ruTIDs)
 		}
-		bus[i].Configure(evmTID, ruTIDs)
+		if *writers > 0 {
+			swTIDs := make([]xdaq.TID, *writers)
+			for s := range swTIDs {
+				if swTIDs[s], err = buNode.Discover(xdaq.NodeID(2+*nRU+*nBU+s), storage.ClassSW, s); err != nil {
+					log.Fatal(err)
+				}
+			}
+			bus[i].SetStorage(swTIDs, 32)
+		}
 	}
 
 	fmt.Printf("event builder (%s): %d events, %d RUs x %d B fragments, %d BUs, pipeline %d\n",
 		*topo, *events, *nRU, *fragSize, *nBU, *pipeline)
+	if *writers > 0 {
+		fmt.Printf("  %d storage writers striping to %s\n", *writers, dir)
+	}
 	if *topo == "tree" {
 		fmt.Printf("  %d aggregators (fan-in %d), %d-event blocks, shard map v%d\n",
 			nAgg, *fanin, *rangeSize, evm.ShardVersion())
@@ -189,5 +232,21 @@ func main() {
 	}
 	if evm.Built() != built {
 		log.Fatalf("EVM accounted %d built events, BUs report %d", evm.Built(), built)
+	}
+	if *writers > 0 {
+		var stored uint64
+		for i, sw := range sws {
+			st := sw.Stats()
+			fmt.Printf("  SW %d: %6d events, %9d bytes, %d stalls, %d flushes\n",
+				i, st.Events, st.Bytes, st.Stalls, st.Flushes)
+			stored += st.Events
+			if err := sw.Writer().Close(); err != nil {
+				log.Fatalf("SW %d close: %v", i, err)
+			}
+		}
+		if stored != built {
+			log.Fatalf("storage holds %d events, BUs built %d", stored, built)
+		}
+		fmt.Printf("stored %d events across %d stripes\n", stored, *writers)
 	}
 }

@@ -92,6 +92,18 @@ type Options struct {
 	// the EVM's dynamic rebalancing.  Requires EventBuilder.
 	KillBU bool
 
+	// Storage adds striped-storage rounds: a seeded record stream is
+	// replayed into two storage writer devices every round, and the
+	// on-disk segment set is audited for exactly-once persistence at
+	// every quiescent point.
+	Storage bool
+
+	// KillSW crashes one storage writer mid-replay (torn segment tail,
+	// no acks) on a seeded round, reopens it, and replays the full
+	// stream — recovery must converge with zero lost and zero duplicated
+	// events.  Requires Storage.
+	KillSW bool
+
 	// Checkers validates invariants at every quiescent point; defaults to
 	// DefaultCheckers().
 	Checkers []Checker
@@ -218,6 +230,10 @@ type Cluster struct {
 	// Options.EventBuilder).
 	eb *ebState
 
+	// sw is the persistent striped-storage deployment (nil unless
+	// Options.Storage).
+	sw *swState
+
 	mu         sync.Mutex
 	violations []string
 }
@@ -329,6 +345,9 @@ func Run(o Options) (*Report, error) {
 		if rp.Events > 0 {
 			c.eventBuilderRound(r, rp.Events, rp.KillBU)
 		}
+		if rp.Writes > 0 {
+			c.storageRound(r, rp.Writes, rp.KillSW)
+		}
 		if err := c.quiesce(10 * time.Second); err != nil {
 			c.violate("round %d quiesce: %v", r+1, err)
 			break // a wedged cluster makes further rounds meaningless
@@ -357,6 +376,9 @@ func build(o Options) (*Cluster, error) {
 	}
 	if o.KillBU && !o.EventBuilder {
 		return nil, errors.New("killbu requires the event-builder workload")
+	}
+	if o.KillSW && !o.Storage {
+		return nil, errors.New("killsw requires the storage workload")
 	}
 	if o.Nodes < 2 {
 		return nil, errors.New("need at least 2 nodes")
@@ -580,6 +602,11 @@ func build(o Options) (*Cluster, error) {
 			return fail(err)
 		}
 	}
+	if o.Storage {
+		if err := c.setupStorage(); err != nil {
+			return fail(err)
+		}
+	}
 	return c, nil
 }
 
@@ -720,6 +747,9 @@ func (c *Cluster) report() *Report {
 }
 
 func (c *Cluster) shutdown() {
+	if c.sw != nil {
+		c.sw.shutdown()
+	}
 	for _, n := range c.Nodes {
 		if n.Mon != nil {
 			n.Mon.Close()

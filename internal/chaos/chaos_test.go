@@ -93,6 +93,28 @@ func TestScenarioKillBuilderUnit(t *testing.T) {
 	}
 }
 
+// Scenario 5: the streaming-storage tentpole under the seeded harness —
+// a storage writer is crashed mid-replay (torn segment tail, silent
+// drops), reopened, and the stream replayed; the on-disk audit must
+// find every record exactly once on its stripe.
+func TestScenarioKillStorageWriter(t *testing.T) {
+	rep, err := Run(Options{
+		Seed:     505,
+		Fabric:   "loopback",
+		Nodes:    3,
+		Rounds:   3,
+		Duration: 300 * time.Millisecond,
+		Storage:  true,
+		KillSW:   true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(rep.Plan, "killsw=") {
+		t.Fatalf("plan scheduled no storage-writer kill:\n%s", rep.Plan)
+	}
+}
+
 // A deliberately broken invariant must be caught and reported with the
 // seed and a trace-ring dump — the harness's own failure path is part of
 // the contract (a checker that cannot fail checks nothing).

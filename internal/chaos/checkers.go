@@ -1,12 +1,14 @@
 package chaos
 
 import (
+	"bytes"
 	"fmt"
 	"strings"
 	"time"
 
 	"xdaq/internal/health"
 	"xdaq/internal/i2o"
+	"xdaq/internal/storage"
 	"xdaq/internal/tid"
 	"xdaq/internal/transport/gm"
 )
@@ -41,6 +43,9 @@ type Checker interface {
 //     killed a builder unit and rebalanced its event range — each event
 //     was built exactly once and the event manager saw no duplicate
 //     built notes;
+//   - storage: the striped on-disk segment set holds exactly the records
+//     replayed so far — every event once, on its stripe, payload intact —
+//     including across rounds that crashed and recovered a writer;
 //   - workload: the storm actually exercised the cluster.
 func DefaultCheckers() []Checker {
 	return []Checker{
@@ -52,6 +57,7 @@ func DefaultCheckers() []Checker {
 		healthChecker{},
 		membershipChecker{},
 		ebChecker{},
+		storageChecker{},
 		workloadChecker{},
 	}
 }
@@ -380,6 +386,61 @@ func (ebChecker) Check(c *Cluster) []string {
 		out = append(out, fmt.Sprintf(
 			"%d distinct events completed across all rounds, budget was %d (%d kill rounds)",
 			built, expected, kills))
+	}
+	return out
+}
+
+// storageChecker audits the striped store at every quiescent point: the
+// on-disk segment set, read back through the same recovery path a
+// restart would use, must hold exactly the records replayed so far —
+// every event once, on its stripe, payload intact — including across
+// rounds that crashed a writer mid-replay and recovered it.
+type storageChecker struct{}
+
+func (storageChecker) Name() string { return "storage-exactly-once" }
+
+func (storageChecker) Check(c *Cluster) []string {
+	sw := c.sw
+	if sw == nil {
+		return nil
+	}
+	var out []string
+	for i, s := range sw.sws {
+		w := s.Writer()
+		if w == nil {
+			out = append(out, fmt.Sprintf("stripe %d has no writer attached", i))
+			continue
+		}
+		// Push the arena tail to disk so the read-back sees everything
+		// the replayer was acked for.
+		if err := w.Flush(); err != nil {
+			out = append(out, fmt.Sprintf("stripe %d flush: %v", i, err))
+		}
+	}
+	if out != nil {
+		return out
+	}
+	recs, err := storage.LoadSet(sw.dir)
+	if err != nil {
+		return append(out, fmt.Sprintf("segment read-back: %v", err))
+	}
+	sw.mu.Lock()
+	expected, kills := sw.expected, sw.killRounds
+	sw.mu.Unlock()
+	if len(recs) != len(expected) {
+		out = append(out, fmt.Sprintf(
+			"store holds %d records, %d were replayed (%d kill rounds): lost or duplicated events",
+			len(recs), len(expected), kills))
+	}
+	for i := 0; i < len(recs) && i < len(expected); i++ {
+		if recs[i].Event != expected[i].Event {
+			out = append(out, fmt.Sprintf("record %d: event %d on disk, expected %d",
+				i, recs[i].Event, expected[i].Event))
+			break // one desync makes the rest noise
+		}
+		if !bytes.Equal(recs[i].Data, expected[i].Data) {
+			out = append(out, fmt.Sprintf("event %d: payload corrupt on disk", recs[i].Event))
+		}
 	}
 	return out
 }

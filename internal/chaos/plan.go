@@ -53,6 +53,16 @@ type roundPlan struct {
 	// nobody dies); the EVM must rebalance its event range onto the
 	// survivor without losing or duplicating an event.
 	KillBU int
+
+	// Writes is the storage-replay record count for this round (0: no
+	// storage traffic).
+	Writes int
+
+	// KillSW names the storage writer crashed mid-replay as instance+1
+	// (0: nobody dies); the replayed stream plus the writer's recovered
+	// duplicate filter must restore the stripe with nothing lost and
+	// nothing doubled.
+	KillSW int
 }
 
 // buildRounds scripts every round of a run from the seed.
@@ -75,6 +85,15 @@ func buildRounds(o Options) []roundPlan {
 		killBURound = 1
 		if o.Rounds > 2 {
 			killBURound = 1 + rng.Intn(o.Rounds-2)
+		}
+	}
+	// The storage draws happen only when the option is set, so plans of
+	// pre-storage option sets keep their exact byte sequences.
+	killSWRound := -1
+	if o.KillSW && o.Storage {
+		killSWRound = 1
+		if o.Rounds > 2 {
+			killSWRound = 1 + rng.Intn(o.Rounds-2)
 		}
 	}
 	for r := range rounds {
@@ -101,6 +120,15 @@ func buildRounds(o Options) []roundPlan {
 				// per millisecond): otherwise nothing is left to
 				// reassign and the round proves nothing.
 				rp.Events = 768 + rng.Intn(512)
+			}
+		}
+		if o.Storage {
+			rp.Writes = 96 + rng.Intn(64)
+			if r == killSWRound {
+				rp.KillSW = 1 + rng.Intn(2)
+				// The victim must still be mid-stream when the crash
+				// lands, so the kill round replays a longer record set.
+				rp.Writes = 384 + rng.Intn(128)
 			}
 		}
 	}
@@ -215,8 +243,8 @@ func PlanString(o Options) string {
 	var b strings.Builder
 	fmt.Fprintf(&b, "chaos plan: seed=%d fabric=%s nodes=%d rounds=%d workers=%d faults=%s",
 		o.Seed, o.Fabric, o.Nodes, o.Rounds, o.Workers, o.Faults)
-	fmt.Fprintf(&b, " kill=%v rescale=%v bulk=%v eventbuilder=%v killbu=%v\n",
-		o.Kill, o.Rescale, o.Bulk, o.EventBuilder, o.KillBU)
+	fmt.Fprintf(&b, " kill=%v rescale=%v bulk=%v eventbuilder=%v killbu=%v storage=%v killsw=%v\n",
+		o.Kill, o.Rescale, o.Bulk, o.EventBuilder, o.KillBU, o.Storage, o.KillSW)
 
 	if rules := sendRules(o.Faults); rules != nil {
 		b.WriteString("send rules (per-peer streams):\n")
@@ -260,6 +288,12 @@ func PlanString(o Options) string {
 		}
 		if rp.KillBU > 0 {
 			fmt.Fprintf(&b, " killbu=%d", rp.KillBU-1)
+		}
+		if rp.Writes > 0 {
+			fmt.Fprintf(&b, " writes=%d", rp.Writes)
+		}
+		if rp.KillSW > 0 {
+			fmt.Fprintf(&b, " killsw=%d", rp.KillSW-1)
 		}
 		b.WriteString("\n")
 	}

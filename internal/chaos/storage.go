@@ -1,0 +1,192 @@
+package chaos
+
+import (
+	"math/rand"
+	"os"
+	"sync"
+	"time"
+
+	"xdaq/internal/i2o"
+	"xdaq/internal/storage"
+)
+
+// swState is the persistent striped-storage deployment riding along with
+// the chaos workload: two storage writer devices — one on the first
+// node, one on the last — with a replay reader on the middle node
+// streaming seeded record sets into them, striped by event id.  The
+// modules are plugged once at build time; every storage round extends
+// the expected record set and the storageChecker audits the on-disk
+// segments for exactly-once persistence at every quiescent point.
+//
+// A KillSW round crashes one writer mid-replay (torn segment tail, no
+// acks — dead-peer semantics), reopens it, and replays the round's full
+// set: the recovered duplicate filter drops everything that survived
+// the crash and the replay restores the torn-off suffix, which is the
+// tentpole's zero-lost/zero-duplicated recovery invariant.
+type swState struct {
+	dir string
+	sws []*storage.SW
+	rep *storage.Replayer
+
+	mu         sync.Mutex
+	expected   []storage.Record // every record replayed so far, in event order
+	nextEvent  uint64
+	killRounds int
+}
+
+// swArena and swSimDelay shape the chaos writers: small arenas rotating
+// through a simulated per-stripe disk keep a replay pass long enough
+// for a mid-stream crash to land in the middle of real work.
+const (
+	swArena    = 4 << 10
+	swSimDelay = 200 * time.Microsecond
+)
+
+// setupStorage plugs the storage writers and the replay reader and
+// opens one segment per stripe in a scratch directory.
+func (c *Cluster) setupStorage() error {
+	dir, err := os.MkdirTemp("", "xdaq-chaos-storage-*")
+	if err != nil {
+		return err
+	}
+	sw := &swState{dir: dir}
+	hosts := []*Node{c.Nodes[0], c.Nodes[len(c.Nodes)-1]}
+	for i, n := range hosts {
+		s := storage.NewSW(i, n.Exec.Allocator())
+		if _, err := n.Exec.Plug(s.Device()); err != nil {
+			return err
+		}
+		w, err := storage.Open(storage.Options{
+			Dir: dir, Instance: i, ArenaSize: swArena, SimDelay: swSimDelay,
+		})
+		if err != nil {
+			return err
+		}
+		s.Attach(w)
+		sw.sws = append(sw.sws, s)
+	}
+	mid := c.Nodes[1]
+	sw.rep = storage.NewReplayer(0)
+	if _, err := mid.Exec.Plug(sw.rep.Device()); err != nil {
+		return err
+	}
+	targets := make([]i2o.TID, len(hosts))
+	for i, n := range hosts {
+		tid, err := mid.Exec.Discover(n.ID, storage.ClassSW, i)
+		if err != nil {
+			return err
+		}
+		targets[i] = tid
+	}
+	sw.rep.Configure(targets, 8)
+	c.sw = sw
+	return nil
+}
+
+// shutdown closes the writers and removes the scratch directory.
+func (s *swState) shutdown() {
+	for _, sw := range s.sws {
+		if w := sw.Writer(); w != nil {
+			w.Close() // a crashed writer refuses; the scratch dir goes anyway
+		}
+	}
+	os.RemoveAll(s.dir)
+}
+
+// storageRound replays `writes` fresh seeded records through the
+// striped writers.  When killSW names a victim (instance+1), that
+// writer is crashed once the stream is demonstrably mid-stripe, then
+// reopened, and the round's set is replayed in full — the pass must
+// converge and the cumulative exactly-once audit (storageChecker) must
+// still hold at the quiescent point that follows.
+//
+// Like the event-builder round, a storage round only runs while the
+// cluster is lossless: the replayer re-sends on writer backpressure but
+// not on silently dropped frames, so under armed faults a wedged pass
+// is expected behavior, not an invariant to audit.
+func (c *Cluster) storageRound(round, writes, killSW int) {
+	sw := c.sw
+	if sw == nil {
+		return
+	}
+	if c.lossy {
+		c.logf("chaos: round %d: skipping storage replay on a lossy run", round+1)
+		return
+	}
+
+	// The round's record set is a pure function of (seed, round).
+	rng := rand.New(rand.NewSource(deriveSeed(c.Opts.Seed, 0x5709A6E<<8|uint64(round))))
+	sw.mu.Lock()
+	recs := make([]storage.Record, writes)
+	for i := range recs {
+		data := make([]byte, 256+rng.Intn(768))
+		rng.Read(data)
+		recs[i] = storage.Record{Event: sw.nextEvent, Data: data}
+		sw.nextEvent++
+	}
+	sw.expected = append(sw.expected, recs...)
+	sw.mu.Unlock()
+
+	if err := sw.rep.Start(recs); err != nil {
+		c.violate("round %d: storage replay start: %v", round+1, err)
+		return
+	}
+
+	victim := killSW - 1
+	if victim >= 0 && victim < len(sw.sws) {
+		// Crash only after the victim acked real progress, so the torn
+		// tail lands mid-stripe rather than on an empty segment.
+		s := sw.sws[victim]
+		ackedAt := s.Acked()
+		deadline := time.Now().Add(3 * time.Second)
+		for s.Acked() < ackedAt+5 && time.Now().Before(deadline) {
+			time.Sleep(200 * time.Microsecond)
+		}
+		c.logf("chaos: round %d: crashing storage writer %d (acked %d)",
+			round+1, victim, s.Acked())
+		s.Kill()
+		st := sw.rep.Wait(250 * time.Millisecond)
+		if st.Done {
+			c.logf("chaos: round %d: replay finished before the crash landed", round+1)
+		}
+		if err := s.Reopen(); err != nil {
+			c.violate("round %d: storage writer %d reopen: %v", round+1, victim, err)
+			return
+		}
+		rst := s.Stats()
+		c.logf("chaos: round %d: writer %d recovered %d events (%d truncations, %d bytes torn)",
+			round+1, victim, rst.Recovered, rst.Truncations, rst.TruncatedBytes)
+		sw.mu.Lock()
+		sw.killRounds++
+		sw.mu.Unlock()
+		// Replay the full round again: survivors dedup, the torn-off
+		// suffix is restored.
+		if err := sw.rep.Start(recs); err != nil {
+			c.violate("round %d: storage recovery replay start: %v", round+1, err)
+			return
+		}
+	}
+
+	st := sw.rep.Wait(10 * time.Second)
+	if !st.Done {
+		c.violate("round %d: storage replay wedged: %+v", round+1, st)
+		return
+	}
+	if st.Fails != 0 {
+		c.violate("round %d: storage replay saw %d refused events", round+1, st.Fails)
+	}
+
+	// Striping: every record of the round must be on exactly its stripe.
+	for _, rec := range recs {
+		want := int(rec.Event % uint64(len(sw.sws)))
+		for i, s := range sw.sws {
+			has := s.Writer().Contains(rec.Event)
+			if has != (i == want) {
+				c.violate("round %d: event %d on stripe %d = %v, want stripe %d",
+					round+1, rec.Event, i, has, want)
+			}
+		}
+	}
+	c.logf("chaos: round %d storage: %d records replayed (stored=%d dups=%d fulls=%d)",
+		round+1, len(recs), st.Stored, st.Dups, st.Fulls)
+}

@@ -12,7 +12,13 @@ import (
 	"xdaq/internal/chain"
 	"xdaq/internal/device"
 	"xdaq/internal/i2o"
+	"xdaq/internal/storage"
 )
+
+// storeSweepDelay paces the resend sweep over unacked storage writes.
+// A lost frame (or a lost ack) heals on the next sweep; the writers'
+// duplicate filter makes any double-delivery harmless.
+const storeSweepDelay = 50 * time.Millisecond
 
 // ErrKilled reports a run terminated by Kill (the chaos harness's builder
 // failure injection).
@@ -31,6 +37,8 @@ type BUStats struct {
 	Corrupt      uint64 // fragments whose fill byte did not verify
 	StaleRetries uint64 // fragment requests retried after a shard fence
 	LostBlocks   uint64 // blocks dropped because ownership moved away
+	Stored       uint64 // events acked durable by a storage writer
+	WriteStalls  uint64 // AckFull nacks (storage backpressure events)
 }
 
 // BU is a builder unit: the consumer side of the event builder.  It is an
@@ -56,6 +64,12 @@ type BU struct {
 	perEvent int       // fragments expected per event (= total RUs)
 	fu       i2o.TID   // optional filter unit receiving built events
 
+	// Storage wiring, set before Start: built events stream to
+	// writers[event % len(writers)] and the run only finishes once every
+	// one is acked durable.
+	writers     []i2o.TID
+	storeWindow int
+
 	// OnEvent, if set, runs for every built event (the hook where a
 	// filter unit would attach).  It is called with the BU's run lock
 	// held; keep it short and never call back into the BU.
@@ -70,6 +84,8 @@ type BU struct {
 	timersOut int
 	over      bool
 	blocks    map[uint32]*blockBuild
+	unacked   map[uint64][]byte // event -> write payload awaiting a storage ack
+	sweeping  bool
 	done      chan struct{}
 	running   bool
 	failure   error
@@ -85,6 +101,8 @@ type BU struct {
 	corrupt atomic.Uint64
 	stale   atomic.Uint64
 	lost    atomic.Uint64
+	stored  atomic.Uint64
+	wstalls atomic.Uint64
 
 	xferSeq atomic.Uint32
 }
@@ -115,6 +133,11 @@ func NewBU(instance int) *BU {
 	b.dev.Bind(XFuncRegister, b.handleRegisterReply)
 	b.dev.Bind(XFuncFragment, b.handleFragmentReply)
 	b.dev.Bind(XFuncSuper, b.handleFragmentReply)
+	b.dev.Bind(storage.XFuncWriteAck, b.handleWriteAck)
+	b.dev.OnPlugged = func(ctx *device.Context) error {
+		registerBUMetrics(ctx, b)
+		return nil
+	}
 	return b
 }
 
@@ -146,6 +169,20 @@ func (b *BU) ConfigureTree(evm i2o.TID, roots []i2o.TID, totalRUs int) {
 // forwarding.  Must precede Start.
 func (b *BU) SetFilterUnit(fu i2o.TID) { b.fu = fu }
 
+// SetStorage streams every built event to a striped set of storage
+// writers: event e goes to writers[e % len(writers)] as an XFuncWrite
+// chain transfer.  window bounds the events awaiting a durable ack —
+// when it fills, the BU stops asking the EVM for grants, which is how
+// slow disks throttle the whole readout.  nil disables storage.  Must
+// precede Start.
+func (b *BU) SetStorage(writers []i2o.TID, window int) {
+	if window <= 0 {
+		window = 32
+	}
+	b.writers = append([]i2o.TID(nil), writers...)
+	b.storeWindow = window
+}
+
 // Stats returns the current counters (atomic reads; safe concurrently
 // with a running build).
 func (b *BU) Stats() BUStats {
@@ -155,6 +192,8 @@ func (b *BU) Stats() BUStats {
 		Corrupt:      b.corrupt.Load(),
 		StaleRetries: b.stale.Load(),
 		LostBlocks:   b.lost.Load(),
+		Stored:       b.stored.Load(),
+		WriteStalls:  b.wstalls.Load(),
 	}
 }
 
@@ -199,6 +238,8 @@ func (b *BU) Start(nevents uint64, pipeline int) (<-chan struct{}, error) {
 	b.corrupt.Store(0)
 	b.stale.Store(0)
 	b.lost.Store(0)
+	b.stored.Store(0)
+	b.wstalls.Store(0)
 	b.mu.Unlock()
 
 	payload := make([]byte, 12)
@@ -251,6 +292,7 @@ func (b *BU) finishLocked(err error) {
 // EVM said the run is over or the local target is reached.
 func (b *BU) maybeFinishLocked() {
 	if b.allocsOut == 0 && b.timersOut == 0 && len(b.blocks) == 0 &&
+		len(b.unacked) == 0 &&
 		(b.over || (b.target > 0 && b.built.Load() >= b.target)) {
 		b.finishLocked(nil)
 	}
@@ -270,6 +312,7 @@ func (b *BU) handleStart(ctx *device.Context, m *i2o.Message) error {
 	b.timersOut = 0
 	b.over = false
 	b.blocks = make(map[uint32]*blockBuild, b.pipeline)
+	b.unacked = make(map[uint64][]byte, b.storeWindow)
 	b.runCtx = ctx
 
 	// Register with the EVM (idempotent): the reply carries the shard map
@@ -325,6 +368,13 @@ func (b *BU) handleRegisterReply(ctx *device.Context, m *i2o.Message) error {
 func (b *BU) pumpLocked(ctx *device.Context) {
 	for b.allocsOut+b.timersOut+len(b.blocks) < b.pipeline {
 		if b.over || (b.target > 0 && b.issued >= b.target) {
+			return
+		}
+		if len(b.writers) > 0 && len(b.unacked) >= b.storeWindow {
+			// Storage backpressure: the write window is full, so stop
+			// asking the EVM for event grants.  The pump restarts from
+			// the write-ack handler as acks drain the window — writer
+			// pressure thereby reaches all the way back to the readout.
 			return
 		}
 		if err := b.sendAllocLocked(ctx); err != nil {
@@ -520,9 +570,9 @@ func (b *BU) handleFragmentReply(ctx *device.Context, m *i2o.Message) error {
 		if len(f.Data) > 0 && f.Data[0] != FragmentFill(int(f.RU), f.Event) {
 			b.corrupt.Add(1)
 		}
-		if b.fu != i2o.TIDNone {
+		if b.fu != i2o.TIDNone || len(b.writers) > 0 {
 			// The frame's pool buffer is released after this handler
-			// returns; keep a copy for the filter unit.
+			// returns; keep a copy for the filter unit / storage writer.
 			ev.frags = append(ev.frags, append([]byte(nil), f.Data...))
 		}
 		if ev.got >= b.perEvent {
@@ -540,6 +590,9 @@ func (b *BU) handleFragmentReply(ctx *device.Context, m *i2o.Message) error {
 				if err := b.forwardEvent(ctx, f.Event, ev); err != nil {
 					ctx.Host.Logf("daq: event %d to filter unit: %v", f.Event, err)
 				}
+			}
+			if len(b.writers) > 0 {
+				b.storeEventLocked(f.Event, ev)
 			}
 		}
 	}
@@ -571,4 +624,90 @@ func (b *BU) forwardEvent(ctx *device.Context, event uint64, ev *eventBuild) err
 	}
 	id := uint32(b.xferSeq.Add(1))
 	return chain.SendBytes(ctx.Host, b.fu, b.dev.TID(), XFuncEvent, i2o.PriorityBulk, id, payload)
+}
+
+// storeEventLocked queues one built event for its stripe's storage
+// writer and sends the first attempt.  The payload stays in unacked
+// until a durable ack arrives; resends are safe because the writer
+// dedups by event id.  Caller holds b.mu.
+func (b *BU) storeEventLocked(event uint64, ev *eventBuild) {
+	payload := make([]byte, 8, 8+ev.bytes)
+	binary.LittleEndian.PutUint64(payload, event)
+	for _, f := range ev.frags {
+		payload = append(payload, f...)
+	}
+	b.unacked[event] = payload
+	b.sendStoreLocked(event, payload)
+	b.armStoreSweepLocked()
+}
+
+// sendStoreLocked issues one write transfer.  Send errors are not
+// fatal: the resend sweep retries until the ack lands.  Caller holds
+// b.mu.
+func (b *BU) sendStoreLocked(event uint64, payload []byte) {
+	target := b.writers[event%uint64(len(b.writers))]
+	id := uint32(b.xferSeq.Add(1))
+	if err := chain.SendBytes(b.runCtx.Host, target, b.dev.TID(), storage.XFuncWrite,
+		i2o.PriorityBulk, id, payload); err != nil {
+		b.runCtx.Host.Logf("daq: store event %d: %v", event, err)
+	}
+}
+
+// armStoreSweepLocked keeps one resend timer alive while writes await
+// acks.  Every sweep re-sends the whole unacked window — it only has
+// anything to do when a frame or an ack was lost, and the writers'
+// duplicate filter absorbs the rest.  Caller holds b.mu.
+func (b *BU) armStoreSweepLocked() {
+	if b.sweeping || len(b.unacked) == 0 {
+		return
+	}
+	b.sweeping = true
+	gen := b.runGen.Load()
+	time.AfterFunc(storeSweepDelay, func() {
+		b.mu.Lock()
+		defer b.mu.Unlock()
+		b.sweeping = false
+		if gen != b.runGen.Load() || !b.running || b.killed.Load() {
+			return
+		}
+		for event, payload := range b.unacked {
+			b.sendStoreLocked(event, payload)
+		}
+		b.armStoreSweepLocked()
+	})
+}
+
+// handleWriteAck drains the storage write window as acks arrive.
+func (b *BU) handleWriteAck(ctx *device.Context, m *i2o.Message) error {
+	a, err := storage.DecodeWriteAck(m.Payload)
+	if err != nil {
+		return err
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if !b.running || b.killed.Load() {
+		return nil
+	}
+	if _, ok := b.unacked[a.Event]; !ok {
+		return nil // stale ack (a resend raced the original)
+	}
+	switch a.Status {
+	case storage.AckStored, storage.AckDup:
+		b.stored.Add(1)
+		delete(b.unacked, a.Event)
+		b.pumpLocked(ctx)
+		b.maybeFinishLocked()
+	case storage.AckFull:
+		// Writer backpressure: retry after a beat, well before the
+		// sweep would.  The window entry stays, holding the grant pump.
+		b.wstalls.Add(1)
+		b.scheduleLocked(func(ctx *device.Context) {
+			if payload, ok := b.unacked[a.Event]; ok {
+				b.sendStoreLocked(a.Event, payload)
+			}
+		})
+	default:
+		b.finishLocked(fmt.Errorf("daq: storage writer refused event %d", a.Event))
+	}
+	return nil
 }

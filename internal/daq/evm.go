@@ -74,6 +74,10 @@ func NewEVM(limit uint64) *EVM {
 	}
 	e.limit.Store(limit)
 	e.dev = device.New(EVMClass, 0)
+	e.dev.OnPlugged = func(ctx *device.Context) error {
+		registerEVMMetrics(ctx, e)
+		return nil
+	}
 	e.dev.Params().Set("events", int64(limit))
 	e.dev.Params().OnSet(func(changed []i2o.Param) {
 		for _, p := range changed {

@@ -43,6 +43,10 @@ type FU struct {
 func NewFU(instance int, alloc pool.Allocator, filter Filter) *FU {
 	f := &FU{filter: filter}
 	f.dev = device.New(FUClass, instance)
+	f.dev.OnPlugged = func(ctx *device.Context) error {
+		registerFUMetrics(ctx, f)
+		return nil
+	}
 	f.reasm = chain.NewReassembler(alloc, f.onEvent)
 	f.dev.Bind(XFuncEvent, f.reasm.Handler)
 	return f

@@ -1,0 +1,69 @@
+package daq
+
+import (
+	"xdaq/internal/device"
+	"xdaq/internal/metrics"
+)
+
+// The daq.* gauges mirror each device's atomic counters into the host
+// executive's metrics registry, so `xdaqctl metrics <node>` (and the
+// soak harness) can watch a run without touching device APIs.  One
+// device class per node is the deployed shape; when a test packs
+// several instances of a class onto one executive, the last one plugged
+// owns the names.
+
+// hostMetrics pulls the registry off hosts that carry one (the
+// executive does; bare test fakes need not).
+func hostMetrics(ctx *device.Context) *metrics.Registry {
+	host, ok := ctx.Host.(interface{ Metrics() *metrics.Registry })
+	if !ok {
+		return nil
+	}
+	return host.Metrics()
+}
+
+func registerEVMMetrics(ctx *device.Context, e *EVM) {
+	reg := hostMetrics(ctx)
+	if reg == nil {
+		return
+	}
+	reg.Func("daq.evm.allocated", func() int64 { return int64(e.Allocated()) })
+	reg.Func("daq.evm.built", func() int64 { return int64(e.Built()) })
+	reg.Func("daq.evm.duplicates", func() int64 { return int64(e.Duplicates()) })
+	reg.Func("daq.evm.reassigned", func() int64 { return int64(e.Reassigned()) })
+	reg.Func("daq.evm.shard.version", func() int64 { return int64(e.ShardVersion()) })
+}
+
+func registerRUMetrics(ctx *device.Context, r *RU) {
+	reg := hostMetrics(ctx)
+	if reg == nil {
+		return
+	}
+	reg.Func("daq.ru.served", func() int64 { return int64(r.Served()) })
+	reg.Func("daq.ru.stale", func() int64 { return int64(r.Stale()) })
+	reg.Func("daq.ru.refused", func() int64 { return int64(r.Refused()) })
+}
+
+func registerBUMetrics(ctx *device.Context, b *BU) {
+	reg := hostMetrics(ctx)
+	if reg == nil {
+		return
+	}
+	reg.Func("daq.bu.built", func() int64 { return int64(b.built.Load()) })
+	reg.Func("daq.bu.bytes", func() int64 { return int64(b.bytes.Load()) })
+	reg.Func("daq.bu.corrupt", func() int64 { return int64(b.corrupt.Load()) })
+	reg.Func("daq.bu.stale", func() int64 { return int64(b.stale.Load()) })
+	reg.Func("daq.bu.lost", func() int64 { return int64(b.lost.Load()) })
+	reg.Func("daq.bu.stored", func() int64 { return int64(b.stored.Load()) })
+	reg.Func("daq.bu.write.stalls", func() int64 { return int64(b.wstalls.Load()) })
+}
+
+func registerFUMetrics(ctx *device.Context, f *FU) {
+	reg := hostMetrics(ctx)
+	if reg == nil {
+		return
+	}
+	reg.Func("daq.fu.accepted", func() int64 { return int64(f.Accepted()) })
+	reg.Func("daq.fu.rejected", func() int64 { return int64(f.Rejected()) })
+	reg.Func("daq.fu.bytes", func() int64 { return int64(f.Bytes()) })
+}

@@ -51,6 +51,10 @@ func NewRU(instance, fragSize int) *RU {
 	r := &RU{instance: instance, evm: i2o.TIDNone}
 	r.size.Store(int64(fragSize))
 	r.dev = device.New(RUClass, instance)
+	r.dev.OnPlugged = func(ctx *device.Context) error {
+		registerRUMetrics(ctx, r)
+		return nil
+	}
 	r.dev.Params().Set("fragsize", int64(fragSize))
 	r.dev.Params().OnSet(func(changed []i2o.Param) {
 		for _, p := range changed {

@@ -14,14 +14,21 @@
 //	daq.bu    — builder unit (wire it with Configure before starting)
 //	daq.agg   — event-builder aggregator stage (wire it with Configure)
 //	i2o.bsa   — block storage volume (parameters: blocksize, blocks)
+//	storage.sw — striped-storage segment writer (parameters: dir
+//	            (required), arena, hint, sync); opens seg-<instance>.xseg
+//	            in dir at plug time, closes it at unplug
 package modules
 
 import (
+	"fmt"
+
 	"xdaq/internal/bsa"
 	"xdaq/internal/daq"
 	"xdaq/internal/device"
 	"xdaq/internal/executive"
 	"xdaq/internal/i2o"
+	"xdaq/internal/pool"
+	"xdaq/internal/storage"
 )
 
 func init() {
@@ -77,6 +84,54 @@ func init() {
 		return daq.NewAggregator(instance).Device(), nil
 	})
 
+	executive.RegisterModule("storage.sw", func(instance int, params []i2o.Param) (*device.Device, error) {
+		opts := storage.Options{Instance: instance}
+		for _, p := range params {
+			switch p.Key {
+			case "dir":
+				if s, ok := p.Value.(string); ok {
+					opts.Dir = s
+				}
+			case "arena":
+				if n, ok := p.Value.(int64); ok && n > 0 {
+					opts.ArenaSize = int(n)
+				}
+			case "hint":
+				if n, ok := p.Value.(int64); ok && n > 0 {
+					opts.IndexHint = int(n)
+				}
+			case "sync":
+				if b, ok := p.Value.(bool); ok {
+					opts.Sync = b
+				}
+			}
+		}
+		if opts.Dir == "" {
+			return nil, fmt.Errorf("storage.sw: a dir parameter is required")
+		}
+		// The reassembler's allocator is only exercised once frames
+		// arrive, so it can bind to the host executive at plug time.
+		alloc := &pluggedAllocator{}
+		sw := storage.NewSW(instance, alloc)
+		dev := sw.Device()
+		inner := dev.OnPlugged
+		dev.OnPlugged = func(ctx *device.Context) error {
+			alloc.host = ctx.Host
+			w, err := storage.Open(opts)
+			if err != nil {
+				return err
+			}
+			sw.Attach(w)
+			return inner(ctx)
+		}
+		dev.OnUnplugged = func() {
+			if w := sw.Writer(); w != nil {
+				w.Close()
+			}
+		}
+		return dev, nil
+	})
+
 	executive.RegisterModule("i2o.bsa", func(instance int, params []i2o.Param) (*device.Device, error) {
 		blockSize, blocks := 0, uint64(1024)
 		for _, p := range params {
@@ -94,6 +149,19 @@ func init() {
 		return bsa.New(instance, blockSize, blocks).Module(), nil
 	})
 }
+
+// pluggedAllocator adapts the plug-time device host to pool.Allocator,
+// for modules whose factories run before any executive is in sight.
+type pluggedAllocator struct{ host device.Host }
+
+func (a *pluggedAllocator) Alloc(n int) (*pool.Buffer, error) {
+	if a.host == nil {
+		return nil, fmt.Errorf("storage.sw: not plugged")
+	}
+	return a.host.Alloc(n)
+}
+func (a *pluggedAllocator) Stats() pool.Stats { return pool.Stats{} }
+func (a *pluggedAllocator) Name() string      { return "plugged-host" }
 
 // applyParams copies plug-time parameters (minus the bookkeeping keys)
 // into a device's parameter store.

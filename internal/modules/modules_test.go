@@ -1,12 +1,15 @@
 package modules
 
 import (
+	"os"
+	"path/filepath"
 	"testing"
 	"time"
 
 	"xdaq/internal/daq"
 	"xdaq/internal/executive"
 	"xdaq/internal/i2o"
+	"xdaq/internal/storage"
 )
 
 func newExec(t *testing.T) *executive.Executive {
@@ -21,7 +24,7 @@ func newExec(t *testing.T) *executive.Executive {
 }
 
 func TestAllStandardModulesRegistered(t *testing.T) {
-	want := map[string]bool{"echo": false, "daq.evm": false, "daq.ru": false, "daq.bu": false, "i2o.bsa": false}
+	want := map[string]bool{"echo": false, "daq.evm": false, "daq.ru": false, "daq.bu": false, "i2o.bsa": false, "storage.sw": false}
 	for _, name := range executive.Modules() {
 		if _, ok := want[name]; ok {
 			want[name] = true
@@ -31,6 +34,42 @@ func TestAllStandardModulesRegistered(t *testing.T) {
 		if !found {
 			t.Errorf("module %q not registered", name)
 		}
+	}
+}
+
+// The storage.sw module opens its segment at plug time and closes it
+// cleanly (footer written) at unplug, so a controller can deploy and
+// retire stripes with ExecPlugin alone.
+func TestStorageWriterModule(t *testing.T) {
+	e := newExec(t)
+	dir := t.TempDir()
+	d, err := executive.Instantiate("storage.sw", 2, []i2o.Param{{Key: "dir", Value: dir}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	id, err := e.Plug(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(filepath.Join(dir, "seg-002.xseg")); err != nil {
+		t.Fatalf("plug did not open the segment: %v", err)
+	}
+	if err := e.Unplug(id); err != nil {
+		t.Fatal(err)
+	}
+	// A clean close leaves a footer: reopening recovers without a scan
+	// truncation and the writer is attachable again.
+	w, err := storage.Open(storage.Options{Dir: dir, Instance: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer w.Close()
+	if st := w.Stats(); st.Truncations != 0 {
+		t.Fatalf("clean unplug left a torn segment: %+v", st)
+	}
+
+	if _, err := executive.Instantiate("storage.sw", 0, nil); err == nil {
+		t.Fatal("storage.sw without dir did not error")
 	}
 }
 

@@ -1,0 +1,130 @@
+package storage
+
+import (
+	"errors"
+	"fmt"
+	"runtime"
+	"sync"
+	"testing"
+	"time"
+
+	"xdaq/internal/pta"
+)
+
+// BenchmarkStorageAppend measures the raw single-writer hot path: one
+// gather-copy into the arena, a CRC, and the background flush to the
+// page cache.  The steady state must not allocate — the index and the
+// duplicate filter are pre-sized, the arenas are fixed, and the flusher
+// reuses its channel slot — so allocs/op here is a gate, not a metric.
+func BenchmarkStorageAppend(b *testing.B) {
+	const recSize = 64 << 10
+	w, err := Open(Options{
+		Dir:       b.TempDir(),
+		Instance:  0,
+		ArenaSize: 1 << 20,
+		IndexHint: b.N + 1,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	data := make([]byte, recSize)
+	for i := range data {
+		data[i] = byte(i)
+	}
+	// One interface value up front: converting the slice at every Append
+	// call would charge the benchmark an allocation the writer never makes.
+	var src Source = bytesSource(data)
+	b.SetBytes(recSize)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for {
+			err := w.Append(uint64(i), recSize, src)
+			if err == nil {
+				break
+			}
+			if !errors.Is(err, pta.ErrTransient) {
+				b.Fatal(err)
+			}
+			runtime.Gosched() // writer full: the flusher needs the core
+		}
+	}
+	b.StopTimer()
+	if err := w.Close(); err != nil {
+		b.Fatal(err)
+	}
+}
+
+// BenchmarkStorageStriped measures aggregate throughput of an event
+// stream striped across N writers, each with an independent simulated
+// disk (SimDelay models one stripe device's service time per arena, the
+// way internal/transport/gm models Myrinet — see doc/storage.md).  The
+// claim under test is the Fast-Parallel-I/O one: striping hides the
+// per-device latency, so aggregate MB/s scales with the writer count
+// until the CPU-side gather work saturates.  bench-gate holds
+// writers=8 to at least 2x writers=1.
+func BenchmarkStorageStriped(b *testing.B) {
+	const (
+		recSize  = 128 << 10
+		simDelay = 2 * time.Millisecond
+	)
+	for _, writers := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("writers=%d", writers), func(b *testing.B) {
+			dir := b.TempDir()
+			ws := make([]*Writer, writers)
+			for i := range ws {
+				var err error
+				ws[i], err = Open(Options{
+					Dir:       dir,
+					Instance:  i,
+					ArenaSize: 1 << 20,
+					IndexHint: b.N/writers + 2,
+					SimDelay:  simDelay,
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+			data := make([]byte, recSize)
+			for i := range data {
+				data[i] = byte(i)
+			}
+			b.SetBytes(recSize)
+			b.ReportAllocs()
+			b.ResetTimer()
+			var wg sync.WaitGroup
+			for s := 0; s < writers; s++ {
+				count := b.N / writers
+				if s < b.N%writers {
+					count++
+				}
+				wg.Add(1)
+				go func(s, count int) {
+					defer wg.Done()
+					var src Source = bytesSource(data)
+					for k := 0; k < count; k++ {
+						event := uint64(s + k*writers) // stripe: event % writers == s
+						for {
+							err := ws[s].Append(event, recSize, src)
+							if err == nil {
+								break
+							}
+							if !errors.Is(err, pta.ErrTransient) {
+								b.Error(err)
+								return
+							}
+							time.Sleep(200 * time.Microsecond)
+						}
+					}
+				}(s, count)
+			}
+			wg.Wait()
+			b.StopTimer()
+			for _, w := range ws {
+				if err := w.Close(); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}

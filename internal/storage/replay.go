@@ -1,0 +1,223 @@
+package storage
+
+import (
+	"encoding/binary"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"xdaq/internal/chain"
+	"xdaq/internal/device"
+	"xdaq/internal/i2o"
+)
+
+// ClassReplay is the replay reader device class name.
+const ClassReplay = "storage.replay"
+
+// replayRetryDelay spaces resends after an AckFull nack or a transient
+// send failure — the same order as the BU's grant retry.
+const replayRetryDelay = 500 * time.Microsecond
+
+// ReplayStats summarizes one replay pass.
+type ReplayStats struct {
+	Sent   uint64 // write transfers issued (including resends)
+	Stored uint64 // events acked AckStored
+	Dups   uint64 // events acked AckDup (already durable)
+	Fulls  uint64 // AckFull nacks (writer backpressure)
+	Fails  uint64 // events refused AckFail (writer dead or closed)
+	Done   bool   // every record completed before the deadline
+}
+
+// Replayer streams a recorded segment set back through the cluster as a
+// load generator: each record travels to its stripe's storage writer as
+// a regular XFuncWrite transfer, with a bounded in-flight window paced
+// by the acks.  Replaying an already-stored set is harmless (AckDup),
+// which is exactly how recovery converges after a writer crash: replay
+// the full set, the survivors dedup, the torn tail heals.
+type Replayer struct {
+	dev *device.Device
+
+	mu       sync.Mutex
+	ctx      *device.Context
+	targets  []i2o.TID
+	window   int
+	records  []Record
+	next     int
+	inflight map[uint64]int // event -> record index
+	gen      uint64         // invalidates timers from finished passes
+	done     chan struct{}
+	finished bool
+
+	xferSeq                               atomic.Uint32
+	nSent, nStored, nDups, nFulls, nFails atomic.Uint64
+}
+
+// NewReplayer creates replay reader `instance`.
+func NewReplayer(instance int) *Replayer {
+	r := &Replayer{}
+	r.dev = device.New(ClassReplay, instance)
+	r.dev.Bind(XFuncWriteAck, r.onAck)
+	r.dev.OnPlugged = func(ctx *device.Context) error {
+		r.mu.Lock()
+		r.ctx = ctx
+		r.mu.Unlock()
+		return nil
+	}
+	return r
+}
+
+// Device returns the module to plug into an executive.
+func (r *Replayer) Device() *device.Device { return r.dev }
+
+// Configure sets the stripe targets (event % len(targets) picks the
+// writer) and the in-flight window per pass.
+func (r *Replayer) Configure(targets []i2o.TID, window int) {
+	if window <= 0 {
+		window = 16
+	}
+	r.mu.Lock()
+	r.targets = append([]i2o.TID(nil), targets...)
+	r.window = window
+	r.mu.Unlock()
+}
+
+// Start begins one replay pass over records.  A pass completes when
+// every record was acked (stored, duplicate, or failed); Wait blocks for
+// that with a deadline, because a killed writer acks nothing.
+func (r *Replayer) Start(records []Record) error {
+	r.mu.Lock()
+	if r.ctx == nil {
+		r.mu.Unlock()
+		return device.ErrNotPlugged
+	}
+	if len(r.targets) == 0 {
+		r.mu.Unlock()
+		return fmt.Errorf("storage: replayer has no targets")
+	}
+	if r.done != nil && !r.finished {
+		r.mu.Unlock()
+		return fmt.Errorf("storage: replay pass already running")
+	}
+	r.records = records
+	r.next = 0
+	r.inflight = make(map[uint64]int, r.window)
+	r.gen++
+	r.done = make(chan struct{})
+	r.finished = false
+	r.nSent.Store(0)
+	r.nStored.Store(0)
+	r.nDups.Store(0)
+	r.nFulls.Store(0)
+	r.nFails.Store(0)
+	r.pumpLocked()
+	r.mu.Unlock()
+	return nil
+}
+
+// Wait blocks until the pass completes or the deadline passes.
+func (r *Replayer) Wait(timeout time.Duration) ReplayStats {
+	r.mu.Lock()
+	done := r.done
+	r.mu.Unlock()
+	completed := false
+	if done != nil {
+		select {
+		case <-done:
+			completed = true
+		case <-time.After(timeout):
+		}
+	}
+	r.mu.Lock()
+	r.finished = true // a timed-out pass stops resending
+	r.gen++
+	r.mu.Unlock()
+	return ReplayStats{
+		Sent:   r.nSent.Load(),
+		Stored: r.nStored.Load(),
+		Dups:   r.nDups.Load(),
+		Fulls:  r.nFulls.Load(),
+		Fails:  r.nFails.Load(),
+		Done:   completed,
+	}
+}
+
+// pumpLocked fills the window.  Caller holds r.mu.
+func (r *Replayer) pumpLocked() {
+	for len(r.inflight) < r.window && r.next < len(r.records) {
+		idx := r.next
+		r.next++
+		r.inflight[r.records[idx].Event] = idx
+		r.sendLocked(idx)
+	}
+	if len(r.inflight) == 0 && r.next == len(r.records) && !r.finished {
+		r.finished = true
+		close(r.done)
+	}
+}
+
+// sendLocked issues one record's write transfer; transient send errors
+// reschedule themselves.  Caller holds r.mu.
+func (r *Replayer) sendLocked(idx int) {
+	rec := r.records[idx]
+	target := r.targets[rec.Event%uint64(len(r.targets))]
+	payload := make([]byte, 8+len(rec.Data))
+	binary.LittleEndian.PutUint64(payload, rec.Event)
+	copy(payload[8:], rec.Data)
+	err := chain.SendBytes(r.ctx.Host, target, r.dev.TID(), XFuncWrite,
+		i2o.PriorityBulk, r.xferSeq.Add(1), payload)
+	if err != nil {
+		// Ring full or peer briefly unreachable: try again shortly.  A
+		// permanently dead target never acks, which the pass deadline
+		// absorbs — the next pass restores whatever it missed.
+		r.retryLater(rec.Event, idx)
+		return
+	}
+	r.nSent.Add(1)
+}
+
+// retryLater re-issues a record's send after the retry delay, unless
+// the pass it belongs to is over.
+func (r *Replayer) retryLater(event uint64, idx int) {
+	gen := r.gen
+	time.AfterFunc(replayRetryDelay, func() {
+		r.mu.Lock()
+		defer r.mu.Unlock()
+		if r.gen != gen || r.finished {
+			return
+		}
+		if _, ok := r.inflight[event]; !ok {
+			return
+		}
+		r.sendLocked(idx)
+	})
+}
+
+// onAck handles one WriteAck.
+func (r *Replayer) onAck(ctx *device.Context, m *i2o.Message) error {
+	a, err := DecodeWriteAck(m.Payload)
+	if err != nil {
+		return err
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	idx, ok := r.inflight[a.Event]
+	if !ok {
+		return nil // stale ack from a previous pass or a resend race
+	}
+	switch a.Status {
+	case AckStored:
+		r.nStored.Add(1)
+	case AckDup:
+		r.nDups.Add(1)
+	case AckFull:
+		r.nFulls.Add(1)
+		r.retryLater(a.Event, idx)
+		return nil
+	default:
+		r.nFails.Add(1)
+	}
+	delete(r.inflight, a.Event)
+	r.pumpLocked()
+	return nil
+}

@@ -1,0 +1,152 @@
+package storage
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+)
+
+// IndexEntry locates one record inside a segment.
+type IndexEntry struct {
+	Event uint64
+	Off   int64  // file offset of the record header
+	Size  uint32 // payload bytes
+}
+
+// encodeHeader fills the 16-byte segment header.
+func encodeHeader(dst []byte, instance uint32) {
+	copy(dst, segMagic)
+	binary.LittleEndian.PutUint32(dst[8:], segVersion)
+	binary.LittleEndian.PutUint32(dst[12:], instance)
+}
+
+// decodeHeader validates a segment header and returns the writer
+// instance recorded in it.
+func decodeHeader(p []byte) (uint32, error) {
+	if len(p) < headerSize || string(p[:8]) != segMagic {
+		return 0, fmt.Errorf("%w: bad segment magic", ErrCorrupt)
+	}
+	if v := binary.LittleEndian.Uint32(p[8:]); v != segVersion {
+		return 0, fmt.Errorf("%w: segment version %d, want %d", ErrCorrupt, v, segVersion)
+	}
+	return binary.LittleEndian.Uint32(p[12:]), nil
+}
+
+// encodeRecHdr fills a 16-byte record header in place.
+func encodeRecHdr(dst []byte, size, crc uint32, event uint64) {
+	binary.LittleEndian.PutUint32(dst[0:], size)
+	binary.LittleEndian.PutUint32(dst[4:], crc)
+	binary.LittleEndian.PutUint64(dst[8:], event)
+}
+
+// decodeRecHdr splits a record header.
+func decodeRecHdr(p []byte) (size, crc uint32, event uint64) {
+	return binary.LittleEndian.Uint32(p[0:]),
+		binary.LittleEndian.Uint32(p[4:]),
+		binary.LittleEndian.Uint64(p[8:])
+}
+
+// encodeIndex renders the footer index plus trailer for the given
+// entries, to be written at file offset indexOff.
+func encodeIndex(entries []IndexEntry, indexOff int64) []byte {
+	buf := make([]byte, len(entries)*idxEntSize+trailerSize)
+	p := buf
+	for _, e := range entries {
+		binary.LittleEndian.PutUint64(p[0:], e.Event)
+		binary.LittleEndian.PutUint64(p[8:], uint64(e.Off))
+		binary.LittleEndian.PutUint32(p[16:], e.Size)
+		p = p[idxEntSize:]
+	}
+	body := buf[:len(entries)*idxEntSize]
+	binary.LittleEndian.PutUint64(p[0:], uint64(indexOff))
+	binary.LittleEndian.PutUint32(p[8:], uint32(len(entries)))
+	binary.LittleEndian.PutUint32(p[12:], crc32.Checksum(body, castagnoli))
+	copy(p[16:], idxMagic)
+	return buf
+}
+
+// loadIndex tries the fast path: a valid trailer at EOF.  It returns the
+// index entries and the end of the record region, or ok=false when the
+// segment has no (intact) footer and must be scanned instead.
+func loadIndex(f *os.File, fileSize int64) (entries []IndexEntry, dataEnd int64, ok bool) {
+	if fileSize < headerSize+trailerSize {
+		return nil, 0, false
+	}
+	var tr [trailerSize]byte
+	if _, err := f.ReadAt(tr[:], fileSize-trailerSize); err != nil {
+		return nil, 0, false
+	}
+	if string(tr[16:24]) != idxMagic {
+		return nil, 0, false
+	}
+	indexOff := int64(binary.LittleEndian.Uint64(tr[0:]))
+	count := int64(binary.LittleEndian.Uint32(tr[8:]))
+	wantCRC := binary.LittleEndian.Uint32(tr[12:])
+	if indexOff < headerSize || indexOff > fileSize-trailerSize {
+		return nil, 0, false
+	}
+	if count*idxEntSize != fileSize-trailerSize-indexOff {
+		return nil, 0, false
+	}
+	body := make([]byte, count*idxEntSize)
+	if _, err := f.ReadAt(body, indexOff); err != nil {
+		return nil, 0, false
+	}
+	if crc32.Checksum(body, castagnoli) != wantCRC {
+		return nil, 0, false
+	}
+	entries = make([]IndexEntry, count)
+	for i := range entries {
+		p := body[i*idxEntSize:]
+		entries[i] = IndexEntry{
+			Event: binary.LittleEndian.Uint64(p[0:]),
+			Off:   int64(binary.LittleEndian.Uint64(p[8:])),
+			Size:  binary.LittleEndian.Uint32(p[16:]),
+		}
+		// An index claiming records beyond the region it footers is
+		// corrupt; fall back to the scan.
+		if entries[i].Off < headerSize || entries[i].Off+recHdrSize+int64(entries[i].Size) > indexOff {
+			return nil, 0, false
+		}
+	}
+	return entries, indexOff, true
+}
+
+// scanSegment walks the record region from the header forward, verifying
+// each record's checksum, and stops at the first record that is torn
+// (runs past EOF) or corrupt (checksum mismatch).  It returns the valid
+// entries and the offset where the valid region ends; everything after
+// dataEnd is the torn tail.
+func scanSegment(f *os.File, fileSize int64) (entries []IndexEntry, dataEnd int64, err error) {
+	off := int64(headerSize)
+	var hdr [recHdrSize]byte
+	var payload []byte
+	for off+recHdrSize <= fileSize {
+		if _, err := f.ReadAt(hdr[:], off); err != nil {
+			return nil, 0, err
+		}
+		size, crc, event := decodeRecHdr(hdr[:])
+		// size==0 is never written (Append refuses empty payloads): an
+		// empty record's checksum is trivially 0, so accepting them would
+		// let zeroed tail garbage — a stale index entry, a hole — pass as
+		// data.  Zero size therefore marks the end of the record region.
+		if size == 0 || size > maxRecord || off+recHdrSize+int64(size) > fileSize {
+			break // torn or corrupt size: the tail starts here
+		}
+		if int(size) > cap(payload) {
+			payload = make([]byte, size)
+		}
+		payload = payload[:size]
+		if _, err := f.ReadAt(payload, off+recHdrSize); err != nil && err != io.EOF {
+			return nil, 0, err
+		}
+		if crc32.Checksum(payload, castagnoli) != crc {
+			break // torn payload (or index bytes misread as a record)
+		}
+		entries = append(entries, IndexEntry{Event: event, Off: off, Size: size})
+		off += recHdrSize + int64(size)
+	}
+	return entries, off, nil
+}

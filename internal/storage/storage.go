@@ -1,0 +1,200 @@
+// Package storage terminates the acquisition chain on disk: completed
+// super-fragments stream from builder units to a set of storage writer
+// (SW) devices, striped by event id, each appending to an indexed
+// on-disk segment.  The design follows the striped-server model of
+// "Fast Parallel I/O on Cluster Computers": aggregate bandwidth comes
+// from writing the event stream across N independent writers, each with
+// its own disk queue, rather than from any single fast device.
+//
+// The write path is built to keep up with the event builder rather than
+// throttle it accidentally:
+//
+//   - double-buffered arenas: events gather into one fixed arena while
+//     the previous one is in write(2), so the disk and the copy overlap;
+//   - zero-copy gather: a record's payload is copied once, straight from
+//     the reassembled super-fragment SGL chain into the arena;
+//   - no per-event allocations in steady state (the index and the
+//     duplicate-filter bitset grow amortized and can be pre-sized);
+//   - bounded queueing: when both arenas are busy the writer refuses the
+//     append with ErrWriterFull, which wraps pta.ErrTransient so the
+//     refusal propagates through the existing backpressure family —
+//     SW nacks the builder unit, the BU stops requesting event grants,
+//     the EVM stops granting, the readout units idle.
+//
+// Torn final records — the signature of a writer killed mid-stripe —
+// are detected by checksum on reopen and truncated away; a replayed
+// stream then restores the lost suffix, with the recovered duplicate
+// filter dropping everything that survived.  See doc/storage.md.
+package storage
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+
+	"xdaq/internal/i2o"
+	"xdaq/internal/pta"
+)
+
+// On-disk segment layout (all integers little-endian):
+//
+//	header   [8] magic "XDAQSEG1"  [4] version  [4] writer instance
+//	records  ([4] size  [4] crc32c(payload)  [8] event id  [size] payload)*
+//	index    ([8] event id  [8] record offset  [4] size)*
+//	trailer  [8] index offset  [4] entry count  [4] crc32c(index)  [8] magic "XDAQIDX1"
+//
+// The index and trailer are written by Close; a segment without a valid
+// trailer (crash, kill) is recovered by scanning records until the first
+// torn or corrupt one and truncating there.
+const (
+	segMagic    = "XDAQSEG1"
+	idxMagic    = "XDAQIDX1"
+	segVersion  = 1
+	headerSize  = 16
+	recHdrSize  = 16
+	idxEntSize  = 20
+	trailerSize = 24
+
+	// maxRecord bounds a record's payload during recovery scans, so a
+	// corrupt size field cannot make the scanner try to load the rest of
+	// the file as one record.
+	maxRecord = 1 << 30
+)
+
+// castagnoli is the CRC-32C polynomial table (hardware-accelerated on
+// amd64/arm64), shared by the writer hot path and the recovery scan.
+var castagnoli = crc32.MakeTable(crc32.Castagnoli)
+
+// Errors.
+var (
+	// ErrWriterFull reports that both arenas are busy: the disk is not
+	// keeping up.  It wraps pta.ErrTransient, so it travels the same
+	// retry/backpressure path as a full send ring.
+	ErrWriterFull = fmt.Errorf("storage: writer full (%w)", pta.ErrTransient)
+
+	// ErrDuplicate reports an event id the segment already holds.  The
+	// append is refused but the event is durable — callers treat it as
+	// success (it is how replay-after-recovery converges).
+	ErrDuplicate = errors.New("storage: duplicate event")
+
+	// ErrClosed reports use of a closed writer.
+	ErrClosed = errors.New("storage: writer closed")
+
+	// ErrCrashed reports use of a writer after Crash.
+	ErrCrashed = errors.New("storage: writer crashed")
+
+	// ErrCorrupt reports a segment whose header or a read-back record
+	// fails validation.
+	ErrCorrupt = errors.New("storage: corrupt segment")
+)
+
+// Private function codes of the storage device class, in the same
+// private-code space as the daq codes (which stop at 9).
+const (
+	// XFuncWrite carries one event from a builder unit to a storage
+	// writer as a chunked chain transfer: 8 bytes event id, then the
+	// super-fragment payload.
+	XFuncWrite uint16 = 10
+
+	// XFuncWriteAck answers every completed write transfer with a
+	// WriteAck record, one-way, to the transfer's initiator.
+	XFuncWriteAck uint16 = 11
+)
+
+// Ack statuses.
+const (
+	// AckStored: the event is in the writer's arena or on disk.
+	AckStored uint32 = 0
+
+	// AckDup: the event was already stored; equivalent to AckStored for
+	// the sender's bookkeeping.
+	AckDup uint32 = 1
+
+	// AckFull: both arenas busy — transient, resend after a delay.
+	AckFull uint32 = 2
+
+	// AckFail: the writer is failed or closed — permanent.
+	AckFail uint32 = 3
+)
+
+// WriteAck is the reply record for one write transfer.
+type WriteAck struct {
+	Event  uint64
+	Status uint32
+}
+
+// writeAckSize is the encoded length.
+const writeAckSize = 12
+
+// Encode appends the record to dst.
+func (a WriteAck) Encode(dst []byte) []byte {
+	var b [writeAckSize]byte
+	binary.LittleEndian.PutUint64(b[0:], a.Event)
+	binary.LittleEndian.PutUint32(b[8:], a.Status)
+	return append(dst, b[:]...)
+}
+
+// DecodeWriteAck parses an ack payload.
+func DecodeWriteAck(p []byte) (WriteAck, error) {
+	if len(p) != writeAckSize {
+		return WriteAck{}, fmt.Errorf("%w: write ack %d bytes, want %d", i2o.ErrTruncated, len(p), writeAckSize)
+	}
+	return WriteAck{
+		Event:  binary.LittleEndian.Uint64(p[0:]),
+		Status: binary.LittleEndian.Uint32(p[8:]),
+	}, nil
+}
+
+// denseEvents bounds the bitset half of the duplicate filter: event ids
+// below it cost one bit each; ids at or above it fall back to a sparse
+// map.  Without the bound, a single huge id — a corrupted record header
+// survives recovery because the checksum covers only the payload — would
+// make the filter try to allocate id/8 bytes of bitset.
+const denseEvents = 1 << 26
+
+// eventSet is the duplicate filter.  Event ids are dense (the EVM
+// allocates them sequentially from zero), so the common case is a small
+// bitset that — unlike a map — costs no allocation per insert once
+// grown, which the zero-alloc append path depends on.  Outliers beyond
+// denseEvents land in the sparse overflow map.
+type eventSet struct {
+	words  []uint64
+	sparse map[uint64]struct{}
+}
+
+// presize grows the dense words up front so appends up to n event ids
+// need no filter allocation at all.
+func (b *eventSet) presize(n uint64) {
+	if n > denseEvents {
+		n = denseEvents
+	}
+	idx := int(n >> 6)
+	if idx >= len(b.words) {
+		b.words = append(b.words, make([]uint64, idx+1-len(b.words))...)
+	}
+}
+
+func (b *eventSet) set(n uint64) {
+	if n >= denseEvents {
+		if b.sparse == nil {
+			b.sparse = make(map[uint64]struct{})
+		}
+		b.sparse[n] = struct{}{}
+		return
+	}
+	idx := int(n >> 6)
+	if idx >= len(b.words) {
+		b.words = append(b.words, make([]uint64, idx+1-len(b.words))...)
+	}
+	b.words[idx] |= 1 << (n & 63)
+}
+
+func (b *eventSet) has(n uint64) bool {
+	if n >= denseEvents {
+		_, ok := b.sparse[n]
+		return ok
+	}
+	idx := int(n >> 6)
+	return idx < len(b.words) && b.words[idx]&(1<<(n&63)) != 0
+}

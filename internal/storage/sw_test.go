@@ -1,0 +1,262 @@
+package storage
+
+import (
+	"bytes"
+	"testing"
+	"time"
+
+	"xdaq/internal/executive"
+	"xdaq/internal/i2o"
+	"xdaq/internal/pta"
+	"xdaq/internal/transport/loopback"
+)
+
+// swRig is a small storage cluster for tests: the replayer on node 1,
+// one storage writer per following node, all over loopback, all stripes
+// in one shared directory.
+type swRig struct {
+	dir    string
+	sws    []*SW
+	swTIDs []i2o.TID
+	rep    *Replayer
+}
+
+func buildSWRig(t *testing.T, nSW int, opts Options) *swRig {
+	t.Helper()
+	fabric := loopback.NewFabric()
+	total := 1 + nSW
+	ids := make([]i2o.NodeID, total)
+	for i := range ids {
+		ids[i] = i2o.NodeID(i + 1)
+	}
+	execs := make(map[i2o.NodeID]*executive.Executive, total)
+	for _, id := range ids {
+		e := executive.New(executive.Options{
+			Name: "storage", Node: id,
+			RequestTimeout: 3 * time.Second,
+			Logf:           func(string, ...any) {},
+		})
+		agent, err := pta.New(e)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ep, err := fabric.Attach(id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := agent.Register(ep, pta.Task); err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(func() {
+			agent.Close()
+			e.Close()
+		})
+		for _, peer := range ids {
+			if peer != id {
+				e.SetRoute(peer, loopback.DefaultName)
+			}
+		}
+		execs[id] = e
+	}
+
+	r := &swRig{dir: t.TempDir()}
+	opts.Dir = r.dir
+	for i := 0; i < nSW; i++ {
+		e := execs[i2o.NodeID(2+i)]
+		sw := NewSW(i, e.Allocator())
+		if _, err := e.Plug(sw.Device()); err != nil {
+			t.Fatal(err)
+		}
+		o := opts
+		o.Instance = i
+		w, err := Open(o)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sw.Attach(w)
+		r.sws = append(r.sws, sw)
+	}
+	r.rep = NewReplayer(0)
+	repExec := execs[1]
+	if _, err := repExec.Plug(r.rep.Device()); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < nSW; i++ {
+		tid, err := repExec.Discover(i2o.NodeID(2+i), ClassSW, i)
+		if err != nil {
+			t.Fatal(err)
+		}
+		r.swTIDs = append(r.swTIDs, tid)
+	}
+	return r
+}
+
+// makeRecords builds a deterministic record set: event i carries a
+// payload whose size and fill vary with i.
+func makeRecords(n, base int) []Record {
+	recs := make([]Record, n)
+	for i := range recs {
+		data := make([]byte, base+i%7*11)
+		for j := range data {
+			data[j] = byte(i + j)
+		}
+		recs[i] = Record{Event: uint64(i), Data: data}
+	}
+	return recs
+}
+
+// auditSet loads every segment in dir and checks the result is exactly
+// the given record set: no loss, no duplication, payloads intact.
+func auditSet(t *testing.T, dir string, want []Record) {
+	t.Helper()
+	got, err := LoadSet(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(want) {
+		t.Fatalf("stored %d records, want %d", len(got), len(want))
+	}
+	for i, rec := range got {
+		if rec.Event != want[i].Event {
+			t.Fatalf("record %d: event %d, want %d (lost or duplicated)", i, rec.Event, want[i].Event)
+		}
+		if !bytes.Equal(rec.Data, want[i].Data) {
+			t.Fatalf("event %d: payload mismatch", rec.Event)
+		}
+	}
+}
+
+func TestSWReplayStoresStriped(t *testing.T) {
+	const n = 40
+	r := buildSWRig(t, 2, Options{ArenaSize: 1 << 16})
+	recs := makeRecords(n, 200)
+	r.rep.Configure(r.swTIDs, 8)
+	if err := r.rep.Start(recs); err != nil {
+		t.Fatal(err)
+	}
+	st := r.rep.Wait(10 * time.Second)
+	if !st.Done {
+		t.Fatalf("replay pass timed out: %+v", st)
+	}
+	if st.Stored != n || st.Fails != 0 {
+		t.Fatalf("stored=%d fails=%d, want %d/0", st.Stored, st.Fails, n)
+	}
+	// The stripes must partition the stream by event id.
+	for i, sw := range r.sws {
+		w := sw.Writer()
+		for ev := uint64(0); ev < n; ev++ {
+			want := ev%2 == uint64(i)
+			if w.Contains(ev) != want {
+				t.Fatalf("stripe %d: contains(%d)=%v, want %v", i, ev, !want, want)
+			}
+		}
+		if err := w.Close(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	auditSet(t, r.dir, recs)
+}
+
+func TestSWDuplicateReplayConverges(t *testing.T) {
+	const n = 25
+	r := buildSWRig(t, 2, Options{ArenaSize: 1 << 16})
+	recs := makeRecords(n, 100)
+	r.rep.Configure(r.swTIDs, 4)
+	for pass := 0; pass < 2; pass++ {
+		if err := r.rep.Start(recs); err != nil {
+			t.Fatal(err)
+		}
+		st := r.rep.Wait(10 * time.Second)
+		if !st.Done {
+			t.Fatalf("pass %d timed out: %+v", pass, st)
+		}
+		if pass == 1 && (st.Dups != n || st.Stored != 0) {
+			t.Fatalf("second pass: stored=%d dups=%d, want 0/%d", st.Stored, st.Dups, n)
+		}
+	}
+	for _, sw := range r.sws {
+		if err := sw.Writer().Close(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	auditSet(t, r.dir, recs)
+}
+
+// TestSWKillReopenReplay is the chaos invariant at device level: kill a
+// writer mid-replay (torn tail, no acks), reopen it, replay the full
+// set, and audit that the store holds every event exactly once.
+func TestSWKillReopenReplay(t *testing.T) {
+	const n = 80
+	r := buildSWRig(t, 2, Options{ArenaSize: 1 << 10, SimDelay: 500 * time.Microsecond})
+	recs := makeRecords(n, 150)
+	r.rep.Configure(r.swTIDs, 4)
+	if err := r.rep.Start(recs); err != nil {
+		t.Fatal(err)
+	}
+	// Let the victim stripe a few arenas, then kill it mid-pass.
+	victim := r.sws[0]
+	deadline := time.Now().Add(5 * time.Second)
+	for victim.Acked() < 5 && time.Now().Before(deadline) {
+		time.Sleep(time.Millisecond)
+	}
+	if victim.Acked() < 5 {
+		t.Fatalf("victim acked only %d before deadline", victim.Acked())
+	}
+	victim.Kill()
+	st := r.rep.Wait(300 * time.Millisecond)
+	if st.Done {
+		// Possible but unlikely: the whole set was acked before the kill
+		// landed.  The replay below must still converge.
+		t.Logf("pass 1 completed before the kill: %+v", st)
+	}
+
+	if err := victim.Reopen(); err != nil {
+		t.Fatal(err)
+	}
+	rst := victim.Stats()
+	if rst.Truncations == 0 {
+		t.Logf("reopen found no torn tail (crash landed between arenas)")
+	}
+
+	// Replay the full set: survivors dedup, the lost suffix is restored.
+	if err := r.rep.Start(recs); err != nil {
+		t.Fatal(err)
+	}
+	st = r.rep.Wait(10 * time.Second)
+	if !st.Done {
+		t.Fatalf("recovery replay timed out: %+v", st)
+	}
+	if st.Fails != 0 {
+		t.Fatalf("recovery replay saw %d failed events", st.Fails)
+	}
+	for _, sw := range r.sws {
+		if err := sw.Writer().Close(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	auditSet(t, r.dir, recs)
+}
+
+// TestSWBackpressureAcksFull pins the transient path end to end: a tiny
+// arena with a slow simulated disk must produce AckFull nacks that the
+// replayer absorbs by retrying, and the pass still completes.
+func TestSWBackpressureAcksFull(t *testing.T) {
+	const n = 30
+	r := buildSWRig(t, 1, Options{ArenaSize: 1 << 9, SimDelay: 2 * time.Millisecond})
+	recs := makeRecords(n, 180)
+	r.rep.Configure(r.swTIDs, 16) // window >> arena capacity
+	if err := r.rep.Start(recs); err != nil {
+		t.Fatal(err)
+	}
+	st := r.rep.Wait(20 * time.Second)
+	if !st.Done {
+		t.Fatalf("pass timed out: %+v", st)
+	}
+	if st.Fulls == 0 {
+		t.Fatalf("expected AckFull nacks from the saturated writer, got none (%+v)", st)
+	}
+	if err := r.sws[0].Writer().Close(); err != nil {
+		t.Fatal(err)
+	}
+	auditSet(t, r.dir, recs)
+}

@@ -1,0 +1,469 @@
+package storage
+
+import (
+	"fmt"
+	"hash/crc32"
+	"os"
+	"path/filepath"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Options configures one segment writer.
+type Options struct {
+	// Dir holds the segment set; each writer owns seg-<instance>.xseg.
+	Dir string
+
+	// Instance is the writer's stripe number.
+	Instance int
+
+	// ArenaSize is the gather buffer size (two are allocated).  Records
+	// larger than an arena take a rare synchronous direct-write path.
+	// Default 1 MiB.
+	ArenaSize int
+
+	// IndexHint pre-sizes the in-memory index and duplicate filter so a
+	// known-length run appends without growing either (the zero-alloc
+	// steady state).
+	IndexHint int
+
+	// Sync fsyncs after every arena flush (and on Close).  Durability
+	// against machine loss, at the disk's commit latency per arena.
+	Sync bool
+
+	// SimDelay, when nonzero, adds a fixed service time to every arena
+	// flush, modeling the seek+transfer latency of one independent
+	// striped disk — the same move as the simulated Myrinet fabric in
+	// internal/transport/gm: CI machines have one disk (and often one
+	// core), so the striped-scaling benchmark measures the architecture
+	// against a deterministic simulated device instead of whatever the
+	// host page cache feels like.  Production writers leave it zero.
+	SimDelay time.Duration
+}
+
+func (o Options) withDefaults() Options {
+	if o.ArenaSize <= 0 {
+		o.ArenaSize = 1 << 20
+	}
+	return o
+}
+
+// Path returns the segment file this writer owns.
+func (o Options) Path() string {
+	return filepath.Join(o.Dir, fmt.Sprintf("seg-%03d.xseg", o.Instance))
+}
+
+// Source yields a record's payload by gather-copy into the write arena.
+// *sgl.List satisfies it, so a reassembled super-fragment chain lands in
+// the arena without an intermediate flat copy.
+type Source interface {
+	CopyTo(off int, dst []byte) (int, error)
+}
+
+// Stats is a snapshot of one writer's counters.  Recovered and
+// TruncatedBytes describe what Open found; the rest count this writer's
+// own appends.
+type Stats struct {
+	Events         uint64 // records accepted (excluding duplicates)
+	Bytes          uint64 // record bytes accepted (headers included)
+	Dups           uint64 // appends refused as already stored
+	Stalls         uint64 // appends refused with ErrWriterFull
+	Flushes        uint64 // arena writes issued to the file
+	Recovered      uint64 // records recovered by Open from an existing segment
+	Truncations    uint64 // torn tails truncated by Open (0 or 1)
+	TruncatedBytes uint64 // bytes the torn tail lost
+}
+
+type arena struct {
+	buf  []byte
+	n    int
+	base int64 // file offset of buf[0]
+}
+
+// Writer appends checksummed event records to one segment file through
+// two alternating arenas: appends gather into the active arena while a
+// background flusher writes the full one.  All methods are safe for one
+// appender goroutine plus concurrent Stats/Contains readers; Append
+// itself serializes under the writer lock.
+type Writer struct {
+	opts Options
+	f    *os.File
+
+	mu       sync.Mutex
+	cond     *sync.Cond
+	arenas   [2]arena
+	active   int
+	inFlight int   // arena index being flushed, or -1
+	off      int64 // next record's file offset
+	index    []IndexEntry
+	seen     eventSet
+	closed   bool
+	crashed  bool
+	err      error // sticky I/O failure
+
+	flushCh chan int
+	doneCh  chan struct{}
+
+	nEvents, nBytes, nDups, nStalls, nFlushes atomic.Uint64
+	nRecovered, nTruncations, nTruncatedBytes atomic.Uint64
+}
+
+// Open creates or reopens the writer's segment.  Reopening an existing
+// segment recovers its valid records — via the footer index when the
+// segment was closed cleanly, by a checksum scan otherwise — truncates
+// any torn tail, and seeds the duplicate filter so a replayed stream
+// converges instead of double-writing.
+func Open(opts Options) (*Writer, error) {
+	opts = opts.withDefaults()
+	w := &Writer{
+		opts:     opts,
+		inFlight: -1,
+		flushCh:  make(chan int, 1),
+		doneCh:   make(chan struct{}),
+	}
+	w.cond = sync.NewCond(&w.mu)
+	w.arenas[0].buf = make([]byte, opts.ArenaSize)
+	w.arenas[1].buf = make([]byte, opts.ArenaSize)
+	if opts.IndexHint > 0 {
+		w.index = make([]IndexEntry, 0, opts.IndexHint)
+		w.seen.presize(uint64(opts.IndexHint))
+	}
+
+	path := opts.Path()
+	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE, 0o644)
+	if err != nil {
+		return nil, err
+	}
+	w.f = f
+	st, err := f.Stat()
+	if err != nil {
+		f.Close()
+		return nil, err
+	}
+	switch size := st.Size(); {
+	case size == 0:
+		var hdr [headerSize]byte
+		encodeHeader(hdr[:], uint32(opts.Instance))
+		if _, err := f.WriteAt(hdr[:], 0); err != nil {
+			f.Close()
+			return nil, err
+		}
+		w.off = headerSize
+	default:
+		if err := w.recover(size); err != nil {
+			f.Close()
+			return nil, err
+		}
+	}
+	w.arenas[0].base = w.off
+	go w.flusher()
+	return w, nil
+}
+
+// recover loads an existing segment's records and truncates the file to
+// the end of the valid region (dropping a stale footer, which Close will
+// rewrite, and any torn tail).
+func (w *Writer) recover(size int64) error {
+	var hdr [headerSize]byte
+	if _, err := w.f.ReadAt(hdr[:], 0); err != nil {
+		return fmt.Errorf("%w: short header", ErrCorrupt)
+	}
+	if _, err := decodeHeader(hdr[:]); err != nil {
+		return err
+	}
+	entries, dataEnd, ok := loadIndex(w.f, size)
+	if !ok {
+		var err error
+		if entries, dataEnd, err = scanSegment(w.f, size); err != nil {
+			return err
+		}
+		if torn := size - dataEnd; torn > 0 {
+			w.nTruncations.Add(1)
+			w.nTruncatedBytes.Add(uint64(torn))
+		}
+	}
+	if err := w.f.Truncate(dataEnd); err != nil {
+		return err
+	}
+	w.index = append(w.index, entries...)
+	for _, e := range entries {
+		w.seen.set(e.Event)
+	}
+	w.off = dataEnd
+	w.nRecovered.Add(uint64(len(entries)))
+	return nil
+}
+
+// Append stores one event record with payload src[0:n].  The payload is
+// gather-copied once into the active arena; full arenas rotate to the
+// background flusher.  It returns ErrDuplicate for an event already
+// stored (the event is safe; treat as success), ErrWriterFull when both
+// arenas are busy (transient: retry after a delay), or a permanent error.
+func (w *Writer) Append(event uint64, n int, src Source) error {
+	if n <= 0 {
+		// Empty records are indistinguishable from zeroed tail garbage
+		// during recovery (crc32 of nothing is 0), so they are refused
+		// outright; DAQ events always carry data.
+		return fmt.Errorf("%w: empty record for event %d", ErrCorrupt, event)
+	}
+	w.mu.Lock()
+	if err := w.usableLocked(); err != nil {
+		w.mu.Unlock()
+		return err
+	}
+	if w.seen.has(event) {
+		w.nDups.Add(1)
+		w.mu.Unlock()
+		return ErrDuplicate
+	}
+	rec := recHdrSize + n
+	if rec > len(w.arenas[w.active].buf) {
+		return w.appendDirectLocked(event, n, src) // unlocks
+	}
+	a := &w.arenas[w.active]
+	if a.n+rec > len(a.buf) {
+		if w.inFlight >= 0 {
+			w.nStalls.Add(1)
+			w.mu.Unlock()
+			return ErrWriterFull
+		}
+		w.inFlight = w.active
+		w.flushCh <- w.active
+		w.active = 1 - w.active
+		a = &w.arenas[w.active]
+		a.base = w.off
+		a.n = 0
+	}
+	if err := w.fillLocked(a, event, n, src); err != nil {
+		w.mu.Unlock()
+		return err
+	}
+	w.mu.Unlock()
+	return nil
+}
+
+// fillLocked encodes one record at the active arena's tail and accounts
+// for it.  Caller holds w.mu and has ensured the space.
+func (w *Writer) fillLocked(a *arena, event uint64, n int, src Source) error {
+	body := a.buf[a.n+recHdrSize : a.n+recHdrSize+n]
+	m, err := src.CopyTo(0, body)
+	if err != nil {
+		return err
+	}
+	if m != n {
+		return fmt.Errorf("%w: source yielded %d of %d bytes", ErrCorrupt, m, n)
+	}
+	crc := crc32.Checksum(body, castagnoli)
+	encodeRecHdr(a.buf[a.n:], uint32(n), crc, event)
+	a.n += recHdrSize + n
+	w.index = append(w.index, IndexEntry{Event: event, Off: w.off, Size: uint32(n)})
+	w.seen.set(event)
+	w.off += int64(recHdrSize + n)
+	w.nEvents.Add(1)
+	w.nBytes.Add(uint64(recHdrSize + n))
+	return nil
+}
+
+// appendDirectLocked handles the rare record larger than an arena: drain
+// the pipeline, then write it synchronously at its offset.  Allocates;
+// oversized events are expected to be exceptional.  Unlocks w.mu.
+func (w *Writer) appendDirectLocked(event uint64, n int, src Source) error {
+	w.drainLocked()
+	if err := w.usableLocked(); err != nil {
+		w.mu.Unlock()
+		return err
+	}
+	buf := make([]byte, recHdrSize+n)
+	if m, err := src.CopyTo(0, buf[recHdrSize:]); err != nil {
+		w.mu.Unlock()
+		return err
+	} else if m != n {
+		w.mu.Unlock()
+		return fmt.Errorf("%w: source yielded %d of %d bytes", ErrCorrupt, m, n)
+	}
+	crc := crc32.Checksum(buf[recHdrSize:], castagnoli)
+	encodeRecHdr(buf, uint32(n), crc, event)
+	off := w.off
+	if _, err := w.f.WriteAt(buf, off); err != nil {
+		w.err = err
+		w.mu.Unlock()
+		return err
+	}
+	w.index = append(w.index, IndexEntry{Event: event, Off: off, Size: uint32(n)})
+	w.seen.set(event)
+	w.off += int64(len(buf))
+	// The active arena's records now belong after this one.
+	w.arenas[w.active].base = w.off
+	w.nEvents.Add(1)
+	w.nBytes.Add(uint64(len(buf)))
+	w.nFlushes.Add(1)
+	w.mu.Unlock()
+	return nil
+}
+
+// usableLocked reports the writer's terminal states.
+func (w *Writer) usableLocked() error {
+	switch {
+	case w.crashed:
+		return ErrCrashed
+	case w.closed:
+		return ErrClosed
+	case w.err != nil:
+		return w.err
+	default:
+		return nil
+	}
+}
+
+// drainLocked pushes the active arena (if nonempty) to the flusher and
+// waits until no flush is in flight.  Caller holds w.mu.
+func (w *Writer) drainLocked() {
+	for w.inFlight >= 0 {
+		w.cond.Wait()
+	}
+	a := &w.arenas[w.active]
+	if a.n == 0 {
+		return
+	}
+	w.inFlight = w.active
+	w.flushCh <- w.active
+	w.active = 1 - w.active
+	w.arenas[w.active].base = w.off
+	w.arenas[w.active].n = 0
+	for w.inFlight >= 0 {
+		w.cond.Wait()
+	}
+}
+
+// flusher is the background write loop: one arena at a time, simulated
+// device latency first (when configured), then the write and optional
+// fsync.  Errors stick and poison subsequent appends.
+func (w *Writer) flusher() {
+	defer close(w.doneCh)
+	for idx := range w.flushCh {
+		w.mu.Lock()
+		buf := w.arenas[idx].buf[:w.arenas[idx].n]
+		base := w.arenas[idx].base
+		w.mu.Unlock()
+
+		if w.opts.SimDelay > 0 {
+			time.Sleep(w.opts.SimDelay)
+		}
+		_, err := w.f.WriteAt(buf, base)
+		if err == nil && w.opts.Sync {
+			err = w.f.Sync()
+		}
+
+		w.mu.Lock()
+		if err != nil && w.err == nil {
+			w.err = err
+		}
+		w.arenas[idx].n = 0
+		w.inFlight = -1
+		w.nFlushes.Add(1)
+		w.cond.Broadcast()
+		w.mu.Unlock()
+	}
+}
+
+// Flush forces everything appended so far onto the file (and through
+// fsync when Sync is set).
+func (w *Writer) Flush() error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if err := w.usableLocked(); err != nil {
+		return err
+	}
+	w.drainLocked()
+	return w.err
+}
+
+// Close drains the pipeline, writes the footer index and trailer, syncs
+// and closes the file.  The writer is unusable afterwards.
+func (w *Writer) Close() error {
+	w.mu.Lock()
+	if w.closed || w.crashed {
+		w.mu.Unlock()
+		return ErrClosed
+	}
+	w.drainLocked()
+	w.closed = true
+	err := w.err
+	if err == nil {
+		footer := encodeIndex(w.index, w.off)
+		if _, werr := w.f.WriteAt(footer, w.off); werr != nil {
+			err = werr
+		} else if serr := w.f.Sync(); serr != nil {
+			err = serr
+		}
+	}
+	close(w.flushCh)
+	w.mu.Unlock()
+	<-w.doneCh
+	if cerr := w.f.Close(); err == nil {
+		err = cerr
+	}
+	return err
+}
+
+// Crash simulates killing the writer mid-stripe: flushed arenas stay (the
+// OS had accepted those writes), the active arena is torn — all but its
+// last few bytes hit the file, so the final record is cut mid-payload or
+// mid-header — and no footer is written.  Acked-but-unflushed events die
+// with it; a replay after Open restores them.  Unusable afterwards.
+func (w *Writer) Crash() {
+	w.mu.Lock()
+	if w.closed || w.crashed {
+		w.mu.Unlock()
+		return
+	}
+	for w.inFlight >= 0 { // let the queued "OS" write finish
+		w.cond.Wait()
+	}
+	w.crashed = true
+	a := &w.arenas[w.active]
+	if a.n > 0 {
+		tear := a.n - 9
+		if tear < 0 {
+			tear = 0
+		}
+		w.f.WriteAt(a.buf[:tear], a.base)
+	}
+	close(w.flushCh)
+	w.mu.Unlock()
+	<-w.doneCh
+	w.f.Close()
+}
+
+// Contains reports whether an event id is stored (or gathered) here.
+func (w *Writer) Contains(event uint64) bool {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.seen.has(event)
+}
+
+// Len returns the number of records stored (including recovered ones).
+func (w *Writer) Len() int {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return len(w.index)
+}
+
+// Options returns the configuration the writer was opened with, so a
+// crashed writer can be reopened in place.
+func (w *Writer) Options() Options { return w.opts }
+
+// Stats snapshots the counters.  Safe to call concurrently with appends.
+func (w *Writer) Stats() Stats {
+	return Stats{
+		Events:         w.nEvents.Load(),
+		Bytes:          w.nBytes.Load(),
+		Dups:           w.nDups.Load(),
+		Stalls:         w.nStalls.Load(),
+		Flushes:        w.nFlushes.Load(),
+		Recovered:      w.nRecovered.Load(),
+		Truncations:    w.nTruncations.Load(),
+		TruncatedBytes: w.nTruncatedBytes.Load(),
+	}
+}
