@@ -5,7 +5,7 @@
 
 GO ?= go
 
-.PHONY: check build test vet race soak-short fuzz bench bench-remote bench-cluster bench-eb bench-storage bench-gate benchall
+.PHONY: check build test vet race cover soak-short fuzz bench bench-remote bench-cluster bench-eb bench-storage bench-gate benchall
 
 check: vet build test race soak-short
 
@@ -19,23 +19,37 @@ test:
 	$(GO) test ./...
 
 race:
-	$(GO) test -race ./internal/executive/ ./internal/queue/ ./internal/pta/ ./internal/metrics/ ./internal/health/ ./internal/transport/tcp/ ./internal/transport/gm/ ./internal/transport/shm/ ./internal/cluster/ ./internal/chaos/ ./internal/daq/ ./internal/storage/ ./internal/e2e/
+	$(GO) test -race ./internal/executive/ ./internal/queue/ ./internal/pta/ ./internal/metrics/ ./internal/health/ ./internal/transport/tcp/ ./internal/transport/gm/ ./internal/transport/shm/ ./internal/cluster/ ./internal/chaos/ ./internal/daq/ ./internal/storage/ ./internal/controlplane/ ./internal/e2e/
+
+# cover prints per-package statement coverage and enforces the floor on
+# the control plane: the autopilot actuates live clusters, so its decision
+# logic stays at >= 80% covered or the build goes red.
+COVER_FLOOR ?= 80
+cover:
+	$(GO) test -cover ./...
+	@$(GO) test -coverprofile=/tmp/xdaq_cover_cp.out ./internal/controlplane/ > /dev/null; \
+	pct=$$($(GO) tool cover -func=/tmp/xdaq_cover_cp.out | awk '/^total:/ { sub(/%/, "", $$3); print $$3 }'); \
+	echo "controlplane coverage: $$pct% (floor $(COVER_FLOOR)%)"; \
+	awk "BEGIN { exit !($$pct >= $(COVER_FLOOR)) }" || { echo "controlplane coverage $$pct% is below the $(COVER_FLOOR)% floor"; exit 1; }
 
 # soak-short is the CI face of the chaos harness (see doc/testing.md):
-# five short seeded soaks under the race detector, one per cluster shape —
+# six short seeded soaks under the race detector, one per cluster shape —
 # kill+failover on the mixed fabric, heavy wire faults on batched TCP,
 # dispatcher rescales under load on loopback, a loopback run that kills a
-# builder unit mid-round and audits the shard-map rebalance, and a
-# loopback run that crashes a storage writer mid-replay and audits the
-# recovered stripes for exactly-once persistence.  xdaqsoak exits nonzero
-# the moment any invariant checker reports, printing the seed and trace
-# rings, so a red soak-short is reproducible with the seed it prints.
+# builder unit mid-round and audits the shard-map rebalance, a loopback
+# run that crashes a storage writer mid-replay and audits the recovered
+# stripes for exactly-once persistence, and a loopback run where a device
+# turns hot, the autopilot must rescale it (then dies on the last round,
+# auditing graceful degradation).  xdaqsoak exits nonzero the moment any
+# invariant checker reports, printing the seed and trace rings, so a red
+# soak-short is reproducible with the seed it prints.
 soak-short:
 	$(GO) run -race ./cmd/xdaqsoak -seed 101 -duration 5s -rounds 3 -fabric gm+tcp -faults light -q
 	$(GO) run -race ./cmd/xdaqsoak -seed 202 -duration 5s -rounds 3 -fabric tcp -faults heavy -kill=false -q
 	$(GO) run -race ./cmd/xdaqsoak -seed 303 -duration 5s -rounds 3 -fabric loopback -faults none -kill=false -q
 	$(GO) run -race ./cmd/xdaqsoak -seed 404 -duration 5s -rounds 3 -fabric loopback -faults none -kill=false -killbu -q
 	$(GO) run -race ./cmd/xdaqsoak -seed 505 -duration 5s -rounds 3 -fabric loopback -faults none -kill=false -killsw -q
+	$(GO) run -race ./cmd/xdaqsoak -seed 606 -duration 5s -rounds 3 -fabric loopback -faults none -kill=false -hotdev -killcp -q
 
 # fuzz gives each fuzz target a short exploration budget on top of its checked-in
 # seed corpus; lengthen with FUZZTIME=1m for a real session.
@@ -45,6 +59,7 @@ fuzz:
 	$(GO) test -run '^$$' -fuzz '^FuzzSGLRoundTrip$$' -fuzztime $(FUZZTIME) ./internal/sgl/
 	$(GO) test -run '^$$' -fuzz '^FuzzWireRecords$$' -fuzztime $(FUZZTIME) ./internal/daq/
 	$(GO) test -run '^$$' -fuzz '^FuzzSegment$$' -fuzztime $(FUZZTIME) ./internal/storage/
+	$(GO) test -run '^$$' -fuzz '^FuzzPolicy$$' -fuzztime $(FUZZTIME) ./internal/controlplane/
 
 # bench runs the dispatch-engine benchmarks (hot-path allocations, worker
 # scaling, watchdog overhead, event builder) and archives the numbers as
@@ -68,10 +83,13 @@ bench-remote:
 # real child processes (internal/proc re-execs its test binary as cluster
 # members), so the numbers include genuine process-boundary costs —
 # cross-process request/reply latency over sockets, and shm-ring vs
-# loopback-TCP throughput for colocated processes.  Median of 5 runs, as
-# in bench-remote.
+# loopback-TCP throughput for colocated processes.  The chaos package
+# contributes the control-plane pair: round trips against a node with a
+# hot device, with and without the autopilot rescaling it.  Median of 5
+# runs, as in bench-remote.
 bench-cluster:
-	$(GO) test -run '^$$' -bench 'Cluster' -benchmem -count 5 -timeout 30m ./internal/proc/ \
+	($(GO) test -run '^$$' -bench 'Cluster' -benchmem -count 5 -timeout 30m ./internal/proc/ && \
+	 $(GO) test -run '^$$' -bench 'ClusterSkewedLoad' -benchmem -count 5 -timeout 30m ./internal/chaos/) \
 		| tee /dev/stderr | $(GO) run ./cmd/benchjson > BENCH_cluster.json
 
 # bench-eb runs the event-builder scaling sweep — flat vs hierarchical
@@ -94,16 +112,19 @@ bench-storage:
 # path must beat the unbatched baseline at every payload size
 # (BENCH_remote.json), the hierarchical event builder must beat the
 # flat one at high readout counts (BENCH_eb.json; at small counts the
-# tree's extra hop is allowed to cost), and eight storage stripes must
+# tree's extra hop is allowed to cost), eight storage stripes must
 # deliver at least twice the throughput of one (BENCH_storage.json, the
-# -min 1.0 floor).  Regenerate the archives with `make bench-remote
-# bench-eb bench-storage` first.  GATE_TOL forgives slowdowns inside
-# the band, e.g. GATE_TOL=0.05 tolerates 5%.
+# -min 1.0 floor), and the autopilot must at least double round-trip
+# throughput against a hot device versus a cluster left at one
+# dispatcher (BENCH_cluster.json).  Regenerate the archives with `make
+# bench-remote bench-eb bench-storage bench-cluster` first.  GATE_TOL
+# forgives slowdowns inside the band, e.g. GATE_TOL=0.05 tolerates 5%.
 GATE_TOL ?= 0
 bench-gate:
 	$(GO) run ./cmd/benchjson -compare -tol $(GATE_TOL) BENCH_remote.json
 	$(GO) run ./cmd/benchjson -compare -pair 'topo=tree:topo=flat' -grep 'rus=(64|256)$$' -tol $(GATE_TOL) BENCH_eb.json
 	$(GO) run ./cmd/benchjson -compare -pair 'writers=8:writers=1' -min 1.0 -tol $(GATE_TOL) BENCH_storage.json
+	$(GO) run ./cmd/benchjson -compare -pair 'autopilot=on:autopilot=off' -min 1.0 -tol $(GATE_TOL) BENCH_cluster.json
 
 # benchall regenerates every archive and merges them into one document
 # (benchjson's merge mode tags each result with its source package), so

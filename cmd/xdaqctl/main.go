@@ -12,6 +12,7 @@
 //	xdaqctl -i -node 100 -join 127.0.0.1:9101          # interactive session
 //	xdaqctl -node 100 -peer 1=... -e 'metrics 1 exec.'   # scrape counters
 //	xdaqctl -node 100 -peer 1=... -e 'health 1'          # peer liveness
+//	xdaqctl -node 100 -peer 1=... -e 'policy 1'          # autopilot decision log
 //	xdaqctl -node 100 -join 127.0.0.1:9101 -e 'ebround 1000 2048'
 //	xdaqctl -node 100 -join ... -e 'plug 2 storage.sw 0 dir /data; ebround 1000 2048 8 2'
 //	xdaqctl -node 100 -peer 1=... -e 'storage 1'         # storage-writer gauges
@@ -21,7 +22,7 @@
 // wires nodes statically by id and address.  The cluster commands
 // available in scripts are documented on cluster.Controller.Bind: nodes,
 // status, resources, plug, unplug, enable, quiesce, clear, systab,
-// paramget, paramset, trace, metrics, health, control — plus members
+// paramget, paramset, trace, metrics, health, policy, control — plus members
 // (the bootstrap membership view) and ebround (an event-builder round
 // across the cluster, with the builder unit hosted on the control node).
 package main

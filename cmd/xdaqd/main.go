@@ -19,6 +19,11 @@
 // Modules available to ExecPlugin are those compiled in through the
 // module registry (see internal/modules): echo, daq.evm, daq.ru, daq.bu.
 // Use -module to plug modules at startup without a controller.
+//
+// -policy file.tcl starts the self-tuning control plane: the node plugs
+// a cp.autopilot device that scrapes every cluster member and actuates
+// the rules in the policy script (see doc/control-plane.md).  Inspect
+// its decisions with `xdaqctl ... -e 'policy <node>'`.
 package main
 
 import (
@@ -30,12 +35,14 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"path/filepath"
 	"strconv"
 	"strings"
 	"syscall"
 	"time"
 
 	"xdaq"
+	"xdaq/internal/controlplane"
 	"xdaq/internal/executive"
 	"xdaq/internal/i2o"
 	_ "xdaq/internal/modules"
@@ -80,6 +87,8 @@ func main() {
 		alloc   = flag.String("alloc", "table", "buffer pool scheme: table or fixed")
 		disp    = flag.Int("dispatchers", 0, "parallel dispatch workers (0 or 1: the single I2O loop)")
 		health  = flag.Duration("health", 0, "peer health probe interval (0: the 1s default; negative disables)")
+		policy  = flag.String("policy", "", "control-plane policy script; plugs the cp.autopilot device (empty disables)")
+		ptick   = flag.Duration("policy-tick", time.Second, "autopilot scrape interval")
 		peers   = peerList{}
 		modules = moduleList{}
 	)
@@ -149,6 +158,36 @@ func main() {
 			log.Fatalf("xdaqd: plug %s: %v", spec, err)
 		}
 		log.Printf("xdaqd: plugged %s as %v", spec, id)
+	}
+
+	if *policy != "" {
+		src, err := os.ReadFile(*policy)
+		if err != nil {
+			log.Fatalf("xdaqd: %v", err)
+		}
+		pol, err := controlplane.Load(filepath.Base(*policy), string(src))
+		if err != nil {
+			log.Fatalf("xdaqd: %v", err)
+		}
+		ap, err := controlplane.NewAutopilot(controlplane.AutopilotConfig{
+			Exec:     n.Exec,
+			Policy:   pol,
+			Interval: *ptick,
+			Nodes: func() []i2o.NodeID {
+				members := cl.Members()
+				out := make([]i2o.NodeID, 0, len(members))
+				for _, m := range members {
+					out = append(out, m.Node)
+				}
+				return out
+			},
+		})
+		if err != nil {
+			log.Fatalf("xdaqd: autopilot: %v", err)
+		}
+		defer ap.Close()
+		log.Printf("xdaqd: autopilot on policy %s (hash %s, %d rules, tick %v)",
+			pol.Name, pol.Hash, len(pol.Rules), *ptick)
 	}
 
 	role := "seed"

@@ -53,6 +53,8 @@ func run(args []string, stdout, stderr io.Writer) int {
 		killbu   = fs.Bool("killbu", false, "kill one builder unit mid-round and audit the shard-map rebalance (needs -eb)")
 		store    = fs.Bool("storage", true, "add striped-storage replay rounds with an on-disk exactly-once audit")
 		killsw   = fs.Bool("killsw", false, "crash one storage writer mid-replay and audit the recovery (needs -storage)")
+		hotdev   = fs.Bool("hotdev", false, "turn one node's device hot mid-run and let the autopilot rescale it (disables -rescale)")
+		killcp   = fs.Bool("killcp", false, "kill the autopilot on the last round and audit graceful degradation (needs -hotdev)")
 		planOnly = fs.Bool("plan", false, "print the run's schedule and exit without running")
 		quiet    = fs.Bool("q", false, "suppress progress diagnostics")
 	)
@@ -78,12 +80,19 @@ func run(args []string, stdout, stderr io.Writer) int {
 		Faults:       *faultLvl,
 		Workers:      *workers,
 		Kill:         *kill && *fabric == "gm+tcp",
-		Rescale:      *rescale,
+		Rescale:      *rescale && !*hotdev,
 		Bulk:         *bulk,
 		EventBuilder: *eb,
 		KillBU:       *killbu && *eb,
 		Storage:      *store,
 		KillSW:       *killsw && *store,
+		HotDev:       *hotdev,
+		KillCP:       *killcp && *hotdev,
+	}
+	if *hotdev {
+		// The hot round is meaningful only with the autopilot watching;
+		// the shipped policy rescales on sustained queue pressure.
+		o.Policy = chaos.HotDevPolicy
 	}
 	if !*quiet {
 		o.Logf = log.New(stderr, "", log.Ltime|log.Lmicroseconds).Printf

@@ -1,0 +1,113 @@
+package chaos
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"xdaq/internal/i2o"
+)
+
+// BenchmarkClusterSkewedLoad measures the round-trip latency a
+// well-behaved client sees against a node whose echo device has turned
+// hot, while a background flood keeps that device saturated.  Dispatch
+// is per-device exclusive, so the hot handler itself cannot be
+// parallelized — what a wider pool buys is relief from head-of-line
+// blocking: with one dispatcher every frame on the node waits out the
+// stall in front of it; with the pool rescaled, other devices keep being
+// served while the hot one sleeps.
+//
+// autopilot=off pins the victim at one dispatcher; autopilot=on lets the
+// shipped hot-rescale policy widen the pool from the metrics scrape
+// before the timed section.  The pair is the control plane's archived
+// performance claim (bench-gate compares autopilot=on against
+// autopilot=off in BENCH_cluster.json).
+func BenchmarkClusterSkewedLoad(b *testing.B) {
+	for _, on := range []bool{true, false} {
+		b.Run(fmt.Sprintf("autopilot=%s", map[bool]string{true: "on", false: "off"}[on]), func(b *testing.B) {
+			benchSkewedLoad(b, on)
+		})
+	}
+}
+
+func benchSkewedLoad(b *testing.B, autopilot bool) {
+	o := Options{
+		Seed:   1,
+		Fabric: "loopback",
+		Nodes:  2,
+		Rounds: 1,
+	}
+	if autopilot {
+		o.Policy = HotDevPolicy
+	}
+	c, err := build(o.withDefaults())
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer c.shutdown()
+
+	const victim = i2o.NodeID(2)
+	v := c.node(victim)
+	v.hotNS.Store(int64(hotServiceTime))
+	src := c.Nodes[0]
+
+	// Background flood: enough concurrent echoes that the victim's queue
+	// depth stays above the policy trigger (> 8 sustained) for the whole
+	// run.  Default priority, not the zero value (urgent): at urgent the
+	// flood would outrank the autopilot's own scrape frames and starve
+	// the control loop this benchmark exercises.
+	const echoLanes = 16
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for i := 0; i < echoLanes; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+				rep, err := src.Exec.RequestContext(ctx, &i2o.Message{
+					Priority: i2o.PriorityDefault,
+					Target:   src.echoTID[victim], Initiator: i2o.TIDExecutive,
+					Function: i2o.FuncPrivate, Org: i2o.OrgXDAQ, XFunction: fnEcho,
+					Payload: []byte("bench"),
+				})
+				cancel()
+				if err == nil {
+					rep.Release()
+				}
+			}
+		}()
+	}
+	defer func() {
+		close(stop)
+		wg.Wait()
+	}()
+
+	// Convergence (on) or an equal settling window (off), outside the
+	// timed section.
+	if autopilot {
+		if !waitTrue(5*time.Second, func() bool { return v.Exec.Dispatchers() > 1 }) {
+			b.Fatal("autopilot never rescaled the victim during warm-up")
+		}
+	} else {
+		time.Sleep(200 * time.Millisecond)
+	}
+
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		err := src.Exec.PingContext(ctx, victim)
+		cancel()
+		if err != nil {
+			b.Fatalf("ping %d: %v", i, err)
+		}
+	}
+	b.StopTimer()
+}

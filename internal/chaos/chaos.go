@@ -33,6 +33,7 @@ import (
 	"time"
 
 	"xdaq/internal/cluster"
+	"xdaq/internal/controlplane"
 	"xdaq/internal/executive"
 	"xdaq/internal/health"
 	"xdaq/internal/i2o"
@@ -103,6 +104,27 @@ type Options struct {
 	// stream — recovery must converge with zero lost and zero duplicated
 	// events.  Requires Storage.
 	KillSW bool
+
+	// Policy arms the self-tuning control plane: the script is compiled
+	// at build time and a cp.autopilot device on node 1 scrapes every
+	// member and actuates the policy's rules throughout the run.
+	// HotDevPolicy is the canonical script for HotDev runs.
+	Policy string
+
+	// HotDev skews one device's service time mid-run on a seeded round:
+	// the victim's echo handler gains a multi-millisecond stall that
+	// serializes its node behind a single dispatcher.  Requires Policy —
+	// the autopilot must detect the sustained queue pressure, rescale
+	// the victim's dispatchers, and the storm p99 must recover (the
+	// policy convergence checker asserts all three).  Incompatible with
+	// Rescale, which would fight the autopilot for the same knob.
+	HotDev bool
+
+	// KillCP closes the autopilot at the start of the last round: the
+	// cluster must degrade gracefully to the last-actuated state — every
+	// knob keeps its value and ExecPolicyGet reports the autopilot off.
+	// Requires Policy.
+	KillCP bool
 
 	// Checkers validates invariants at every quiescent point; defaults to
 	// DefaultCheckers().
@@ -180,6 +202,10 @@ type Node struct {
 	echoErr atomic.Uint64
 	seqSent atomic.Uint64
 	seqErr  atomic.Uint64
+
+	// hotNS is the injected echo service-time skew in nanoseconds (0:
+	// none); the HotDev round stores it on the victim.
+	hotNS atomic.Int64
 }
 
 // poolPopulation returns the node's pool-block population excluding the
@@ -233,6 +259,25 @@ type Cluster struct {
 	// sw is the persistent striped-storage deployment (nil unless
 	// Options.Storage).
 	sw *swState
+
+	// ap is the control-plane autopilot on node 1 (nil unless
+	// Options.Policy); apClosed and apLastDisp record a KillCP
+	// degradation — the autopilot was deliberately closed mid-run, with
+	// every node's dispatcher count captured right after the close so
+	// the policy checker can assert nothing rolled back.
+	ap         *controlplane.Autopilot
+	apClosed   bool
+	apLastDisp map[i2o.NodeID]int
+
+	// hot* record the HotDev round for the policy convergence checker:
+	// the victim, the controller tick when the skew was injected, the
+	// storm ping p99 before the skew and after the autopilot's rescale,
+	// and whether the rescale was observed at all.
+	hotVictim    i2o.NodeID
+	hotTick0     uint64
+	hotActuated  bool
+	hotBaseline  time.Duration
+	hotRecovered time.Duration
 
 	mu         sync.Mutex
 	violations []string
@@ -338,7 +383,14 @@ func Run(o Options) (*Report, error) {
 		if rp.Kill != 0 {
 			c.kill(rp.Kill)
 		}
-		c.storm(stormPer)
+		if o.KillCP && r == len(c.rounds)-1 && c.ap != nil && !c.apClosed {
+			c.killAutopilot()
+		}
+		if rp.Hot != 0 {
+			c.hotRound(rp.Hot, stormPer)
+		} else {
+			c.storm(stormPer)
+		}
 		if rp.Bulk > 0 {
 			c.bulkRound(rp.Bulk)
 		}
@@ -379,6 +431,15 @@ func build(o Options) (*Cluster, error) {
 	}
 	if o.KillSW && !o.Storage {
 		return nil, errors.New("killsw requires the storage workload")
+	}
+	if o.HotDev && o.Policy == "" {
+		return nil, errors.New("hotdev requires a policy (the autopilot is what rescales the hot node)")
+	}
+	if o.HotDev && o.Rescale {
+		return nil, errors.New("hotdev and rescale fight over the dispatcher knob")
+	}
+	if o.KillCP && o.Policy == "" {
+		return nil, errors.New("killcp requires a policy")
 	}
 	if o.Nodes < 2 {
 		return nil, errors.New("need at least 2 nodes")
@@ -607,6 +668,28 @@ func build(o Options) (*Cluster, error) {
 			return fail(err)
 		}
 	}
+	// The autopilot goes on node 1 (never a kill victim) once the routes
+	// and membership are up, so its very first scrape reaches everyone.
+	if o.Policy != "" {
+		pol, err := controlplane.Load("chaos-policy", o.Policy)
+		if err != nil {
+			return fail(err)
+		}
+		ids := make([]i2o.NodeID, len(c.Nodes))
+		for i, n := range c.Nodes {
+			ids[i] = n.ID
+		}
+		ap, err := controlplane.NewAutopilot(controlplane.AutopilotConfig{
+			Exec:     c.Nodes[0].Exec,
+			Policy:   pol,
+			Interval: policyTick,
+			Nodes:    func() []i2o.NodeID { return ids },
+		})
+		if err != nil {
+			return fail(err)
+		}
+		c.ap = ap
+	}
 	return c, nil
 }
 
@@ -747,6 +830,9 @@ func (c *Cluster) report() *Report {
 }
 
 func (c *Cluster) shutdown() {
+	if c.ap != nil {
+		c.ap.Close() // idempotent after a KillCP round
+	}
 	if c.sw != nil {
 		c.sw.shutdown()
 	}

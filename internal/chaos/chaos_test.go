@@ -115,6 +115,55 @@ func TestScenarioKillStorageWriter(t *testing.T) {
 	}
 }
 
+// Scenario 6: a node's echo device turns hot mid-run and the autopilot —
+// scraping cluster metrics and evaluating the shipped hot-rescale policy —
+// must widen the victim's dispatch pool within its tick budget, without
+// flapping, and bring the storm p99 back down while the device stays hot.
+// The policy checker asserts the whole convergence contract under -race.
+func TestScenarioHotDeviceAutopilot(t *testing.T) {
+	rep, err := Run(Options{
+		Seed:     606,
+		Fabric:   "loopback",
+		Nodes:    3,
+		Rounds:   3,
+		Duration: 1200 * time.Millisecond,
+		HotDev:   true,
+		Policy:   HotDevPolicy,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(rep.Plan, "hot=node") {
+		t.Fatalf("plan scheduled no hot round:\n%s", rep.Plan)
+	}
+	if rep.EchoOK == 0 || rep.SeqRecvd == 0 {
+		t.Fatalf("storm moved no traffic: %s", rep)
+	}
+}
+
+// Scenario 7: the controller itself is killed on the last round after a
+// hot round has actuated.  Degradation must be graceful: the cluster
+// holds the last-actuated dispatcher counts and a remote ExecPolicyGet
+// reports the autopilot off — no rollback, no orphaned actuations.
+func TestScenarioKillControlPlane(t *testing.T) {
+	rep, err := Run(Options{
+		Seed:     707,
+		Fabric:   "loopback",
+		Nodes:    3,
+		Rounds:   3,
+		Duration: 1200 * time.Millisecond,
+		HotDev:   true,
+		KillCP:   true,
+		Policy:   HotDevPolicy,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(rep.Plan, "killcp=true") {
+		t.Fatalf("plan does not record the controller kill:\n%s", rep.Plan)
+	}
+}
+
 // A deliberately broken invariant must be caught and reported with the
 // seed and a trace-ring dump — the harness's own failure path is part of
 // the contract (a checker that cannot fail checks nothing).

@@ -46,7 +46,11 @@ type Checker interface {
 //   - storage: the striped on-disk segment set holds exactly the records
 //     replayed so far — every event once, on its stripe, payload intact —
 //     including across rounds that crashed and recovered a writer;
-//   - workload: the storm actually exercised the cluster.
+//   - workload: the storm actually exercised the cluster;
+//   - policy: on autopilot runs the control plane converged — a hot
+//     device was rescaled within its tick budget without flapping and
+//     the storm p99 recovered; after a controller kill the cluster holds
+//     the last-actuated state and reports autopilot=off.
 func DefaultCheckers() []Checker {
 	return []Checker{
 		conservationChecker{},
@@ -59,6 +63,7 @@ func DefaultCheckers() []Checker {
 		ebChecker{},
 		storageChecker{},
 		workloadChecker{},
+		policyChecker{},
 	}
 }
 

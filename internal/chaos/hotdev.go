@@ -1,0 +1,356 @@
+package chaos
+
+import (
+	"context"
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"xdaq/internal/i2o"
+	"xdaq/internal/metrics"
+)
+
+// The HotDev scenario closes the control loop end to end: one node's
+// echo device turns hot (a multi-millisecond stall per request), its
+// single dispatcher serializes the whole node behind the stall, and the
+// autopilot on node 1 — watching nothing but the ordinary metrics scrape
+// — must notice the sustained queue depth, rescale the victim's
+// dispatchers over the fabric, and thereby bring the storm's tail
+// latency back down while the device itself stays hot.
+
+// HotDevPolicy is the canonical policy for HotDev runs (xdaqsoak
+// -hotdev): sustained inbound queue pressure on any member rescales that
+// member's dispatch pool.  The sustain window keeps storm bursts from
+// firing it; the cooldown plus the deadband keep the actuation from
+// flapping once the pool is wide.
+const HotDevPolicy = `
+rule hot-rescale {
+    when {[metric exec.queue.depth] > 8}
+    for 2
+    cooldown 8
+    do {dispatchers 8}
+}`
+
+// policyTick is the autopilot scrape interval inside the harness: fast
+// enough that a hot round converges in a fraction of its storm phase.
+const policyTick = 20 * time.Millisecond
+
+const (
+	// hotServiceTime is the injected per-request stall.
+	hotServiceTime = 2 * time.Millisecond
+
+	// hotConvergeWait bounds how long hotRound keeps the storm pressure
+	// on while waiting for the autopilot's rescale to land.  It is a cap,
+	// not a sleep — an idle host converges in a few ticks and the wait
+	// returns immediately — so it is sized for the worst case: a CI host
+	// running the whole suite concurrently, where the controller
+	// goroutine itself can be starved for whole seconds at a time.
+	hotConvergeWait = 15 * time.Second
+
+	// hotConvergeTicks is the same budget in scrape ticks, the unit the
+	// decision log is recorded in, with slack for ticks already queued
+	// when the wait expires.  On an idle host convergence takes a
+	// handful of ticks; the budget is sized for CI hosts running the
+	// whole suite concurrently, where individual scrapes can stall.
+	hotConvergeTicks = uint64(hotConvergeWait/policyTick) + 10
+
+	// hotRecoveryFloor absorbs scheduler noise in the recovery check: a
+	// recovered p99 is accepted when it is within 2x the pre-injection
+	// baseline OR under this floor (5x the injected service time — with
+	// a wide pool a probe can still land behind a stalled handler, -race
+	// inflates every sleep, and on a CI host running suites concurrently
+	// a goroutine wakeup alone costs milliseconds).  An unrecovered node
+	// still fails by an order of magnitude: with a single dispatcher the
+	// probe queues behind every stalled echo in the backlog, which
+	// measures in tens of milliseconds.
+	hotRecoveryFloor = 10 * time.Millisecond
+)
+
+// hotRound runs the hot-device storm phases: baseline probe under clean
+// storm, skew injection under storm until the autopilot reacts, then a
+// recovery probe with the device still hot.  The measurements land on
+// the Cluster for the policy checker to judge at the next quiescent
+// point.
+func (c *Cluster) hotRound(victim i2o.NodeID, d time.Duration) {
+	n := c.node(victim)
+	c.logf("chaos: hot round: node %d echo gains %v service time", victim, hotServiceTime)
+
+	quarter := d / 4
+	c.hotVictim = victim
+	c.hotBaseline = c.probeP99(victim, quarter)
+
+	if c.ap != nil {
+		c.hotTick0 = c.ap.Controller().Tick()
+	}
+	n.hotNS.Store(int64(hotServiceTime))
+
+	// Pressure stays on until the rescale lands: the rule needs the depth
+	// sustained across consecutive scrapes, and on a loaded CI host the
+	// controller can stall past any single storm burst.  The storm alone
+	// is not enough — its workers block on cross-traffic to every peer,
+	// so when the host starves the whole process they slow down exactly
+	// as much as the victim's dispatcher and the sampled queue depth
+	// never crosses the trigger.  Dedicated echo lanes against the hot
+	// device close that hole: each lane keeps one stalled request in
+	// flight, so the victim's queue holds a standing backlog above the
+	// policy threshold no matter how unfair the scheduler is.  Default
+	// priority, not the zero value (urgent): at urgent the lanes would
+	// outrank the autopilot's own scrape frames and starve the very loop
+	// under test.
+	const hotEchoLanes = 24
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			c.storm(d / 2)
+		}
+	}()
+	src := c.Nodes[0]
+	for i := 0; i < hotEchoLanes; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+				rep, err := src.Exec.RequestContext(ctx, &i2o.Message{
+					Priority: i2o.PriorityDefault,
+					Target:   src.echoTID[victim], Initiator: i2o.TIDExecutive,
+					Function: i2o.FuncPrivate, Org: i2o.OrgXDAQ, XFunction: fnEcho,
+					Payload: []byte("hot"),
+				})
+				cancel()
+				if err == nil {
+					rep.Release()
+				}
+			}
+		}()
+	}
+	// The skew stays on for the rest of the run; recovery must come from
+	// the autopilot widening the pool, not from the device cooling down.
+	c.hotActuated = waitTrue(hotConvergeWait, func() bool {
+		return n.Exec.Dispatchers() > 1
+	})
+	close(stop)
+	wg.Wait()
+
+	c.hotRecovered = c.probeP99(victim, quarter)
+	c.logf("chaos: hot round: p99 baseline=%v recovered=%v actuated=%v (dispatchers=%d)",
+		c.hotBaseline, c.hotRecovered, c.hotActuated, n.Exec.Dispatchers())
+}
+
+// probeP99 measures the storm tail latency toward the victim: pings ride
+// the same inbound scheduler as every workload frame, so their p99 is
+// the head-of-line blocking the autopilot is supposed to cure.  The
+// storm runs concurrently for the whole window.
+func (c *Cluster) probeP99(victim i2o.NodeID, d time.Duration) time.Duration {
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		c.storm(d)
+	}()
+	src := c.Nodes[0].Exec
+	deadline := time.Now().Add(d)
+	var lats []time.Duration
+	for time.Now().Before(deadline) {
+		t0 := time.Now()
+		ctx, cancel := context.WithTimeout(context.Background(), time.Second)
+		err := src.PingContext(ctx, victim)
+		cancel()
+		if err == nil {
+			lats = append(lats, time.Since(t0))
+		}
+		time.Sleep(500 * time.Microsecond)
+	}
+	wg.Wait()
+	return p99(lats)
+}
+
+func p99(lats []time.Duration) time.Duration {
+	if len(lats) == 0 {
+		return 0
+	}
+	sort.Slice(lats, func(i, j int) bool { return lats[i] < lats[j] })
+	return lats[(len(lats)-1)*99/100]
+}
+
+// killAutopilot is the KillCP degradation: close the controller, then
+// capture every node's dispatcher count — Close is synchronous, so no
+// actuation can land after the capture, and the policy checker asserts
+// the cluster holds exactly this state for the rest of the run.
+func (c *Cluster) killAutopilot() {
+	c.logf("chaos: killing the autopilot (graceful degradation round)")
+	c.ap.Close()
+	c.apClosed = true
+	c.apLastDisp = make(map[i2o.NodeID]int)
+	for _, n := range c.Nodes {
+		c.apLastDisp[n.ID] = n.Exec.Dispatchers()
+	}
+}
+
+// policyChecker validates the control plane at every quiescent point.
+//
+// After a hot round it asserts the convergence contract: the autopilot
+// actuated SetDispatchers on the victim, did so within hotConvergeTicks
+// of the skew, never oscillated the value, and the storm p99 recovered
+// to within 2x the pre-injection baseline (or under the scheduler-noise
+// floor).  The decision log itself being a pure function of the metric
+// series is proven by the fake-clock decision-table tests in
+// internal/controlplane — under wall-clock chaos the scrape timings
+// vary, so this checker asserts the structural properties that must
+// hold on every schedule rather than one exact log.
+//
+// After a KillCP round it asserts graceful degradation: dispatcher
+// counts hold the last-actuated values and a fresh remote ExecPolicyGet
+// reports the autopilot off.
+type policyChecker struct{}
+
+func (policyChecker) Name() string { return "policy" }
+
+func (policyChecker) Check(c *Cluster) (out []string) {
+	if c.ap == nil {
+		return nil
+	}
+	if c.hotVictim != 0 {
+		out = append(out, checkHotConvergence(c)...)
+	}
+	if c.apClosed {
+		out = append(out, checkDegradation(c)...)
+	}
+	return out
+}
+
+func checkHotConvergence(c *Cluster) (out []string) {
+	var fires []string
+	var firstTick uint64
+	var firstAction string
+	for _, d := range c.ap.Controller().Decisions() {
+		if d.Node != c.hotVictim || d.Outcome != "actuated" ||
+			!strings.HasPrefix(d.Action, "dispatchers ") {
+			continue
+		}
+		if fires == nil {
+			firstTick, firstAction = d.Tick, d.Action
+		}
+		fires = append(fires, d.Action)
+	}
+	if !c.hotActuated || len(fires) == 0 {
+		out = append(out, fmt.Sprintf(
+			"hot round: autopilot never rescaled node %d (actuated=%v, %d dispatcher decisions)\n  %s\n  victim decisions:%s",
+			c.hotVictim, c.hotActuated, len(fires), cpCounters(c), victimDecisions(c)))
+		return out
+	}
+	if firstTick > c.hotTick0+hotConvergeTicks {
+		out = append(out, fmt.Sprintf(
+			"hot round: first actuation on node %d at tick %d, skew at tick %d — over the %d-tick budget",
+			c.hotVictim, firstTick, c.hotTick0, hotConvergeTicks))
+	}
+	for _, a := range fires[1:] {
+		if a != firstAction {
+			out = append(out, fmt.Sprintf(
+				"hot round: oscillating actuation on node %d: %q then %q",
+				c.hotVictim, firstAction, a))
+			break
+		}
+	}
+	if c.hotRecovered > 2*c.hotBaseline && c.hotRecovered > hotRecoveryFloor {
+		out = append(out, fmt.Sprintf(
+			"hot round: storm p99 did not recover: baseline %v, after rescale %v (want <= 2x or <= %v)",
+			c.hotBaseline, c.hotRecovered, hotRecoveryFloor))
+	}
+	return out
+}
+
+// cpCounters renders the controller node's cp.* counters so a
+// convergence violation says which stage starved: no ticks means the
+// loop itself never ran, scrape errors mean the fabric path to the
+// victim failed, decisions without actuations mean the rule fired but
+// every actuation erred.
+func cpCounters(c *Cluster) string {
+	var b strings.Builder
+	b.WriteString("cp:")
+	for _, fs := range metrics.Flatten(c.Nodes[0].Exec.Metrics().Snapshot()) {
+		if !strings.HasPrefix(fs.Name, "cp.") {
+			continue
+		}
+		if fs.IsUint {
+			fmt.Fprintf(&b, " %s=%d", fs.Name, fs.Uint)
+		} else {
+			fmt.Fprintf(&b, " %s=%d", fs.Name, fs.Int)
+		}
+	}
+	return b.String()
+}
+
+// victimDecisions renders the tail of the victim's decision log — every
+// outcome, not just actuations — so "never rescaled" distinguishes a
+// rule that never fired from one that fired and failed.
+func victimDecisions(c *Cluster) string {
+	var lines []string
+	for _, d := range c.ap.Controller().Decisions() {
+		if d.Node == c.hotVictim {
+			lines = append(lines, d.String())
+		}
+	}
+	const keep = 12
+	if len(lines) > keep {
+		lines = lines[len(lines)-keep:]
+	}
+	if len(lines) == 0 {
+		return " (none)"
+	}
+	return "\n    " + strings.Join(lines, "\n    ")
+}
+
+func checkDegradation(c *Cluster) (out []string) {
+	for _, n := range c.Nodes {
+		if got, want := n.Exec.Dispatchers(), c.apLastDisp[n.ID]; got != want {
+			out = append(out, fmt.Sprintf(
+				"degradation: node %d dispatchers moved to %d after the autopilot died (last actuated %d)",
+				n.ID, got, want))
+		}
+	}
+	// The report must say "off" over the same remote path an operator
+	// would use (xdaqctl policy <node>).
+	probe := c.Nodes[1].Exec
+	target, err := probe.ExecProxy(c.Nodes[0].ID)
+	if err != nil {
+		return append(out, fmt.Sprintf("degradation: no proxy to the controller node: %v", err))
+	}
+	rep, err := probe.Request(&i2o.Message{
+		Priority: i2o.PriorityHigh, Target: target, Initiator: i2o.TIDExecutive,
+		Function: i2o.ExecPolicyGet,
+	})
+	if err != nil {
+		return append(out, fmt.Sprintf("degradation: ExecPolicyGet after kill: %v", err))
+	}
+	defer rep.Release()
+	params, err := i2o.DecodeParams(rep.Payload)
+	if err != nil {
+		return append(out, fmt.Sprintf("degradation: ExecPolicyGet reply: %v", err))
+	}
+	for _, p := range params {
+		if p.Key == "autopilot" {
+			if p.Value != "off" {
+				out = append(out, fmt.Sprintf(
+					"degradation: ExecPolicyGet reports autopilot=%v after kill, want off", p.Value))
+			}
+			return out
+		}
+	}
+	return append(out, "degradation: ExecPolicyGet reply has no autopilot row")
+}

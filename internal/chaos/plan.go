@@ -63,6 +63,11 @@ type roundPlan struct {
 	// duplicate filter must restore the stripe with nothing lost and
 	// nothing doubled.
 	KillSW int
+
+	// Hot names the node whose echo device turns hot this round (0:
+	// nobody); the autopilot must rescale it and the storm p99 must
+	// recover.
+	Hot i2o.NodeID
 }
 
 // buildRounds scripts every round of a run from the seed.
@@ -94,6 +99,15 @@ func buildRounds(o Options) []roundPlan {
 		killSWRound = 1
 		if o.Rounds > 2 {
 			killSWRound = 1 + rng.Intn(o.Rounds-2)
+		}
+	}
+	// Hot-device draws are option-guarded like the storage ones: plans
+	// of pre-controlplane option sets keep their exact byte sequences.
+	hotRound := -1
+	if o.HotDev {
+		hotRound = 1
+		if o.Rounds > 2 {
+			hotRound = 1 + rng.Intn(o.Rounds-2)
 		}
 	}
 	for r := range rounds {
@@ -130,6 +144,10 @@ func buildRounds(o Options) []roundPlan {
 				// lands, so the kill round replays a longer record set.
 				rp.Writes = 384 + rng.Intn(128)
 			}
+		}
+		if r == hotRound {
+			// Never node 1: it hosts the autopilot (and the EB sources).
+			rp.Hot = i2o.NodeID(2 + rng.Intn(o.Nodes-1))
 		}
 	}
 	return rounds
@@ -243,8 +261,9 @@ func PlanString(o Options) string {
 	var b strings.Builder
 	fmt.Fprintf(&b, "chaos plan: seed=%d fabric=%s nodes=%d rounds=%d workers=%d faults=%s",
 		o.Seed, o.Fabric, o.Nodes, o.Rounds, o.Workers, o.Faults)
-	fmt.Fprintf(&b, " kill=%v rescale=%v bulk=%v eventbuilder=%v killbu=%v storage=%v killsw=%v\n",
+	fmt.Fprintf(&b, " kill=%v rescale=%v bulk=%v eventbuilder=%v killbu=%v storage=%v killsw=%v",
 		o.Kill, o.Rescale, o.Bulk, o.EventBuilder, o.KillBU, o.Storage, o.KillSW)
+	fmt.Fprintf(&b, " hotdev=%v killcp=%v autopilot=%v\n", o.HotDev, o.KillCP, o.Policy != "")
 
 	if rules := sendRules(o.Faults); rules != nil {
 		b.WriteString("send rules (per-peer streams):\n")
@@ -294,6 +313,9 @@ func PlanString(o Options) string {
 		}
 		if rp.KillSW > 0 {
 			fmt.Fprintf(&b, " killsw=%d", rp.KillSW-1)
+		}
+		if rp.Hot != 0 {
+			fmt.Fprintf(&b, " hot=node%d", rp.Hot)
 		}
 		b.WriteString("\n")
 	}

@@ -38,6 +38,12 @@ const seqPayloadLen = 8
 func plugWorkloadDevices(c *Cluster, n *Node) {
 	echo := device.New(echoClass, 0)
 	echo.Bind(fnEcho, func(ctx *device.Context, m *i2o.Message) error {
+		// The HotDev round's service-time skew: stalling the handler
+		// occupies a dispatcher, which is exactly the head-of-line
+		// pressure the autopilot is expected to relieve by rescaling.
+		if ns := n.hotNS.Load(); ns > 0 {
+			time.Sleep(time.Duration(ns))
+		}
 		if len(m.Payload) == 0 {
 			return device.ReplyIfExpected(ctx, m, nil)
 		}

@@ -508,6 +508,18 @@ func (c *Controller) Health(node i2o.NodeID) ([]i2o.Param, error) {
 	return i2o.DecodeParams(rep.Payload)
 }
 
+// Policy queries a node's control-plane autopilot: policy identity,
+// tick progress and the decision log, or a single "autopilot=off" row
+// when the node runs without one.
+func (c *Controller) Policy(node i2o.NodeID) ([]i2o.Param, error) {
+	rep, err := c.execRequest(node, i2o.ExecPolicyGet, nil)
+	if err != nil {
+		return nil, err
+	}
+	defer rep.Release()
+	return i2o.DecodeParams(rep.Payload)
+}
+
 // GetParams reads parameters of a device on a node (all when keys empty).
 func (c *Controller) GetParams(node i2o.NodeID, class string, instance int, keys []string) ([]i2o.Param, error) {
 	payload, err := i2o.EncodeKeys(keys)

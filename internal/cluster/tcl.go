@@ -30,6 +30,7 @@ import (
 //	trace <node> on|off|dump|reset
 //	metrics <node> ?prefix?                 -> {name value ...}
 //	health <node>                           -> {key value ...}
+//	policy <node>                           -> {key value ...}
 //	control request|release|holding
 func (c *Controller) Bind(in *tclish.Interp) {
 	in.Register("nodes", func(in *tclish.Interp, args []string) (string, error) {
@@ -247,6 +248,21 @@ func (c *Controller) Bind(in *tclish.Interp) {
 			return "", err
 		}
 		params, err := c.Health(node)
+		if err != nil {
+			return "", err
+		}
+		return paramsToList(params), nil
+	})
+
+	in.Register("policy", func(in *tclish.Interp, args []string) (string, error) {
+		if len(args) != 2 {
+			return "", fmt.Errorf("tclish: usage: policy <node>")
+		}
+		node, err := nodeArg(args, 1)
+		if err != nil {
+			return "", err
+		}
+		params, err := c.Policy(node)
 		if err != nil {
 			return "", err
 		}

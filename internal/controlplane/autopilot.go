@@ -1,0 +1,270 @@
+package controlplane
+
+import (
+	"fmt"
+	"strconv"
+	"sync"
+	"time"
+
+	"xdaq/internal/device"
+	"xdaq/internal/executive"
+	"xdaq/internal/i2o"
+	"xdaq/internal/metrics"
+)
+
+// AutopilotConfig assembles an Autopilot on a live executive.
+type AutopilotConfig struct {
+	Exec   *executive.Executive
+	Policy *Policy
+
+	// Interval is the scrape period; 0 means one second.
+	Interval time.Duration
+
+	// Nodes lists the members to scrape each tick; nil watches only the
+	// local node.  Hook it to the membership layer on clustered nodes.
+	Nodes func() []i2o.NodeID
+
+	// LogCap bounds the decision log; 0 means 256.
+	LogCap int
+}
+
+// Autopilot is the cp.autopilot device class: the deterministic
+// Controller wrapped in a real scrape ticker, with the Source reading
+// ExecMetricsGet over the fabric and the Actuator writing the same
+// parameter channels an operator would.  It also installs the
+// executive's policy source, so ExecPolicyGet (and therefore
+// `xdaqctl policy <node>`) reports this node's decision log.
+type Autopilot struct {
+	exec *executive.Executive
+	ctrl *Controller
+	dev  *device.Device
+
+	interval time.Duration
+	stop     chan struct{}
+	done     chan struct{}
+	once     sync.Once
+}
+
+// NewAutopilot plugs the cp.autopilot device and starts the control
+// loop.
+func NewAutopilot(cfg AutopilotConfig) (*Autopilot, error) {
+	if cfg.Exec == nil {
+		return nil, fmt.Errorf("controlplane: nil executive")
+	}
+	if cfg.Policy == nil {
+		return nil, fmt.Errorf("controlplane: nil policy")
+	}
+	interval := cfg.Interval
+	if interval <= 0 {
+		interval = time.Second
+	}
+	ap := &Autopilot{
+		exec:     cfg.Exec,
+		interval: interval,
+		stop:     make(chan struct{}),
+		done:     make(chan struct{}),
+	}
+	nodes := cfg.Nodes
+	if nodes == nil {
+		self := cfg.Exec.Node()
+		nodes = func() []i2o.NodeID { return []i2o.NodeID{self} }
+	}
+	ctrl, err := New(Config{
+		Policy:   cfg.Policy,
+		Source:   &execSource{exec: cfg.Exec, nodes: nodes},
+		Actuator: &execActuator{exec: cfg.Exec, nodes: nodes},
+		Registry: cfg.Exec.Metrics(),
+		LogCap:   cfg.LogCap,
+	})
+	if err != nil {
+		return nil, err
+	}
+	ap.ctrl = ctrl
+
+	ap.dev = device.New("cp.autopilot", 0)
+	ap.dev.Params().Set("policy", cfg.Policy.Name)
+	ap.dev.Params().Set("hash", cfg.Policy.Hash)
+	if _, err := cfg.Exec.Plug(ap.dev); err != nil {
+		return nil, err
+	}
+	cfg.Exec.SetPolicySource(ap.report)
+	go ap.run()
+	return ap, nil
+}
+
+// Controller exposes the decision core (tests and checkers read its log).
+func (ap *Autopilot) Controller() *Controller { return ap.ctrl }
+
+// Close stops the control loop and withdraws the policy report; the last
+// actuated state stays in force — graceful degradation, not rollback.
+func (ap *Autopilot) Close() {
+	ap.once.Do(func() {
+		close(ap.stop)
+		<-ap.done
+		ap.exec.SetPolicySource(nil)
+	})
+}
+
+func (ap *Autopilot) run() {
+	defer close(ap.done)
+	t := time.NewTicker(ap.interval)
+	defer t.Stop()
+	for {
+		select {
+		case <-ap.stop:
+			return
+		case <-t.C:
+			ap.ctrl.Step()
+		}
+	}
+}
+
+// report renders the ExecPolicyGet reply: policy identity, loop
+// progress, then the decision log in Decision.String form, keyed so rows
+// sort in sequence order.
+func (ap *Autopilot) report() []i2o.Param {
+	pol := ap.ctrl.Policy()
+	params := []i2o.Param{
+		{Key: "autopilot", Value: "on"},
+		{Key: "policy", Value: pol.Name},
+		{Key: "hash", Value: pol.Hash},
+		{Key: "rules", Value: int64(len(pol.Rules))},
+		{Key: "tick", Value: int64(ap.ctrl.Tick())},
+	}
+	for _, d := range ap.ctrl.Decisions() {
+		params = append(params, i2o.Param{
+			Key:   fmt.Sprintf("decision.%08d", d.Seq),
+			Value: d.String(),
+		})
+	}
+	return params
+}
+
+// execSource scrapes over the fabric: the local node straight from the
+// registry, remote nodes via ExecMetricsGet to their well-known
+// executive TiD.
+type execSource struct {
+	exec  *executive.Executive
+	nodes func() []i2o.NodeID
+}
+
+func (s *execSource) Nodes() []i2o.NodeID { return s.nodes() }
+
+func (s *execSource) Scrape(node i2o.NodeID) (Snapshot, error) {
+	if node == s.exec.Node() {
+		flat := metrics.Flatten(s.exec.Metrics().Snapshot())
+		snap := make(Snapshot, len(flat))
+		for _, fs := range flat {
+			snap[fs.Name] = Metric{Uint: fs.Uint, Int: fs.Int, IsUint: fs.IsUint}
+		}
+		return snap, nil
+	}
+	target, err := s.exec.ExecProxy(node)
+	if err != nil {
+		return nil, err
+	}
+	rep, err := s.exec.Request(&i2o.Message{
+		Priority: i2o.PriorityHigh, Target: target, Initiator: i2o.TIDExecutive,
+		Function: i2o.ExecMetricsGet,
+	})
+	if err != nil {
+		return nil, err
+	}
+	defer rep.Release()
+	params, err := i2o.DecodeParams(rep.Payload)
+	if err != nil {
+		return nil, err
+	}
+	return SnapshotFromParams(params), nil
+}
+
+// execActuator turns decisions into the frames an operator's controller
+// would send: UtilParamsSet for knobs, ExecSysTabSet for failover.
+type execActuator struct {
+	exec  *executive.Executive
+	nodes func() []i2o.NodeID
+}
+
+// SetDispatchers rescales a node's dispatch pool: locally through the
+// executive, remotely through the "dispatchers" parameter on the remote
+// executive device (its OnSet hook applies it).
+func (a *execActuator) SetDispatchers(node i2o.NodeID, n int) error {
+	if node == a.exec.Node() {
+		a.exec.SetDispatchers(n)
+		return nil
+	}
+	target, err := a.exec.ExecProxy(node)
+	if err != nil {
+		return err
+	}
+	return a.paramsSet(target, []i2o.Param{{Key: "dispatchers", Value: int64(n)}})
+}
+
+// SetParam writes one device parameter on a node, resolving the device
+// through the remote HRT when needed.
+func (a *execActuator) SetParam(node i2o.NodeID, class string, instance int, key string, value any) error {
+	var target i2o.TID
+	var err error
+	if node == a.exec.Node() {
+		target, err = a.exec.Resolve(class, instance, node)
+	} else {
+		target, err = a.exec.Discover(node, class, instance)
+	}
+	if err != nil {
+		return err
+	}
+	return a.paramsSet(target, []i2o.Param{{Key: key, Value: value}})
+}
+
+// Failover repoints every other member's route to the ailing node onto
+// the named transport, the local table included, so cluster traffic
+// drains off the failing fabric without waiting for health eviction.
+func (a *execActuator) Failover(node i2o.NodeID, route string) error {
+	payload, err := i2o.EncodeParams([]i2o.Param{
+		{Key: strconv.FormatUint(uint64(node), 10), Value: route},
+	})
+	if err != nil {
+		return err
+	}
+	var firstErr error
+	for _, member := range a.nodes() {
+		if member == node {
+			continue
+		}
+		if member == a.exec.Node() {
+			a.exec.FailoverRoute(node, route)
+			continue
+		}
+		target, err := a.exec.ExecProxy(member)
+		if err == nil {
+			var rep *i2o.Message
+			rep, err = a.exec.Request(&i2o.Message{
+				Priority: i2o.PriorityHigh, Target: target, Initiator: i2o.TIDExecutive,
+				Function: i2o.ExecSysTabSet, Payload: payload,
+			})
+			if err == nil {
+				rep.Release()
+			}
+		}
+		if err != nil && firstErr == nil {
+			firstErr = fmt.Errorf("failover on node %v: %w", member, err)
+		}
+	}
+	return firstErr
+}
+
+func (a *execActuator) paramsSet(target i2o.TID, params []i2o.Param) error {
+	payload, err := i2o.EncodeParams(params)
+	if err != nil {
+		return err
+	}
+	rep, err := a.exec.Request(&i2o.Message{
+		Priority: i2o.PriorityHigh, Target: target, Initiator: i2o.TIDExecutive,
+		Function: i2o.UtilParamsSet, Payload: payload,
+	})
+	if err != nil {
+		return err
+	}
+	rep.Release()
+	return nil
+}

@@ -1,0 +1,495 @@
+package controlplane
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+
+	"xdaq/internal/i2o"
+	"xdaq/internal/metrics"
+	"xdaq/internal/tclish"
+)
+
+// Config assembles a Controller.  Source and Actuator are injected so
+// the decision core runs identically against live I2O scrapes and
+// against scripted test series.
+type Config struct {
+	Policy   *Policy
+	Source   Source
+	Actuator Actuator
+
+	// Registry receives the cp.* metrics; nil allocates a private one.
+	Registry *metrics.Registry
+
+	// LogCap bounds the decision log ring; 0 means 256.
+	LogCap int
+}
+
+// Controller is the deterministic decision core: each Step scrapes every
+// node, evaluates every rule against the snapshots, and actuates — or
+// suppresses, with hysteresis — what the rules decide.  It holds no
+// clock and starts no goroutines; ticks are whatever the caller makes
+// them (the Autopilot wraps Step in a real ticker, tests call it
+// directly).
+type Controller struct {
+	mu  sync.Mutex
+	pol *Policy
+	src Source
+	act Actuator
+	in  *tclish.Interp
+	ctx evalCtx
+
+	tick   uint64
+	seq    uint64
+	logCap int
+	logLo  int // ring start within log
+	log    []Decision
+	prev   map[i2o.NodeID]Snapshot
+	state  map[stateKey]*ruleState
+
+	mTicks      *metrics.Counter
+	mScrapes    *metrics.Counter
+	mScrapeErrs *metrics.Counter
+	mDecisions  *metrics.Counter
+	mActuations *metrics.Counter
+	mCooldown   *metrics.Counter
+	mDeadband   *metrics.Counter
+	mErrors     *metrics.Counter
+}
+
+type stateKey struct {
+	rule string
+	node i2o.NodeID
+}
+
+// ruleState is the per-(rule, node) hysteresis memory.
+type ruleState struct {
+	sustained int    // consecutive ticks the condition has held
+	lastFire  uint64 // tick the do script last ran
+	fired     bool   // lastFire is meaningful
+	lastNum   map[string]float64
+	lastText  map[string]string
+}
+
+// New builds a controller.  The policy must already be loaded, so the
+// only errors here are missing collaborators.
+func New(cfg Config) (*Controller, error) {
+	if cfg.Policy == nil {
+		return nil, fmt.Errorf("controlplane: nil policy")
+	}
+	if cfg.Source == nil {
+		return nil, fmt.Errorf("controlplane: nil source")
+	}
+	if cfg.Actuator == nil {
+		return nil, fmt.Errorf("controlplane: nil actuator")
+	}
+	reg := cfg.Registry
+	if reg == nil {
+		reg = metrics.NewRegistry()
+	}
+	cap := cfg.LogCap
+	if cap <= 0 {
+		cap = 256
+	}
+	c := &Controller{
+		pol:    cfg.Policy,
+		src:    cfg.Source,
+		act:    cfg.Actuator,
+		in:     tclish.New(nil),
+		logCap: cap,
+		prev:   make(map[i2o.NodeID]Snapshot),
+		state:  make(map[stateKey]*ruleState),
+
+		mTicks:      reg.Counter("cp.ticks"),
+		mScrapes:    reg.Counter("cp.scrapes"),
+		mScrapeErrs: reg.Counter("cp.scrape.errors"),
+		mDecisions:  reg.Counter("cp.decisions"),
+		mActuations: reg.Counter("cp.actuations"),
+		mCooldown:   reg.Counter("cp.suppressed.cooldown"),
+		mDeadband:   reg.Counter("cp.suppressed.deadband"),
+		mErrors:     reg.Counter("cp.errors"),
+	}
+	reg.Func("cp.rules", func() int64 { return int64(len(cfg.Policy.Rules)) })
+	bindEval(c.in, &c.ctx)
+	return c, nil
+}
+
+// Policy returns the loaded policy.
+func (c *Controller) Policy() *Policy { return c.pol }
+
+// Tick returns the number of completed steps.
+func (c *Controller) Tick() uint64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.tick
+}
+
+// Decisions copies out the decision log, oldest first.
+func (c *Controller) Decisions() []Decision {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make([]Decision, len(c.log))
+	for i := range c.log {
+		out[i] = c.log[(c.logLo+i)%len(c.log)]
+	}
+	return out
+}
+
+// Step runs one control tick: scrape every node, evaluate every rule,
+// actuate.  Nodes are visited in sorted order and rules in policy order,
+// so the decision sequence is a pure function of the scraped series.
+func (c *Controller) Step() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.tick++
+	c.mTicks.Inc()
+
+	nodes := append([]i2o.NodeID(nil), c.src.Nodes()...)
+	sort.Slice(nodes, func(i, j int) bool { return nodes[i] < nodes[j] })
+
+	for _, node := range nodes {
+		snap, err := c.src.Scrape(node)
+		c.mScrapes.Inc()
+		if err != nil {
+			// A node that cannot be scraped is not evaluated this tick:
+			// rules neither sustain nor reset on missing data, and the
+			// previous snapshot is kept so rate calculations resume
+			// cleanly when the node answers again.
+			c.mScrapeErrs.Inc()
+			continue
+		}
+		c.ctx.node = node
+		c.ctx.snap = snap
+		c.ctx.prev = c.prev[node]
+		c.ctx.tick = c.tick
+		for _, r := range c.pol.Rules {
+			c.evalRule(r, node)
+		}
+		c.prev[node] = snap
+	}
+}
+
+// evalRule evaluates one rule against the current evalCtx node.
+func (c *Controller) evalRule(r *Rule, node i2o.NodeID) {
+	st := c.state[stateKey{r.Name, node}]
+	if st == nil {
+		st = &ruleState{lastNum: make(map[string]float64), lastText: make(map[string]string)}
+		c.state[stateKey{r.Name, node}] = st
+	}
+
+	c.ctx.setVars(c.in)
+	res, err := c.in.Eval("expr {" + r.When + "}")
+	if err != nil {
+		c.mErrors.Inc()
+		c.record(node, r.Name, "when", "error: "+err.Error())
+		return
+	}
+	if !truthy(res) {
+		st.sustained = 0
+		return
+	}
+	st.sustained++
+	if st.sustained < r.For {
+		return
+	}
+	if st.fired && c.tick-st.lastFire <= uint64(r.Cooldown) {
+		c.mCooldown.Inc()
+		c.record(node, r.Name, "-", "cooldown")
+		return
+	}
+
+	c.ctx.acts = c.ctx.acts[:0]
+	_, err = c.in.Eval(r.Do)
+	acts := c.ctx.acts
+	// The do script ran: the rule has fired for hysteresis purposes even
+	// if every individual actuation is deadband-suppressed, so the
+	// condition must sustain through a fresh for-window (after cooldown)
+	// before the rule runs again.
+	st.fired = true
+	st.lastFire = c.tick
+	st.sustained = 0
+	if err != nil {
+		c.mErrors.Inc()
+		c.record(node, r.Name, "do", "error: "+err.Error())
+		return
+	}
+
+	for _, a := range acts {
+		if a.apply == nil { // log action
+			c.record(node, r.Name, a.render, "noted")
+			continue
+		}
+		if st.suppressed(a, r.Deadband) {
+			c.mDeadband.Inc()
+			c.record(node, r.Name, a.render, "deadband")
+			continue
+		}
+		if err := a.apply(c.act, node); err != nil {
+			c.mErrors.Inc()
+			c.record(node, r.Name, a.render, "error: "+err.Error())
+			continue
+		}
+		st.remember(a)
+		c.mActuations.Inc()
+		c.record(node, r.Name, a.render, "actuated")
+	}
+}
+
+// suppressed applies the deadband: a numeric actuation within band% of
+// the last actuated value for the same key is dropped (band 0 drops
+// exact repeats only); non-numeric actuations are dropped on exact
+// repeats.
+func (st *ruleState) suppressed(a actuation, band float64) bool {
+	if a.hasNum {
+		old, ok := st.lastNum[a.key]
+		if !ok {
+			return false
+		}
+		if old == a.num {
+			return true
+		}
+		if band <= 0 || old == 0 {
+			return false
+		}
+		return math.Abs(a.num-old)/math.Abs(old)*100 <= band
+	}
+	return st.lastText[a.key] == a.render
+}
+
+func (st *ruleState) remember(a actuation) {
+	if a.hasNum {
+		st.lastNum[a.key] = a.num
+	} else {
+		st.lastText[a.key] = a.render
+	}
+}
+
+// record appends one decision-log entry, evicting the oldest past LogCap.
+func (c *Controller) record(node i2o.NodeID, rule, action, outcome string) {
+	c.seq++
+	c.mDecisions.Inc()
+	d := Decision{Seq: c.seq, Tick: c.tick, Node: node, Rule: rule, Action: action, Outcome: outcome}
+	if len(c.log) < c.logCap {
+		c.log = append(c.log, d)
+		return
+	}
+	c.log[c.logLo] = d
+	c.logLo = (c.logLo + 1) % len(c.log)
+}
+
+// truthy mirrors tclish's condition convention.
+func truthy(s string) bool {
+	switch strings.TrimSpace(s) {
+	case "0", "false", "no", "":
+		return false
+	}
+	return true
+}
+
+// evalCtx is the per-evaluation view the policy commands read: the node
+// under evaluation, its current and previous snapshots, and the
+// actuation list the do commands append to.  In validate mode every
+// metric reads as zero and actuations are collected but never applied.
+type evalCtx struct {
+	node     i2o.NodeID
+	tick     uint64
+	snap     Snapshot
+	prev     Snapshot
+	acts     []actuation
+	validate bool
+}
+
+func (ctx *evalCtx) setVars(in *tclish.Interp) {
+	in.SetVar("node", strconv.FormatUint(uint64(ctx.node), 10))
+	in.SetVar("tick", strconv.FormatUint(ctx.tick, 10))
+}
+
+// actuation is one collected action from a do script.
+type actuation struct {
+	render string // stable text for the decision log
+	key    string // deadband identity
+	num    float64
+	hasNum bool
+	apply  func(a Actuator, node i2o.NodeID) error // nil for log actions
+}
+
+// sum folds every metric matching the selector.  The sum is unsigned
+// when every matched row is, so large counters keep full precision;
+// mixed matches fold through int64.
+func sum(s Snapshot, selector string) (Metric, bool) {
+	var (
+		u       uint64
+		i       int64
+		n       int
+		allUint = true
+	)
+	for name, m := range s {
+		if !matchGlob(selector, name) {
+			continue
+		}
+		n++
+		if m.IsUint {
+			u += m.Uint
+		} else {
+			allUint = false
+			i += m.Int
+		}
+	}
+	if n == 0 {
+		return Metric{}, false
+	}
+	if allUint {
+		return Metric{Uint: u, IsUint: true}, true
+	}
+	return Metric{Int: i + int64(u)}, true
+}
+
+// bindEval registers the policy evaluation commands on an interpreter.
+// The ctx pointer is shared: the controller rewrites its fields before
+// each evaluation under its own lock.
+func bindEval(in *tclish.Interp, ctx *evalCtx) {
+	in.Register("metric", func(_ *tclish.Interp, args []string) (string, error) {
+		if len(args) != 2 {
+			return "", fmt.Errorf("metric: want one selector")
+		}
+		if ctx.validate {
+			return "0", nil
+		}
+		m, ok := sum(ctx.snap, args[1])
+		if !ok {
+			return "0", nil
+		}
+		return m.String(), nil
+	})
+
+	in.Register("rate", func(_ *tclish.Interp, args []string) (string, error) {
+		if len(args) != 2 {
+			return "", fmt.Errorf("rate: want one selector")
+		}
+		if ctx.validate || ctx.prev == nil {
+			return "0", nil
+		}
+		cur, ok := sum(ctx.snap, args[1])
+		if !ok {
+			return "0", nil
+		}
+		old, _ := sum(ctx.prev, args[1])
+		if cur.IsUint && old.IsUint {
+			if cur.Uint >= old.Uint {
+				return strconv.FormatUint(cur.Uint-old.Uint, 10), nil
+			}
+			return strconv.FormatInt(-int64(old.Uint-cur.Uint), 10), nil
+		}
+		curI, oldI := cur.Int, old.Int
+		if cur.IsUint {
+			curI = int64(cur.Uint)
+		}
+		if old.IsUint {
+			oldI = int64(old.Uint)
+		}
+		return strconv.FormatInt(curI-oldI, 10), nil
+	})
+
+	in.Register("dispatchers", func(_ *tclish.Interp, args []string) (string, error) {
+		if len(args) != 2 {
+			return "", fmt.Errorf("dispatchers: want one worker count")
+		}
+		n, err := strconv.Atoi(args[1])
+		if err != nil {
+			return "", fmt.Errorf("dispatchers: want a count >= 1, got %q", args[1])
+		}
+		// The count is often computed from a metric; the load-time dry
+		// run pins metrics to zero, so the range check is runtime-only.
+		if n < 1 && !ctx.validate {
+			return "", fmt.Errorf("dispatchers: want a count >= 1, got %q", args[1])
+		}
+		ctx.acts = append(ctx.acts, actuation{
+			render: "dispatchers " + args[1],
+			key:    "dispatchers",
+			num:    float64(n),
+			hasNum: true,
+			apply: func(a Actuator, node i2o.NodeID) error {
+				return a.SetDispatchers(node, n)
+			},
+		})
+		return "", nil
+	})
+
+	in.Register("param", func(_ *tclish.Interp, args []string) (string, error) {
+		if len(args) != 5 {
+			return "", fmt.Errorf("param: want class instance key value")
+		}
+		class, key, raw := args[1], args[3], args[4]
+		inst, err := strconv.Atoi(args[2])
+		if err != nil || inst < 0 {
+			return "", fmt.Errorf("param: bad instance %q", args[2])
+		}
+		var value any = raw
+		num, hasNum := 0.0, false
+		if n, err := strconv.ParseInt(raw, 10, 64); err == nil {
+			value = n
+			num, hasNum = float64(n), true
+		}
+		ctx.acts = append(ctx.acts, actuation{
+			render: fmt.Sprintf("param %s %d %s %s", class, inst, key, raw),
+			key:    fmt.Sprintf("param/%s/%d/%s", class, inst, key),
+			num:    num,
+			hasNum: hasNum,
+			apply: func(a Actuator, node i2o.NodeID) error {
+				return a.SetParam(node, class, inst, key, value)
+			},
+		})
+		return "", nil
+	})
+
+	in.Register("failover", func(_ *tclish.Interp, args []string) (string, error) {
+		if len(args) != 2 {
+			return "", fmt.Errorf("failover: want one route name")
+		}
+		route := args[1]
+		ctx.acts = append(ctx.acts, actuation{
+			render: "failover " + route,
+			key:    "failover",
+			apply: func(a Actuator, node i2o.NodeID) error {
+				return a.Failover(node, route)
+			},
+		})
+		return "", nil
+	})
+
+	in.Register("qos", func(_ *tclish.Interp, args []string) (string, error) {
+		if len(args) < 4 || len(args) > 6 {
+			return "", fmt.Errorf("qos: want class priority rate ?burst? ?queue?")
+		}
+		class := args[1]
+		spec := strings.Join(args[2:], " ")
+		if _, err := strconv.ParseUint(args[2], 10, 8); err != nil {
+			return "", fmt.Errorf("qos: bad priority %q", args[2])
+		}
+		rate, err := strconv.ParseInt(args[3], 10, 64)
+		if err != nil {
+			return "", fmt.Errorf("qos: bad rate %q", args[3])
+		}
+		ctx.acts = append(ctx.acts, actuation{
+			render: "qos " + class + " " + spec,
+			key:    "qos/" + class,
+			num:    float64(rate),
+			hasNum: true,
+			apply: func(a Actuator, node i2o.NodeID) error {
+				return a.SetParam(node, "pta", 0, "qos."+class, spec)
+			},
+		})
+		return "", nil
+	})
+
+	in.Register("log", func(_ *tclish.Interp, args []string) (string, error) {
+		if len(args) != 2 {
+			return "", fmt.Errorf("log: want one message")
+		}
+		ctx.acts = append(ctx.acts, actuation{render: "log " + args[1]})
+		return "", nil
+	})
+}

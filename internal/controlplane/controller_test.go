@@ -1,0 +1,471 @@
+package controlplane
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+	"testing"
+
+	"xdaq/internal/i2o"
+)
+
+// The controller is clock-free: ticks are Step calls and snapshots are
+// whatever the source scripts.  These tests drive every rule shape with
+// exact metric series and assert the decision log and actuation
+// sequence verbatim — the determinism the chaos convergence checker and
+// the ExecPolicyGet e2e test build on.
+
+// fakeSource replays a scripted per-node series; entry i answers the
+// i-th Scrape of that node.  An error entry fails that scrape.
+type fakeSource struct {
+	order []i2o.NodeID
+	data  map[i2o.NodeID][]any // Snapshot or error
+	calls map[i2o.NodeID]int
+}
+
+func (s *fakeSource) Nodes() []i2o.NodeID { return s.order }
+
+func (s *fakeSource) Scrape(n i2o.NodeID) (Snapshot, error) {
+	if s.calls == nil {
+		s.calls = make(map[i2o.NodeID]int)
+	}
+	i := s.calls[n]
+	s.calls[n]++
+	seq := s.data[n]
+	if i >= len(seq) {
+		if len(seq) == 0 {
+			return Snapshot{}, nil
+		}
+		i = len(seq) - 1 // hold the last sample
+	}
+	switch v := seq[i].(type) {
+	case Snapshot:
+		return v, nil
+	case error:
+		return nil, v
+	}
+	return Snapshot{}, nil
+}
+
+// fakeActuator records every call in order.
+type fakeActuator struct {
+	calls []string
+	err   error
+}
+
+func (a *fakeActuator) SetDispatchers(n i2o.NodeID, w int) error {
+	a.calls = append(a.calls, fmt.Sprintf("dispatchers n%d=%d", n, w))
+	return a.err
+}
+
+func (a *fakeActuator) SetParam(n i2o.NodeID, class string, inst int, key string, v any) error {
+	a.calls = append(a.calls, fmt.Sprintf("param n%d %s/%d %s=%v", n, class, inst, key, v))
+	return a.err
+}
+
+func (a *fakeActuator) Failover(n i2o.NodeID, route string) error {
+	a.calls = append(a.calls, fmt.Sprintf("failover n%d->%s", n, route))
+	return a.err
+}
+
+func gauge(v int64) Metric   { return Metric{Int: v} }
+func counter(v uint64) Metric { return Metric{Uint: v, IsUint: true} }
+
+func build(t *testing.T, policy string, src Source, act Actuator, logCap int) *Controller {
+	t.Helper()
+	pol, err := Load("test.tcl", policy)
+	if err != nil {
+		t.Fatalf("Load: %v", err)
+	}
+	c, err := New(Config{Policy: pol, Source: src, Actuator: act, LogCap: logCap})
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	return c
+}
+
+func wantLog(t *testing.T, c *Controller, want []string) {
+	t.Helper()
+	got := c.Decisions()
+	if len(got) != len(want) {
+		t.Fatalf("decision log: got %d entries, want %d\ngot: %v", len(got), len(want), got)
+	}
+	for i, d := range got {
+		if d.String() != want[i] {
+			t.Errorf("decision[%d]:\n got %s\nwant %s", i, d, want[i])
+		}
+	}
+}
+
+func wantCalls(t *testing.T, a *fakeActuator, want []string) {
+	t.Helper()
+	if len(a.calls) != len(want) {
+		t.Fatalf("actuations: got %v, want %v", a.calls, want)
+	}
+	for i := range want {
+		if a.calls[i] != want[i] {
+			t.Errorf("actuation[%d]: got %q, want %q", i, a.calls[i], want[i])
+		}
+	}
+}
+
+// TestSustainThenFire drives the canonical scale-up rule: the condition
+// must hold for 3 consecutive ticks before the actuation lands, and the
+// log records exactly one actuated decision.
+func TestSustainThenFire(t *testing.T) {
+	src := &fakeSource{
+		order: []i2o.NodeID{1},
+		data: map[i2o.NodeID][]any{1: {
+			Snapshot{"exec.dispatch.queue.depth": gauge(10)},
+			Snapshot{"exec.dispatch.queue.depth": gauge(80)},
+			Snapshot{"exec.dispatch.queue.depth": gauge(90)},
+			Snapshot{"exec.dispatch.queue.depth": gauge(85)},
+		}},
+	}
+	act := &fakeActuator{}
+	c := build(t, `
+rule scale-up {
+    when {[metric exec.dispatch.queue.depth] > 64}
+    for 3
+    do {dispatchers 8}
+}`, src, act, 0)
+
+	for i := 0; i < 4; i++ {
+		c.Step()
+	}
+	wantCalls(t, act, []string{"dispatchers n1=8"})
+	wantLog(t, c, []string{
+		"seq=1 tick=4 node=1 rule=scale-up action={dispatchers 8} outcome=actuated",
+	})
+}
+
+// TestFlappingNeverFires alternates the metric across the threshold
+// every tick: with for 2 the rule never sustains, so a flapping input
+// produces zero actuations and zero decisions.
+func TestFlappingNeverFires(t *testing.T) {
+	var series []any
+	for i := 0; i < 10; i++ {
+		v := int64(10)
+		if i%2 == 1 {
+			v = 90
+		}
+		series = append(series, Snapshot{"q": gauge(v)})
+	}
+	src := &fakeSource{order: []i2o.NodeID{1}, data: map[i2o.NodeID][]any{1: series}}
+	act := &fakeActuator{}
+	c := build(t, `
+rule flap {
+    when {[metric q] > 64}
+    for 2
+    do {dispatchers 8}
+}`, src, act, 0)
+
+	for i := 0; i < 10; i++ {
+		c.Step()
+	}
+	wantCalls(t, act, nil)
+	wantLog(t, c, nil)
+}
+
+// TestCooldownAndDeadband holds the condition true throughout: the rule
+// fires once, sits out the cooldown (logged), then re-fires into the
+// deadband because the target value has not changed.
+func TestCooldownAndDeadband(t *testing.T) {
+	src := &fakeSource{
+		order: []i2o.NodeID{1},
+		data:  map[i2o.NodeID][]any{1: {Snapshot{"q": gauge(100)}}},
+	}
+	act := &fakeActuator{}
+	c := build(t, `
+rule hot {
+    when {[metric q] > 64}
+    cooldown 2
+    do {dispatchers 4}
+}`, src, act, 0)
+
+	for i := 0; i < 5; i++ {
+		c.Step()
+	}
+	// tick 1: fires.  ticks 2,3: within cooldown (lastFire=1, delta<=2).
+	// tick 4: cooldown expired, do runs, dispatchers 4 == last actuated
+	// value -> deadband.  tick 5: back in cooldown (lastFire=4).
+	wantCalls(t, act, []string{"dispatchers n1=4"})
+	wantLog(t, c, []string{
+		"seq=1 tick=1 node=1 rule=hot action={dispatchers 4} outcome=actuated",
+		"seq=2 tick=2 node=1 rule=hot action={-} outcome=cooldown",
+		"seq=3 tick=3 node=1 rule=hot action={-} outcome=cooldown",
+		"seq=4 tick=4 node=1 rule=hot action={dispatchers 4} outcome=deadband",
+		"seq=5 tick=5 node=1 rule=hot action={-} outcome=cooldown",
+	})
+}
+
+// TestDeadbandPercent computes the actuation value from the metric: a
+// 5% move stays inside the 10% band and is suppressed, a 100% move
+// actuates.
+func TestDeadbandPercent(t *testing.T) {
+	src := &fakeSource{
+		order: []i2o.NodeID{1},
+		data: map[i2o.NodeID][]any{1: {
+			Snapshot{"x": gauge(100)},
+			Snapshot{"x": gauge(105)},
+			Snapshot{"x": gauge(200)},
+		}},
+	}
+	act := &fakeActuator{}
+	c := build(t, `
+rule tune {
+    when {[metric x] > 0}
+    deadband 10
+    do {param pt.tcp 0 threshold [metric x]}
+}`, src, act, 0)
+
+	for i := 0; i < 3; i++ {
+		c.Step()
+	}
+	wantCalls(t, act, []string{
+		"param n1 pt.tcp/0 threshold=100",
+		"param n1 pt.tcp/0 threshold=200",
+	})
+	wantLog(t, c, []string{
+		"seq=1 tick=1 node=1 rule=tune action={param pt.tcp 0 threshold 100} outcome=actuated",
+		"seq=2 tick=2 node=1 rule=tune action={param pt.tcp 0 threshold 105} outcome=deadband",
+		"seq=3 tick=3 node=1 rule=tune action={param pt.tcp 0 threshold 200} outcome=actuated",
+	})
+}
+
+// TestRateRule triggers on the per-tick delta of a counter, not its
+// absolute value; the first tick has no previous snapshot and reads 0.
+func TestRateRule(t *testing.T) {
+	src := &fakeSource{
+		order: []i2o.NodeID{1},
+		data: map[i2o.NodeID][]any{1: {
+			Snapshot{"pt.tcp.tx.errors": counter(1000)},
+			Snapshot{"pt.tcp.tx.errors": counter(1002)},
+			Snapshot{"pt.tcp.tx.errors": counter(1500)},
+		}},
+	}
+	act := &fakeActuator{}
+	c := build(t, `
+rule failover {
+    when {[rate pt.tcp.tx.errors] > 100}
+    do {failover tcp}
+}`, src, act, 0)
+
+	for i := 0; i < 3; i++ {
+		c.Step()
+	}
+	wantCalls(t, act, []string{"failover n1->tcp"})
+	wantLog(t, c, []string{
+		"seq=1 tick=3 node=1 rule=failover action={failover tcp} outcome=actuated",
+	})
+}
+
+// TestGlobSumUint64 sums a wildcard selector over raw uint64 counters
+// whose values are far above 2^53: the comparison must stay exact, so a
+// one-count difference around a huge threshold decides the rule.
+func TestGlobSumUint64(t *testing.T) {
+	const huge = uint64(1) << 62
+	src := &fakeSource{
+		order: []i2o.NodeID{1},
+		data: map[i2o.NodeID][]any{1: {
+			Snapshot{"pt.gm.ring.full": counter(huge), "pt.tcp.ring.full": counter(huge - 1)},
+			Snapshot{"pt.gm.ring.full": counter(huge), "pt.tcp.ring.full": counter(huge)},
+		}},
+	}
+	act := &fakeActuator{}
+	c := build(t, fmt.Sprintf(`
+rule rings {
+    when {[metric pt.*.ring.full] >= %d}
+    do {log saturated}
+}`, uint64(2)<<62), src, act, 0)
+
+	c.Step()
+	c.Step()
+	wantCalls(t, act, nil)
+	wantLog(t, c, []string{
+		"seq=1 tick=2 node=1 rule=rings action={log saturated} outcome=noted",
+	})
+}
+
+// TestQosAction compiles the qos shorthand into the pta parameter write.
+func TestQosAction(t *testing.T) {
+	src := &fakeSource{
+		order: []i2o.NodeID{1},
+		data:  map[i2o.NodeID][]any{1: {Snapshot{"q": gauge(100)}}},
+	}
+	act := &fakeActuator{}
+	c := build(t, `
+rule throttle {
+    when {[metric q] > 64}
+    do {qos bulk 6 100 200 true}
+}`, src, act, 0)
+
+	c.Step()
+	wantCalls(t, act, []string{"param n1 pta/0 qos.bulk=6 100 200 true"})
+	wantLog(t, c, []string{
+		"seq=1 tick=1 node=1 rule=throttle action={qos bulk 6 100 200 true} outcome=actuated",
+	})
+}
+
+// TestScrapeErrorSkipsNode asserts a failed scrape neither evaluates nor
+// resets sustain: the condition held on ticks 1-2, the scrape fails on
+// tick 3, and the rule still fires on tick 4 (for 3 counts held ticks,
+// not wall ticks).
+func TestScrapeErrorSkipsNode(t *testing.T) {
+	src := &fakeSource{
+		order: []i2o.NodeID{1},
+		data: map[i2o.NodeID][]any{1: {
+			Snapshot{"q": gauge(100)},
+			Snapshot{"q": gauge(100)},
+			errors.New("node unreachable"),
+			Snapshot{"q": gauge(100)},
+		}},
+	}
+	act := &fakeActuator{}
+	c := build(t, `
+rule hot {
+    when {[metric q] > 64}
+    for 3
+    do {dispatchers 2}
+}`, src, act, 0)
+
+	for i := 0; i < 4; i++ {
+		c.Step()
+	}
+	wantCalls(t, act, []string{"dispatchers n1=2"})
+	wantLog(t, c, []string{
+		"seq=1 tick=4 node=1 rule=hot action={dispatchers 2} outcome=actuated",
+	})
+}
+
+// TestNodesEvaluatedSorted feeds the node list in reverse order and
+// asserts decisions land sorted by node id within a tick.
+func TestNodesEvaluatedSorted(t *testing.T) {
+	hot := Snapshot{"q": gauge(100)}
+	src := &fakeSource{
+		order: []i2o.NodeID{3, 1, 2},
+		data:  map[i2o.NodeID][]any{1: {hot}, 2: {hot}, 3: {hot}},
+	}
+	act := &fakeActuator{}
+	c := build(t, `
+rule hot {
+    when {[metric q] > 64}
+    do {dispatchers 2}
+}`, src, act, 0)
+
+	c.Step()
+	wantCalls(t, act, []string{"dispatchers n1=2", "dispatchers n2=2", "dispatchers n3=2"})
+}
+
+// TestActuatorErrorLogged records a failing actuation as an error
+// outcome and does not remember the value, so the next fire retries it.
+func TestActuatorErrorLogged(t *testing.T) {
+	src := &fakeSource{
+		order: []i2o.NodeID{1},
+		data:  map[i2o.NodeID][]any{1: {Snapshot{"q": gauge(100)}}},
+	}
+	act := &fakeActuator{err: errors.New("route down")}
+	c := build(t, `
+rule hot {
+    when {[metric q] > 64}
+    do {dispatchers 2}
+}`, src, act, 0)
+
+	c.Step()
+	act.err = nil
+	c.Step()
+	wantLog(t, c, []string{
+		"seq=1 tick=1 node=1 rule=hot action={dispatchers 2} outcome=error: route down",
+		"seq=2 tick=2 node=1 rule=hot action={dispatchers 2} outcome=actuated",
+	})
+}
+
+// TestDeterminism runs the same scripted series through two independent
+// controllers and requires bit-identical decision logs — the pure
+// function property the chaos convergence checker relies on.
+func TestDeterminism(t *testing.T) {
+	mkSrc := func() *fakeSource {
+		var series []any
+		for i := 0; i < 20; i++ {
+			series = append(series, Snapshot{
+				"q":    gauge(int64(i * 13 % 97)),
+				"errs": counter(uint64(i * i)),
+			})
+		}
+		return &fakeSource{order: []i2o.NodeID{2, 1}, data: map[i2o.NodeID][]any{1: series, 2: series}}
+	}
+	policy := `
+rule hot {
+    when {[metric q] > 50}
+    for 2
+    cooldown 3
+    do {dispatchers [expr {[metric q] / 10}]}
+}
+rule errs {
+    when {[rate errs] > 30}
+    do {log spike}
+}`
+	run := func() []string {
+		c := build(t, policy, mkSrc(), &fakeActuator{}, 0)
+		for i := 0; i < 20; i++ {
+			c.Step()
+		}
+		var out []string
+		for _, d := range c.Decisions() {
+			out = append(out, d.String())
+		}
+		return out
+	}
+	a, b := run(), run()
+	if len(a) == 0 {
+		t.Fatalf("series produced no decisions; test is vacuous")
+	}
+	if strings.Join(a, "\n") != strings.Join(b, "\n") {
+		t.Errorf("two identical runs diverged:\n%v\nvs\n%v", a, b)
+	}
+}
+
+// TestDecisionLogRing bounds the log and keeps sequence numbers
+// monotonic across eviction.
+func TestDecisionLogRing(t *testing.T) {
+	src := &fakeSource{
+		order: []i2o.NodeID{1},
+		data:  map[i2o.NodeID][]any{1: {Snapshot{"q": gauge(100)}}},
+	}
+	c := build(t, `
+rule hot {
+    when {[metric q] > 64}
+    do {log tick}
+}`, src, &fakeActuator{}, 3)
+
+	for i := 0; i < 5; i++ {
+		c.Step()
+	}
+	wantLog(t, c, []string{
+		"seq=3 tick=3 node=1 rule=hot action={log tick} outcome=noted",
+		"seq=4 tick=4 node=1 rule=hot action={log tick} outcome=noted",
+		"seq=5 tick=5 node=1 rule=hot action={log tick} outcome=noted",
+	})
+}
+
+// TestTickAndNodeVars exposes $node and $tick to conditions.
+func TestTickAndNodeVars(t *testing.T) {
+	hot := Snapshot{"q": gauge(100)}
+	src := &fakeSource{
+		order: []i2o.NodeID{1, 2},
+		data:  map[i2o.NodeID][]any{1: {hot}, 2: {hot}},
+	}
+	act := &fakeActuator{}
+	c := build(t, `
+rule only-node-2 {
+    when {$node == 2 && $tick >= 2}
+    do {dispatchers 3}
+}`, src, act, 0)
+
+	c.Step()
+	c.Step()
+	wantCalls(t, act, []string{"dispatchers n2=3"})
+	wantLog(t, c, []string{
+		"seq=1 tick=2 node=2 rule=only-node-2 action={dispatchers 3} outcome=actuated",
+	})
+}

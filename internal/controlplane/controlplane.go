@@ -1,0 +1,132 @@
+// Package controlplane closes the feedback loop over the metrics layer:
+// a policy-driven autopilot that periodically scrapes cluster-wide
+// metrics over the ExecMetricsGet I2O call, evaluates operator rules
+// written in tclish, and actuates the knobs the rest of the system
+// already exposes — dispatcher counts on sustained queue pressure, the
+// TCP eager/rendezvous threshold on coalescing stats, transport failover
+// on error rates, and per-tenant QoS budgets at the PTA.
+//
+// The design follows the shape the cluster-management literature
+// converged on (see PAPERS.md): a central policy engine, per-node stat
+// collection over the ordinary message fabric, and remediation through
+// the same configuration channel an operator would use.  Three
+// properties are load-bearing:
+//
+//   - Determinism: the decision core (Controller.Step) consumes injected
+//     scrape snapshots and an injected tick counter — no wall clock, no
+//     sleeps — so decision sequences are a pure function of the metric
+//     series and are unit-tested as exact tables (controller_test.go).
+//   - Hysteresis: every rule carries a sustain requirement ("for N
+//     ticks"), a cooldown, and a deadband, so a flapping metric produces
+//     zero oscillating actuations (doc/control-plane.md discusses why).
+//   - Observability: every decision — actuated, suppressed, or failed —
+//     lands in a bounded decision log scrapable via ExecPolicyGet and
+//     `xdaqctl policy <node>`, and the loop exports cp.* metrics like
+//     any other subsystem.
+//
+// The package splits along those lines: policy.go parses rule files,
+// controller.go is the deterministic core, autopilot.go binds the core
+// to a live executive (real clock, I2O scrapes, I2O actuations) as the
+// cp.autopilot device class.
+package controlplane
+
+import (
+	"fmt"
+	"strconv"
+
+	"xdaq/internal/i2o"
+)
+
+// Metric is one scraped scalar: counters arrive as uint64, gauges as
+// int64, exactly as metrics.Flatten and ExecMetricsGet carry them.
+type Metric struct {
+	Uint   uint64
+	Int    int64
+	IsUint bool
+}
+
+// String renders the value in full precision (uint64 counters do not
+// round through float — the tclish expr layer has an exact unsigned kind
+// for them).
+func (m Metric) String() string {
+	if m.IsUint {
+		return strconv.FormatUint(m.Uint, 10)
+	}
+	return strconv.FormatInt(m.Int, 10)
+}
+
+// Snapshot is one node's scraped metrics, keyed by flattened name.
+type Snapshot map[string]Metric
+
+// SnapshotFromParams converts an ExecMetricsGet reply (or any parameter
+// list of numeric rows) into a Snapshot.
+func SnapshotFromParams(params []i2o.Param) Snapshot {
+	s := make(Snapshot, len(params))
+	for _, p := range params {
+		switch v := p.Value.(type) {
+		case uint64:
+			s[p.Key] = Metric{Uint: v, IsUint: true}
+		case int64:
+			s[p.Key] = Metric{Int: v}
+		}
+	}
+	return s
+}
+
+// Source feeds the controller its view of the cluster.  The production
+// implementation scrapes ExecMetricsGet over the fabric; tests script
+// deterministic metric series.
+type Source interface {
+	// Nodes lists the members to scrape this tick.  The controller
+	// evaluates them in sorted order regardless.
+	Nodes() []i2o.NodeID
+
+	// Scrape returns one node's current metrics.
+	Scrape(node i2o.NodeID) (Snapshot, error)
+}
+
+// Actuator applies the controller's decisions.  The production
+// implementation turns them into I2O frames; tests record them.
+type Actuator interface {
+	// SetDispatchers rescales a node's dispatch worker pool.
+	SetDispatchers(node i2o.NodeID, n int) error
+
+	// SetParam writes one device parameter on a node (the UtilParamsSet
+	// channel): transport thresholds, QoS budgets, any OnSet-backed knob.
+	SetParam(node i2o.NodeID, class string, instance int, key string, value any) error
+
+	// Failover repoints all traffic touching node onto the named peer
+	// transport route, cluster-wide.
+	Failover(node i2o.NodeID, route string) error
+}
+
+// Decision is one decision-log entry: what a rule decided for a node at
+// a tick, and what came of it.
+type Decision struct {
+	// Seq numbers decisions monotonically from 1; the log is a ring, so
+	// Seq survives eviction and keeps remote scrapes alignable.
+	Seq uint64
+
+	// Tick is the controller tick the decision was made on.
+	Tick uint64
+
+	// Node is the member the rule was evaluated against.
+	Node i2o.NodeID
+
+	// Rule is the firing rule's name.
+	Rule string
+
+	// Action is the rendered actuation, e.g. "dispatchers 4".
+	Action string
+
+	// Outcome is "actuated", "noted", "cooldown", "deadband", or
+	// "error: ...".
+	Outcome string
+}
+
+// String renders the entry in the stable form the e2e tests compare
+// against remote ExecPolicyGet rows.
+func (d Decision) String() string {
+	return fmt.Sprintf("seq=%d tick=%d node=%d rule=%s action={%s} outcome=%s",
+		d.Seq, d.Tick, d.Node, d.Rule, d.Action, d.Outcome)
+}

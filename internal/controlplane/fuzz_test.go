@@ -1,0 +1,35 @@
+package controlplane
+
+import (
+	"testing"
+
+	"xdaq/internal/i2o"
+)
+
+// FuzzPolicy throws mutated policy sources at the loader: whatever the
+// bytes, Load must either return a policy or an error — never panic, and
+// never hand back rules that later explode the interpreter.  Loadable
+// inputs are additionally pushed through one controller step against an
+// empty snapshot, the same dry-run surface a live autopilot exposes.
+func FuzzPolicy(f *testing.F) {
+	f.Add("rule scale-up {\n when {[metric exec.queue.depth] > 8}\n for 3\n cooldown 10\n deadband 10\n do {dispatchers 8}\n}")
+	f.Add(`rule q { when {[rate pt.tcp.tx.frames] > 1000}; do {qos bulk 6 500 64} }`)
+	f.Add("rule a { when {$tick % 2 == 0}; do {log even} }\nrule b { when {[metric x] > [metric y]}; do {failover tcp} }")
+	f.Add("rule bad { when {[metric m] >} do {dispatchers 0} }")
+	f.Add("for 3")
+	f.Add("{unbalanced")
+	f.Fuzz(func(t *testing.T, src string) {
+		pol, err := Load("fuzz", src)
+		if err != nil {
+			return
+		}
+		c, err := New(Config{Policy: pol, Source: &fakeSource{
+			order: []i2o.NodeID{1},
+			data:  map[i2o.NodeID][]any{1: {Snapshot{}}},
+		}, Actuator: &fakeActuator{}})
+		if err != nil {
+			t.Fatalf("Load accepted %q but New rejected it: %v", src, err)
+		}
+		c.Step()
+	})
+}

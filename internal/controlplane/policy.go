@@ -1,0 +1,223 @@
+package controlplane
+
+import (
+	"fmt"
+	"hash/fnv"
+	"strconv"
+	"strings"
+
+	"xdaq/internal/tclish"
+)
+
+// Policies are tclish scripts.  The policy layer adds one structuring
+// command, rule, whose body is evaluated with the directive commands
+// below in scope:
+//
+//	rule scale-up {
+//	    when     {[metric exec.dispatch.queue.depth] > 64}
+//	    for      3
+//	    cooldown 10
+//	    deadband 10
+//	    do       {dispatchers 8}
+//	}
+//
+// when holds a condition expression evaluated once per node per tick;
+// for is the sustain requirement (consecutive true ticks before the rule
+// may fire, default 1); cooldown is the quiet period in ticks after a
+// fire; deadband is a percentage band suppressing re-actuations whose
+// numeric value is within that band of the last actuated value.  Inside
+// rule bodies, for is this directive — use while or foreach to loop when
+// generating rules programmatically.
+//
+// Condition and action scripts are stored raw (their words are braced)
+// and evaluated per tick by the controller, which provides the metric,
+// rate, and actuation commands plus the node and tick variables.  Load
+// performs a dry run of every rule with metrics pinned to zero and
+// actuations discarded, so a misspelled command or an undefined variable
+// is a policy-load failure, not a runtime surprise.
+
+// Rule is one compiled policy rule.
+type Rule struct {
+	Name     string
+	When     string  // condition expression (tclish expr syntax)
+	For      int     // consecutive true ticks required before firing
+	Cooldown int     // quiet ticks after a fire
+	Deadband float64 // percent band suppressing near-identical re-actuations
+	Do       string  // action script
+}
+
+// Policy is a compiled rule set.
+type Policy struct {
+	// Name labels the policy in logs and the ExecPolicyGet report
+	// (typically the file name).
+	Name string
+
+	// Hash fingerprints the source text so operators can tell which
+	// revision a node is running.
+	Hash string
+
+	Rules []*Rule
+}
+
+// Load compiles a policy script.  All structural errors — bad directive
+// arity, duplicate rule names, conditions or actions that do not
+// evaluate — are reported here.
+func Load(name, src string) (*Policy, error) {
+	p := &Policy{Name: name, Hash: hashSource(src)}
+	in := tclish.New(nil)
+
+	var cur *Rule
+	directive := func(name string, fn func(r *Rule, args []string) error) {
+		in.Register(name, func(_ *tclish.Interp, args []string) (string, error) {
+			if cur == nil {
+				return "", fmt.Errorf("%s: only valid inside a rule body", name)
+			}
+			return "", fn(cur, args[1:])
+		})
+	}
+
+	in.Register("rule", func(in *tclish.Interp, args []string) (string, error) {
+		if len(args) != 3 {
+			return "", fmt.Errorf("rule: want \"rule name {body}\", got %d args", len(args)-1)
+		}
+		if cur != nil {
+			return "", fmt.Errorf("rule %q: rules do not nest", args[1])
+		}
+		for _, r := range p.Rules {
+			if r.Name == args[1] {
+				return "", fmt.Errorf("rule %q: duplicate name", args[1])
+			}
+		}
+		cur = &Rule{Name: args[1], For: 1}
+		defer func() { cur = nil }()
+		if _, err := in.Eval(args[2]); err != nil {
+			return "", fmt.Errorf("rule %q: %w", args[1], err)
+		}
+		if cur.When == "" {
+			return "", fmt.Errorf("rule %q: missing when clause", args[1])
+		}
+		if cur.Do == "" {
+			return "", fmt.Errorf("rule %q: missing do clause", args[1])
+		}
+		p.Rules = append(p.Rules, cur)
+		return "", nil
+	})
+
+	directive("when", func(r *Rule, args []string) error {
+		if len(args) != 1 {
+			return fmt.Errorf("when: want one condition expression")
+		}
+		r.When = args[0]
+		return nil
+	})
+	directive("do", func(r *Rule, args []string) error {
+		if len(args) != 1 {
+			return fmt.Errorf("do: want one action script")
+		}
+		r.Do = args[0]
+		return nil
+	})
+	directive("for", func(r *Rule, args []string) error {
+		n, err := directiveInt("for", args)
+		if err != nil || n < 1 {
+			return fmt.Errorf("for: want a tick count >= 1")
+		}
+		r.For = n
+		return nil
+	})
+	directive("cooldown", func(r *Rule, args []string) error {
+		n, err := directiveInt("cooldown", args)
+		if err != nil || n < 0 {
+			return fmt.Errorf("cooldown: want a tick count >= 0")
+		}
+		r.Cooldown = n
+		return nil
+	})
+	directive("deadband", func(r *Rule, args []string) error {
+		if len(args) != 1 {
+			return fmt.Errorf("deadband: want one percentage")
+		}
+		f, err := strconv.ParseFloat(args[0], 64)
+		if err != nil || f < 0 {
+			return fmt.Errorf("deadband: want a percentage >= 0, got %q", args[0])
+		}
+		r.Deadband = f
+		return nil
+	})
+
+	if _, err := in.Eval(src); err != nil {
+		return nil, fmt.Errorf("controlplane: policy %s: %w", name, err)
+	}
+	if len(p.Rules) == 0 {
+		return nil, fmt.Errorf("controlplane: policy %s: no rules", name)
+	}
+	if err := p.validate(); err != nil {
+		return nil, fmt.Errorf("controlplane: policy %s: %w", name, err)
+	}
+	return p, nil
+}
+
+// validate dry-runs every rule's condition and action script against a
+// zeroed metric view with actuations discarded, surfacing undefined
+// variables and unknown commands as load failures.
+func (p *Policy) validate() error {
+	ctx := &evalCtx{validate: true}
+	in := tclish.New(nil)
+	bindEval(in, ctx)
+	for _, r := range p.Rules {
+		ctx.setVars(in)
+		if _, err := in.Eval("expr {" + r.When + "}"); err != nil {
+			return fmt.Errorf("rule %q: when: %w", r.Name, err)
+		}
+		ctx.acts = ctx.acts[:0]
+		if _, err := in.Eval(r.Do); err != nil {
+			return fmt.Errorf("rule %q: do: %w", r.Name, err)
+		}
+	}
+	return nil
+}
+
+func directiveInt(name string, args []string) (int, error) {
+	if len(args) != 1 {
+		return 0, fmt.Errorf("%s: want one argument", name)
+	}
+	n, err := strconv.Atoi(args[0])
+	if err != nil {
+		return 0, fmt.Errorf("%s: %q is not an integer", name, args[0])
+	}
+	return n, nil
+}
+
+func hashSource(src string) string {
+	h := fnv.New64a()
+	h.Write([]byte(src))
+	return fmt.Sprintf("%016x", h.Sum64())
+}
+
+// matchGlob reports whether a flattened metric name matches a selector.
+// Selectors are '.'-separated: a "*" segment matches exactly one name
+// segment, and a trailing "*" absorbs the rest of the name, so
+// "pt.*.ring.full" matches pt.gm.ring.full and "exec.dispatch.*" matches
+// the whole dispatch subtree.
+func matchGlob(pattern, name string) bool {
+	if pattern == name {
+		return true
+	}
+	if !strings.ContainsRune(pattern, '*') {
+		return false
+	}
+	ps := strings.Split(pattern, ".")
+	ns := strings.Split(name, ".")
+	for i, seg := range ps {
+		if seg == "*" && i == len(ps)-1 {
+			return len(ns) >= len(ps)
+		}
+		if i >= len(ns) {
+			return false
+		}
+		if seg != "*" && seg != ns[i] {
+			return false
+		}
+	}
+	return len(ns) == len(ps)
+}

@@ -1,0 +1,153 @@
+package controlplane
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestLoadGood(t *testing.T) {
+	p, err := Load("p.tcl", `
+# comments and blank lines are fine
+rule a {
+    when {[metric x] > 1}
+    for 2
+    cooldown 5
+    deadband 12.5
+    do {dispatchers 4}
+}
+rule b {
+    when {[rate y] > 0}
+    do {log hello}
+}`)
+	if err != nil {
+		t.Fatalf("Load: %v", err)
+	}
+	if len(p.Rules) != 2 {
+		t.Fatalf("rules: got %d, want 2", len(p.Rules))
+	}
+	r := p.Rules[0]
+	if r.Name != "a" || r.For != 2 || r.Cooldown != 5 || r.Deadband != 12.5 {
+		t.Errorf("rule a miscompiled: %+v", r)
+	}
+	if p.Rules[1].For != 1 {
+		t.Errorf("rule b: default For = %d, want 1", p.Rules[1].For)
+	}
+	if p.Hash == "" || p.Hash != hashSource(`
+# comments and blank lines are fine
+rule a {
+    when {[metric x] > 1}
+    for 2
+    cooldown 5
+    deadband 12.5
+    do {dispatchers 4}
+}
+rule b {
+    when {[rate y] > 0}
+    do {log hello}
+}`) {
+		t.Errorf("hash not stable: %q", p.Hash)
+	}
+}
+
+// Every structural and semantic mistake must fail at load, not at tick
+// time — the dry run evaluates conditions and actions with metrics
+// pinned to zero, so undefined variables and unknown commands surface
+// here.
+func TestLoadErrors(t *testing.T) {
+	cases := []struct {
+		name, src, want string
+	}{
+		{"empty", ``, "no rules"},
+		{"missing-when", `rule a { do {log x} }`, "missing when"},
+		{"missing-do", `rule a { when {1} }`, "missing do"},
+		{"duplicate", `rule a { when {1}; do {log x} }
+rule a { when {1}; do {log x} }`, "duplicate name"},
+		{"nested", `rule a { when {1}; do {log x}; rule b { when {1}; do {log x} } }`, "do not nest"},
+		{"bad-for", `rule a { when {1}; for 0; do {log x} }`, "for: want a tick count"},
+		{"bad-cooldown", `rule a { when {1}; cooldown -1; do {log x} }`, "cooldown: want a tick count"},
+		{"bad-deadband", `rule a { when {1}; deadband x; do {log x} }`, "deadband: want a percentage"},
+		{"directive-outside-rule", `when {1}`, "only valid inside a rule"},
+		{"undefined-var-in-when", `rule a { when {$nosuch > 1}; do {log x} }`, `no such variable "nosuch"`},
+		{"undefined-var-in-do", `rule a { when {1}; do {dispatchers $nosuch} }`, `no such variable "nosuch"`},
+		{"unknown-command-in-do", `rule a { when {1}; do {frobnicate 3} }`, `unknown command "frobnicate"`},
+		{"bad-expr-in-when", `rule a { when {1 +}; do {log x} }`, "when"},
+		{"bad-dispatchers", `rule a { when {1}; do {dispatchers zero} }`, "dispatchers: want a count"},
+		{"bad-qos-priority", `rule a { when {1}; do {qos bulk nine 10} }`, "qos: bad priority"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := Load("p.tcl", tc.src)
+			if err == nil {
+				t.Fatalf("Load(%q) succeeded, want error containing %q", tc.src, tc.want)
+			}
+			if !strings.Contains(err.Error(), tc.want) {
+				t.Errorf("error %q does not contain %q", err, tc.want)
+			}
+		})
+	}
+}
+
+// Policies are ordinary tclish scripts: rules may be generated with
+// loops and variables at load time (foreach, not for — for is the
+// sustain directive inside rule bodies).  Braced clause bodies defer
+// substitution to tick time, so generated bodies stick to what the
+// controller provides.
+func TestLoadGenerated(t *testing.T) {
+	p, err := Load("p.tcl", `
+foreach class {bulk batch} {
+    rule throttle-$class {
+        when {[metric q] > 64}
+        do {log hot}
+    }
+}`)
+	if err != nil {
+		t.Fatalf("Load: %v", err)
+	}
+	if len(p.Rules) != 2 || p.Rules[0].Name != "throttle-bulk" || p.Rules[1].Name != "throttle-batch" {
+		t.Fatalf("generated rules wrong: %+v", p.Rules)
+	}
+}
+
+func TestMatchGlob(t *testing.T) {
+	cases := []struct {
+		pattern, name string
+		want          bool
+	}{
+		{"exec.dispatch.busy", "exec.dispatch.busy", true},
+		{"exec.dispatch.busy", "exec.dispatch.busy.max", false},
+		{"pt.*.ring.full", "pt.gm.ring.full", true},
+		{"pt.*.ring.full", "pt.tcp.ring.full", true},
+		{"pt.*.ring.full", "pt.tcp.ring.empty", false},
+		{"pt.*.ring.full", "pt.a.b.ring.full", false},
+		{"exec.dispatch.*", "exec.dispatch.busy", true},
+		{"exec.dispatch.*", "exec.dispatch.queue.depth", true},
+		{"exec.dispatch.*", "exec.other", false},
+		{"*", "anything", true},
+		{"*.busy", "exec.busy", true},
+		{"*.busy", "busy", false},
+	}
+	for _, tc := range cases {
+		if got := matchGlob(tc.pattern, tc.name); got != tc.want {
+			t.Errorf("matchGlob(%q, %q) = %v, want %v", tc.pattern, tc.name, got, tc.want)
+		}
+	}
+}
+
+func TestSum(t *testing.T) {
+	s := Snapshot{
+		"pt.gm.ring.full":  counter(1 << 62),
+		"pt.tcp.ring.full": counter(1 << 62),
+		"exec.q":           gauge(-5),
+	}
+	m, ok := sum(s, "pt.*.ring.full")
+	if !ok || !m.IsUint || m.Uint != uint64(2)<<62 {
+		t.Errorf("uint sum: got %+v ok=%v", m, ok)
+	}
+	m, ok = sum(s, "*")
+	if !ok || m.IsUint {
+		t.Errorf("mixed sum should fold to int64: %+v ok=%v", m, ok)
+	}
+	if _, ok := sum(s, "no.such"); ok {
+		t.Errorf("sum on no match should report !ok")
+	}
+}

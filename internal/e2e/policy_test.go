@@ -1,0 +1,154 @@
+package e2e_test
+
+import (
+	"bytes"
+	"fmt"
+	"strings"
+	"testing"
+	"time"
+
+	"xdaq"
+	"xdaq/internal/cluster"
+	"xdaq/internal/controlplane"
+	"xdaq/internal/i2o"
+	"xdaq/internal/tclish"
+)
+
+// TestPolicyScrapeOverI2O closes the observability loop of the control
+// plane: a worker node runs the autopilot, its rule fires exactly once,
+// and a host node reads the decision log back over ordinary I2O frames
+// (ExecPolicyGet) — the same path `xdaqctl ... -e 'policy <node>'`
+// drives.  Every remote decision row must be byte-identical to the
+// worker's local decision log.
+func TestPolicyScrapeOverI2O(t *testing.T) {
+	host, err := xdaq.NewNode(xdaq.NodeOptions{
+		Name: "host", Node: 100, Logf: func(string, ...any) {},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer host.Close()
+	worker, err := xdaq.NewNode(xdaq.NodeOptions{
+		Name: "worker", Node: 2, Logf: func(string, ...any) {},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer worker.Close()
+	if err := xdaq.Connect(xdaq.Loopback(), xdaq.Nodes(host, worker)); err != nil {
+		t.Fatal(err)
+	}
+
+	// The rule fires on the autopilot's first tick and never again, so the
+	// decision log is static by the time the host scrapes it.
+	pol, err := controlplane.Load("e2e.tcl", `
+rule once {
+    when {$tick == 1}
+    do {log fired; dispatchers 2}
+}`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ap, err := controlplane.NewAutopilot(controlplane.AutopilotConfig{
+		Exec: worker.Exec, Policy: pol, Interval: 2 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ap.Close()
+
+	deadline := time.Now().Add(5 * time.Second)
+	for ap.Controller().Tick() < 3 && time.Now().Before(deadline) {
+		time.Sleep(2 * time.Millisecond)
+	}
+	local := ap.Controller().Decisions()
+	if len(local) != 2 {
+		t.Fatalf("local decisions %v, want the noted log plus the actuation", local)
+	}
+	if local[0].Outcome != "noted" || local[1].Outcome != "actuated" {
+		t.Fatalf("local decisions %v", local)
+	}
+	if got := worker.Exec.Dispatchers(); got != 2 {
+		t.Fatalf("actuation did not land: dispatchers = %d, want 2", got)
+	}
+
+	ctl, err := cluster.NewPrimary(host.Exec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ctl.AddNode(2, "worker"); err != nil {
+		t.Fatal(err)
+	}
+	params, err := ctl.Policy(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	byKey := make(map[string]any, len(params))
+	for _, p := range params {
+		byKey[p.Key] = p.Value
+	}
+	if byKey["autopilot"] != "on" {
+		t.Fatalf("autopilot param %v", byKey["autopilot"])
+	}
+	if byKey["policy"] != "e2e.tcl" || byKey["hash"] != pol.Hash {
+		t.Fatalf("policy identity %v / %v", byKey["policy"], byKey["hash"])
+	}
+	if byKey["rules"] != int64(1) {
+		t.Fatalf("rules param %v", byKey["rules"])
+	}
+	for _, d := range local {
+		key := fmt.Sprintf("decision.%08d", d.Seq)
+		if got := byKey[key]; got != d.String() {
+			t.Errorf("remote %s = %q, local log says %q", key, got, d.String())
+		}
+	}
+
+	// The operator view: the same scrape through a bound tclish session
+	// (`xdaqctl -e 'policy 2'`) renders the identical rows.
+	var out bytes.Buffer
+	in := tclish.New(&out)
+	ctl.Bind(in)
+	rendered, err := in.Eval("policy 2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"autopilot", "e2e.tcl", pol.Hash, "rule=once", "outcome=actuated"} {
+		if !strings.Contains(rendered, want) {
+			t.Errorf("tcl policy output lacks %q:\n%s", want, rendered)
+		}
+	}
+
+	// A node without an autopilot answers autopilot=off rather than
+	// erroring — the host itself has none.
+	selfParams, err := hostPolicy(host)
+	if err != nil {
+		t.Fatal(err)
+	}
+	found := false
+	for _, p := range selfParams {
+		if p.Key == "autopilot" && p.Value == "off" {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("bare node policy report %v, want autopilot=off", selfParams)
+	}
+}
+
+// hostPolicy scrapes a node's own executive over the wire-identical
+// request the cluster controller would send.
+func hostPolicy(n *xdaq.Node) ([]i2o.Param, error) {
+	target, err := n.Exec.Resolve("executive", 0, i2o.NodeNone)
+	if err != nil {
+		return nil, err
+	}
+	rep, err := n.Exec.Request(&i2o.Message{
+		Priority: i2o.PriorityHigh, Target: target, Initiator: i2o.TIDExecutive,
+		Function: i2o.ExecPolicyGet,
+	})
+	if err != nil {
+		return nil, err
+	}
+	defer rep.Release()
+	return i2o.DecodeParams(rep.Payload)
+}

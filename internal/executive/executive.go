@@ -139,6 +139,9 @@ type Executive struct {
 	memberMu   sync.RWMutex
 	memberHook func(fn i2o.Function, params []i2o.Param) ([]i2o.Param, error)
 
+	policyMu     sync.RWMutex
+	policySource func() []i2o.Param
+
 	timerMu  sync.Mutex
 	timers   map[uint32]*time.Timer
 	timerSeq atomic.Uint32
@@ -549,6 +552,16 @@ func (e *Executive) SetHealthSource(fn func() []i2o.Param) {
 	e.healthMu.Lock()
 	e.healthSource = fn
 	e.healthMu.Unlock()
+}
+
+// SetPolicySource installs the callback behind ExecPolicyGet, normally
+// the control-plane autopilot's Report.  Like SetHealthSource, the
+// indirection keeps the executive free of control-plane knowledge.  Nil
+// uninstalls; nodes without a source answer autopilot=off.
+func (e *Executive) SetPolicySource(fn func() []i2o.Param) {
+	e.policyMu.Lock()
+	e.policySource = fn
+	e.policyMu.Unlock()
 }
 
 // SetMembershipHandler installs the callback behind ExecJoin and

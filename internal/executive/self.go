@@ -20,6 +20,20 @@ func newSelfDevice(e *Executive) *device.Device {
 	d := device.New("executive", 0)
 	d.Params().Set("name", e.opts.Name)
 	d.Params().Set("node", int64(e.opts.Node))
+	d.Params().OnSet(func(changed []i2o.Param) {
+		// Remote actuation of the dispatcher count: a UtilParamsSet on
+		// the executive device with a "dispatchers" key rescales the
+		// worker pool, the knob the control-plane autopilot turns over
+		// the wire (doc/control-plane.md).
+		for _, p := range changed {
+			if p.Key != "dispatchers" {
+				continue
+			}
+			if n, ok := p.Value.(int64); ok && n > 0 {
+				e.SetDispatchers(int(n))
+			}
+		}
+	})
 
 	d.BindFunction(i2o.ExecStatusGet, e.handleStatusGet)
 	d.BindFunction(i2o.ExecHrtGet, e.handleHrtGet)
@@ -39,6 +53,7 @@ func newSelfDevice(e *Executive) *device.Device {
 		return device.ReplyIfExpected(ctx, m, nil)
 	})
 	d.BindFunction(i2o.ExecHealthGet, e.handleHealthGet)
+	d.BindFunction(i2o.ExecPolicyGet, e.handlePolicyGet)
 	d.BindFunction(i2o.ExecJoin, e.handleMembership)
 	d.BindFunction(i2o.ExecPeerList, e.handleMembership)
 	d.BindFunction(i2o.ExecOutboundInit, func(ctx *device.Context, m *i2o.Message) error {
@@ -270,6 +285,26 @@ func (e *Executive) handleHealthGet(ctx *device.Context, m *i2o.Message) error {
 	return device.ReplyIfExpected(ctx, m, payload)
 }
 
+// handlePolicyGet answers a remote control-plane query with the
+// autopilot's report — policy identity, tick count, decision log — or a
+// single "autopilot=off" row when no controller runs on this node.
+func (e *Executive) handlePolicyGet(ctx *device.Context, m *i2o.Message) error {
+	e.policyMu.RLock()
+	source := e.policySource
+	e.policyMu.RUnlock()
+	var params []i2o.Param
+	if source == nil {
+		params = []i2o.Param{{Key: "autopilot", Value: "off"}}
+	} else {
+		params = source()
+	}
+	payload, err := i2o.EncodeParams(params)
+	if err != nil {
+		return err
+	}
+	return device.ReplyIfExpected(ctx, m, payload)
+}
+
 // handleMembership forwards ExecJoin and ExecPeerList frames to the
 // installed membership manager (see SetMembershipHandler).  A node with
 // no manager fails the request — a joiner dialing a non-cluster node gets
@@ -312,7 +347,12 @@ func (e *Executive) handleSysTabSet(ctx *device.Context, m *i2o.Message) error {
 		if !ok {
 			return fmt.Errorf("executive: system table entry %q is %T, want string", p.Key, p.Value)
 		}
-		e.SetRoute(i2o.NodeID(node), route)
+		// FailoverRoute rather than SetRoute: a remote system-table write
+		// must also repoint existing proxies, or a mid-run reroute (the
+		// autopilot's GM→TCP failover actuation) would strand discovered
+		// devices on the old fabric.  On a fresh table there are no
+		// proxies and the two are identical.
+		e.FailoverRoute(i2o.NodeID(node), route)
 	}
 	return device.ReplyIfExpected(ctx, m, nil)
 }

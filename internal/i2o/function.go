@@ -125,6 +125,13 @@ const (
 	// only as explicit ExecJoin leaves or local health evictions.  Not
 	// defined by I2O.
 	ExecPeerList Function = 0xE9
+
+	// ExecPolicyGet reads the node's control-plane report: the autopilot's
+	// policy identity, tick count, and decision log, one parameter row per
+	// decision.  Nodes without an autopilot answer with an "autopilot=off"
+	// row, mirroring ExecHealthGet's monitor=off convention.  Not defined
+	// by I2O.
+	ExecPolicyGet Function = 0xEA
 )
 
 // FuncPrivate marks a private frame: the operation is identified by the
@@ -145,7 +152,8 @@ func (f Function) IsExecutive() bool {
 	case ExecStatusGet, ExecOutboundInit, ExecHrtGet, ExecSysTabSet,
 		ExecSysEnable, ExecSysQuiesce, ExecSysClear,
 		ExecPlugin, ExecUnplug, ExecTimerSet, ExecTimerCancel, ExecTraceGet,
-		ExecMetricsGet, ExecPing, ExecHealthGet, ExecJoin, ExecPeerList:
+		ExecMetricsGet, ExecPing, ExecHealthGet, ExecJoin, ExecPeerList,
+		ExecPolicyGet:
 		return true
 	}
 	return false
@@ -175,6 +183,7 @@ var functionNames = map[Function]string{
 	ExecHealthGet:     "ExecHealthGet",
 	ExecJoin:          "ExecJoin",
 	ExecPeerList:      "ExecPeerList",
+	ExecPolicyGet:     "ExecPolicyGet",
 	FuncPrivate:       "Private",
 }
 

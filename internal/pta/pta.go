@@ -59,6 +59,16 @@ func (m Mode) String() string {
 // local messaging instance.  Ownership of the frame passes to the callee.
 type Deliver func(src i2o.NodeID, m *i2o.Message) error
 
+// Tunable is an optional PeerTransport extension: transports with runtime
+// knobs (the TCP eager/rendezvous threshold, say) implement it, and
+// integer parameter writes on the transport's device are forwarded to
+// SetTunable — the remote-actuation path the control-plane autopilot
+// uses.  Unknown keys return an error, which the agent logs and drops (a
+// reconfiguration frame must not wedge the route).
+type Tunable interface {
+	SetTunable(key string, value int64) error
+}
+
 // PeerTransport is the contract every transport implements.
 type PeerTransport interface {
 	// Name is the route identifier, e.g. "pt.gm" or "pt.tcp".
@@ -149,6 +159,11 @@ type Agent struct {
 
 	retry atomic.Pointer[RetryPolicy]
 
+	// qos is the admission-control table (nil: admission off); qosNow
+	// overrides the token-refill clock in tests.
+	qos    atomic.Pointer[qosTable]
+	qosNow func() time.Time
+
 	nSent     *metrics.Counter
 	nReceived *metrics.Counter
 	nErrors   *metrics.Counter
@@ -174,6 +189,7 @@ func New(e *executive.Executive) (*Agent, error) {
 		pollScan:  reg.Histogram("pta.pollScan"),
 	}
 	a.dev = device.New("pta", 0)
+	a.dev.Params().OnSet(a.applyQoSParams)
 	if _, err := e.Plug(a.dev); err != nil {
 		return nil, fmt.Errorf("pta: plug agent device: %w", err)
 	}
@@ -222,6 +238,14 @@ func (a *Agent) Register(pt PeerTransport, mode Mode) error {
 					s.suspended.Store(b)
 					if !b && mode == Polling {
 						a.wakePoll()
+					}
+				}
+				continue
+			}
+			if tn, ok := pt.(Tunable); ok {
+				if v, isInt := p.Value.(int64); isInt {
+					if err := tn.SetTunable(p.Key, v); err != nil {
+						a.exec.Logf("pta: %s: %v", pt.Name(), err)
 					}
 				}
 			}
@@ -317,6 +341,25 @@ func (a *Agent) Forward(route string, dst i2o.NodeID, m *i2o.Message) error {
 	buf := m.Buffer()
 	list := m.List()
 	for attempt := 1; ; attempt++ {
+		// QoS admission is charged per attempt, before the transport sees
+		// the frame.  A queue-class refusal Is ErrTransient, so it rides
+		// the same backoff as a transient send failure — that is the
+		// "queue" in reject-or-queue; a reject-class refusal fails here
+		// on the first attempt.
+		if err := a.qosAdmit(m.Priority); err != nil {
+			if attempt >= attempts || !retryable(err) {
+				m.Release()
+				a.nErrors.Inc()
+				return err
+			}
+			a.nRetries.Inc()
+			time.Sleep(backoff)
+			backoff *= 2
+			if pol.MaxBackoff > 0 && backoff > pol.MaxBackoff {
+				backoff = pol.MaxBackoff
+			}
+			continue
+		}
 		guarded := attempts > 1 && buf != nil
 		if guarded {
 			buf.Retain()

@@ -1,0 +1,268 @@
+package pta
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	"xdaq/internal/i2o"
+	"xdaq/internal/metrics"
+)
+
+// Per-tenant QoS: traffic classes are mapped onto the seven I2O priority
+// levels, and the agent admission-controls outbound forwards per class
+// with a token bucket.  A class whose budget is exhausted either rejects
+// the send outright or — when Queue is set — fails it with an error the
+// retry policy recognizes as transient, so the frame backs off and
+// re-attempts instead of being dropped (the paper's priority scheduler
+// orders dispatch; this orders admission to the fabric).
+//
+// The control-plane autopilot actuates budgets at runtime through
+// UtilParamsSet on the agent's device: a "qos.<class>" parameter with the
+// value "<priority> <rate> [burst] [queue]" installs or updates a class,
+// and the value "off" removes it (see doc/control-plane.md).
+
+// ErrAdmission reports a forward refused by QoS admission control.
+var ErrAdmission = errors.New("pta: qos admission rejected")
+
+// QoSClass is one traffic class: a named token budget bound to an I2O
+// priority level.
+type QoSClass struct {
+	// Name labels the class in parameters and metrics ("bulk", "control").
+	Name string
+
+	// Priority is the I2O level the class governs; every outbound frame
+	// at this level is charged against the class's budget.
+	Priority i2o.Priority
+
+	// Rate is the budget in frames per second; <= 0 disables limiting
+	// (the class then only documents the priority mapping).
+	Rate int64
+
+	// Burst is the bucket depth; 0 defaults to Rate.
+	Burst int64
+
+	// Queue selects the exhaustion behavior: true makes a refused send
+	// retryable (the agent's retry policy queues and re-attempts it),
+	// false fails it immediately.
+	Queue bool
+}
+
+// admissionError carries the class identity and implements the sentinel
+// matching: every instance Is ErrAdmission, and queue-class instances are
+// additionally Is ErrTransient so the Forward retry loop backs off and
+// re-attempts them.
+type admissionError struct {
+	class string
+	queue bool
+}
+
+func (e *admissionError) Error() string {
+	mode := "rejected"
+	if e.queue {
+		mode = "queued"
+	}
+	return fmt.Sprintf("pta: qos class %q budget exhausted (%s)", e.class, mode)
+}
+
+func (e *admissionError) Is(target error) bool {
+	return target == ErrAdmission || (e.queue && target == ErrTransient)
+}
+
+// qosBucket is one class's token bucket, refilled lazily from the clock.
+type qosBucket struct {
+	cls QoSClass
+
+	mu     sync.Mutex
+	tokens float64
+	last   time.Time
+
+	cAdmit  *metrics.Counter
+	cReject *metrics.Counter
+}
+
+// admit charges one frame against the bucket at time now.
+func (b *qosBucket) admit(now time.Time) error {
+	if b.cls.Rate <= 0 {
+		b.cAdmit.Inc()
+		return nil
+	}
+	b.mu.Lock()
+	if b.last.IsZero() {
+		b.tokens = float64(b.cls.Burst)
+	} else if dt := now.Sub(b.last); dt > 0 {
+		b.tokens += dt.Seconds() * float64(b.cls.Rate)
+		if max := float64(b.cls.Burst); b.tokens > max {
+			b.tokens = max
+		}
+	}
+	b.last = now
+	if b.tokens >= 1 {
+		b.tokens--
+		b.mu.Unlock()
+		b.cAdmit.Inc()
+		return nil
+	}
+	b.mu.Unlock()
+	b.cReject.Inc()
+	return &admissionError{class: b.cls.Name, queue: b.cls.Queue}
+}
+
+// qosTable indexes the buckets by priority level.
+type qosTable struct {
+	byPrio [i2o.NumPriorities]*qosBucket
+	all    []*qosBucket
+}
+
+// SetQoS installs the admission-control classes, replacing any previous
+// set atomically.  An empty slice disables admission control.  Two
+// classes may not claim the same priority level.
+func (a *Agent) SetQoS(classes []QoSClass) error {
+	if len(classes) == 0 {
+		a.qos.Store(nil)
+		return nil
+	}
+	reg := a.exec.Metrics()
+	t := &qosTable{}
+	for _, c := range classes {
+		if c.Name == "" {
+			return fmt.Errorf("pta: qos class with empty name")
+		}
+		if !c.Priority.Valid() {
+			return fmt.Errorf("pta: qos class %q: priority %d out of range [0,%d)",
+				c.Name, c.Priority, i2o.NumPriorities)
+		}
+		if t.byPrio[c.Priority] != nil {
+			return fmt.Errorf("pta: qos classes %q and %q both claim priority %d",
+				t.byPrio[c.Priority].cls.Name, c.Name, c.Priority)
+		}
+		if c.Burst <= 0 {
+			c.Burst = c.Rate
+		}
+		b := &qosBucket{
+			cls:     c,
+			cAdmit:  reg.Counter("pta.qos." + c.Name + ".admitted"),
+			cReject: reg.Counter("pta.qos." + c.Name + ".rejected"),
+		}
+		t.byPrio[c.Priority] = b
+		t.all = append(t.all, b)
+	}
+	a.qos.Store(t)
+	return nil
+}
+
+// QoS returns the installed classes, sorted by priority; nil when
+// admission control is off.
+func (a *Agent) QoS() []QoSClass {
+	t := a.qos.Load()
+	if t == nil {
+		return nil
+	}
+	out := make([]QoSClass, 0, len(t.all))
+	for _, b := range t.all {
+		out = append(out, b.cls)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Priority < out[j].Priority })
+	return out
+}
+
+// qosAdmit charges one outbound frame; nil when admission control is off
+// or the frame's priority has no class.
+func (a *Agent) qosAdmit(p i2o.Priority) error {
+	t := a.qos.Load()
+	if t == nil || !p.Valid() {
+		return nil
+	}
+	b := t.byPrio[p]
+	if b == nil {
+		return nil
+	}
+	now := time.Now
+	if a.qosNow != nil {
+		now = a.qosNow
+	}
+	return b.admit(now())
+}
+
+// applyQoSParams folds "qos.<class>" parameter writes into the installed
+// class set: the remote-actuation path behind UtilParamsSet on the
+// agent's device.  Values are "<priority> <rate> [burst] [queue]" or
+// "off" to remove the class.  Malformed writes are logged and skipped —
+// a reconfiguration frame must not wedge the agent.
+func (a *Agent) applyQoSParams(changed []i2o.Param) {
+	touched := false
+	byName := make(map[string]QoSClass)
+	for _, c := range a.QoS() {
+		byName[c.Name] = c
+	}
+	for _, p := range changed {
+		name, ok := strings.CutPrefix(p.Key, "qos.")
+		if !ok || name == "" {
+			continue
+		}
+		val, ok := p.Value.(string)
+		if !ok {
+			a.exec.Logf("pta: qos parameter %q: value is %T, want string", p.Key, p.Value)
+			continue
+		}
+		if val == "off" {
+			delete(byName, name)
+			touched = true
+			continue
+		}
+		c, err := parseQoSValue(name, val)
+		if err != nil {
+			a.exec.Logf("pta: %v", err)
+			continue
+		}
+		byName[name] = c
+		touched = true
+	}
+	if !touched {
+		return
+	}
+	classes := make([]QoSClass, 0, len(byName))
+	for _, c := range byName {
+		classes = append(classes, c)
+	}
+	sort.Slice(classes, func(i, j int) bool { return classes[i].Priority < classes[j].Priority })
+	if err := a.SetQoS(classes); err != nil {
+		a.exec.Logf("pta: qos reconfiguration rejected: %v", err)
+	}
+}
+
+// parseQoSValue decodes "<priority> <rate> [burst] [queue]".
+func parseQoSValue(name, val string) (QoSClass, error) {
+	f := strings.Fields(val)
+	if len(f) < 2 || len(f) > 4 {
+		return QoSClass{}, fmt.Errorf("qos class %q: value %q, want \"<priority> <rate> [burst] [queue]\"", name, val)
+	}
+	prio, err := strconv.ParseUint(f[0], 10, 8)
+	if err != nil || !i2o.Priority(prio).Valid() {
+		return QoSClass{}, fmt.Errorf("qos class %q: bad priority %q", name, f[0])
+	}
+	rate, err := strconv.ParseInt(f[1], 10, 64)
+	if err != nil {
+		return QoSClass{}, fmt.Errorf("qos class %q: bad rate %q", name, f[1])
+	}
+	c := QoSClass{Name: name, Priority: i2o.Priority(prio), Rate: rate}
+	if len(f) >= 3 {
+		burst, err := strconv.ParseInt(f[2], 10, 64)
+		if err != nil {
+			return QoSClass{}, fmt.Errorf("qos class %q: bad burst %q", name, f[2])
+		}
+		c.Burst = burst
+	}
+	if len(f) == 4 {
+		q, err := strconv.ParseBool(f[3])
+		if err != nil {
+			return QoSClass{}, fmt.Errorf("qos class %q: bad queue flag %q", name, f[3])
+		}
+		c.Queue = q
+	}
+	return c, nil
+}

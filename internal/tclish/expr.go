@@ -39,15 +39,21 @@ func (in *Interp) exprBool(raw string) (bool, error) {
 	}
 }
 
-// value is an expression operand: integer, float or string.
+// value is an expression operand: integer, unsigned integer (literals
+// above 1<<63-1, e.g. raw uint64 metric counters substituted into policy
+// conditions), float or string.  The 'u' kind exists so comparisons on
+// large counters stay exact: the float fallback loses integer precision
+// above 2^53, which is well inside the range of a long-lived counter.
 type value struct {
-	kind byte // 'i', 'f' or 's'
+	kind byte // 'i', 'u', 'f' or 's'
 	i    int64
+	u    uint64
 	f    float64
 	s    string
 }
 
 func intVal(i int64) value     { return value{kind: 'i', i: i} }
+func uintVal(u uint64) value   { return value{kind: 'u', u: u} }
 func floatVal(f float64) value { return value{kind: 'f', f: f} }
 func strVal(s string) value    { return value{kind: 's', s: s} }
 func boolVal(b bool) value {
@@ -61,6 +67,8 @@ func (v value) text() string {
 	switch v.kind {
 	case 'i':
 		return strconv.FormatInt(v.i, 10)
+	case 'u':
+		return strconv.FormatUint(v.u, 10)
 	case 'f':
 		return strconv.FormatFloat(v.f, 'g', -1, 64)
 	default:
@@ -72,6 +80,8 @@ func (v value) asFloat() float64 {
 	switch v.kind {
 	case 'i':
 		return float64(v.i)
+	case 'u':
+		return float64(v.u)
 	case 'f':
 		return v.f
 	default:
@@ -79,12 +89,17 @@ func (v value) asFloat() float64 {
 	}
 }
 
-func (v value) isNumber() bool { return v.kind == 'i' || v.kind == 'f' }
+func (v value) isNumber() bool { return v.kind == 'i' || v.kind == 'u' || v.kind == 'f' }
+
+// isInt reports an exact-integer operand ('i' or 'u').
+func (v value) isInt() bool { return v.kind == 'i' || v.kind == 'u' }
 
 func (v value) truthy() bool {
 	switch v.kind {
 	case 'i':
 		return v.i != 0
+	case 'u':
+		return v.u != 0
 	case 'f':
 		return v.f != 0
 	default:
@@ -256,10 +271,64 @@ func parseCmp(l *exprLexer) (value, error) {
 	return v, nil
 }
 
+// cmpInt orders two exact-integer values without rounding: -1, 0 or +1.
+// Sign handles the mixed case — a negative int64 is below any uint64, and
+// a uint64 above 1<<63-1 is above any int64.
+func cmpInt(a, b value) int {
+	an, bn := a.kind == 'i' && a.i < 0, b.kind == 'i' && b.i < 0
+	switch {
+	case an && !bn:
+		return -1
+	case !an && bn:
+		return 1
+	case an && bn:
+		switch {
+		case a.i < b.i:
+			return -1
+		case a.i > b.i:
+			return 1
+		}
+		return 0
+	}
+	au, bu := a.u, b.u
+	if a.kind == 'i' {
+		au = uint64(a.i)
+	}
+	if b.kind == 'i' {
+		bu = uint64(b.i)
+	}
+	switch {
+	case au < bu:
+		return -1
+	case au > bu:
+		return 1
+	}
+	return 0
+}
+
 func compare(op string, a, b value) (value, error) {
 	if op == "eq" || op == "ne" {
 		eq := a.text() == b.text()
 		return boolVal(eq == (op == "eq")), nil
+	}
+	if a.isInt() && b.isInt() {
+		// Exact-integer comparison: large uint64 metric counters must not
+		// round through float64 (equality above 2^53 would lie).
+		c := cmpInt(a, b)
+		switch op {
+		case "==":
+			return boolVal(c == 0), nil
+		case "!=":
+			return boolVal(c != 0), nil
+		case "<":
+			return boolVal(c < 0), nil
+		case "<=":
+			return boolVal(c <= 0), nil
+		case ">":
+			return boolVal(c > 0), nil
+		case ">=":
+			return boolVal(c >= 0), nil
+		}
 	}
 	if a.isNumber() && b.isNumber() {
 		x, y := a.asFloat(), b.asFloat()
@@ -337,6 +406,22 @@ func arith(op string, a, b value) (value, error) {
 	if !a.isNumber() || !b.isNumber() {
 		return value{}, fmt.Errorf("%w: %q needs numeric operands", ErrExpr, op)
 	}
+	// Unsigned operands that fit in int64 demote to the plain integer
+	// path; genuinely large ones get exact uint64 arithmetic below.
+	if a.kind == 'u' && a.u <= 1<<63-1 {
+		a = intVal(int64(a.u))
+	}
+	if b.kind == 'u' && b.u <= 1<<63-1 {
+		b = intVal(int64(b.u))
+	}
+	if (a.kind == 'u' || b.kind == 'u') && a.isInt() && b.isInt() {
+		if v, ok, err := arithUint(op, a, b); ok || err != nil {
+			return v, err
+		}
+		// Result not exactly representable (mixed sign, overflow):
+		// fall through to the float path, precision loss documented in
+		// doc/control-plane.md.
+	}
 	if a.kind == 'i' && b.kind == 'i' {
 		switch op {
 		case "+":
@@ -376,6 +461,54 @@ func arith(op string, a, b value) (value, error) {
 	return value{}, fmt.Errorf("%w: unknown operator %q", ErrExpr, op)
 }
 
+// arithUint performs exact arithmetic when at least one operand is a large
+// uint64.  ok=false means the result is not exactly representable in the
+// integer kinds (a negative operand, an overflow, an underflow past
+// -(1<<63-1)) and the caller should fall back to float.
+func arithUint(op string, a, b value) (value, bool, error) {
+	if (a.kind == 'i' && a.i < 0) || (b.kind == 'i' && b.i < 0) {
+		return value{}, false, nil
+	}
+	au, bu := a.u, b.u
+	if a.kind == 'i' {
+		au = uint64(a.i)
+	}
+	if b.kind == 'i' {
+		bu = uint64(b.i)
+	}
+	switch op {
+	case "+":
+		if s := au + bu; s >= au {
+			return uintVal(s), true, nil
+		}
+	case "-":
+		if au >= bu {
+			return uintVal(au - bu), true, nil
+		}
+		if d := bu - au; d <= 1<<63-1 {
+			return intVal(-int64(d)), true, nil
+		}
+	case "*":
+		if au == 0 || bu == 0 {
+			return uintVal(0), true, nil
+		}
+		if p := au * bu; p/au == bu {
+			return uintVal(p), true, nil
+		}
+	case "/":
+		if bu == 0 {
+			return value{}, false, fmt.Errorf("%w: division by zero", ErrExpr)
+		}
+		return uintVal(au / bu), true, nil
+	case "%":
+		if bu == 0 {
+			return value{}, false, fmt.Errorf("%w: division by zero", ErrExpr)
+		}
+		return uintVal(au % bu), true, nil
+	}
+	return value{}, false, nil
+}
+
 func parseUnary(l *exprLexer) (value, error) {
 	if l.tok.kind == 'o' {
 		switch l.tok.text {
@@ -389,6 +522,12 @@ func parseUnary(l *exprLexer) (value, error) {
 			}
 			if v.kind == 'i' {
 				return intVal(-v.i), nil
+			}
+			if v.kind == 'u' {
+				if v.u <= 1<<63-1 {
+					return intVal(-int64(v.u)), nil
+				}
+				return floatVal(-float64(v.u)), nil
 			}
 			if v.kind == 'f' {
 				return floatVal(-v.f), nil
@@ -434,6 +573,11 @@ func parsePrimary(l *exprLexer) (value, error) {
 		}
 		if i, err := strconv.ParseInt(text, 0, 64); err == nil {
 			return intVal(i), nil
+		}
+		// Above 1<<63-1 (raw uint64 counters): keep exact, don't round
+		// through float.
+		if u, err := strconv.ParseUint(text, 0, 64); err == nil {
+			return uintVal(u), nil
 		}
 		f, err := strconv.ParseFloat(text, 64)
 		if err != nil {

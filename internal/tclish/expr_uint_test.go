@@ -1,0 +1,81 @@
+package tclish
+
+import (
+	"strings"
+	"testing"
+)
+
+// Policy conditions substitute raw uint64 metric counters into expr;
+// these cases pin the exact-integer semantics the control plane relies
+// on.  Every value here is above 2^53, where a float64 round trip would
+// silently merge adjacent integers.
+func TestExprUint64Exact(t *testing.T) {
+	cases := []struct{ script, want string }{
+		// 1<<63 and up parse as unsigned, not floats.
+		{`expr 9223372036854775808 == 9223372036854775808`, "1"},
+		{`expr 9223372036854775808 == 9223372036854775809`, "0"},
+		{`expr 18446744073709551615 > 18446744073709551614`, "1"},
+		{`expr 18446744073709551614 >= 18446744073709551615`, "0"},
+		// Adjacent counters above 2^53: float64 cannot tell these apart.
+		{`expr 9007199254740993 == 9007199254740992`, "0"},
+		{`expr 9007199254740993 - 9007199254740992`, "1"},
+		// Mixed sign: a negative int64 is below any uint64.
+		{`expr -1 < 18446744073709551615`, "1"},
+		{`expr 18446744073709551615 > -1`, "1"},
+		{`expr -9223372036854775808 < 9223372036854775808`, "1"},
+		// Exact unsigned arithmetic where the result fits.
+		{`expr 18446744073709551615 - 18446744073709551614`, "1"},
+		{`expr 18446744073709551615 - 1`, "18446744073709551614"},
+		{`expr 9223372036854775808 + 1`, "9223372036854775809"},
+		{`expr 9223372036854775808 / 2`, "4611686018427387904"},
+		{`expr 18446744073709551615 % 10`, "5"},
+		{`expr 9223372036854775808 * 2`, "1.8446744073709552e+19"}, // overflow: float fallback
+		{`expr 1 - 18446744073709551615`, "-1.8446744073709552e+19"},
+		// Unsigned result text keeps full precision.
+		{`expr 18446744073709551615 + 0`, "18446744073709551615"},
+		// Rate-style division demotes cleanly.
+		{`expr 9223372036854775808 > 9223372036854775807`, "1"},
+		// Substituted through a variable, same exactness.
+		{`set c 18446744073709551615; expr {$c == 18446744073709551615}`, "1"},
+		{`set c 18446744073709551615; expr {$c + 1}`, "1.8446744073709552e+19"}, // overflow: float fallback
+	}
+	for _, c := range cases {
+		if got := eval(t, c.script); got != c.want {
+			t.Errorf("Eval(%q) = %q, want %q", c.script, got, c.want)
+		}
+	}
+}
+
+// Unsigned division/modulo by zero must be the expression error, not a
+// fallthrough into the float path.
+func TestExprUint64DivZero(t *testing.T) {
+	for _, script := range []string{
+		`expr 18446744073709551615 / 0`,
+		`expr 18446744073709551615 % 0`,
+	} {
+		if err := evalErr(t, script); !strings.Contains(err.Error(), "division by zero") {
+			t.Errorf("Eval(%q): %v, want division by zero", script, err)
+		}
+	}
+}
+
+// An undefined variable inside a braced expr condition surfaces as the
+// interpreter's no-such-variable error — the shape the policy loader
+// turns into a load failure.
+func TestExprUndefinedVariable(t *testing.T) {
+	for _, script := range []string{
+		`expr {$missing > 1}`,
+		`if {$missing} {set a 1}`,
+		`while {$missing < 3} {set a 1}`,
+	} {
+		err := evalErr(t, script)
+		if !strings.Contains(err.Error(), `no such variable "missing"`) {
+			t.Errorf("Eval(%q): %v, want no such variable", script, err)
+		}
+	}
+	// Same for an unknown command substituted inside the condition.
+	err := evalErr(t, `expr {[nosuchmetric x] > 1}`)
+	if !strings.Contains(err.Error(), `unknown command "nosuchmetric"`) {
+		t.Errorf("unknown command in condition: %v", err)
+	}
+}

@@ -8,6 +8,15 @@ func FuzzEval(f *testing.F) {
 	f.Add(`foreach x {1 2 3} { if {$x == 2} { break } }`)
 	f.Add("{unbalanced")
 	f.Add(`expr (((((1)))))`)
+	// Policy-shaped corpus: the control plane feeds operator scripts of
+	// this shape straight into Eval, so the fuzzer should mutate from
+	// them too — rule blocks, braced conditions, large unsigned metric
+	// counters, command substitution inside expr.
+	f.Add("rule scale-up {\n when {[metric exec.queue.depth] > 8}\n for 3\n cooldown 10\n deadband 10\n do {dispatchers 8}\n}")
+	f.Add(`expr {18446744073709551615 > 9223372036854775808 && $x < 10}`)
+	f.Add(`expr {9007199254740993 - 9007199254740992 == 1}`)
+	f.Add("foreach n {1 2 3} {\n rule r$n { when {1} do {log r} }\n}")
+	f.Add(`rule q { when {[rate pt.tcp.tx.frames] > 1000} do {qos bulk 6 500 64} }`)
 	f.Fuzz(func(t *testing.T, script string) {
 		in := New(nil)
 		in.LoopLimit = 1000

@@ -216,7 +216,7 @@ type Transport struct {
 	depth      int
 	redial     RedialPolicy
 	rendezvous bool         // large frames may bypass the ring
-	autoTune   bool         // threshold follows the coalescing metrics
+	autoTune   atomic.Bool  // threshold follows the coalescing metrics
 	thr        atomic.Int64 // current eager/rendezvous threshold, wire bytes
 	grant      int64        // receive window granted to each peer; 0 = unlimited
 	flushAt    int64        // owed credits that trigger a standalone return
@@ -424,7 +424,7 @@ func New(node i2o.NodeID, alloc pool.Allocator, cfg Config) (*Transport, error) 
 		}
 	}
 	thr := cfg.Threshold
-	t.autoTune = thr == 0
+	t.autoTune.Store(thr == 0)
 	t.rendezvous = thr >= 0 && !cfg.Unbatched
 	if thr <= 0 {
 		thr = DefaultThreshold
@@ -513,6 +513,36 @@ func (t *Transport) AddPeer(node i2o.NodeID, addr string) {
 	t.mu.Lock()
 	t.addrs[node] = addr
 	t.mu.Unlock()
+}
+
+// SetThreshold pins the eager/rendezvous threshold at runtime: frames at
+// or above n wire bytes take the direct lane, smaller ones coalesce
+// through the ring.  Pinning disables the auto-tuner; n == 0 hands the
+// threshold back to it (from wherever it currently sits).  No effect when
+// the rendezvous lane is disabled.  This is the knob the control-plane
+// autopilot turns on coalescing stats (doc/control-plane.md).
+func (t *Transport) SetThreshold(n int) {
+	if n > 0 {
+		t.autoTune.Store(false)
+		t.thr.Store(int64(n))
+		return
+	}
+	t.autoTune.Store(true)
+}
+
+// Threshold reports the live eager/rendezvous threshold in wire bytes;
+// 0 means the rendezvous lane is disabled.
+func (t *Transport) Threshold() int { return int(t.thresholdGauge()) }
+
+// SetTunable implements pta.Tunable: the remote-actuation path for the
+// transport's runtime knobs.  "threshold" maps to SetThreshold.
+func (t *Transport) SetTunable(key string, value int64) error {
+	switch key {
+	case "threshold":
+		t.SetThreshold(int(value))
+		return nil
+	}
+	return fmt.Errorf("tcp: no tunable %q", key)
 }
 
 // SetFaults installs a fault injector on the send (enqueue) path; nil
@@ -1067,7 +1097,7 @@ func (t *Transport) writeLoop(p *peer) {
 // best, not a reason to divert traffic.  Mis-tuned states self-correct
 // within a few batches.
 func (t *Transport) tuneThreshold(frames, bytes int) {
-	if !t.autoTune {
+	if !t.autoTune.Load() {
 		return
 	}
 	af := t.avgFrames.Load()
